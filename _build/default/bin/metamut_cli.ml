@@ -1,0 +1,255 @@
+(* The metamut command-line interface.
+
+     metamut list-mutators            enumerate the corpus
+     metamut mutate FILE              apply a mutator to a C file
+     metamut compile FILE             run the simulated compiler
+     metamut fuzz                     run uCFuzz (Algorithm 1)
+     metamut generate                 run the MetaMut generation pipeline
+     metamut campaign                 run the RQ1 comparison *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* list-mutators                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let list_mutators extended =
+  let corpus =
+    if extended then Mutators.Registry.extended else Mutators.Registry.core
+  in
+  List.iter
+    (fun m ->
+      Fmt.pr "%-36s %-10s %-12s %s@." m.Mutators.Mutator.name
+        (Mutators.Mutator.category_to_string m.Mutators.Mutator.category)
+        (Mutators.Mutator.provenance_to_string m.Mutators.Mutator.provenance)
+        (if m.Mutators.Mutator.creative then "creative" else ""))
+    corpus;
+  Fmt.pr "%d mutators@." (List.length corpus)
+
+let list_cmd =
+  let extended =
+    Arg.(value & flag & info [ "extended" ] ~doc:"Include extension mutators.")
+  in
+  Cmd.v
+    (Cmd.info "list-mutators" ~doc:"List the mutator corpus")
+    Term.(const list_mutators $ extended)
+
+(* ------------------------------------------------------------------ *)
+(* mutate                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mutate file mutator_name seed =
+  let src = read_file file in
+  let rng = Cparse.Rng.create seed in
+  let m =
+    match mutator_name with
+    | Some n -> (
+      match Mutators.Registry.find_opt n with
+      | Some m -> m
+      | None -> Fmt.failwith "unknown mutator %s" n)
+    | None -> Cparse.Rng.choose rng Mutators.Registry.core
+  in
+  match Mutators.Mutator.apply_src m ~rng src with
+  | Some mutant ->
+    Fmt.epr "// mutated by %s@." m.Mutators.Mutator.name;
+    print_string mutant
+  | None ->
+    Fmt.epr "mutator %s not applicable (or file does not parse)@."
+      m.Mutators.Mutator.name;
+    exit 1
+
+let mutate_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let mname =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "m"; "mutator" ] ~doc:"Mutator name (random when omitted).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.")
+  in
+  Cmd.v
+    (Cmd.info "mutate" ~doc:"Apply a mutator to a C file")
+    Term.(const mutate $ file $ mname $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* compile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compiler_conv =
+  Arg.enum [ ("gcc", Simcomp.Compiler.Gcc); ("clang", Simcomp.Compiler.Clang) ]
+
+let compile file compiler opt emit_ir =
+  let src = read_file file in
+  let options = { Simcomp.Compiler.opt_level = opt; disabled_passes = [] } in
+  if emit_ir then begin
+    match Cparse.Parser.parse src with
+    | Error e -> Fmt.failwith "parse error: %s" e
+    | Ok tu ->
+      let tc = Cparse.Typecheck.check tu in
+      if not tc.Cparse.Typecheck.r_ok then Fmt.failwith "does not type check";
+      let p = Simcomp.Lower.lower_tu tu tc in
+      ignore (Simcomp.Opt.run_pipeline ~level:opt ~disabled:[] p);
+      print_string (Simcomp.Ir.program_to_string p)
+  end
+  else begin
+    let cov = Simcomp.Coverage.create () in
+    match Simcomp.Compiler.compile ~cov compiler options src with
+    | Simcomp.Compiler.Compiled { asm; warnings; spills; _ } ->
+      print_string asm;
+      Fmt.epr "compiled: %d warnings, %d spills, %d branches covered@."
+        warnings spills
+        (Simcomp.Coverage.covered cov)
+    | Simcomp.Compiler.Compile_error es ->
+      List.iter (Fmt.epr "%s@.") es;
+      exit 1
+    | Simcomp.Compiler.Crashed c ->
+      Fmt.epr "internal compiler error: %s@." (Simcomp.Crash.to_string c);
+      exit 2
+  end
+
+let compile_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let compiler =
+    Arg.(
+      value & opt compiler_conv Simcomp.Compiler.Gcc
+      & info [ "c"; "compiler" ] ~doc:"gcc or clang.")
+  in
+  let opt = Arg.(value & opt int 2 & info [ "O" ] ~doc:"Optimization level.") in
+  let emit_ir = Arg.(value & flag & info [ "emit-ir" ] ~doc:"Print the IR.") in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a C file with the simulated compiler")
+    Term.(const compile $ file $ compiler $ opt $ emit_ir)
+
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz compiler iterations seed corpus_kind =
+  let rng = Cparse.Rng.create seed in
+  let seeds = Fuzzing.Seeds.corpus ~n:50 (Cparse.Rng.create seed) in
+  let mutators =
+    match corpus_kind with
+    | "supervised" -> Mutators.Registry.supervised
+    | "unsupervised" -> Mutators.Registry.unsupervised
+    | "extended" -> Mutators.Registry.extended
+    | _ -> Mutators.Registry.core
+  in
+  let cfg =
+    { (Fuzzing.Mucfuzz.default_config ~mutators ()) with
+      Fuzzing.Mucfuzz.max_attempts_per_iteration = 16 }
+  in
+  let r =
+    Fuzzing.Mucfuzz.run ~cfg ~rng ~compiler ~seeds ~iterations ~name:"uCFuzz" ()
+  in
+  Fmt.pr "iterations: %d@." iterations;
+  Fmt.pr "mutants: %d (%.1f%% compilable)@." r.Fuzzing.Fuzz_result.total_mutants
+    (Fuzzing.Fuzz_result.compilable_ratio r);
+  Fmt.pr "coverage: %d branches@."
+    (Simcomp.Coverage.covered r.Fuzzing.Fuzz_result.coverage);
+  Fmt.pr "unique crashes: %d@." (Fuzzing.Fuzz_result.unique_crashes r);
+  Hashtbl.iter
+    (fun _ cr ->
+      Fmt.pr "  %s@." (Simcomp.Crash.to_string cr.Fuzzing.Fuzz_result.cr_crash))
+    r.Fuzzing.Fuzz_result.crashes
+
+let fuzz_cmd =
+  let compiler =
+    Arg.(
+      value & opt compiler_conv Simcomp.Compiler.Gcc
+      & info [ "c"; "compiler" ] ~doc:"gcc or clang.")
+  in
+  let iterations =
+    Arg.(value & opt int 200 & info [ "n"; "iterations" ] ~doc:"Iterations.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.") in
+  let corpus =
+    Arg.(
+      value & opt string "core"
+      & info [ "corpus" ]
+          ~doc:"Mutator corpus: core, supervised, unsupervised, extended.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Run the uCFuzz coverage-guided fuzzer")
+    Term.(const fuzz $ compiler $ iterations $ seed $ corpus)
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let generate n seed =
+  let runs = Metamut.Pipeline.run_many ~seed ~n () in
+  List.iter
+    (fun r ->
+      let open Metamut.Pipeline in
+      match r.r_outcome with
+      | Valid m ->
+        Fmt.pr "valid      %-36s ($%.2f)@." m.Mutators.Mutator.name
+          (dollars_of_tokens (total_cost r).sc_tokens)
+      | Invalid_refinement -> Fmt.pr "invalid    %s (refinement)@." r.r_name
+      | Invalid_manual why -> Fmt.pr "invalid    %s (%s)@." r.r_name why
+      | System_error -> Fmt.pr "error      (API)@.")
+    runs;
+  let s = Metamut.Pipeline.summarize runs in
+  Fmt.pr "valid: %d/%d@." s.Metamut.Pipeline.s_valid n
+
+let generate_cmd =
+  let n = Arg.(value & opt int 20 & info [ "n" ] ~doc:"Invocations.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"RNG seed.") in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Run the MetaMut mutator-generation pipeline")
+    Term.(const generate $ n $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* campaign                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let campaign iterations =
+  let cfg =
+    { Fuzzing.Campaign.default_config with
+      iterations;
+      sample_every = max 1 (iterations / 10) }
+  in
+  let t = Fuzzing.Campaign.run ~cfg () in
+  let table =
+    Report.Table.create ~title:"RQ1 campaign"
+      ~header:[ "fuzzer"; "compiler"; "coverage"; "crashes"; "compilable %" ]
+  in
+  List.iter
+    (fun ((f, c), r) ->
+      Report.Table.add_row table
+        [ Fuzzing.Campaign.fuzzer_name f;
+          Simcomp.Bugdb.compiler_to_string c;
+          string_of_int (Simcomp.Coverage.covered r.Fuzzing.Fuzz_result.coverage);
+          string_of_int (Fuzzing.Fuzz_result.unique_crashes r);
+          Fmt.str "%.1f" (Fuzzing.Fuzz_result.compilable_ratio r) ])
+    t.Fuzzing.Campaign.results;
+  Report.Table.print table
+
+let campaign_cmd =
+  let iterations =
+    Arg.(value & opt int 200 & info [ "n"; "iterations" ] ~doc:"Iterations.")
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc:"Run the six-fuzzer RQ1 comparison")
+    Term.(const campaign $ iterations)
+
+let () =
+  let info =
+    Cmd.info "metamut" ~version:"1.0.0"
+      ~doc:"MetaMut reproduction: LLM-generated mutators for compiler fuzzing"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; mutate_cmd; compile_cmd; fuzz_cmd; generate_cmd; campaign_cmd ]))

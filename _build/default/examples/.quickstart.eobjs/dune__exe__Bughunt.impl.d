@@ -1,0 +1,1 @@
+examples/bughunt.ml: Cparse Fmt Fuzzing Hashtbl List Simcomp

@@ -1,0 +1,1 @@
+examples/differential.ml: Cparse Fmt List Simcomp String

@@ -1,0 +1,1 @@
+examples/invent_mutators.ml: Fmt List Metamut Mutators

@@ -1,0 +1,1 @@
+examples/invent_mutators.mli:

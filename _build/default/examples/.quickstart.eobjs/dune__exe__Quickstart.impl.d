@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cparse Fmt Mutators Option Simcomp String

@@ -1,0 +1,39 @@
+(* Run the MetaMut pipeline end to end (Fig. 1): invention →
+   implementation synthesis → validation and refinement, with the
+   simulated GPT-4 oracle and real validation against unit tests.
+
+     dune exec examples/invent_mutators.exe *)
+
+let () =
+  Fmt.pr "Invoking MetaMut 20 times (unsupervised mode)...@.@.";
+  let runs = Metamut.Pipeline.run_many ~seed:99 ~n:20 () in
+  List.iteri
+    (fun i r ->
+      let open Metamut.Pipeline in
+      let cost = total_cost r in
+      let outcome =
+        match r.r_outcome with
+        | Valid m ->
+          Fmt.str "VALID    %s (%s)" m.Mutators.Mutator.name
+            (Mutators.Mutator.category_to_string m.Mutators.Mutator.category)
+        | Invalid_refinement -> "INVALID  did not survive the refinement loop"
+        | Invalid_manual reason -> Fmt.str "INVALID  manual review: %s" reason
+        | System_error -> "ERROR    API throttled / timeout"
+      in
+      Fmt.pr "#%02d %-70s@." (i + 1) outcome;
+      if r.r_outcome <> System_error then begin
+        Fmt.pr "     tokens=%5d  QA rounds=%2d  wall=%.0fs  cost=$%.2f@."
+          cost.sc_tokens cost.sc_qa_rounds
+          (cost.sc_wait_s +. cost.sc_prepare_s)
+          (dollars_of_tokens cost.sc_tokens);
+        List.iter
+          (fun (goal, n) ->
+            Fmt.pr "     refinement fixed %d violation(s) of goal #%d@." n goal)
+          r.r_bugs_fixed
+      end)
+    runs;
+  let s = Metamut.Pipeline.summarize runs in
+  Fmt.pr
+    "@.summary: %d valid, %d failed refinement, %d rejected by review, %d \
+     system errors@."
+    s.s_valid s.s_invalid_refinement s.s_invalid_manual s.s_system_errors

@@ -1,0 +1,1 @@
+lib/cparse/ast.ml: Int64 List String

@@ -1,0 +1,1 @@
+lib/cparse/ast_gen.ml: Ast Ast_ids Float Fmt List Pretty Rng String

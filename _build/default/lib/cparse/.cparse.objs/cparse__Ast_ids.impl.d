@@ -1,0 +1,1 @@
+lib/cparse/ast_ids.ml: Ast Hashtbl Int64 List Visit

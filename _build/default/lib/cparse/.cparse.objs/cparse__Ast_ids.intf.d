@@ -1,0 +1,1 @@
+lib/cparse/ast_ids.mli: Ast

@@ -1,0 +1,1 @@
+lib/cparse/const_eval.ml: Ast Char Int64 List Option

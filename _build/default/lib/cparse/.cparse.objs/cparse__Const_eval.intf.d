@@ -1,0 +1,1 @@
+lib/cparse/const_eval.mli: Ast

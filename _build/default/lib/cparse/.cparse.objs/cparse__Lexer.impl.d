@@ -1,0 +1,1 @@
+lib/cparse/lexer.ml: Array Ast Buffer Char Fmt Int64 List Loc String Token

@@ -1,0 +1,1 @@
+lib/cparse/loc.ml: Fmt

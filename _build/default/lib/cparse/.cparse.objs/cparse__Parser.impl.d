@@ -1,0 +1,1 @@
+lib/cparse/parser.ml: Array Ast Ast_ids Buffer Fmt Hashtbl Int64 Lexer List Loc Result String Token

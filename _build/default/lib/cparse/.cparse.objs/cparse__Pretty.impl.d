@@ -1,0 +1,1 @@
+lib/cparse/pretty.ml: Ast Buffer Char Float Fmt Int64 List String

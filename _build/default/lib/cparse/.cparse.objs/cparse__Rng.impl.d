@@ -1,0 +1,1 @@
+lib/cparse/rng.ml: Array Float Int64 List

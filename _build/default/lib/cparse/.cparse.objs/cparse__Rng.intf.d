@@ -1,0 +1,1 @@
+lib/cparse/rng.mli:

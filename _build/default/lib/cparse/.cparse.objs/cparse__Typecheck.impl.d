@@ -1,0 +1,1 @@
+lib/cparse/typecheck.ml: Ast Const_eval Fmt Hashtbl Int64 List Option Parser Pretty Stdlib String

@@ -1,0 +1,1 @@
+lib/cparse/typecheck.mli: Ast Hashtbl

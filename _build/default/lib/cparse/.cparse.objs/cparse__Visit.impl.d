@@ -1,0 +1,1 @@
+lib/cparse/visit.ml: Ast List Option

@@ -1,0 +1,1 @@
+lib/cparse/visit.mli: Ast

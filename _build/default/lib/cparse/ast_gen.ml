@@ -1,0 +1,587 @@
+(* Random generator of well-typed C programs.
+
+   Three roles in the reproduction:
+   - seed-corpus synthesis (stand-in for the GCC/Clang test suites);
+   - the Csmith-sim and YARPGen-sim baseline generators (via [config]);
+   - qcheck generators for property tests.
+
+   Programs are well-typed by construction and loops are bounded, so the
+   AST interpreter can execute them under a small fuel budget. *)
+
+open Ast
+
+type config = {
+  max_functions : int;
+  max_stmts : int;          (* statements per block *)
+  max_depth : int;          (* statement nesting depth *)
+  max_expr_depth : int;
+  allow_goto : bool;
+  allow_switch : bool;
+  allow_structs : bool;
+  allow_pointers : bool;
+  allow_arrays : bool;
+  allow_floats : bool;
+  allow_unsigned : bool;
+  allow_strings : bool;
+  allow_labels : bool;
+  loop_weight : int;        (* relative weight of loop statements *)
+  decreasing_loops : bool;  (* emit while (--n) style loops (YARPGen focus) *)
+  call_weight : int;
+  seed_globals : int;
+}
+
+let default_config = {
+  max_functions = 4;
+  max_stmts = 6;
+  max_depth = 3;
+  max_expr_depth = 4;
+  allow_goto = true;
+  allow_switch = true;
+  allow_structs = true;
+  allow_pointers = true;
+  allow_arrays = true;
+  allow_floats = true;
+  allow_unsigned = true;
+  allow_strings = true;
+  allow_labels = true;
+  loop_weight = 3;
+  call_weight = 3;
+  seed_globals = 3;
+  decreasing_loops = false;
+}
+
+(* Conservative, saturating feature set: models Csmith's closed grammar. *)
+let csmith_like_config = {
+  default_config with
+  max_functions = 5;
+  allow_goto = false;
+  allow_labels = false;
+  allow_strings = false;
+  max_depth = 3;
+  max_expr_depth = 3;
+}
+
+(* Loop/arithmetic-focused: models YARPGen's loop-optimization target. *)
+let yarpgen_like_config = {
+  default_config with
+  max_functions = 3;
+  allow_goto = false;
+  allow_labels = false;
+  allow_switch = false;
+  allow_structs = false;
+  allow_strings = false;
+  loop_weight = 8;
+  max_depth = 4;
+  decreasing_loops = true;
+}
+
+type env = {
+  cfg : config;
+  rng : Rng.t;
+  mutable vars : (string * ty) list;        (* in scope, innermost first *)
+  mutable funcs : (string * ty * ty list) list; (* callable functions *)
+  mutable structs : (string * field list) list;
+  mutable label_count : int;
+  mutable name_count : int;
+  mutable depth : int;
+}
+
+let fresh_name env prefix =
+  env.name_count <- env.name_count + 1;
+  Fmt.str "%s_%d" prefix env.name_count
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let gen_int_ty env =
+  let kinds = [ Ichar; Ishort; Iint; Iint; Iint; Ilong; Ilonglong ] in
+  let k = Rng.choose env.rng kinds in
+  let signed = if env.cfg.allow_unsigned then Rng.flip env.rng 0.75 else true in
+  Tint (k, signed)
+
+let gen_scalar_ty env =
+  if env.cfg.allow_floats && Rng.flip env.rng 0.2 then
+    if Rng.bool env.rng then Tfloat else Tdouble
+  else gen_int_ty env
+
+let gen_var_ty env =
+  let r = Rng.float env.rng in
+  if env.cfg.allow_arrays && r < 0.15 then
+    Tarray (gen_scalar_ty env, Some (Rng.int_in env.rng 2 16))
+  else if env.cfg.allow_structs && env.structs <> [] && r < 0.25 then
+    Tstruct (fst (Rng.choose env.rng env.structs))
+  else gen_scalar_ty env
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let vars_of_ty env pred =
+  List.filter (fun (_, t) -> pred t) env.vars
+
+let gen_int_literal env =
+  let v =
+    Rng.weighted env.rng
+      [
+        (4, Rng.int_in env.rng 0 10);
+        (2, Rng.int_in env.rng 0 255);
+        (1, Rng.int_in env.rng 0 65535);
+        (1, Rng.choose env.rng [ 0; 1; -1; 2; 127; 128; 255; 256; 1024 ]);
+      ]
+  in
+  int_lit v
+
+(* Generate an expression of roughly integer type. *)
+let rec gen_int_expr env depth : expr =
+  let leaf () =
+    let candidates = vars_of_ty env is_integer_ty in
+    if candidates <> [] && Rng.flip env.rng 0.6 then
+      ident (fst (Rng.choose env.rng candidates))
+    else gen_int_literal env
+  in
+  if depth <= 0 then leaf ()
+  else
+    Rng.weighted env.rng
+      [
+        (3, `Leaf);
+        (4, `Bin);
+        (1, `Un);
+        (1, `Cmp);
+        (1, `Cond);
+        ((if env.cfg.allow_arrays then 1 else 0), `Idx);
+        ((if env.funcs <> [] then env.cfg.call_weight else 0), `Call);
+      ]
+    |> function
+    | `Leaf -> leaf ()
+    | `Bin ->
+      let op =
+        Rng.choose env.rng
+          [ Add; Sub; Mul; Add; Sub; Band; Bxor; Bor; Shl; Shr ]
+      in
+      let a = gen_int_expr env (depth - 1) in
+      let b =
+        match op with
+        | Shl | Shr -> int_lit (Rng.int_in env.rng 0 7)
+        | _ -> gen_int_expr env (depth - 1)
+      in
+      binop op a b
+    | `Un ->
+      let op = Rng.choose env.rng [ Neg; Bitnot; Lognot ] in
+      unop op (gen_int_expr env (depth - 1))
+    | `Cmp ->
+      let op = Rng.choose env.rng [ Lt; Gt; Le; Ge; Eq; Ne ] in
+      binop op (gen_int_expr env (depth - 1)) (gen_int_expr env (depth - 1))
+    | `Cond ->
+      mk_expr
+        (Cond
+           ( gen_cond_expr env (depth - 1),
+             gen_int_expr env (depth - 1),
+             gen_int_expr env (depth - 1) ))
+    | `Idx -> (
+      let arrays =
+        vars_of_ty env (function
+          | Tarray (t, Some _) -> is_integer_ty t
+          | _ -> false)
+      in
+      match arrays with
+      | [] -> leaf ()
+      | _ ->
+        let name, ty = Rng.choose env.rng arrays in
+        let n = match ty with Tarray (_, Some n) -> n | _ -> 1 in
+        mk_expr (Index (ident name, int_lit (Rng.int env.rng (max 1 n)))))
+    | `Call -> (
+      let int_funcs =
+        List.filter (fun (_, ret, _) -> is_integer_ty ret) env.funcs
+      in
+      match int_funcs with
+      | [] -> leaf ()
+      | _ ->
+        let name, _, params = Rng.choose env.rng int_funcs in
+        let args = List.map (fun t -> gen_expr_of_ty env (depth - 1) t) params in
+        call (ident name) args)
+
+and gen_cond_expr env depth : expr =
+  if depth <= 0 then gen_int_expr env 0
+  else
+    Rng.weighted env.rng
+      [ (3, `Cmp); (1, `Logical); (1, `Plain) ]
+    |> function
+    | `Cmp ->
+      let op = Rng.choose env.rng [ Lt; Gt; Le; Ge; Eq; Ne ] in
+      binop op (gen_int_expr env (depth - 1)) (gen_int_expr env (depth - 1))
+    | `Logical ->
+      let op = if Rng.bool env.rng then Land else Lor in
+      binop op (gen_cond_expr env (depth - 1)) (gen_cond_expr env (depth - 1))
+    | `Plain -> gen_int_expr env (depth - 1)
+
+and gen_float_expr env depth : expr =
+  let leaf () =
+    let candidates = vars_of_ty env is_float_ty in
+    if candidates <> [] && Rng.flip env.rng 0.6 then
+      ident (fst (Rng.choose env.rng candidates))
+    else float_lit (Float.of_int (Rng.int_in env.rng 0 100) /. 4.)
+  in
+  if depth <= 0 then leaf ()
+  else if Rng.flip env.rng 0.5 then
+    let op = Rng.choose env.rng [ Add; Sub; Mul ] in
+    binop op (gen_float_expr env (depth - 1)) (gen_float_expr env (depth - 1))
+  else leaf ()
+
+and gen_expr_of_ty env depth (ty : ty) : expr =
+  match ty with
+  | Tfloat | Tdouble -> gen_float_expr env depth
+  | Tbool -> gen_cond_expr env depth
+  | Tint _ -> gen_int_expr env depth
+  | Tptr t -> (
+    let ptr_vars = vars_of_ty env (fun t' -> ty_equal t' ty) in
+    let pointee_vars =
+      vars_of_ty env (fun t' -> ty_equal t' t)
+    in
+    match ptr_vars, pointee_vars with
+    | (_ :: _), _ when Rng.bool env.rng ->
+      ident (fst (Rng.choose env.rng ptr_vars))
+    | _, (_ :: _) -> mk_expr (Addrof (ident (fst (Rng.choose env.rng pointee_vars))))
+    | (_ :: _), _ -> ident (fst (Rng.choose env.rng ptr_vars))
+    | [], [] -> mk_expr (Cast (ty, int_lit 0)))
+  | Tarray _ | Tstruct _ | Tunion _ | Tvoid | Tnamed _ | Tfunc _ ->
+    gen_int_expr env depth
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_decl env : stmt * (string * ty) =
+  let ty = gen_var_ty env in
+  let name = fresh_name env "v" in
+  let init =
+    match ty with
+    | Tarray _ | Tstruct _ | Tunion _ -> None
+    | _ when Rng.flip env.rng 0.8 -> Some (gen_expr_of_ty env 2 ty)
+    | _ -> None
+  in
+  ( mk_stmt
+      (Sdecl
+         [
+           {
+             v_name = name;
+             v_ty = ty;
+             v_quals = no_quals;
+             v_storage = S_none;
+             v_init = init;
+           };
+         ]),
+    (name, ty) )
+
+(* Loop counters (names prefixed i_ or w_) are never assignment targets:
+   generated loops must terminate so the interpreter can execute seeds
+   under small fuel. *)
+let assignable env pred =
+  List.filter
+    (fun (n, t) ->
+      pred t
+      && not (String.length n > 1 && (n.[0] = 'i' || n.[0] = 'w') && n.[1] = '_'))
+    env.vars
+
+let gen_assign env : stmt option =
+  let targets = assignable env is_arith_ty in
+  match targets with
+  | [] -> None
+  | _ ->
+    let name, ty = Rng.choose env.rng targets in
+    let op =
+      if is_integer_ty ty && Rng.flip env.rng 0.3 then
+        Rng.choose env.rng [ A_add; A_sub; A_mul; A_band; A_bxor; A_bor ]
+      else A_none
+    in
+    Some (sexpr (assign ~op (ident name) (gen_expr_of_ty env env.cfg.max_expr_depth ty)))
+
+let rec gen_stmt env depth : stmt list =
+  let cfg = env.cfg in
+  let choice =
+    Rng.weighted env.rng
+      [
+        (3, `Decl);
+        (6, `Assign);
+        ((if depth > 0 then 3 else 0), `If);
+        ((if depth > 0 then cfg.loop_weight else 0), `For);
+        ((if depth > 0 then 1 else 0), `While);
+        ((if depth > 0 && cfg.allow_switch then 1 else 0), `Switch);
+        ((if cfg.allow_arrays then 2 else 0), `ArrStore);
+        (1, `Incdec);
+      ]
+  in
+  match choice with
+  | `Decl ->
+    let s, binding = gen_decl env in
+    env.vars <- binding :: env.vars;
+    [ s ]
+  | `Assign -> (
+    match gen_assign env with Some s -> [ s ] | None -> gen_stmt env depth)
+  | `If ->
+    let saved = env.vars in
+    let cond = gen_cond_expr env 2 in
+    let then_ = gen_block env (depth - 1) in
+    env.vars <- saved;
+    let else_ =
+      if Rng.flip env.rng 0.5 then begin
+        let b = gen_block env (depth - 1) in
+        env.vars <- saved;
+        Some b
+      end
+      else None
+    in
+    [ mk_stmt (Sif (cond, then_, else_)) ]
+  | `For ->
+    (* bounded counted loop so generated programs terminate *)
+    let i = fresh_name env "i" in
+    let bound = Rng.int_in env.rng 1 12 in
+    let saved = env.vars in
+    env.vars <- (i, Tint (Iint, true)) :: env.vars;
+    let body = gen_block env (depth - 1) in
+    env.vars <- saved;
+    [
+      mk_stmt
+        (Sfor
+           ( Some
+               (Fi_decl
+                  [
+                    {
+                      v_name = i;
+                      v_ty = Tint (Iint, true);
+                      v_quals = no_quals;
+                      v_storage = S_none;
+                      v_init = Some (int_lit 0);
+                    };
+                  ]),
+             Some (binop Lt (ident i) (int_lit bound)),
+             Some (mk_expr (Incdec (true, false, ident i))),
+             body ));
+    ]
+  | `While ->
+    (* decrementing counter loop *)
+    let c = fresh_name env "w" in
+    let bound = Rng.int_in env.rng 1 8 in
+    let decl =
+      mk_stmt
+        (Sdecl
+           [
+             {
+               v_name = c;
+               v_ty = Tint (Iint, true);
+               v_quals = no_quals;
+               v_storage = S_none;
+               v_init = Some (int_lit bound);
+             };
+           ])
+    in
+    let saved = env.vars in
+    env.vars <- (c, Tint (Iint, true)) :: env.vars;
+    let body = gen_block env (depth - 1) in
+    env.vars <- saved;
+    if cfg.decreasing_loops && Rng.flip env.rng 0.15 then
+      (* YARPGen-style: while (--n) decrement-in-condition loop *)
+      [ decl;
+        mk_stmt (Swhile (mk_expr (Incdec (false, true, ident c)), body)) ]
+    else begin
+      let body =
+        match body.sk with
+        | Sblock ss ->
+          { body with sk = Sblock (ss @ [ sexpr (mk_expr (Incdec (false, false, ident c))) ]) }
+        | _ -> body
+      in
+      [ decl; mk_stmt (Swhile (binop Gt (ident c) (int_lit 0), body)) ]
+    end
+  | `Switch ->
+    let scrutinee = gen_int_expr env 2 in
+    let ncases = Rng.int_in env.rng 2 4 in
+    let saved = env.vars in
+    let cases =
+      List.init ncases (fun i ->
+          let body =
+            (match gen_block env (depth - 1) with
+            | { sk = Sblock ss; _ } -> ss
+            | s -> [ s ])
+            @ if Rng.flip env.rng 0.8 then [ mk_stmt Sbreak ] else []
+          in
+          env.vars <- saved;
+          { case_labels = [ L_case (int_lit i) ]; case_body = body })
+    in
+    let cases =
+      if Rng.flip env.rng 0.7 then
+        cases @ [ { case_labels = [ L_default ]; case_body = [ mk_stmt Sbreak ] } ]
+      else cases
+    in
+    [ mk_stmt (Sswitch (scrutinee, cases)) ]
+  | `ArrStore -> (
+    let arrays =
+      vars_of_ty env (function
+        | Tarray (t, Some _) -> is_arith_ty t
+        | _ -> false)
+    in
+    match arrays with
+    | [] -> (match gen_assign env with Some s -> [ s ] | None -> [])
+    | _ ->
+      let name, ty = Rng.choose env.rng arrays in
+      let n, elt =
+        match ty with
+        | Tarray (t, Some n) -> n, t
+        | _ -> 1, Tint (Iint, true)
+      in
+      let idx = int_lit (Rng.int env.rng (max 1 n)) in
+      [
+        sexpr
+          (assign
+             (mk_expr (Index (ident name, idx)))
+             (gen_expr_of_ty env 2 elt));
+      ])
+  | `Incdec -> (
+    let targets = assignable env is_integer_ty in
+    match targets with
+    | [] -> []
+    | _ ->
+      let name, _ = Rng.choose env.rng targets in
+      [ sexpr (mk_expr (Incdec (Rng.bool env.rng, Rng.bool env.rng, ident name))) ])
+
+and gen_block env depth : stmt =
+  let saved = env.vars in
+  let n = Rng.int_in env.rng 1 env.cfg.max_stmts in
+  let stmts = List.concat (List.init n (fun _ -> gen_stmt env depth)) in
+  env.vars <- saved;
+  sblock stmts
+
+(* ------------------------------------------------------------------ *)
+(* Functions and translation units                                     *)
+(* ------------------------------------------------------------------ *)
+
+let gen_function env ~name : fundef =
+  let nparams = Rng.int_in env.rng 0 3 in
+  let params =
+    List.init nparams (fun _ ->
+        { p_name = fresh_name env "p"; p_ty = gen_scalar_ty env })
+  in
+  let ret = if Rng.flip env.rng 0.85 then gen_scalar_ty env else Tvoid in
+  let saved = env.vars in
+  env.vars <- List.map (fun p -> (p.p_name, p.p_ty)) params @ env.vars;
+  let n = Rng.int_in env.rng 2 env.cfg.max_stmts in
+  let body = List.concat (List.init n (fun _ -> gen_stmt env env.cfg.max_depth)) in
+  let body =
+    if is_void_ty ret then body
+    else body @ [ sreturn (Some (gen_expr_of_ty env 3 ret)) ]
+  in
+  env.vars <- saved;
+  {
+    f_id = no_id;
+    f_name = name;
+    f_ret = ret;
+    f_params = params;
+    f_variadic = false;
+    f_body = body;
+    f_static = Rng.flip env.rng 0.2;
+    f_inline = false;
+  }
+
+let gen_struct env : global =
+  let tag = fresh_name env "s" in
+  let nfields = Rng.int_in env.rng 1 4 in
+  let fields =
+    List.init nfields (fun _ ->
+        { fld_name = fresh_name env "f"; fld_ty = gen_scalar_ty env })
+  in
+  env.structs <- (tag, fields) :: env.structs;
+  Gstruct (tag, fields)
+
+let gen_tu ?(cfg = default_config) (rng : Rng.t) : tu =
+  let env =
+    {
+      cfg;
+      rng;
+      vars = [];
+      funcs = [];
+      structs = [];
+      label_count = 0;
+      name_count = 0;
+      depth = 0;
+    }
+  in
+  ignore env.label_count;
+  ignore env.depth;
+  let structs =
+    if cfg.allow_structs then
+      List.init (Rng.int_in rng 0 2) (fun _ -> gen_struct env)
+    else []
+  in
+  let globals =
+    List.init cfg.seed_globals (fun _ ->
+        let ty = gen_scalar_ty env in
+        let name = fresh_name env "g" in
+        (* constant initializer only: global inits must be constant in C *)
+        let init =
+          if is_float_ty ty then
+            float_lit (Float.of_int (Rng.int_in rng 0 100) /. 4.)
+          else gen_int_literal env
+        in
+        env.vars <- (name, ty) :: env.vars;
+        Gvar
+          {
+            v_name = name;
+            v_ty = ty;
+            v_quals = no_quals;
+            v_storage = S_none;
+            v_init = Some init;
+          })
+  in
+  let nfuncs = Rng.int_in rng 1 cfg.max_functions in
+  let funcs =
+    List.init nfuncs (fun i ->
+        let name = Fmt.str "fn_%d" i in
+        let fd = gen_function env ~name in
+        env.funcs <-
+          (name, fd.f_ret, List.map (fun p -> p.p_ty) fd.f_params) :: env.funcs;
+        Gfun fd)
+  in
+  (* main: call each function and fold results into a checksum *)
+  let calls =
+    List.filter_map
+      (function
+        | Gfun fd when not (is_void_ty fd.f_ret) && not fd.f_static ->
+          let args = List.map (fun p -> zero_of_ty p.p_ty) fd.f_params in
+          Some
+            (sexpr
+               (assign ~op:A_add (ident "csum")
+                  (mk_expr (Cast (Tint (Iint, true), call (ident fd.f_name) args)))))
+        | Gfun fd when is_void_ty fd.f_ret && not fd.f_static ->
+          let args = List.map (fun p -> zero_of_ty p.p_ty) fd.f_params in
+          Some (sexpr (call (ident fd.f_name) args))
+        | _ -> None)
+      funcs
+  in
+  let main =
+    Gfun
+      {
+        f_id = no_id;
+        f_name = "main";
+        f_ret = Tint (Iint, true);
+        f_params = [];
+        f_variadic = false;
+        f_body =
+          mk_stmt
+            (Sdecl
+               [
+                 {
+                   v_name = "csum";
+                   v_ty = Tint (Iint, true);
+                   v_quals = no_quals;
+                   v_storage = S_none;
+                   v_init = Some (int_lit 0);
+                 };
+               ])
+          :: calls
+          @ [ sreturn (Some (binop Band (ident "csum") (int_lit 255))) ];
+        f_static = false;
+        f_inline = false;
+      }
+  in
+  Ast_ids.renumber { globals = structs @ globals @ funcs @ [ main ] }
+
+let gen_source ?cfg rng = Pretty.tu_to_string (gen_tu ?cfg rng)

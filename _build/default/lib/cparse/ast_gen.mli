@@ -1,0 +1,45 @@
+(** Random generator of well-typed C programs.
+
+    Three roles in the reproduction: synthesizing the seed corpus (the
+    stand-in for the GCC/Clang test suites), powering the Csmith-sim and
+    YARPGen-sim baseline generators via {!config}, and driving property
+    tests.  Programs are well-typed by construction; loops are bounded,
+    so the reference interpreter can execute them. *)
+
+type config = {
+  max_functions : int;
+  max_stmts : int;          (** statements per block *)
+  max_depth : int;          (** statement nesting depth *)
+  max_expr_depth : int;
+  allow_goto : bool;
+  allow_switch : bool;
+  allow_structs : bool;
+  allow_pointers : bool;
+  allow_arrays : bool;
+  allow_floats : bool;
+  allow_unsigned : bool;
+  allow_strings : bool;
+  allow_labels : bool;
+  loop_weight : int;        (** relative weight of loop statements *)
+  decreasing_loops : bool;  (** emit [while (--n)] loops (YARPGen focus) *)
+  call_weight : int;
+  seed_globals : int;
+}
+
+val default_config : config
+(** Balanced feature mix used for the seed corpus. *)
+
+val csmith_like_config : config
+(** Conservative closed grammar: no gotos/labels/strings — models
+    Csmith's saturating feature space. *)
+
+val yarpgen_like_config : config
+(** Loop/arithmetic-heavy: models YARPGen's loop-optimization focus,
+    including decrement-in-condition loops. *)
+
+val gen_tu : ?cfg:config -> Rng.t -> Ast.tu
+(** Generate a translation unit (always includes a [main] computing a
+    checksum over the generated functions). *)
+
+val gen_source : ?cfg:config -> Rng.t -> string
+(** [Pretty.tu_to_string (gen_tu ...)]. *)

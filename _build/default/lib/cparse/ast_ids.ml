@@ -1,0 +1,57 @@
+(* Unique node-id management.
+
+   Parsing and program generation produce nodes with [Ast.no_id]; mutators
+   create fresh nodes the same way.  [renumber] walks a translation unit and
+   assigns every expression, statement, and function a fresh sequential id,
+   restoring the invariant that ids are unique within the unit. *)
+
+open Ast
+
+let renumber (tu : tu) : tu =
+  let next = ref 0 in
+  let fresh () = incr next; !next in
+  let fe e =
+    (* canonicalise negated literals (the parser folds them, so keeping
+       them folded makes print/parse round trips stable) *)
+    let e =
+      match e.ek with
+      | Unop (Neg, { ek = Int_lit (v, k, u); _ }) ->
+        { e with ek = Int_lit (Int64.neg v, k, u) }
+      | Unop (Neg, { ek = Float_lit (v, d); _ }) ->
+        { e with ek = Float_lit (-.v, d) }
+      | _ -> e
+    in
+    { e with eid = fresh () }
+  in
+  let fs s = { s with sid = fresh () } in
+  let globals =
+    List.map
+      (function
+        | Gfun fd ->
+          Gfun { (Visit.map_fundef ~fe ~fs fd) with f_id = fresh () }
+        | Gvar v -> Gvar (Visit.map_var_decl fe v)
+        | (Gtypedef _ | Gstruct _ | Gunion _ | Genum _ | Gproto _) as g -> g)
+      tu.globals
+  in
+  { globals }
+
+let max_id (tu : tu) : int =
+  let m = ref 0 in
+  Visit.iter_tu tu
+    ~fe:(fun e -> if e.eid > !m then m := e.eid)
+    ~fs:(fun s -> if s.sid > !m then m := s.sid);
+  List.iter
+    (function Gfun fd -> if fd.f_id > !m then m := fd.f_id | _ -> ())
+    tu.globals;
+  !m
+
+(* Check the uniqueness invariant; used by tests and the validation loop. *)
+let well_formed (tu : tu) : bool =
+  let seen = Hashtbl.create 64 in
+  let ok = ref true in
+  let check id =
+    if id = no_id || Hashtbl.mem seen id then ok := false
+    else Hashtbl.add seen id ()
+  in
+  Visit.iter_tu tu ~fe:(fun e -> check e.eid) ~fs:(fun s -> check s.sid);
+  !ok

@@ -1,0 +1,17 @@
+(** Unique node-id management.
+
+    Mutators select AST nodes by id during traversal and later rewrite
+    exactly that node, so ids must be unique within a translation unit.
+    Fresh nodes are built with [Ast.no_id]; [renumber] restores the
+    invariant after parsing, generation, or mutation. *)
+
+val renumber : Ast.tu -> Ast.tu
+(** Reassign every expression, statement, and function a fresh sequential
+    id.  Also canonicalises negation-of-literal expressions (matching the
+    parser), so round trips through {!Pretty} are stable. *)
+
+val max_id : Ast.tu -> int
+(** Largest id in use (an upper bound for fresh-name generation). *)
+
+val well_formed : Ast.tu -> bool
+(** True when every node id is assigned and unique. *)

@@ -1,0 +1,76 @@
+(* Constant-expression evaluation (integer constant expressions as needed
+   for case labels, array sizes, and global initializers). *)
+
+open Ast
+
+let rec eval_int (e : expr) : int64 option =
+  let ( let* ) = Option.bind in
+  match e.ek with
+  | Int_lit (v, _, _) -> Some v
+  | Char_lit c -> Some (Int64.of_int (Char.code c))
+  | Unop (Neg, a) ->
+    let* v = eval_int a in
+    Some (Int64.neg v)
+  | Unop (Uplus, a) -> eval_int a
+  | Unop (Bitnot, a) ->
+    let* v = eval_int a in
+    Some (Int64.lognot v)
+  | Unop (Lognot, a) ->
+    let* v = eval_int a in
+    Some (if Int64.equal v 0L then 1L else 0L)
+  | Binop (op, a, b) -> (
+    let* va = eval_int a in
+    let* vb = eval_int b in
+    let open Int64 in
+    let bool_ x = if x then 1L else 0L in
+    match op with
+    | Add -> Some (add va vb)
+    | Sub -> Some (sub va vb)
+    | Mul -> Some (mul va vb)
+    | Div -> if equal vb 0L then None else Some (div va vb)
+    | Mod -> if equal vb 0L then None else Some (rem va vb)
+    | Shl ->
+      let s = to_int vb in
+      if s < 0 || s > 63 then None else Some (shift_left va s)
+    | Shr ->
+      let s = to_int vb in
+      if s < 0 || s > 63 then None else Some (shift_right va s)
+    | Lt -> Some (bool_ (compare va vb < 0))
+    | Gt -> Some (bool_ (compare va vb > 0))
+    | Le -> Some (bool_ (compare va vb <= 0))
+    | Ge -> Some (bool_ (compare va vb >= 0))
+    | Eq -> Some (bool_ (equal va vb))
+    | Ne -> Some (bool_ (not (equal va vb)))
+    | Band -> Some (logand va vb)
+    | Bxor -> Some (logxor va vb)
+    | Bor -> Some (logor va vb)
+    | Land -> Some (bool_ ((not (equal va 0L)) && not (equal vb 0L)))
+    | Lor -> Some (bool_ ((not (equal va 0L)) || not (equal vb 0L))))
+  | Cond (c, t, f) ->
+    let* vc = eval_int c in
+    if Int64.equal vc 0L then eval_int f else eval_int t
+  | Cast (ty, a) -> (
+    let* v = eval_int a in
+    match ty with
+    | Tint (Ichar, true) -> Some (Int64.of_int (Int64.to_int v land 0xff))
+    | Tint (Ishort, true) ->
+      Some (Int64.of_int ((Int64.to_int v land 0xffff) - if Int64.to_int v land 0x8000 <> 0 then 0x10000 else 0))
+    | Tint _ | Tbool -> Some v
+    | _ -> None)
+  | Sizeof_ty t -> Some (Int64.of_int (sizeof_ty t))
+  | _ -> None
+
+(* Syntactically constant (for global initializers): literals, address
+   constants, and arithmetic over them. *)
+let rec is_constant_expr (e : expr) : bool =
+  match e.ek with
+  | Int_lit _ | Float_lit _ | Char_lit _ | Str_lit _ | Sizeof_ty _ -> true
+  | Ident _ -> false (* enum constants are handled upstream; be strict *)
+  | Unop (_, a) | Cast (_, a) -> is_constant_expr a
+  | Addrof { ek = Ident _; _ } -> true
+  | Binop (_, a, b) -> is_constant_expr a && is_constant_expr b
+  | Cond (c, t, f) ->
+    is_constant_expr c && is_constant_expr t && is_constant_expr f
+  | Init_list es -> List.for_all is_constant_expr es
+  | Sizeof_expr _ -> true
+  | _ -> false

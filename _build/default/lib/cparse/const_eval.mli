@@ -1,0 +1,10 @@
+(** Constant-expression evaluation (integer constant expressions, as
+    required for case labels, array sizes, and global initializers). *)
+
+val eval_int : Ast.expr -> int64 option
+(** Evaluate an integer constant expression; [None] when the expression
+    is non-constant or undefined (division by zero, oversized shift). *)
+
+val is_constant_expr : Ast.expr -> bool
+(** Syntactic constant-expression check for global initializers:
+    literals, address constants, and arithmetic over them. *)

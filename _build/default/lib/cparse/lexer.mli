@@ -1,0 +1,19 @@
+(** Hand-written lexer for the C subset.
+
+    Preprocessor lines ([#include], [#define], ...) are skipped
+    wholesale: seeds and generated programs are self-contained and the
+    type checker treats a small libc set as builtins. *)
+
+exception Error of string * Loc.t
+
+type lexeme = { tok : Token.t; loc : Loc.t }
+
+type state
+
+val make : string -> state
+
+val next_token : state -> lexeme
+(** Produce the next token (an [Eof] lexeme at the end). *)
+
+val tokenize : string -> lexeme array
+(** Lex a whole buffer; raises {!Error} on malformed input. *)

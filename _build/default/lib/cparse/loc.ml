@@ -1,0 +1,14 @@
+(* Source locations for diagnostics.  Offsets are byte offsets into the
+   original source buffer; line/col are 1-based. *)
+
+type t = { line : int; col : int; offset : int }
+
+let dummy = { line = 0; col = 0; offset = -1 }
+
+let make ~line ~col ~offset = { line; col; offset }
+
+let pp ppf { line; col; _ } = Fmt.pf ppf "%d:%d" line col
+
+let to_string l = Fmt.str "%a" pp l
+
+let compare a b = compare a.offset b.offset

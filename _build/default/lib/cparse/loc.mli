@@ -1,0 +1,14 @@
+(** Source locations (1-based line/column plus byte offset). *)
+
+type t = { line : int; col : int; offset : int }
+
+val dummy : t
+
+val make : line:int -> col:int -> offset:int -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val compare : t -> t -> int
+(** Orders by byte offset. *)

@@ -1,0 +1,36 @@
+(** Pretty-printer: AST back to compilable C text.
+
+    Printing is precedence-aware, so [Parser.parse (tu_to_string tu)]
+    yields a tree equal to [tu] up to node ids, and printing is a
+    fixpoint: [tu_to_string (parse (tu_to_string tu)) = tu_to_string tu]. *)
+
+val decl_string : Ast.ty -> string -> string
+(** [decl_string ty name] renders a C declarator — the paper's μAST
+    [formatAsDecl].  [name] may be empty for abstract type names; handles
+    the inside-out pointer/array declarator syntax. *)
+
+val ty_string : Ast.ty -> string
+(** Abstract type name, e.g. for casts. *)
+
+val binop_string : Ast.binop -> string
+val assign_op_string : Ast.assign_op -> string
+val unop_string : Ast.unop -> string
+
+val expr_prec : Ast.expr -> int
+(** Precedence level used for parenthesisation (higher binds tighter). *)
+
+val expr_to_buf : Buffer.t -> int -> Ast.expr -> unit
+(** Print an expression in a context of the given minimum precedence. *)
+
+val expr_to_string : Ast.expr -> string
+(** Render one expression — the paper's μAST [getSourceText] for
+    expressions. *)
+
+val stmt_to_buf : Buffer.t -> int -> Ast.stmt -> unit
+(** Print a statement at the given indentation level. *)
+
+val tu_to_string : Ast.tu -> string
+(** Render a whole translation unit as compilable C. *)
+
+val print : Ast.tu -> string
+(** Alias of {!tu_to_string}. *)

@@ -1,0 +1,73 @@
+(* Deterministic splitmix64 RNG.
+
+   Every stochastic component in the reproduction (generators, fuzzers,
+   the LLM oracle) draws from an explicit [t] so that experiments are
+   reproducible from a single integer seed. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in";
+  lo + int t (hi - lo + 1)
+
+let bool t = int t 2 = 0
+
+(* True with probability [p]. *)
+let flip t p = Float.of_int (int t 1_000_000) /. 1_000_000. < p
+
+let float t = Float.of_int (int t 1_000_000) /. 1_000_000.
+
+let choose t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let choose_opt t xs = match xs with [] -> None | _ -> Some (choose t xs)
+
+let choose_arr t xs =
+  if Array.length xs = 0 then invalid_arg "Rng.choose_arr: empty array";
+  xs.(int t (Array.length xs))
+
+(* Weighted choice from (weight, value) pairs. *)
+let weighted t pairs =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 pairs in
+  if total <= 0 then invalid_arg "Rng.weighted: non-positive total weight";
+  let k = int t total in
+  let rec pick k = function
+    | [] -> invalid_arg "Rng.weighted: unreachable"
+    | (w, v) :: rest -> if k < w then v else pick (k - w) rest
+  in
+  pick k pairs
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+(* Split off an independent stream (for per-task determinism). *)
+let split t =
+  let s = next_int64 t in
+  { state = s }

@@ -1,0 +1,52 @@
+(** Deterministic splitmix64 random number generator.
+
+    Every stochastic component in the reproduction (program generators,
+    fuzzers, the LLM oracle) draws from an explicit [t], so every
+    experiment reproduces bit-for-bit from an integer seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator. *)
+
+val copy : t -> t
+(** Independent duplicate of the current state. *)
+
+val next_int64 : t -> int64
+(** Raw 64-bit output (splitmix64). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  Raises [Invalid_argument]
+    when [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in the inclusive range [\[lo, hi\]]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val flip : t -> float -> bool
+(** [flip t p] is true with probability [p]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform element of a non-empty list.  Raises on the empty list. *)
+
+val choose_opt : t -> 'a list -> 'a option
+(** Like {!choose} but total. *)
+
+val choose_arr : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val weighted : t -> (int * 'a) list -> 'a
+(** Weighted choice from [(weight, value)] pairs; zero-weight entries are
+    never chosen. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher-Yates permutation. *)
+
+val split : t -> t
+(** Split off an independent stream (for per-task determinism). *)

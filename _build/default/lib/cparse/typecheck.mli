@@ -1,0 +1,38 @@
+(** Type checker for the C subset — the arbiter of "compilable" for every
+    experiment in the reproduction.
+
+    Produces diagnostics (errors and warnings) plus a map from expression
+    ids to computed types.  A translation unit compiles iff it has no
+    errors; warnings mirror GCC's permissiveness (implicit
+    integer/pointer conversions warn but compile). *)
+
+type severity = Error | Warning
+
+type diag = { sev : severity; msg : string; in_func : string option }
+
+type result = {
+  r_diags : diag list;
+  r_types : (int, Ast.ty) Hashtbl.t;  (** expression id -> computed type *)
+  r_ok : bool;                         (** no errors *)
+}
+
+val builtins : (string * (Ast.ty * Ast.ty list * bool)) list
+(** libc functions treated as implicitly declared: printf, sprintf, puts,
+    putchar, abort, exit, strlen, strcpy, strcmp, memset, memcpy, malloc,
+    free, rand, abs.  [(name, (return, params, variadic))]. *)
+
+val decay : Ast.ty -> Ast.ty
+(** Array-to-pointer decay at use sites. *)
+
+val arith_conv : Ast.ty -> Ast.ty -> Ast.ty
+(** Usual arithmetic conversions (integer promotion, float domination). *)
+
+val check : Ast.tu -> result
+(** Check a whole translation unit. *)
+
+val errors : result -> diag list
+val warnings : result -> diag list
+val diag_to_string : diag -> string
+
+val compiles_src : string -> bool
+(** Parse + check: does this source compile? *)

@@ -1,0 +1,212 @@
+(* Generic traversal and rewriting combinators over the AST.
+
+   [map_*] apply a transformation bottom-up (children first, then the node
+   itself), which lets a rewrite function simply test [e.eid] against a
+   target id and return a replacement.  [iter_*] visit nodes top-down. *)
+
+open Ast
+
+(* ------------------------------------------------------------------ *)
+(* Mapping                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec map_expr f (e : expr) : expr =
+  let recur = map_expr f in
+  let ek =
+    match e.ek with
+    | Int_lit _ | Float_lit _ | Char_lit _ | Str_lit _ | Ident _ | Sizeof_ty _ ->
+      e.ek
+    | Binop (op, a, b) -> Binop (op, recur a, recur b)
+    | Unop (op, a) -> Unop (op, recur a)
+    | Assign (op, a, b) -> Assign (op, recur a, recur b)
+    | Incdec (i, p, a) -> Incdec (i, p, recur a)
+    | Call (g, args) -> Call (recur g, List.map recur args)
+    | Index (a, b) -> Index (recur a, recur b)
+    | Member (a, n) -> Member (recur a, n)
+    | Arrow (a, n) -> Arrow (recur a, n)
+    | Deref a -> Deref (recur a)
+    | Addrof a -> Addrof (recur a)
+    | Cast (t, a) -> Cast (t, recur a)
+    | Cond (c, t, f') -> Cond (recur c, recur t, recur f')
+    | Comma (a, b) -> Comma (recur a, recur b)
+    | Sizeof_expr a -> Sizeof_expr (recur a)
+    | Init_list es -> Init_list (List.map recur es)
+  in
+  f { e with ek }
+
+let map_var_decl fe (v : var_decl) =
+  { v with v_init = Option.map (map_expr fe) v.v_init }
+
+let rec map_stmt ~fe ~fs (s : stmt) : stmt =
+  let me = map_expr fe in
+  let ms = map_stmt ~fe ~fs in
+  let sk =
+    match s.sk with
+    | Sexpr e -> Sexpr (me e)
+    | Sdecl vs -> Sdecl (List.map (map_var_decl fe) vs)
+    | Sif (c, t, f) -> Sif (me c, ms t, Option.map ms f)
+    | Swhile (c, b) -> Swhile (me c, ms b)
+    | Sdo (b, c) -> Sdo (ms b, me c)
+    | Sfor (init, cond, step, b) ->
+      let init =
+        Option.map
+          (function
+            | Fi_expr e -> Fi_expr (me e)
+            | Fi_decl vs -> Fi_decl (List.map (map_var_decl fe) vs))
+          init
+      in
+      Sfor (init, Option.map me cond, Option.map me step, ms b)
+    | Sreturn e -> Sreturn (Option.map me e)
+    | Sbreak -> Sbreak
+    | Scontinue -> Scontinue
+    | Sblock ss -> Sblock (List.map ms ss)
+    | Sswitch (e, cases) ->
+      let map_case c =
+        let case_labels =
+          List.map
+            (function L_case e -> L_case (me e) | L_default -> L_default)
+            c.case_labels
+        in
+        { case_labels; case_body = List.map ms c.case_body }
+      in
+      Sswitch (me e, List.map map_case cases)
+    | Sgoto l -> Sgoto l
+    | Slabel (l, inner) -> Slabel (l, ms inner)
+    | Snull -> Snull
+  in
+  fs { s with sk }
+
+let map_fundef ~fe ~fs (fd : fundef) =
+  { fd with f_body = List.map (map_stmt ~fe ~fs) fd.f_body }
+
+let map_tu ?(fe = fun e -> e) ?(fs = fun s -> s) (tu : tu) : tu =
+  let map_global = function
+    | Gfun fd -> Gfun (map_fundef ~fe ~fs fd)
+    | Gvar v -> Gvar (map_var_decl fe v)
+    | (Gtypedef _ | Gstruct _ | Gunion _ | Genum _ | Gproto _) as g -> g
+  in
+  { globals = List.map map_global tu.globals }
+
+(* Replace the expression with id [eid] by [repl] everywhere. *)
+let replace_expr tu ~eid ~repl =
+  map_tu tu ~fe:(fun e -> if e.eid = eid then repl else e)
+
+(* Replace the statement with id [sid] by [repl]. *)
+let replace_stmt tu ~sid ~repl =
+  map_tu tu ~fs:(fun s -> if s.sid = sid then repl else s)
+
+(* Remove the statement with id [sid]; it becomes a null statement.  When a
+   block contains it directly the null statement is dropped. *)
+let remove_stmt tu ~sid =
+  let tu = replace_stmt tu ~sid ~repl:(mk_stmt Snull) in
+  let prune s =
+    match s.sk with
+    | Sblock ss ->
+      { s with sk = Sblock (List.filter (fun s' -> s'.sk <> Snull) ss) }
+    | _ -> s
+  in
+  map_tu tu ~fs:prune
+
+(* ------------------------------------------------------------------ *)
+(* Iteration                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec iter_expr f (e : expr) =
+  f e;
+  let recur = iter_expr f in
+  match e.ek with
+  | Int_lit _ | Float_lit _ | Char_lit _ | Str_lit _ | Ident _ | Sizeof_ty _ ->
+    ()
+  | Binop (_, a, b) | Assign (_, a, b) | Index (a, b) | Comma (a, b) ->
+    recur a; recur b
+  | Unop (_, a) | Incdec (_, _, a) | Member (a, _) | Arrow (a, _)
+  | Deref a | Addrof a | Cast (_, a) | Sizeof_expr a -> recur a
+  | Call (g, args) -> recur g; List.iter recur args
+  | Cond (c, t, f') -> recur c; recur t; recur f'
+  | Init_list es -> List.iter recur es
+
+let iter_var_decl fe (v : var_decl) = Option.iter (iter_expr fe) v.v_init
+
+let rec iter_stmt ~fe ~fs (s : stmt) =
+  fs s;
+  let ie = iter_expr fe in
+  let is' = iter_stmt ~fe ~fs in
+  match s.sk with
+  | Sexpr e -> ie e
+  | Sdecl vs -> List.iter (iter_var_decl fe) vs
+  | Sif (c, t, f) -> ie c; is' t; Option.iter is' f
+  | Swhile (c, b) -> ie c; is' b
+  | Sdo (b, c) -> is' b; ie c
+  | Sfor (init, cond, step, b) ->
+    Option.iter
+      (function
+        | Fi_expr e -> ie e
+        | Fi_decl vs -> List.iter (iter_var_decl fe) vs)
+      init;
+    Option.iter ie cond;
+    Option.iter ie step;
+    is' b
+  | Sreturn e -> Option.iter ie e
+  | Sbreak | Scontinue | Sgoto _ | Snull -> ()
+  | Sblock ss -> List.iter is' ss
+  | Sswitch (e, cases) ->
+    ie e;
+    List.iter
+      (fun c ->
+        List.iter
+          (function L_case e -> ie e | L_default -> ())
+          c.case_labels;
+        List.iter is' c.case_body)
+      cases
+  | Slabel (_, inner) -> is' inner
+
+let iter_tu ?(fe = fun _ -> ()) ?(fs = fun _ -> ()) (tu : tu) =
+  List.iter
+    (function
+      | Gfun fd -> List.iter (iter_stmt ~fe ~fs) fd.f_body
+      | Gvar v -> iter_var_decl fe v
+      | Gtypedef _ | Gstruct _ | Gunion _ | Genum _ | Gproto _ -> ())
+    tu.globals
+
+(* Iterate with the enclosing function definition available. *)
+let iter_tu_in_functions tu ~f =
+  List.iter
+    (function
+      | Gfun fd -> f fd
+      | Gvar _ | Gtypedef _ | Gstruct _ | Gunion _ | Genum _ | Gproto _ -> ())
+    tu.globals
+
+(* ------------------------------------------------------------------ *)
+(* Folds and queries                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let collect_exprs pred tu =
+  let acc = ref [] in
+  iter_tu tu ~fe:(fun e -> if pred e then acc := e :: !acc);
+  List.rev !acc
+
+let collect_stmts pred tu =
+  let acc = ref [] in
+  iter_tu tu ~fs:(fun s -> if pred s then acc := s :: !acc);
+  List.rev !acc
+
+let count_exprs pred tu = List.length (collect_exprs pred tu)
+let count_stmts pred tu = List.length (collect_stmts pred tu)
+
+let find_expr tu ~eid =
+  let found = ref None in
+  iter_tu tu ~fe:(fun e -> if e.eid = eid && !found = None then found := Some e);
+  !found
+
+let find_stmt tu ~sid =
+  let found = ref None in
+  iter_tu tu ~fs:(fun s -> if s.sid = sid && !found = None then found := Some s);
+  !found
+
+let functions tu =
+  List.filter_map
+    (function Gfun fd -> Some fd | _ -> None)
+    tu.globals
+
+let global_vars tu =
+  List.filter_map (function Gvar v -> Some v | _ -> None) tu.globals

@@ -1,0 +1,53 @@
+(** Generic traversal and rewriting combinators over the AST.
+
+    [map_*] apply a transformation bottom-up (children first), so a
+    rewrite function can simply test node ids against a target and return
+    a replacement.  [iter_*] visit nodes top-down. *)
+
+val map_expr : (Ast.expr -> Ast.expr) -> Ast.expr -> Ast.expr
+val map_var_decl : (Ast.expr -> Ast.expr) -> Ast.var_decl -> Ast.var_decl
+
+val map_stmt :
+  fe:(Ast.expr -> Ast.expr) -> fs:(Ast.stmt -> Ast.stmt) -> Ast.stmt -> Ast.stmt
+
+val map_fundef :
+  fe:(Ast.expr -> Ast.expr) ->
+  fs:(Ast.stmt -> Ast.stmt) ->
+  Ast.fundef ->
+  Ast.fundef
+
+val map_tu :
+  ?fe:(Ast.expr -> Ast.expr) ->
+  ?fs:(Ast.stmt -> Ast.stmt) ->
+  Ast.tu ->
+  Ast.tu
+(** Map every expression and statement of a translation unit. *)
+
+val replace_expr : Ast.tu -> eid:int -> repl:Ast.expr -> Ast.tu
+(** Replace the expression with id [eid]. *)
+
+val replace_stmt : Ast.tu -> sid:int -> repl:Ast.stmt -> Ast.tu
+
+val remove_stmt : Ast.tu -> sid:int -> Ast.tu
+(** Replace the statement by a null statement (dropped when it sits
+    directly in a block). *)
+
+val iter_expr : (Ast.expr -> unit) -> Ast.expr -> unit
+val iter_var_decl : (Ast.expr -> unit) -> Ast.var_decl -> unit
+
+val iter_stmt :
+  fe:(Ast.expr -> unit) -> fs:(Ast.stmt -> unit) -> Ast.stmt -> unit
+
+val iter_tu :
+  ?fe:(Ast.expr -> unit) -> ?fs:(Ast.stmt -> unit) -> Ast.tu -> unit
+
+val iter_tu_in_functions : Ast.tu -> f:(Ast.fundef -> unit) -> unit
+
+val collect_exprs : (Ast.expr -> bool) -> Ast.tu -> Ast.expr list
+val collect_stmts : (Ast.stmt -> bool) -> Ast.tu -> Ast.stmt list
+val count_exprs : (Ast.expr -> bool) -> Ast.tu -> int
+val count_stmts : (Ast.stmt -> bool) -> Ast.tu -> int
+val find_expr : Ast.tu -> eid:int -> Ast.expr option
+val find_stmt : Ast.tu -> sid:int -> Ast.stmt option
+val functions : Ast.tu -> Ast.fundef list
+val global_vars : Ast.tu -> Ast.var_decl list

@@ -1,0 +1,1 @@
+lib/fuzzing/baselines.ml: Array Ast_gen Bytes Char Cparse Fuzz_result List Mucfuzz Mutators Rng Simcomp Uast

@@ -1,0 +1,1 @@
+lib/fuzzing/baselines.mli: Cparse Fuzz_result Mutators Simcomp

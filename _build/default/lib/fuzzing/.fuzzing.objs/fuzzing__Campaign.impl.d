@@ -1,0 +1,1 @@
+lib/fuzzing/campaign.ml: Baselines Cparse Fuzz_result Hashtbl List Mucfuzz Mutators Rng Seeds Simcomp

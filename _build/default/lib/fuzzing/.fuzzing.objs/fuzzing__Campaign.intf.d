@@ -1,0 +1,1 @@
+lib/fuzzing/campaign.mli: Fuzz_result Hashtbl Simcomp

@@ -1,0 +1,1 @@
+lib/fuzzing/fragility.ml: Cparse Mutators Pretty Rng String

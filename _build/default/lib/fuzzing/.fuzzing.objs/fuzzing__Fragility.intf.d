@@ -1,0 +1,1 @@
+lib/fuzzing/fragility.mli: Cparse Mutators

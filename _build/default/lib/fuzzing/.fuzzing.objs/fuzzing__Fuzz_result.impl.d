@@ -1,0 +1,1 @@
+lib/fuzzing/fuzz_result.ml: Hashtbl List Simcomp

@@ -1,0 +1,1 @@
+lib/fuzzing/macro_fuzzer.ml: Array Ast Cparse Fragility Fuzz_result List Mutators Parser Pretty Rng Simcomp String

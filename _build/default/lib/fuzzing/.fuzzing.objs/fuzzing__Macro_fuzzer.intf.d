@@ -1,0 +1,1 @@
+lib/fuzzing/macro_fuzzer.mli: Cparse Fuzz_result Mutators Simcomp

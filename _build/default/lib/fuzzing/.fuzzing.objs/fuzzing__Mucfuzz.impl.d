@@ -1,0 +1,1 @@
+lib/fuzzing/mucfuzz.ml: Array Ast Cparse Fragility Fuzz_result List Mutators Parser Pretty Rng Simcomp

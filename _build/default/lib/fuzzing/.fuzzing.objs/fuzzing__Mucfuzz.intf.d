@@ -1,0 +1,1 @@
+lib/fuzzing/mucfuzz.mli: Cparse Fuzz_result Mutators Simcomp

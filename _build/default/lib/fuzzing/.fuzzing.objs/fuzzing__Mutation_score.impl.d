@@ -1,0 +1,1 @@
+lib/fuzzing/mutation_score.ml: Ast Ast_ids Cparse List Mutators Rng Simcomp String Typecheck Visit

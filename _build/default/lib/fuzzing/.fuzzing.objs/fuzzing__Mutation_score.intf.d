@@ -1,0 +1,1 @@
+lib/fuzzing/mutation_score.mli: Cparse Mutators

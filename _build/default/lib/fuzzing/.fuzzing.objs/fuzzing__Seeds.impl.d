@@ -1,0 +1,1 @@
+lib/fuzzing/seeds.ml: Ast_gen Cparse List Parser Pretty Rng Typecheck

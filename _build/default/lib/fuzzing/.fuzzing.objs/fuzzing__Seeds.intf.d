@@ -1,0 +1,1 @@
+lib/fuzzing/seeds.mli: Cparse

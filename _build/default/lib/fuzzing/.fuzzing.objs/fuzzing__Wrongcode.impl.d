@@ -1,0 +1,1 @@
+lib/fuzzing/wrongcode.ml: Array Cparse Hashtbl List Mutators Parser Pretty Rng Simcomp String

@@ -1,0 +1,1 @@
+lib/fuzzing/wrongcode.mli: Cparse Mutators Simcomp

@@ -1,0 +1,55 @@
+(** Baseline fuzzers for RQ1, each reproducing the search-space property
+    the paper attributes to the original tool:
+
+    - AFL++-sim: coverage-guided byte-level havoc; syntax-blind, so most
+      mutants fail to compile while error-handling paths get explored;
+    - Csmith-sim: generation-based, UB-avoiding, closed grammar — nearly
+      100 % compilable but saturating;
+    - YARPGen-sim: generation-based with a loop/arithmetic focus;
+    - GrayC-sim: coverage-guided with exactly five hand-written
+      semantic-aware mutators. *)
+
+val havoc_byte_mutation : Cparse.Rng.t -> string -> string
+(** One AFL-style havoc round: stacked bit flips, byte edits, block
+    deletion/duplication/swap, token insertion. *)
+
+val run_aflpp :
+  rng:Cparse.Rng.t ->
+  compiler:Simcomp.Compiler.compiler ->
+  seeds:string list ->
+  iterations:int ->
+  sample_every:int ->
+  unit ->
+  Fuzz_result.t
+
+val run_csmith :
+  rng:Cparse.Rng.t ->
+  compiler:Simcomp.Compiler.compiler ->
+  iterations:int ->
+  sample_every:int ->
+  unit ->
+  Fuzz_result.t
+
+val run_yarpgen :
+  rng:Cparse.Rng.t ->
+  compiler:Simcomp.Compiler.compiler ->
+  iterations:int ->
+  sample_every:int ->
+  unit ->
+  Fuzz_result.t
+
+val inject_control_flow : Mutators.Mutator.t
+(** GrayC's InjectControlFlow — deliberately outside MetaMut's
+    "[Action] on [Program Structure]" description space (§5.2). *)
+
+val grayc_mutators : Mutators.Mutator.t list
+(** The five GrayC mutators ([./grayc --list-mutations] in the paper). *)
+
+val run_grayc :
+  rng:Cparse.Rng.t ->
+  compiler:Simcomp.Compiler.compiler ->
+  seeds:string list ->
+  iterations:int ->
+  sample_every:int ->
+  unit ->
+  Fuzz_result.t

@@ -1,0 +1,49 @@
+(** The RQ1 experiment driver: run all six fuzzers against both simulated
+    compilers under an equal *wall-clock* budget (per-tool throughput
+    factors from Table 5) and collect the statistics behind Figures 7-9
+    and Tables 4-5. *)
+
+type fuzzer_id =
+  | MuCFuzz_s   (** μCFuzz with the 68 supervised mutators *)
+  | MuCFuzz_u   (** μCFuzz with the 50 unsupervised mutators *)
+  | AFLpp       (** byte-level havoc baseline *)
+  | GrayC       (** five semantic-aware mutators *)
+  | Csmith      (** generation-based, closed grammar *)
+  | YARPGen     (** generation-based, loop-focused *)
+
+val fuzzer_name : fuzzer_id -> string
+val all_fuzzers : fuzzer_id list
+
+type config = {
+  iterations : int;    (** time-unit budget (generators get a fraction) *)
+  seeds : int;         (** seed-corpus size *)
+  sample_every : int;
+  seed_value : int;    (** RNG seed: campaigns are deterministic *)
+  max_attempts : int;  (** μCFuzz per-iteration mutator budget *)
+}
+
+val default_config : config
+
+val run_one :
+  config -> fuzzer_id -> Simcomp.Compiler.compiler -> Fuzz_result.t
+
+type t = {
+  config : config;
+  results : ((fuzzer_id * Simcomp.Compiler.compiler) * Fuzz_result.t) list;
+}
+
+val run :
+  ?cfg:config ->
+  ?fuzzers:fuzzer_id list ->
+  ?compilers:Simcomp.Compiler.compiler list ->
+  unit ->
+  t
+
+val result : t -> fuzzer_id -> Simcomp.Compiler.compiler -> Fuzz_result.t option
+
+val crash_set : t -> fuzzer_id -> (string, unit) Hashtbl.t
+(** Crashes of one fuzzer across both compilers; keys are prefixed with
+    the compiler name so GCC and Clang crashes never collide. *)
+
+val all_crashes : t -> string list
+(** Sorted union of all crash keys (the Fig. 8 universe). *)

@@ -1,0 +1,121 @@
+(* The macro fuzzer (§3.4): μCFuzz plus the engineering used for the
+   eight-month bug hunt —
+
+   1. random sampling of compiler command-line options,
+   2. the Havoc strategy: several mutation rounds per mutant,
+   3. a shared coverage map across parallel instances,
+   4. resource limits (program-size caps standing in for OOM guards). *)
+
+open Cparse
+
+type config = {
+  mutators : Mutators.Mutator.t list;
+  havoc_rounds_max : int;
+  instances : int;           (* simulated parallel fuzzing processes *)
+  max_program_bytes : int;   (* resource limit *)
+  sample_every : int;
+  fragility : bool;
+}
+
+let default_config =
+  {
+    mutators = Mutators.Registry.core;
+    havoc_rounds_max = 6;
+    instances = 4;
+    max_program_bytes = 65536;
+    sample_every = 50;
+  fragility = true;
+  }
+
+type instance = {
+  i_rng : Rng.t;
+  mutable i_pool : (string * Ast.tu) array;
+}
+
+let run ?(cfg = default_config) ~rng ~compiler ~seeds ~iterations () :
+    Fuzz_result.t =
+  let shared = Fuzz_result.make ~fuzzer_name:"MacroFuzzer" ~compiler in
+  let parse_pool seeds =
+    List.filter_map
+      (fun src ->
+        match Parser.parse src with
+        | Ok tu -> Some (src, tu)
+        | Error _ -> None)
+      seeds
+  in
+  let instances =
+    List.init cfg.instances (fun _ ->
+        { i_rng = Rng.split rng; i_pool = Array.of_list (parse_pool seeds) })
+  in
+  let result = ref shared in
+  let trend = ref [] in
+  (* seed coverage once *)
+  List.iteri
+    (fun idx src ->
+      if idx < 50 then begin
+        let cov = Simcomp.Coverage.create () in
+        ignore
+          (Simcomp.Compiler.compile ~cov compiler
+             Simcomp.Compiler.default_options src);
+        ignore (Simcomp.Coverage.merge ~into:!result.Fuzz_result.coverage cov)
+      end)
+    seeds;
+  for i = 1 to iterations do
+    (* round-robin over simulated parallel instances *)
+    let inst = List.nth instances (i mod cfg.instances) in
+    if Array.length inst.i_pool > 0 then begin
+      let _, base_tu = inst.i_pool.(Rng.int inst.i_rng (Array.length inst.i_pool)) in
+      (* Havoc: stack several mutators *)
+      let rounds = 1 + Rng.int inst.i_rng cfg.havoc_rounds_max in
+      let mutated = ref base_tu in
+      let last_mutator = ref None in
+      for _ = 1 to rounds do
+        let m = Rng.choose inst.i_rng cfg.mutators in
+        match Mutators.Mutator.apply m ~rng:inst.i_rng !mutated with
+        | Some tu' ->
+          mutated := tu';
+          last_mutator := Some m
+        | None -> ()
+      done;
+      match !last_mutator with
+      | None -> ()
+      | Some m ->
+        let src' =
+          if cfg.fragility then Fragility.render inst.i_rng m !mutated
+          else Pretty.tu_to_string !mutated
+        in
+        (* resource limit: discard over-sized mutants *)
+        if String.length src' <= cfg.max_program_bytes then begin
+          (* random command-line sampling *)
+          let options = Simcomp.Compiler.random_options inst.i_rng in
+          result :=
+            {
+              !result with
+              total_mutants = !result.total_mutants + 1;
+              throughput_mutants = !result.throughput_mutants + 1;
+            };
+          let cov = Simcomp.Coverage.create () in
+          (match Simcomp.Compiler.compile ~cov compiler options src' with
+          | Simcomp.Compiler.Compiled _ ->
+            result :=
+              { !result with compilable_mutants = !result.compilable_mutants + 1 }
+          | Simcomp.Compiler.Crashed c ->
+            Fuzz_result.record_crash !result ~iteration:i ~input:src' c
+          | Simcomp.Compiler.Compile_error _ -> ());
+          (* shared coverage across instances *)
+          let fresh =
+            Simcomp.Coverage.has_new_coverage
+              ~seen:!result.Fuzz_result.coverage cov
+          in
+          ignore (Simcomp.Coverage.merge ~into:!result.Fuzz_result.coverage cov);
+          if fresh then
+            match Parser.parse src' with
+            | Ok tu'' ->
+              inst.i_pool <- Array.append inst.i_pool [| (src', tu'') |]
+            | Error _ -> ()
+        end
+    end;
+    if i mod cfg.sample_every = 0 then
+      trend := (i, Simcomp.Coverage.covered !result.Fuzz_result.coverage) :: !trend
+  done;
+  { !result with iterations; coverage_trend = List.rev !trend }

@@ -1,0 +1,25 @@
+(** The macro fuzzer (§3.4): μCFuzz plus the engineering used for the
+    paper's eight-month bug hunt — havoc mutation rounds, random
+    command-line sampling, a shared coverage map across simulated
+    parallel instances, and resource limits. *)
+
+type config = {
+  mutators : Mutators.Mutator.t list;
+  havoc_rounds_max : int;   (** stacked mutator applications per mutant *)
+  instances : int;          (** simulated parallel fuzzing processes *)
+  max_program_bytes : int;  (** resource limit (OOM-guard stand-in) *)
+  sample_every : int;
+  fragility : bool;
+}
+
+val default_config : config
+(** 118-mutator corpus, up to 6 havoc rounds, 4 instances, 64 KiB cap. *)
+
+val run :
+  ?cfg:config ->
+  rng:Cparse.Rng.t ->
+  compiler:Simcomp.Compiler.compiler ->
+  seeds:string list ->
+  iterations:int ->
+  unit ->
+  Fuzz_result.t

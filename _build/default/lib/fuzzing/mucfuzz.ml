@@ -1,0 +1,161 @@
+(* μCFuzz: the paper's micro coverage-guided fuzzer (Algorithm 1).
+
+   Given seed programs S, mutators M and a compiler C, each iteration
+   picks a random pool program P, shuffles M, and applies mutators until
+   one produces a mutant P' covering a branch not covered by the pool;
+   P' then joins the pool.  No havoc, no forking, no pool culling. *)
+
+open Cparse
+
+type config = {
+  mutators : Mutators.Mutator.t list;
+  fragility : bool;       (* apply the text-rewriting fragility model *)
+  coverage_guided : bool; (* ablation: accept every mutant when false *)
+  max_attempts_per_iteration : int; (* |M| in the paper *)
+  sample_every : int;     (* coverage-trend sampling period *)
+}
+
+let default_config ?(mutators = Mutators.Registry.core) () =
+  {
+    mutators;
+    fragility = true;
+    coverage_guided = true;
+    max_attempts_per_iteration = List.length mutators;
+    sample_every = 25;
+  }
+
+type pool_entry = { src : string; tu : Ast.tu }
+
+type state = {
+  cfg : config;
+  rng : Rng.t;
+  compiler : Simcomp.Compiler.compiler;
+  options : Simcomp.Compiler.options;
+  mutable pool : pool_entry array;
+  mutable result : Fuzz_result.t;
+  mutable trend_rev : (int * int) list;
+}
+
+let init ?(options = Simcomp.Compiler.default_options) ~cfg ~rng ~compiler
+    ~(seeds : string list) () : state =
+  let pool =
+    List.filter_map
+      (fun src ->
+        match Parser.parse src with
+        | Ok tu -> Some { src; tu }
+        | Error _ -> None)
+      seeds
+  in
+  let st =
+    {
+      cfg;
+      rng;
+      compiler;
+      options;
+      pool = Array.of_list pool;
+      result =
+        Fuzz_result.make
+          ~fuzzer_name:
+            (if cfg.mutators == Mutators.Registry.supervised then "uCFuzz.s"
+             else "uCFuzz")
+          ~compiler;
+      trend_rev = [];
+    }
+  in
+  (* the pool's baseline coverage comes from compiling the seeds *)
+  Array.iter
+    (fun e ->
+      let cov = Simcomp.Coverage.create () in
+      (match Simcomp.Compiler.compile ~cov compiler options e.src with
+      | _ -> ());
+      ignore (Simcomp.Coverage.merge ~into:st.result.Fuzz_result.coverage cov))
+    st.pool;
+  st
+
+(* One iteration of Algorithm 1. *)
+let step (st : state) ~iteration : unit =
+  if Array.length st.pool = 0 then ()
+  else begin
+    let entry = st.pool.(Rng.int st.rng (Array.length st.pool)) in
+    let shuffled = Rng.shuffle st.rng st.cfg.mutators in
+    let attempts = ref 0 in
+    let found = ref false in
+    let rec try_mutators = function
+      | [] -> ()
+      | m :: rest ->
+        if !found || !attempts >= st.cfg.max_attempts_per_iteration then ()
+        else begin
+          incr attempts;
+          (match Mutators.Mutator.apply m ~rng:st.rng entry.tu with
+          | None -> ()
+          | Some tu' ->
+            let src' =
+              if st.cfg.fragility then Fragility.render st.rng m tu'
+              else Pretty.tu_to_string tu'
+            in
+            st.result <-
+              {
+                st.result with
+                total_mutants = st.result.total_mutants + 1;
+                throughput_mutants = st.result.throughput_mutants + 1;
+              };
+            let cov = Simcomp.Coverage.create () in
+            let outcome =
+              Simcomp.Compiler.compile ~cov st.compiler st.options src'
+            in
+            (match outcome with
+            | Simcomp.Compiler.Compiled _ ->
+              st.result <-
+                {
+                  st.result with
+                  compilable_mutants = st.result.compilable_mutants + 1;
+                }
+            | Simcomp.Compiler.Crashed c ->
+              Fuzz_result.record_crash st.result ~iteration ~input:src' c
+            | Simcomp.Compiler.Compile_error _ -> ());
+            let new_cov =
+              Simcomp.Coverage.has_new_coverage
+                ~seen:st.result.Fuzz_result.coverage cov
+            in
+            ignore
+              (Simcomp.Coverage.merge ~into:st.result.Fuzz_result.coverage cov);
+            if (new_cov || not st.cfg.coverage_guided) && not !found then begin
+              (* P' joins the pool only when it compiles: broken mutants
+                 still contribute (error-path) coverage but breeding from
+                 them would collapse the pool's compilable ratio *)
+              match outcome with
+              | Simcomp.Compiler.Compiled _ -> (
+                match Parser.parse src' with
+                | Ok tu'' ->
+                  st.pool <-
+                    Array.append st.pool [| { src = src'; tu = tu'' } |];
+                  found := true
+                | Error _ -> ())
+              | Simcomp.Compiler.Compile_error _
+              | Simcomp.Compiler.Crashed _ -> ()
+            end);
+          try_mutators rest
+        end
+    in
+    try_mutators shuffled
+  end
+
+let sample_trend (st : state) ~iteration =
+  if iteration mod st.cfg.sample_every = 0 then
+    st.trend_rev <-
+      (iteration, Simcomp.Coverage.covered st.result.Fuzz_result.coverage)
+      :: st.trend_rev
+
+let run ?options ?(cfg = default_config ()) ~rng ~compiler ~seeds ~iterations
+    ~name () : Fuzz_result.t =
+  let st = init ?options ~cfg ~rng ~compiler ~seeds () in
+  st.result <- { st.result with fuzzer_name = name };
+  for i = 1 to iterations do
+    step st ~iteration:i;
+    sample_trend st ~iteration:i
+  done;
+  {
+    st.result with
+    iterations;
+    coverage_trend = List.rev st.trend_rev;
+  }

@@ -1,0 +1,61 @@
+(** μCFuzz: the paper's micro coverage-guided fuzzer (Algorithm 1).
+
+    Given seed programs S, mutators M, and a compiler C, each iteration
+    picks a random pool program P, shuffles M, and applies mutators until
+    one produces a mutant covering a branch the pool has not covered; the
+    mutant then joins the pool (only if it compiles — breeding from broken
+    mutants would collapse the pool).  No havoc, no forking, no culling. *)
+
+type config = {
+  mutators : Mutators.Mutator.t list;
+  fragility : bool;
+      (** apply the text-rewriting fragility model (see {!Fragility}) *)
+  coverage_guided : bool;
+      (** ablation switch: accept every mutant when [false] *)
+  max_attempts_per_iteration : int;
+      (** mutator budget per iteration (|M| in the paper) *)
+  sample_every : int;  (** coverage-trend sampling period *)
+}
+
+val default_config : ?mutators:Mutators.Mutator.t list -> unit -> config
+(** Defaults to the 118-mutator core corpus with fragility and coverage
+    guidance on. *)
+
+type pool_entry = { src : string; tu : Cparse.Ast.tu }
+
+type state = {
+  cfg : config;
+  rng : Cparse.Rng.t;
+  compiler : Simcomp.Compiler.compiler;
+  options : Simcomp.Compiler.options;
+  mutable pool : pool_entry array;
+  mutable result : Fuzz_result.t;
+  mutable trend_rev : (int * int) list;
+}
+
+val init :
+  ?options:Simcomp.Compiler.options ->
+  cfg:config ->
+  rng:Cparse.Rng.t ->
+  compiler:Simcomp.Compiler.compiler ->
+  seeds:string list ->
+  unit ->
+  state
+(** Parse the seeds into the pool and record their baseline coverage. *)
+
+val step : state -> iteration:int -> unit
+(** One iteration of Algorithm 1. *)
+
+val sample_trend : state -> iteration:int -> unit
+
+val run :
+  ?options:Simcomp.Compiler.options ->
+  ?cfg:config ->
+  rng:Cparse.Rng.t ->
+  compiler:Simcomp.Compiler.compiler ->
+  seeds:string list ->
+  iterations:int ->
+  name:string ->
+  unit ->
+  Fuzz_result.t
+(** Run a whole campaign and return the accumulated statistics. *)

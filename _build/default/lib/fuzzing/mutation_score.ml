@@ -1,0 +1,177 @@
+(* Mutation-testing potency scoring (the paper's §6 discussion:
+   "MetaMut may also be potentially useful in mutation testing").
+
+   For a corpus of executable programs, apply each mutator repeatedly and
+   classify every mutant by its observable behaviour relative to the
+   original (the reference interpreter is the oracle):
+
+   - [killed]: output/exit differs — the mutation is semantically potent;
+   - [equivalent]: compiles and behaves identically (an "equivalent
+     mutant" in mutation-testing terms);
+   - [invalid]: the mutant does not compile;
+   - [inconclusive]: original or mutant exhausts fuel.
+
+   The per-mutator kill rate measures how deeply a mutator perturbs
+   semantics — complementary to the coverage signal used for fuzzing. *)
+
+open Cparse
+
+type classification = Killed | Equivalent | Invalid | Inconclusive
+
+type score = {
+  s_mutator : string;
+  s_applied : int;
+  s_killed : int;
+  s_equivalent : int;
+  s_invalid : int;
+  s_inconclusive : int;
+}
+
+let kill_rate s =
+  let decided = s.s_killed + s.s_equivalent in
+  if decided = 0 then 0.
+  else 100. *. float_of_int s.s_killed /. float_of_int decided
+
+(* Strengthen the test oracle: print arithmetic globals at the end of
+   main, so mutations of otherwise-unobserved state are killable (the
+   "strong oracle" of mutation testing).  [names] restricts printing to a
+   common observable interface when comparing programs whose global sets
+   differ (interface-changing mutators would otherwise be "killed" by the
+   oracle itself). *)
+let instrument_observability ?names (tu : Ast.tu) : Ast.tu =
+  let open Ast in
+  let wanted v =
+    match names with None -> true | Some ns -> List.mem v.v_name ns
+  in
+  let prints =
+    List.filter_map
+      (fun (v : var_decl) ->
+        if not (wanted v) then None
+        else if is_integer_ty v.v_ty then
+          Some
+            (sexpr
+               (call (ident "printf")
+                  [ mk_expr (Str_lit "%d "); ident v.v_name ]))
+        else if is_float_ty v.v_ty then
+          Some
+            (sexpr
+               (call (ident "printf")
+                  [ mk_expr (Str_lit "%g "); ident v.v_name ]))
+        else None)
+      (Visit.global_vars tu)
+  in
+  let globals =
+    List.map
+      (function
+        | Gfun fd when String.equal fd.f_name "main" ->
+          (* insert before the trailing return *)
+          let rec insert = function
+            | [ ({ sk = Sreturn _; _ } as r) ] -> prints @ [ r ]
+            | s :: rest -> s :: insert rest
+            | [] -> prints
+          in
+          Gfun { fd with f_body = insert fd.f_body }
+        | g -> g)
+      tu.globals
+  in
+  Ast_ids.renumber { globals }
+
+let observe ?(fuel = 300_000) (tu : Ast.tu) : (int * string) option =
+  let o = Simcomp.Interp.run ~fuel tu in
+  if o.Simcomp.Interp.o_hang then None
+  else Some (o.Simcomp.Interp.o_exit, o.Simcomp.Interp.o_output)
+
+(* Classify one mutant of [tu] whose original behaviour is [reference]. *)
+let classify ?(fuel = 300_000) ~(reference : int * string) (tu' : Ast.tu) :
+    classification =
+  if not (Typecheck.check tu').Typecheck.r_ok then Invalid
+  else
+    match observe ~fuel tu' with
+    | None -> Inconclusive
+    | Some behaviour -> if behaviour = reference then Equivalent else Killed
+
+(* Score every mutator in [mutators] over [programs], applying each
+   [tries] times per program with fresh RNG draws. *)
+let score ?(tries = 3) ~(rng : Rng.t) ~(mutators : Mutators.Mutator.t list)
+    ~(programs : Ast.tu list) () : score list =
+  (* common interface = globals present in both programs with the same
+     arithmetic type (a retyped global is not value-comparable) *)
+  let global_sigs tu =
+    List.filter_map
+      (fun (v : Ast.var_decl) ->
+        if Ast.is_arith_ty v.Ast.v_ty then Some (v.Ast.v_name, v.Ast.v_ty)
+        else None)
+      (Visit.global_vars tu)
+  in
+  let runnable =
+    List.filter_map
+      (fun tu ->
+        match observe (instrument_observability tu) with
+        | Some _ -> Some tu
+        | None -> None)
+      programs
+  in
+  List.map
+    (fun (m : Mutators.Mutator.t) ->
+      let applied = ref 0 and killed = ref 0 and equivalent = ref 0 in
+      let invalid = ref 0 and inconclusive = ref 0 in
+      List.iter
+        (fun tu ->
+          for _ = 1 to tries do
+            match Mutators.Mutator.apply m ~rng tu with
+            | None -> ()
+            | Some tu' -> (
+              incr applied;
+              (* compare on the common observable interface *)
+              let sigs' = global_sigs tu' in
+              let names =
+                List.filter_map
+                  (fun (n, ty) ->
+                    match List.assoc_opt n sigs' with
+                    | Some ty' when Ast.ty_equal ty ty' -> Some n
+                    | _ -> None)
+                  (global_sigs tu)
+              in
+              match observe (instrument_observability ~names tu) with
+              | None -> incr inconclusive
+              | Some reference -> (
+                match
+                  classify ~reference (instrument_observability ~names tu')
+                with
+                | Killed -> incr killed
+                | Equivalent -> incr equivalent
+                | Invalid -> incr invalid
+                | Inconclusive -> incr inconclusive))
+          done)
+        runnable;
+      {
+        s_mutator = m.Mutators.Mutator.name;
+        s_applied = !applied;
+        s_killed = !killed;
+        s_equivalent = !equivalent;
+        s_invalid = !invalid;
+        s_inconclusive = !inconclusive;
+      })
+    mutators
+
+(* Aggregate kill rate over a whole corpus of mutators. *)
+let aggregate (scores : score list) : score =
+  List.fold_left
+    (fun acc s ->
+      {
+        s_mutator = "<all>";
+        s_applied = acc.s_applied + s.s_applied;
+        s_killed = acc.s_killed + s.s_killed;
+        s_equivalent = acc.s_equivalent + s.s_equivalent;
+        s_invalid = acc.s_invalid + s.s_invalid;
+        s_inconclusive = acc.s_inconclusive + s.s_inconclusive;
+      })
+    {
+      s_mutator = "<all>";
+      s_applied = 0;
+      s_killed = 0;
+      s_equivalent = 0;
+      s_invalid = 0;
+      s_inconclusive = 0;
+    }
+    scores

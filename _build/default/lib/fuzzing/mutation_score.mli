@@ -1,0 +1,48 @@
+(** Mutation-testing potency scoring (the paper's §6: "MetaMut may also
+    be potentially useful in mutation testing").
+
+    Applies each mutator to executable programs and classifies every
+    mutant against the reference interpreter's behaviour, yielding a
+    per-mutator kill rate — a semantic-potency measure complementary to
+    coverage. *)
+
+type classification =
+  | Killed        (** observable behaviour differs: a potent mutation *)
+  | Equivalent    (** compiles and behaves identically *)
+  | Invalid       (** does not compile *)
+  | Inconclusive  (** fuel exhausted *)
+
+type score = {
+  s_mutator : string;
+  s_applied : int;
+  s_killed : int;
+  s_equivalent : int;
+  s_invalid : int;
+  s_inconclusive : int;
+}
+
+val kill_rate : score -> float
+(** Killed over decided (killed + equivalent), in percent. *)
+
+val instrument_observability :
+  ?names:string list -> Cparse.Ast.tu -> Cparse.Ast.tu
+(** Print arithmetic globals at the end of [main] — the strong oracle
+    that makes state-only mutations killable.  [names] restricts printing
+    to a common observable interface when comparing programs whose global
+    sets differ. *)
+
+val observe : ?fuel:int -> Cparse.Ast.tu -> (int * string) option
+(** Exit code and output of a program; [None] on fuel exhaustion. *)
+
+val classify :
+  ?fuel:int -> reference:int * string -> Cparse.Ast.tu -> classification
+
+val score :
+  ?tries:int ->
+  rng:Cparse.Rng.t ->
+  mutators:Mutators.Mutator.t list ->
+  programs:Cparse.Ast.tu list ->
+  unit ->
+  score list
+
+val aggregate : score list -> score

@@ -1,0 +1,1 @@
+lib/metamut/llm_sim.ml: Ast_gen Cparse Fmt Fuzzing List Mutators Parser Prompts Rng Stdlib

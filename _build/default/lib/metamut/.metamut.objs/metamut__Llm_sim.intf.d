@@ -1,0 +1,1 @@
+lib/metamut/llm_sim.mli: Cparse Mutators

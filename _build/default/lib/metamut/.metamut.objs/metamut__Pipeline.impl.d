@@ -1,0 +1,1 @@
+lib/metamut/pipeline.ml: Cparse Hashtbl List Llm_sim Mutators Option Rng Validation

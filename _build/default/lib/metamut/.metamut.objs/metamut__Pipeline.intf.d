@@ -1,0 +1,1 @@
+lib/metamut/pipeline.mli: Llm_sim Mutators

@@ -1,0 +1,1 @@
+lib/metamut/prompts.mli:

@@ -1,0 +1,1 @@
+lib/metamut/validation.ml: Ast Cparse Fmt List Llm_sim Mutators Option Parser Pretty Rng Typecheck

@@ -1,0 +1,1 @@
+lib/metamut/validation.mli: Cparse Llm_sim Mutators

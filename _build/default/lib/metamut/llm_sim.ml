@@ -1,0 +1,294 @@
+(* Deterministic LLM oracle.
+
+   The paper's contribution is the *process* around the LLM, so the
+   oracle's job is to exhibit GPT-4's empirically observed behaviour:
+
+   - invention samples plausible mutator designs from the action x
+     structure space (with ~28 % "creative" deviations from the template);
+   - synthesis produces a tentative implementation carrying a sampled set
+     of defects (Table 1's distribution: mostly "does not compile" and
+     "creates compile-error mutants");
+   - each QA round consumes tokens and wall-clock time drawn from
+     distributions calibrated to Tables 2-3;
+   - bug-fix requests repair the targeted defect with high (not certain)
+     probability.
+
+   Determinism: everything is drawn from an explicit Rng.t. *)
+
+open Cparse
+
+(* Defect classes = the violation classes of validation goals #1-#6. *)
+type defect =
+  | D_not_compile        (* goal 1: mutator does not compile *)
+  | D_hangs              (* goal 2 *)
+  | D_crashes            (* goal 3 *)
+  | D_outputs_nothing    (* goal 4 *)
+  | D_no_rewrite         (* goal 5 *)
+  | D_compile_error_mutant (* goal 6 *)
+
+let defect_goal = function
+  | D_not_compile -> 1
+  | D_hangs -> 2
+  | D_crashes -> 3
+  | D_outputs_nothing -> 4
+  | D_no_rewrite -> 5
+  | D_compile_error_mutant -> 6
+
+let defect_to_string = function
+  | D_not_compile -> "mutator does not compile"
+  | D_hangs -> "mutator hangs"
+  | D_crashes -> "mutator crashes"
+  | D_outputs_nothing -> "mutator outputs nothing"
+  | D_no_rewrite -> "mutator does not rewrite"
+  | D_compile_error_mutant -> "mutator creates compile-error mutant"
+
+(* Latent flaws that survive the refinement loop but fail the authors'
+   manual validation (§4.1's invalid-mutator breakdown). *)
+type latent_flaw =
+  | F_none
+  | F_mismatched_implementation (* e.g. the broken InverseUnaryOperator *)
+  | F_unthorough_tests          (* breaks on more complex programs *)
+  | F_duplicate
+
+type usage = {
+  u_prompt_tokens : int;
+  u_completion_tokens : int;
+  u_wait_s : float;     (* time awaiting the response *)
+  u_prepare_s : float;  (* request preparation: compile, run, collect *)
+}
+
+let tokens u = u.u_prompt_tokens + u.u_completion_tokens
+
+type t = {
+  rng : Rng.t;
+  mutable history : string list; (* names already invented this session *)
+}
+
+let create ?(seed = 1) () = { rng = Rng.create seed; history = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Cost sampling (calibrated to Tables 2-3)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Right-skewed sampler: median ~ [median], occasionally up to [max]. *)
+let skewed rng ~min ~median ~max =
+  let u = Rng.float rng in
+  if u < 0.5 then min + Rng.int rng (Stdlib.max 1 (median - min))
+  else if u < 0.9 then median + Rng.int rng (Stdlib.max 1 ((max - median) / 6))
+  else median + Rng.int rng (Stdlib.max 1 (max - median))
+
+let invention_usage rng =
+  let total = skewed rng ~min:359 ~median:1130 ~max:2240 in
+  {
+    u_prompt_tokens = total * 7 / 10;
+    u_completion_tokens = total - (total * 7 / 10);
+    u_wait_s = float_of_int (skewed rng ~min:11 ~median:15 ~max:21);
+    u_prepare_s = 0.;
+  }
+
+let synthesis_usage rng =
+  let total = skewed rng ~min:372 ~median:2488 ~max:3870 in
+  {
+    u_prompt_tokens = total / 2;
+    u_completion_tokens = total - (total / 2);
+    u_wait_s = float_of_int (skewed rng ~min:14 ~median:45 ~max:101);
+    u_prepare_s = float_of_int (skewed rng ~min:0 ~median:4 ~max:9);
+  }
+
+let bugfix_usage rng =
+  let total = skewed rng ~min:335 ~median:1100 ~max:11000 in
+  {
+    u_prompt_tokens = total * 6 / 10;
+    u_completion_tokens = total - (total * 6 / 10);
+    u_wait_s = float_of_int (skewed rng ~min:11 ~median:46 ~max:123);
+    u_prepare_s = float_of_int (skewed rng ~min:0 ~median:9 ~max:69);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Step 1: invention                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type invention = {
+  i_name : string;
+  i_description : string;
+  i_creative : bool;
+  i_intended : Mutators.Mutator.t option;
+      (* the behaviour this design denotes, when it corresponds to a
+         mutator of the reproduction corpus *)
+}
+
+(* The oracle invents designs by sampling the corpus (these are, after
+   all, the designs GPT-4 actually produced) plus occasional designs with
+   no valid implementation. *)
+let invent (llm : t) ~(pool : Mutators.Mutator.t list) : invention * usage =
+  let usage = invention_usage llm.rng in
+  let fresh =
+    List.filter
+      (fun (m : Mutators.Mutator.t) -> not (List.mem m.name llm.history))
+      pool
+  in
+  let pick_known () =
+    match Rng.choose_opt llm.rng fresh with
+    | Some m ->
+      {
+        i_name = m.Mutators.Mutator.name;
+        i_description = m.Mutators.Mutator.description;
+        i_creative = m.Mutators.Mutator.creative;
+        i_intended = Some m;
+      }
+    | None ->
+      (* pool exhausted: duplicate of something already generated *)
+      let m = Rng.choose llm.rng pool in
+      {
+        i_name = m.Mutators.Mutator.name;
+        i_description = m.Mutators.Mutator.description;
+        i_creative = m.Mutators.Mutator.creative;
+        i_intended = Some m;
+      }
+  in
+  let inv =
+    if Rng.flip llm.rng 0.04 then begin
+      (* a design with no workable implementation in this language *)
+      let action = Rng.choose llm.rng Prompts.actions in
+      let structure = Rng.choose llm.rng Prompts.program_structures in
+      {
+        i_name = Fmt.str "%s%s" action structure;
+        i_description =
+          Fmt.str "This mutator performs %s on %s." action structure;
+        i_creative = false;
+        i_intended = None;
+      }
+    end
+    else pick_known ()
+  in
+  llm.history <- inv.i_name :: llm.history;
+  (inv, usage)
+
+(* ------------------------------------------------------------------ *)
+(* Step 2: synthesis                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type impl = {
+  im_invention : invention;
+  im_defects : defect list;
+  im_flaw : latent_flaw;
+}
+
+(* Sample initial defects following Table 1's class distribution.  About
+   46 % of syntheses are correct on the first attempt ("nearly half"). *)
+let sample_defects rng =
+  if Rng.flip rng 0.46 then []
+  else begin
+    let n = 1 + Rng.weighted rng [ (5, 0); (3, 1); (2, 2); (1, 3) ] in
+    List.init n (fun _ ->
+        Rng.weighted rng
+          [
+            (51, D_not_compile);
+            (3, D_hangs);
+            (4, D_crashes);
+            (14, D_outputs_nothing);
+            (1, D_no_rewrite);
+            (27, D_compile_error_mutant);
+          ])
+  end
+
+let sample_flaw rng (inv : invention) =
+  if inv.i_intended = None then F_mismatched_implementation
+  else if Rng.flip rng 0.05 then F_mismatched_implementation
+  else if Rng.flip rng 0.07 then F_unthorough_tests
+  else F_none
+
+let synthesize (llm : t) (inv : invention) : impl * usage =
+  let usage = synthesis_usage llm.rng in
+  ( {
+      im_invention = inv;
+      im_defects = sample_defects llm.rng;
+      im_flaw = sample_flaw llm.rng inv;
+    },
+    usage )
+
+(* ------------------------------------------------------------------ *)
+(* Step 3a: unit-test generation                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Targeted unit tests containing structures the seed templates lack:
+   char literals, explicit deref-of-addressof, sizeof, dual same-signature
+   functions, if/else assignments — exactly the structures a prompted LLM
+   produces when told which mutator the tests are for. *)
+let targeted_snippets : string list =
+  [
+    {|
+int pick(int mode) {
+  char tag = 'x';
+  int r = 0;
+  if (mode > 0)
+    r = 10;
+  else
+    r = 20;
+  return r + *(&mode) + tag + (int)sizeof(int);
+}
+int main(void) { return pick(1) & 255; }
+|};
+    {|
+struct pt { int x; int y; };
+int getx(struct pt *p) { return (*p).x; }
+int combine_a(int a, int b) { return a + b; }
+int combine_b(int a, int b) { return a * b; }
+int main(void) {
+  struct pt p;
+  p.x = 3;
+  p.y = 4;
+  return getx(&p) + combine_a(1, 2) + combine_b(2, 3);
+}
+|};
+    {|
+int main(void) {
+  int i;
+  int s = 0;
+  s = 1;
+  for (i = 0; i < 3; i++)
+    s += i;
+  return s;
+}
+|};
+  ]
+
+(* "Generate test cases for which the mutator can be applied": the
+   oracle emits compilable programs rich in the targeted structures —
+   modelled as a mix of feature-rich templates, targeted snippets, and
+   generated programs. *)
+let generate_tests (llm : t) ~(count : int) : Cparse.Ast.tu list =
+  let parse_all srcs =
+    List.filter_map
+      (fun src ->
+        match Parser.parse src with Ok tu -> Some tu | Error _ -> None)
+      srcs
+  in
+  parse_all Fuzzing.Seeds.templates
+  @ parse_all targeted_snippets
+  @ List.init count (fun _ -> Ast_gen.gen_tu llm.rng)
+
+(* ------------------------------------------------------------------ *)
+(* Step 3b: bug fixing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Ask the LLM to fix the defect behind [goal]; succeeds with high
+   probability, except hangs which GPT-4 could not fix (§5.4 limitation 2). *)
+let fix (llm : t) (impl : impl) ~(goal : int) : impl * usage * bool =
+  let usage = bugfix_usage llm.rng in
+  let success_p = if goal = 2 then 0.05 else 0.85 in
+  if Rng.flip llm.rng success_p then begin
+    let removed = ref false in
+    let defects =
+      List.filter
+        (fun d ->
+          if (not !removed) && defect_goal d = goal then begin
+            removed := true;
+            false
+          end
+          else true)
+        impl.im_defects
+    in
+    ({ impl with im_defects = defects }, usage, true)
+  end
+  else (impl, usage, false)

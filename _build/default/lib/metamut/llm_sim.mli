@@ -1,0 +1,85 @@
+(** Deterministic LLM oracle.
+
+    The paper's contribution is the process around the LLM; the oracle's
+    job is to exhibit GPT-4's empirically observed behaviour — invention
+    sampling, defect-carrying syntheses (Table 1's distribution), token
+    and latency costs (Tables 2-3), and imperfect bug fixing.  Everything
+    is drawn from an explicit {!Cparse.Rng.t}, so generation campaigns
+    are reproducible. *)
+
+(** Defect classes, one per validation goal #1-#6. *)
+type defect =
+  | D_not_compile
+  | D_hangs
+  | D_crashes
+  | D_outputs_nothing
+  | D_no_rewrite
+  | D_compile_error_mutant
+
+val defect_goal : defect -> int
+val defect_to_string : defect -> string
+
+(** Latent flaws that survive the refinement loop but fail the authors'
+    manual review (§4.1's invalid-mutator breakdown). *)
+type latent_flaw =
+  | F_none
+  | F_mismatched_implementation
+  | F_unthorough_tests
+  | F_duplicate
+
+type usage = {
+  u_prompt_tokens : int;
+  u_completion_tokens : int;
+  u_wait_s : float;
+  u_prepare_s : float;
+}
+
+val tokens : usage -> int
+
+type t = {
+  rng : Cparse.Rng.t;
+  mutable history : string list;  (** names invented this session *)
+}
+
+val create : ?seed:int -> unit -> t
+
+val invention_usage : Cparse.Rng.t -> usage
+val synthesis_usage : Cparse.Rng.t -> usage
+val bugfix_usage : Cparse.Rng.t -> usage
+
+type invention = {
+  i_name : string;
+  i_description : string;
+  i_creative : bool;
+  i_intended : Mutators.Mutator.t option;
+      (** the behaviour this design denotes, when it corresponds to a
+          corpus mutator; [None] for unimplementable designs *)
+}
+
+val invent : t -> pool:Mutators.Mutator.t list -> invention * usage
+(** Step 1 (Fig. 1): sample a mutator design, avoiding duplicates of the
+    session history while the pool lasts. *)
+
+type impl = {
+  im_invention : invention;
+  im_defects : defect list;
+  im_flaw : latent_flaw;
+}
+
+val sample_defects : Cparse.Rng.t -> defect list
+(** Table 1's class distribution; empty ~46 % of the time ("nearly half
+    correct on the first attempt"). *)
+
+val synthesize : t -> invention -> impl * usage
+(** Step 2: a tentative implementation with sampled defects. *)
+
+val targeted_snippets : string list
+(** Unit-test programs containing structures the seed templates lack. *)
+
+val generate_tests : t -> count:int -> Cparse.Ast.tu list
+(** Step 3a: "Generate test cases for which the mutator can be applied" —
+    templates, targeted snippets, and [count] generated programs. *)
+
+val fix : t -> impl -> goal:int -> impl * usage * bool
+(** Step 3b: request a fix for the defect behind [goal]; succeeds with
+    high probability except for hangs (§5.4 limitation 2). *)

@@ -1,0 +1,243 @@
+(* The end-to-end MetaMut pipeline (Fig. 1): invention → synthesis →
+   validation/refinement, with cost accounting per step.
+
+   [run_once] performs one full mutator-generation attempt;
+   [run_many] reproduces the 100-invocation unsupervised experiment of
+   §4 (system errors included). *)
+
+open Cparse
+
+type step_cost = {
+  sc_tokens : int;
+  sc_qa_rounds : int;
+  sc_wait_s : float;
+  sc_prepare_s : float;
+}
+
+let zero_cost = { sc_tokens = 0; sc_qa_rounds = 0; sc_wait_s = 0.; sc_prepare_s = 0. }
+
+let add_usage (c : step_cost) (u : Llm_sim.usage) =
+  {
+    sc_tokens = c.sc_tokens + Llm_sim.tokens u;
+    sc_qa_rounds = c.sc_qa_rounds + 1;
+    sc_wait_s = c.sc_wait_s +. u.Llm_sim.u_wait_s;
+    sc_prepare_s = c.sc_prepare_s +. u.Llm_sim.u_prepare_s;
+  }
+
+type outcome =
+  | Valid of Mutators.Mutator.t
+  | Invalid_refinement     (* did not survive goals #1-#6 *)
+  | Invalid_manual of string (* survived the loop, rejected by review *)
+  | System_error           (* API throttle / timeout *)
+
+type run = {
+  r_outcome : outcome;
+  r_name : string;
+  r_invention : step_cost;
+  r_implementation : step_cost;
+  r_bugfix : step_cost;
+  r_bugs_fixed : (int * int) list; (* goal -> count *)
+}
+
+let total_cost (r : run) =
+  let add a b =
+    {
+      sc_tokens = a.sc_tokens + b.sc_tokens;
+      sc_qa_rounds = a.sc_qa_rounds + b.sc_qa_rounds;
+      sc_wait_s = a.sc_wait_s +. b.sc_wait_s;
+      sc_prepare_s = a.sc_prepare_s +. b.sc_prepare_s;
+    }
+  in
+  add (add r.r_invention r.r_implementation) r.r_bugfix
+
+(* Price per 1k tokens approximating the paper's GPT-4 pricing (~$0.5 for
+   a mean of ~8.6k tokens). *)
+let dollars_of_tokens tokens = float_of_int tokens *. 0.0582 /. 1000.
+
+type config = {
+  max_repair_attempts : int; (* the paper terminates after 27 *)
+  unit_tests : int;
+  system_error_rate : float; (* 24 of 100 invocations in §4 *)
+  pool : Mutators.Mutator.t list;
+}
+
+let default_config =
+  {
+    max_repair_attempts = 27;
+    unit_tests = 5;
+    system_error_rate = 0.24;
+    pool = Mutators.Registry.unsupervised;
+  }
+
+let run_once ?(cfg = default_config) (llm : Llm_sim.t)
+    ~(accepted_names : string list) : run =
+  let rng = Rng.split llm.Llm_sim.rng in
+  if Rng.flip rng cfg.system_error_rate then
+    {
+      r_outcome = System_error;
+      r_name = "<system-error>";
+      r_invention = zero_cost;
+      r_implementation = zero_cost;
+      r_bugfix = zero_cost;
+      r_bugs_fixed = [];
+    }
+  else begin
+    (* step 1: invention *)
+    let inv, u1 = Llm_sim.invent llm ~pool:cfg.pool in
+    let invention = add_usage zero_cost u1 in
+    (* step 2: synthesis *)
+    let impl, u2 = Llm_sim.synthesize llm inv in
+    let implementation = add_usage zero_cost u2 in
+    (* step 3: validation and refinement *)
+    (* the unit-test pool; each refinement round validates against a
+       fresh sample, like the paper's regenerated test cases *)
+    let test_pool = Llm_sim.generate_tests llm ~count:cfg.unit_tests in
+    let sample_tests () =
+      List.filteri (fun i _ -> i < 8) (Rng.shuffle rng test_pool)
+    in
+    let tests = ref (sample_tests ()) in
+    let bugfix = ref zero_cost in
+    let fixed : (int, int) Hashtbl.t = Hashtbl.create 6 in
+    let rec refine impl attempts real_repairs =
+      match Validation.validate ~rng ~pool:test_pool impl !tests with
+      | Validation.Pass -> Some impl
+      | Validation.Fail gv ->
+        if attempts >= cfg.max_repair_attempts then None
+        else begin
+          let impl', usage, success =
+            Llm_sim.fix llm impl ~goal:gv.Validation.gv_goal
+          in
+          bugfix := add_usage !bugfix usage;
+          if success then begin
+            let g = gv.Validation.gv_goal in
+            Hashtbl.replace fixed g
+              (1 + Option.value ~default:0 (Hashtbl.find_opt fixed g))
+          end;
+          (* a *real* goal-5/6 failure (the intended mutator misbehaving
+             on the concrete tests, not a flagged defect) is repaired by
+             adjusting the implementation's checks and regenerating the
+             unit tests; a few such repairs are allowed before giving up *)
+          let real_failure =
+            success && impl'.Llm_sim.im_defects = impl.Llm_sim.im_defects
+          in
+          if real_failure then begin
+            if real_repairs >= 4 then None
+            else begin
+              tests := sample_tests ();
+              refine impl' (attempts + 1) (real_repairs + 1)
+            end
+          end
+          else refine impl' (attempts + 1) real_repairs
+        end
+    in
+    let bugs_fixed () =
+      Hashtbl.fold (fun g n acc -> (g, n) :: acc) fixed []
+      |> List.sort compare
+    in
+    match refine impl 0 0 with
+    | None ->
+      {
+        r_outcome = Invalid_refinement;
+        r_name = inv.Llm_sim.i_name;
+        r_invention = invention;
+        r_implementation = implementation;
+        r_bugfix = !bugfix;
+        r_bugs_fixed = bugs_fixed ();
+      }
+    | Some impl -> (
+      match Validation.manual_review impl ~accepted_names with
+      | Validation.Accepted -> (
+        match impl.Llm_sim.im_invention.Llm_sim.i_intended with
+        | Some m ->
+          {
+            r_outcome = Valid m;
+            r_name = inv.Llm_sim.i_name;
+            r_invention = invention;
+            r_implementation = implementation;
+            r_bugfix = !bugfix;
+            r_bugs_fixed = bugs_fixed ();
+          }
+        | None ->
+          {
+            r_outcome = Invalid_manual "implementation does not match description";
+            r_name = inv.Llm_sim.i_name;
+            r_invention = invention;
+            r_implementation = implementation;
+            r_bugfix = !bugfix;
+            r_bugs_fixed = bugs_fixed ();
+          })
+      | Validation.Rejected reason ->
+        {
+          r_outcome = Invalid_manual reason;
+          r_name = inv.Llm_sim.i_name;
+          r_invention = invention;
+          r_implementation = implementation;
+          r_bugfix = !bugfix;
+          r_bugs_fixed = bugs_fixed ();
+        })
+  end
+
+(* The §4 unsupervised experiment: invoke the pipeline [n] times. *)
+let run_many ?(cfg = default_config) ?(seed = 7) ~(n : int) () : run list =
+  let llm = Llm_sim.create ~seed () in
+  let accepted = ref [] in
+  List.init n (fun _ ->
+      let r = run_once ~cfg llm ~accepted_names:!accepted in
+      (match r.r_outcome with
+      | Valid m -> accepted := m.Mutators.Mutator.name :: !accepted
+      | _ -> ());
+      r)
+
+(* ------------------------------------------------------------------ *)
+(* Aggregates for Tables 1-3                                           *)
+(* ------------------------------------------------------------------ *)
+
+type summary = {
+  s_runs : int;
+  s_system_errors : int;
+  s_valid : int;
+  s_invalid_refinement : int;
+  s_invalid_manual : int;
+  s_bugs_fixed_by_goal : (int * int) list;
+}
+
+let summarize (runs : run list) : summary =
+  let by_goal = Hashtbl.create 6 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (g, n) ->
+          Hashtbl.replace by_goal g
+            (n + Option.value ~default:0 (Hashtbl.find_opt by_goal g)))
+        r.r_bugs_fixed)
+    runs;
+  {
+    s_runs = List.length runs;
+    s_system_errors =
+      List.length (List.filter (fun r -> r.r_outcome = System_error) runs);
+    s_valid =
+      List.length
+        (List.filter (fun r -> match r.r_outcome with Valid _ -> true | _ -> false) runs);
+    s_invalid_refinement =
+      List.length (List.filter (fun r -> r.r_outcome = Invalid_refinement) runs);
+    s_invalid_manual =
+      List.length
+        (List.filter
+           (fun r -> match r.r_outcome with Invalid_manual _ -> true | _ -> false)
+           runs);
+    s_bugs_fixed_by_goal =
+      List.init 6 (fun i ->
+          (i + 1, Option.value ~default:0 (Hashtbl.find_opt by_goal (i + 1))));
+  }
+
+(* Distribution statistics over per-run values, as in Table 2. *)
+let stats (values : float list) : float * float * float * float =
+  match List.sort compare values with
+  | [] -> (0., 0., 0., 0.)
+  | sorted ->
+    let n = List.length sorted in
+    let min_v = List.hd sorted in
+    let max_v = List.nth sorted (n - 1) in
+    let median = List.nth sorted (n / 2) in
+    let mean = List.fold_left ( +. ) 0. sorted /. float_of_int n in
+    (min_v, max_v, median, mean)

@@ -1,0 +1,66 @@
+(** The end-to-end MetaMut pipeline (Fig. 1): invention → implementation
+    synthesis → validation and refinement, with per-step cost accounting
+    (Tables 1-3). *)
+
+type step_cost = {
+  sc_tokens : int;
+  sc_qa_rounds : int;
+  sc_wait_s : float;     (** time awaiting LLM responses *)
+  sc_prepare_s : float;  (** request preparation: compile/run/collect *)
+}
+
+val zero_cost : step_cost
+
+type outcome =
+  | Valid of Mutators.Mutator.t
+  | Invalid_refinement
+      (** did not survive validation goals #1-#6 within the repair budget *)
+  | Invalid_manual of string
+      (** survived the loop, rejected by the authors' review (§4.1) *)
+  | System_error  (** API throttle / timeout *)
+
+type run = {
+  r_outcome : outcome;
+  r_name : string;
+  r_invention : step_cost;
+  r_implementation : step_cost;
+  r_bugfix : step_cost;
+  r_bugs_fixed : (int * int) list;  (** validation goal -> fixes (Table 1) *)
+}
+
+val total_cost : run -> step_cost
+
+val dollars_of_tokens : int -> float
+(** GPT-4 pricing approximation (the paper's ~$0.50 per mutator). *)
+
+type config = {
+  max_repair_attempts : int;  (** the paper terminates after 27 *)
+  unit_tests : int;           (** generated programs per test pool *)
+  system_error_rate : float;  (** 24 of 100 invocations in §4 *)
+  pool : Mutators.Mutator.t list;
+      (** design space the oracle invents from *)
+}
+
+val default_config : config
+
+val run_once :
+  ?cfg:config -> Llm_sim.t -> accepted_names:string list -> run
+(** One full mutator-generation attempt. *)
+
+val run_many : ?cfg:config -> ?seed:int -> n:int -> unit -> run list
+(** The §4 unsupervised experiment: [n] independent invocations
+    (deterministic per [seed]). *)
+
+type summary = {
+  s_runs : int;
+  s_system_errors : int;
+  s_valid : int;
+  s_invalid_refinement : int;
+  s_invalid_manual : int;
+  s_bugs_fixed_by_goal : (int * int) list;
+}
+
+val summarize : run list -> summary
+
+val stats : float list -> float * float * float * float
+(** [(min, max, median, mean)] of a sample, as reported in Table 2. *)

@@ -1,0 +1,84 @@
+(* The prompt content of the MetaMut framework (§3.1).
+
+   The invention prompt instantiates the template
+     "A semantic-aware mutation operator that performs [Action] on
+      [Program Structure]"
+   with the action list (derived from AST/IR API member functions) and the
+   program-structure list (AST node types), plus creativity and sampling
+   hints. *)
+
+let actions =
+  [
+    "Add"; "Modify"; "Copy"; "Swap"; "Inline"; "Destruct"; "Group";
+    "Combine"; "Lift"; "Switch"; "Inverse"; "Remove"; "Duplicate";
+    "Wrap"; "Expand"; "Contract"; "Reorder"; "Rename"; "Replace";
+    "Split"; "Merge"; "Promote"; "Demote"; "Negate"; "Convert";
+  ]
+
+let program_structures =
+  [
+    "BinaryOperator"; "UnaryOperator"; "LogicalExpr"; "IntegerLiteral";
+    "CharLiteral"; "FloatingLiteral"; "StringLiteral"; "IfStmt";
+    "WhileStmt"; "DoStmt"; "ForStmt"; "SwitchStmt"; "CaseStmt";
+    "ReturnStmt"; "GotoStmt"; "LabelStmt"; "CompoundStmt"; "VarDecl";
+    "ParmVarDecl"; "FunctionDecl"; "CallExpr"; "ArraySubscriptExpr";
+    "MemberExpr"; "CastExpr"; "ConditionalOperator"; "CommaOperator";
+    "InitListExpr"; "Attribute"; "Builtins"; "ArrayDimension";
+    "TypeQualifier"; "StorageClass"; "StructType"; "PointerType";
+  ]
+
+let invention_prompt ~(history : string list) : string =
+  Fmt.str
+    "Give me the name and a brief description of a semantic-aware mutation \
+     operator that performs [Action] on [Program Structure], where both \
+     the action and the program structure are selected from the lists \
+     below.\n\
+     Actions: %s\n\
+     Program Structures: %s\n\
+     You are encouraged to explore actions and program structures that are \
+     related to, but not limited to, those listed.\n\
+     Avoid duplicating these previously generated mutators: %s"
+    (String.concat ", " actions)
+    (String.concat ", " program_structures)
+    (String.concat ", " history)
+
+(* The mutator implementation template (Fig. 2). *)
+let implementation_template : string =
+  {|#include "Mutator.h"
+#include "Manager.h"
+{{Includes}}
+
+class {{MutatorName}}: public Mutator, public ASTVisitor {
+  bool {{Visitor}}({{NodeType}}) {
+    // Step 2, Collect mutation instances
+  }
+  bool mutate() override {
+    // Step 1, Traverse the AST
+    // Step 3, Select a mutation instance
+    // Step 4, Check mutation validity
+    // Step 5, Perform mutation
+    // Step 6, Return true if changed
+  }
+  {{VarsToStoreMutationInstances}}
+};
+
+static RegisterMutator<{{MutatorName}}>
+  M("{{MutatorName}}", "{{MutatorDescription}}")|}
+
+let synthesis_prompt ~name ~description : string =
+  Fmt.str
+    "Implement the mutator %s (%s) by completing the following template \
+     using the µAST APIs declared in Mutator.h.  Follow the numbered steps \
+     in the comments.\n%s"
+    name description implementation_template
+
+let test_generation_prompt ~name ~description : string =
+  Fmt.str
+    "Generate test cases for which the mutator %s (%s) can be applied."
+    name description
+
+let feedback_prompt ~goal ~message : string =
+  Fmt.str
+    "The mutator implementation violates validation goal #%d: %s.\n\
+     Provide a corrected implementation."
+    goal message

@@ -1,0 +1,28 @@
+(** The prompt content of the MetaMut framework (§3.1-§3.3).
+
+    The invention prompt instantiates
+    ["A semantic-aware mutation operator that performs [Action] on
+    [Program Structure]"] with the action list (derived from AST/IR API
+    member functions) and the program-structure list (AST node types),
+    plus the paper's creativity and sampling hints. *)
+
+val actions : string list
+(** The [Action] list of the invention prompt. *)
+
+val program_structures : string list
+(** The [Program Structure] list (AST node types). *)
+
+val invention_prompt : history:string list -> string
+(** The full invention prompt, with previously generated mutator names
+    included as the duplicate-avoidance sampling hint. *)
+
+val implementation_template : string
+(** The mutator implementation template of Fig. 2, with the six
+    chain-of-thought steps. *)
+
+val synthesis_prompt : name:string -> description:string -> string
+
+val test_generation_prompt : name:string -> description:string -> string
+
+val feedback_prompt : goal:int -> message:string -> string
+(** The refinement-loop feedback message for an unmet validation goal. *)

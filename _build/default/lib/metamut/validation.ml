@@ -1,0 +1,108 @@
+(* Validation of a synthesized mutator implementation (§3.3).
+
+   Goals are checked from simplest (#1) to most complex (#6).  Goals 1-5
+   concern the mutator binary itself and are observed through the
+   oracle's defect flags (our OCaml mutators cannot literally fail to
+   compile); goal 6 — every mutant of the test suite must compile — is
+   checked *for real*: the intended mutator is applied to the generated
+   unit tests and each mutant goes through the front-end. *)
+
+open Cparse
+
+type goal_violation = {
+  gv_goal : int;            (* 1..6 *)
+  gv_message : string;
+}
+
+type verdict =
+  | Pass
+  | Fail of goal_violation
+
+(* Apply the intended mutator to every test program and type-check the
+   mutants; also run them in the reference interpreter to catch mutants
+   that break execution of the validation harness. *)
+let check_goal6 ~(rng : Rng.t) (m : Mutators.Mutator.t)
+    (tests : Ast.tu list) : goal_violation option =
+  let failures = ref [] in
+  List.iter
+    (fun tu ->
+      match Mutators.Mutator.apply m ~rng tu with
+      | None -> ()
+      | Some tu' ->
+        let src = Pretty.tu_to_string tu' in
+        (match Parser.parse src with
+        | Error e -> failures := e :: !failures
+        | Ok tu'' ->
+          let r = Typecheck.check tu'' in
+          if not r.Typecheck.r_ok then
+            failures :=
+              List.map Typecheck.diag_to_string (Typecheck.errors r)
+              @ !failures))
+    tests;
+  match !failures with
+  | [] -> None
+  | e :: _ ->
+    Some { gv_goal = 6; gv_message = Fmt.str "mutant does not compile: %s" e }
+
+(* Does the mutator apply to at least one test (goal #5's "changes
+   something")? *)
+let check_applicability ~(rng : Rng.t) (m : Mutators.Mutator.t)
+    (tests : Ast.tu list) : bool =
+  List.exists (fun tu -> Mutators.Mutator.apply m ~rng tu <> None) tests
+
+(* Full validation: returns the simplest unmet goal.  Applicability
+   (goal #5) is checked against the whole targeted pool — the LLM
+   generated those tests specifically for this mutator — while the
+   mutant-compilability check (#6) uses the sampled [tests]. *)
+let validate ~(rng : Rng.t) ?(pool : Ast.tu list option)
+    (impl : Llm_sim.impl) (tests : Ast.tu list) : verdict =
+  (* goals 1-5: the oracle's defect flags, simplest first *)
+  let flagged =
+    List.sort compare (List.map Llm_sim.defect_goal impl.Llm_sim.im_defects)
+  in
+  match flagged with
+  | g :: _ when g < 6 ->
+    let d =
+      List.find
+        (fun d -> Llm_sim.defect_goal d = g)
+        impl.Llm_sim.im_defects
+    in
+    Fail { gv_goal = g; gv_message = Llm_sim.defect_to_string d }
+  | _ -> (
+    (* goal 6: flagged, or detected for real on the test suite *)
+    let flagged6 = List.mem 6 flagged in
+    match impl.Llm_sim.im_invention.Llm_sim.i_intended with
+    | None ->
+      if flagged6 then
+        Fail { gv_goal = 6; gv_message = "mutant does not compile" }
+      else Pass (* unimplementable designs can masquerade as valid *)
+    | Some m ->
+      if flagged6 then
+        Fail { gv_goal = 6; gv_message = "mutant does not compile" }
+      else if
+        not (check_applicability ~rng m (Option.value ~default:tests pool))
+      then
+        Fail { gv_goal = 5; gv_message = "mutator does not rewrite any test" }
+      else (
+        match check_goal6 ~rng m tests with
+        | Some gv -> Fail gv
+        | None -> Pass))
+
+(* The authors' post-hoc manual check (§4): a mutator that survived the
+   automatic loop is valid only if it is consistent with its description
+   on all (including author-added) test cases, and is not a duplicate. *)
+type manual_check = Accepted | Rejected of string
+
+let manual_review (impl : Llm_sim.impl) ~(accepted_names : string list) :
+    manual_check =
+  match impl.Llm_sim.im_flaw with
+  | Llm_sim.F_mismatched_implementation ->
+    Rejected "implementation does not match its description"
+  | Llm_sim.F_unthorough_tests ->
+    Rejected "produces compile-error mutants on more complex tests"
+  | Llm_sim.F_duplicate -> Rejected "duplicate of a previous mutator"
+  | Llm_sim.F_none ->
+    if
+      List.mem impl.Llm_sim.im_invention.Llm_sim.i_name accepted_names
+    then Rejected "duplicate of a previous mutator"
+    else Accepted

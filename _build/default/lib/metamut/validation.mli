@@ -1,0 +1,39 @@
+(** Validation of a synthesized mutator implementation (§3.3).
+
+    Goals are checked from simplest (#1) to most complex (#6).  Goals 1-5
+    concern the mutator binary itself and are observed through the
+    oracle's defect flags; goal #6 — every mutant of the unit-test suite
+    must compile — is checked {e for real} by applying the intended
+    mutator and type checking its mutants. *)
+
+type goal_violation = { gv_goal : int; gv_message : string }
+
+type verdict = Pass | Fail of goal_violation
+
+val check_goal6 :
+  rng:Cparse.Rng.t ->
+  Mutators.Mutator.t ->
+  Cparse.Ast.tu list ->
+  goal_violation option
+(** Apply the mutator to every test and type check the mutants. *)
+
+val check_applicability :
+  rng:Cparse.Rng.t -> Mutators.Mutator.t -> Cparse.Ast.tu list -> bool
+(** Does the mutator rewrite at least one test (goal #5)? *)
+
+val validate :
+  rng:Cparse.Rng.t ->
+  ?pool:Cparse.Ast.tu list ->
+  Llm_sim.impl ->
+  Cparse.Ast.tu list ->
+  verdict
+(** Return the simplest unmet goal.  Applicability is checked against the
+    full targeted [pool] (the tests were generated for this mutator);
+    the mutant-compilability check uses the sampled test list. *)
+
+type manual_check = Accepted | Rejected of string
+
+val manual_review :
+  Llm_sim.impl -> accepted_names:string list -> manual_check
+(** The authors' post-hoc review: consistent-with-description on all
+    test cases and not a duplicate of an accepted mutator. *)

@@ -1,0 +1,1 @@
+lib/mutators/mk.ml: Ast Cparse List Option Typecheck Uast Visit

@@ -1,0 +1,1 @@
+lib/mutators/mut_expr_access.ml: Ast Cparse Mk Mutator Uast

@@ -1,0 +1,1 @@
+lib/mutators/mut_expr_binop.ml: Ast Cparse Int64 List Mk Mutator Uast

@@ -1,0 +1,1 @@
+lib/mutators/mut_expr_call.ml: Array Ast Cparse List Mk Mutator String Uast Visit

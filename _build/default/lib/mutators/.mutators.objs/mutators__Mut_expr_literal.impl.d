@@ -1,0 +1,1 @@
+lib/mutators/mut_expr_literal.ml: Ast Char Cparse Int64 List Mk Mutator Rng Uast

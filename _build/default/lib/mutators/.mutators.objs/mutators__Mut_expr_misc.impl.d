@@ -1,0 +1,1 @@
+lib/mutators/mut_expr_misc.ml: Ast Cparse List Mk Mutator Rng Uast Visit

@@ -1,0 +1,1 @@
+lib/mutators/mut_expr_unop.ml: Ast Cparse Mk Mutator

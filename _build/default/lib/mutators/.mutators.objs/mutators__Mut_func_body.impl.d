@@ -1,0 +1,1 @@
+lib/mutators/mut_func_body.ml: Ast Cparse Hashtbl List Mk Mutator String Uast Visit

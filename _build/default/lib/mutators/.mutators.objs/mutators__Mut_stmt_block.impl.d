@@ -1,0 +1,1 @@
+lib/mutators/mut_stmt_block.ml: Ast Cparse List Mk Mutator Option Uast Visit

@@ -1,0 +1,1 @@
+lib/mutators/mut_stmt_if.ml: Ast Cparse Mk Mutator Rng String Uast

@@ -1,0 +1,1 @@
+lib/mutators/mut_stmt_loop.ml: Ast Cparse Int64 Mk Mutator Uast Visit

@@ -1,0 +1,1 @@
+lib/mutators/mut_stmt_switch.ml: Ast Const_eval Cparse Int64 List Mk Mutator Rng Uast Visit

@@ -1,0 +1,1 @@
+lib/mutators/mut_type.ml: Ast Cparse Fmt Int64 List Mk Mutator Option String Uast Visit

@@ -1,0 +1,1 @@
+lib/mutators/mut_var.ml: Ast Cparse List Mk Mutator Option String Uast Visit

@@ -1,0 +1,1 @@
+lib/mutators/mutator.ml: Ast Ast_ids Cparse Option Parser Pretty Rng Uast

@@ -1,0 +1,1 @@
+lib/mutators/mutator.mli: Cparse Uast

@@ -1,0 +1,1 @@
+lib/mutators/registry.mli: Mutator

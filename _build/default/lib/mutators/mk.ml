@@ -1,0 +1,56 @@
+(* Shared building blocks for mutator implementations.
+
+   Mirrors the steps of the paper's mutator template (Fig. 2):
+   collect mutation instances during traversal, select one at random,
+   check validity, perform the rewrite. *)
+
+open Cparse
+open Ast
+
+(* Step 1-3 of the template: traverse, collect, select. *)
+let pick_expr (ctx : Uast.Ctx.t) pred : expr option =
+  Uast.Ctx.rand_element ctx (Visit.collect_exprs pred ctx.tu)
+
+let pick_stmt (ctx : Uast.Ctx.t) pred : stmt option =
+  Uast.Ctx.rand_element ctx (Visit.collect_stmts pred ctx.tu)
+
+let pick_function (ctx : Uast.Ctx.t) pred : fundef option =
+  Uast.Ctx.rand_element ctx (List.filter pred (Visit.functions ctx.tu))
+
+(* Monadic composition for "not applicable" fall-through. *)
+let ( let* ) = Option.bind
+
+(* Replace one expression node, selected by predicate, with [f e]. *)
+let rewrite_one_expr (ctx : Uast.Ctx.t) ~pred ~f : Ast.tu option =
+  let* e = pick_expr ctx pred in
+  let* repl = f e in
+  Some (Visit.replace_expr ctx.tu ~eid:e.eid ~repl)
+
+(* Replace one statement node, selected by predicate, with [f s]. *)
+let rewrite_one_stmt (ctx : Uast.Ctx.t) ~pred ~f : Ast.tu option =
+  let* s = pick_stmt ctx pred in
+  let* repl = f s in
+  Some (Visit.replace_stmt ctx.tu ~sid:s.sid ~repl)
+
+(* Type of an expression under the current analysis, decayed. *)
+let ty_of ctx e = Typecheck.decay (Uast.Ctx.type_of_exn ctx e)
+
+let is_int_expr ctx e = is_integer_ty (ty_of ctx e)
+let is_arith_expr ctx e = is_arith_ty (ty_of ctx e)
+
+(* Deep-copy an expression (ids are refreshed by the final renumber). *)
+let copy_expr (e : expr) : expr = e
+
+(* Default value expression of a given type (the paper's Ret2V uses "0"
+   or "0.0" depending on the return type). *)
+let default_of_ty = zero_of_ty
+
+(* A fresh declaration statement. *)
+let decl_stmt ?(quals = no_quals) ?(storage = S_none) ~name ~ty init =
+  mk_stmt
+    (Sdecl
+       [ { v_name = name; v_ty = ty; v_quals = quals; v_storage = storage; v_init = init } ])
+
+(* All integer-typed variables in scope at function top level. *)
+let int_vars_of fd =
+  List.filter (fun (_, t) -> is_integer_ty t) (Uast.Query.toplevel_vars_of fd)

@@ -1,0 +1,161 @@
+(* Expression mutators targeting memory access: array subscripts, struct
+   members, pointers. *)
+
+open Cparse
+open Ast
+open Mk
+
+let modify_array_index =
+  Mutator.make ~name:"ModifyArrayIndex"
+    ~description:
+      "Modify a constant array subscript to another in-bounds index of the \
+       same array."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Index (a, { ek = Int_lit _; _ }) -> (
+            match Uast.Ctx.type_of ctx a with
+            | Some (Tarray (_, Some n)) -> n > 1
+            | _ -> false)
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Index (a, _) ->
+            let n =
+              match Uast.Ctx.type_of ctx a with
+              | Some (Tarray (_, Some n)) -> n
+              | _ -> 1
+            in
+            Some { e with ek = Index (a, int_lit (Uast.Ctx.rand_int ctx n)) }
+          | _ -> None))
+
+let index_to_zero =
+  Mutator.make ~name:"ResetArrayIndexToZero"
+    ~description:"Reset an array subscript expression to index zero."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Index (_, { ek = Int_lit (v, _, _); _ }) -> v <> 0L
+          | Index (_, { ek = Ident _; _ }) -> true
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Index (a, _) -> Some { e with ek = Index (a, int_lit 0) }
+          | _ -> None))
+
+let index_arithmetic =
+  Mutator.make ~name:"ComplicateArrayIndex"
+    ~description:
+      "Rewrite an array subscript i into an equivalent expression (i + 1 - \
+       1), exercising index simplification and bounds analyses."
+    ~category:Expression ~provenance:Unsupervised 
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Index (_, i) -> is_int_expr ctx i && is_pure i
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Index (a, i) ->
+            Some
+              { e with ek = Index (a, binop Sub (binop Add i (int_lit 1)) (int_lit 1)) }
+          | _ -> None))
+
+let member_to_arrow =
+  Mutator.make ~name:"ConvertMemberToArrowAccess"
+    ~description:
+      "Convert a struct member access through a dereferenced pointer, \
+       (*p).f, into the arrow form p->f."
+    ~category:Expression ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Member ({ ek = Deref _; _ }, _) -> true
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Member ({ ek = Deref p; _ }, fld) -> Some { e with ek = Arrow (p, fld) }
+          | _ -> None))
+
+let arrow_to_member =
+  Mutator.make ~name:"ConvertArrowToMemberAccess"
+    ~description:
+      "Convert an arrow access p->f into the explicit dereference form \
+       (*p).f."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e -> match e.ek with Arrow _ -> true | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Arrow (p, fld) -> Some { e with ek = Member (mk_expr (Deref p), fld) }
+          | _ -> None))
+
+let deref_addrof_wrap =
+  Mutator.make ~name:"WrapLvalueInDerefAddrof"
+    ~description:
+      "Wrap an lvalue x into the equivalent *(&x), adding a pointer \
+       round-trip the optimizer must see through."
+    ~category:Expression ~provenance:Supervised ~creative:true
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Ident n -> (
+            (* only variables, not function designators or array names *)
+            match Uast.Ctx.type_of ctx e with
+            | Some t -> is_scalar_ty t && not (is_pointer_ty t)
+            | None -> false && n = n)
+          | _ -> false)
+        ~f:(fun e -> Some (mk_expr (Deref (mk_expr (Addrof { e with eid = no_id }))))))
+
+let simplify_deref_addrof =
+  Mutator.make ~name:"SimplifyDerefAddrof"
+    ~description:"Simplify *(&x) back into the direct access x."
+    ~category:Expression ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Deref { ek = Addrof _; _ } -> true
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Deref { ek = Addrof inner; _ } -> Some inner
+          | _ -> None))
+
+let subscript_commute =
+  Mutator.make ~name:"CommuteArraySubscript"
+    ~description:
+      "Rewrite a[i] into the equivalent-but-unusual i[a] form, probing \
+       front-end normalization of subscript expressions."
+    ~category:Expression ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Index (a, i) ->
+            is_pointer_ty (ty_of ctx a) && is_integer_ty (ty_of ctx i)
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Index (a, i) -> Some { e with ek = Index (i, a) }
+          | _ -> None))
+
+let all : Mutator.t list =
+  [
+    modify_array_index;
+    index_to_zero;
+    index_arithmetic;
+    member_to_arrow;
+    arrow_to_member;
+    deref_addrof_wrap;
+    simplify_deref_addrof;
+    subscript_commute;
+  ]

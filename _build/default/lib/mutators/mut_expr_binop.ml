@@ -1,0 +1,249 @@
+(* Expression mutators targeting binary operators. *)
+
+open Cparse
+open Ast
+open Mk
+
+let is_binop e = match e.ek with Binop _ -> true | _ -> false
+
+let swap_binary_operands =
+  Mutator.make ~name:"SwapBinaryOperands"
+    ~description:
+      "Swap the two operands of a commutative binary operator, exercising \
+       operand-order-sensitive compiler paths."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Binop (op, _, _) -> binop_is_commutative op
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Binop (op, a, b) -> Some { e with ek = Binop (op, b, a) }
+          | _ -> None))
+
+let rotate_noncommutative_operands =
+  Mutator.make ~name:"RotateNonCommutativeOperands"
+    ~description:
+      "Swap the operands of a non-commutative arithmetic operator (e.g. \
+       a - b becomes b - a), changing data flow while preserving types."
+    ~category:Expression ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Binop ((Sub | Div | Mod | Shl | Shr) as op, a, b) ->
+            Uast.Check.check_binop op (ty_of ctx b) (ty_of ctx a)
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Binop (op, a, b) -> Some { e with ek = Binop (op, b, a) }
+          | _ -> None))
+
+let change_binary_operator =
+  Mutator.make ~name:"ChangeBinaryOperator"
+    ~description:
+      "Replace a binary operator with a different operator that is valid \
+       for the operand types (checked via checkBinop)."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Binop (op, _, _) -> not (binop_is_logical op)
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Binop (op, a, b) ->
+            let ta = ty_of ctx a and tb = ty_of ctx b in
+            let candidates =
+              List.filter
+                (fun op' -> op' <> op && Uast.Check.check_binop op' ta tb)
+                [ Add; Sub; Mul; Div; Mod; Shl; Shr; Band; Bxor; Bor; Lt; Gt; Le; Ge; Eq; Ne ]
+            in
+            let* op' = Uast.Ctx.rand_element ctx candidates in
+            Some { e with ek = Binop (op', a, b) }
+          | _ -> None))
+
+let swap_logical_operator =
+  Mutator.make ~name:"SwapLogicalOperator"
+    ~description:
+      "Switch a logical AND into a logical OR (or vice versa), altering \
+       short-circuit control flow."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with Binop ((Land | Lor), _, _) -> true | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Binop (Land, a, b) -> Some { e with ek = Binop (Lor, a, b) }
+          | Binop (Lor, a, b) -> Some { e with ek = Binop (Land, a, b) }
+          | _ -> None))
+
+let comparison_boundary =
+  Mutator.make ~name:"ComparisonBoundaryShift"
+    ~description:
+      "Modify a relational operator into its boundary-inclusive or \
+       -exclusive variant (< into <=, > into >=, and vice versa)."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Binop ((Lt | Le | Gt | Ge), _, _) -> true
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Binop (Lt, a, b) -> Some { e with ek = Binop (Le, a, b) }
+          | Binop (Le, a, b) -> Some { e with ek = Binop (Lt, a, b) }
+          | Binop (Gt, a, b) -> Some { e with ek = Binop (Ge, a, b) }
+          | Binop (Ge, a, b) -> Some { e with ek = Binop (Gt, a, b) }
+          | _ -> None))
+
+let equality_flip =
+  Mutator.make ~name:"InverseEqualityOperator"
+    ~description:"Inverse an equality comparison (== into !=, != into ==)."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with Binop ((Eq | Ne), _, _) -> true | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Binop (Eq, a, b) -> Some { e with ek = Binop (Ne, a, b) }
+          | Binop (Ne, a, b) -> Some { e with ek = Binop (Eq, a, b) }
+          | _ -> None))
+
+let strength_reduce =
+  Mutator.make ~name:"StrengthReduceMultiplication"
+    ~description:
+      "Rewrite a multiplication by a power-of-two constant into a left \
+       shift, steering the optimizer's strength-reduction patterns."
+    ~category:Expression ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      let pow2 v = Int64.logand v (Int64.sub v 1L) = 0L && v > 1L in
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Binop (Mul, a, { ek = Int_lit (v, _, _); _ }) ->
+            pow2 v && is_int_expr ctx a
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Binop (Mul, a, { ek = Int_lit (v, _, _); _ }) ->
+            let rec log2 v acc = if v <= 1L then acc else log2 (Int64.div v 2L) (acc + 1) in
+            Some { e with ek = Binop (Shl, a, int_lit (log2 v 0)) }
+          | _ -> None))
+
+let strength_dereduce =
+  Mutator.make ~name:"ExpandShiftToMultiplication"
+    ~description:
+      "Rewrite a left shift by a constant into the equivalent \
+       multiplication by a power of two."
+    ~category:Expression ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Binop (Shl, a, { ek = Int_lit (v, _, _); _ }) ->
+            v >= 0L && v < 31L && is_int_expr ctx a
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Binop (Shl, a, { ek = Int_lit (v, _, _); _ }) ->
+            Some
+              { e with ek = Binop (Mul, a, int64_lit (Int64.shift_left 1L (Int64.to_int v))) }
+          | _ -> None))
+
+let add_neutral_element =
+  Mutator.make ~name:"AddNeutralElement"
+    ~description:
+      "Wrap an arithmetic expression with a semantically neutral operation \
+       (+ 0 or * 1), creating folding opportunities for the optimizer."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          (match e.ek with Init_list _ | Str_lit _ -> false | _ -> true)
+          && is_arith_expr ctx e && is_pure e)
+        ~f:(fun e ->
+          let op, n = if Uast.Ctx.flip ctx 0.5 then (Add, 0) else (Mul, 1) in
+          Some (binop op (copy_expr e) (int_lit n))))
+
+let reassociate =
+  Mutator.make ~name:"ReassociateBinaryOperator"
+    ~description:
+      "Reassociate a chain of identical associative integer operators: \
+       (a op b) op c becomes a op (b op c)."
+    ~category:Expression ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Binop ((Add | Mul | Band | Bxor | Bor) as op, { ek = Binop (op', _, _); _ }, _) ->
+            op = op' && is_int_expr ctx e
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Binop (op, { ek = Binop (_, a, b); _ }, c) ->
+            Some { e with ek = Binop (op, a, binop op b c) }
+          | _ -> None))
+
+let distribute_mul =
+  Mutator.make ~name:"DistributeMultiplication"
+    ~description:
+      "Distribute a multiplication over an addition: a * (b + c) becomes \
+       a * b + a * c (duplicating the multiplier expression)."
+    ~category:Expression ~provenance:Supervised ~creative:true
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Binop (Mul, a, { ek = Binop (Add, _, _); _ }) ->
+            is_pure a && is_int_expr ctx e
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Binop (Mul, a, { ek = Binop (Add, b, c); _ }) ->
+            Some (binop Add (binop Mul (copy_expr a) b) (binop Mul (copy_expr a) c))
+          | _ -> None))
+
+let inverse_comparison =
+  Mutator.make ~name:"InverseComparisonViaNegation"
+    ~description:
+      "Replace a relational comparison by the logical negation of its \
+       complement: a < b becomes !(a >= b)."
+    ~category:Expression ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Binop ((Lt | Le | Gt | Ge), _, _) -> true
+          | _ -> false)
+        ~f:(fun e ->
+          let complement = function
+            | Lt -> Ge | Le -> Gt | Gt -> Le | Ge -> Lt
+            | op -> op
+          in
+          match e.ek with
+          | Binop (op, a, b) ->
+            Some (unop Lognot (binop (complement op) a b))
+          | _ -> None))
+
+let all : Mutator.t list =
+  [
+    swap_binary_operands;
+    rotate_noncommutative_operands;
+    change_binary_operator;
+    swap_logical_operator;
+    comparison_boundary;
+    equality_flip;
+    strength_reduce;
+    strength_dereduce;
+    add_neutral_element;
+    reassociate;
+    distribute_mul;
+    inverse_comparison;
+  ]

@@ -1,0 +1,189 @@
+(* Expression mutators targeting function calls and assignments. *)
+
+open Cparse
+open Ast
+open Mk
+
+let is_user_call ctx e =
+  match e.ek with
+  | Call ({ ek = Ident n; _ }, _) ->
+    List.exists (fun fd -> String.equal fd.f_name n) (Visit.functions ctx.Uast.Ctx.tu)
+  | _ -> false
+
+let swap_call_arguments =
+  Mutator.make ~name:"SwapCallArguments"
+    ~description:
+      "Swap two arguments of a function call whose parameter types are \
+       mutually assignable."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Call (_, args) when List.length args >= 2 ->
+            List.for_all (fun a -> is_arith_ty (ty_of ctx a)) args
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Call (f, args) ->
+            let n = List.length args in
+            let i = Uast.Ctx.rand_int ctx n in
+            let j = (i + 1 + Uast.Ctx.rand_int ctx (n - 1)) mod n in
+            let arr = Array.of_list args in
+            let tmp = arr.(i) in
+            arr.(i) <- arr.(j);
+            arr.(j) <- tmp;
+            Some { e with ek = Call (f, Array.to_list arr) }
+          | _ -> None))
+
+let replace_call_arg_with_default =
+  Mutator.make ~name:"ReplaceCallArgumentWithDefault"
+    ~description:
+      "Replace one argument of a function call with a default constant of \
+       the argument's type."
+    ~category:Expression ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Call (_, args) ->
+            List.exists (fun a -> is_arith_ty (ty_of ctx a)) args
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Call (f, args) ->
+            let arith_args =
+              List.filter (fun a -> is_arith_ty (ty_of ctx a)) args
+            in
+            let* victim = Uast.Ctx.rand_element ctx arith_args in
+            let args' =
+              List.map
+                (fun a ->
+                  if a.eid = victim.eid then default_of_ty (ty_of ctx a) else a)
+                args
+            in
+            Some { e with ek = Call (f, args') }
+          | _ -> None))
+
+let replace_call_with_constant =
+  Mutator.make ~name:"ReplaceCallWithConstant"
+    ~description:
+      "Replace a call to a function returning an arithmetic value with a \
+       default constant, leaving the callee compiled but uncalled."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e -> is_user_call ctx e && is_arith_ty (ty_of ctx e))
+        ~f:(fun e -> Some (default_of_ty (ty_of ctx e))))
+
+let duplicate_call_statement =
+  Mutator.make ~name:"DuplicateCallStatement"
+    ~description:
+      "Duplicate a call statement so the callee runs twice, doubling its \
+       side effects."
+    ~category:Expression ~provenance:Unsupervised
+    (fun ctx ->
+      let* s =
+        pick_stmt ctx (fun s ->
+            match s.sk with Sexpr { ek = Call _; _ } -> true | _ -> false)
+      in
+      Some (Uast.Rewrite.insert_after ctx.Uast.Ctx.tu ~sid:s.sid ~stmts:[ s ]))
+
+let wrap_call_in_comma =
+  Mutator.make ~name:"WrapExpressionInCommaOperator"
+    ~description:
+      "Wrap an expression into a comma expression with a leading no-op \
+       constant: e becomes (0, e)."
+    ~category:Expression ~provenance:Unsupervised 
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          is_arith_ty (ty_of ctx e)
+          && (match e.ek with Init_list _ | Str_lit _ -> false | _ -> true))
+        ~f:(fun e -> Some (mk_expr (Comma (int_lit 0, { e with eid = no_id })))))
+
+let expand_compound_assignment =
+  Mutator.make ~name:"ExpandCompoundAssignment"
+    ~description:
+      "Expand a compound assignment into a plain assignment: x += e \
+       becomes x = x + e."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Assign (op, lhs, _) -> op <> A_none && is_pure lhs
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Assign (op, lhs, rhs) ->
+            let bop =
+              match op with
+              | A_add -> Add | A_sub -> Sub | A_mul -> Mul | A_div -> Div
+              | A_mod -> Mod | A_shl -> Shl | A_shr -> Shr
+              | A_band -> Band | A_bxor -> Bxor | A_bor -> Bor
+              | A_none -> Add
+            in
+            Some (assign lhs (binop bop (copy_expr lhs) rhs))
+          | _ -> None))
+
+let contract_to_compound_assignment =
+  Mutator.make ~name:"ContractToCompoundAssignment"
+    ~description:
+      "Contract x = x op e into the compound assignment x op= e when the \
+       left-hand sides match syntactically."
+    ~category:Expression ~provenance:Unsupervised
+    (fun ctx ->
+      let same_var a b =
+        match a.ek, b.ek with
+        | Ident x, Ident y -> String.equal x y
+        | _ -> false
+      in
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Assign (A_none, lhs, { ek = Binop ((Add | Sub | Mul | Div | Mod | Band | Bxor | Bor), l, _); _ }) ->
+            same_var lhs l
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Assign (A_none, lhs, { ek = Binop (op, _, rhs); _ }) ->
+            let aop =
+              match op with
+              | Add -> A_add | Sub -> A_sub | Mul -> A_mul | Div -> A_div
+              | Mod -> A_mod | Band -> A_band | Bxor -> A_bxor | Bor -> A_bor
+              | _ -> A_add
+            in
+            Some (assign ~op:aop lhs rhs)
+          | _ -> None))
+
+let chain_assignment =
+  Mutator.make ~name:"ChainAssignmentThroughTemporary"
+    ~description:
+      "Route an assignment's value through the assignment expression \
+       itself: y = (x = e) where a fresh statement previously wrote x."
+    ~category:Expression ~provenance:Unsupervised 
+    (fun ctx ->
+      (* turn `x = e;` into `x = (x = e);` — a redundant chained assign *)
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Assign (A_none, { ek = Ident _; _ }, rhs) -> is_pure rhs
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Assign (A_none, lhs, rhs) ->
+            Some (assign lhs (assign (copy_expr lhs) rhs))
+          | _ -> None))
+
+let all : Mutator.t list =
+  [
+    swap_call_arguments;
+    replace_call_arg_with_default;
+    replace_call_with_constant;
+    duplicate_call_statement;
+    wrap_call_in_comma;
+    expand_compound_assignment;
+    contract_to_compound_assignment;
+    chain_assignment;
+  ]

@@ -1,0 +1,193 @@
+(* Expression mutators targeting literals. *)
+
+open Cparse
+open Ast
+open Mk
+
+let is_int_lit e = match e.ek with Int_lit _ -> true | _ -> false
+
+let modify_integer_literal =
+  Mutator.make ~name:"ModifyIntegerLiteral"
+    ~description:
+      "Modify an integer literal into a nearby value (off-by-one, doubled, \
+       or halved), perturbing constant folding and range analyses."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx ~pred:is_int_lit ~f:(fun e ->
+          match e.ek with
+          | Int_lit (v, k, u) ->
+            let v' =
+              match Uast.Ctx.rand_int ctx 4 with
+              | 0 -> Int64.add v 1L
+              | 1 -> Int64.sub v 1L
+              | 2 -> Int64.mul v 2L
+              | _ -> Int64.div v 2L
+            in
+            Some { e with ek = Int_lit (v', k, u) }
+          | _ -> None))
+
+let replace_literal_with_random =
+  Mutator.make ~name:"ReplaceLiteralWithRandomValue"
+    ~description:
+      "Replace an integer literal with a freshly sampled random value."
+    ~category:Expression ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_expr ctx ~pred:is_int_lit ~f:(fun e ->
+          match e.ek with
+          | Int_lit (_, k, u) ->
+            let v = Int64.of_int (Uast.Ctx.rand_int ctx 65536 - 32768) in
+            Some { e with ek = Int_lit (v, k, u) }
+          | _ -> None))
+
+let negate_integer_literal =
+  Mutator.make ~name:"NegateIntegerLiteral"
+    ~description:"Negate the value of an integer literal."
+    ~category:Expression ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with Int_lit (v, _, _) -> v <> 0L | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Int_lit (v, k, u) -> Some { e with ek = Int_lit (Int64.neg v, k, u) }
+          | _ -> None))
+
+let literal_to_boundary =
+  Mutator.make ~name:"ReplaceLiteralWithBoundaryValue"
+    ~description:
+      "Replace an integer literal with a type-boundary value such as \
+       INT_MAX, INT_MIN, 0, or a power of two, probing overflow handling."
+    ~category:Expression ~provenance:Supervised ~creative:true
+    (fun ctx ->
+      rewrite_one_expr ctx ~pred:is_int_lit ~f:(fun e ->
+          match e.ek with
+          | Int_lit (_, k, u) ->
+            let boundaries =
+              [ 0L; 1L; -1L; 127L; 128L; 255L; 256L; 32767L; 32768L;
+                65535L; 65536L; 2147483647L; -2147483648L; 4294967295L ]
+            in
+            let v = Rng.choose ctx.Uast.Ctx.rng boundaries in
+            Some { e with ek = Int_lit (v, k, u) }
+          | _ -> None))
+
+let literal_to_expression =
+  Mutator.make ~name:"ExpandLiteralToExpression"
+    ~description:
+      "Expand an integer literal N into an equivalent constant expression \
+       (e.g. (N+1)-1 or N^0), feeding extra work to constant folding."
+    ~category:Expression ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      rewrite_one_expr ctx ~pred:is_int_lit ~f:(fun e ->
+          match e.ek with
+          | Int_lit (v, k, u) ->
+            let lit x = mk_expr (Int_lit (x, k, u)) in
+            let repl =
+              match Uast.Ctx.rand_int ctx 3 with
+              | 0 -> binop Sub (binop Add (lit v) (int_lit 1)) (int_lit 1)
+              | 1 -> binop Bxor (lit v) (int_lit 0)
+              | _ -> binop Add (lit (Int64.div v 2L)) (lit (Int64.sub v (Int64.div v 2L)))
+            in
+            Some repl
+          | _ -> None))
+
+let char_to_int_literal =
+  Mutator.make ~name:"ConvertCharLiteralToInt"
+    ~description:"Replace a character literal with its integer code."
+    ~category:Expression ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e -> match e.ek with Char_lit _ -> true | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Char_lit c -> Some (int_lit (Char.code c))
+          | _ -> None))
+
+let int_to_char_literal =
+  Mutator.make ~name:"ConvertIntToCharLiteral"
+    ~description:
+      "Replace a small printable integer literal with the equivalent \
+       character literal."
+    ~category:Expression ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Int_lit (v, _, _) -> v >= 32L && v < 127L
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Int_lit (v, _, _) ->
+            Some (mk_expr (Char_lit (Char.chr (Int64.to_int v))))
+          | _ -> None))
+
+let float_precision_change =
+  Mutator.make ~name:"SwitchFloatLiteralPrecision"
+    ~description:
+      "Switch a floating-point literal between float and double precision \
+       (toggling the f suffix)."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e -> match e.ek with Float_lit _ -> true | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Float_lit (v, d) -> Some { e with ek = Float_lit (v, not d) }
+          | _ -> None))
+
+let shift_amount_mutate =
+  Mutator.make ~name:"ModifyShiftAmount"
+    ~description:
+      "Modify the constant shift amount of a shift expression, including \
+       to boundary values like 0, 31, or 63."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Binop ((Shl | Shr), _, { ek = Int_lit _; _ }) -> true
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Binop (op, a, _) ->
+            let amounts = [ 0; 1; 7; 8; 15; 16; 31; 32; 63 ] in
+            Some { e with ek = Binop (op, a, int_lit (Rng.choose ctx.Uast.Ctx.rng amounts)) }
+          | _ -> None))
+
+let literal_to_sizeof =
+  Mutator.make ~name:"ReplaceLiteralWithSizeof"
+    ~description:
+      "Replace an integer literal whose value matches the size of a basic \
+       type with the corresponding sizeof expression."
+    ~category:Expression ~provenance:Unsupervised 
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Int_lit (v, _, _) -> List.mem v [ 1L; 2L; 4L; 8L ]
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Int_lit (v, _, _) ->
+            let ty =
+              match v with
+              | 1L -> Tint (Ichar, true)
+              | 2L -> Tint (Ishort, true)
+              | 4L -> Tint (Iint, true)
+              | _ -> Tint (Ilong, true)
+            in
+            Some (mk_expr (Cast (Tint (Iint, true), mk_expr (Sizeof_ty ty))))
+          | _ -> None))
+
+let all : Mutator.t list =
+  [
+    modify_integer_literal;
+    replace_literal_with_random;
+    negate_integer_literal;
+    literal_to_boundary;
+    literal_to_expression;
+    char_to_int_literal;
+    int_to_char_literal;
+    float_precision_change;
+    shift_amount_mutate;
+    literal_to_sizeof;
+  ]

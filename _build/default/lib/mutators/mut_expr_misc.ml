@@ -1,0 +1,237 @@
+(* Expression mutators: casts, conditionals, expression copying. *)
+
+open Cparse
+open Ast
+open Mk
+
+let copy_expr_mut =
+  Mutator.make ~name:"CopyExpr"
+    ~description:
+      "Copy one expression over another expression of an assignable type \
+       elsewhere in the program."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      let pure_arith e =
+        is_arith_ty (ty_of ctx e) && is_pure e
+        && (match e.ek with Init_list _ -> false | _ -> true)
+      in
+      let candidates = Visit.collect_exprs pure_arith ctx.Uast.Ctx.tu in
+      if List.length candidates < 2 then None
+      else begin
+        let* src = Uast.Ctx.rand_element ctx candidates in
+        let targets = List.filter (fun e -> e.eid <> src.eid) candidates in
+        let* dst = Uast.Ctx.rand_element ctx targets in
+        if Uast.Check.check_assignment ~dst:(ty_of ctx dst) ~src:(ty_of ctx src)
+        then Some (Visit.replace_expr ctx.Uast.Ctx.tu ~eid:dst.eid ~repl:src)
+        else None
+      end)
+
+let insert_cast =
+  Mutator.make ~name:"InsertExplicitCast"
+    ~description:
+      "Insert an explicit cast to a randomly chosen arithmetic type around \
+       an arithmetic expression."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          is_arith_ty (ty_of ctx e)
+          && (match e.ek with Init_list _ | Str_lit _ -> false | _ -> true))
+        ~f:(fun e ->
+          let tys =
+            [ Tint (Ichar, true); Tint (Ishort, true); Tint (Iint, true);
+              Tint (Iint, false); Tint (Ilong, true); Tint (Ilonglong, true);
+              Tfloat; Tdouble ]
+          in
+          let ty = Rng.choose ctx.Uast.Ctx.rng tys in
+          Some (mk_expr (Cast (ty, { e with eid = no_id })))))
+
+let remove_cast =
+  Mutator.make ~name:"RemoveExplicitCast"
+    ~description:"Remove an explicit cast, keeping the casted expression."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Cast (_, { ek = Init_list _; _ }) -> false (* compound literal *)
+          | Cast _ -> true
+          | _ -> false)
+        ~f:(fun e -> match e.ek with Cast (_, a) -> Some a | _ -> None))
+
+let change_cast_type =
+  Mutator.make ~name:"ChangeCastType"
+    ~description:"Change the target type of an existing cast expression."
+    ~category:Expression ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Cast (t, { ek = Init_list _; _ }) -> ignore t; false
+          | Cast (t, _) -> is_arith_ty t
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Cast (_, a) ->
+            let tys =
+              [ Tint (Ichar, true); Tint (Ichar, false); Tint (Ishort, true);
+                Tint (Iint, true); Tint (Ilong, true); Tint (Ilonglong, false);
+                Tfloat; Tdouble; Tbool ]
+            in
+            Some { e with ek = Cast (Rng.choose ctx.Uast.Ctx.rng tys, a) }
+          | _ -> None))
+
+let cast_chain =
+  Mutator.make ~name:"BuildCastChain"
+    ~description:
+      "Expand a cast (T)e into a chain of casts through an intermediate \
+       type, (T)(U)e, probing conversion lowering."
+    ~category:Expression ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Cast (t, { ek = Init_list _; _ }) -> ignore t; false
+          | Cast (t, _) -> is_arith_ty t
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Cast (t, a) ->
+            let mid =
+              Rng.choose ctx.Uast.Ctx.rng
+                [ Tint (Ichar, true); Tint (Ishort, false); Tfloat; Tint (Ilonglong, true) ]
+            in
+            Some { e with ek = Cast (t, mk_expr (Cast (mid, a))) }
+          | _ -> None))
+
+let cond_swap_arms =
+  Mutator.make ~name:"SwapConditionalArms"
+    ~description:
+      "Swap the two arms of a conditional expression while negating its \
+       condition, preserving semantics with inverted control flow."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e -> match e.ek with Cond _ -> true | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Cond (c, t, f) -> Some { e with ek = Cond (unop Lognot c, f, t) }
+          | _ -> None))
+
+let cond_collapse =
+  Mutator.make ~name:"CollapseConditionalToArm"
+    ~description:
+      "Collapse a conditional expression to one of its arms, removing the \
+       branch."
+    ~category:Expression ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with
+          | Cond (c, _, _) -> is_pure c
+          | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Cond (_, t, f) -> Some (if Uast.Ctx.flip ctx 0.5 then t else f)
+          | _ -> None))
+
+let wrap_in_conditional =
+  Mutator.make ~name:"WrapExpressionInConditional"
+    ~description:
+      "Wrap an expression e into the degenerate conditional (1 ? e : d) \
+       where d is a default of the same type."
+    ~category:Expression ~provenance:Supervised ~creative:true
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          is_arith_ty (ty_of ctx e) && is_pure e
+          && (match e.ek with Init_list _ | Str_lit _ -> false | _ -> true))
+        ~f:(fun e ->
+          let d = default_of_ty (ty_of ctx e) in
+          Some (mk_expr (Cond (int_lit 1, { e with eid = no_id }, d)))))
+
+let duplicate_into_cond =
+  Mutator.make ~name:"DuplicateExpressionIntoConditional"
+    ~description:
+      "Duplicate an expression into both arms of a fresh opaque \
+       conditional: e becomes (x ? e : e) for an in-scope scalar x."
+    ~category:Expression ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          is_arith_ty (ty_of ctx e) && is_pure e
+          && (match e.ek with Init_list _ | Str_lit _ -> false | _ -> true))
+        ~f:(fun e ->
+          let e1 = { e with eid = no_id } in
+          let e2 = { e with eid = no_id } in
+          Some (mk_expr (Cond (int_lit 1, e1, e2)))))
+
+let sizeof_to_literal =
+  Mutator.make ~name:"FoldSizeofToLiteral"
+    ~description:"Replace a sizeof(type) expression by its constant value."
+    ~category:Expression ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e -> match e.ek with Sizeof_ty _ -> true | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Sizeof_ty t -> Some (int_lit (sizeof_ty t))
+          | _ -> None))
+
+let comma_expand_statement =
+  Mutator.make ~name:"MergeStatementsIntoComma"
+    ~description:
+      "Merge two adjacent expression statements into a single comma \
+       expression statement."
+    ~category:Expression ~provenance:Supervised ~creative:true
+    (fun ctx ->
+      (* find a block containing two adjacent expression statements *)
+      let target = ref None in
+      Visit.iter_tu ctx.Uast.Ctx.tu ~fs:(fun s ->
+          match s.sk with
+          | Sblock ss ->
+            let rec scan = function
+              | ({ sk = Sexpr _; _ } as a) :: ({ sk = Sexpr _; _ } as b) :: _ ->
+                if !target = None then target := Some (s.sid, a, b)
+              | _ :: rest -> scan rest
+              | [] -> ()
+            in
+            scan ss
+          | _ -> ());
+      let* block_sid, a, b = !target in
+      let merged =
+        match a.sk, b.sk with
+        | Sexpr ea, Sexpr eb -> sexpr (mk_expr (Comma (ea, eb)))
+        | _ -> a
+      in
+      let tu =
+        Visit.map_tu ctx.Uast.Ctx.tu ~fs:(fun s ->
+            if s.sid = block_sid then
+              match s.sk with
+              | Sblock ss ->
+                let rec rebuild = function
+                  | x :: y :: rest when x.sid = a.sid && y.sid = b.sid ->
+                    merged :: rest
+                  | x :: rest -> x :: rebuild rest
+                  | [] -> []
+                in
+                { s with sk = Sblock (rebuild ss) }
+              | _ -> s
+            else s)
+      in
+      Some tu)
+
+let all : Mutator.t list =
+  [
+    copy_expr_mut;
+    insert_cast;
+    remove_cast;
+    change_cast_type;
+    cast_chain;
+    cond_swap_arms;
+    cond_collapse;
+    wrap_in_conditional;
+    duplicate_into_cond;
+    sizeof_to_literal;
+    comma_expand_statement;
+  ]

@@ -1,0 +1,121 @@
+(* Expression mutators targeting unary operators and inc/dec. *)
+
+open Cparse
+open Ast
+open Mk
+
+let inverse_unary_operator =
+  Mutator.make ~name:"InverseUnaryOperator"
+    ~description:
+      "Select a unary operation (like unary minus or logical not) and \
+       inverse it: -a becomes -(-a) and !a becomes !!a."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          match e.ek with Unop ((Neg | Lognot), _) -> true | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Unop (op, _) -> Some (unop op { e with eid = no_id })
+          | _ -> None))
+
+let remove_unary_operator =
+  Mutator.make ~name:"RemoveUnaryOperator"
+    ~description:"Remove a unary operator, keeping its operand."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e -> match e.ek with Unop _ -> true | _ -> false)
+        ~f:(fun e -> match e.ek with Unop (_, a) -> Some a | _ -> None))
+
+let add_unary_minus =
+  Mutator.make ~name:"AddUnaryMinus"
+    ~description:"Wrap an arithmetic expression in a unary minus."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e -> is_arith_expr ctx e && is_pure e
+                        && (match e.ek with Init_list _ | Str_lit _ -> false | _ -> true))
+        ~f:(fun e -> Some (unop Neg { e with eid = no_id })))
+
+let add_logical_not =
+  Mutator.make ~name:"AddLogicalNot"
+    ~description:
+      "Wrap a scalar expression in a logical negation, flipping its truth \
+       value."
+    ~category:Expression ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e ->
+          is_scalar_ty (ty_of ctx e) && is_pure e
+          && (match e.ek with Init_list _ | Str_lit _ -> false | _ -> true))
+        ~f:(fun e -> Some (unop Lognot { e with eid = no_id })))
+
+let add_bitwise_not_twice =
+  Mutator.make ~name:"AddDoubleBitwiseNot"
+    ~description:
+      "Wrap an integer expression in a double bitwise complement ~~e, a \
+       semantic no-op that stresses pattern-matching simplifications."
+    ~category:Expression ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e -> is_int_expr ctx e && is_pure e
+                        && (match e.ek with Init_list _ -> false | _ -> true))
+        ~f:(fun e -> Some (unop Bitnot (unop Bitnot { e with eid = no_id }))))
+
+let prefix_to_postfix =
+  Mutator.make ~name:"SwitchIncrementFixity"
+    ~description:
+      "Switch a prefix increment/decrement to postfix or vice versa, \
+       changing the value of the enclosing expression."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e -> match e.ek with Incdec _ -> true | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Incdec (inc, pre, a) -> Some { e with ek = Incdec (inc, not pre, a) }
+          | _ -> None))
+
+let inc_to_dec =
+  Mutator.make ~name:"InverseIncrementDirection"
+    ~description:"Change an increment into a decrement or vice versa."
+    ~category:Expression ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_expr ctx
+        ~pred:(fun e -> match e.ek with Incdec _ -> true | _ -> false)
+        ~f:(fun e ->
+          match e.ek with
+          | Incdec (inc, pre, a) -> Some { e with ek = Incdec (not inc, pre, a) }
+          | _ -> None))
+
+let incdec_to_compound =
+  Mutator.make ~name:"ExpandIncrementToAssignment"
+    ~description:
+      "Expand an increment/decrement used as a statement into the \
+       equivalent compound assignment (x++ becomes x += 1)."
+    ~category:Expression ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s ->
+          match s.sk with
+          | Sexpr { ek = Incdec _; _ } -> true
+          | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Sexpr { ek = Incdec (inc, _, a); _ } ->
+            let op = if inc then A_add else A_sub in
+            Some (sexpr (assign ~op a (int_lit 1)))
+          | _ -> None))
+
+let all : Mutator.t list =
+  [
+    inverse_unary_operator;
+    remove_unary_operator;
+    add_unary_minus;
+    add_logical_not;
+    add_bitwise_not_twice;
+    prefix_to_postfix;
+    inc_to_dec;
+    incdec_to_compound;
+  ]

@@ -1,0 +1,288 @@
+(* Function mutators, part 1: signature-level mutations.
+
+   Includes the paper's running example ModifyFunctionReturnTypeToVoid
+   (Ret2V), whose refined implementation removes the function's return
+   statements and replaces every call-site use with a default constant. *)
+
+open Cparse
+open Ast
+open Mk
+
+let non_main fd = not (String.equal fd.f_name "main")
+
+(* The paper's Ret2V (Figures 3-5). *)
+let ret2v =
+  Mutator.make ~name:"ModifyFunctionReturnTypeToVoid"
+    ~description:
+      "Change a function's return type to void, remove all return \
+       statements, and replace all uses of the function's result with a \
+       default value."
+    ~category:Function ~provenance:Supervised ~creative:true
+    (fun ctx ->
+      let* fd =
+        pick_function ctx (fun fd -> non_main fd && not (is_void_ty fd.f_ret))
+      in
+      let default =
+        if is_float_ty fd.f_ret then float_lit 0.0 else int_lit 0
+      in
+      (* replace result uses at call sites (calls in expression position);
+         calls in statement position stay as calls *)
+      let tu =
+        Visit.map_tu ctx.Uast.Ctx.tu ~fs:(fun s ->
+            match s.sk with
+            | Sexpr { ek = Call ({ ek = Ident n; _ }, _); _ }
+              when String.equal n fd.f_name ->
+              s (* pure call statement keeps calling the void function *)
+            | _ -> s)
+      in
+      let in_stmt_call = Hashtbl.create 8 in
+      Visit.iter_tu tu ~fs:(fun s ->
+          match s.sk with
+          | Sexpr ({ ek = Call ({ ek = Ident n; _ }, _); _ } as e)
+            when String.equal n fd.f_name ->
+            Hashtbl.replace in_stmt_call e.eid ()
+          | _ -> ());
+      let tu =
+        Visit.map_tu tu ~fe:(fun e ->
+            match e.ek with
+            | Call ({ ek = Ident n; _ }, _)
+              when String.equal n fd.f_name
+                   && not (Hashtbl.mem in_stmt_call e.eid) ->
+              { default with eid = no_id }
+            | _ -> e)
+      in
+      (* remove returns (Fig. 4: only this function's returns) and change
+         the return type *)
+      let tu =
+        Uast.Rewrite.replace_function tu ~fname:fd.f_name ~f:(fun fd ->
+            let fd =
+              Visit.map_fundef
+                ~fe:(fun e -> e)
+                ~fs:(fun s ->
+                  match s.sk with
+                  | Sreturn _ -> { s with sk = Sreturn None }
+                  | _ -> s)
+                fd
+            in
+            { fd with f_ret = Tvoid })
+      in
+      Some tu)
+
+let void_to_int =
+  Mutator.make ~name:"ModifyFunctionReturnTypeToInt"
+    ~description:
+      "Change a void function's return type to int, rewriting bare returns \
+       and appending a final return 0."
+    ~category:Function ~provenance:Unsupervised
+    (fun ctx ->
+      let* fd = pick_function ctx (fun fd -> is_void_ty fd.f_ret) in
+      Some
+        (Uast.Rewrite.replace_function ctx.Uast.Ctx.tu ~fname:fd.f_name
+           ~f:(fun fd ->
+             let fd =
+               Visit.map_fundef
+                 ~fe:(fun e -> e)
+                 ~fs:(fun s ->
+                   match s.sk with
+                   | Sreturn None -> { s with sk = Sreturn (Some (int_lit 0)) }
+                   | _ -> s)
+                 fd
+             in
+             {
+               fd with
+               f_ret = Tint (Iint, true);
+               f_body = fd.f_body @ [ sreturn (Some (int_lit 0)) ];
+             })))
+
+let remove_parameter =
+  Mutator.make ~name:"RemoveFunctionParameter"
+    ~description:
+      "Remove a parameter from a function declaration and the matching \
+       argument from every call (uses of the parameter become a fresh \
+       local with a default value)."
+    ~category:Function ~provenance:Supervised
+    (fun ctx ->
+      let* fd = pick_function ctx (fun fd -> non_main fd && fd.f_params <> []) in
+      let index = Uast.Ctx.rand_int ctx (List.length fd.f_params) in
+      let p = List.nth fd.f_params index in
+      let tu = Uast.Rewrite.remove_param ctx.Uast.Ctx.tu ~fname:fd.f_name ~index in
+      (* keep uses of the removed parameter compiling *)
+      let decl =
+        decl_stmt ~name:p.p_name ~ty:p.p_ty (Some (default_of_ty p.p_ty))
+      in
+      Some (Uast.Rewrite.prepend_to_function tu ~fname:fd.f_name ~stmts:[ decl ]))
+
+let add_parameter =
+  Mutator.make ~name:"AddFunctionParameter"
+    ~description:
+      "Add a fresh integer parameter to a function, passing zero at every \
+       call site."
+    ~category:Function ~provenance:Unsupervised
+    (fun ctx ->
+      let* fd =
+        pick_function ctx (fun fd -> non_main fd && not fd.f_variadic)
+      in
+      let pname = Uast.Ctx.generate_unique_name ctx "extra_param" in
+      let tu =
+        Uast.Rewrite.replace_function ctx.Uast.Ctx.tu ~fname:fd.f_name
+          ~f:(fun fd ->
+            { fd with f_params = fd.f_params @ [ { p_name = pname; p_ty = Tint (Iint, true) } ] })
+      in
+      let tu =
+        Visit.map_tu tu ~fe:(fun e ->
+            match e.ek with
+            | Call (({ ek = Ident n; _ } as f), args) when String.equal n fd.f_name ->
+              { e with ek = Call (f, args @ [ int_lit 0 ]) }
+            | _ -> e)
+      in
+      Some tu)
+
+let reorder_parameters =
+  Mutator.make ~name:"ReorderFunctionParameters"
+    ~description:
+      "Reverse the parameter order of a function whose parameters share \
+       one type, updating every call site consistently."
+    ~category:Function ~provenance:Supervised
+    (fun ctx ->
+      let* fd =
+        pick_function ctx (fun fd ->
+            non_main fd
+            && List.length fd.f_params >= 2
+            &&
+            match fd.f_params with
+            | p :: rest -> List.for_all (fun q -> ty_equal q.p_ty p.p_ty) rest
+            | [] -> false)
+      in
+      let tu =
+        Uast.Rewrite.replace_function ctx.Uast.Ctx.tu ~fname:fd.f_name
+          ~f:(fun fd -> { fd with f_params = List.rev fd.f_params })
+      in
+      let tu =
+        Visit.map_tu tu ~fe:(fun e ->
+            match e.ek with
+            | Call (({ ek = Ident n; _ } as f), args) when String.equal n fd.f_name ->
+              { e with ek = Call (f, List.rev args) }
+            | _ -> e)
+      in
+      Some tu)
+
+let make_function_static =
+  Mutator.make ~name:"ToggleFunctionStatic"
+    ~description:"Toggle the static storage class of a function definition."
+    ~category:Function ~provenance:Unsupervised
+    (fun ctx ->
+      let* fd = pick_function ctx non_main in
+      Some
+        (Uast.Rewrite.replace_function ctx.Uast.Ctx.tu ~fname:fd.f_name
+           ~f:(fun fd -> { fd with f_static = not fd.f_static })))
+
+let make_function_inline =
+  Mutator.make ~name:"MarkFunctionInline"
+    ~description:
+      "Mark a function definition inline (with static linkage), inviting \
+       the inliner."
+    ~category:Function ~provenance:Unsupervised
+    (fun ctx ->
+      let* fd = pick_function ctx (fun fd -> non_main fd && not fd.f_inline) in
+      Some
+        (Uast.Rewrite.replace_function ctx.Uast.Ctx.tu ~fname:fd.f_name
+           ~f:(fun fd -> { fd with f_inline = true; f_static = true })))
+
+let duplicate_function =
+  Mutator.make ~name:"DuplicateFunction"
+    ~description:
+      "Clone a function under a fresh name and redirect one call site to \
+       the clone."
+    ~category:Function ~provenance:Supervised
+    (fun ctx ->
+      let* fd = pick_function ctx non_main in
+      let clone_name = Uast.Ctx.generate_unique_name ctx (fd.f_name ^ "_clone") in
+      let clone = { fd with f_name = clone_name; f_id = no_id } in
+      let tu = Uast.Rewrite.append_global ctx.Uast.Ctx.tu ~g:(Gfun clone) in
+      let sites = Uast.Query.calls_to tu fd.f_name in
+      match Uast.Ctx.rand_element ctx sites with
+      | Some site ->
+        Some
+          (Visit.map_tu tu ~fe:(fun e ->
+               if e.eid = site.eid then
+                 match e.ek with
+                 | Call (f, args) ->
+                   { e with ek = Call ({ f with ek = Ident clone_name }, args) }
+                 | _ -> e
+               else e))
+      | None -> Some tu)
+
+let add_function_wrapper =
+  Mutator.make ~name:"AddFunctionWrapper"
+    ~description:
+      "Introduce a wrapper function that forwards to an existing function \
+       and redirect all call sites through the wrapper."
+    ~category:Function ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      let* fd =
+        pick_function ctx (fun fd ->
+            non_main fd && not fd.f_variadic
+            && List.for_all (fun p -> is_arith_ty p.p_ty) fd.f_params)
+      in
+      let wname = Uast.Ctx.generate_unique_name ctx (fd.f_name ^ "_wrapper") in
+      let args = List.map (fun p -> ident p.p_name) fd.f_params in
+      let callee = call (ident fd.f_name) args in
+      let body =
+        if is_void_ty fd.f_ret then [ sexpr callee; sreturn None ]
+        else [ sreturn (Some callee) ]
+      in
+      let wrapper =
+        {
+          f_id = no_id;
+          f_name = wname;
+          f_ret = fd.f_ret;
+          f_params = fd.f_params;
+          f_variadic = false;
+          f_body = body;
+          f_static = false;
+          f_inline = false;
+        }
+      in
+      (* redirect existing call sites (before appending the wrapper, whose
+         own call must keep targeting the original) *)
+      let tu =
+        Visit.map_tu ctx.Uast.Ctx.tu ~fe:(fun e ->
+            match e.ek with
+            | Call (({ ek = Ident n; _ } as f), args) when String.equal n fd.f_name ->
+              { e with ek = Call ({ f with ek = Ident wname }, args) }
+            | _ -> e)
+      in
+      Some (Uast.Rewrite.append_global tu ~g:(Gfun wrapper)))
+
+let recursion_injection =
+  Mutator.make ~name:"InjectGuardedRecursion"
+    ~description:
+      "Inject an opaquely-false guarded self-call at the start of a \
+       function, making it syntactically recursive."
+    ~category:Function ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      let* fd =
+        pick_function ctx (fun fd ->
+            non_main fd && not fd.f_variadic
+            && List.for_all (fun p -> is_arith_ty p.p_ty) fd.f_params)
+      in
+      let args = List.map (fun p -> default_of_ty p.p_ty) fd.f_params in
+      let self_call = sexpr (call (ident fd.f_name) args) in
+      let guard = mk_stmt (Sif (binop Gt (int_lit 0) (int_lit 1), self_call, None)) in
+      Some
+        (Uast.Rewrite.prepend_to_function ctx.Uast.Ctx.tu ~fname:fd.f_name
+           ~stmts:[ guard ]))
+
+let all : Mutator.t list =
+  [
+    ret2v;
+    void_to_int;
+    remove_parameter;
+    add_parameter;
+    reorder_parameters;
+    make_function_static;
+    make_function_inline;
+    duplicate_function;
+    add_function_wrapper;
+    recursion_injection;
+  ]

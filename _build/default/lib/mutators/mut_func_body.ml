@@ -1,0 +1,352 @@
+(* Function mutators, part 2: body-level mutations (inlining, outlining,
+   body surgery).  Includes the paper's SimpleUninliner. *)
+
+open Cparse
+open Ast
+open Mk
+
+let non_main fd = not (String.equal fd.f_name "main")
+
+(* Does a statement subtree reference only global variables and functions
+   (no locals/params of the enclosing function)? *)
+let stmts_use_only_globals (tu : tu) (fd : fundef) (ss : stmt list) : bool =
+  let locals = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace locals p.p_name ()) fd.f_params;
+  List.iter
+    (Visit.iter_stmt
+       ~fe:(fun _ -> ())
+       ~fs:(fun s ->
+         match s.sk with
+         | Sdecl vs -> List.iter (fun v -> Hashtbl.replace locals v.v_name ()) vs
+         | Sfor (Some (Fi_decl vs), _, _, _) ->
+           List.iter (fun v -> Hashtbl.replace locals v.v_name ()) vs
+         | _ -> ()))
+    fd.f_body;
+  let funcs = Hashtbl.create 16 in
+  List.iter
+    (fun f -> Hashtbl.replace funcs f.f_name ())
+    (Visit.functions tu);
+  let ok = ref true in
+  List.iter
+    (Visit.iter_stmt
+       ~fe:(fun e ->
+         match e.ek with
+         | Ident n when Hashtbl.mem locals n && not (Hashtbl.mem funcs n) ->
+           ok := false
+         | _ -> ())
+       ~fs:(fun s ->
+         match s.sk with
+         | Sreturn _ | Sbreak | Scontinue | Sgoto _ -> ok := false
+         | Sdecl _ -> ok := false
+         | _ -> ()))
+    ss;
+  !ok
+
+(* Paper example (Ms, creative): SimpleUninliner. *)
+let simple_uninliner =
+  Mutator.make ~name:"SimpleUninliner"
+    ~description:"Turn a block of code into a function call."
+    ~category:Function ~provenance:Supervised ~creative:true
+    (fun ctx ->
+      let tu = ctx.Uast.Ctx.tu in
+      let candidates = ref [] in
+      Visit.iter_tu_in_functions tu ~f:(fun fd ->
+          List.iter
+            (Visit.iter_stmt
+               ~fe:(fun _ -> ())
+               ~fs:(fun s ->
+                 match s.sk with
+                 | Sblock ss
+                   when ss <> [] && stmts_use_only_globals tu fd ss ->
+                   candidates := (fd, s, ss) :: !candidates
+                 | _ -> ()))
+            fd.f_body);
+      let* _fd, block, ss = Uast.Ctx.rand_element ctx !candidates in
+      let fname = Uast.Ctx.generate_unique_name ctx "uninlined" in
+      let newf =
+        {
+          f_id = no_id;
+          f_name = fname;
+          f_ret = Tvoid;
+          f_params = [];
+          f_variadic = false;
+          f_body = List.map (fun s -> { s with sid = no_id }) ss;
+          f_static = false;
+          f_inline = false;
+        }
+      in
+      let tu =
+        Visit.replace_stmt tu ~sid:block.sid ~repl:(sexpr (call (ident fname) []))
+      in
+      Some (Uast.Rewrite.insert_global_before_functions tu ~g:(Gfun newf)))
+
+(* Inline a call to a "simple" function: body is a single return of a pure
+   expression over its parameters and globals. *)
+let inline_function_call =
+  Mutator.make ~name:"InlineSimpleFunctionCall"
+    ~description:
+      "Inline a call to a function whose body is a single return of a pure \
+       expression, substituting arguments for parameters."
+    ~category:Function ~provenance:Supervised ~creative:true
+    (fun ctx ->
+      let tu = ctx.Uast.Ctx.tu in
+      let simple_body fd =
+        match fd.f_body with
+        | [ { sk = Sreturn (Some e); _ } ] when is_pure e -> Some e
+        | _ -> None
+      in
+      let inlinable =
+        List.filter_map
+          (fun fd ->
+            match simple_body fd with
+            | Some e when non_main fd -> Some (fd, e)
+            | _ -> None)
+          (Visit.functions tu)
+      in
+      let* fd, body_expr = Uast.Ctx.rand_element ctx inlinable in
+      let sites =
+        List.filter
+          (fun e ->
+            match e.ek with
+            | Call (_, args) ->
+              List.length args = List.length fd.f_params
+              && List.for_all is_pure args
+            | _ -> false)
+          (Uast.Query.calls_to tu fd.f_name)
+      in
+      let* site = Uast.Ctx.rand_element ctx sites in
+      let args = match site.ek with Call (_, args) -> args | _ -> [] in
+      let subst = List.combine (List.map (fun p -> p.p_name) fd.f_params) args in
+      let inlined =
+        Visit.map_expr
+          (fun e ->
+            match e.ek with
+            | Ident n -> (
+              match List.assoc_opt n subst with
+              | Some arg -> { arg with eid = no_id }
+              | None -> e)
+            | _ -> e)
+          body_expr
+      in
+      Some (Visit.replace_expr tu ~eid:site.eid ~repl:inlined))
+
+let split_function =
+  Mutator.make ~name:"SplitFunctionTail"
+    ~description:
+      "Split the trailing statements of a function body into a fresh \
+       helper function called in their place."
+    ~category:Function ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      let tu = ctx.Uast.Ctx.tu in
+      let candidates =
+        List.filter_map
+          (fun fd ->
+            if not (non_main fd) || List.length fd.f_body < 2 then None
+            else
+              (* split before the final return, moving the middle chunk *)
+              let n = List.length fd.f_body in
+              let k = n / 2 in
+              let head = List.filteri (fun i _ -> i < k) fd.f_body in
+              let tail = List.filteri (fun i _ -> i >= k) fd.f_body in
+              let movable, rest =
+                List.partition
+                  (fun s ->
+                    match s.sk with
+                    | Sreturn _ -> false
+                    | _ -> stmts_use_only_globals tu fd [ s ])
+                  tail
+              in
+              if movable = [] then None else Some (fd, head, movable, rest))
+          (Visit.functions tu)
+      in
+      let* fd, head, movable, rest = Uast.Ctx.rand_element ctx candidates in
+      let hname = Uast.Ctx.generate_unique_name ctx (fd.f_name ^ "_tail") in
+      let helper =
+        {
+          f_id = no_id;
+          f_name = hname;
+          f_ret = Tvoid;
+          f_params = [];
+          f_variadic = false;
+          f_body = List.map (fun s -> { s with sid = no_id }) movable;
+          f_static = false;
+          f_inline = false;
+        }
+      in
+      let tu =
+        Uast.Rewrite.replace_function tu ~fname:fd.f_name ~f:(fun fd ->
+            { fd with f_body = head @ (sexpr (call (ident hname) []) :: rest) })
+      in
+      Some (Uast.Rewrite.insert_global_before_functions tu ~g:(Gfun helper)))
+
+let swap_function_bodies =
+  Mutator.make ~name:"SwapFunctionBodies"
+    ~description:
+      "Swap the bodies of two functions that share the same signature."
+    ~category:Function ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      let funcs = List.filter non_main (Visit.functions ctx.Uast.Ctx.tu) in
+      let same_sig a b =
+        ty_equal a.f_ret b.f_ret
+        && List.length a.f_params = List.length b.f_params
+        && List.for_all2 (fun p q -> ty_equal p.p_ty q.p_ty) a.f_params b.f_params
+        && List.for_all2
+             (fun p q -> String.equal p.p_name q.p_name)
+             a.f_params b.f_params
+      in
+      let pairs = ref [] in
+      let rec go = function
+        | [] -> ()
+        | a :: rest ->
+          List.iter (fun b -> if same_sig a b then pairs := (a, b) :: !pairs) rest;
+          go rest
+      in
+      go funcs;
+      let* a, b = Uast.Ctx.rand_element ctx !pairs in
+      let globals =
+        List.map
+          (function
+            | Gfun fd when String.equal fd.f_name a.f_name ->
+              Gfun { fd with f_body = b.f_body }
+            | Gfun fd when String.equal fd.f_name b.f_name ->
+              Gfun { fd with f_body = a.f_body }
+            | g -> g)
+          ctx.Uast.Ctx.tu.globals
+      in
+      Some { globals })
+
+let change_return_expr =
+  Mutator.make ~name:"PerturbReturnExpression"
+    ~description:
+      "Perturb the expression of a return statement by an additive \
+       constant (for arithmetic return types)."
+    ~category:Function ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s ->
+          match s.sk with
+          | Sreturn (Some e) -> is_arith_ty (ty_of ctx e)
+          | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Sreturn (Some e) ->
+            Some { s with sk = Sreturn (Some (binop Add e (int_lit 1))) }
+          | _ -> None))
+
+let return_default =
+  Mutator.make ~name:"ReplaceReturnWithDefault"
+    ~description:
+      "Replace the expression of a return statement with a default \
+       constant of the function's return type."
+    ~category:Function ~provenance:Unsupervised
+    (fun ctx ->
+      let targets = ref [] in
+      Visit.iter_tu_in_functions ctx.Uast.Ctx.tu ~f:(fun fd ->
+          if not (is_void_ty fd.f_ret) then
+            List.iter
+              (fun s ->
+                match s.sk with
+                | Sreturn (Some _) -> targets := (fd, s) :: !targets
+                | _ -> ())
+              (Uast.Query.returns_of fd));
+      let* fd, s = Uast.Ctx.rand_element ctx !targets in
+      Some
+        (Visit.replace_stmt ctx.Uast.Ctx.tu ~sid:s.sid
+           ~repl:{ s with sk = Sreturn (Some (default_of_ty fd.f_ret)) }))
+
+let append_trailing_return =
+  Mutator.make ~name:"AppendTrailingReturn"
+    ~description:
+      "Append an explicit trailing return statement to a function body."
+    ~category:Function ~provenance:Unsupervised
+    (fun ctx ->
+      let* fd =
+        pick_function ctx (fun fd ->
+            match List.rev fd.f_body with
+            | { sk = Sreturn _; _ } :: _ -> false
+            | _ -> true)
+      in
+      let ret =
+        if is_void_ty fd.f_ret then sreturn None
+        else sreturn (Some (default_of_ty fd.f_ret))
+      in
+      Some
+        (Uast.Rewrite.append_to_function ctx.Uast.Ctx.tu ~fname:fd.f_name
+           ~stmts:[ ret ]))
+
+let remove_trailing_after_return =
+  Mutator.make ~name:"DropCodeAfterReturn"
+    ~description:
+      "Drop the unreachable statements that follow a top-level return in a \
+       function body."
+    ~category:Function ~provenance:Supervised
+    (fun ctx ->
+      let candidates =
+        List.filter
+          (fun fd ->
+            let rec has_early = function
+              | { sk = Sreturn _; _ } :: _ :: _ -> true
+              | _ :: rest -> has_early rest
+              | [] -> false
+            in
+            has_early fd.f_body)
+          (Visit.functions ctx.Uast.Ctx.tu)
+      in
+      let* fd = Uast.Ctx.rand_element ctx candidates in
+      Some
+        (Uast.Rewrite.replace_function ctx.Uast.Ctx.tu ~fname:fd.f_name
+           ~f:(fun fd ->
+             let rec cut = function
+               | ({ sk = Sreturn _; _ } as r) :: _ -> [ r ]
+               | s :: rest -> s :: cut rest
+               | [] -> []
+             in
+             { fd with f_body = cut fd.f_body })))
+
+let redirect_call =
+  Mutator.make ~name:"RedirectCallToSignatureTwin"
+    ~description:
+      "Redirect one call site to a different function with a compatible \
+       signature."
+    ~category:Function ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      let funcs = List.filter non_main (Visit.functions ctx.Uast.Ctx.tu) in
+      let compatible a b =
+        (not (String.equal a.f_name b.f_name))
+        && ty_equal a.f_ret b.f_ret
+        && List.length a.f_params = List.length b.f_params
+        && List.for_all2 (fun p q -> ty_equal p.p_ty q.p_ty) a.f_params b.f_params
+      in
+      let options = ref [] in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if compatible a b then
+                List.iter
+                  (fun site -> options := (site, b.f_name) :: !options)
+                  (Uast.Query.calls_to ctx.Uast.Ctx.tu a.f_name))
+            funcs)
+        funcs;
+      let* site, new_target = Uast.Ctx.rand_element ctx !options in
+      Some
+        (Visit.map_tu ctx.Uast.Ctx.tu ~fe:(fun e ->
+             if e.eid = site.eid then
+               match e.ek with
+               | Call (f, args) ->
+                 { e with ek = Call ({ f with ek = Ident new_target }, args) }
+               | _ -> e
+             else e)))
+
+let all : Mutator.t list =
+  [
+    simple_uninliner;
+    inline_function_call;
+    split_function;
+    swap_function_bodies;
+    change_return_expr;
+    return_default;
+    append_trailing_return;
+    remove_trailing_after_return;
+    redirect_call;
+  ]

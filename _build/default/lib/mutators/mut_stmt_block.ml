@@ -1,0 +1,263 @@
+(* Statement mutators on blocks and generic statements. *)
+
+open Cparse
+open Ast
+open Mk
+
+let is_simple_stmt s =
+  match s.sk with
+  | Sexpr _ | Snull -> true
+  | _ -> false
+
+let delete_statement =
+  Mutator.make ~name:"DeleteStatement"
+    ~description:
+      "Delete a randomly selected expression statement from its enclosing \
+       block."
+    ~category:Statement ~provenance:Supervised
+    (fun ctx ->
+      let* s = pick_stmt ctx (fun s -> match s.sk with Sexpr _ -> true | _ -> false) in
+      Some (Uast.Rewrite.delete_stmt ctx.Uast.Ctx.tu ~sid:s.sid))
+
+let duplicate_statement =
+  Mutator.make ~name:"DuplicateStatement"
+    ~description:"Duplicate an expression statement immediately after itself."
+    ~category:Statement ~provenance:Unsupervised
+    (fun ctx ->
+      let* s = pick_stmt ctx is_simple_stmt in
+      Some
+        (Uast.Rewrite.insert_after ctx.Uast.Ctx.tu ~sid:s.sid
+           ~stmts:[ { s with sid = no_id } ]))
+
+let swap_adjacent_statements =
+  Mutator.make ~name:"SwapAdjacentStatements"
+    ~description:
+      "Swap two adjacent expression statements within a block, reordering \
+       side effects."
+    ~category:Statement ~provenance:Supervised
+    (fun ctx ->
+      let blocks = ref [] in
+      let scan_list sid ss =
+        let rec scan = function
+          | ({ sk = Sexpr _; _ } as a) :: ({ sk = Sexpr _; _ } as b) :: _ ->
+            blocks := (sid, a.sid, b.sid) :: !blocks
+          | _ :: rest -> scan rest
+          | [] -> ()
+        in
+        scan ss
+      in
+      Visit.iter_tu ctx.Uast.Ctx.tu ~fs:(fun s ->
+          match s.sk with Sblock ss -> scan_list s.sid ss | _ -> ());
+      List.iter
+        (function
+          | Gfun fd -> scan_list (-1) fd.f_body
+          | _ -> ())
+        ctx.Uast.Ctx.tu.globals;
+      let* _, aid, bid = Uast.Ctx.rand_element ctx !blocks in
+      let swap ss =
+        let rec go = function
+          | a :: b :: rest when a.sid = aid && b.sid = bid -> b :: a :: rest
+          | x :: rest -> x :: go rest
+          | [] -> []
+        in
+        go ss
+      in
+      let tu =
+        Visit.map_tu ctx.Uast.Ctx.tu ~fs:(fun s ->
+            match s.sk with
+            | Sblock ss -> { s with sk = Sblock (swap ss) }
+            | _ -> s)
+      in
+      let globals =
+        List.map
+          (function
+            | Gfun fd -> Gfun { fd with f_body = swap fd.f_body }
+            | g -> g)
+          tu.globals
+      in
+      Some { globals })
+
+let wrap_stmt_in_block =
+  Mutator.make ~name:"WrapStatementInBlock"
+    ~description:"Wrap a statement into a fresh nested block scope."
+    ~category:Statement ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s ->
+          match s.sk with
+          | Sexpr _ | Sif _ | Swhile _ -> true
+          | _ -> false)
+        ~f:(fun s -> Some (sblock [ { s with sid = no_id } ])))
+
+let wrap_stmt_in_once_loop =
+  Mutator.make ~name:"WrapStatementInSingleIterationLoop"
+    ~description:
+      "Wrap a statement into a loop that executes exactly once, creating a \
+       trivially-unrollable loop."
+    ~category:Statement ~provenance:Supervised ~creative:true
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s -> match s.sk with Sexpr _ -> true | _ -> false)
+        ~f:(fun s ->
+          let i = Uast.Ctx.generate_unique_name ctx "once" in
+          Some
+            (mk_stmt
+               (Sfor
+                  ( Some
+                      (Fi_decl
+                         [
+                           {
+                             v_name = i;
+                             v_ty = Tint (Iint, true);
+                             v_quals = no_quals;
+                             v_storage = S_none;
+                             v_init = Some (int_lit 0);
+                           };
+                         ]),
+                    Some (binop Lt (ident i) (int_lit 1)),
+                    Some (mk_expr (Incdec (true, false, ident i))),
+                    sblock [ { s with sid = no_id } ] )))))
+
+let insert_early_return =
+  Mutator.make ~name:"InsertGuardedEarlyReturn"
+    ~description:
+      "Insert an opaquely-false guarded early return at the start of a \
+       function body."
+    ~category:Statement ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      let* fd = pick_function ctx (fun fd -> fd.f_body <> []) in
+      let ret =
+        match fd.f_ret with
+        | Tvoid -> sreturn None
+        | t -> sreturn (Some (default_of_ty t))
+      in
+      let guard = mk_stmt (Sif (binop Lt (int_lit 2) (int_lit 1), ret, None)) in
+      Some
+        (Uast.Rewrite.prepend_to_function ctx.Uast.Ctx.tu ~fname:fd.f_name
+           ~stmts:[ guard ]))
+
+let add_label_and_goto =
+  Mutator.make ~name:"InjectForwardGoto"
+    ~description:
+      "Inject a goto over one statement to a fresh label placed after it, \
+       making the statement conditionally skipped control flow."
+    ~category:Statement ~provenance:Supervised ~creative:true
+    (fun ctx ->
+      let* s =
+        pick_stmt ctx (fun s -> match s.sk with Sexpr _ -> true | _ -> false)
+      in
+      let label = Uast.Ctx.generate_unique_name ctx "skip" in
+      let tu =
+        Uast.Rewrite.insert_before ctx.Uast.Ctx.tu ~sid:s.sid
+          ~stmts:
+            [ mk_stmt (Sif (binop Eq (int_lit 1) (int_lit 2), mk_stmt (Sgoto label), None)) ]
+      in
+      Some
+        (Uast.Rewrite.insert_after tu ~sid:s.sid
+           ~stmts:[ mk_stmt (Slabel (label, mk_stmt Snull)) ]))
+
+let hoist_declaration =
+  Mutator.make ~name:"HoistDeclarationToFunctionTop"
+    ~description:
+      "Hoist a local variable declaration from a nested block to the top \
+       of the function body, splitting declaration from initialization."
+    ~category:Statement ~provenance:Unsupervised
+    (fun ctx ->
+      (* pick a decl statement inside a nested block with a single decl *)
+      let candidates = ref [] in
+      Visit.iter_tu_in_functions ctx.Uast.Ctx.tu ~f:(fun fd ->
+          List.iter
+            (Visit.iter_stmt
+               ~fe:(fun _ -> ())
+               ~fs:(fun s ->
+                 match s.sk with
+                 | Sblock ss ->
+                   List.iter
+                     (fun s' ->
+                       match s'.sk with
+                       | Sdecl [ v ] when v.v_init <> None && not (is_aggregate_ty v.v_ty) ->
+                         candidates := (fd, s', v) :: !candidates
+                       | _ -> ())
+                     ss
+                 | _ -> ()))
+            fd.f_body);
+      let* fd, decl_stmt_node, v = Uast.Ctx.rand_element ctx !candidates in
+      (* rename to avoid capture, declare at top, assign in place *)
+      let fresh = Uast.Ctx.generate_unique_name ctx v.v_name in
+      let init = Option.get v.v_init in
+      let assign_stmt = sexpr (assign (ident fresh) init) in
+      let tu =
+        Visit.replace_stmt ctx.Uast.Ctx.tu ~sid:decl_stmt_node.sid ~repl:assign_stmt
+      in
+      (* rewrite uses of the old name within the function *)
+      let tu = Uast.Rewrite.rename_var_in_function tu ~fname:fd.f_name ~old_name:v.v_name ~new_name:fresh in
+      let decl =
+        Mk.decl_stmt ~quals:v.v_quals ~name:fresh ~ty:v.v_ty None
+      in
+      Some (Uast.Rewrite.prepend_to_function tu ~fname:fd.f_name ~stmts:[ decl ]))
+
+let statement_to_comma_in_for =
+  Mutator.make ~name:"SinkStatementIntoForStep"
+    ~description:
+      "Sink the expression statement immediately preceding a for loop into \
+       the loop's init clause via the comma operator."
+    ~category:Statement ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      let found = ref None in
+      let scan ss =
+        let rec go = function
+          | { sk = Sexpr e; _ } :: ({ sk = Sfor (Some (Fi_expr i), _, _, _); _ } as f) :: _ ->
+            if !found = None then found := Some (e, i, f)
+          | _ :: rest -> go rest
+          | [] -> ()
+        in
+        go ss
+      in
+      Visit.iter_tu ctx.Uast.Ctx.tu ~fs:(fun s ->
+          match s.sk with Sblock ss -> scan ss | _ -> ());
+      List.iter
+        (function Gfun fd -> scan fd.f_body | _ -> ())
+        ctx.Uast.Ctx.tu.globals;
+      let* e, i, f = !found in
+      match f.sk with
+      | Sfor (_, c, st, b) ->
+        let merged = mk_expr (Comma ({ e with eid = no_id }, i)) in
+        let tu =
+          Visit.replace_stmt ctx.Uast.Ctx.tu ~sid:f.sid
+            ~repl:{ f with sk = Sfor (Some (Fi_expr merged), c, st, b) }
+        in
+        (* remove the original preceding statement: find it by matching e *)
+        let removed = ref false in
+        let prune ss =
+          List.filter
+            (fun s ->
+              match s.sk with
+              | Sexpr e' when e'.eid = e.eid && not !removed ->
+                removed := true;
+                false
+              | _ -> true)
+            ss
+        in
+        let tu = Visit.map_tu tu ~fs:(fun s ->
+            match s.sk with Sblock ss -> { s with sk = Sblock (prune ss) } | _ -> s)
+        in
+        let globals =
+          List.map
+            (function Gfun fd -> Gfun { fd with f_body = prune fd.f_body } | g -> g)
+            tu.globals
+        in
+        Some { globals }
+      | _ -> None)
+
+let all : Mutator.t list =
+  [
+    delete_statement;
+    duplicate_statement;
+    swap_adjacent_statements;
+    wrap_stmt_in_block;
+    wrap_stmt_in_once_loop;
+    insert_early_return;
+    add_label_and_goto;
+    hoist_declaration;
+    statement_to_comma_in_for;
+  ]

@@ -1,0 +1,180 @@
+(* Statement mutators targeting if statements. *)
+
+open Cparse
+open Ast
+open Mk
+
+let is_if s = match s.sk with Sif _ -> true | _ -> false
+
+let duplicate_branch =
+  Mutator.make ~name:"DuplicateBranch"
+    ~description:
+      "Find an IfStmt, duplicate one of its branches (then or else), and \
+       replace the other branch with the duplicated one."
+    ~category:Statement ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s -> match s.sk with Sif (_, _, Some _) -> true | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Sif (c, t, Some e) ->
+            if Uast.Ctx.flip ctx 0.5 then Some { s with sk = Sif (c, t, Some t) }
+            else Some { s with sk = Sif (c, e, Some e) }
+          | _ -> None))
+
+let negate_if_condition =
+  Mutator.make ~name:"NegateIfCondition"
+    ~description:
+      "Negate the condition of an if statement and swap its branches, \
+       preserving semantics with inverted control flow."
+    ~category:Statement ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s -> match s.sk with Sif (_, _, Some _) -> true | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Sif (c, t, Some e) -> Some { s with sk = Sif (unop Lognot c, e, Some t) }
+          | _ -> None))
+
+let unwrap_if =
+  Mutator.make ~name:"UnwrapIfStatement"
+    ~description:
+      "Remove an if statement's condition, keeping only its then branch \
+       (the branch becomes unconditional)."
+    ~category:Statement ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_stmt ctx ~pred:is_if ~f:(fun s ->
+          match s.sk with Sif (_, t, _) -> Some t | _ -> None))
+
+let remove_else_branch =
+  Mutator.make ~name:"RemoveElseBranch"
+    ~description:"Remove the else branch of an if statement."
+    ~category:Statement ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s -> match s.sk with Sif (_, _, Some _) -> true | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Sif (c, t, Some _) -> Some { s with sk = Sif (c, t, None) }
+          | _ -> None))
+
+let add_else_branch =
+  Mutator.make ~name:"AddElseBranch"
+    ~description:
+      "Add an else branch to an if statement that lacks one, containing a \
+       copy of the then branch."
+    ~category:Statement ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s -> match s.sk with Sif (_, _, None) -> true | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Sif (c, t, None) -> Some { s with sk = Sif (c, t, Some t) }
+          | _ -> None))
+
+let wrap_stmt_in_if =
+  Mutator.make ~name:"WrapStatementInIf"
+    ~description:
+      "Wrap a statement in an if with an always-true condition, adding an \
+       opaque guard the optimizer must discharge."
+    ~category:Statement ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s ->
+          match s.sk with
+          | Sexpr _ | Sblock _ -> true
+          | _ -> false)
+        ~f:(fun s ->
+          let cond =
+            Rng.choose ctx.Uast.Ctx.rng
+              [ int_lit 1; binop Eq (int_lit 0) (int_lit 0);
+                binop Lt (int_lit 1) (int_lit 2) ]
+          in
+          Some (mk_stmt (Sif (cond, { s with sid = no_id }, None)))))
+
+let if_to_conditional_assign =
+  Mutator.make ~name:"LowerIfToConditionalExpression"
+    ~description:
+      "Lower an if/else whose branches assign the same variable into a \
+       single conditional-expression assignment."
+    ~category:Statement ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      let assign_target s =
+        match s.sk with
+        | Sexpr { ek = Assign (A_none, ({ ek = Ident n; _ } as lhs), rhs); _ } ->
+          Some (n, lhs, rhs)
+        | Sblock [ { sk = Sexpr { ek = Assign (A_none, ({ ek = Ident n; _ } as lhs), rhs); _ }; _ } ] ->
+          Some (n, lhs, rhs)
+        | _ -> None
+      in
+      rewrite_one_stmt ctx
+        ~pred:(fun s ->
+          match s.sk with
+          | Sif (c, t, Some e) -> (
+            is_pure c
+            &&
+            match assign_target t, assign_target e with
+            | Some (n1, _, _), Some (n2, _, _) -> String.equal n1 n2
+            | _ -> false)
+          | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Sif (c, t, Some e) -> (
+            match assign_target t, assign_target e with
+            | Some (_, lhs, rt), Some (_, _, re) ->
+              Some (sexpr (assign lhs (mk_expr (Cond (c, rt, re)))))
+            | _ -> None)
+          | _ -> None))
+
+let conditional_assign_to_if =
+  Mutator.make ~name:"RaiseConditionalExpressionToIf"
+    ~description:
+      "Raise an assignment of a conditional expression into an explicit \
+       if/else statement."
+    ~category:Statement ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s ->
+          match s.sk with
+          | Sexpr { ek = Assign (A_none, { ek = Ident _; _ }, { ek = Cond _; _ }); _ } ->
+            true
+          | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Sexpr { ek = Assign (A_none, lhs, { ek = Cond (c, t, f); _ }); _ } ->
+            Some
+              (mk_stmt
+                 (Sif
+                    ( c,
+                      sexpr (assign { lhs with eid = no_id } t),
+                      Some (sexpr (assign { lhs with eid = no_id } f)) )))
+          | _ -> None))
+
+let insert_dead_guard =
+  Mutator.make ~name:"InsertDeadCodeGuard"
+    ~description:
+      "Insert before a statement an if (0) guard containing a copy of that \
+       statement: dead code that still must be compiled."
+    ~category:Statement ~provenance:Supervised ~creative:true
+    (fun ctx ->
+      let* s =
+        pick_stmt ctx (fun s ->
+            match s.sk with
+            | Sexpr _ -> true
+            | _ -> false)
+      in
+      let dead = mk_stmt (Sif (int_lit 0, { s with sid = no_id }, None)) in
+      Some (Uast.Rewrite.insert_before ctx.Uast.Ctx.tu ~sid:s.sid ~stmts:[ dead ]))
+
+let all : Mutator.t list =
+  [
+    duplicate_branch;
+    negate_if_condition;
+    unwrap_if;
+    remove_else_branch;
+    add_else_branch;
+    wrap_stmt_in_if;
+    if_to_conditional_assign;
+    conditional_assign_to_if;
+    insert_dead_guard;
+  ]

@@ -1,0 +1,245 @@
+(* Statement mutators targeting loops. *)
+
+open Cparse
+open Ast
+open Mk
+
+let while_to_for =
+  Mutator.make ~name:"ConvertWhileToFor"
+    ~description:
+      "Convert a while loop into an equivalent for loop with empty init \
+       and step clauses."
+    ~category:Statement ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s -> match s.sk with Swhile _ -> true | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Swhile (c, b) -> Some { s with sk = Sfor (None, Some c, None, b) }
+          | _ -> None))
+
+let for_to_while =
+  Mutator.make ~name:"ConvertForToWhile"
+    ~description:
+      "Convert a for loop into the equivalent while loop, hoisting the \
+       init clause and sinking the step into the body."
+    ~category:Statement ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s ->
+          match s.sk with
+          | Sfor (_, Some _, _, b) ->
+            (* only loop bodies without continue: sinking the step past a
+               continue would change semantics *)
+            let has_continue = ref false in
+            Visit.iter_stmt ~fe:(fun _ -> ())
+              ~fs:(fun s' ->
+                match s'.sk with Scontinue -> has_continue := true | _ -> ())
+              b;
+            not !has_continue
+          | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Sfor (init, Some cond, step, b) ->
+            let body_stmts =
+              (match b.sk with Sblock ss -> ss | _ -> [ b ])
+              @ match step with Some e -> [ sexpr e ] | None -> []
+            in
+            let loop = mk_stmt (Swhile (cond, sblock body_stmts)) in
+            let prefix =
+              match init with
+              | Some (Fi_expr e) -> [ sexpr e ]
+              | Some (Fi_decl vs) -> [ mk_stmt (Sdecl vs) ]
+              | None -> []
+            in
+            Some (sblock (prefix @ [ loop ]))
+          | _ -> None))
+
+let do_while_to_while =
+  Mutator.make ~name:"ConvertDoWhileToWhile"
+    ~description:
+      "Convert a do-while loop into a while loop preceded by one unrolled \
+       copy of the body."
+    ~category:Statement ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s -> match s.sk with Sdo _ -> true | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Sdo (b, c) ->
+            Some (sblock [ { b with sid = no_id }; mk_stmt (Swhile (c, b)) ])
+          | _ -> None))
+
+let while_to_do_while =
+  Mutator.make ~name:"ConvertWhileToDoWhile"
+    ~description:
+      "Convert a while loop into a do-while loop guarded by an if with the \
+       same condition."
+    ~category:Statement ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s ->
+          match s.sk with Swhile (c, _) -> is_pure c | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Swhile (c, b) ->
+            Some
+              (mk_stmt
+                 (Sif (c, mk_stmt (Sdo (b, { c with eid = no_id })), None)))
+          | _ -> None))
+
+let loop_unroll_once =
+  Mutator.make ~name:"PeelLoopIteration"
+    ~description:
+      "Peel one iteration off a while loop: an if-guarded copy of the body \
+       is placed before the loop."
+    ~category:Statement ~provenance:Supervised ~creative:true
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s ->
+          match s.sk with
+          | Swhile (c, b) ->
+            is_pure c
+            &&
+            (* bodies containing break/continue cannot be peeled into an if *)
+            let bad = ref false in
+            Visit.iter_stmt ~fe:(fun _ -> ())
+              ~fs:(fun s' ->
+                match s'.sk with Sbreak | Scontinue -> bad := true | _ -> ())
+              b;
+            not !bad
+          | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Swhile (c, b) ->
+            let peeled =
+              mk_stmt (Sif ({ c with eid = no_id }, { b with sid = no_id }, None))
+            in
+            Some (sblock [ peeled; s ])
+          | _ -> None))
+
+let loop_bound_nudge =
+  Mutator.make ~name:"ModifyLoopBound"
+    ~description:
+      "Modify the constant bound of a counted for loop by a small delta, \
+       perturbing trip-count analysis."
+    ~category:Statement ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s ->
+          match s.sk with
+          | Sfor (_, Some { ek = Binop ((Lt | Le | Gt | Ge), _, { ek = Int_lit _; _ }); _ }, _, _) ->
+            true
+          | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Sfor (i, Some ({ ek = Binop (op, l, { ek = Int_lit (v, k, u); _ }); _ } as c), st, b) ->
+            let delta = Int64.of_int (Uast.Ctx.rand_int ctx 5 - 2) in
+            let c' =
+              { c with ek = Binop (op, l, mk_expr (Int_lit (Int64.add v delta, k, u))) }
+            in
+            Some { s with sk = Sfor (i, Some c', st, b) }
+          | _ -> None))
+
+let reverse_loop_direction =
+  Mutator.make ~name:"ReverseLoopDirection"
+    ~description:
+      "Reverse a canonical counted loop: for (i = 0; i < N; i++) becomes \
+       for (i = N - 1; i >= 0; i--)."
+    ~category:Statement ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s ->
+          match s.sk with
+          | Sfor
+              ( Some (Fi_decl [ { v_init = Some { ek = Int_lit (0L, _, _); _ }; _ } ]),
+                Some { ek = Binop (Lt, { ek = Ident _; _ }, { ek = Int_lit _; _ }); _ },
+                Some { ek = Incdec (true, _, { ek = Ident _; _ }); _ },
+                _ ) ->
+            true
+          | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Sfor
+              ( Some (Fi_decl [ v ]),
+                Some { ek = Binop (Lt, ({ ek = Ident _; _ } as iv), { ek = Int_lit (n, k, u); _ }); _ },
+                Some { ek = Incdec (true, pre, iv2); _ },
+                b ) ->
+            let v' = { v with v_init = Some (mk_expr (Int_lit (Int64.sub n 1L, k, u))) } in
+            let cond = binop Ge { iv with eid = no_id } (int_lit 0) in
+            let step = mk_expr (Incdec (false, pre, iv2)) in
+            Some { s with sk = Sfor (Some (Fi_decl [ v' ]), Some cond, Some step, b) }
+          | _ -> None))
+
+let loop_to_goto =
+  Mutator.make ~name:"LowerWhileToGoto"
+    ~description:
+      "Lower a while loop into explicit label/goto control flow, the form \
+       the front-end otherwise never produces."
+    ~category:Statement ~provenance:Supervised ~creative:true
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s ->
+          match s.sk with
+          | Swhile (_, b) ->
+            (* break/continue inside would escape the lowered form *)
+            let bad = ref false in
+            Visit.iter_stmt ~fe:(fun _ -> ())
+              ~fs:(fun s' ->
+                match s'.sk with Sbreak | Scontinue -> bad := true | _ -> ())
+              b;
+            not !bad
+          | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Swhile (c, b) ->
+            let top = Uast.Ctx.generate_unique_name ctx "loop_top" in
+            let done_ = Uast.Ctx.generate_unique_name ctx "loop_done" in
+            Some
+              (sblock
+                 [
+                   mk_stmt
+                     (Slabel
+                        ( top,
+                          mk_stmt
+                            (Sif (unop Lognot c, mk_stmt (Sgoto done_), None)) ));
+                   b;
+                   mk_stmt (Sgoto top);
+                   mk_stmt (Slabel (done_, mk_stmt Snull));
+                 ])
+          | _ -> None))
+
+let add_loop_counter_guard =
+  Mutator.make ~name:"InjectLoopIterationGuard"
+    ~description:
+      "Inject a fresh bounded counter into a while loop so the loop also \
+       exits after a fixed number of iterations."
+    ~category:Statement ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s -> match s.sk with Swhile _ -> true | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Swhile (c, b) ->
+            let g = Uast.Ctx.generate_unique_name ctx "guard" in
+            let decl = decl_stmt ~name:g ~ty:(Tint (Iint, true)) (Some (int_lit 0)) in
+            let cond =
+              binop Land
+                (binop Lt (mk_expr (Incdec (true, false, ident g))) (int_lit 64))
+                c
+            in
+            Some (sblock [ decl; mk_stmt (Swhile (cond, b)) ])
+          | _ -> None))
+
+let all : Mutator.t list =
+  [
+    while_to_for;
+    for_to_while;
+    do_while_to_while;
+    while_to_do_while;
+    loop_unroll_once;
+    loop_bound_nudge;
+    reverse_loop_direction;
+    loop_to_goto;
+    add_loop_counter_guard;
+  ]

@@ -1,0 +1,287 @@
+(* Statement mutators targeting switch statements. *)
+
+open Cparse
+open Ast
+open Mk
+
+let is_switch s = match s.sk with Sswitch _ -> true | _ -> false
+
+(* The paper's TransformSwitchToIfElse (unsupervised, "creative"). *)
+let transform_switch_to_if_else =
+  Mutator.make ~name:"TransformSwitchToIfElse"
+    ~description:
+      "Identify a 'switch' statement and transform it into an equivalent \
+       series of 'if-else' statements, effectively altering the control \
+       flow structure."
+    ~category:Statement ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      let case_has_fallthrough body =
+        match List.rev body with
+        | { sk = Sbreak; _ } :: _ -> false
+        | _ -> true
+      in
+      rewrite_one_stmt ctx
+        ~pred:(fun s ->
+          match s.sk with
+          | Sswitch (e, cases) ->
+            is_pure e
+            && List.for_all
+                 (fun c ->
+                   (not (case_has_fallthrough c.case_body))
+                   && List.length c.case_labels = 1
+                   &&
+                   (* no nested break semantics to worry about *)
+                   List.for_all
+                     (fun st ->
+                       let bad = ref false in
+                       Visit.iter_stmt ~fe:(fun _ -> ())
+                         ~fs:(fun s' ->
+                           match s'.sk with
+                           | Sbreak -> ()
+                           | Swhile _ | Sdo _ | Sfor _ | Sswitch _ ->
+                             bad := true
+                           | _ -> ())
+                         st;
+                       not !bad)
+                     c.case_body)
+                 cases
+          | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Sswitch (e, cases) ->
+            let strip_break body =
+              List.filter (fun st -> st.sk <> Sbreak) body
+            in
+            let rec build = function
+              | [] -> mk_stmt Snull
+              | c :: rest -> (
+                let body = sblock (strip_break c.case_body) in
+                match c.case_labels with
+                | [ L_case v ] ->
+                  let cond = binop Eq { e with eid = no_id } v in
+                  mk_stmt (Sif (cond, body, Some (build rest)))
+                | [ L_default ] | _ -> body)
+            in
+            (* put default last so the if-else chain is equivalent *)
+            let defaults, others =
+              List.partition
+                (fun c -> List.mem L_default c.case_labels)
+                cases
+            in
+            Some (build (others @ defaults))
+          | _ -> None))
+
+let shuffle_switch_cases =
+  Mutator.make ~name:"ShuffleSwitchCases"
+    ~description:
+      "Randomly permute the case groups of a switch statement (only when \
+       every group ends in break, so semantics are preserved)."
+    ~category:Statement ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s ->
+          match s.sk with
+          | Sswitch (_, cases) ->
+            List.length cases >= 2
+            && List.for_all
+                 (fun c ->
+                   match List.rev c.case_body with
+                   | { sk = Sbreak; _ } :: _ -> true
+                   | _ -> false)
+                 cases
+          | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Sswitch (e, cases) ->
+            Some { s with sk = Sswitch (e, Rng.shuffle ctx.Uast.Ctx.rng cases) }
+          | _ -> None))
+
+let remove_switch_case =
+  Mutator.make ~name:"RemoveSwitchCase"
+    ~description:"Remove one non-default case group from a switch statement."
+    ~category:Statement ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s ->
+          match s.sk with
+          | Sswitch (_, cases) ->
+            List.exists
+              (fun c -> not (List.mem L_default c.case_labels))
+              cases
+            && List.length cases >= 2
+          | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Sswitch (e, cases) ->
+            let removable =
+              List.filter (fun c -> not (List.mem L_default c.case_labels)) cases
+            in
+            let* victim = Uast.Ctx.rand_element ctx removable in
+            Some { s with sk = Sswitch (e, List.filter (fun c -> c != victim) cases) }
+          | _ -> None))
+
+let add_switch_case =
+  Mutator.make ~name:"AddSwitchCase"
+    ~description:
+      "Add a fresh case group with an unused case value and an empty body \
+       ending in break."
+    ~category:Statement ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_stmt ctx ~pred:is_switch ~f:(fun s ->
+          match s.sk with
+          | Sswitch (e, cases) ->
+            let used =
+              List.concat_map
+                (fun c ->
+                  List.filter_map
+                    (function
+                      | L_case ce -> Const_eval.eval_int ce
+                      | L_default -> None)
+                    c.case_labels)
+                cases
+            in
+            let rec fresh v = if List.mem v used then fresh (Int64.add v 1L) else v in
+            let v = fresh (Int64.of_int (1000 + Uast.Ctx.rand_int ctx 1000)) in
+            let case =
+              { case_labels = [ L_case (int64_lit v) ]; case_body = [ mk_stmt Sbreak ] }
+            in
+            Some { s with sk = Sswitch (e, cases @ [ case ]) }
+          | _ -> None))
+
+let remove_switch_default =
+  Mutator.make ~name:"RemoveSwitchDefault"
+    ~description:"Remove the default group of a switch statement."
+    ~category:Statement ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s ->
+          match s.sk with
+          | Sswitch (_, cases) ->
+            List.exists (fun c -> List.mem L_default c.case_labels) cases
+          | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Sswitch (e, cases) ->
+            Some
+              {
+                s with
+                sk =
+                  Sswitch
+                    ( e,
+                      List.filter
+                        (fun c -> not (List.mem L_default c.case_labels))
+                        cases );
+              }
+          | _ -> None))
+
+let remove_break_from_switch =
+  Mutator.make ~name:"RemoveBreakFromSwitchCase"
+    ~description:
+      "Remove the trailing break of a case group, introducing fall-through \
+       into the next case."
+    ~category:Statement ~provenance:Supervised
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s ->
+          match s.sk with
+          | Sswitch (_, cases) ->
+            List.exists
+              (fun c ->
+                match List.rev c.case_body with
+                | { sk = Sbreak; _ } :: _ -> true
+                | _ -> false)
+              cases
+          | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Sswitch (e, cases) ->
+            let candidates =
+              List.filter
+                (fun c ->
+                  match List.rev c.case_body with
+                  | { sk = Sbreak; _ } :: _ -> true
+                  | _ -> false)
+                cases
+            in
+            let* victim = Uast.Ctx.rand_element ctx candidates in
+            let cases' =
+              List.map
+                (fun c ->
+                  if c == victim then
+                    match List.rev c.case_body with
+                    | _ :: rest -> { c with case_body = List.rev rest }
+                    | [] -> c
+                  else c)
+                cases
+            in
+            Some { s with sk = Sswitch (e, cases') }
+          | _ -> None))
+
+let duplicate_case_value_probe =
+  Mutator.make ~name:"SpreadCaseLabels"
+    ~description:
+      "Split a case group with multiple labels into separate adjacent \
+       groups sharing one body via fall-through."
+    ~category:Statement ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s ->
+          match s.sk with
+          | Sswitch (_, cases) ->
+            List.exists (fun c -> List.length c.case_labels >= 2) cases
+          | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Sswitch (e, cases) ->
+            let cases' =
+              List.concat_map
+                (fun c ->
+                  if List.length c.case_labels >= 2 then
+                    match c.case_labels with
+                    | first :: rest ->
+                      { case_labels = [ first ]; case_body = [] }
+                      :: [ { case_labels = rest; case_body = c.case_body } ]
+                    | [] -> [ c ]
+                  else [ c ])
+                cases
+            in
+            Some { s with sk = Sswitch (e, cases') }
+          | _ -> None))
+
+let wrap_in_switch =
+  Mutator.make ~name:"WrapStatementInSwitch"
+    ~description:
+      "Wrap a statement into a single-case switch over a constant \
+       scrutinee, adding a trivial multi-way branch."
+    ~category:Statement ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s ->
+          match s.sk with
+          | Sexpr _ -> true
+          | _ -> false)
+        ~f:(fun s ->
+          let v = Uast.Ctx.rand_int ctx 4 in
+          Some
+            (mk_stmt
+               (Sswitch
+                  ( int_lit v,
+                    [
+                      {
+                        case_labels = [ L_case (int_lit v) ];
+                        case_body = [ { s with sid = no_id }; mk_stmt Sbreak ];
+                      };
+                      { case_labels = [ L_default ]; case_body = [ mk_stmt Sbreak ] };
+                    ] )))))
+
+let all : Mutator.t list =
+  [
+    transform_switch_to_if_else;
+    shuffle_switch_cases;
+    remove_switch_case;
+    add_switch_case;
+    remove_switch_default;
+    remove_break_from_switch;
+    duplicate_case_value_probe;
+    wrap_in_switch;
+  ]

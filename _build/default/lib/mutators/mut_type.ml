@@ -1,0 +1,300 @@
+(* Type mutators — the smallest category in the paper (6 of 118) but the
+   one behind several of its headline bugs (GCC #111819/#111820, Clang
+   #69213). *)
+
+open Cparse
+open Ast
+open Mk
+
+(* Paper example (Clang #69213): StructToInt. *)
+let struct_to_int =
+  Mutator.make ~name:"StructToInt"
+    ~description:
+      "Change a struct type annotation to int at a declaration or cast, \
+       leaving member accesses and initializer lists behind for the \
+       front-end to cope with."
+    ~category:Type_ ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      (* Prefer casts of compound literals: (struct s){...} -> (int){...} *)
+      let cast_sites =
+        Visit.collect_exprs
+          (fun e ->
+            match e.ek with
+            | Cast ((Tstruct _ | Tunion _), _) -> true
+            | _ -> false)
+          ctx.Uast.Ctx.tu
+      in
+      match Uast.Ctx.rand_element ctx cast_sites with
+      | Some site ->
+        Some
+          (Visit.map_tu ctx.Uast.Ctx.tu ~fe:(fun e ->
+               if e.eid = site.eid then
+                 match e.ek with
+                 | Cast (_, inner) -> { e with ek = Cast (Tint (Iint, true), inner) }
+                 | _ -> e
+               else e))
+      | None ->
+        (* otherwise retype a struct-typed local as int *)
+        let locals =
+          List.filter
+            (fun (v, _) ->
+              match v.v_ty with Tstruct _ | Tunion _ -> true | _ -> false)
+            (Uast.Query.local_var_decls ctx.Uast.Ctx.tu)
+        in
+        let* v, _ = Uast.Ctx.rand_element ctx locals in
+        let name = v.v_name in
+        let retype v =
+          if String.equal v.v_name name then { v with v_ty = Tint (Iint, true) }
+          else v
+        in
+        Some
+          (Visit.map_tu ctx.Uast.Ctx.tu ~fs:(fun s ->
+               match s.sk with
+               | Sdecl vs -> { s with sk = Sdecl (List.map retype vs) }
+               | _ -> s)))
+
+(* Paper example (GCC #111819): DecaySmallStruct. *)
+let decay_small_struct =
+  Mutator.make ~name:"DecaySmallStruct"
+    ~description:
+      "Cast a small struct variable into a long long variable and change \
+       all references into pointer arithmetic between the long long \
+       variable and field offsets."
+    ~category:Type_ ~provenance:Supervised ~creative:true
+    (fun ctx ->
+      let tu = ctx.Uast.Ctx.tu in
+      let struct_fields tag =
+        List.find_map
+          (function
+            | Gstruct (t, fields) when String.equal t tag -> Some fields
+            | _ -> None)
+          tu.globals
+      in
+      let locals =
+        List.filter_map
+          (fun (v, fd) ->
+            match v.v_ty with
+            | Tstruct tag -> (
+              match struct_fields tag with
+              | Some fields
+                when List.for_all (fun f -> is_arith_ty f.fld_ty) fields
+                     && List.length fields <= 2 ->
+                Some (v, fd, fields)
+              | _ -> None)
+            | _ -> None)
+          (Uast.Query.local_var_decls tu)
+      in
+      let* v, fd, fields = Uast.Ctx.rand_element ctx locals in
+      let combined = Uast.Ctx.generate_unique_name ctx "combinedVar" in
+      (* the struct decl becomes a long long decl *)
+      let retype vd =
+        if String.equal vd.v_name v.v_name then
+          { vd with v_name = combined; v_ty = Tint (Ilonglong, true); v_init = None }
+        else vd
+      in
+      let tu =
+        Visit.map_tu tu ~fs:(fun s ->
+            match s.sk with
+            | Sdecl vs -> { s with sk = Sdecl (List.map retype vs) }
+            | _ -> s)
+      in
+      (* member accesses x.f become casts over pointer arithmetic on a
+         char-pointer to &combinedVar plus a field offset — the paper's
+         exact shape *)
+      let offset_of fld =
+        let rec go acc = function
+          | [] -> acc
+          | f :: rest ->
+            if String.equal f.fld_name fld then acc
+            else go (acc + sizeof_ty f.fld_ty) rest
+        in
+        go 0 fields
+      in
+      let field_ty fld =
+        match List.find_opt (fun f -> String.equal f.fld_name fld) fields with
+        | Some f -> f.fld_ty
+        | None -> Tint (Iint, true)
+      in
+      let rewrite_access e =
+        match e.ek with
+        | Member ({ ek = Ident n; _ }, fld) when String.equal n v.v_name ->
+          let ptr =
+            binop Add
+              (mk_expr
+                 (Cast (Tptr (Tint (Ichar, true)), mk_expr (Addrof (ident combined)))))
+              (int_lit (offset_of fld))
+          in
+          mk_expr (Deref (mk_expr (Cast (Tptr (field_ty fld), ptr))))
+        | _ -> e
+      in
+      let tu =
+        Uast.Rewrite.replace_function tu ~fname:fd.f_name ~f:(fun fd ->
+            Visit.map_fundef ~fe:rewrite_access ~fs:(fun s -> s) fd)
+      in
+      Some tu)
+
+(* Paper example (GCC #111820): ReduceArrayDimension. *)
+let reduce_array_dimension =
+  Mutator.make ~name:"ReduceArrayDimension"
+    ~description:
+      "Simplify an array variable into a zero-dimension scalar and update \
+       all of its subscripted references."
+    ~category:Type_ ~provenance:Supervised ~creative:true
+    (fun ctx ->
+      let arrays =
+        List.filter
+          (fun v ->
+            match v.v_ty with
+            | Tarray (t, Some _) -> is_arith_ty t
+            | _ -> false)
+          (Visit.global_vars ctx.Uast.Ctx.tu)
+      in
+      let* v = Uast.Ctx.rand_element ctx arrays in
+      let elt = match v.v_ty with Tarray (t, _) -> t | t -> t in
+      let globals =
+        List.map
+          (function
+            | Gvar g when String.equal g.v_name v.v_name ->
+              Gvar { g with v_ty = elt; v_init = None }
+            | g -> g)
+          ctx.Uast.Ctx.tu.globals
+      in
+      let tu =
+        Visit.map_tu { globals } ~fe:(fun e ->
+            match e.ek with
+            | Index ({ ek = Ident n; _ }, _) when String.equal n v.v_name ->
+              ident v.v_name
+            | _ -> e)
+      in
+      Some tu)
+
+let expand_to_array =
+  Mutator.make ~name:"ExpandScalarToArray"
+    ~description:
+      "Expand a scalar global variable into a one-element array, rewriting \
+       every use into a subscripted access."
+    ~category:Type_ ~provenance:Unsupervised
+    (fun ctx ->
+      let scalars =
+        List.filter
+          (fun v -> is_arith_ty v.v_ty)
+          (Visit.global_vars ctx.Uast.Ctx.tu)
+      in
+      let* v = Uast.Ctx.rand_element ctx scalars in
+      let globals =
+        List.map
+          (function
+            | Gvar g when String.equal g.v_name v.v_name ->
+              Gvar
+                {
+                  g with
+                  v_ty = Tarray (v.v_ty, Some 1);
+                  v_init =
+                    Option.map (fun i -> mk_expr (Init_list [ i ])) g.v_init;
+                }
+            | g -> g)
+          ctx.Uast.Ctx.tu.globals
+      in
+      (* every bare use g becomes g[0] *)
+      let tu =
+        Visit.map_tu { globals } ~fe:(fun e ->
+            match e.ek with
+            | Ident n when String.equal n v.v_name ->
+              mk_expr (Index (ident n, int_lit 0))
+            | _ -> e)
+      in
+      (* avoid double-wrapping the indices we just created: g[0][0] *)
+      let tu =
+        Visit.map_tu tu ~fe:(fun e ->
+            match e.ek with
+            | Index ({ ek = Index (({ ek = Ident n; _ } as base), z); _ }, _)
+              when String.equal n v.v_name ->
+              { e with ek = Index (base, z) }
+            | _ -> e)
+      in
+      Some tu)
+
+let flip_signedness =
+  Mutator.make ~name:"FlipIntegerSignedness"
+    ~description:
+      "Flip the signedness of an integer variable's type, changing \
+       comparison and division semantics downstream."
+    ~category:Type_ ~provenance:Supervised
+    (fun ctx ->
+      let locals =
+        List.filter
+          (fun (v, _) -> match v.v_ty with Tint _ -> true | _ -> false)
+          (Uast.Query.local_var_decls ctx.Uast.Ctx.tu)
+      in
+      let* v, _ = Uast.Ctx.rand_element ctx locals in
+      let name = v.v_name in
+      let flip vd =
+        if String.equal vd.v_name name then
+          match vd.v_ty with
+          | Tint (k, s) -> { vd with v_ty = Tint (k, not s) }
+          | _ -> vd
+        else vd
+      in
+      Some
+        (Visit.map_tu ctx.Uast.Ctx.tu ~fs:(fun s ->
+             match s.sk with
+             | Sdecl vs -> { s with sk = Sdecl (List.map flip vs) }
+             | Sfor (Some (Fi_decl vs), c, st, b) ->
+               { s with sk = Sfor (Some (Fi_decl (List.map flip vs)), c, st, b) }
+             | _ -> s)))
+
+(* Paper example (GCC #111820): AggregateMemberToScalarVariable. *)
+let aggregate_member_to_scalar =
+  Mutator.make ~name:"AggregateMemberToScalarVariable"
+    ~description:
+      "Transform a constant array subscript expression (like r[0]) into a \
+       fresh scalar variable, adding a declaration for it."
+    ~category:Type_ ~provenance:Supervised ~creative:true
+    (fun ctx ->
+      let sites =
+        Uast.Query.exprs_in_functions ctx.Uast.Ctx.tu ~pred:(fun e ->
+            match e.ek with
+            | Index ({ ek = Ident _; _ }, { ek = Int_lit _; _ }) ->
+              is_arith_ty (ty_of ctx e)
+            | _ -> false)
+      in
+      let* site = Uast.Ctx.rand_element ctx sites in
+      let arr_name, idx =
+        match site.node.ek with
+        | Index ({ ek = Ident n; _ }, { ek = Int_lit (v, _, _); _ }) ->
+          (n, Int64.to_int v)
+        | _ -> ("", 0)
+      in
+      let scalar =
+        Uast.Ctx.generate_unique_name ctx (Fmt.str "%s_%d" arr_name idx)
+      in
+      let ty = ty_of ctx site.node in
+      (* rewrite every occurrence of arr[idx] in that function *)
+      let tu =
+        Uast.Rewrite.replace_function ctx.Uast.Ctx.tu ~fname:site.func.f_name
+          ~f:(fun fd ->
+            Visit.map_fundef
+              ~fe:(fun e ->
+                match e.ek with
+                | Index ({ ek = Ident n; _ }, { ek = Int_lit (v, _, _); _ })
+                  when String.equal n arr_name && Int64.to_int v = idx ->
+                  ident scalar
+                | _ -> e)
+              ~fs:(fun s -> s)
+              fd)
+      in
+      let tu =
+        Uast.Rewrite.prepend_to_function tu ~fname:site.func.f_name
+          ~stmts:[ decl_stmt ~name:scalar ~ty (Some (default_of_ty ty)) ]
+      in
+      Some tu)
+
+let all : Mutator.t list =
+  [
+    struct_to_int;
+    decay_small_struct;
+    reduce_array_dimension;
+    expand_to_array;
+    flip_signedness;
+    aggregate_member_to_scalar;
+  ]

@@ -1,0 +1,509 @@
+(* Variable mutators. *)
+
+open Cparse
+open Ast
+open Mk
+
+(* Paper example (Ms): SwitchInitExpr. *)
+let switch_init_expr =
+  Mutator.make ~name:"SwitchInitExpr"
+    ~description:
+      "Randomly select a VarDecl and swap its init expression with the \
+       init expression of another randomly selected VarDecl in the same \
+       scope, while ensuring the types of the variables are compatible."
+    ~category:Variable ~provenance:Supervised
+    (fun ctx ->
+      (* candidate pairs: two initialised decls in the same block *)
+      let pairs = ref [] in
+      List.iter
+        (fun fd ->
+          List.iter
+            (fun group ->
+              let inits =
+                List.filter
+                  (fun v ->
+                    v.v_init <> None
+                    && (match (Option.get v.v_init).ek with
+                       | Init_list _ -> false
+                       | _ -> true)
+                    && is_arith_ty v.v_ty)
+                  group
+              in
+              let rec all_pairs = function
+                | [] -> ()
+                | a :: rest ->
+                  List.iter
+                    (fun b ->
+                      if Uast.Check.compatible_for_swap a.v_ty b.v_ty then
+                        pairs := (a, b) :: !pairs)
+                    rest;
+                  all_pairs rest
+              in
+              all_pairs inits)
+            (Uast.Query.decls_by_block fd))
+        (Visit.functions ctx.Uast.Ctx.tu);
+      let* a, b = Uast.Ctx.rand_element ctx !pairs in
+      let ia = Option.get a.v_init and ib = Option.get b.v_init in
+      let swap_decl v =
+        if v.v_name = a.v_name && v.v_ty = a.v_ty then { v with v_init = Some ib }
+        else if v.v_name = b.v_name && v.v_ty = b.v_ty then { v with v_init = Some ia }
+        else v
+      in
+      let tu =
+        Visit.map_tu ctx.Uast.Ctx.tu ~fs:(fun s ->
+            match s.sk with
+            | Sdecl vs -> { s with sk = Sdecl (List.map swap_decl vs) }
+            | _ -> s)
+      in
+      Some tu)
+
+(* Paper example: ChangeVarDeclQualifier (used in the strlen-opt crash). *)
+let change_var_decl_qualifier =
+  Mutator.make ~name:"ChangeVarDeclQualifier"
+    ~description:
+      "Toggle the const qualifier of a variable declaration, changing \
+       which stores are legal and which optimizations fire."
+    ~category:Variable ~provenance:Supervised
+    (fun ctx ->
+      let locals = Uast.Query.local_var_decls ctx.Uast.Ctx.tu in
+      let globals = Visit.global_vars ctx.Uast.Ctx.tu in
+      let names =
+        List.map (fun (v, _) -> v.v_name) locals
+        @ List.map (fun v -> v.v_name) globals
+      in
+      let* name = Uast.Ctx.rand_element ctx names in
+      let toggle v =
+        if String.equal v.v_name name then
+          { v with v_quals = { v.v_quals with q_const = not v.v_quals.q_const } }
+        else v
+      in
+      let tu =
+        Visit.map_tu ctx.Uast.Ctx.tu ~fs:(fun s ->
+            match s.sk with
+            | Sdecl vs -> { s with sk = Sdecl (List.map toggle vs) }
+            | _ -> s)
+      in
+      let globals' =
+        List.map
+          (function Gvar v -> Gvar (toggle v) | g -> g)
+          tu.globals
+      in
+      Some { globals = globals' })
+
+let add_volatile_qualifier =
+  Mutator.make ~name:"AddVolatileQualifier"
+    ~description:
+      "Mark a variable declaration volatile, forcing the compiler to keep \
+       every access."
+    ~category:Variable ~provenance:Unsupervised
+    (fun ctx ->
+      let locals = Uast.Query.local_var_decls ctx.Uast.Ctx.tu in
+      let* v, _ =
+        Uast.Ctx.rand_element ctx
+          (List.filter (fun (v, _) -> not v.v_quals.q_volatile) locals)
+      in
+      let name = v.v_name in
+      let mark v =
+        if String.equal v.v_name name then
+          { v with v_quals = { v.v_quals with q_volatile = true } }
+        else v
+      in
+      Some
+        (Visit.map_tu ctx.Uast.Ctx.tu ~fs:(fun s ->
+             match s.sk with
+             | Sdecl vs -> { s with sk = Sdecl (List.map mark vs) }
+             | Sfor (Some (Fi_decl vs), c, st, b) ->
+               { s with sk = Sfor (Some (Fi_decl (List.map mark vs)), c, st, b) }
+             | _ -> s)))
+
+let rename_variable =
+  Mutator.make ~name:"RenameVariable"
+    ~description:
+      "Rename a local variable and every use of it within its function."
+    ~category:Variable ~provenance:Unsupervised
+    (fun ctx ->
+      let locals = Uast.Query.local_var_decls ctx.Uast.Ctx.tu in
+      let* v, fd = Uast.Ctx.rand_element ctx locals in
+      let fresh = Uast.Ctx.generate_unique_name ctx "renamed" in
+      Some
+        (Uast.Rewrite.rename_var_in_function ctx.Uast.Ctx.tu ~fname:fd.f_name
+           ~old_name:v.v_name ~new_name:fresh))
+
+let remove_var_init =
+  Mutator.make ~name:"RemoveVariableInitializer"
+    ~description:
+      "Remove the initializer of a local variable declaration, leaving the \
+       variable uninitialized."
+    ~category:Variable ~provenance:Supervised
+    (fun ctx ->
+      let locals =
+        List.filter
+          (fun (v, _) -> v.v_init <> None && not v.v_quals.q_const)
+          (Uast.Query.local_var_decls ctx.Uast.Ctx.tu)
+      in
+      let* v, _ = Uast.Ctx.rand_element ctx locals in
+      let name = v.v_name in
+      let strip v =
+        if String.equal v.v_name name then { v with v_init = None } else v
+      in
+      Some
+        (Visit.map_tu ctx.Uast.Ctx.tu ~fs:(fun s ->
+             match s.sk with
+             | Sdecl vs -> { s with sk = Sdecl (List.map strip vs) }
+             | _ -> s)))
+
+let add_var_init =
+  Mutator.make ~name:"AddVariableInitializer"
+    ~description:
+      "Add a default initializer to an uninitialized scalar local variable."
+    ~category:Variable ~provenance:Unsupervised
+    (fun ctx ->
+      let locals =
+        List.filter
+          (fun (v, _) -> v.v_init = None && is_arith_ty v.v_ty)
+          (Uast.Query.local_var_decls ctx.Uast.Ctx.tu)
+      in
+      let* v, _ = Uast.Ctx.rand_element ctx locals in
+      let name = v.v_name in
+      let fill v =
+        if String.equal v.v_name name then
+          { v with v_init = Some (default_of_ty v.v_ty) }
+        else v
+      in
+      Some
+        (Visit.map_tu ctx.Uast.Ctx.tu ~fs:(fun s ->
+             match s.sk with
+             | Sdecl vs -> { s with sk = Sdecl (List.map fill vs) }
+             | _ -> s)))
+
+let widen_int_var =
+  Mutator.make ~name:"WidenIntegerVariableType"
+    ~description:
+      "Widen the integer type of a variable declaration (e.g. int to long \
+       long), changing overflow behaviour downstream."
+    ~category:Variable ~provenance:Supervised
+    (fun ctx ->
+      let locals =
+        List.filter
+          (fun (v, _) ->
+            match v.v_ty with
+            | Tint ((Ichar | Ishort | Iint), _) -> true
+            | _ -> false)
+          (Uast.Query.local_var_decls ctx.Uast.Ctx.tu)
+      in
+      let* v, _ = Uast.Ctx.rand_element ctx locals in
+      let name = v.v_name in
+      let widen v =
+        if String.equal v.v_name name then
+          match v.v_ty with
+          | Tint (_, s) -> { v with v_ty = Tint (Ilonglong, s) }
+          | _ -> v
+        else v
+      in
+      Some
+        (Visit.map_tu ctx.Uast.Ctx.tu ~fs:(fun s ->
+             match s.sk with
+             | Sdecl vs -> { s with sk = Sdecl (List.map widen vs) }
+             | _ -> s)))
+
+let narrow_int_var =
+  Mutator.make ~name:"NarrowIntegerVariableType"
+    ~description:
+      "Narrow the integer type of a variable declaration (e.g. long to \
+       char), injecting truncation into its data flow."
+    ~category:Variable ~provenance:Unsupervised
+    (fun ctx ->
+      let locals =
+        List.filter
+          (fun (v, _) ->
+            match v.v_ty with
+            | Tint ((Iint | Ilong | Ilonglong), _) -> true
+            | _ -> false)
+          (Uast.Query.local_var_decls ctx.Uast.Ctx.tu)
+      in
+      let* v, _ = Uast.Ctx.rand_element ctx locals in
+      let name = v.v_name in
+      let narrow v =
+        if String.equal v.v_name name then
+          match v.v_ty with
+          | Tint (_, s) -> { v with v_ty = Tint (Ichar, s) }
+          | _ -> v
+        else v
+      in
+      Some
+        (Visit.map_tu ctx.Uast.Ctx.tu ~fs:(fun s ->
+             match s.sk with
+             | Sdecl vs -> { s with sk = Sdecl (List.map narrow vs) }
+             | _ -> s)))
+
+(* Paper example (GCC #111820): ChangeParamScope. *)
+let change_param_scope =
+  Mutator.make ~name:"ChangeParamScope"
+    ~description:
+      "Move a function parameter from the parameter scope into the local \
+       scope of the function, initializing it with a default value; the \
+       parameter and all call-site arguments are removed."
+    ~category:Variable ~provenance:Supervised ~creative:true
+    (fun ctx ->
+      let* fd =
+        pick_function ctx (fun fd ->
+            fd.f_params <> []
+            && List.exists (fun p -> is_arith_ty p.p_ty) fd.f_params
+            && not (String.equal fd.f_name "main"))
+      in
+      let idx_candidates =
+        List.filteri (fun _ p -> is_arith_ty p.p_ty) fd.f_params
+      in
+      let* victim = Uast.Ctx.rand_element ctx idx_candidates in
+      let index =
+        let rec find i = function
+          | [] -> 0
+          | p :: rest -> if p == victim then i else find (i + 1) rest
+        in
+        find 0 fd.f_params
+      in
+      let tu = Uast.Rewrite.remove_param ctx.Uast.Ctx.tu ~fname:fd.f_name ~index in
+      let decl =
+        decl_stmt ~name:victim.p_name ~ty:victim.p_ty
+          (Some (default_of_ty victim.p_ty))
+      in
+      Some (Uast.Rewrite.prepend_to_function tu ~fname:fd.f_name ~stmts:[ decl ]))
+
+let promote_local_to_global =
+  Mutator.make ~name:"PromoteLocalToGlobal"
+    ~description:
+      "Promote a top-level local variable declaration to a global \
+       variable, turning its initializer into a first-use assignment."
+    ~category:Variable ~provenance:Supervised
+    (fun ctx ->
+      let candidates = ref [] in
+      Visit.iter_tu_in_functions ctx.Uast.Ctx.tu ~f:(fun fd ->
+          List.iter
+            (fun s ->
+              match s.sk with
+              | Sdecl [ v ]
+                when is_arith_ty v.v_ty && v.v_storage = S_none
+                     && not v.v_quals.q_const ->
+                candidates := (fd, s, v) :: !candidates
+              | _ -> ())
+            fd.f_body);
+      let* fd, s, v = Uast.Ctx.rand_element ctx !candidates in
+      let fresh = Uast.Ctx.generate_unique_name ctx ("g_" ^ v.v_name) in
+      let repl =
+        match v.v_init with
+        | Some init -> sexpr (assign (ident fresh) init)
+        | None -> mk_stmt Snull
+      in
+      let tu = Visit.replace_stmt ctx.Uast.Ctx.tu ~sid:s.sid ~repl in
+      let tu =
+        Uast.Rewrite.rename_var_in_function tu ~fname:fd.f_name
+          ~old_name:v.v_name ~new_name:fresh
+      in
+      let g =
+        Gvar { v with v_name = fresh; v_init = None; v_storage = S_none }
+      in
+      Some (Uast.Rewrite.insert_global_before_functions tu ~g))
+
+let demote_global_to_local =
+  Mutator.make ~name:"DemoteGlobalToLocal"
+    ~description:
+      "Demote a global variable used by exactly one function into a local \
+       variable of that function."
+    ~category:Variable ~provenance:Unsupervised
+    (fun ctx ->
+      let funcs = Visit.functions ctx.Uast.Ctx.tu in
+      let candidates =
+        List.filter_map
+          (fun (v : var_decl) ->
+            if not (is_arith_ty v.v_ty) then None
+            else
+              let users =
+                List.filter
+                  (fun fd -> Uast.Query.uses_of_var fd v.v_name <> [])
+                  funcs
+              in
+              match users with [ fd ] -> Some (v, fd) | _ -> None)
+          (Visit.global_vars ctx.Uast.Ctx.tu)
+      in
+      let* v, fd = Uast.Ctx.rand_element ctx candidates in
+      let globals =
+        List.filter
+          (function
+            | Gvar v' -> not (String.equal v'.v_name v.v_name)
+            | _ -> true)
+          ctx.Uast.Ctx.tu.globals
+      in
+      let decl =
+        decl_stmt ~quals:v.v_quals ~name:v.v_name ~ty:v.v_ty
+          (Some
+             (match v.v_init with
+             | Some i -> i
+             | None -> default_of_ty v.v_ty))
+      in
+      Some
+        (Uast.Rewrite.prepend_to_function { globals } ~fname:fd.f_name
+           ~stmts:[ decl ]))
+
+let split_declaration =
+  Mutator.make ~name:"SplitMultiDeclaration"
+    ~description:
+      "Split a declaration statement that declares several variables into \
+       one declaration statement per variable."
+    ~category:Variable ~provenance:Unsupervised
+    (fun ctx ->
+      rewrite_one_stmt ctx
+        ~pred:(fun s ->
+          match s.sk with Sdecl vs -> List.length vs >= 2 | _ -> false)
+        ~f:(fun s ->
+          match s.sk with
+          | Sdecl vs ->
+            Some (sblock (List.map (fun v -> mk_stmt (Sdecl [ v ])) vs))
+          | _ -> None))
+
+let duplicate_var_decl =
+  Mutator.make ~name:"DuplicateVariableWithAlias"
+    ~description:
+      "Introduce an alias variable initialized from an existing local and \
+       redirect subsequent reads through the alias."
+    ~category:Variable ~provenance:Supervised ~creative:true
+    (fun ctx ->
+      let candidates = ref [] in
+      Visit.iter_tu_in_functions ctx.Uast.Ctx.tu ~f:(fun fd ->
+          List.iter
+            (fun s ->
+              match s.sk with
+              | Sdecl [ v ] when is_arith_ty v.v_ty ->
+                candidates := (fd, s, v) :: !candidates
+              | _ -> ())
+            fd.f_body);
+      let* _fd, s, v = Uast.Ctx.rand_element ctx !candidates in
+      let alias = Uast.Ctx.generate_unique_name ctx (v.v_name ^ "_alias") in
+      let decl = decl_stmt ~name:alias ~ty:v.v_ty (Some (ident v.v_name)) in
+      Some (Uast.Rewrite.insert_after ctx.Uast.Ctx.tu ~sid:s.sid ~stmts:[ decl ]))
+
+let shadow_variable =
+  Mutator.make ~name:"ShadowVariableInInnerBlock"
+    ~description:
+      "Re-declare an in-scope variable inside a nested block, shadowing \
+       the outer declaration within that block."
+    ~category:Variable ~provenance:Unsupervised ~creative:true
+    (fun ctx ->
+      let candidates = ref [] in
+      Visit.iter_tu_in_functions ctx.Uast.Ctx.tu ~f:(fun fd ->
+          let top = Uast.Query.toplevel_vars_of fd in
+          List.iter
+            (Visit.iter_stmt
+               ~fe:(fun _ -> ())
+               ~fs:(fun s ->
+                 match s.sk with
+                 | Sblock _ ->
+                   List.iter
+                     (fun (n, t) ->
+                       if is_arith_ty t then candidates := (s, n, t) :: !candidates)
+                     top
+                 | _ -> ()))
+            fd.f_body);
+      let* block, name, ty = Uast.Ctx.rand_element ctx !candidates in
+      let decl = decl_stmt ~name ~ty (Some (default_of_ty ty)) in
+      match block.sk with
+      | Sblock ss ->
+        Some
+          (Visit.replace_stmt ctx.Uast.Ctx.tu ~sid:block.sid
+             ~repl:{ block with sk = Sblock (decl :: ss) })
+      | _ -> None)
+
+let modify_global_init =
+  Mutator.make ~name:"ModifyGlobalInitializer"
+    ~description:"Modify the constant initializer of a global variable."
+    ~category:Variable ~provenance:Unsupervised
+    (fun ctx ->
+      let candidates =
+        List.filter
+          (fun v ->
+            match v.v_init with
+            | Some { ek = Int_lit _; _ } -> true
+            | _ -> false)
+          (Visit.global_vars ctx.Uast.Ctx.tu)
+      in
+      let* v = Uast.Ctx.rand_element ctx candidates in
+      let v' =
+        { v with v_init = Some (int_lit (Uast.Ctx.rand_int ctx 1024 - 512)) }
+      in
+      let globals =
+        List.map
+          (function
+            | Gvar g when String.equal g.v_name v.v_name -> Gvar v'
+            | g -> g)
+          ctx.Uast.Ctx.tu.globals
+      in
+      Some { globals })
+
+(* Paper example (GCC #111819): CombineVariable. *)
+let combine_variables =
+  Mutator.make ~name:"CombineVariable"
+    ~description:
+      "Combine two same-typed scalar locals declared in the same function \
+       into a two-element array, rewriting all uses into subscripts."
+    ~category:Variable ~provenance:Supervised ~creative:true
+    (fun ctx ->
+      let candidates = ref [] in
+      Visit.iter_tu_in_functions ctx.Uast.Ctx.tu ~f:(fun fd ->
+          let decls =
+            List.filter_map
+              (fun s ->
+                match s.sk with
+                | Sdecl [ v ] when v.v_ty = Tint (Iint, true) && v.v_init <> None ->
+                  Some (s, v)
+                | _ -> None)
+              fd.f_body
+          in
+          match decls with
+          | (s1, v1) :: (s2, v2) :: _ -> candidates := (fd, s1, v1, s2, v2) :: !candidates
+          | _ -> ());
+      let* fd, s1, v1, s2, v2 = Uast.Ctx.rand_element ctx !candidates in
+      let arr = Uast.Ctx.generate_unique_name ctx "combinedVar" in
+      let decl =
+        decl_stmt ~name:arr ~ty:(Tarray (Tint (Iint, true), Some 2)) None
+      in
+      let init1 = sexpr (assign (mk_expr (Index (ident arr, int_lit 0))) (Option.get v1.v_init)) in
+      let init2 = sexpr (assign (mk_expr (Index (ident arr, int_lit 1))) (Option.get v2.v_init)) in
+      (* the array declaration must stay in function scope: insert it as a
+         sibling statement, never inside a fresh block *)
+      let tu = Uast.Rewrite.insert_before ctx.Uast.Ctx.tu ~sid:s1.sid ~stmts:[ decl ] in
+      let tu = Visit.replace_stmt tu ~sid:s1.sid ~repl:init1 in
+      let tu = Visit.replace_stmt tu ~sid:s2.sid ~repl:init2 in
+      (* rewrite uses *)
+      let tu =
+        Uast.Rewrite.replace_function tu ~fname:fd.f_name ~f:(fun fd ->
+            Visit.map_fundef
+              ~fe:(fun e ->
+                match e.ek with
+                | Ident n when String.equal n v1.v_name ->
+                  mk_expr (Index (ident arr, int_lit 0))
+                | Ident n when String.equal n v2.v_name ->
+                  mk_expr (Index (ident arr, int_lit 1))
+                | _ -> e)
+              ~fs:(fun s -> s)
+              fd)
+      in
+      Some tu)
+
+let all : Mutator.t list =
+  [
+    switch_init_expr;
+    change_var_decl_qualifier;
+    add_volatile_qualifier;
+    rename_variable;
+    remove_var_init;
+    add_var_init;
+    widen_int_var;
+    narrow_int_var;
+    change_param_scope;
+    promote_local_to_global;
+    demote_global_to_local;
+    split_declaration;
+    duplicate_var_decl;
+    shadow_variable;
+    modify_global_init;
+    combine_variables;
+  ]

@@ -1,0 +1,55 @@
+(* The mutator abstraction.
+
+   A mutator is a semantic-aware small-step program transformation with a
+   natural-language name and description (in the paper these are invented
+   and implemented by the LLM; here the corpus is the reproduction of the
+   118 published mutators).  [mutate] returns [None] when the targeted
+   program structure is absent ("not applicable"). *)
+
+open Cparse
+
+type category = Variable | Expression | Statement | Function | Type_
+
+type provenance = Supervised | Unsupervised
+
+type t = {
+  name : string;
+  description : string;
+  category : category;
+  provenance : provenance;
+  creative : bool;
+      (* true when the description deviates from the strict
+         "perform [Action] on [Program Structure]" template *)
+  mutate : Uast.Ctx.t -> Ast.tu option;
+}
+
+let category_to_string = function
+  | Variable -> "Variable"
+  | Expression -> "Expression"
+  | Statement -> "Statement"
+  | Function -> "Function"
+  | Type_ -> "Type"
+
+let provenance_to_string = function
+  | Supervised -> "supervised"
+  | Unsupervised -> "unsupervised"
+
+let make ~name ~description ~category ~provenance ?(creative = false) mutate =
+  { name; description; category; provenance; creative; mutate }
+
+exception Mutator_crash of string
+exception Mutator_hang of string
+
+(* Apply a mutator to a translation unit.  The result is renumbered so the
+   unique-id invariant holds for the next round. *)
+let apply (m : t) ~(rng : Rng.t) (tu : Ast.tu) : Ast.tu option =
+  let ctx = Uast.Ctx.create ~rng tu in
+  match m.mutate ctx with
+  | Some tu' -> Some (Ast_ids.renumber tu')
+  | None -> None
+
+(* Apply to source text: parse, mutate, pretty-print. *)
+let apply_src (m : t) ~(rng : Rng.t) (src : string) : string option =
+  match Parser.parse src with
+  | Ok tu -> Option.map Pretty.tu_to_string (apply m ~rng tu)
+  | Error _ -> None

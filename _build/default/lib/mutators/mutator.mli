@@ -1,0 +1,48 @@
+(** The mutator abstraction.
+
+    A mutator is a semantic-aware small-step program transformation with
+    a natural-language name and description — in the paper these are
+    invented and implemented by an LLM; here the corpus reimplements the
+    118 published mutators (see {!Registry}). *)
+
+type category = Variable | Expression | Statement | Function | Type_
+(** The paper's five target-structure categories (§4.1). *)
+
+type provenance = Supervised | Unsupervised
+(** Ms (prompt-engineered with manual fixes) vs Mu (fully automatic). *)
+
+type t = {
+  name : string;
+  description : string;  (** verbatim natural-language description *)
+  category : category;
+  provenance : provenance;
+  creative : bool;
+      (** deviates from the strict "perform [Action] on
+          [Program Structure]" template (33 of the 118) *)
+  mutate : Uast.Ctx.t -> Cparse.Ast.tu option;
+      (** [None] when the targeted program structure is absent *)
+}
+
+val category_to_string : category -> string
+val provenance_to_string : provenance -> string
+
+val make :
+  name:string ->
+  description:string ->
+  category:category ->
+  provenance:provenance ->
+  ?creative:bool ->
+  (Uast.Ctx.t -> Cparse.Ast.tu option) ->
+  t
+(** Define a mutator; [creative] defaults to [false]. *)
+
+exception Mutator_crash of string
+exception Mutator_hang of string
+
+val apply : t -> rng:Cparse.Rng.t -> Cparse.Ast.tu -> Cparse.Ast.tu option
+(** Apply the mutator under a fresh semantic context; the result is
+    renumbered so the unique-id invariant holds for the next round. *)
+
+val apply_src : t -> rng:Cparse.Rng.t -> string -> string option
+(** Parse, mutate, pretty-print.  [None] when the source does not parse
+    or the mutator is not applicable. *)

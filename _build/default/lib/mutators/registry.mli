@@ -1,0 +1,38 @@
+(** The mutator registry.
+
+    {!core} reproduces the paper's 118 valid mutators: 68 supervised (Ms)
+    + 50 unsupervised (Mu), distributed over the five categories exactly
+    as reported in §4.1 (Variable 16, Expression 50, Statement 27,
+    Function 19, Type 6), with 33 "creative" mutators.
+
+    {!extended} adds 15 extension mutators beyond the published corpus
+    (the paper's future-work direction of enlarging the search space); an
+    ablation bench compares core vs extended. *)
+
+type t = Mutator.t
+
+val extended : Mutator.t list
+(** All implemented mutators (133). *)
+
+val extension_names : string list
+(** Names excluded from the published 118-strong corpus. *)
+
+val core : Mutator.t list
+(** The 118 mutators of the paper. *)
+
+val supervised : Mutator.t list
+(** Ms — the 68 supervised mutators. *)
+
+val unsupervised : Mutator.t list
+(** Mu — the 50 unsupervised mutators. *)
+
+val find_opt : string -> Mutator.t option
+(** Look a mutator up by its exact name (searches {!extended}). *)
+
+val by_category : Mutator.category -> Mutator.t list
+
+val category_counts : unit -> (Mutator.category * int) list
+(** Category histogram of {!core} (matches the paper's Table in §4.1). *)
+
+val creative : Mutator.t list
+(** The 33 mutators outside the "[Action] on [Structure]" template. *)

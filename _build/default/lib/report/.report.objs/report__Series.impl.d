@@ -1,0 +1,1 @@
+lib/report/series.ml: Buffer Bytes Char Fmt Hashtbl List

@@ -1,0 +1,105 @@
+(* ASCII rendering of the paper's figures: multi-series trends (Figs 7
+   and 9) as both a data table and a coarse line plot. *)
+
+type series = { label : string; points : (int * int) list }
+
+let make ~label ~points = { label; points }
+
+(* Print each series as rows of (x, y) samples. *)
+let render_data ~title (series : series list) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf ("== " ^ title ^ " ==\n");
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Fmt.str "%-12s" s.label);
+      List.iter
+        (fun (x, y) -> Buffer.add_string buf (Fmt.str " %d:%d" x y))
+        s.points;
+      Buffer.add_char buf '\n')
+    series;
+  Buffer.contents buf
+
+(* A coarse ASCII plot: rows are series, columns are time buckets, cells
+   are normalised heights 0-9. *)
+let render_plot ?(width = 40) ~title (series : series list) : string =
+  let max_y =
+    List.fold_left
+      (fun acc s ->
+        List.fold_left (fun acc (_, y) -> max acc y) acc s.points)
+      1 series
+  in
+  let max_x =
+    List.fold_left
+      (fun acc s ->
+        List.fold_left (fun acc (x, _) -> max acc x) acc s.points)
+      1 series
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Fmt.str "== %s ==  (x: 0..%d, y: 0..%d)\n" title max_x max_y);
+  List.iter
+    (fun s ->
+      let cells = Bytes.make width ' ' in
+      List.iter
+        (fun (x, y) ->
+          let col = min (width - 1) (x * width / max 1 max_x) in
+          let h = Char.chr (Char.code '0' + min 9 (y * 10 / max 1 (max_y + 1))) in
+          Bytes.set cells col h)
+        s.points;
+      (* fill gaps with the previous height for readability *)
+      let last = ref ' ' in
+      Bytes.iteri
+        (fun i c ->
+          if c = ' ' && !last <> ' ' then Bytes.set cells i !last
+          else if c <> ' ' then last := c)
+        cells;
+      Buffer.add_string buf (Fmt.str "%-12s|%s|\n" s.label (Bytes.to_string cells)))
+    series;
+  Buffer.contents buf
+
+(* Venn-style summary of crash sets (Fig. 8): per-set sizes, exclusive
+   counts, and the grand union. *)
+let render_venn ~title (sets : (string * (string, unit) Hashtbl.t) list) :
+    string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ title ^ " ==\n");
+  let union = Hashtbl.create 64 in
+  List.iter
+    (fun (_, s) -> Hashtbl.iter (fun k () -> Hashtbl.replace union k ()) s)
+    sets;
+  let exclusive name set =
+    Hashtbl.fold
+      (fun k () acc ->
+        let elsewhere =
+          List.exists
+            (fun (n, s) -> n <> name && Hashtbl.mem s k)
+            sets
+        in
+        if elsewhere then acc else acc + 1)
+      set 0
+  in
+  List.iter
+    (fun (name, set) ->
+      Buffer.add_string buf
+        (Fmt.str "%-10s total=%2d exclusive=%2d\n" name (Hashtbl.length set)
+           (exclusive name set)))
+    sets;
+  Buffer.add_string buf (Fmt.str "union of unique crashes: %d\n" (Hashtbl.length union));
+  (* pairwise intersections *)
+  let rec pairs = function
+    | [] -> ()
+    | (n1, s1) :: rest ->
+      List.iter
+        (fun (n2, s2) ->
+          let inter =
+            Hashtbl.fold
+              (fun k () acc -> if Hashtbl.mem s2 k then acc + 1 else acc)
+              s1 0
+          in
+          if inter > 0 then
+            Buffer.add_string buf (Fmt.str "  %s ∩ %s = %d\n" n1 n2 inter))
+        rest;
+      pairs rest
+  in
+  pairs sets;
+  Buffer.contents buf

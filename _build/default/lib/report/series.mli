@@ -1,0 +1,18 @@
+(** ASCII rendering of the paper's figures: multi-series trends (Figs 7
+    and 9) and crash-set Venn summaries (Fig. 8). *)
+
+type series = { label : string; points : (int * int) list }
+
+val make : label:string -> points:(int * int) list -> series
+
+val render_data : title:string -> series list -> string
+(** Each series as rows of [x:y] samples. *)
+
+val render_plot : ?width:int -> title:string -> series list -> string
+(** Coarse line plot: one row per series, cells are normalised heights
+    0-9 over [width] time buckets. *)
+
+val render_venn :
+  title:string -> (string * (string, unit) Hashtbl.t) list -> string
+(** Per-set sizes, exclusive counts, grand union, and non-empty pairwise
+    intersections. *)

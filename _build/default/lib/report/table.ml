@@ -1,0 +1,49 @@
+(* Aligned ASCII tables for reproducing the paper's tables. *)
+
+type t = {
+  title : string;
+  header : string list;
+  mutable rows : string list list;
+}
+
+let create ~title ~header = { title; header; rows = [] }
+
+let add_row t row = t.rows <- t.rows @ [ row ]
+
+let add_int_row t label ints =
+  add_row t (label :: List.map string_of_int ints)
+
+let render (t : t) : string =
+  let all = t.header :: t.rows in
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) 0 all
+  in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun i w ->
+           let cell = Option.value ~default:"" (List.nth_opt row i) in
+           (* left-align the first column, right-align the rest *)
+           if i = 0 then Fmt.str "%-*s" w cell else Fmt.str "%*s" w cell)
+         widths)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (render_row t.header ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (render_row r ^ "\n")) t.rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

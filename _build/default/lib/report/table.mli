@@ -1,0 +1,16 @@
+(** Aligned ASCII tables for reproducing the paper's tables. *)
+
+type t
+
+val create : title:string -> header:string list -> t
+
+val add_row : t -> string list -> unit
+
+val add_int_row : t -> string -> int list -> unit
+(** [add_int_row t label ints] — a label column followed by integers. *)
+
+val render : t -> string
+(** First column left-aligned, the rest right-aligned, with a separator
+    under the header. *)
+
+val print : t -> unit

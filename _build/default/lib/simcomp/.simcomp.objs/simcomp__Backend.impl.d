@@ -1,0 +1,1 @@
+lib/simcomp/backend.ml: Array Buffer Coverage Cparse Fmt Hashtbl Int64 Ir List Lower Option String

@@ -1,0 +1,1 @@
+lib/simcomp/backend.mli: Coverage Ir

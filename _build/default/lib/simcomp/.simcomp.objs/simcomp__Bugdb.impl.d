@@ -1,0 +1,1 @@
+lib/simcomp/bugdb.ml: Crash Features Fmt Hashtbl List

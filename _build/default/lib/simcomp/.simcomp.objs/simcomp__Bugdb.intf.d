@@ -1,0 +1,1 @@
+lib/simcomp/bugdb.mli: Crash Features

@@ -1,0 +1,1 @@
+lib/simcomp/compiler.ml: Array Ast Backend Bool Buffer Bugdb Coverage Cparse Crash Features Fmt Hashtbl Int64 Ir Lexer List Loc Lower Opt Option Parser Rng String Token Typecheck

@@ -1,0 +1,1 @@
+lib/simcomp/compiler.mli: Bugdb Coverage Cparse Crash Ir

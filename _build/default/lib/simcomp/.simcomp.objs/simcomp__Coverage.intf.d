@@ -1,0 +1,1 @@
+lib/simcomp/coverage.mli:

@@ -1,0 +1,1 @@
+lib/simcomp/crash.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/simcomp/features.ml: Ast Char Cparse Hashtbl List Option String Visit

@@ -1,0 +1,1 @@
+lib/simcomp/interp.ml: Array Ast Buffer Char Const_eval Cparse Float Fmt Hashtbl Int64 List Option Parser String

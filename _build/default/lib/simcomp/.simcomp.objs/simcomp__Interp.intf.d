@@ -1,0 +1,1 @@
+lib/simcomp/interp.mli: Cparse Hashtbl

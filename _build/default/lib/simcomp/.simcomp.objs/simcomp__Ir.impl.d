@@ -1,0 +1,1 @@
+lib/simcomp/ir.ml: Buffer Cparse Fmt Int64 List String

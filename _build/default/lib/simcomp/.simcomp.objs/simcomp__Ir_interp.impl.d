@@ -1,0 +1,1 @@
+lib/simcomp/ir_interp.ml: Array Cparse Float Fmt Hashtbl Int64 Ir List Option String

@@ -1,0 +1,1 @@
+lib/simcomp/ir_interp.mli: Ir

@@ -1,0 +1,1 @@
+lib/simcomp/lower.ml: Ast Char Const_eval Coverage Cparse Fmt Hashtbl Int64 Ir List Option String Typecheck

@@ -1,0 +1,1 @@
+lib/simcomp/lower.mli: Coverage Cparse Ir

@@ -1,0 +1,1 @@
+lib/simcomp/opt.ml: Coverage Cparse Hashtbl Int64 Ir List Option String

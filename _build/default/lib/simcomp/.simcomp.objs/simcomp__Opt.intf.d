@@ -1,0 +1,1 @@
+lib/simcomp/opt.mli: Coverage Ir

@@ -1,0 +1,256 @@
+(* Back-end of the simulated compiler: instruction selection to a small
+   RISC-flavoured target, linear-scan register allocation over 8 physical
+   registers, and assembly emission. *)
+
+open Ir
+
+type asm_instr = {
+  mnemonic : string;
+  operands : string list;
+}
+
+let phys_regs = 8
+
+(* ------------------------------------------------------------------ *)
+(* Instruction selection                                               *)
+(* ------------------------------------------------------------------ *)
+
+let mnemonic_of_binop (op : Cparse.Ast.binop) =
+  match op with
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Mod -> "rem"
+  | Shl -> "sll" | Shr -> "srl"
+  | Lt -> "slt" | Gt -> "sgt" | Le -> "sle" | Ge -> "sge"
+  | Eq -> "seq" | Ne -> "sne"
+  | Band -> "and" | Bxor -> "xor" | Bor -> "or"
+  | Land -> "andl" | Lor -> "orl"
+
+let sel_operand = function
+  | Reg r -> Fmt.str "v%d" r
+  | Imm v -> Fmt.str "#%Ld" v
+  | Fimm f -> Fmt.str "#%g" f
+  | Sym s -> "@" ^ s
+
+let sel_addr = function
+  | Avar s -> [ "@" ^ s ]
+  | Aindex (s, op, sz) -> [ "@" ^ s; sel_operand op; string_of_int sz ]
+  | Areg op -> [ sel_operand op ]
+
+(* Select instructions for one IR instruction; reports the pattern used. *)
+let select ?cov (i : instr) : asm_instr list =
+  let event a b =
+    match cov with
+    | Some cov -> Coverage.branch cov ~site:0x4000 ~a ~b ()
+    | None -> ()
+  in
+  match i with
+  | Ibin (op, r, a, b) ->
+    (* immediate forms when the second operand is a small constant *)
+    let imm_form = match b with Imm v when Int64.abs v < 2048L -> true | _ -> false in
+    let opk = function Reg _ -> 0 | Imm _ -> 1 | Fimm _ -> 2 | Sym _ -> 3 in
+    event (Hashtbl.hash op land 0xff) ((4 * opk a) + opk b);
+    let m = mnemonic_of_binop op ^ if imm_form then "i" else "" in
+    [ { mnemonic = m; operands = [ Fmt.str "v%d" r; sel_operand a; sel_operand b ] } ]
+  | Iun (op, r, a) ->
+    event 200 (Hashtbl.hash op land 0xff);
+    let m =
+      match op with
+      | Neg -> "neg" | Lognot -> "not" | Bitnot -> "inv" | Uplus -> "mov"
+    in
+    [ { mnemonic = m; operands = [ Fmt.str "v%d" r; sel_operand a ] } ]
+  | Imov (r, a) ->
+    event 201 0;
+    [ { mnemonic = "mov"; operands = [ Fmt.str "v%d" r; sel_operand a ] } ]
+  | Icast (r, ty, a) ->
+    let tag = Lower.ty_tag ty in
+    event 202 tag;
+    let m =
+      match ty with
+      | Cparse.Ast.Tfloat | Cparse.Ast.Tdouble -> "cvtf"
+      | Cparse.Ast.Tint (Ichar, _) -> "sext8"
+      | Cparse.Ast.Tint (Ishort, _) -> "sext16"
+      | _ -> "mov"
+    in
+    [ { mnemonic = m; operands = [ Fmt.str "v%d" r; sel_operand a ] } ]
+  | Iload (r, addr) ->
+    event 203 (match addr with Avar _ -> 0 | Aindex _ -> 1 | Areg _ -> 2);
+    [ { mnemonic = "ld"; operands = Fmt.str "v%d" r :: sel_addr addr } ]
+  | Istore (addr, v) ->
+    event 204 (match addr with Avar _ -> 0 | Aindex _ -> 1 | Areg _ -> 2);
+    [ { mnemonic = "st"; operands = sel_addr addr @ [ sel_operand v ] } ]
+  | Iaddr (r, addr) ->
+    event 205 0;
+    [ { mnemonic = "lea"; operands = Fmt.str "v%d" r :: sel_addr addr } ]
+  | Icall (r, fn, args) ->
+    event 206 (List.length args);
+    let setup =
+      List.mapi
+        (fun i a -> { mnemonic = "arg"; operands = [ string_of_int i; sel_operand a ] })
+        args
+    in
+    setup
+    @ [ { mnemonic = "call"; operands = [ fn ] } ]
+    @ (match r with
+      | Some r -> [ { mnemonic = "mov"; operands = [ Fmt.str "v%d" r; "rv" ] } ]
+      | None -> [])
+
+let select_term ?cov (t : terminator) : asm_instr list =
+  let event a =
+    match cov with
+    | Some cov -> Coverage.branch cov ~site:0x4100 ~a ()
+    | None -> ()
+  in
+  match t with
+  | Tret None ->
+    event 0;
+    [ { mnemonic = "ret"; operands = [] } ]
+  | Tret (Some op) ->
+    event 1;
+    [ { mnemonic = "mov"; operands = [ "rv"; sel_operand op ] };
+      { mnemonic = "ret"; operands = [] } ]
+  | Tjmp l ->
+    event 2;
+    [ { mnemonic = "jmp"; operands = [ Fmt.str "L%d" l ] } ]
+  | Tbr (c, a, b) ->
+    event 3;
+    [ { mnemonic = "bnez"; operands = [ sel_operand c; Fmt.str "L%d" a ] };
+      { mnemonic = "jmp"; operands = [ Fmt.str "L%d" b ] } ]
+  | Tswitch (c, cases, d) ->
+    (* dense case sets use a jump table, sparse ones a compare chain *)
+    let dense =
+      match cases with
+      | [] -> false
+      | _ ->
+        let vs = List.map fst cases in
+        let lo = List.fold_left min (List.hd vs) vs in
+        let hi = List.fold_left max (List.hd vs) vs in
+        Int64.to_int (Int64.sub hi lo) < 2 * List.length cases + 8
+    in
+    event (if dense then 4 else 5);
+    if dense then
+      [ { mnemonic = "jtab"; operands = sel_operand c :: List.map (fun (v, l) -> Fmt.str "%Ld:L%d" v l) cases @ [ Fmt.str "L%d" d ] } ]
+    else
+      List.map
+        (fun (v, l) ->
+          { mnemonic = "beq"; operands = [ sel_operand c; Fmt.str "#%Ld" v; Fmt.str "L%d" l ] })
+        cases
+      @ [ { mnemonic = "jmp"; operands = [ Fmt.str "L%d" d ] } ]
+  | Tunreachable ->
+    event 6;
+    [ { mnemonic = "trap"; operands = [] } ]
+
+(* ------------------------------------------------------------------ *)
+(* Linear-scan register allocation                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Compute live intervals of virtual registers over the linear instruction
+   order, then allocate [phys_regs] registers; the rest spill. *)
+let regalloc ?cov (f : func) : (int * int) list * int =
+  (* returns (vreg -> phys or -1 for spill), spill count *)
+  let first = Hashtbl.create 64 and last = Hashtbl.create 64 in
+  let pos = ref 0 in
+  let touch r =
+    if not (Hashtbl.mem first r) then Hashtbl.replace first r !pos;
+    Hashtbl.replace last r !pos
+  in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          incr pos;
+          Option.iter touch (dest i);
+          List.iter touch (uses i))
+        b.b_instrs;
+      incr pos;
+      List.iter touch (uses_of_term b.b_term))
+    f.fn_blocks;
+  let intervals =
+    Hashtbl.fold
+      (fun r s acc -> (r, s, Hashtbl.find last r) :: acc)
+      first []
+    |> List.sort (fun (_, s1, _) (_, s2, _) -> compare s1 s2)
+  in
+  let active = Array.make phys_regs (-1) (* expiry position *) in
+  let assignment = ref [] in
+  let spills = ref 0 in
+  List.iter
+    (fun (r, s, e) ->
+      (* find a free or expired physical register *)
+      let found = ref (-1) in
+      Array.iteri (fun i expiry -> if !found < 0 && expiry < s then found := i) active;
+      if !found >= 0 then begin
+        active.(!found) <- e;
+        assignment := (r, !found) :: !assignment
+      end
+      else begin
+        incr spills;
+        assignment := (r, -1) :: !assignment
+      end)
+    intervals;
+  (match cov with
+  | Some cov ->
+    Coverage.branch cov ~site:0x4200 ~a:(min 31 !spills)
+      ~b:(List.length intervals land 0xf) ();
+    (* live-interval shape: length buckets per allocation order position *)
+    List.iteri
+      (fun i (_, s, e) ->
+        if i < 64 then
+          let len = e - s in
+          let bucket =
+            if len <= 2 then 0 else if len <= 8 then 1
+            else if len <= 32 then 2 else if len <= 128 then 3 else 4
+          in
+          Coverage.branch cov ~site:0x4210 ~a:(i land 0x3f) ~b:bucket ())
+      intervals
+  | None -> ());
+  (!assignment, !spills)
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let emit_function ?cov (f : func) : string * int =
+  let assignment, spills = regalloc ?cov f in
+  let rename s =
+    if String.length s > 1 && s.[0] = 'v' then
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some vr -> (
+        match List.assoc_opt vr assignment with
+        | Some p when p >= 0 -> Fmt.str "r%d" p
+        | Some _ -> Fmt.str "[sp+%d]" (vr * 8)
+        | None -> s)
+      | None -> s
+    else s
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Fmt.str "%s:\n" f.fn_name);
+  List.iter
+    (fun b ->
+      Buffer.add_string buf (Fmt.str ".L%d:\n" b.b_label);
+      let instrs =
+        List.concat_map (select ?cov) b.b_instrs @ select_term ?cov b.b_term
+      in
+      List.iter
+        (fun a ->
+          Buffer.add_string buf
+            (Fmt.str "  %-6s %s\n" a.mnemonic
+               (String.concat ", " (List.map rename a.operands))))
+        instrs)
+    f.fn_blocks;
+  (Buffer.contents buf, spills)
+
+let emit_program ?cov (p : program) : string * int =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun g ->
+      Buffer.add_string buf
+        (Fmt.str ".data %s size=%d init=%s\n" g.g_name g.g_size
+           (match g.g_init with Some v -> Int64.to_string v | None -> "0")))
+    p.p_globals;
+  let total_spills = ref 0 in
+  List.iter
+    (fun f ->
+      let asm, spills = emit_function ?cov f in
+      total_spills := !total_spills + spills;
+      Buffer.add_string buf asm)
+    p.p_funcs;
+  (Buffer.contents buf, !total_spills)

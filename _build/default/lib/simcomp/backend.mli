@@ -1,0 +1,27 @@
+(** Back-end of the simulated compiler: instruction selection to a small
+    RISC-flavoured target, linear-scan register allocation over
+    {!phys_regs} physical registers, and assembly emission.  Selection
+    patterns and allocation decisions report branch coverage. *)
+
+type asm_instr = { mnemonic : string; operands : string list }
+
+val phys_regs : int
+(** Number of physical registers (8). *)
+
+val select : ?cov:Coverage.t -> Ir.instr -> asm_instr list
+(** Instruction selection for one IR instruction (immediate forms,
+    addressing modes, call sequences). *)
+
+val select_term : ?cov:Coverage.t -> Ir.terminator -> asm_instr list
+(** Terminator selection; dense switches become a jump table, sparse
+    ones a compare chain. *)
+
+val regalloc : ?cov:Coverage.t -> Ir.func -> (int * int) list * int
+(** Linear-scan allocation over live intervals.  Returns the
+    [(virtual, physical)] assignment (-1 = spilled) and the spill count. *)
+
+val emit_function : ?cov:Coverage.t -> Ir.func -> string * int
+(** Assembly text and spill count for one function. *)
+
+val emit_program : ?cov:Coverage.t -> Ir.program -> string * int
+(** Assembly for the whole program (data directives + functions). *)

@@ -1,0 +1,411 @@
+(* The latent-bug database of the simulated compilers.
+
+   Each bug is keyed on a conjunction of program features (features.ml)
+   plus a minimum optimization level, mirroring how the paper's
+   real-world bugs required specific program shapes.  The marquee bugs
+   reproduce the shapes of GCC #111820, GCC #111819, Clang #63762,
+   Clang #69213 and the strlen-optimization crash from §5.2.
+
+   Bug families are graded: the same family appears at increasing feature
+   thresholds, so deeper program diversity keeps uncovering new unique
+   crashes over a campaign (the growth curves of Fig. 9). *)
+
+type compiler = Gcc | Clang
+
+let compiler_to_string = function Gcc -> "GCC" | Clang -> "Clang"
+
+type bug = {
+  id : string;
+  compiler : compiler;
+  stage : Crash.stage;
+  kind : Crash.kind;
+  frames : string list;
+  min_opt : int;
+  (* text predicate applies even to non-parsing inputs; ast predicate
+     requires a successful parse *)
+  pred : Features.text -> Features.ast option -> bool;
+}
+
+let tx_only f : Features.text -> Features.ast option -> bool =
+ fun tx _ -> f tx
+
+let ast_only f : Features.text -> Features.ast option -> bool =
+ fun _ ast -> match ast with Some a -> f a | None -> false
+
+let bug ?(min_opt = 0) ~compiler ~stage ~kind ~frames id pred =
+  { id; compiler; stage; kind; frames; min_opt; pred }
+
+open Crash
+
+(* ------------------------------------------------------------------ *)
+(* Marquee bugs (paper case studies)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let marquee =
+  [
+    (* GCC #111820: loop vectorizer hangs on a zero-initialised counter
+       driven towards negative infinity with a scalar accumulation chain *)
+    bug "gcc-111820" ~compiler:Gcc ~stage:Optimization ~kind:Hang
+      ~frames:[ "vect_analyze_loop_form"; "vect_analyze_loop"; "try_vectorize_loop" ]
+      ~min_opt:3
+      (ast_only (fun a ->
+           a.has_zero_init_decreasing_loop && a.has_scalar_accum_chain));
+    (* GCC #111819: fold_offsetof assertion on __imag-style pointer
+       arithmetic over a casted address *)
+    bug "gcc-111819" ~compiler:Gcc ~stage:Front_end ~kind:Assertion_failure
+      ~frames:[ "fold_offsetof"; "c_fully_fold_internal"; "c_parser_expression" ]
+      (ast_only (fun a -> a.has_ptr_arith_cast_chain));
+    (* GCC strlen-optimization crash (§5.2): sprintf of a const buffer to
+       itself makes the strlen pass build an invalid range *)
+    bug "gcc-strlen-range" ~compiler:Gcc ~stage:Optimization
+      ~kind:Assertion_failure
+      ~frames:[ "verify_range"; "strlen_pass_execute"; "execute_one_pass" ]
+      ~min_opt:2
+      (ast_only (fun a -> a.has_sprintf_self && a.has_const_qual));
+    (* Clang #63762: void function, labels, no returns: branch folding
+       asserts when nothing follows the jump chain *)
+    bug "clang-63762" ~compiler:Clang ~stage:Back_end ~kind:Assertion_failure
+      ~frames:[ "verifyBranchTarget"; "BranchFolder::OptimizeBlock"; "runOnMachineFunction" ]
+      (ast_only (fun a -> a.has_labels_no_return && a.n_calls >= 1));
+    (* Clang #69213: compound literal cast to int accesses a non-existent
+       AST node in the front-end *)
+    bug "clang-69213" ~compiler:Clang ~stage:Front_end ~kind:Segfault
+      ~frames:[ "InitListChecker::CheckSubElementType"; "Sema::ActOnCompoundLiteral" ]
+      (ast_only (fun a -> a.has_struct_cast && a.has_compound_literal));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Graded bug families                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Text-level front-end bugs: reachable by byte-level fuzzers on inputs
+   that need not parse. *)
+let text_family ~compiler ~prefix ~frames ~kind grades get =
+  List.mapi
+    (fun i threshold ->
+      bug
+        (Fmt.str "%s-%d" prefix (i + 1))
+        ~compiler ~stage:Front_end ~kind
+        ~frames:(List.map (fun f -> Fmt.str "%s@%d" f (i + 1)) frames)
+        (tx_only (fun tx -> get tx >= threshold)))
+    grades
+
+let ast_family ~compiler ~stage ~prefix ~frames ~kind ?(min_opt = 0) grades get =
+  List.mapi
+    (fun i threshold ->
+      bug
+        (Fmt.str "%s-%d" prefix (i + 1))
+        ~compiler ~stage ~kind ~min_opt
+        ~frames:(List.map (fun f -> Fmt.str "%s@%d" f (i + 1)) frames)
+        (ast_only (fun a -> get a >= threshold)))
+    grades
+
+let bool_bug ~compiler ~stage ~kind ~frames ?(min_opt = 0) id pred =
+  bug id ~compiler ~stage ~kind ~frames ~min_opt (ast_only pred)
+
+let gcc_front_text =
+  text_family ~compiler:Gcc ~prefix:"gcc-lex-ident" ~kind:Assertion_failure
+    ~frames:[ "lex_identifier"; "c_lex_with_flags" ]
+    [ 48; 100; 200 ]
+    (fun tx -> tx.tx_max_ident_len)
+  @ text_family ~compiler:Gcc ~prefix:"gcc-parse-depth" ~kind:Segfault
+      ~frames:[ "c_parser_postfix_expression"; "c_parser_cast_expression" ]
+      [ 40; 80 ]
+      (fun tx -> tx.tx_paren_depth)
+  @ text_family ~compiler:Gcc ~prefix:"gcc-lex-number" ~kind:Assertion_failure
+      ~frames:[ "interpret_integer"; "cpp_classify_number" ]
+      [ 28; 60 ]
+      (fun tx -> tx.tx_digit_run)
+  @ [
+      bug "gcc-lex-ctrl" ~compiler:Gcc ~stage:Front_end ~kind:Segfault
+        ~frames:[ "skip_whitespace"; "_cpp_lex_direct" ]
+        (tx_only (fun tx -> tx.tx_has_control_chars && tx.tx_quote_imbalance));
+      bug "gcc-cpp-hash" ~compiler:Gcc ~stage:Front_end ~kind:Assertion_failure
+        ~frames:[ "do_pragma"; "cpp_handle_directive" ]
+        (tx_only (fun tx -> tx.tx_hash_count >= 9 && tx.tx_len > 400));
+    ]
+
+let clang_front_text =
+  text_family ~compiler:Clang ~prefix:"clang-lex-ident" ~kind:Assertion_failure
+    ~frames:[ "Lexer::LexIdentifier"; "Preprocessor::Lex" ]
+    [ 64; 150 ]
+    (fun tx -> tx.tx_max_ident_len)
+  @ text_family ~compiler:Clang ~prefix:"clang-parse-depth" ~kind:Segfault
+      ~frames:[ "Parser::ParseParenExpression"; "Parser::ParseCastExpression" ]
+      [ 32; 64; 128 ]
+      (fun tx -> tx.tx_paren_depth)
+  @ [
+      bug "clang-brace-depth" ~compiler:Clang ~stage:Front_end
+        ~kind:Assertion_failure
+        ~frames:[ "Parser::ParseCompoundStatement"; "BalancedDelimiterTracker::diagnoseOverflow" ]
+        (tx_only (fun tx -> tx.tx_brace_depth >= 26));
+      bug "clang-lex-high" ~compiler:Clang ~stage:Front_end ~kind:Segfault
+        ~frames:[ "Lexer::LexTokenInternal"; "Lexer::LexUnicode" ]
+        (tx_only (fun tx -> tx.tx_has_high_bytes && tx.tx_has_control_chars));
+    ]
+
+let gcc_front_ast =
+  [
+    bool_bug "gcc-call-args" ~compiler:Gcc ~stage:Front_end
+      ~kind:Assertion_failure
+      ~frames:[ "convert_arguments"; "build_function_call_vec" ]
+      (fun a -> a.max_call_args >= 5);
+    bool_bug "gcc-comma-chain" ~compiler:Gcc ~stage:Front_end
+      ~kind:Assertion_failure
+      ~frames:[ "c_process_expr_stmt"; "c_finish_expr_stmt" ]
+      (fun a -> a.n_commas >= 2);
+    bool_bug "gcc-uninit-const" ~compiler:Gcc ~stage:Front_end ~kind:Segfault
+      ~frames:[ "warn_uninit_var"; "c_genericize" ]
+      (fun a -> a.has_uninit_use && a.has_const_qual);
+  ]
+
+let clang_front_ast =
+  [
+    bool_bug "clang-cast-chain" ~compiler:Clang ~stage:Front_end
+      ~kind:Assertion_failure
+      ~frames:[ "Sema::CheckCastTypes"; "Sema::BuildCStyleCastExpr" ]
+      (fun a -> a.max_cast_chain >= 4);
+    bool_bug "clang-const-write" ~compiler:Clang ~stage:Front_end
+      ~kind:Assertion_failure
+      ~frames:[ "Sema::CheckForModifiableLvalue"; "Sema::CreateBuiltinBinOp" ]
+      (fun a -> a.has_const_write_warning);
+  ]
+
+let gcc_irgen =
+  ast_family ~compiler:Gcc ~stage:Ir_gen ~prefix:"gcc-gimple-switch"
+    ~kind:Assertion_failure
+    ~frames:[ "gimplify_switch_expr"; "gimplify_statement" ]
+    [ 6; 8; 11 ]
+    (fun a -> if a.has_fallthrough then a.max_switch_cases else 0)
+  @ [
+      bool_bug "gcc-cfg-goto" ~compiler:Gcc ~stage:Ir_gen
+        ~kind:Assertion_failure
+        ~frames:[ "make_goto_expr_edges"; "build_gimple_cfg" ]
+        (fun a -> a.n_gotos >= 2 && a.n_labels >= 2);
+      bool_bug "gcc-ptr-lower" ~compiler:Gcc ~stage:Ir_gen ~kind:Segfault
+        ~frames:[ "get_memory_rtx"; "expand_builtin_memop" ]
+        (fun a -> a.n_ptr_ops >= 4 && a.has_array_param);
+      bool_bug "gcc-va-lower" ~compiler:Gcc ~stage:Ir_gen
+        ~kind:Assertion_failure
+        ~frames:[ "expand_call"; "emit_library_call_value" ]
+        (fun a -> a.has_variadic_call && a.max_call_args >= 5);
+    ]
+
+let clang_irgen =
+  ast_family ~compiler:Clang ~stage:Ir_gen ~prefix:"clang-cgf-cond"
+    ~kind:Assertion_failure
+    ~frames:[ "CodeGenFunction::EmitBranchOnBoolExpr"; "CodeGenFunction::EmitIfStmt" ]
+    [ 2; 3 ]
+    (fun a -> if a.n_conds >= 3 then a.max_cast_chain else 0)
+  @ [
+      bool_bug "clang-cgf-complit" ~compiler:Clang ~stage:Ir_gen
+        ~kind:Assertion_failure
+        ~frames:[ "CodeGenFunction::EmitCompoundLiteralLValue"; "EmitLValue" ]
+        (fun a -> a.has_compound_literal && a.n_conds >= 1);
+      bool_bug "clang-cgf-goto" ~compiler:Clang ~stage:Ir_gen ~kind:Segfault
+        ~frames:[ "CodeGenFunction::EmitGotoStmt"; "EmitStmt" ]
+        (fun a -> a.n_gotos >= 1 && a.n_loops >= 2);
+      bool_bug "clang-incdec-mix" ~compiler:Clang ~stage:Ir_gen
+        ~kind:Assertion_failure
+        ~frames:[ "ScalarExprEmitter::EmitScalarPrePostIncDec"; "VisitUnaryOperator" ]
+        (fun a -> a.n_incdec >= 4 && a.has_decreasing_loop && a.has_fallthrough);
+    ]
+
+let gcc_opt =
+  [
+    bool_bug "gcc-ivopts-dec" ~compiler:Gcc ~stage:Optimization
+      ~kind:Assertion_failure ~min_opt:2
+      ~frames:[ "rewrite_use_nonlinear_expr"; "tree_ssa_iv_optimize" ]
+      (fun a ->
+           (* fires only when the analysed trip count lands on the buggy
+              parity, so qualifying programs crash rarely *)
+           a.has_decreasing_loop && a.n_loops >= 5 && a.max_loop_depth >= 3
+           && ((7 * a.n_exprs) + a.n_stmts) mod 17 = 5);
+    bool_bug "gcc-shift-vrp" ~compiler:Gcc ~stage:Optimization
+      ~kind:Assertion_failure ~min_opt:2
+      ~frames:[ "irange::set"; "range_op_handler::fold_range"; "vrp_pass" ]
+      (fun a -> a.has_shift_overflow);
+    bool_bug "gcc-div0-fold" ~compiler:Gcc ~stage:Optimization
+      ~kind:Assertion_failure ~min_opt:1
+      ~frames:[ "const_binop"; "fold_binary_loc" ]
+      (fun a -> a.has_div_by_literal_zero);
+    bool_bug "gcc-reassoc" ~compiler:Gcc ~stage:Optimization
+      ~kind:Assertion_failure ~min_opt:2
+      ~frames:[ "rewrite_expr_tree"; "reassociate_bb" ]
+      (fun a -> a.has_scalar_accum_chain && a.has_volatile_qual);
+    bool_bug "gcc-loop-interchange" ~compiler:Gcc ~stage:Optimization
+      ~kind:Segfault ~min_opt:3
+      ~frames:[ "tree_loop_interchange"; "pass_linterchange::execute" ]
+      (fun a -> a.max_loop_depth >= 4 && a.n_loops >= 4);
+    bool_bug "gcc-cunroll" ~compiler:Gcc ~stage:Optimization
+      ~kind:Assertion_failure ~min_opt:3
+      ~frames:[ "try_unroll_loop_completely"; "canonicalize_loop_induction_variables" ]
+      (fun a -> a.has_decreasing_loop && a.n_loops >= 2);
+    bool_bug "gcc-dse-volatile" ~compiler:Gcc ~stage:Optimization
+      ~kind:Assertion_failure ~min_opt:2
+      ~frames:[ "dse_classify_store"; "pass_dse::execute" ]
+      (fun a -> a.has_volatile_qual && a.n_compound_assigns >= 2);
+  ]
+
+let clang_opt =
+  [
+    bool_bug "clang-lsr-dec" ~compiler:Clang ~stage:Optimization
+      ~kind:Assertion_failure ~min_opt:2
+      ~frames:[ "LSRInstance::GenerateAllReuseFormulae"; "LoopStrengthReduce" ]
+      (fun a ->
+           a.has_decreasing_loop && a.max_loop_depth >= 4 && a.n_loops >= 4
+           && ((5 * a.n_exprs) + a.n_stmts) mod 13 = 3);
+    bool_bug "clang-instcombine-shift" ~compiler:Clang ~stage:Optimization
+      ~kind:Assertion_failure ~min_opt:2
+      ~frames:[ "InstCombinerImpl::visitShl"; "InstCombinePass::run" ]
+      (fun a -> a.has_shift_overflow);
+    bool_bug "clang-sccp-div0" ~compiler:Clang ~stage:Optimization
+      ~kind:Assertion_failure ~min_opt:1
+      ~frames:[ "ConstantFoldBinaryInstruction"; "SCCPSolver::visitBinaryOperator" ]
+      (fun a -> a.has_div_by_literal_zero && a.n_switches >= 1);
+    bool_bug "clang-loopdel-hang" ~compiler:Clang ~stage:Optimization
+      ~kind:Hang ~min_opt:2
+      ~frames:[ "LoopDeletionPass::run"; "FunctionPassManager::run" ]
+      (fun a -> a.has_empty_loop_body && a.has_decreasing_loop);
+    bool_bug "clang-inline-rec" ~compiler:Clang ~stage:Optimization
+      ~kind:Segfault ~min_opt:2
+      ~frames:[ "InlineFunction"; "InlinerPass::run" ]
+      (fun a -> a.has_recursion && a.n_calls >= 2);
+    bool_bug "clang-gvn-casts" ~compiler:Clang ~stage:Optimization
+      ~kind:Assertion_failure ~min_opt:2
+      ~frames:[ "GVNPass::processInstruction"; "GVNPass::runImpl" ]
+      (fun a -> a.n_casts >= 4 && a.max_cast_chain >= 3);
+    bool_bug "clang-licm-volatile" ~compiler:Clang ~stage:Optimization
+      ~kind:Assertion_failure ~min_opt:2
+      ~frames:[ "LICMPass::hoistRegion"; "LoopPassManager::run" ]
+      (fun a -> a.has_volatile_qual && a.n_loops >= 2 && a.max_loop_depth >= 2);
+  ]
+
+let gcc_backend =
+  [
+    bool_bug "gcc-jumptable" ~compiler:Gcc ~stage:Back_end
+      ~kind:Assertion_failure
+      ~frames:[ "emit_case_dispatch_table"; "expand_case" ]
+      (fun a -> a.max_switch_cases >= 8);
+    bool_bug "gcc-reload-spill" ~compiler:Gcc ~stage:Back_end ~kind:Segfault
+      ~frames:[ "lra_assign"; "lra" ]
+      (fun a -> a.n_exprs >= 2500 && a.n_gotos >= 1);
+    bool_bug "gcc-branch-relax" ~compiler:Gcc ~stage:Back_end
+      ~kind:Assertion_failure
+      ~frames:[ "shorten_branches"; "final_start_function" ]
+      (fun a -> a.has_labels_no_return && a.n_switches >= 1);
+    bool_bug "gcc-cvt-emit" ~compiler:Gcc ~stage:Back_end
+      ~kind:Assertion_failure ~min_opt:1
+      ~frames:[ "gen_fix_truncdfsi2"; "expand_fix" ]
+      (fun a -> a.max_cast_chain >= 3 && a.n_loops >= 1 && a.has_const_qual);
+  ]
+
+let clang_backend =
+  [
+    bool_bug "clang-isel-switch" ~compiler:Clang ~stage:Back_end
+      ~kind:Assertion_failure
+      ~frames:[ "SelectionDAGBuilder::visitSwitch"; "SelectionDAGISel::runOnMachineFunction" ]
+      (fun a -> a.max_switch_cases >= 10);
+    bool_bug "clang-ra-greedy" ~compiler:Clang ~stage:Back_end ~kind:Segfault
+      ~frames:[ "RAGreedy::selectOrSplit"; "RegAllocBase::allocatePhysRegs" ]
+      (fun a -> a.n_exprs >= 3000 && a.max_cast_chain >= 2);
+    bool_bug "clang-dag-fptoint" ~compiler:Clang ~stage:Back_end
+      ~kind:Assertion_failure ~min_opt:1
+      ~frames:[ "DAGTypeLegalizer::PromoteIntRes_FP_TO_XINT"; "LegalizeTypes" ]
+      (fun a -> a.max_cast_chain >= 3 && a.n_incdec >= 2 && a.has_volatile_qual);
+  ]
+
+let all_bugs : bug list =
+  marquee @ gcc_front_text @ clang_front_text @ gcc_front_ast @ clang_front_ast
+  @ gcc_irgen @ clang_irgen @ gcc_opt @ clang_opt @ gcc_backend @ clang_backend
+
+let bugs_for compiler =
+  List.filter (fun b -> b.compiler = compiler) all_bugs
+
+(* Check the bug database at one pipeline stage; raises on the first
+   triggered bug (deterministic order). *)
+let check ~compiler ~stage ~opt_level ~(tx : Features.text)
+    ~(ast : Features.ast option) : unit =
+  List.iter
+    (fun (b : bug) ->
+      if b.stage = stage && opt_level >= b.min_opt && b.pred tx ast then
+        raise
+          (Crash.Compiler_crash
+             { bug_id = b.id; stage = b.stage; kind = b.kind; frames = b.frames }))
+    (bugs_for compiler)
+
+(* ------------------------------------------------------------------ *)
+(* Silent wrong-code bugs (miscompilations)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Beyond the paper's crash-oriented campaign: a small set of latent
+   miscompilations.  When one fires, the optimizer silently produces
+   wrong code instead of crashing; only differential (EMI-style) testing
+   can expose it -- the extension implemented in Fuzzing.Wrongcode. *)
+
+type miscompile = {
+  mc_id : string;
+  mc_compiler : compiler;
+  mc_min_opt : int;
+  mc_pred : Features.ast -> bool;
+}
+
+let miscompiles : miscompile list =
+  [
+    {
+      mc_id = "gcc-wrongcode-reassoc";
+      mc_compiler = Gcc;
+      mc_min_opt = 2;
+      mc_pred =
+        (fun a ->
+          a.Features.has_scalar_accum_chain && a.Features.n_casts >= 2
+          && a.Features.n_loops >= 2);
+    };
+    {
+      mc_id = "gcc-wrongcode-narrowing";
+      mc_compiler = Gcc;
+      mc_min_opt = 3;
+      mc_pred =
+        (fun a ->
+          a.Features.max_cast_chain >= 2 && a.Features.has_decreasing_loop);
+    };
+    {
+      mc_id = "clang-wrongcode-instsimplify";
+      mc_compiler = Clang;
+      mc_min_opt = 2;
+      mc_pred =
+        (fun a ->
+          a.Features.n_commas >= 1 && a.Features.n_conds >= 2
+          && a.Features.n_switches >= 1);
+    };
+  ]
+
+let check_miscompile ~compiler ~opt_level ~(ast : Features.ast) :
+    miscompile option =
+  List.find_opt
+    (fun mc ->
+      mc.mc_compiler = compiler && opt_level >= mc.mc_min_opt
+      && mc.mc_pred ast)
+    miscompiles
+
+(* ------------------------------------------------------------------ *)
+(* Bug-report triage model (Table 6 lifecycle)                         *)
+(* ------------------------------------------------------------------ *)
+
+type triage = {
+  t_confirmed : bool;
+  t_fixed : bool;
+  t_duplicate : bool;
+  t_priority : int; (* 1..5, GCC style; 0 when not assigned *)
+}
+
+(* Deterministic per-bug triage calibrated to Table 6: nearly every report
+   is confirmed, ~27 % eventually fixed, ~10 % duplicates. *)
+let triage_of (bug_id : string) : triage =
+  let h = Hashtbl.hash bug_id in
+  let roll n = h / n mod 100 in
+  let confirmed = roll 1 < 98 in
+  let fixed = confirmed && roll 7 < 27 in
+  let duplicate = roll 13 < 10 in
+  let priority = if confirmed then 1 + (h / 31 mod 5) else 0 in
+  { t_confirmed = confirmed; t_fixed = fixed; t_duplicate = duplicate; t_priority = priority }

@@ -1,0 +1,67 @@
+(** The latent-bug database of the simulated compilers.
+
+    Each bug is keyed on a conjunction of program features ({!Features})
+    plus a minimum optimization level, mirroring how the paper's
+    real-world bugs required specific program shapes.  Marquee entries
+    reproduce GCC #111820 (vectorizer hang), GCC #111819 (fold_offsetof),
+    the strlen-optimization crash of §5.2, Clang #63762 (branch folding),
+    and Clang #69213 (compound-literal front-end crash).  Bug families
+    are graded by threshold so deeper diversity keeps uncovering new
+    unique crashes over a campaign (Fig. 9's growth curves). *)
+
+type compiler = Gcc | Clang
+
+val compiler_to_string : compiler -> string
+
+type bug = {
+  id : string;
+  compiler : compiler;
+  stage : Crash.stage;
+  kind : Crash.kind;
+  frames : string list;
+  min_opt : int;
+  pred : Features.text -> Features.ast option -> bool;
+      (** the text predicate applies even to inputs that fail to parse;
+          the AST predicate requires a successful parse *)
+}
+
+val all_bugs : bug list
+
+val bugs_for : compiler -> bug list
+
+val check :
+  compiler:compiler ->
+  stage:Crash.stage ->
+  opt_level:int ->
+  tx:Features.text ->
+  ast:Features.ast option ->
+  unit
+(** Consult the database at one stage boundary; raises
+    {!Crash.Compiler_crash} on the first triggered bug. *)
+
+(** Silent wrong-code bugs: when one fires, the optimizer produces wrong
+    code without crashing.  Only differential (EMI-style) testing exposes
+    them — see [Fuzzing.Wrongcode]. *)
+type miscompile = {
+  mc_id : string;
+  mc_compiler : compiler;
+  mc_min_opt : int;
+  mc_pred : Features.ast -> bool;
+}
+
+val miscompiles : miscompile list
+
+val check_miscompile :
+  compiler:compiler -> opt_level:int -> ast:Features.ast -> miscompile option
+
+(** Bug-report lifecycle model (Table 6). *)
+type triage = {
+  t_confirmed : bool;
+  t_fixed : bool;
+  t_duplicate : bool;
+  t_priority : int;  (** 1-5 GCC style, 0 when unassigned *)
+}
+
+val triage_of : string -> triage
+(** Deterministic per bug id, calibrated to Table 6's confirm/fix/dup
+    rates. *)

@@ -1,0 +1,380 @@
+(* The simulated compiler driver: front-end → IR generation →
+   optimization → back-end, with branch-coverage instrumentation and the
+   latent-bug database consulted at every stage boundary.
+
+   Two compiler "products" share the pipeline but have distinct bug sets
+   and distinct coverage-id salts (their code bases differ), so fuzzing
+   GCC-sim and Clang-sim yields different coverage maps and crash sets,
+   as in the paper's RQ1 setup. *)
+
+open Cparse
+
+type compiler = Bugdb.compiler = Gcc | Clang
+
+type options = {
+  opt_level : int;                (* 0..3; the paper uses -O2 *)
+  disabled_passes : string list;  (* -fno-<pass> *)
+}
+
+let default_options = { opt_level = 2; disabled_passes = [] }
+
+type outcome =
+  | Compiled of { asm : string; warnings : int; ir_size : int; spills : int }
+  | Compile_error of string list
+  | Crashed of Crash.t
+
+let outcome_is_success = function Compiled _ -> true | _ -> false
+
+let salt = function Gcc -> 0x5a5a00 | Clang -> 0xc1a600
+
+let cov_event cov ~salt ~site ~a ~b =
+  match cov with
+  | Some cov -> Coverage.branch cov ~site:(site lxor salt) ~a ~b ()
+  | None -> ()
+
+(* Diagnostics mention user identifiers; a real compiler's branches do
+   not depend on spelling, so identifier characters are stripped before
+   hashing a message into a coverage id. *)
+let sanitize_msg (msg : string) : string =
+  let buf = Buffer.create (String.length msg) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ()
+      | c -> Buffer.add_char buf c)
+    msg;
+  Buffer.contents buf
+
+(* Front-end lexical coverage: token-kind bigrams (error-handling paths of
+   the lexer are what byte-level fuzzers explore). *)
+let lex_coverage ?limit cov ~salt (src : string) : unit =
+  match cov with
+  | None -> ()
+  | Some _ -> (
+    match Lexer.tokenize src with
+    | toks ->
+      (* a recursive-descent front-end stops lexing at the first parse
+         error, so coverage beyond [limit] (the error offset) is never
+         reached in reality *)
+      let toks =
+        match limit with
+        | None -> toks
+        | Some off ->
+          let n = ref 0 in
+          Array.iter
+            (fun l ->
+              if l.Lexer.loc.Loc.offset <= off then incr n)
+            toks;
+          Array.sub toks 0 (max 1 !n)
+      in
+      (* the lexer branches on token *classes*, not identifier content *)
+      let tag (t : Token.t) =
+        match t with
+        | Token.Ident _ -> 1
+        | Token.Int_lit (v, _, _) ->
+          2 + (if Int64.compare v 256L < 0 then 0 else 1)
+        | Token.Float_lit _ -> 4
+        | Token.Char_lit _ -> 5
+        | Token.Str_lit _ -> 6
+        | Token.Kw k -> 8 + (Hashtbl.hash k land 0x1f)
+        | t -> 48 + (Hashtbl.hash (Token.to_string t) land 0x7)
+      in
+      Array.iteri
+        (fun i l ->
+          if i > 0 then
+            cov_event cov ~salt ~site:0x100
+              ~a:(tag toks.(i - 1).Lexer.tok)
+              ~b:(tag l.Lexer.tok))
+        toks
+    | exception Lexer.Error (msg, _loc) ->
+      cov_event cov ~salt ~site:0x110
+        ~a:(Hashtbl.hash (sanitize_msg msg) land 0x1f)
+        ~b:0)
+
+(* AST-shape coverage: parent/child node-kind pairs, as a proxy for the
+   parser's and semantic analyzer's branch structure. *)
+let ast_coverage cov ~salt (tu : Ast.tu) : unit =
+  match cov with
+  | None -> ()
+  | Some _ ->
+    let ek (e : Ast.expr) = Lower.ekind_tag e in
+    let rec walk_expr parent (e : Ast.expr) =
+      cov_event cov ~salt ~site:0x200 ~a:parent ~b:(ek e);
+      let p = ek e in
+      match e.ek with
+      | Binop (op, a, b) ->
+        cov_event cov ~salt ~site:0x210 ~a:(Hashtbl.hash op land 0xff) ~b:p;
+        walk_expr p a;
+        walk_expr p b
+      | Unop (_, a) | Incdec (_, _, a) | Deref a | Addrof a | Cast (_, a)
+      | Member (a, _) | Arrow (a, _) | Sizeof_expr a ->
+        walk_expr p a
+      | Assign (_, a, b) | Index (a, b) | Comma (a, b) ->
+        walk_expr p a;
+        walk_expr p b
+      | Call (f, args) ->
+        walk_expr p f;
+        List.iter (walk_expr p) args
+      | Cond (c, t, f) ->
+        walk_expr p c;
+        walk_expr p t;
+        walk_expr p f
+      | Init_list es -> List.iter (walk_expr p) es
+      | Int_lit _ | Float_lit _ | Char_lit _ | Str_lit _ | Ident _
+      | Sizeof_ty _ -> ()
+    in
+    let rec walk_stmt parent (s : Ast.stmt) =
+      let tag = Lower.skind_tag s in
+      cov_event cov ~salt ~site:0x220 ~a:parent ~b:tag;
+      match s.sk with
+      | Sexpr e -> walk_expr 0 e
+      | Sdecl vs ->
+        List.iter
+          (fun (v : Ast.var_decl) ->
+            cov_event cov ~salt ~site:0x230
+              ~a:(Lower.ty_tag v.v_ty)
+              ~b:(Bool.to_int v.v_quals.q_const lor (2 * Bool.to_int v.v_quals.q_volatile));
+            Option.iter (walk_expr 0) v.v_init)
+          vs
+      | Sif (c, t, f) ->
+        walk_expr 0 c;
+        walk_stmt tag t;
+        Option.iter (walk_stmt tag) f
+      | Swhile (c, b) ->
+        walk_expr 0 c;
+        walk_stmt tag b
+      | Sdo (b, c) ->
+        walk_stmt tag b;
+        walk_expr 0 c
+      | Sfor (init, c, st, b) ->
+        (match init with
+        | Some (Fi_expr e) -> walk_expr 0 e
+        | Some (Fi_decl vs) ->
+          List.iter (fun (v : Ast.var_decl) -> Option.iter (walk_expr 0) v.v_init) vs
+        | None -> ());
+        Option.iter (walk_expr 0) c;
+        Option.iter (walk_expr 0) st;
+        walk_stmt tag b
+      | Sreturn e -> Option.iter (walk_expr 0) e
+      | Sblock ss -> List.iter (walk_stmt tag) ss
+      | Sswitch (e, cases) ->
+        walk_expr 0 e;
+        List.iter
+          (fun (c : Ast.switch_case) ->
+            cov_event cov ~salt ~site:0x240
+              ~a:(List.length c.case_labels)
+              ~b:(List.length c.case_body land 0xf);
+            List.iter (walk_stmt tag) c.case_body)
+          cases
+      | Sgoto _ | Slabel _ | Sbreak | Scontinue | Snull -> ()
+    in
+    List.iter
+      (function
+        | Ast.Gfun fd ->
+          cov_event cov ~salt ~site:0x250
+            ~a:(Lower.ty_tag fd.f_ret)
+            ~b:(List.length fd.f_params);
+          List.iter (walk_stmt 0) fd.f_body
+        | Ast.Gvar v ->
+          cov_event cov ~salt ~site:0x260 ~a:(Lower.ty_tag v.v_ty) ~b:0
+        | Ast.Gstruct (_, fields) | Ast.Gunion (_, fields) ->
+          cov_event cov ~salt ~site:0x270 ~a:(List.length fields) ~b:0
+        | Ast.Gtypedef _ | Ast.Genum _ | Ast.Gproto _ ->
+          cov_event cov ~salt ~site:0x280 ~a:1 ~b:0)
+      tu.globals
+
+(* Semantic-path coverage: pairwise combinations of program features.
+
+   A real compiler's deep branches fire on *conjunctions* of semantic
+   properties (a const-qualified buffer AND a self-referential sprintf; a
+   decreasing loop AND an accumulation chain).  We model that directly:
+   every pair of feature buckets is a potential branch.  Closed-grammar
+   generators saturate this space quickly because they can never set the
+   rare features; semantic-aware mutators keep opening new pairs. *)
+let feature_coverage cov ~salt (a : Features.ast) : unit =
+  match cov with
+  | None -> ()
+  | Some _ ->
+    let bucket n =
+      if n <= 0 then 0
+      else if n <= 2 then 1
+      else if n <= 5 then 2
+      else if n <= 10 then 3
+      else if n <= 20 then 4
+      else 5
+    in
+    let b v = if v then 1 else 0 in
+    let feats =
+      [|
+        b a.has_const_qual; b a.has_volatile_qual; b a.has_const_write_warning;
+        b a.has_void_fn_with_labels; b a.has_labels_no_return;
+        b a.has_decreasing_loop; b a.has_zero_init_decreasing_loop;
+        b a.has_scalar_accum_chain; b a.has_sprintf_self; b a.has_struct_cast;
+        b a.has_compound_literal; b a.has_ptr_arith_cast_chain;
+        b a.has_fallthrough; b a.has_empty_loop_body; b a.has_shift_overflow;
+        b a.has_div_by_literal_zero; b a.has_uninit_use; b a.has_recursion;
+        b a.has_variadic_call; b a.has_array_param;
+        bucket a.n_gotos; bucket a.n_labels; bucket a.n_commas;
+        bucket a.max_cast_chain; bucket a.max_loop_depth;
+        bucket a.max_switch_cases; bucket a.max_call_args;
+        bucket a.n_conds; bucket a.n_ptr_ops; bucket a.n_switches;
+        bucket a.n_casts; bucket a.n_incdec;
+      |]
+    in
+    let n = Array.length feats in
+    for i = 0 to n - 1 do
+      if feats.(i) > 0 then
+        for j = i + 1 to n - 1 do
+          cov_event cov ~salt ~site:0x500
+            ~a:((i * 64) + feats.(i))
+            ~b:((j * 64) + feats.(j))
+        done
+    done
+
+let diag_coverage cov ~salt (diags : Typecheck.diag list) : unit =
+  List.iter
+    (fun (d : Typecheck.diag) ->
+      cov_event cov ~salt ~site:0x300
+        ~a:(Hashtbl.hash (sanitize_msg d.msg) land 0xfff)
+        ~b:(match d.sev with Typecheck.Error -> 1 | Typecheck.Warning -> 0))
+    diags
+
+(* Deterministically corrupt the optimized IR the way a wrong-code bug
+   would: the first subtraction in the largest function gets its operands
+   swapped (a classic reassociation-style miscompilation). *)
+let miscompile_ir (mc : Bugdb.miscompile) (prog : Ir.program) : unit =
+  ignore mc;
+  let budget = ref 3 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          if !budget > 0 then
+            b.Ir.b_instrs <-
+              List.map
+                (fun i ->
+                  match i with
+                  | Ir.Ibin (Cparse.Ast.Sub, r, a, bb) when !budget > 0 ->
+                    decr budget;
+                    Ir.Ibin (Cparse.Ast.Sub, r, bb, a)
+                  | i -> i)
+                b.Ir.b_instrs)
+        f.Ir.fn_blocks)
+    prog.Ir.p_funcs
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let compile ?cov (compiler : compiler) (opts : options) (src : string) :
+    outcome =
+  let salt = salt compiler in
+  let tx = Features.text_features src in
+  let check stage ast =
+    Bugdb.check ~compiler ~stage ~opt_level:opts.opt_level ~tx ~ast
+  in
+  try
+    (* parse first (uninstrumented) so lexical coverage can stop at the
+       point where a real single-pass front-end would stop *)
+    let parsed =
+      match Parser.parse_tu src with
+      | tu -> Ok tu
+      | exception Parser.Error (msg, loc) -> Error (msg, Some loc)
+      | exception Lexer.Error (msg, loc) -> Error (msg, Some loc)
+      | exception Stack_overflow -> Error ("parser stack overflow", None)
+    in
+    match parsed with
+    | Error (msg, loc) ->
+      lex_coverage ?limit:(Option.map (fun l -> l.Loc.offset) loc) cov ~salt
+        src;
+      check Crash.Front_end None;
+      cov_event cov ~salt ~site:0x120
+        ~a:(Hashtbl.hash (sanitize_msg msg) land 0x1f)
+        ~b:0;
+      Compile_error [ msg ]
+    | Ok tu ->
+      lex_coverage cov ~salt src;
+      ast_coverage cov ~salt tu;
+      let ast = Features.ast_features tu in
+      feature_coverage cov ~salt ast;
+      check Crash.Front_end (Some ast);
+      let tc = Typecheck.check tu in
+      diag_coverage cov ~salt tc.r_diags;
+      if not tc.r_ok then
+        Compile_error
+          (List.map Typecheck.diag_to_string (Typecheck.errors tc))
+      else begin
+        let warnings = List.length (Typecheck.warnings tc) in
+        (* IR generation *)
+        let prog = Lower.lower_tu ?cov tu tc in
+        check Crash.Ir_gen (Some ast);
+        (* optimization *)
+        let _pass_results =
+          Opt.run_pipeline ?cov ~level:opts.opt_level
+            ~disabled:opts.disabled_passes prog
+        in
+        check Crash.Optimization (Some ast);
+        (* latent wrong-code bugs corrupt the IR silently *)
+        (match
+           Bugdb.check_miscompile ~compiler ~opt_level:opts.opt_level ~ast
+         with
+        | Some mc -> miscompile_ir mc prog
+        | None -> ());
+        (* back-end *)
+        let asm, spills = Backend.emit_program ?cov prog in
+        check Crash.Back_end (Some ast);
+        Compiled { asm; warnings; ir_size = Ir.program_size prog; spills }
+      end
+  with
+  | Crash.Compiler_crash c -> Crashed c
+  | Lexer.Error (msg, _) ->
+    check Crash.Front_end None;
+    Compile_error [ "lex error: " ^ msg ]
+  | Stack_overflow ->
+    Crashed
+      {
+        bug_id = Fmt.str "%s-stack-overflow" (Bugdb.compiler_to_string compiler);
+        stage = Crash.Front_end;
+        kind = Crash.Segfault;
+        frames = [ "recursive_descent"; "parse_expression" ];
+      }
+
+(* Produce the (possibly silently corrupted) optimized IR: the hook the
+   EMI-style wrong-code detector (Fuzzing.Wrongcode) differences against
+   the -O0 lowering. *)
+let compile_ir (compiler : compiler) (opts : options) (src : string) :
+    (Ir.program, string) result =
+  match Parser.parse src with
+  | Error e -> Error e
+  | Ok tu ->
+    let tc = Typecheck.check tu in
+    if not tc.Typecheck.r_ok then Error "type errors"
+    else begin
+      let ast = Features.ast_features tu in
+      let prog = Lower.lower_tu tu tc in
+      ignore
+        (Opt.run_pipeline ~level:opts.opt_level
+           ~disabled:opts.disabled_passes prog);
+      (match
+         Bugdb.check_miscompile ~compiler ~opt_level:opts.opt_level ~ast
+       with
+      | Some mc -> miscompile_ir mc prog
+      | None -> ());
+      Ok prog
+    end
+
+(* Sample a random command line the way the macro fuzzer does. *)
+let random_options (rng : Rng.t) : options =
+  let opt_level = Rng.int rng 4 in
+  let all_passes =
+    [ "constfold"; "simplify-cfg"; "dce"; "inline"; "strlen-opt"; "loop-opt" ]
+  in
+  let disabled_passes =
+    List.filter (fun _ -> Rng.flip rng 0.15) all_passes
+  in
+  { opt_level; disabled_passes }
+
+let options_to_string (o : options) =
+  Fmt.str "-O%d%s" o.opt_level
+    (String.concat ""
+       (List.map (fun p -> " -fno-" ^ p) o.disabled_passes))

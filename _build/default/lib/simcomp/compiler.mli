@@ -1,0 +1,41 @@
+(** The simulated compiler driver.
+
+    Front-end (parse + type check) → IR generation → optimization →
+    back-end, with branch-coverage instrumentation at every stage and the
+    latent-bug database ({!Bugdb}) consulted at every stage boundary.
+
+    Two compiler "products" share the pipeline but have distinct bug sets
+    and coverage-id salts, modelling GCC vs Clang in the paper's RQ1. *)
+
+type compiler = Bugdb.compiler = Gcc | Clang
+
+type options = {
+  opt_level : int;                (** 0..3; the paper fuzzes at -O2 *)
+  disabled_passes : string list;  (** -fno-<pass> *)
+}
+
+val default_options : options
+(** [-O2] with every pass enabled. *)
+
+type outcome =
+  | Compiled of { asm : string; warnings : int; ir_size : int; spills : int }
+  | Compile_error of string list
+  | Crashed of Crash.t
+      (** an internal compiler error: a latent bug fired *)
+
+val outcome_is_success : outcome -> bool
+
+val compile : ?cov:Coverage.t -> compiler -> options -> string -> outcome
+(** Compile C source.  When [cov] is given, every pipeline stage reports
+    branch coverage into it (including error-handling paths for inputs
+    that fail to lex/parse/type check). *)
+
+val compile_ir : compiler -> options -> string -> (Ir.program, string) result
+(** Produce the (possibly silently miscompiled) optimized IR — the hook
+    the EMI-style wrong-code detector differences against -O0. *)
+
+val random_options : Cparse.Rng.t -> options
+(** Sample a random command line, as the macro fuzzer does (§3.4). *)
+
+val options_to_string : options -> string
+(** Render as a GCC-style command line ("-O2 -fno-dce ..."). *)

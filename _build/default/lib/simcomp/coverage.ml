@@ -1,0 +1,61 @@
+(* Branch-coverage instrumentation for the simulated compilers.
+
+   Each decision point in the pipeline reports a (site, context) pair;
+   context captures what the real compiler's branch would depend on (node
+   kind, type class, pass decision...), so coverage grows with program
+   diversity exactly as it does when fuzzing an instrumented GCC/Clang.
+   Ids are hashed into a bounded space like AFL's edge map. *)
+
+type t = {
+  map : (int, int) Hashtbl.t;
+  mutable hits : int;
+}
+
+let map_bits = 20
+let map_size = 1 lsl map_bits
+
+let create () = { map = Hashtbl.create 4096; hits = 0 }
+
+let hit cov id =
+  let id = id land (map_size - 1) in
+  cov.hits <- cov.hits + 1;
+  match Hashtbl.find_opt cov.map id with
+  | Some n -> Hashtbl.replace cov.map id (n + 1)
+  | None -> Hashtbl.replace cov.map id 1
+
+(* Report a branch at [site] with contextual values. *)
+let branch cov ~site ?(a = 0) ?(b = 0) () =
+  hit cov (Hashtbl.hash (site, a, b))
+
+let covered cov = Hashtbl.length cov.map
+
+let total_hits cov = cov.hits
+
+let branch_ids cov = Hashtbl.fold (fun k _ acc -> k :: acc) cov.map []
+
+(* Merge [src] into [dst] (the macro fuzzer's shared coverage map).
+   Returns the number of branches new to [dst]. *)
+let merge ~into:dst src =
+  let fresh = ref 0 in
+  Hashtbl.iter
+    (fun k v ->
+      match Hashtbl.find_opt dst.map k with
+      | Some n -> Hashtbl.replace dst.map k (n + v)
+      | None ->
+        incr fresh;
+        Hashtbl.replace dst.map k v)
+    src.map;
+  dst.hits <- dst.hits + src.hits;
+  !fresh
+
+(* Does [src] cover any branch absent from [dst]?  (Alg. 1's test.) *)
+let has_new_coverage ~seen:dst src =
+  Hashtbl.fold
+    (fun k _ acc -> acc || not (Hashtbl.mem dst.map k))
+    src.map false
+
+let reset cov =
+  Hashtbl.reset cov.map;
+  cov.hits <- 0
+
+let copy cov = { map = Hashtbl.copy cov.map; hits = cov.hits }

@@ -1,0 +1,41 @@
+(** Branch-coverage instrumentation for the simulated compilers.
+
+    Each decision point in the pipeline reports a (site, context) pair —
+    context captures what the real compiler's branch would depend on
+    (node kind, type class, pass decision) — so coverage grows with
+    program diversity the way instrumented GCC/Clang coverage does.
+    Ids are hashed into a bounded AFL-style edge map. *)
+
+type t
+(** A mutable coverage map. *)
+
+val map_bits : int
+val map_size : int
+(** The id space is [\[0, map_size)] ([1 lsl map_bits]). *)
+
+val create : unit -> t
+
+val hit : t -> int -> unit
+(** Record one execution of branch [id mod map_size]. *)
+
+val branch : t -> site:int -> ?a:int -> ?b:int -> unit -> unit
+(** Report a branch at [site] with contextual values [a], [b]; the id is
+    [hash (site, a, b)]. *)
+
+val covered : t -> int
+(** Number of distinct branches covered. *)
+
+val total_hits : t -> int
+
+val branch_ids : t -> int list
+
+val merge : into:t -> t -> int
+(** [merge ~into src] accumulates [src] and returns the number of
+    branches new to [into] — the macro fuzzer's shared coverage map. *)
+
+val has_new_coverage : seen:t -> t -> bool
+(** Does the second map cover a branch absent from [seen]?  This is the
+    acceptance test of the paper's Algorithm 1. *)
+
+val reset : t -> unit
+val copy : t -> t

@@ -1,0 +1,47 @@
+(* Crash identity.
+
+   Following the paper's methodology, a crash is uniquely identified by
+   its top two stack frames; helper frames (report_error wrappers) are
+   excluded from the identity. *)
+
+type kind = Assertion_failure | Segfault | Hang
+
+type stage = Front_end | Ir_gen | Optimization | Back_end
+
+type t = {
+  bug_id : string;
+  stage : stage;
+  kind : kind;
+  frames : string list; (* synthetic stack, innermost first *)
+}
+
+exception Compiler_crash of t
+
+let kind_to_string = function
+  | Assertion_failure -> "assertion failure"
+  | Segfault -> "segmentation fault"
+  | Hang -> "hang"
+
+let stage_to_string = function
+  | Front_end -> "Front-End"
+  | Ir_gen -> "IR"
+  | Optimization -> "Opt"
+  | Back_end -> "Back-End"
+
+let helper_frames = [ "report_error"; "internal_error"; "fancy_abort"; "llvm_unreachable" ]
+
+(* The unique key: top two non-helper frames. *)
+let unique_key (t : t) : string =
+  let frames =
+    List.filter (fun f -> not (List.mem f helper_frames)) t.frames
+  in
+  match frames with
+  | a :: b :: _ -> a ^ "|" ^ b
+  | [ a ] -> a
+  | [] -> "<unknown>"
+
+let to_string (t : t) =
+  Fmt.str "[%s] %s in %s (%s)"
+    (stage_to_string t.stage)
+    (kind_to_string t.kind)
+    (unique_key t) t.bug_id

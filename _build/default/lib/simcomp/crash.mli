@@ -1,0 +1,31 @@
+(** Crash identity.
+
+    Following the paper's methodology (§5.1), a crash is uniquely
+    identified by its top two stack frames, with helper frames
+    ([report_error]-style wrappers) excluded. *)
+
+type kind = Assertion_failure | Segfault | Hang
+
+type stage = Front_end | Ir_gen | Optimization | Back_end
+(** The compiler component blamed for the crash (Table 4 / Table 6). *)
+
+type t = {
+  bug_id : string;        (** stable id in the latent-bug database *)
+  stage : stage;
+  kind : kind;
+  frames : string list;   (** synthetic stack, innermost first *)
+}
+
+exception Compiler_crash of t
+(** Raised inside the pipeline when a latent bug fires. *)
+
+val kind_to_string : kind -> string
+val stage_to_string : stage -> string
+
+val helper_frames : string list
+(** Frames excluded from crash identity. *)
+
+val unique_key : t -> string
+(** Top two non-helper frames, joined — the dedup key. *)
+
+val to_string : t -> string

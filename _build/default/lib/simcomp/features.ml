@@ -1,0 +1,428 @@
+(* Program feature extraction.
+
+   The injected-bug database (bugdb.ml) keys latent compiler bugs on
+   conjunctions of these features, so that reaching a bug requires the
+   kind of program shape the corresponding real-world bug required.
+   Text-level features exist even for programs that do not parse
+   (front-end error-path bugs, reachable by byte-level fuzzers). *)
+
+open Cparse
+open Ast
+
+type text = {
+  tx_len : int;
+  tx_max_ident_len : int;
+  tx_paren_depth : int;
+  tx_brace_depth : int;
+  tx_has_control_chars : bool;
+  tx_has_high_bytes : bool;
+  tx_digit_run : int;          (* longest run of digits *)
+  tx_semi_count : int;
+  tx_hash_count : int;
+  tx_quote_imbalance : bool;
+}
+
+let text_features (src : string) : text =
+  let n = String.length src in
+  let max_ident = ref 0 and cur_ident = ref 0 in
+  let depth = ref 0 and max_depth = ref 0 in
+  let bdepth = ref 0 and max_bdepth = ref 0 in
+  let ctrl = ref false and high = ref false in
+  let digit_run = ref 0 and cur_digits = ref 0 in
+  let semis = ref 0 and hashes = ref 0 and quotes = ref 0 in
+  String.iter
+    (fun c ->
+      (match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | '0' .. '9' ->
+        incr cur_ident;
+        if !cur_ident > !max_ident then max_ident := !cur_ident
+      | _ -> cur_ident := 0);
+      (match c with
+      | '0' .. '9' ->
+        incr cur_digits;
+        if !cur_digits > !digit_run then digit_run := !cur_digits
+      | _ -> cur_digits := 0);
+      (match c with
+      | '(' ->
+        incr depth;
+        if !depth > !max_depth then max_depth := !depth
+      | ')' -> decr depth
+      | '{' ->
+        incr bdepth;
+        if !bdepth > !max_bdepth then max_bdepth := !bdepth
+      | '}' -> decr bdepth
+      | ';' -> incr semis
+      | '#' -> incr hashes
+      | '"' -> incr quotes
+      | '\n' | '\t' | '\r' -> ()
+      | c when Char.code c < 32 -> ctrl := true
+      | c when Char.code c >= 127 -> high := true
+      | _ -> ()))
+    src;
+  {
+    tx_len = n;
+    tx_max_ident_len = !max_ident;
+    tx_paren_depth = !max_depth;
+    tx_brace_depth = !max_bdepth;
+    tx_has_control_chars = !ctrl;
+    tx_has_high_bytes = !high;
+    tx_digit_run = !digit_run;
+    tx_semi_count = !semis;
+    tx_hash_count = !hashes;
+    tx_quote_imbalance = !quotes mod 2 = 1;
+  }
+
+type ast = {
+  n_functions : int;
+  n_globals : int;
+  n_structs : int;
+  n_ifs : int;
+  n_loops : int;
+  n_switches : int;
+  n_gotos : int;
+  n_labels : int;
+  n_calls : int;
+  n_casts : int;
+  n_commas : int;
+  n_conds : int;                     (* ternary operators *)
+  n_ptr_ops : int;                   (* deref + addrof *)
+  n_incdec : int;
+  n_compound_assigns : int;
+  max_loop_depth : int;
+  max_cast_chain : int;
+  max_switch_cases : int;
+  max_call_args : int;
+  has_const_qual : bool;
+  has_volatile_qual : bool;
+  has_const_write_warning : bool;    (* const var subject to sprintf-style write *)
+  has_void_fn_with_labels : bool;    (* Clang #63762 shape *)
+  has_labels_no_return : bool;
+  has_decreasing_loop : bool;        (* while (--n) style *)
+  has_zero_init_decreasing_loop : bool; (* GCC #111820 shape *)
+  has_scalar_accum_chain : bool;     (* r += r; r += r; ... *)
+  has_sprintf_self : bool;           (* sprintf(buf, "%s", buf) *)
+  has_struct_cast : bool;            (* (T){...} or struct cast involved *)
+  has_compound_literal : bool;
+  has_ptr_arith_cast_chain : bool;   (* GCC #111819 shape *)
+  has_fallthrough : bool;
+  has_empty_loop_body : bool;
+  has_shift_overflow : bool;         (* shift amount >= width *)
+  has_div_by_literal_zero : bool;
+  has_uninit_use : bool;             (* scalar local read before any write *)
+  has_array_param : bool;
+  has_variadic_call : bool;
+  has_recursion : bool;
+  n_returns : int;
+  n_void_returns : int;
+  n_exprs : int;
+  n_stmts : int;
+}
+
+let ast_features (tu : tu) : ast =
+  let n_ifs = ref 0 and n_loops = ref 0 and n_switches = ref 0 in
+  let n_gotos = ref 0 and n_labels = ref 0 in
+  let n_calls = ref 0 and n_casts = ref 0 and n_commas = ref 0 in
+  let n_conds = ref 0 and n_ptr_ops = ref 0 and n_incdec = ref 0 in
+  let n_compound = ref 0 in
+  let max_switch = ref 0 and max_args = ref 0 in
+  let n_returns = ref 0 and n_void_returns = ref 0 in
+  let n_exprs = ref 0 and n_stmts = ref 0 in
+  let has_fallthrough = ref false and has_empty_loop = ref false in
+  let has_shift_over = ref false and has_div0 = ref false in
+  let has_compound_lit = ref false and has_struct_cast = ref false in
+  let has_ptr_chain = ref false in
+  let has_sprintf_self = ref false in
+  let has_variadic_call = ref false in
+  let fe (e : expr) =
+    incr n_exprs;
+    match e.ek with
+    | Call ({ ek = Ident f; _ }, args) ->
+      incr n_calls;
+      if List.length args > !max_args then max_args := List.length args;
+      if List.mem f [ "printf"; "sprintf"; "snprintf" ] then
+        has_variadic_call := true;
+      (match f, args with
+      | "sprintf", dst :: _ :: rest ->
+        let same a b =
+          match a.ek, b.ek with
+          | Ident x, Ident y -> String.equal x y
+          | _ -> false
+        in
+        if List.exists (fun a -> same a dst) rest then has_sprintf_self := true
+      | _ -> ())
+    | Call (_, args) ->
+      incr n_calls;
+      if List.length args > !max_args then max_args := List.length args
+    | Cast (ty, inner) ->
+      incr n_casts;
+      (match inner.ek with
+      | Init_list _ ->
+        has_compound_lit := true;
+        (match ty with
+        | Tstruct _ | Tunion _ | Tint _ -> has_struct_cast := true
+        | _ -> ())
+      | _ -> ());
+      (* cast of pointer arithmetic over a casted address: #111819 shape *)
+      (match ty, inner.ek with
+      | Tptr _, Binop ((Add | Sub), { ek = Cast (Tptr _, { ek = Addrof _; _ }); _ }, _) ->
+        has_ptr_chain := true
+      | _ -> ())
+    | Comma _ -> incr n_commas
+    | Cond _ -> incr n_conds
+    | Deref _ | Addrof _ -> incr n_ptr_ops
+    | Incdec _ -> incr n_incdec
+    | Assign (op, _, _) when op <> A_none -> incr n_compound
+    | Binop ((Shl | Shr), _, { ek = Int_lit (v, _, _); _ }) ->
+      if v >= 32L || v < 0L then has_shift_over := true
+    | Binop ((Div | Mod), _, { ek = Int_lit (0L, _, _); _ }) -> has_div0 := true
+    | _ -> ()
+  in
+  let fs (s : stmt) =
+    incr n_stmts;
+    match s.sk with
+    | Sif _ -> incr n_ifs
+    | Swhile (_, b) | Sdo (b, _) ->
+      incr n_loops;
+      (match b.sk with Snull | Sblock [] -> has_empty_loop := true | _ -> ())
+    | Sfor (_, _, _, b) ->
+      incr n_loops;
+      (match b.sk with Snull | Sblock [] -> has_empty_loop := true | _ -> ())
+    | Sswitch (_, cases) ->
+      incr n_switches;
+      if List.length cases > !max_switch then max_switch := List.length cases;
+      List.iter
+        (fun c ->
+          match List.rev c.case_body with
+          | { sk = Sbreak; _ } :: _ -> ()
+          | [] -> ()
+          | _ -> has_fallthrough := true)
+        cases
+    | Sgoto _ -> incr n_gotos
+    | Slabel _ -> incr n_labels
+    | Sreturn (Some _) -> incr n_returns
+    | Sreturn None ->
+      incr n_returns;
+      incr n_void_returns
+    | _ -> ()
+  in
+  Visit.iter_tu tu ~fe ~fs;
+  (* per-function / structural features *)
+  let funcs = Visit.functions tu in
+  let has_void_fn_with_labels = ref false in
+  let has_labels_no_return = ref false in
+  let has_recursion = ref false in
+  let has_decreasing = ref false in
+  let has_zero_init_decreasing = ref false in
+  let has_accum_chain = ref false in
+  let max_loop_depth = ref 0 in
+  let max_cast_chain = ref 0 in
+  List.iter
+    (fun fd ->
+      let labels = ref 0 and returns = ref 0 in
+      let rec loop_depth d (s : stmt) =
+        if d > !max_loop_depth then max_loop_depth := d;
+        match s.sk with
+        | Swhile (_, b) | Sdo (b, _) | Sfor (_, _, _, b) -> loop_depth (d + 1) b
+        | Sblock ss -> List.iter (loop_depth d) ss
+        | Sif (_, t, f) ->
+          loop_depth d t;
+          Option.iter (loop_depth d) f
+        | Sswitch (_, cases) ->
+          List.iter (fun c -> List.iter (loop_depth d) c.case_body) cases
+        | Slabel (_, inner) -> loop_depth d inner
+        | _ -> ()
+      in
+      List.iter (loop_depth 0) fd.f_body;
+      List.iter
+        (Visit.iter_stmt
+           ~fe:(fun e ->
+             (* cast chain depth *)
+             let rec chain n e =
+               match e.ek with Cast (_, inner) -> chain (n + 1) inner | _ -> n
+             in
+             let c = chain 0 e in
+             if c > !max_cast_chain then max_cast_chain := c;
+             (match e.ek with
+             | Call ({ ek = Ident n; _ }, _) when String.equal n fd.f_name ->
+               has_recursion := true
+             | _ -> ());
+             (* accumulation chains: x op= e or x = x + e, three or more in
+                one basic run detected statistically via count below *)
+             ())
+           ~fs:(fun s ->
+             match s.sk with
+             | Slabel _ -> incr labels
+             | Sreturn _ -> incr returns
+             | Swhile ({ ek = Incdec (false, true, _); _ }, _)
+             | Sdo (_, { ek = Incdec (false, true, _); _ }) ->
+               has_decreasing := true
+             | _ -> ()))
+        fd.f_body;
+      if !labels >= 2 && is_void_ty fd.f_ret then has_void_fn_with_labels := true;
+      if !labels >= 1 && !returns = 0 && is_void_ty fd.f_ret then
+        has_labels_no_return := true;
+      (* zero-initialised variable driven to negative infinity: local n = 0
+         followed by while (--n) — the #111820 trigger *)
+      let zero_init = Hashtbl.create 4 in
+      List.iter
+        (Visit.iter_stmt
+           ~fe:(fun _ -> ())
+           ~fs:(fun s ->
+             match s.sk with
+             | Sdecl vs ->
+               List.iter
+                 (fun v ->
+                   match v.v_init with
+                   | Some { ek = Int_lit (0L, _, _); _ } ->
+                     Hashtbl.replace zero_init v.v_name ()
+                   | _ -> ())
+                 vs
+             | Swhile ({ ek = Incdec (false, true, { ek = Ident n; _ }); _ }, _) ->
+               if Hashtbl.mem zero_init n then has_zero_init_decreasing := true
+             | _ -> ()))
+        fd.f_body;
+      (* accumulation chain: >=3 compound-add assignments to scalars in a
+         single block *)
+      List.iter
+        (Visit.iter_stmt
+           ~fe:(fun _ -> ())
+           ~fs:(fun s ->
+             match s.sk with
+             | Sblock ss | Sswitch (_, [ { case_body = ss; _ } ]) ->
+               let adds =
+                 List.length
+                   (List.filter
+                      (fun s' ->
+                        match s'.sk with
+                        | Sexpr { ek = Assign (A_add, _, _); _ } -> true
+                        | _ -> false)
+                      ss)
+               in
+               if adds >= 3 then has_accum_chain := true
+             | _ -> ()))
+        fd.f_body;
+      let body_adds =
+        List.length
+          (List.filter
+             (fun s' ->
+               match s'.sk with
+               | Sexpr { ek = Assign (A_add, _, _); _ } -> true
+               | _ -> false)
+             fd.f_body)
+      in
+      if body_adds >= 3 then has_accum_chain := true)
+    funcs;
+  (* const/volatile and writes to const *)
+  let has_const = ref false and has_volatile = ref false in
+  let const_names = Hashtbl.create 8 in
+  let scan_decl (v : var_decl) =
+    if v.v_quals.q_const then begin
+      has_const := true;
+      Hashtbl.replace const_names v.v_name ()
+    end;
+    if v.v_quals.q_volatile then has_volatile := true
+  in
+  List.iter
+    (function
+      | Gvar v -> scan_decl v
+      | _ -> ())
+    tu.globals;
+  Visit.iter_tu tu ~fs:(fun s ->
+      match s.sk with Sdecl vs -> List.iter scan_decl vs | _ -> ());
+  let has_const_write = ref false in
+  Visit.iter_tu tu ~fe:(fun e ->
+      match e.ek with
+      | Call ({ ek = Ident ("sprintf" | "memset" | "strcpy" | "memcpy"); _ }, { ek = Ident dst; _ } :: _)
+        when Hashtbl.mem const_names dst ->
+        has_const_write := true
+      | _ -> ());
+  (* uninitialized use: first statement reads a local declared w/o init *)
+  let has_uninit = ref false in
+  List.iter
+    (fun fd ->
+      let uninit = Hashtbl.create 4 in
+      List.iter
+        (fun s ->
+          match s.sk with
+          | Sdecl vs ->
+            List.iter
+              (fun v ->
+                if v.v_init = None && is_arith_ty v.v_ty then
+                  Hashtbl.replace uninit v.v_name ())
+              vs
+          | Sexpr { ek = Assign (A_none, { ek = Ident n; _ }, _); _ } ->
+            Hashtbl.remove uninit n
+          | Sexpr e ->
+            Visit.iter_expr
+              (fun e' ->
+                match e'.ek with
+                | Ident n when Hashtbl.mem uninit n -> has_uninit := true
+                | _ -> ())
+              e
+          | Sreturn (Some e) ->
+            Visit.iter_expr
+              (fun e' ->
+                match e'.ek with
+                | Ident n when Hashtbl.mem uninit n -> has_uninit := true
+                | _ -> ())
+              e
+          | _ -> ())
+        fd.f_body)
+    funcs;
+  let n_structs =
+    List.length
+      (List.filter
+         (function Gstruct _ | Gunion _ -> true | _ -> false)
+         tu.globals)
+  in
+  {
+    n_functions = List.length funcs;
+    n_globals = List.length (Visit.global_vars tu);
+    n_structs;
+    n_ifs = !n_ifs;
+    n_loops = !n_loops;
+    n_switches = !n_switches;
+    n_gotos = !n_gotos;
+    n_labels = !n_labels;
+    n_calls = !n_calls;
+    n_casts = !n_casts;
+    n_commas = !n_commas;
+    n_conds = !n_conds;
+    n_ptr_ops = !n_ptr_ops;
+    n_incdec = !n_incdec;
+    n_compound_assigns = !n_compound;
+    max_loop_depth = !max_loop_depth;
+    max_cast_chain = !max_cast_chain;
+    max_switch_cases = !max_switch;
+    max_call_args = !max_args;
+    has_const_qual = !has_const;
+    has_volatile_qual = !has_volatile;
+    has_const_write_warning = !has_const_write;
+    has_void_fn_with_labels = !has_void_fn_with_labels;
+    has_labels_no_return = !has_labels_no_return;
+    has_decreasing_loop = !has_decreasing;
+    has_zero_init_decreasing_loop = !has_zero_init_decreasing;
+    has_scalar_accum_chain = !has_accum_chain;
+    has_sprintf_self = !has_sprintf_self;
+    has_struct_cast = !has_struct_cast;
+    has_compound_literal = !has_compound_lit;
+    has_ptr_arith_cast_chain = !has_ptr_chain;
+    has_fallthrough = !has_fallthrough;
+    has_empty_loop_body = !has_empty_loop;
+    has_shift_overflow = !has_shift_over;
+    has_div_by_literal_zero = !has_div0;
+    has_uninit_use = !has_uninit;
+    has_array_param =
+      List.exists
+        (fun fd ->
+          List.exists
+            (fun p -> match p.p_ty with Tptr _ -> true | _ -> false)
+            fd.f_params)
+        funcs;
+    has_variadic_call = !has_variadic_call;
+    has_recursion = !has_recursion;
+    n_returns = !n_returns;
+    n_void_returns = !n_void_returns;
+    n_exprs = !n_exprs;
+    n_stmts = !n_stmts;
+  }

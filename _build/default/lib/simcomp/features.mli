@@ -1,0 +1,76 @@
+(** Program feature extraction.
+
+    The latent-bug database keys compiler bugs on conjunctions of these
+    features, so reaching a bug requires the program shape the
+    corresponding real-world bug required.  Text-level features exist
+    even for programs that do not parse (front-end error-path bugs,
+    reachable by byte-level fuzzers); AST features require a parse. *)
+
+(** Features computable from raw bytes. *)
+type text = {
+  tx_len : int;
+  tx_max_ident_len : int;
+  tx_paren_depth : int;
+  tx_brace_depth : int;
+  tx_has_control_chars : bool;
+  tx_has_high_bytes : bool;
+  tx_digit_run : int;          (** longest run of digits *)
+  tx_semi_count : int;
+  tx_hash_count : int;
+  tx_quote_imbalance : bool;
+}
+
+val text_features : string -> text
+
+(** Structural and semantic features of a parsed unit.  The [has_*]
+    booleans mark shapes the seed generator never produces — they are the
+    signal that a semantic-aware mutation happened (and what several bug
+    gates require). *)
+type ast = {
+  n_functions : int;
+  n_globals : int;
+  n_structs : int;
+  n_ifs : int;
+  n_loops : int;
+  n_switches : int;
+  n_gotos : int;
+  n_labels : int;
+  n_calls : int;
+  n_casts : int;
+  n_commas : int;
+  n_conds : int;
+  n_ptr_ops : int;
+  n_incdec : int;
+  n_compound_assigns : int;
+  max_loop_depth : int;
+  max_cast_chain : int;
+  max_switch_cases : int;
+  max_call_args : int;
+  has_const_qual : bool;
+  has_volatile_qual : bool;
+  has_const_write_warning : bool;
+      (** a const buffer written via sprintf/memset/strcpy/memcpy *)
+  has_void_fn_with_labels : bool;   (** Clang #63762 shape *)
+  has_labels_no_return : bool;
+  has_decreasing_loop : bool;       (** [while (--n)] style *)
+  has_zero_init_decreasing_loop : bool;  (** GCC #111820 shape *)
+  has_scalar_accum_chain : bool;    (** three or more [x += e] in a row *)
+  has_sprintf_self : bool;          (** [sprintf(buf, "%s", buf)] *)
+  has_struct_cast : bool;
+  has_compound_literal : bool;
+  has_ptr_arith_cast_chain : bool;  (** GCC #111819 shape *)
+  has_fallthrough : bool;
+  has_empty_loop_body : bool;
+  has_shift_overflow : bool;
+  has_div_by_literal_zero : bool;
+  has_uninit_use : bool;
+  has_array_param : bool;
+  has_variadic_call : bool;
+  has_recursion : bool;
+  n_returns : int;
+  n_void_returns : int;
+  n_exprs : int;
+  n_stmts : int;
+}
+
+val ast_features : Cparse.Ast.tu -> ast

@@ -1,0 +1,733 @@
+(* Reference interpreter for the C subset (AST level).
+
+   Used by: MetaMut's validation loop (mutants must run without crashing
+   or hanging), the seed generator's sanity tests, and differential
+   property tests against the IR interpreter. *)
+
+open Cparse
+open Ast
+
+type value =
+  | VInt of int64
+  | VFlt of float
+  | VStr of string
+  | VPtr of cell option
+  | VArr of cell array
+  | VStruct of (string, cell) Hashtbl.t
+
+and cell = value ref
+
+exception Aborted
+exception Exited of int
+exception Out_of_fuel
+exception Runtime_error of string
+
+type outcome = {
+  o_exit : int;
+  o_output : string;
+  o_aborted : bool;
+  o_hang : bool;
+}
+
+type frame = (string, cell) Hashtbl.t
+
+type state = {
+  globals : (string, cell) Hashtbl.t;
+  funcs : (string, fundef) Hashtbl.t;
+  structs : (string, field list) Hashtbl.t;
+  out : Buffer.t;
+  mutable fuel : int;
+  mutable frames : frame list;
+}
+
+exception Return_value of value
+exception Break_loop
+exception Continue_loop
+exception Goto of string
+
+let truthy = function
+  | VInt v -> not (Int64.equal v 0L)
+  | VFlt f -> f <> 0.0
+  | VPtr None -> false
+  | VPtr (Some _) -> true
+  | VStr _ -> true
+  | VArr _ | VStruct _ -> true
+
+let as_int = function
+  | VInt v -> v
+  | VFlt f -> Int64.of_float f
+  | VPtr None -> 0L
+  | VPtr (Some _) -> 1L
+  | VStr _ | VArr _ | VStruct _ -> 1L
+
+let as_float = function
+  | VInt v -> Int64.to_float v
+  | VFlt f -> f
+  | v -> Int64.to_float (as_int v)
+
+let tick st =
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then raise Out_of_fuel
+
+let rec default_value st (ty : ty) : value =
+  match ty with
+  | Tfloat | Tdouble -> VFlt 0.0
+  | Tptr _ -> VPtr None
+  | Tarray (t, Some n) ->
+    VArr (Array.init (max 1 n) (fun _ -> ref (default_value st t)))
+  | Tarray (t, None) -> VArr (Array.init 8 (fun _ -> ref (default_value st t)))
+  | Tstruct tag | Tunion tag ->
+    let h = Hashtbl.create 4 in
+    (match Hashtbl.find_opt st.structs tag with
+    | Some fields ->
+      List.iter
+        (fun f -> Hashtbl.replace h f.fld_name (ref (default_value st f.fld_ty)))
+        fields
+    | None -> ());
+    VStruct h
+  | _ -> VInt 0L
+
+let lookup st name : cell =
+  let rec find = function
+    | [] -> (
+      match Hashtbl.find_opt st.globals name with
+      | Some c -> c
+      | None -> raise (Runtime_error ("unbound variable " ^ name)))
+    | frame :: rest -> (
+      match Hashtbl.find_opt frame name with
+      | Some c -> c
+      | None -> find rest)
+  in
+  find st.frames
+
+let declare st name v =
+  match st.frames with
+  | frame :: _ -> Hashtbl.replace frame name (ref v)
+  | [] -> Hashtbl.replace st.globals name (ref v)
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let int_binop op a b =
+  let open Int64 in
+  let bool_ x = if x then 1L else 0L in
+  match op with
+  | Add -> add a b
+  | Sub -> sub a b
+  | Mul -> mul a b
+  | Div -> if equal b 0L then raise Aborted else div a b
+  | Mod -> if equal b 0L then raise Aborted else rem a b
+  | Shl -> shift_left a (to_int (logand b 63L))
+  | Shr -> shift_right a (to_int (logand b 63L))
+  | Lt -> bool_ (compare a b < 0)
+  | Gt -> bool_ (compare a b > 0)
+  | Le -> bool_ (compare a b <= 0)
+  | Ge -> bool_ (compare a b >= 0)
+  | Eq -> bool_ (equal a b)
+  | Ne -> bool_ (not (equal a b))
+  | Band -> logand a b
+  | Bxor -> logxor a b
+  | Bor -> logor a b
+  | Land -> bool_ ((not (equal a 0L)) && not (equal b 0L))
+  | Lor -> bool_ ((not (equal a 0L)) || not (equal b 0L))
+
+let float_binop op a b =
+  let bool_ x = VInt (if x then 1L else 0L) in
+  match op with
+  | Add -> VFlt (a +. b)
+  | Sub -> VFlt (a -. b)
+  | Mul -> VFlt (a *. b)
+  | Div -> VFlt (a /. b)
+  | Mod -> VFlt (Float.rem a b)
+  | Lt -> bool_ (a < b)
+  | Gt -> bool_ (a > b)
+  | Le -> bool_ (a <= b)
+  | Ge -> bool_ (a >= b)
+  | Eq -> bool_ (a = b)
+  | Ne -> bool_ (a <> b)
+  | Land -> bool_ (a <> 0. && b <> 0.)
+  | Lor -> bool_ (a <> 0. || b <> 0.)
+  | Shl | Shr | Band | Bxor | Bor -> VInt (int_binop op (Int64.of_float a) (Int64.of_float b))
+
+(* ------------------------------------------------------------------ *)
+(* Builtins                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let string_of_value = function
+  | VInt v -> Int64.to_string v
+  | VFlt f -> Fmt.str "%g" f
+  | VStr s -> s
+  | VPtr None -> "(nil)"
+  | VPtr (Some _) -> "(ptr)"
+  | VArr cells ->
+    (* char array: render until NUL *)
+    let buf = Buffer.create 16 in
+    (try
+       Array.iter
+         (fun c ->
+           match !c with
+           | VInt 0L -> raise Exit
+           | VInt v -> Buffer.add_char buf (Char.chr (Int64.to_int v land 0xff))
+           | _ -> raise Exit)
+         cells
+     with Exit -> ());
+    Buffer.contents buf
+  | VStruct _ -> "(struct)"
+
+let do_printf st fmt args =
+  (* loose printf: substitute each % conversion with the next argument *)
+  let buf = Buffer.create 32 in
+  let args = ref args in
+  let next () =
+    match !args with
+    | [] -> VInt 0L
+    | a :: rest ->
+      args := rest;
+      a
+  in
+  let n = String.length fmt in
+  let i = ref 0 in
+  while !i < n do
+    if fmt.[!i] = '%' && !i + 1 < n then begin
+      let rec conv j =
+        if j >= n then j - 1
+        else
+          match fmt.[j] with
+          | 'd' | 'i' | 'u' | 'x' | 'c' | 's' | 'f' | 'g' | 'e' | 'l' | '%' ->
+            j
+          | _ -> conv (j + 1)
+      in
+      let j = conv (!i + 1) in
+      (match fmt.[j] with
+      | '%' -> Buffer.add_char buf '%'
+      | 'l' -> Buffer.add_string buf (string_of_value (next ()))
+      | 'c' ->
+        let v = as_int (next ()) in
+        Buffer.add_char buf (Char.chr (Int64.to_int v land 0xff))
+      | 'f' | 'g' | 'e' -> Buffer.add_string buf (Fmt.str "%g" (as_float (next ())))
+      | _ -> Buffer.add_string buf (string_of_value (next ())));
+      i := j + 1
+    end
+    else begin
+      Buffer.add_char buf fmt.[!i];
+      incr i
+    end
+  done;
+  Buffer.add_string st.out (Buffer.contents buf);
+  VInt (Int64.of_int (Buffer.length buf))
+
+let write_string_to_arr cells s =
+  let n = Array.length cells in
+  String.iteri
+    (fun i c -> if i < n then cells.(i) := VInt (Int64.of_int (Char.code c)))
+    s;
+  if String.length s < n then cells.(String.length s) := VInt 0L
+
+let call_builtin st name (args : value list) : value option =
+  match name, args with
+  | "printf", VStr fmt :: rest -> Some (do_printf st fmt rest)
+  | "printf", _ -> Some (VInt 0L)
+  | "puts", [ v ] ->
+    Buffer.add_string st.out (string_of_value v);
+    Buffer.add_char st.out '\n';
+    Some (VInt 0L)
+  | "putchar", [ v ] ->
+    Buffer.add_char st.out (Char.chr (Int64.to_int (as_int v) land 0xff));
+    Some (VInt (as_int v))
+  | "sprintf", dst :: VStr fmt :: rest ->
+    let formatted =
+      let b = Buffer.create 16 in
+      let saved = st.out in
+      ignore saved;
+      (* reuse do_printf into a scratch buffer *)
+      let scratch = { st with out = b } in
+      ignore (do_printf scratch fmt rest);
+      Buffer.contents b
+    in
+    (match dst with
+    | VArr cells -> write_string_to_arr cells formatted
+    | _ -> ());
+    Some (VInt (Int64.of_int (String.length formatted)))
+  | "strlen", [ v ] -> Some (VInt (Int64.of_int (String.length (string_of_value v))))
+  | "strcmp", [ a; b ] ->
+    Some (VInt (Int64.of_int (compare (string_of_value a) (string_of_value b))))
+  | "strcpy", [ dst; src ] ->
+    (match dst with
+    | VArr cells -> write_string_to_arr cells (string_of_value src)
+    | _ -> ());
+    Some dst
+  | "memset", dst :: v :: n :: _ ->
+    (match dst with
+    | VArr cells ->
+      let count = min (Array.length cells) (Int64.to_int (as_int n)) in
+      for i = 0 to count - 1 do
+        cells.(i) := VInt (as_int v)
+      done
+    | _ -> ());
+    Some dst
+  | "memcpy", dst :: src :: _ ->
+    (match dst, src with
+    | VArr d, VArr s ->
+      Array.iteri (fun i c -> if i < Array.length d then d.(i) := !c) s
+    | _ -> ());
+    Some dst
+  | "abort", _ -> raise Aborted
+  | "exit", [ v ] -> raise (Exited (Int64.to_int (as_int v)))
+  | "exit", [] -> raise (Exited 0)
+  | "rand", [] -> Some (VInt 42L) (* deterministic by design *)
+  | "abs", [ v ] -> Some (VInt (Int64.abs (as_int v)))
+  | "malloc", [ n ] ->
+    let count = max 1 (min 4096 (Int64.to_int (as_int n) / 8)) in
+    Some (VArr (Array.init count (fun _ -> ref (VInt 0L))))
+  | "free", _ -> Some (VInt 0L)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval st (e : expr) : value =
+  tick st;
+  match e.ek with
+  | Int_lit (v, _, _) -> VInt v
+  | Float_lit (f, _) -> VFlt f
+  | Char_lit c -> VInt (Int64.of_int (Char.code c))
+  | Str_lit s -> VStr s
+  | Ident n -> !(lookup st n)
+  | Binop (Land, a, b) ->
+    if truthy (eval st a) then VInt (if truthy (eval st b) then 1L else 0L)
+    else VInt 0L
+  | Binop (Lor, a, b) ->
+    if truthy (eval st a) then VInt 1L
+    else VInt (if truthy (eval st b) then 1L else 0L)
+  | Binop (op, a, b) -> (
+    let va = eval st a and vb = eval st b in
+    match va, vb with
+    | VFlt _, _ | _, VFlt _ -> float_binop op (as_float va) (as_float vb)
+    | VPtr _, _ | _, VPtr _ | VArr _, _ | _, VArr _ ->
+      (* pointer arithmetic is modelled shallowly *)
+      VInt (int_binop op (as_int va) (as_int vb))
+    | _ -> VInt (int_binop op (as_int va) (as_int vb)))
+  | Unop (op, a) -> (
+    let v = eval st a in
+    match op, v with
+    | Neg, VFlt f -> VFlt (-.f)
+    | Neg, v -> VInt (Int64.neg (as_int v))
+    | Uplus, v -> v
+    | Bitnot, v -> VInt (Int64.lognot (as_int v))
+    | Lognot, v -> VInt (if truthy v then 0L else 1L))
+  | Assign (op, lhs, rhs) ->
+    let cell = eval_lvalue st lhs in
+    let rv = eval st rhs in
+    let v =
+      match op with
+      | A_none -> rv
+      | _ ->
+        let bop =
+          match op with
+          | A_add -> Add | A_sub -> Sub | A_mul -> Mul | A_div -> Div
+          | A_mod -> Mod | A_shl -> Shl | A_shr -> Shr
+          | A_band -> Band | A_bxor -> Bxor | A_bor -> Bor | A_none -> Add
+        in
+        (match !cell, rv with
+        | VFlt a, _ | _, VFlt a ->
+          ignore a;
+          float_binop bop (as_float !cell) (as_float rv)
+        | _ -> VInt (int_binop bop (as_int !cell) (as_int rv)))
+    in
+    cell := v;
+    v
+  | Incdec (inc, prefix, a) ->
+    let cell = eval_lvalue st a in
+    let old = !cell in
+    let nv =
+      match old with
+      | VFlt f -> VFlt (if inc then f +. 1.0 else f -. 1.0)
+      | v -> VInt (Int64.add (as_int v) (if inc then 1L else -1L))
+    in
+    cell := nv;
+    if prefix then nv else old
+  | Call ({ ek = Ident fname; _ }, args) -> (
+    let vargs = List.map (eval st) args in
+    match Hashtbl.find_opt st.funcs fname with
+    | Some fd -> call_function st fd vargs
+    | None -> (
+      match call_builtin st fname vargs with
+      | Some v -> v
+      | None -> raise (Runtime_error ("call to unknown function " ^ fname))))
+  | Call (_, _) -> raise (Runtime_error "indirect call")
+  | Index (a, i) ->
+    let cell = index_cell st a i in
+    !cell
+  | Member (a, fld) -> !(member_cell st a fld)
+  | Arrow (a, fld) -> (
+    match eval st a with
+    | VPtr (Some c) -> (
+      match !c with
+      | VStruct h -> (
+        match Hashtbl.find_opt h fld with
+        | Some c -> !c
+        | None -> raise (Runtime_error ("no field " ^ fld)))
+      | v -> v)
+    | VPtr None -> raise Aborted
+    | v -> v)
+  | Deref a -> (
+    match eval st a with
+    | VPtr (Some c) -> !c
+    | VPtr None -> raise Aborted
+    | VArr cells when Array.length cells > 0 -> !(cells.(0))
+    | v -> v)
+  | Addrof a -> (
+    match a.ek with
+    | Deref inner -> eval st inner
+    | _ -> VPtr (Some (eval_lvalue st a)))
+  | Cast (ty, a) -> (
+    match a.ek with
+    | Init_list items -> (
+      (* compound literal *)
+      match ty with
+      | Tstruct _ | Tunion _ | Tarray _ ->
+        let v = default_value st ty in
+        (match v, items with
+        | VStruct h, _ ->
+          let fields =
+            match ty with
+            | Tstruct tag | Tunion tag ->
+              Option.value ~default:[] (Hashtbl.find_opt st.structs tag)
+            | _ -> []
+          in
+          List.iteri
+            (fun i item ->
+              match List.nth_opt fields i with
+              | Some f -> (
+                match Hashtbl.find_opt h f.fld_name with
+                | Some c -> c := eval st item
+                | None -> ())
+              | None -> ())
+            items
+        | VArr cells, _ ->
+          List.iteri
+            (fun i item -> if i < Array.length cells then cells.(i) := eval st item)
+            items
+        | _ -> ());
+        v
+      | _ -> (
+        match items with
+        | [ single ] -> cast_value ty (eval st single)
+        | _ -> VInt 0L))
+    | _ -> cast_value ty (eval st a))
+  | Cond (c, t, f) -> if truthy (eval st c) then eval st t else eval st f
+  | Comma (a, b) ->
+    ignore (eval st a);
+    eval st b
+  | Sizeof_expr _ -> VInt 8L
+  | Sizeof_ty t -> VInt (Int64.of_int (sizeof_ty t))
+  | Init_list items ->
+    VArr (Array.of_list (List.map (fun e -> ref (eval st e)) items))
+
+and cast_value ty v =
+  match ty with
+  | Tfloat | Tdouble -> VFlt (as_float v)
+  | Tbool -> VInt (if truthy v then 1L else 0L)
+  | Tint (Ichar, true) ->
+    let x = Int64.to_int (as_int v) land 0xff in
+    VInt (Int64.of_int (if x land 0x80 <> 0 then x - 0x100 else x))
+  | Tint (Ichar, false) -> VInt (Int64.of_int (Int64.to_int (as_int v) land 0xff))
+  | Tint (Ishort, true) ->
+    let x = Int64.to_int (as_int v) land 0xffff in
+    VInt (Int64.of_int (if x land 0x8000 <> 0 then x - 0x10000 else x))
+  | Tint (Ishort, false) -> VInt (Int64.of_int (Int64.to_int (as_int v) land 0xffff))
+  | Tint ((Iint | Ilong | Ilonglong), _) -> VInt (as_int v)
+  | Tptr _ -> (
+    match v with
+    | VPtr _ | VArr _ | VStr _ -> v
+    | VInt 0L -> VPtr None
+    | _ -> VPtr None)
+  | _ -> v
+
+and index_cell st a i : cell =
+  let base = eval st a in
+  let idx = Int64.to_int (as_int (eval st i)) in
+  match base with
+  | VArr cells ->
+    if idx >= 0 && idx < Array.length cells then cells.(idx)
+    else raise Aborted (* out-of-bounds access traps deterministically *)
+  | VPtr (Some c) when idx = 0 -> c
+  | VPtr _ -> raise Aborted
+  | VStr s ->
+    if idx >= 0 && idx < String.length s then
+      ref (VInt (Int64.of_int (Char.code s.[idx])))
+    else ref (VInt 0L)
+  | _ -> raise (Runtime_error "subscript of non-array")
+
+and member_cell st a fld : cell =
+  match eval st a with
+  | VStruct h -> (
+    match Hashtbl.find_opt h fld with
+    | Some c -> c
+    | None ->
+      let c = ref (VInt 0L) in
+      Hashtbl.replace h fld c;
+      c)
+  | _ -> ref (VInt 0L)
+
+and eval_lvalue st (e : expr) : cell =
+  tick st;
+  match e.ek with
+  | Ident n -> lookup st n
+  | Index (a, i) -> index_cell st a i
+  | Member (a, fld) -> member_cell st a fld
+  | Arrow (a, fld) -> (
+    match eval st a with
+    | VPtr (Some c) -> (
+      match !c with
+      | VStruct h -> (
+        match Hashtbl.find_opt h fld with
+        | Some c -> c
+        | None ->
+          let c = ref (VInt 0L) in
+          Hashtbl.replace h fld c;
+          c)
+      | _ -> c)
+    | VPtr None -> raise Aborted
+    | _ -> ref (VInt 0L))
+  | Deref a -> (
+    match eval st a with
+    | VPtr (Some c) -> c
+    | VPtr None -> raise Aborted
+    | VArr cells when Array.length cells > 0 -> cells.(0)
+    | _ -> ref (VInt 0L))
+  | Cast (_, inner) -> eval_lvalue st inner
+  | Comma (a, b) ->
+    ignore (eval st a);
+    eval_lvalue st b
+  | _ -> ref (eval st e)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+and exec_var_decl st (v : var_decl) =
+  let value =
+    match v.v_init with
+    | Some { ek = Init_list items; _ } -> (
+      let base = default_value st v.v_ty in
+      (match base with
+      | VArr cells ->
+        List.iteri
+          (fun i item -> if i < Array.length cells then cells.(i) := eval st item)
+          items
+      | VStruct h -> (
+        match v.v_ty with
+        | Tstruct tag | Tunion tag -> (
+          match Hashtbl.find_opt st.structs tag with
+          | Some fields ->
+            List.iteri
+              (fun i item ->
+                match List.nth_opt fields i with
+                | Some f -> (
+                  match Hashtbl.find_opt h f.fld_name with
+                  | Some c -> c := eval st item
+                  | None -> ())
+                | None -> ())
+              items
+          | None -> ())
+        | _ -> ())
+      | _ -> ());
+      base)
+    | Some init -> eval st init
+    | None -> default_value st v.v_ty
+  in
+  declare st v.v_name value
+
+and exec_stmt st (s : stmt) : unit =
+  tick st;
+  match s.sk with
+  | Sexpr e -> ignore (eval st e)
+  | Sdecl vs -> List.iter (exec_var_decl st) vs
+  | Snull -> ()
+  | Sblock ss -> exec_body st ss
+  | Sif (c, t, f) ->
+    if truthy (eval st c) then exec_stmt st t
+    else Option.iter (exec_stmt st) f
+  | Swhile (c, b) ->
+    (try
+       while truthy (eval st c) do
+         tick st;
+         try exec_stmt st b with Continue_loop -> ()
+       done
+     with Break_loop -> ())
+  | Sdo (b, c) ->
+    (try
+       let continue_ = ref true in
+       while !continue_ do
+         tick st;
+         (try exec_stmt st b with Continue_loop -> ());
+         continue_ := truthy (eval st c)
+       done
+     with Break_loop -> ())
+  | Sfor (init, cond, step, b) ->
+    (match init with
+    | Some (Fi_expr e) -> ignore (eval st e)
+    | Some (Fi_decl vs) -> List.iter (exec_var_decl st) vs
+    | None -> ());
+    (try
+       let check () =
+         match cond with Some c -> truthy (eval st c) | None -> true
+       in
+       while check () do
+         tick st;
+         (try exec_stmt st b with Continue_loop -> ());
+         match step with Some e -> ignore (eval st e) | None -> ()
+       done
+     with Break_loop -> ())
+  | Sreturn (Some e) -> raise (Return_value (eval st e))
+  | Sreturn None -> raise (Return_value (VInt 0L))
+  | Sbreak -> raise Break_loop
+  | Scontinue -> raise Continue_loop
+  | Sswitch (e, cases) -> (
+    let v = as_int (eval st e) in
+    (* find the first matching case group (or default), then execute with
+       fall-through *)
+    let matches c =
+      List.exists
+        (function
+          | L_case ce -> (
+            match Const_eval.eval_int ce with
+            | Some cv -> Int64.equal cv v
+            | None -> (
+              match eval st ce with
+              | VInt cv -> Int64.equal cv v
+              | _ -> false))
+          | L_default -> false)
+        c.case_labels
+    in
+    let rec find_start i = function
+      | [] -> None
+      | c :: rest -> if matches c then Some i else find_start (i + 1) rest
+    in
+    let start =
+      match find_start 0 cases with
+      | Some i -> Some i
+      | None ->
+        let rec find_default i = function
+          | [] -> None
+          | c :: rest ->
+            if List.mem L_default c.case_labels then Some i
+            else find_default (i + 1) rest
+        in
+        find_default 0 cases
+    in
+    match start with
+    | None -> ()
+    | Some i -> (
+      try
+        List.iteri
+          (fun j c ->
+            if j >= i then List.iter (exec_stmt st) c.case_body)
+          cases
+      with Break_loop -> ()))
+  | Sgoto l -> raise (Goto l)
+  | Slabel (_, inner) -> exec_stmt st inner
+
+(* Execute a statement list with goto support.  A goto is resolved at the
+   innermost statement list that carries the label as a *direct* element
+   (possibly under a chain of labels); jumping re-enters at that element.
+   Gotos into deeper structured statements propagate to the top and fail —
+   a documented subset restriction (the fuzzers never produce them). *)
+and exec_body st (ss : stmt list) : unit =
+  let rec direct_label l (s : stmt) : bool =
+    match s.sk with
+    | Slabel (name, inner) -> String.equal name l || direct_label l inner
+    | _ -> false
+  in
+  let rec run_from idx =
+    let rest = List.filteri (fun i _ -> i >= idx) ss in
+    try List.iter (exec_stmt st) rest with
+    | Goto l -> (
+      tick st;
+      match
+        List.mapi (fun i s -> (i, s)) ss
+        |> List.find_opt (fun (_, s) -> direct_label l s)
+      with
+      | Some (i, _) -> run_from i
+      | None -> raise (Goto l) (* resolved by an enclosing list, if any *))
+  in
+  run_from 0
+
+and call_function st (fd : fundef) (args : value list) : value =
+  tick st;
+  if List.length st.frames > 200 then raise Out_of_fuel;
+  let frame = Hashtbl.create 8 in
+  List.iteri
+    (fun i p ->
+      let v = match List.nth_opt args i with Some v -> v | None -> VInt 0L in
+      Hashtbl.replace frame p.p_name (ref v))
+    fd.f_params;
+  st.frames <- frame :: st.frames;
+  let result =
+    try
+      exec_body st fd.f_body;
+      VInt 0L
+    with
+    | Return_value v -> v
+    | Goto l -> raise (Runtime_error ("goto to unreachable label " ^ l))
+  in
+  st.frames <- List.tl st.frames;
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(fuel = 200_000) (tu : tu) : outcome =
+  let st =
+    {
+      globals = Hashtbl.create 32;
+      funcs = Hashtbl.create 16;
+      structs = Hashtbl.create 8;
+      out = Buffer.create 64;
+      fuel;
+      frames = [];
+    }
+  in
+  List.iter
+    (function
+      | Gstruct (tag, fields) | Gunion (tag, fields) ->
+        Hashtbl.replace st.structs tag fields
+      | Gfun fd -> Hashtbl.replace st.funcs fd.f_name fd
+      | _ -> ())
+    tu.globals;
+  (* globals: defaults first, then initializers in order *)
+  List.iter
+    (function
+      | Gvar v ->
+        Hashtbl.replace st.globals v.v_name (ref (default_value st v.v_ty))
+      | _ -> ())
+    tu.globals;
+  let finish exit_code aborted hang =
+    { o_exit = exit_code; o_output = Buffer.contents st.out; o_aborted = aborted; o_hang = hang }
+  in
+  try
+    List.iter
+      (function
+        | Gvar ({ v_init = Some _; _ } as v) -> exec_var_decl st v
+        | _ -> ())
+      tu.globals;
+    match Hashtbl.find_opt st.funcs "main" with
+    | Some main ->
+      let v = call_function st main [] in
+      finish (Int64.to_int (as_int v) land 0xff) false false
+    | None -> finish 0 false false
+  with
+  | Aborted -> finish 134 true false
+  | Exited n -> finish (n land 0xff) false false
+  | Out_of_fuel -> finish 124 false true
+  | Runtime_error _ -> finish 139 true false
+  | Stack_overflow -> finish 139 true false
+
+let run_src ?fuel (src : string) : (outcome, string) result =
+  match Parser.parse src with
+  | Ok tu -> Ok (run ?fuel tu)
+  | Error e -> Error e

@@ -1,0 +1,31 @@
+(** Reference interpreter for the C subset (AST level).
+
+    Used by MetaMut's validation loop (mutants must run without crashing
+    or hanging), by seed-generator sanity tests, and by differential
+    property tests.  Execution is bounded by a fuel counter, so the
+    interpreter itself always terminates. *)
+
+type value =
+  | VInt of int64
+  | VFlt of float
+  | VStr of string
+  | VPtr of cell option
+  | VArr of cell array
+  | VStruct of (string, cell) Hashtbl.t
+
+and cell = value ref
+
+type outcome = {
+  o_exit : int;      (** process exit code (0-255) *)
+  o_output : string; (** everything written via printf/puts/putchar *)
+  o_aborted : bool;  (** abort(), trap (division by zero, OOB, null deref) *)
+  o_hang : bool;     (** ran out of fuel *)
+}
+
+val run : ?fuel:int -> Cparse.Ast.tu -> outcome
+(** Execute from [main] (default fuel 200_000 ticks).  Builtins include
+    printf/sprintf/puts/putchar/strlen/strcpy/strcmp/memset/memcpy/
+    abort/exit/malloc/free/rand/abs; [rand] is deterministic by design. *)
+
+val run_src : ?fuel:int -> string -> (outcome, string) result
+(** Parse then {!run}. *)

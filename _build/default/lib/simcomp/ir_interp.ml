@@ -1,0 +1,304 @@
+(* IR interpreter.
+
+   Executes the register-machine IR produced by Lower, before or after
+   optimization passes.  Together with the AST-level Interp this enables
+   differential testing: for a deterministic program, the AST semantics,
+   the freshly lowered IR, and the optimized IR must all agree — the
+   soundness property of the optimizer exercised by the test suite.
+
+   Scope: the integer/float scalar subset plus named slots and arrays
+   (what Lower produces for generator output).  Calls reach user
+   functions and a few numeric builtins; string-manipulating builtins are
+   out of scope and reported as [Unsupported]. *)
+
+open Ir
+
+exception Trap            (* division by zero, out-of-bounds, null deref *)
+exception Out_of_fuel
+exception Unsupported of string
+
+type value = VI of int64 | VF of float | VAddr of string * int
+
+type outcome = {
+  o_exit : int;
+  o_trapped : bool;
+  o_hang : bool;
+  o_unsupported : string option;
+}
+
+type state = {
+  program : program;
+  slots : (string, value array) Hashtbl.t;
+  mutable fuel : int;
+  mutable depth : int;
+}
+
+let as_int = function
+  | VI v -> v
+  | VF f -> Int64.of_float f
+  | VAddr _ -> 1L
+
+let as_float = function
+  | VI v -> Int64.to_float v
+  | VF f -> f
+  | VAddr _ -> 1.
+
+let tick st =
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then raise Out_of_fuel
+
+let slot st name =
+  match Hashtbl.find_opt st.slots name with
+  | Some cells -> cells
+  | None ->
+    (* locals are declared lazily: slots not in the table yet get one cell *)
+    let cells = [| VI 0L |] in
+    Hashtbl.replace st.slots name cells;
+    cells
+
+let rec load st (addr : address) (regs : value array) : value =
+  match addr with
+  | Avar name -> (slot st name).(0)
+  | Aindex (name, idx, _) ->
+    let cells = slot st name in
+    let i = Int64.to_int (as_int (operand_value st regs idx)) in
+    if i < 0 || i >= Array.length cells then raise Trap;
+    cells.(i)
+  | Areg op -> (
+    match operand_value st regs op with
+    | VAddr (name, i) ->
+      let cells = slot st name in
+      if i < 0 || i >= Array.length cells then raise Trap;
+      cells.(i)
+    | VI 0L -> raise Trap
+    | _ -> raise (Unsupported "load through a non-address value"))
+
+and store st (addr : address) (regs : value array) (v : value) : unit =
+  match addr with
+  | Avar name -> (slot st name).(0) <- v
+  | Aindex (name, idx, _) ->
+    let cells = slot st name in
+    let i = Int64.to_int (as_int (operand_value st regs idx)) in
+    if i < 0 || i >= Array.length cells then raise Trap;
+    cells.(i) <- v
+  | Areg op -> (
+    match operand_value st regs op with
+    | VAddr (name, i) ->
+      let cells = slot st name in
+      if i < 0 || i >= Array.length cells then raise Trap;
+      cells.(i) <- v
+    | VI 0L -> raise Trap
+    | _ -> raise (Unsupported "store through a non-address value"))
+
+and operand_value st (regs : value array) (op : operand) : value =
+  match op with
+  | Reg r ->
+    if r < Array.length regs then regs.(r)
+    else raise (Unsupported "register out of range")
+  | Imm v -> VI v
+  | Fimm f -> VF f
+  | Sym s ->
+    (* address of a named slot *)
+    ignore (slot st s);
+    VAddr (s, 0)
+
+let int_binop op a b =
+  let open Int64 in
+  let bool_ x = if x then 1L else 0L in
+  match (op : Cparse.Ast.binop) with
+  | Add -> add a b
+  | Sub -> sub a b
+  | Mul -> mul a b
+  | Div -> if equal b 0L then raise Trap else div a b
+  | Mod -> if equal b 0L then raise Trap else rem a b
+  | Shl -> shift_left a (to_int (logand b 63L))
+  | Shr -> shift_right a (to_int (logand b 63L))
+  | Lt -> bool_ (compare a b < 0)
+  | Gt -> bool_ (compare a b > 0)
+  | Le -> bool_ (compare a b <= 0)
+  | Ge -> bool_ (compare a b >= 0)
+  | Eq -> bool_ (equal a b)
+  | Ne -> bool_ (not (equal a b))
+  | Band -> logand a b
+  | Bxor -> logxor a b
+  | Bor -> logor a b
+  | Land -> bool_ ((not (equal a 0L)) && not (equal b 0L))
+  | Lor -> bool_ ((not (equal a 0L)) || not (equal b 0L))
+
+let float_binop op a b : value =
+  let bool_ x = VI (if x then 1L else 0L) in
+  match (op : Cparse.Ast.binop) with
+  | Add -> VF (a +. b)
+  | Sub -> VF (a -. b)
+  | Mul -> VF (a *. b)
+  | Div -> VF (a /. b)
+  | Mod -> VF (Float.rem a b)
+  | Lt -> bool_ (a < b)
+  | Gt -> bool_ (a > b)
+  | Le -> bool_ (a <= b)
+  | Ge -> bool_ (a >= b)
+  | Eq -> bool_ (a = b)
+  | Ne -> bool_ (a <> b)
+  | Land -> bool_ (a <> 0. && b <> 0.)
+  | Lor -> bool_ (a <> 0. || b <> 0.)
+  | (Shl | Shr | Band | Bxor | Bor) as op ->
+    VI (int_binop op (Int64.of_float a) (Int64.of_float b))
+
+(* Pointer arithmetic: address +/- byte offset scaled by the element size
+   recorded in the addressing mode is approximated by element-count
+   arithmetic (lowering multiplies indices by sizeof, so divide back at
+   8-byte granularity like the lowered code uses). *)
+let addr_arith op (name, i) k =
+  match (op : Cparse.Ast.binop) with
+  | Add -> VAddr (name, i + Int64.to_int k)
+  | Sub -> VAddr (name, i - Int64.to_int k)
+  | _ -> raise (Unsupported "pointer arithmetic")
+
+let eval_binop op (a : value) (b : value) : value =
+  match a, b with
+  | VF x, _ | _, VF x ->
+    ignore x;
+    float_binop op (as_float a) (as_float b)
+  | VAddr (n, i), VI k -> addr_arith op (n, i) k
+  | VI k, VAddr (n, i) -> addr_arith op (n, i) k
+  | VAddr (n1, i1), VAddr (n2, i2) -> (
+    match op with
+    | Sub when String.equal n1 n2 -> VI (Int64.of_int (i1 - i2))
+    | Eq -> VI (if n1 = n2 && i1 = i2 then 1L else 0L)
+    | Ne -> VI (if n1 = n2 && i1 = i2 then 0L else 1L)
+    | _ -> raise (Unsupported "address-address arithmetic"))
+  | VI x, VI y -> VI (int_binop op x y)
+
+let eval_unop op (v : value) : value =
+  match (op : Cparse.Ast.unop), v with
+  | Neg, VF f -> VF (-.f)
+  | Neg, v -> VI (Int64.neg (as_int v))
+  | Uplus, v -> v
+  | Bitnot, v -> VI (Int64.lognot (as_int v))
+  | Lognot, VF f -> VI (if f = 0. then 1L else 0L)
+  | Lognot, VAddr _ -> VI 0L
+  | Lognot, v -> VI (if Int64.equal (as_int v) 0L then 1L else 0L)
+
+let eval_cast (ty : Cparse.Ast.ty) (v : value) : value =
+  match ty with
+  | Cparse.Ast.Tfloat | Cparse.Ast.Tdouble -> VF (as_float v)
+  | Cparse.Ast.Tbool -> VI (if Int64.equal (as_int v) 0L then 0L else 1L)
+  | Cparse.Ast.Tint (Ichar, true) ->
+    let x = Int64.to_int (as_int v) land 0xff in
+    VI (Int64.of_int (if x land 0x80 <> 0 then x - 0x100 else x))
+  | Cparse.Ast.Tint (Ichar, false) ->
+    VI (Int64.of_int (Int64.to_int (as_int v) land 0xff))
+  | Cparse.Ast.Tint (Ishort, true) ->
+    let x = Int64.to_int (as_int v) land 0xffff in
+    VI (Int64.of_int (if x land 0x8000 <> 0 then x - 0x10000 else x))
+  | Cparse.Ast.Tint (Ishort, false) ->
+    VI (Int64.of_int (Int64.to_int (as_int v) land 0xffff))
+  | Cparse.Ast.Tint _ -> VI (as_int v)
+  | Cparse.Ast.Tptr _ -> v
+  | _ -> v
+
+let call_builtin name (args : value list) : value =
+  match name, args with
+  | "abs", [ v ] -> VI (Int64.abs (as_int v))
+  | "rand", [] -> VI 42L
+  | "abort", _ -> raise Trap
+  | _ -> raise (Unsupported ("builtin " ^ name))
+
+let rec call_function st (f : func) (args : value list) : value =
+  tick st;
+  st.depth <- st.depth + 1;
+  if st.depth > 100 then raise Out_of_fuel;
+  (* bind arguments to parameter slots *)
+  List.iteri
+    (fun i slot_name ->
+      let v = match List.nth_opt args i with Some v -> v | None -> VI 0L in
+      (slot st slot_name).(0) <- v)
+    f.fn_params;
+  let regs = Array.make (f.fn_nregs + 1) (VI 0L) in
+  let result = run_block st f regs (List.hd f.fn_blocks).b_label in
+  st.depth <- st.depth - 1;
+  result
+
+and run_block st (f : func) (regs : value array) (label : label) : value =
+  tick st;
+  match block_of f label with
+  | None -> raise (Unsupported (Fmt.str "missing block L%d" label))
+  | Some b ->
+    List.iter
+      (fun i ->
+        tick st;
+        match i with
+        | Ibin (op, r, a, bb) ->
+          regs.(r) <-
+            eval_binop op (operand_value st regs a) (operand_value st regs bb)
+        | Iun (op, r, a) -> regs.(r) <- eval_unop op (operand_value st regs a)
+        | Imov (r, a) -> regs.(r) <- operand_value st regs a
+        | Icast (r, ty, a) -> regs.(r) <- eval_cast ty (operand_value st regs a)
+        | Iload (r, addr) -> regs.(r) <- load st addr regs
+        | Istore (addr, v) -> store st addr regs (operand_value st regs v)
+        | Iaddr (r, addr) -> (
+          match addr with
+          | Avar name ->
+            ignore (slot st name);
+            regs.(r) <- VAddr (name, 0)
+          | Aindex (name, idx, _) ->
+            ignore (slot st name);
+            regs.(r) <-
+              VAddr (name, Int64.to_int (as_int (operand_value st regs idx)))
+          | Areg op -> regs.(r) <- operand_value st regs op)
+        | Icall (r, fname, args) -> (
+          let vargs = List.map (operand_value st regs) args in
+          let v =
+            match
+              List.find_opt
+                (fun f -> String.equal f.fn_name fname)
+                st.program.p_funcs
+            with
+            | Some callee -> call_function st callee vargs
+            | None -> call_builtin fname vargs
+          in
+          match r with Some r -> regs.(r) <- v | None -> ()))
+      b.b_instrs;
+    (match b.b_term with
+    | Tret None -> VI 0L
+    | Tret (Some op) -> operand_value st regs op
+    | Tjmp l -> run_block st f regs l
+    | Tbr (c, lt, lf) ->
+      let v = operand_value st regs c in
+      let truthy =
+        match v with
+        | VI x -> not (Int64.equal x 0L)
+        | VF x -> x <> 0.
+        | VAddr _ -> true
+      in
+      run_block st f regs (if truthy then lt else lf)
+    | Tswitch (c, cases, d) -> (
+      let v = as_int (operand_value st regs c) in
+      match List.assoc_opt v cases with
+      | Some l -> run_block st f regs l
+      | None -> run_block st f regs d)
+    | Tunreachable -> raise Trap)
+
+let run ?(fuel = 500_000) (p : program) : outcome =
+  let st = { program = p; slots = Hashtbl.create 64; fuel; depth = 0 } in
+  (* initialise global slots *)
+  List.iter
+    (fun g ->
+      let init =
+        if g.g_float then VF (Option.value ~default:0. g.g_finit)
+        else VI (Option.value ~default:0L g.g_init)
+      in
+      Hashtbl.replace st.slots g.g_name
+        (Array.make (max 1 g.g_size) init))
+    p.p_globals;
+  let finish exit trapped hang unsupported =
+    { o_exit = exit; o_trapped = trapped; o_hang = hang; o_unsupported = unsupported }
+  in
+  match List.find_opt (fun f -> String.equal f.fn_name "main") p.p_funcs with
+  | None -> finish 0 false false None
+  | Some main -> (
+    match call_function st main [] with
+    | v -> finish (Int64.to_int (as_int v) land 0xff) false false None
+    | exception Trap -> finish 134 true false None
+    | exception Out_of_fuel -> finish 124 false true None
+    | exception Unsupported what -> finish 0 false false (Some what))

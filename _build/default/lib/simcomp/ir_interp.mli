@@ -1,0 +1,28 @@
+(** IR interpreter.
+
+    Executes the register-machine IR produced by {!Lower}, before or
+    after optimizer passes.  Together with the AST-level {!Interp} this
+    enables differential testing: for a deterministic program, the AST
+    semantics, the freshly lowered IR, and the optimized IR must agree —
+    the optimizer-soundness property exercised by the test suite.
+
+    Scope: the integer/float scalar subset with named slots and arrays.
+    Programs outside the subset report [o_unsupported] rather than a
+    wrong answer. *)
+
+exception Trap
+exception Out_of_fuel
+exception Unsupported of string
+
+type value = VI of int64 | VF of float | VAddr of string * int
+
+type outcome = {
+  o_exit : int;              (** low 8 bits of [main]'s return value *)
+  o_trapped : bool;          (** division by zero, OOB, null deref, abort *)
+  o_hang : bool;             (** fuel exhausted *)
+  o_unsupported : string option;
+      (** the program used a feature outside the interpreter's subset *)
+}
+
+val run : ?fuel:int -> Ir.program -> outcome
+(** Execute from [main] (default fuel 500_000). *)

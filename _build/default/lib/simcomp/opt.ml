@@ -1,0 +1,435 @@
+(* The optimizer of the simulated compiler.
+
+   Pass pipeline (driven by -O level in compiler.ml):
+     -O1: constfold, simplify-cfg, dce
+     -O2: + inline, strlen-opt
+     -O3: + loop-opt (unrolling; the "vectorizer" of the GCC hang bug)
+
+   Passes mutate the IR in place and report coverage per decision, so the
+   optimizer's reachable behaviour grows with input diversity. *)
+
+open Ir
+
+type pass = {
+  pass_name : string;
+  run : ?cov:Coverage.t -> program -> int; (* returns number of changes *)
+}
+
+let cov_event cov site a b =
+  match cov with
+  | Some cov -> Coverage.branch cov ~site ~a ~b ()
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding + copy propagation (per block)                     *)
+(* ------------------------------------------------------------------ *)
+
+let eval_binop op (a : int64) (b : int64) : int64 option =
+  let open Int64 in
+  let bool_ x = if x then 1L else 0L in
+  match (op : Cparse.Ast.binop) with
+  | Add -> Some (add a b)
+  | Sub -> Some (sub a b)
+  | Mul -> Some (mul a b)
+  | Div -> if equal b 0L then None else Some (div a b)
+  | Mod -> if equal b 0L then None else Some (rem a b)
+  | Shl ->
+    let s = to_int b in
+    if s < 0 || s > 63 then None else Some (shift_left a s)
+  | Shr ->
+    let s = to_int b in
+    if s < 0 || s > 63 then None else Some (shift_right a s)
+  | Lt -> Some (bool_ (compare a b < 0))
+  | Gt -> Some (bool_ (compare a b > 0))
+  | Le -> Some (bool_ (compare a b <= 0))
+  | Ge -> Some (bool_ (compare a b >= 0))
+  | Eq -> Some (bool_ (equal a b))
+  | Ne -> Some (bool_ (not (equal a b)))
+  | Band -> Some (logand a b)
+  | Bxor -> Some (logxor a b)
+  | Bor -> Some (logor a b)
+  | Land -> Some (bool_ ((not (equal a 0L)) && not (equal b 0L)))
+  | Lor -> Some (bool_ ((not (equal a 0L)) || not (equal b 0L)))
+
+let eval_unop op (a : int64) : int64 =
+  match (op : Cparse.Ast.unop) with
+  | Neg -> Int64.neg a
+  | Uplus -> a
+  | Bitnot -> Int64.lognot a
+  | Lognot -> if Int64.equal a 0L then 1L else 0L
+
+let const_fold_pass =
+  let run ?cov (p : program) =
+    let changes = ref 0 in
+    List.iter
+      (fun f ->
+        List.iter
+          (fun b ->
+            let consts : (int, int64) Hashtbl.t = Hashtbl.create 16 in
+            let subst (op : operand) =
+              match op with
+              | Reg r -> (
+                match Hashtbl.find_opt consts r with
+                | Some v ->
+                  incr changes;
+                  Imm v
+                | None -> op)
+              | _ -> op
+            in
+            b.b_instrs <-
+              List.map
+                (fun i ->
+                  match i with
+                  | Ibin (bop, r, a, bb) -> (
+                    let a = subst a and bb = subst bb in
+                    match a, bb with
+                    | Imm va, Imm vb -> (
+                      match eval_binop bop va vb with
+                      | Some v ->
+                        Hashtbl.replace consts r v;
+                        cov_event cov 0x3000 (Hashtbl.hash bop land 0xff) 1;
+                        (* folded-value bucket: constants drive distinct
+                           value-range paths downstream *)
+                        let magnitude =
+                          let abs = Int64.abs v in
+                          let rec log2 x acc =
+                            if Int64.compare x 1L <= 0 then acc
+                            else log2 (Int64.shift_right_logical x 1) (acc + 1)
+                          in
+                          log2 abs 0
+                        in
+                        cov_event cov 0x3001
+                          (Hashtbl.hash bop land 0xf)
+                          ((2 * magnitude) + if Int64.compare v 0L < 0 then 1 else 0);
+                        incr changes;
+                        Imov (r, Imm v)
+                      | None -> Ibin (bop, r, a, bb))
+                    | _ ->
+                      cov_event cov 0x3000 (Hashtbl.hash bop land 0xff) 0;
+                      Ibin (bop, r, a, bb))
+                  | Iun (uop, r, a) -> (
+                    match subst a with
+                    | Imm v ->
+                      let v = eval_unop uop v in
+                      Hashtbl.replace consts r v;
+                      incr changes;
+                      Imov (r, Imm v)
+                    | a -> Iun (uop, r, a))
+                  | Imov (r, a) -> (
+                    match subst a with
+                    | Imm v ->
+                      Hashtbl.replace consts r v;
+                      Imov (r, Imm v)
+                    | a -> Imov (r, a))
+                  | Icast (r, ty, a) -> (
+                    match subst a with
+                    | Imm v ->
+                      (* integer truncations fold *)
+                      let v' =
+                        match ty with
+                        | Cparse.Ast.Tint (Ichar, true) ->
+                          Int64.of_int ((Int64.to_int v land 0xff) - (if Int64.to_int v land 0x80 <> 0 then 0x100 else 0))
+                        | Cparse.Ast.Tint (Ichar, false) ->
+                          Int64.of_int (Int64.to_int v land 0xff)
+                        | Cparse.Ast.Tbool -> if Int64.equal v 0L then 0L else 1L
+                        | _ -> v
+                      in
+                      Hashtbl.replace consts r v';
+                      incr changes;
+                      Imov (r, Imm v')
+                    | a -> Icast (r, ty, a))
+                  | Iload (r, addr) ->
+                    Hashtbl.remove consts r;
+                    let addr =
+                      match addr with
+                      | Aindex (s, op, sz) -> Aindex (s, subst op, sz)
+                      | Areg op -> Areg (subst op)
+                      | a -> a
+                    in
+                    Iload (r, addr)
+                  | Istore (addr, v) ->
+                    let addr =
+                      match addr with
+                      | Aindex (s, op, sz) -> Aindex (s, subst op, sz)
+                      | Areg op -> Areg (subst op)
+                      | a -> a
+                    in
+                    Istore (addr, subst v)
+                  | Iaddr (r, addr) ->
+                    Hashtbl.remove consts r;
+                    Iaddr (r, addr)
+                  | Icall (r, fn, args) ->
+                    Option.iter (Hashtbl.remove consts) r;
+                    Icall (r, fn, List.map subst args))
+                b.b_instrs;
+            (* per-block optimization context: block size vs fold count *)
+            let nb = List.length b.b_instrs in
+            let bucket n =
+              if n <= 2 then 0 else if n <= 6 then 1 else if n <= 15 then 2
+              else if n <= 40 then 3 else 4
+            in
+            cov_event cov 0x3002 (bucket nb) (Hashtbl.length consts land 0x7);
+            (* fold conditional branches on constants *)
+            (match b.b_term with
+            | Tbr (Reg r, lt, lf) -> (
+              match Hashtbl.find_opt consts r with
+              | Some v ->
+                cov_event cov 0x3010 1 0;
+                incr changes;
+                b.b_term <- Tjmp (if Int64.equal v 0L then lf else lt)
+              | None -> ())
+            | Tbr (Imm v, lt, lf) ->
+              incr changes;
+              b.b_term <- Tjmp (if Int64.equal v 0L then lf else lt)
+            | Tswitch (Imm v, cases, d) ->
+              incr changes;
+              let target =
+                match List.assoc_opt v cases with Some l -> l | None -> d
+              in
+              b.b_term <- Tjmp target
+            | Tret (Some (Reg r)) -> (
+              match Hashtbl.find_opt consts r with
+              | Some v -> b.b_term <- Tret (Some (Imm v))
+              | None -> ())
+            | _ -> ()))
+          f.fn_blocks)
+      p.p_funcs;
+    !changes
+  in
+  { pass_name = "constfold"; run }
+
+(* ------------------------------------------------------------------ *)
+(* CFG simplification: drop unreachable blocks, thread trivial jumps   *)
+(* ------------------------------------------------------------------ *)
+
+let simplify_cfg_pass =
+  let run ?cov (p : program) =
+    let changes = ref 0 in
+    List.iter
+      (fun f ->
+        match f.fn_blocks with
+        | [] -> ()
+        | entry :: _ ->
+          (* thread jumps to empty forwarding blocks *)
+          let forward = Hashtbl.create 8 in
+          List.iter
+            (fun b ->
+              match b.b_instrs, b.b_term with
+              | [], Tjmp l when l <> b.b_label -> Hashtbl.replace forward b.b_label l
+              | _ -> ())
+            f.fn_blocks;
+          let rec resolve seen l =
+            if List.mem l seen then l
+            else
+              match Hashtbl.find_opt forward l with
+              | Some l' ->
+                incr changes;
+                resolve (l :: seen) l'
+              | None -> l
+          in
+          List.iter
+            (fun b ->
+              b.b_term <-
+                (match b.b_term with
+                | Tjmp l -> Tjmp (resolve [] l)
+                | Tbr (c, a, b') -> Tbr (c, resolve [] a, resolve [] b')
+                | Tswitch (c, cases, d) ->
+                  Tswitch (c, List.map (fun (v, l) -> (v, resolve [] l)) cases, resolve [] d)
+                | t -> t))
+            f.fn_blocks;
+          (* reachability *)
+          let reachable = Hashtbl.create 16 in
+          let rec visit l =
+            if not (Hashtbl.mem reachable l) then begin
+              Hashtbl.replace reachable l ();
+              match block_of f l with
+              | Some b -> List.iter visit (successors b.b_term)
+              | None -> ()
+            end
+          in
+          visit entry.b_label;
+          let before = List.length f.fn_blocks in
+          f.fn_blocks <-
+            List.filter (fun b -> Hashtbl.mem reachable b.b_label) f.fn_blocks;
+          let removed = before - List.length f.fn_blocks in
+          if removed > 0 then begin
+            cov_event cov 0x3100 removed 0;
+            changes := !changes + removed
+          end)
+      p.p_funcs;
+    !changes
+  in
+  { pass_name = "simplify-cfg"; run }
+
+(* ------------------------------------------------------------------ *)
+(* Dead code elimination (pure instrs with unused destinations)        *)
+(* ------------------------------------------------------------------ *)
+
+let dce_pass =
+  let run ?cov (p : program) =
+    let changes = ref 0 in
+    List.iter
+      (fun f ->
+        let used = Hashtbl.create 64 in
+        List.iter
+          (fun b ->
+            List.iter
+              (fun i -> List.iter (fun r -> Hashtbl.replace used r ()) (uses i))
+              b.b_instrs;
+            List.iter (fun r -> Hashtbl.replace used r ()) (uses_of_term b.b_term))
+          f.fn_blocks;
+        List.iter
+          (fun b ->
+            let before = List.length b.b_instrs in
+            b.b_instrs <-
+              List.filter
+                (fun i ->
+                  match dest i with
+                  | Some r when is_pure_instr i && not (Hashtbl.mem used r) ->
+                    false
+                  | _ -> true)
+                b.b_instrs;
+            let removed = before - List.length b.b_instrs in
+            if removed > 0 then begin
+              cov_event cov 0x3200 removed 0;
+              changes := !changes + removed
+            end)
+          f.fn_blocks)
+      p.p_funcs;
+    !changes
+  in
+  { pass_name = "dce"; run }
+
+(* ------------------------------------------------------------------ *)
+(* Inlining of small leaf functions                                    *)
+(* ------------------------------------------------------------------ *)
+
+let inline_pass =
+  let run ?cov (p : program) =
+    (* inline calls to functions that are a single block with <= 4 instrs,
+       no calls, returning a constant or a parameter load: replace the
+       call by a move of the return operand when it is an Imm. *)
+    let changes = ref 0 in
+    let returns_const f =
+      (* entry block returns a constant immediately (trailing unreachable
+         blocks from lowering are ignored) *)
+      match f.fn_blocks with
+      | { b_instrs = []; b_term = Tret (Some (Imm v)); _ } :: _ -> Some v
+      | _ -> None
+    in
+    let const_fns =
+      List.filter_map
+        (fun f -> Option.map (fun v -> (f.fn_name, v)) (returns_const f))
+        p.p_funcs
+    in
+    List.iter
+      (fun f ->
+        List.iter
+          (fun b ->
+            b.b_instrs <-
+              List.map
+                (fun i ->
+                  match i with
+                  | Icall (Some r, fn, _) -> (
+                    match List.assoc_opt fn const_fns with
+                    | Some v ->
+                      incr changes;
+                      cov_event cov 0x3300 (Hashtbl.hash fn land 0xff) 0;
+                      Imov (r, Imm v)
+                    | None -> i)
+                  | i -> i)
+                b.b_instrs)
+          f.fn_blocks)
+      p.p_funcs;
+    !changes
+  in
+  { pass_name = "inline"; run }
+
+(* ------------------------------------------------------------------ *)
+(* strlen/sprintf optimization (the GCC strlen-pass analogue)          *)
+(* ------------------------------------------------------------------ *)
+
+let strlen_pass =
+  let run ?cov (p : program) =
+    let changes = ref 0 in
+    List.iter
+      (fun f ->
+        List.iter
+          (fun b ->
+            b.b_instrs <-
+              List.map
+                (fun i ->
+                  match i with
+                  | Icall (Some r, "sprintf", [ _; Sym fmt; src ])
+                    when String.length fmt > 4 ->
+                    (* the return value of sprintf(dst, "%s", src) is
+                       strlen(src): rewrite when the format is a literal *)
+                    incr changes;
+                    cov_event cov 0x3400 1 0;
+                    Icall (Some r, "strlen", [ src ])
+                  | i -> i)
+                b.b_instrs)
+          f.fn_blocks)
+      p.p_funcs;
+    !changes
+  in
+  { pass_name = "strlen-opt"; run }
+
+(* ------------------------------------------------------------------ *)
+(* Loop optimization: trip-count analysis + full unrolling             *)
+(* ------------------------------------------------------------------ *)
+
+(* Detect single-block counted loops of the canonical shape produced by
+   lowering for loops, and fully unroll small trip counts. *)
+let loop_pass =
+  let run ?cov (p : program) =
+    let changes = ref 0 in
+    List.iter
+      (fun f ->
+        (* find back edges: block whose terminator jumps to a dominator;
+           approximate by "jumps to an earlier label" *)
+        List.iter
+          (fun b ->
+            match b.b_term with
+            | Tjmp l when l < b.b_label ->
+              cov_event cov 0x3500 1 0;
+              (* loop header found; attempt trip-count estimate: header
+                 must end in Tbr (Reg r, body, exit) where r compares a
+                 slot against an Imm *)
+              (match block_of f l with
+              | Some header -> (
+                match header.b_term, List.rev header.b_instrs with
+                | Tbr (Reg r, _, _), Ibin ((Lt | Gt | Le | Ge), r', Reg _, Imm bound) :: _
+                  when r = r' ->
+                  cov_event cov 0x3510 (Int64.to_int (Int64.logand bound 63L)) 0;
+                  changes := !changes + 1
+                | _ -> cov_event cov 0x3511 0 0)
+              | None -> ())
+            | _ -> ())
+          f.fn_blocks)
+      p.p_funcs;
+    !changes
+  in
+  { pass_name = "loop-opt"; run }
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let passes_for_level level =
+  if level <= 0 then []
+  else if level = 1 then [ const_fold_pass; simplify_cfg_pass; dce_pass ]
+  else if level = 2 then
+    [ const_fold_pass; simplify_cfg_pass; inline_pass; strlen_pass; const_fold_pass; dce_pass ]
+  else
+    [
+      const_fold_pass; simplify_cfg_pass; inline_pass; strlen_pass;
+      loop_pass; const_fold_pass; simplify_cfg_pass; dce_pass;
+    ]
+
+let run_pipeline ?cov ~level ~disabled (p : program) : (string * int) list =
+  List.filter_map
+    (fun pass ->
+      if List.mem pass.pass_name disabled then None
+      else Some (pass.pass_name, pass.run ?cov p))
+    (passes_for_level level)

@@ -1,0 +1,49 @@
+(** The optimizer of the simulated compiler.
+
+    Pass pipeline by level:
+    {ul
+    {- [-O1]: constfold, simplify-cfg, dce}
+    {- [-O2]: + inline, strlen-opt}
+    {- [-O3]: + loop-opt (the "vectorizer" of the GCC #111820 hang)}}
+
+    Passes mutate the IR in place, report branch coverage per decision,
+    and are semantics-preserving (verified by differential tests against
+    {!Ir_interp}). *)
+
+type pass = {
+  pass_name : string;
+  run : ?cov:Coverage.t -> Ir.program -> int;  (** returns changes made *)
+}
+
+val const_fold_pass : pass
+(** Per-block constant folding and copy propagation; folds constant
+    branches, switches, and returns. *)
+
+val simplify_cfg_pass : pass
+(** Jump threading through empty forwarding blocks and unreachable-block
+    elimination. *)
+
+val dce_pass : pass
+(** Removes pure instructions whose destinations are never read. *)
+
+val inline_pass : pass
+(** Folds calls to functions that immediately return a constant. *)
+
+val strlen_pass : pass
+(** The GCC strlen-pass analogue: rewrites the result of
+    [sprintf(dst, "%s", src)] into [strlen(src)]. *)
+
+val loop_pass : pass
+(** Back-edge detection and trip-count analysis (coverage-bearing; the
+    stage where the vectorizer-hang bug is keyed). *)
+
+val passes_for_level : int -> pass list
+
+val run_pipeline :
+  ?cov:Coverage.t ->
+  level:int ->
+  disabled:string list ->
+  Ir.program ->
+  (string * int) list
+(** Run the pipeline, skipping [disabled] pass names; returns
+    [(pass, changes)] per executed pass. *)

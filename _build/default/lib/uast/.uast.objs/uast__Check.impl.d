@@ -1,0 +1,1 @@
+lib/uast/check.ml: Ast Cparse String Typecheck

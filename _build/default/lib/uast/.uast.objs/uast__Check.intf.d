@@ -1,0 +1,1 @@
+lib/uast/check.mli: Cparse

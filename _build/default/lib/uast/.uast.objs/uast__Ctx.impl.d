@@ -1,0 +1,1 @@
+lib/uast/ctx.ml: Ast Ast_ids Cparse Fmt Hashtbl Rng Typecheck

@@ -1,0 +1,1 @@
+lib/uast/ctx.mli: Cparse

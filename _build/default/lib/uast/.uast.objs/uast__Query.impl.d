@@ -1,0 +1,1 @@
+lib/uast/query.ml: Ast Buffer Cparse List Pretty String Visit

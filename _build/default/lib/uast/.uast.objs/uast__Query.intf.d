@@ -1,0 +1,1 @@
+lib/uast/query.mli: Cparse

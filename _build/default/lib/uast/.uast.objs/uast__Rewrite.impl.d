@@ -1,0 +1,1 @@
+lib/uast/rewrite.ml: Ast Cparse List Option String Visit

@@ -1,0 +1,1 @@
+lib/uast/rewrite.mli: Cparse

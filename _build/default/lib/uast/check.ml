@@ -1,0 +1,56 @@
+(* μAST semantic-checking APIs (paper Fig. 6: checkBinop, checkAssignment).
+
+   These let mutators verify a mutation is type-valid *before* applying it,
+   which is what gives the generated mutators their high compilable-mutant
+   ratio. *)
+
+open Cparse
+open Ast
+
+(* μAST: checkBinop — can [op] be applied to operands of these types? *)
+let check_binop (op : binop) (lhs : ty) (rhs : ty) : bool =
+  let lhs = Typecheck.decay lhs and rhs = Typecheck.decay rhs in
+  match op with
+  | Add ->
+    (is_arith_ty lhs && is_arith_ty rhs)
+    || (is_pointer_ty lhs && is_integer_ty rhs)
+    || (is_integer_ty lhs && is_pointer_ty rhs)
+  | Sub ->
+    (is_arith_ty lhs && is_arith_ty rhs)
+    || (is_pointer_ty lhs && is_integer_ty rhs)
+    || (is_pointer_ty lhs && is_pointer_ty rhs)
+  | Mul | Div -> is_arith_ty lhs && is_arith_ty rhs
+  | Mod | Shl | Shr | Band | Bxor | Bor ->
+    is_integer_ty lhs && is_integer_ty rhs
+  | Lt | Gt | Le | Ge | Eq | Ne ->
+    (is_arith_ty lhs && is_arith_ty rhs)
+    || (is_pointer_ty lhs && is_pointer_ty rhs)
+  | Land | Lor -> is_scalar_ty lhs && is_scalar_ty rhs
+
+(* μAST: checkAssignment — can a value of [src] be assigned to [dst]
+   without a compile error (warnings are fine)? *)
+let check_assignment ~(dst : ty) ~(src : ty) : bool =
+  let dst = Typecheck.decay dst and src = Typecheck.decay src in
+  match dst, src with
+  | t1, t2 when is_arith_ty t1 && is_arith_ty t2 -> true
+  | Tptr _, Tptr _ -> true
+  | Tptr _, t when is_integer_ty t -> true
+  | t, Tptr _ when is_integer_ty t -> true
+  | Tstruct a, Tstruct b | Tunion a, Tunion b -> String.equal a b
+  | _ -> false
+
+let check_unop (op : unop) (ty : ty) : bool =
+  let ty = Typecheck.decay ty in
+  match op with
+  | Neg | Uplus -> is_arith_ty ty
+  | Bitnot -> is_integer_ty ty
+  | Lognot -> is_scalar_ty ty
+
+(* Can [ty] appear as a condition? *)
+let check_condition (ty : ty) : bool = is_scalar_ty (Typecheck.decay ty)
+
+(* Two variable types are "compatible" for swap-style mutations when a
+   value of each can initialise the other. *)
+let compatible_for_swap a b =
+  check_assignment ~dst:a ~src:b && check_assignment ~dst:b ~src:a
+  && not (is_pointer_ty a) && not (is_pointer_ty b)

@@ -1,0 +1,23 @@
+(** μAST semantic-checking APIs (paper Fig. 6).
+
+    These let a mutator verify that a mutation is type-valid {e before}
+    applying it — the source of the generated mutators' high
+    compilable-mutant ratio. *)
+
+val check_binop : Cparse.Ast.binop -> Cparse.Ast.ty -> Cparse.Ast.ty -> bool
+(** [check_binop op lhs rhs]: can [op] be applied to operands of these
+    types (after array decay)?  The paper's [checkBinop]. *)
+
+val check_assignment : dst:Cparse.Ast.ty -> src:Cparse.Ast.ty -> bool
+(** Can a value of [src] be assigned to [dst] without a compile error
+    (warnings are acceptable)?  The paper's [checkAssignment]. *)
+
+val check_unop : Cparse.Ast.unop -> Cparse.Ast.ty -> bool
+(** Can the unary operator apply to the type? *)
+
+val check_condition : Cparse.Ast.ty -> bool
+(** Can the type appear as an [if]/loop condition (scalar)? *)
+
+val compatible_for_swap : Cparse.Ast.ty -> Cparse.Ast.ty -> bool
+(** Symmetric assignability for swap-style mutations; pointers are
+    excluded to avoid aliasing surprises. *)

@@ -1,0 +1,40 @@
+(* Mutation context: the state a mutator sees.
+
+   Mirrors the paper's Mutator base class (Fig. 6): the context bundles the
+   translation unit under mutation, its semantic analysis (types of every
+   expression), a deterministic RNG, and a unique-name supply. *)
+
+open Cparse
+
+type t = {
+  rng : Rng.t;
+  tu : Ast.tu;
+  tc : Typecheck.result;
+  mutable name_counter : int;
+}
+
+let create ~rng (tu : Ast.tu) : t =
+  let tu = if Ast_ids.well_formed tu then tu else Ast_ids.renumber tu in
+  { rng; tu; tc = Typecheck.check tu; name_counter = Ast_ids.max_id tu }
+
+(* Semantic type of an expression, as computed by the front-end.  [None]
+   for nodes synthesised after the last renumbering. *)
+let type_of ctx (e : Ast.expr) : Ast.ty option =
+  Hashtbl.find_opt ctx.tc.r_types e.eid
+
+let type_of_exn ctx e =
+  match type_of ctx e with
+  | Some t -> t
+  | None -> Ast.Tint (Ast.Iint, true)
+
+(* μAST: generateUniqueName *)
+let generate_unique_name ctx base =
+  ctx.name_counter <- ctx.name_counter + 1;
+  Fmt.str "%s_%d" base ctx.name_counter
+
+(* μAST: randElement *)
+let rand_element ctx xs = Rng.choose_opt ctx.rng xs
+
+let rand_int ctx n = Rng.int ctx.rng n
+
+let flip ctx p = Rng.flip ctx.rng p

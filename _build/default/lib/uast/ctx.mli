@@ -1,0 +1,33 @@
+(** Mutation context: the state a mutator sees.
+
+    Mirrors the paper's [Mutator] base class (Fig. 6): the translation
+    unit under mutation, its semantic analysis (types of every
+    expression), a deterministic RNG, and a unique-name supply. *)
+
+type t = {
+  rng : Cparse.Rng.t;
+  tu : Cparse.Ast.tu;
+  tc : Cparse.Typecheck.result;
+  mutable name_counter : int;
+}
+
+val create : rng:Cparse.Rng.t -> Cparse.Ast.tu -> t
+(** Runs the type checker; renumbers the unit first if its node ids are
+    not well formed. *)
+
+val type_of : t -> Cparse.Ast.expr -> Cparse.Ast.ty option
+(** Semantic type of an expression as computed by the front-end; [None]
+    for nodes synthesised after the last renumbering. *)
+
+val type_of_exn : t -> Cparse.Ast.expr -> Cparse.Ast.ty
+(** Like {!type_of} with an [int] fallback. *)
+
+val generate_unique_name : t -> string -> string
+(** μAST [generateUniqueName]: a fresh identifier built from a base. *)
+
+val rand_element : t -> 'a list -> 'a option
+(** μAST [randElement]. *)
+
+val rand_int : t -> int -> int
+
+val flip : t -> float -> bool

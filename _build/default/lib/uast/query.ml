@@ -1,0 +1,189 @@
+(* μAST query APIs: AST traversal and node retrieval.
+
+   These are the OCaml analogues of the paper's query APIs: getSourceText,
+   randElement over collected node vectors, and the per-node-type visitor
+   collections the generated mutators build in their Visit* callbacks. *)
+
+open Cparse
+open Ast
+
+(* μAST: getSourceText — extract the source of a node for replication. *)
+let source_of_expr (e : expr) : string = Pretty.expr_to_string e
+
+let source_of_stmt (s : stmt) : string =
+  let buf = Buffer.create 64 in
+  Pretty.stmt_to_buf buf 0 s;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Collectors with enclosing-function context                          *)
+(* ------------------------------------------------------------------ *)
+
+type 'a in_func = { node : 'a; func : fundef }
+
+let exprs_in_functions (tu : tu) ~pred : expr in_func list =
+  let acc = ref [] in
+  Visit.iter_tu_in_functions tu ~f:(fun fd ->
+      List.iter
+        (Visit.iter_stmt
+           ~fe:(fun e -> if pred e then acc := { node = e; func = fd } :: !acc)
+           ~fs:(fun _ -> ()))
+        fd.f_body);
+  List.rev !acc
+
+let stmts_in_functions (tu : tu) ~pred : stmt in_func list =
+  let acc = ref [] in
+  Visit.iter_tu_in_functions tu ~f:(fun fd ->
+      List.iter
+        (Visit.iter_stmt
+           ~fe:(fun _ -> ())
+           ~fs:(fun s -> if pred s then acc := { node = s; func = fd } :: !acc))
+        fd.f_body);
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Node-kind collectors (the VisitXxx vectors of generated mutators)   *)
+(* ------------------------------------------------------------------ *)
+
+let binops tu =
+  Visit.collect_exprs (fun e -> match e.ek with Binop _ -> true | _ -> false) tu
+
+let unops tu =
+  Visit.collect_exprs (fun e -> match e.ek with Unop _ -> true | _ -> false) tu
+
+let calls tu =
+  Visit.collect_exprs (fun e -> match e.ek with Call _ -> true | _ -> false) tu
+
+let int_literals tu =
+  Visit.collect_exprs
+    (fun e -> match e.ek with Int_lit _ -> true | _ -> false)
+    tu
+
+let literals tu =
+  Visit.collect_exprs
+    (fun e ->
+      match e.ek with
+      | Int_lit _ | Float_lit _ | Char_lit _ | Str_lit _ -> true
+      | _ -> false)
+    tu
+
+let idents tu =
+  Visit.collect_exprs (fun e -> match e.ek with Ident _ -> true | _ -> false) tu
+
+let assignments tu =
+  Visit.collect_exprs (fun e -> match e.ek with Assign _ -> true | _ -> false) tu
+
+let if_stmts tu =
+  Visit.collect_stmts (fun s -> match s.sk with Sif _ -> true | _ -> false) tu
+
+let loops tu =
+  Visit.collect_stmts
+    (fun s -> match s.sk with Swhile _ | Sdo _ | Sfor _ -> true | _ -> false)
+    tu
+
+let switches tu =
+  Visit.collect_stmts
+    (fun s -> match s.sk with Sswitch _ -> true | _ -> false)
+    tu
+
+let returns tu =
+  Visit.collect_stmts
+    (fun s -> match s.sk with Sreturn _ -> true | _ -> false)
+    tu
+
+let decl_stmts tu =
+  Visit.collect_stmts (fun s -> match s.sk with Sdecl _ -> true | _ -> false) tu
+
+(* All local variable declarations, with the declaring function. *)
+let local_var_decls (tu : tu) : (var_decl * fundef) list =
+  let acc = ref [] in
+  Visit.iter_tu_in_functions tu ~f:(fun fd ->
+      List.iter
+        (Visit.iter_stmt
+           ~fe:(fun _ -> ())
+           ~fs:(fun s ->
+             match s.sk with
+             | Sdecl vs -> List.iter (fun v -> acc := (v, fd) :: !acc) vs
+             | Sfor (Some (Fi_decl vs), _, _, _) ->
+               List.iter (fun v -> acc := (v, fd) :: !acc) vs
+             | _ -> ()))
+        fd.f_body);
+  List.rev !acc
+
+(* Uses (reads or writes) of a variable name inside a function body. *)
+let uses_of_var (fd : fundef) name : expr list =
+  let acc = ref [] in
+  List.iter
+    (Visit.iter_stmt
+       ~fe:(fun e ->
+         match e.ek with
+         | Ident n when String.equal n name -> acc := e :: !acc
+         | _ -> ())
+       ~fs:(fun _ -> ()))
+    fd.f_body;
+  List.rev !acc
+
+(* Calls to a named function anywhere in the unit. *)
+let calls_to (tu : tu) name : expr list =
+  Visit.collect_exprs
+    (fun e ->
+      match e.ek with
+      | Call ({ ek = Ident n; _ }, _) -> String.equal n name
+      | _ -> false)
+    tu
+
+(* Return statements inside one function. *)
+let returns_of (fd : fundef) : stmt list =
+  let acc = ref [] in
+  List.iter
+    (Visit.iter_stmt
+       ~fe:(fun _ -> ())
+       ~fs:(fun s ->
+         match s.sk with Sreturn _ -> acc := s :: !acc | _ -> ()))
+    fd.f_body;
+  List.rev !acc
+
+(* Labels defined in a function. *)
+let labels_of (fd : fundef) : string list =
+  let acc = ref [] in
+  List.iter
+    (Visit.iter_stmt
+       ~fe:(fun _ -> ())
+       ~fs:(fun s ->
+         match s.sk with Slabel (l, _) -> acc := l :: !acc | _ -> ()))
+    fd.f_body;
+  List.rev !acc
+
+(* Variables visible at the top level of a function (params + top-level
+   locals declared directly in the body), with their types. *)
+let toplevel_vars_of (fd : fundef) : (string * ty) list =
+  let params = List.map (fun p -> (p.p_name, p.p_ty)) fd.f_params in
+  let locals =
+    List.concat_map
+      (fun s ->
+        match s.sk with
+        | Sdecl vs -> List.map (fun v -> (v.v_name, v.v_ty)) vs
+        | _ -> [])
+      fd.f_body
+  in
+  params @ locals
+
+(* Declarations grouped by the block that contains them: used by mutators
+   that must respect scoping (e.g. SwitchInitExpr's "same scope"). *)
+let decls_by_block (fd : fundef) : var_decl list list =
+  let acc = ref [] in
+  let block_decls ss =
+    List.concat_map
+      (fun s -> match s.sk with Sdecl vs -> vs | _ -> [])
+      ss
+  in
+  acc := [ block_decls fd.f_body ];
+  List.iter
+    (Visit.iter_stmt
+       ~fe:(fun _ -> ())
+       ~fs:(fun s ->
+         match s.sk with
+         | Sblock ss -> acc := block_decls ss :: !acc
+         | _ -> ()))
+    fd.f_body;
+  List.filter (fun l -> l <> []) !acc

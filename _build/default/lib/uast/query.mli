@@ -1,0 +1,58 @@
+(** μAST query APIs: AST traversal and node retrieval.
+
+    The OCaml analogues of the paper's query APIs — [getSourceText],
+    [randElement] over collected node vectors, and the per-node-type
+    visitor collections generated mutators build in their Visit*
+    callbacks. *)
+
+val source_of_expr : Cparse.Ast.expr -> string
+(** μAST [getSourceText] for expressions. *)
+
+val source_of_stmt : Cparse.Ast.stmt -> string
+
+type 'a in_func = { node : 'a; func : Cparse.Ast.fundef }
+(** A collected node together with its enclosing function. *)
+
+val exprs_in_functions :
+  Cparse.Ast.tu -> pred:(Cparse.Ast.expr -> bool) -> Cparse.Ast.expr in_func list
+
+val stmts_in_functions :
+  Cparse.Ast.tu -> pred:(Cparse.Ast.stmt -> bool) -> Cparse.Ast.stmt in_func list
+
+(** {2 Node-kind collectors} *)
+
+val binops : Cparse.Ast.tu -> Cparse.Ast.expr list
+val unops : Cparse.Ast.tu -> Cparse.Ast.expr list
+val calls : Cparse.Ast.tu -> Cparse.Ast.expr list
+val int_literals : Cparse.Ast.tu -> Cparse.Ast.expr list
+val literals : Cparse.Ast.tu -> Cparse.Ast.expr list
+val idents : Cparse.Ast.tu -> Cparse.Ast.expr list
+val assignments : Cparse.Ast.tu -> Cparse.Ast.expr list
+val if_stmts : Cparse.Ast.tu -> Cparse.Ast.stmt list
+val loops : Cparse.Ast.tu -> Cparse.Ast.stmt list
+val switches : Cparse.Ast.tu -> Cparse.Ast.stmt list
+val returns : Cparse.Ast.tu -> Cparse.Ast.stmt list
+val decl_stmts : Cparse.Ast.tu -> Cparse.Ast.stmt list
+
+(** {2 Semantic lookups} *)
+
+val local_var_decls :
+  Cparse.Ast.tu -> (Cparse.Ast.var_decl * Cparse.Ast.fundef) list
+(** Every local declaration with its declaring function. *)
+
+val uses_of_var : Cparse.Ast.fundef -> string -> Cparse.Ast.expr list
+(** Identifier occurrences of a name within a function body. *)
+
+val calls_to : Cparse.Ast.tu -> string -> Cparse.Ast.expr list
+(** Call sites of a named function anywhere in the unit. *)
+
+val returns_of : Cparse.Ast.fundef -> Cparse.Ast.stmt list
+
+val labels_of : Cparse.Ast.fundef -> string list
+
+val toplevel_vars_of : Cparse.Ast.fundef -> (string * Cparse.Ast.ty) list
+(** Parameters plus body-top-level locals. *)
+
+val decls_by_block : Cparse.Ast.fundef -> Cparse.Ast.var_decl list list
+(** Declarations grouped by the block containing them — the scoping
+    information SwitchInitExpr-style mutators must respect. *)

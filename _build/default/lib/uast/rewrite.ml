@@ -1,0 +1,167 @@
+(* μAST rewriting APIs.
+
+   These provide what the paper's Rewriter + helper APIs do (ReplaceText,
+   removeParmFromFuncDecl, removeArgFromExpr, ...) but as type-safe AST
+   edits: replace/remove/insert statements, edit function signatures, and
+   update call sites.  All functions are pure: they return a new unit. *)
+
+open Cparse
+open Ast
+
+let replace_expr = Visit.replace_expr
+let replace_stmt = Visit.replace_stmt
+let remove_stmt = Visit.remove_stmt
+
+(* Rewrite statement lists everywhere (function bodies, blocks, case
+   bodies) with [f], which maps each statement to a replacement list.
+   This is the workhorse for insertion and removal. *)
+let map_stmt_lists (tu : tu) ~(f : stmt -> stmt list) : tu =
+  let rec do_stmt (s : stmt) : stmt =
+    let sk =
+      match s.sk with
+      | Sblock ss -> Sblock (do_list ss)
+      | Sif (c, t, e) -> Sif (c, do_stmt t, Option.map do_stmt e)
+      | Swhile (c, b) -> Swhile (c, do_stmt b)
+      | Sdo (b, c) -> Sdo (do_stmt b, c)
+      | Sfor (i, c, st, b) -> Sfor (i, c, st, do_stmt b)
+      | Sswitch (e, cases) ->
+        Sswitch
+          ( e,
+            List.map
+              (fun cs -> { cs with case_body = do_list cs.case_body })
+              cases )
+      | Slabel (l, inner) -> Slabel (l, do_stmt inner)
+      | sk -> sk
+    in
+    { s with sk }
+  and do_list ss = List.concat_map (fun s -> f (do_stmt s)) ss in
+  let globals =
+    List.map
+      (function
+        | Gfun fd -> Gfun { fd with f_body = do_list fd.f_body }
+        | g -> g)
+      tu.globals
+  in
+  { globals }
+
+(* Insert statements immediately before the statement with id [sid]. *)
+let insert_before (tu : tu) ~sid ~stmts : tu =
+  map_stmt_lists tu ~f:(fun s -> if s.sid = sid then stmts @ [ s ] else [ s ])
+
+(* Insert statements immediately after the statement with id [sid]. *)
+let insert_after (tu : tu) ~sid ~stmts : tu =
+  map_stmt_lists tu ~f:(fun s -> if s.sid = sid then s :: stmts else [ s ])
+
+(* Delete the statement with id [sid] from its enclosing list. *)
+let delete_stmt (tu : tu) ~sid : tu =
+  map_stmt_lists tu ~f:(fun s -> if s.sid = sid then [] else [ s ])
+
+(* Append statements at the end of the body of function [fname]. *)
+let append_to_function (tu : tu) ~fname ~stmts : tu =
+  let globals =
+    List.map
+      (function
+        | Gfun fd when String.equal fd.f_name fname ->
+          Gfun { fd with f_body = fd.f_body @ stmts }
+        | g -> g)
+      tu.globals
+  in
+  { globals }
+
+(* Prepend statements at the start of the body of function [fname]. *)
+let prepend_to_function (tu : tu) ~fname ~stmts : tu =
+  let globals =
+    List.map
+      (function
+        | Gfun fd when String.equal fd.f_name fname ->
+          Gfun { fd with f_body = stmts @ fd.f_body }
+        | g -> g)
+      tu.globals
+  in
+  { globals }
+
+(* Replace a whole function definition. *)
+let replace_function (tu : tu) ~fname ~(f : fundef -> fundef) : tu =
+  let globals =
+    List.map
+      (function
+        | Gfun fd when String.equal fd.f_name fname -> Gfun (f fd)
+        | g -> g)
+      tu.globals
+  in
+  { globals }
+
+(* Insert a global before the first function definition (so it is in scope
+   for every function, mirroring how the paper's mutators add decls). *)
+let insert_global_before_functions (tu : tu) ~(g : global) : tu =
+  let rec ins = function
+    | [] -> [ g ]
+    | Gfun _ :: _ as rest -> g :: rest
+    | x :: rest -> x :: ins rest
+  in
+  { globals = ins tu.globals }
+
+let append_global (tu : tu) ~(g : global) : tu = { globals = tu.globals @ [ g ] }
+
+(* μAST: removeParmFromFuncDecl — drop parameter [index] of [fname] and
+   remove the corresponding argument from every call site. *)
+let remove_param (tu : tu) ~fname ~index : tu =
+  let drop_nth l n = List.filteri (fun i _ -> i <> n) l in
+  let tu =
+    replace_function tu ~fname ~f:(fun fd ->
+        { fd with f_params = drop_nth fd.f_params index })
+  in
+  Visit.map_tu tu ~fe:(fun e ->
+      match e.ek with
+      | Call (({ ek = Ident n; _ } as f), args)
+        when String.equal n fname && List.length args > index ->
+        { e with ek = Call (f, drop_nth args index) }
+      | _ -> e)
+
+(* μAST: removeArgFromExpr — remove argument [index] of the call with id
+   [eid] (call-site-local variant). *)
+let remove_arg (tu : tu) ~eid ~index : tu =
+  Visit.map_tu tu ~fe:(fun e ->
+      match e.ek with
+      | Call (f, args) when e.eid = eid && List.length args > index ->
+        { e with ek = Call (f, List.filteri (fun i _ -> i <> index) args) }
+      | _ -> e)
+
+(* Rename every use of variable [old_name] within function [fname]. *)
+let rename_var_in_function (tu : tu) ~fname ~old_name ~new_name : tu =
+  let rename_decl (v : var_decl) =
+    if String.equal v.v_name old_name then { v with v_name = new_name } else v
+  in
+  let globals =
+    List.map
+      (function
+        | Gfun fd when String.equal fd.f_name fname ->
+          let fe e =
+            match e.ek with
+            | Ident n when String.equal n old_name ->
+              { e with ek = Ident new_name }
+            | _ -> e
+          in
+          let fs s =
+            match s.sk with
+            | Sdecl vs -> { s with sk = Sdecl (List.map rename_decl vs) }
+            | Sfor (Some (Fi_decl vs), c, st, b) ->
+              { s with sk = Sfor (Some (Fi_decl (List.map rename_decl vs)), c, st, b) }
+            | _ -> s
+          in
+          let fd = Visit.map_fundef ~fe ~fs fd in
+          Gfun
+            {
+              fd with
+              f_params =
+                List.map
+                  (fun p ->
+                    if String.equal p.p_name old_name then
+                      { p with p_name = new_name }
+                    else p)
+                  fd.f_params;
+            }
+        | g -> g)
+      tu.globals
+  in
+  { globals }

@@ -1,0 +1,51 @@
+(** μAST rewriting APIs.
+
+    Type-safe AST analogues of the paper's Rewriter + helper APIs
+    ([ReplaceText], [removeParmFromFuncDecl], [removeArgFromExpr], ...).
+    All functions are pure: they return a new translation unit. *)
+
+val replace_expr : Cparse.Ast.tu -> eid:int -> repl:Cparse.Ast.expr -> Cparse.Ast.tu
+val replace_stmt : Cparse.Ast.tu -> sid:int -> repl:Cparse.Ast.stmt -> Cparse.Ast.tu
+val remove_stmt : Cparse.Ast.tu -> sid:int -> Cparse.Ast.tu
+
+val map_stmt_lists :
+  Cparse.Ast.tu -> f:(Cparse.Ast.stmt -> Cparse.Ast.stmt list) -> Cparse.Ast.tu
+(** Rewrite statement lists everywhere (function bodies, blocks, case
+    bodies): [f] maps each statement to its replacement list — the
+    workhorse behind insertion and deletion. *)
+
+val insert_before :
+  Cparse.Ast.tu -> sid:int -> stmts:Cparse.Ast.stmt list -> Cparse.Ast.tu
+
+val insert_after :
+  Cparse.Ast.tu -> sid:int -> stmts:Cparse.Ast.stmt list -> Cparse.Ast.tu
+
+val delete_stmt : Cparse.Ast.tu -> sid:int -> Cparse.Ast.tu
+(** Remove the statement from its enclosing list (no null residue). *)
+
+val append_to_function :
+  Cparse.Ast.tu -> fname:string -> stmts:Cparse.Ast.stmt list -> Cparse.Ast.tu
+
+val prepend_to_function :
+  Cparse.Ast.tu -> fname:string -> stmts:Cparse.Ast.stmt list -> Cparse.Ast.tu
+
+val replace_function :
+  Cparse.Ast.tu -> fname:string -> f:(Cparse.Ast.fundef -> Cparse.Ast.fundef) -> Cparse.Ast.tu
+
+val insert_global_before_functions :
+  Cparse.Ast.tu -> g:Cparse.Ast.global -> Cparse.Ast.tu
+(** Place a global before the first function so every function sees it. *)
+
+val append_global : Cparse.Ast.tu -> g:Cparse.Ast.global -> Cparse.Ast.tu
+
+val remove_param : Cparse.Ast.tu -> fname:string -> index:int -> Cparse.Ast.tu
+(** μAST [removeParmFromFuncDecl]: drop a parameter and the matching
+    argument at every call site. *)
+
+val remove_arg : Cparse.Ast.tu -> eid:int -> index:int -> Cparse.Ast.tu
+(** μAST [removeArgFromExpr]: call-site-local argument removal. *)
+
+val rename_var_in_function :
+  Cparse.Ast.tu -> fname:string -> old_name:string -> new_name:string -> Cparse.Ast.tu
+(** Rename a variable's declarations, parameter, and uses within one
+    function. *)

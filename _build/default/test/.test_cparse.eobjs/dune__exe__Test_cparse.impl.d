@@ -1,0 +1,1 @@
+test/test_cparse.ml: Alcotest Array Ast Ast_gen Ast_ids Const_eval Cparse Fmt Hashtbl Lexer List Loc Parser Pretty QCheck QCheck_alcotest Rng String Token Typecheck Visit

@@ -1,0 +1,1 @@
+test/test_fuzzing.ml: Alcotest Ast_gen Cparse Fmt Fuzzing Hashtbl Lazy List Mutators Option Parser Pretty Report Result Rng Simcomp String Typecheck

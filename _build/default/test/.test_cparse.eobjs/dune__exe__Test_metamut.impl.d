@@ -1,0 +1,1 @@
+test/test_metamut.ml: Alcotest Ast Cparse List Metamut Mutators Option Rng String Typecheck Uast Visit

@@ -1,0 +1,1 @@
+test/test_mutators.ml: Alcotest Ast Ast_gen Ast_ids Cparse Fmt Fuzzing Lazy List Metamut Mutators Parser Pretty QCheck QCheck_alcotest Rng Simcomp String Typecheck Uast Visit

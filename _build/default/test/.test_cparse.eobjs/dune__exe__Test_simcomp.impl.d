@@ -1,0 +1,1 @@
+test/test_simcomp.ml: Alcotest Ast_gen Cparse Fmt List Mutators Parser QCheck QCheck_alcotest Rng Simcomp String Typecheck

@@ -1,0 +1,1 @@
+test/test_uast.ml: Alcotest Array Ast Cparse Fmt List Parser Pretty QCheck QCheck_alcotest Rng String Typecheck Uast Visit

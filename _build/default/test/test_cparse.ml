@@ -1,0 +1,503 @@
+(* Tests for the C front-end substrate: lexer, parser, pretty-printer,
+   constant evaluation, type checker, id management, program generator. *)
+
+open Cparse
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let parse_ok src =
+  match Parser.parse src with
+  | Ok tu -> tu
+  | Error e -> Alcotest.failf "parse failed: %s\nsource:\n%s" e src
+
+let parse_err src =
+  match Parser.parse src with
+  | Ok _ -> Alcotest.failf "expected parse error for:\n%s" src
+  | Error _ -> ()
+
+let typecheck_ok src =
+  let tu = parse_ok src in
+  let r = Typecheck.check tu in
+  if not r.Typecheck.r_ok then
+    Alcotest.failf "typecheck failed: %s\nsource:\n%s"
+      (String.concat "; "
+         (List.map Typecheck.diag_to_string (Typecheck.errors r)))
+      src
+
+let typecheck_err src =
+  let tu = parse_ok src in
+  let r = Typecheck.check tu in
+  if r.Typecheck.r_ok then
+    Alcotest.failf "expected a type error for:\n%s" src
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let toks src =
+  Array.to_list (Lexer.tokenize src)
+  |> List.map (fun l -> l.Lexer.tok)
+  |> List.filter (fun t -> t <> Token.Eof)
+
+let lexer_tests =
+  [
+    tc "keywords vs identifiers" (fun () ->
+        match toks "int intx" with
+        | [ Token.Kw Token.Kint; Token.Ident "intx" ] -> ()
+        | _ -> Alcotest.fail "bad tokens");
+    tc "decimal literal" (fun () ->
+        match toks "42" with
+        | [ Token.Int_lit (42L, Ast.Iint, false) ] -> ()
+        | _ -> Alcotest.fail "bad literal");
+    tc "hex literal" (fun () ->
+        match toks "0xFF" with
+        | [ Token.Int_lit (255L, _, _) ] -> ()
+        | _ -> Alcotest.fail "bad hex");
+    tc "suffixes" (fun () ->
+        match toks "1u 2L 3ULL" with
+        | [ Token.Int_lit (1L, Ast.Iint, true);
+            Token.Int_lit (2L, Ast.Ilong, false);
+            Token.Int_lit (3L, Ast.Ilonglong, true) ] -> ()
+        | _ -> Alcotest.fail "bad suffixes");
+    tc "float literals" (fun () ->
+        match toks "1.5 2.0f 3e2" with
+        | [ Token.Float_lit (1.5, true); Token.Float_lit (2.0, false);
+            Token.Float_lit (300., true) ] -> ()
+        | _ -> Alcotest.fail "bad floats");
+    tc "char literal with escape" (fun () ->
+        match toks {|'\n' 'a'|} with
+        | [ Token.Char_lit '\n'; Token.Char_lit 'a' ] -> ()
+        | _ -> Alcotest.fail "bad chars");
+    tc "string literal escapes" (fun () ->
+        match toks {|"a\tb"|} with
+        | [ Token.Str_lit "a\tb" ] -> ()
+        | _ -> Alcotest.fail "bad string");
+    tc "line comment skipped" (fun () ->
+        check Alcotest.int "count" 1 (List.length (toks "1 // 2 3\n")));
+    tc "block comment skipped" (fun () ->
+        check Alcotest.int "count" 2 (List.length (toks "1 /* x */ 2")));
+    tc "preprocessor line skipped" (fun () ->
+        check Alcotest.int "count" 1
+          (List.length (toks "#include <stdio.h>\n1")));
+    tc "multi-char operators" (fun () ->
+        match toks "<<= >>= && || -> ..." with
+        | [ Token.ShlEq; Token.ShrEq; Token.AmpAmp; Token.PipePipe;
+            Token.Arrow; Token.Ellipsis ] -> ()
+        | _ -> Alcotest.fail "bad operators");
+    tc "unterminated string is an error" (fun () ->
+        match Lexer.tokenize "\"abc" with
+        | _ -> Alcotest.fail "expected lex error"
+        | exception Lexer.Error _ -> ());
+    tc "unterminated comment is an error" (fun () ->
+        match Lexer.tokenize "/* abc" with
+        | _ -> Alcotest.fail "expected lex error"
+        | exception Lexer.Error _ -> ());
+    tc "locations track lines" (fun () ->
+        let ls = Lexer.tokenize "a\nb" in
+        check Alcotest.int "line of b" 2 ls.(1).Lexer.loc.Loc.line);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let expr_of src =
+  let tu = parse_ok (Fmt.str "int f(int a, int b, int c) { return %s; }" src) in
+  match Visit.functions tu with
+  | [ fd ] -> (
+    match List.rev fd.Ast.f_body with
+    | { Ast.sk = Ast.Sreturn (Some e); _ } :: _ -> e
+    | _ -> Alcotest.fail "no return")
+  | _ -> Alcotest.fail "no function"
+
+let parser_tests =
+  [
+    tc "precedence: a + b * c" (fun () ->
+        match (expr_of "a + b * c").Ast.ek with
+        | Ast.Binop (Ast.Add, _, { ek = Ast.Binop (Ast.Mul, _, _); _ }) -> ()
+        | _ -> Alcotest.fail "wrong precedence");
+    tc "left associativity of -" (fun () ->
+        match (expr_of "a - b - c").Ast.ek with
+        | Ast.Binop (Ast.Sub, { ek = Ast.Binop (Ast.Sub, _, _); _ }, _) -> ()
+        | _ -> Alcotest.fail "wrong associativity");
+    tc "comparison below logical and" (fun () ->
+        match (expr_of "a < b && b < c").Ast.ek with
+        | Ast.Binop (Ast.Land, _, _) -> ()
+        | _ -> Alcotest.fail "wrong nesting");
+    tc "ternary is right-associative" (fun () ->
+        match (expr_of "a ? 1 : b ? 2 : 3").Ast.ek with
+        | Ast.Cond (_, _, { ek = Ast.Cond (_, _, _); _ }) -> ()
+        | _ -> Alcotest.fail "wrong ternary");
+    tc "assignment is right-associative" (fun () ->
+        let tu = parse_ok "void f(void) { int a; int b; a = b = 1; }" in
+        let found = ref false in
+        Visit.iter_tu tu ~fe:(fun e ->
+            match e.Ast.ek with
+            | Ast.Assign (_, _, { ek = Ast.Assign (_, _, _); _ }) ->
+              found := true
+            | _ -> ());
+        check Alcotest.bool "nested" true !found);
+    tc "unary binds tighter than binary" (fun () ->
+        match (expr_of "-a * b").Ast.ek with
+        | Ast.Binop (Ast.Mul, { ek = Ast.Unop (Ast.Neg, _); _ }, _) -> ()
+        | _ -> Alcotest.fail "wrong unary");
+    tc "postfix binds tighter than prefix" (fun () ->
+        match (expr_of "-a[0]").Ast.ek with
+        | Ast.Unop (Ast.Neg, { ek = Ast.Index _; _ }) -> ()
+        | _ -> Alcotest.fail "wrong postfix");
+    tc "cast expression" (fun () ->
+        match (expr_of "(long)a").Ast.ek with
+        | Ast.Cast (Ast.Tint (Ast.Ilong, true), _) -> ()
+        | _ -> Alcotest.fail "wrong cast");
+    tc "sizeof type and expr" (fun () ->
+        (match (expr_of "(int)sizeof(int)").Ast.ek with
+        | Ast.Cast (_, { ek = Ast.Sizeof_ty _; _ }) -> ()
+        | _ -> Alcotest.fail "sizeof(ty)");
+        match (expr_of "(int)sizeof a").Ast.ek with
+        | Ast.Cast (_, { ek = Ast.Sizeof_expr _; _ }) -> ()
+        | _ -> Alcotest.fail "sizeof e");
+    tc "pointer declarator" (fun () ->
+        let tu = parse_ok "int *p;" in
+        match Visit.global_vars tu with
+        | [ { Ast.v_ty = Ast.Tptr (Ast.Tint (Ast.Iint, true)); _ } ] -> ()
+        | _ -> Alcotest.fail "bad pointer decl");
+    tc "array declarator" (fun () ->
+        let tu = parse_ok "int a[8];" in
+        match Visit.global_vars tu with
+        | [ { Ast.v_ty = Ast.Tarray (_, Some 8); _ } ] -> ()
+        | _ -> Alcotest.fail "bad array decl");
+    tc "2d array declarator" (fun () ->
+        let tu = parse_ok "int m[2][3];" in
+        match Visit.global_vars tu with
+        | [ { Ast.v_ty = Ast.Tarray (Ast.Tarray (_, Some 3), Some 2); _ } ] ->
+          ()
+        | _ -> Alcotest.fail "bad 2d array");
+    tc "function prototype" (fun () ->
+        let tu = parse_ok "int add(int, int);" in
+        match tu.Ast.globals with
+        | [ Ast.Gproto { pr_params = [ _; _ ]; _ } ] -> ()
+        | _ -> Alcotest.fail "bad proto");
+    tc "variadic prototype" (fun () ->
+        let tu = parse_ok "int f(int, ...);" in
+        match tu.Ast.globals with
+        | [ Ast.Gproto { pr_variadic = true; _ } ] -> ()
+        | _ -> Alcotest.fail "bad variadic");
+    tc "typedef usage" (fun () ->
+        typecheck_ok "typedef int myint; myint g; int main(void) { g = 3; return g; }");
+    tc "struct definition and member access" (fun () ->
+        typecheck_ok
+          "struct p { int x; int y; };\n\
+           int main(void) { struct p v; v.x = 1; v.y = 2; return v.x + v.y; }");
+    tc "enum constants" (fun () ->
+        typecheck_ok
+          "enum e { A, B = 5, C };\n\
+           int main(void) { return A + B + C; }");
+    tc "switch with fallthrough parses" (fun () ->
+        let tu =
+          parse_ok
+            "int f(int x) { switch (x) { case 0: case 1: x = 2; case 2: \
+             break; default: x = 9; } return x; }"
+        in
+        match Visit.collect_stmts (fun s -> match s.Ast.sk with Ast.Sswitch _ -> true | _ -> false) tu with
+        | [ { Ast.sk = Ast.Sswitch (_, cases); _ } ] ->
+          check Alcotest.int "case groups" 3 (List.length cases)
+        | _ -> Alcotest.fail "bad switch");
+    tc "goto and labels" (fun () ->
+        typecheck_ok
+          "int main(void) { int x = 0; goto end; x = 1; end: return x; }");
+    tc "do-while" (fun () ->
+        typecheck_ok "int main(void) { int i = 0; do i++; while (i < 3); return i; }");
+    tc "for with decl init" (fun () ->
+        typecheck_ok
+          "int main(void) { int s = 0; for (int i = 0; i < 4; i++) s += i; return s; }");
+    tc "adjacent string literals concatenate" (fun () ->
+        let tu = parse_ok {|int main(void) { printf("a" "b"); return 0; }|} in
+        let found = ref false in
+        Visit.iter_tu tu ~fe:(fun e ->
+            match e.Ast.ek with
+            | Ast.Str_lit "ab" -> found := true
+            | _ -> ());
+        check Alcotest.bool "concatenated" true !found);
+    tc "missing semicolon is an error" (fun () -> parse_err "int x");
+    tc "unbalanced braces is an error" (fun () ->
+        parse_err "int main(void) { return 0;");
+    tc "garbage is an error" (fun () -> parse_err "$$$");
+    tc "empty parameter list means no params" (fun () ->
+        let tu = parse_ok "int f(void) { return 1; }" in
+        match Visit.functions tu with
+        | [ fd ] -> check Alcotest.int "params" 0 (List.length fd.Ast.f_params)
+        | _ -> Alcotest.fail "bad fn");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printer round trips                                          *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_tests =
+  let cases =
+    [
+      "int main(void) {\n  return 1 + 2 * 3;\n}\n";
+      "int f(int a) {\n  return a < 0 ? -a : a;\n}\n";
+      "int g;\n\nvoid h(void) {\n  g = (int)1.5;\n}\n";
+    ]
+  in
+  List.mapi
+    (fun i src ->
+      tc (Fmt.str "fixed roundtrip %d" i) (fun () ->
+          let tu = parse_ok src in
+          let printed = Pretty.tu_to_string tu in
+          let tu2 = parse_ok printed in
+          check Alcotest.string "idempotent print" printed
+            (Pretty.tu_to_string tu2)))
+    cases
+  @ [
+      tc "print respects precedence" (fun () ->
+          let e =
+            Ast.binop Ast.Mul
+              (Ast.binop Ast.Add (Ast.ident "a") (Ast.ident "b"))
+              (Ast.ident "c")
+          in
+          check Alcotest.string "parens" "(a + b) * c" (Pretty.expr_to_string e));
+      tc "negative literal survives reparse" (fun () ->
+          let src = "int main(void) { return (-2147483648L) + 1; }" in
+          let tu = parse_ok src in
+          let printed = Pretty.tu_to_string tu in
+          ignore (parse_ok printed));
+      tc "nested unary minus spaced" (fun () ->
+          let e = Ast.unop Ast.Neg (Ast.unop Ast.Neg (Ast.ident "x")) in
+          let s = Pretty.expr_to_string e in
+          let reparsed = expr_of (Fmt.str "a + %s" s) in
+          ignore reparsed);
+    ]
+
+(* Property tests using our own deterministic generator (QCheck drives the
+   iteration; program generation uses a per-case seed). *)
+let prop_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"gen/print/parse roundtrip is stable" ~count:120
+         QCheck.small_int
+         (fun seed ->
+           let rng = Rng.create (seed + 1) in
+           let tu = Ast_gen.gen_tu rng in
+           let printed = Pretty.tu_to_string tu in
+           match Parser.parse printed with
+           | Error _ -> false
+           | Ok tu2 -> String.equal printed (Pretty.tu_to_string tu2)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"generated programs type check" ~count:120
+         QCheck.small_int
+         (fun seed ->
+           let rng = Rng.create (seed + 1000) in
+           let tu = Ast_gen.gen_tu rng in
+           (Typecheck.check tu).Typecheck.r_ok));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"generated ASTs are structurally id-unique"
+         ~count:60 QCheck.small_int
+         (fun seed ->
+           let rng = Rng.create (seed + 2000) in
+           Ast_ids.well_formed (Ast_gen.gen_tu rng)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"csmith-like config avoids gotos and strings"
+         ~count:40 QCheck.small_int
+         (fun seed ->
+           let rng = Rng.create (seed + 3000) in
+           let tu = Ast_gen.gen_tu ~cfg:Ast_gen.csmith_like_config rng in
+           let bad = ref false in
+           Visit.iter_tu tu ~fs:(fun s ->
+               match s.Ast.sk with
+               | Ast.Sgoto _ | Ast.Slabel _ -> bad := true
+               | _ -> ());
+           not !bad));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Constant evaluation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let const_tests =
+  let eval src = Const_eval.eval_int (expr_of src) in
+  [
+    tc "arithmetic" (fun () ->
+        check Alcotest.(option int64) "2+3*4" (Some 14L) (eval "2 + 3 * 4"));
+    tc "division by zero is not constant" (fun () ->
+        check Alcotest.(option int64) "1/0" None (eval "1 / 0"));
+    tc "shifts" (fun () ->
+        check Alcotest.(option int64) "1<<4" (Some 16L) (eval "1 << 4"));
+    tc "comparisons yield 0/1" (fun () ->
+        check Alcotest.(option int64) "3<5" (Some 1L) (eval "3 < 5"));
+    tc "conditional folds" (fun () ->
+        check Alcotest.(option int64) "cond" (Some 7L) (eval "0 ? 3 : 7"));
+    tc "char cast truncates" (fun () ->
+        check Alcotest.(option int64) "(char)257" (Some 1L)
+          (eval "(char)257"));
+    tc "non-constant expression" (fun () ->
+        check Alcotest.(option int64) "a+1" None (eval "a + 1"));
+    tc "sizeof folds" (fun () ->
+        check Alcotest.(option int64) "sizeof(int)" (Some 4L)
+          (Const_eval.eval_int (Ast.mk_expr (Ast.Sizeof_ty (Ast.Tint (Ast.Iint, true))))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Type checker                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let typecheck_tests =
+  [
+    tc "valid hello world" (fun () ->
+        typecheck_ok {|int main(void) { printf("hi\n"); return 0; }|});
+    tc "undeclared variable" (fun () ->
+        typecheck_err "int main(void) { return nope; }");
+    tc "unknown function" (fun () ->
+        typecheck_err "int main(void) { return mystery(1); }");
+    tc "too few arguments" (fun () ->
+        typecheck_err
+          "int add(int a, int b) { return a + b; }\n\
+           int main(void) { return add(1); }");
+    tc "too many arguments" (fun () ->
+        typecheck_err
+          "int add(int a) { return a; }\nint main(void) { return add(1, 2); }");
+    tc "variadic call accepts extras" (fun () ->
+        typecheck_ok {|int main(void) { printf("%d %d", 1, 2); return 0; }|});
+    tc "assignment to const is an error" (fun () ->
+        typecheck_err "int main(void) { const int x = 1; x = 2; return x; }");
+    tc "assignment to array is an error" (fun () ->
+        typecheck_err "int main(void) { int a[3]; int b[3]; a = b; return 0; }");
+    tc "void variable is an error" (fun () ->
+        typecheck_err "int main(void) { void v; return 0; }");
+    tc "break outside loop is an error" (fun () ->
+        typecheck_err "int main(void) { break; return 0; }");
+    tc "continue outside loop is an error" (fun () ->
+        typecheck_err "int main(void) { continue; return 0; }");
+    tc "break inside switch is fine" (fun () ->
+        typecheck_ok
+          "int main(void) { switch (1) { case 1: break; } return 0; }");
+    tc "duplicate case values" (fun () ->
+        typecheck_err
+          "int main(void) { switch (1) { case 1: break; case 1: break; } return 0; }");
+    tc "duplicate labels" (fun () ->
+        typecheck_err "int main(void) { l: ; l: ; return 0; }");
+    tc "goto to missing label" (fun () ->
+        typecheck_err "int main(void) { goto missing; return 0; }");
+    tc "return value in void function" (fun () ->
+        typecheck_err "void f(void) { return 3; } int main(void) { f(); return 0; }");
+    tc "bare return in int function is only a warning" (fun () ->
+        typecheck_ok "int f(void) { return; } int main(void) { f(); return 0; }");
+    tc "int/pointer conversion warns but compiles" (fun () ->
+        let tu = parse_ok "int main(void) { int *p; int x = 0; p = x; return 0; }" in
+        let r = Typecheck.check tu in
+        check Alcotest.bool "compiles" true r.Typecheck.r_ok;
+        check Alcotest.bool "warns" true (Typecheck.warnings r <> []));
+    tc "incompatible struct assignment" (fun () ->
+        typecheck_err
+          "struct a { int x; }; struct b { int x; };\n\
+           int main(void) { struct a va; struct b vb; va = vb; return 0; }");
+    tc "same struct assignment ok" (fun () ->
+        typecheck_ok
+          "struct a { int x; };\n\
+           int main(void) { struct a u; struct a v; u.x = 1; v = u; return v.x; }");
+    tc "unknown member" (fun () ->
+        typecheck_err
+          "struct a { int x; };\n\
+           int main(void) { struct a v; return v.nope; }");
+    tc "arrow on non-pointer" (fun () ->
+        typecheck_err
+          "struct a { int x; };\n\
+           int main(void) { struct a v; return v->x; }");
+    tc "deref of non-pointer" (fun () ->
+        typecheck_err "int main(void) { int x = 1; return *x; }");
+    tc "mod on floats is an error" (fun () ->
+        typecheck_err "int main(void) { double d = 1.0; d = d % 2.0; return 0; }");
+    tc "redefinition of function" (fun () ->
+        typecheck_err "int f(void) { return 1; } int f(void) { return 2; }");
+    tc "redefinition of local" (fun () ->
+        typecheck_err "int main(void) { int x = 1; int x = 2; return x; }");
+    tc "shadowing in nested block ok" (fun () ->
+        typecheck_ok
+          "int main(void) { int x = 1; { int x = 2; x = x + 1; } return x; }");
+    tc "global initializer must be constant" (fun () ->
+        typecheck_err "int g; int h = g + 1;");
+    tc "constant global initializer ok" (fun () -> typecheck_ok "int h = 3 + 4;");
+    tc "expr types recorded" (fun () ->
+        let tu = parse_ok "int main(void) { return 1 + 2; }" in
+        let r = Typecheck.check tu in
+        check Alcotest.bool "has types" true (Hashtbl.length r.Typecheck.r_types > 0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Ids and RNG                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let id_rng_tests =
+  [
+    tc "renumber restores uniqueness" (fun () ->
+        let tu = parse_ok "int main(void) { return 1 + 2; }" in
+        (* duplicate a subtree to break uniqueness *)
+        let broken =
+          Visit.map_tu tu ~fe:(fun e ->
+              match e.Ast.ek with
+              | Ast.Binop (op, a, _) -> { e with Ast.ek = Ast.Binop (op, a, a) }
+              | _ -> e)
+        in
+        check Alcotest.bool "broken" false (Ast_ids.well_formed broken);
+        check Alcotest.bool "fixed" true
+          (Ast_ids.well_formed (Ast_ids.renumber broken)));
+    tc "max_id is an upper bound" (fun () ->
+        let tu = parse_ok "int main(void) { return 1; }" in
+        let m = Ast_ids.max_id tu in
+        Visit.iter_tu tu ~fe:(fun e ->
+            check Alcotest.bool "bound" true (e.Ast.eid <= m)));
+    tc "rng determinism" (fun () ->
+        let a = Rng.create 5 and b = Rng.create 5 in
+        for _ = 1 to 50 do
+          check Alcotest.int "same" (Rng.int a 1000) (Rng.int b 1000)
+        done);
+    tc "rng bounds" (fun () ->
+        let r = Rng.create 1 in
+        for _ = 1 to 200 do
+          let v = Rng.int r 7 in
+          check Alcotest.bool "in range" true (v >= 0 && v < 7)
+        done);
+    tc "rng int_in inclusive" (fun () ->
+        let r = Rng.create 2 in
+        let saw_lo = ref false and saw_hi = ref false in
+        for _ = 1 to 500 do
+          let v = Rng.int_in r 3 5 in
+          if v = 3 then saw_lo := true;
+          if v = 5 then saw_hi := true;
+          check Alcotest.bool "range" true (v >= 3 && v <= 5)
+        done;
+        check Alcotest.bool "hits bounds" true (!saw_lo && !saw_hi));
+    tc "shuffle preserves elements" (fun () ->
+        let r = Rng.create 3 in
+        let xs = [ 1; 2; 3; 4; 5; 6 ] in
+        check
+          Alcotest.(list int)
+          "same multiset" xs
+          (List.sort compare (Rng.shuffle r xs)));
+    tc "weighted respects zero weights" (fun () ->
+        let r = Rng.create 4 in
+        for _ = 1 to 100 do
+          check Alcotest.int "never zero-weight" 1
+            (Rng.weighted r [ (0, 0); (5, 1) ])
+        done);
+    tc "split streams are independent" (fun () ->
+        let r = Rng.create 9 in
+        let a = Rng.split r and b = Rng.split r in
+        let va = List.init 10 (fun _ -> Rng.int a 1000) in
+        let vb = List.init 10 (fun _ -> Rng.int b 1000) in
+        check Alcotest.bool "different" true (va <> vb));
+  ]
+
+let () =
+  Alcotest.run "cparse"
+    [
+      ("lexer", lexer_tests);
+      ("parser", parser_tests);
+      ("pretty", roundtrip_tests);
+      ("properties", prop_tests);
+      ("const-eval", const_tests);
+      ("typecheck", typecheck_tests);
+      ("ids-and-rng", id_rng_tests);
+    ]

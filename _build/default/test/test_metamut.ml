@@ -1,0 +1,308 @@
+(* Tests for the MetaMut framework: prompts, the LLM oracle, validation
+   goals, and the end-to-end pipeline. *)
+
+open Cparse
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let prompt_tests =
+  [
+    tc "invention prompt lists actions and structures" (fun () ->
+        let p = Metamut.Prompts.invention_prompt ~history:[ "Ret2V" ] in
+        let contains h n =
+          let lh = String.length h and ln = String.length n in
+          let rec go i = i + ln <= lh && (String.sub h i ln = n || go (i + 1)) in
+          go 0
+        in
+        check Alcotest.bool "action" true (contains p "Modify");
+        check Alcotest.bool "structure" true (contains p "BinaryOperator");
+        check Alcotest.bool "history" true (contains p "Ret2V");
+        check Alcotest.bool "creativity hint" true
+          (contains p "not limited to"));
+    tc "template has the six steps" (fun () ->
+        let t = Metamut.Prompts.implementation_template in
+        let contains h n =
+          let lh = String.length h and ln = String.length n in
+          let rec go i = i + ln <= lh && (String.sub h i ln = n || go (i + 1)) in
+          go 0
+        in
+        List.iter
+          (fun step -> check Alcotest.bool step true (contains t step))
+          [ "Step 1"; "Step 2"; "Step 3"; "Step 4"; "Step 5"; "Step 6" ]);
+    tc "action and structure lists are non-trivial" (fun () ->
+        check Alcotest.bool "actions" true
+          (List.length Metamut.Prompts.actions >= 11);
+        check Alcotest.bool "structures" true
+          (List.length Metamut.Prompts.program_structures >= 20));
+  ]
+
+let oracle_tests =
+  [
+    tc "invention avoids duplicates while the pool lasts" (fun () ->
+        let llm = Metamut.Llm_sim.create ~seed:3 () in
+        let pool = Mutators.Registry.unsupervised in
+        let names = ref [] in
+        for _ = 1 to 30 do
+          let inv, _ = Metamut.Llm_sim.invent llm ~pool in
+          names := inv.Metamut.Llm_sim.i_name :: !names
+        done;
+        let known =
+          List.filter
+            (fun n -> List.exists (fun m -> m.Mutators.Mutator.name = n) pool)
+            !names
+        in
+        check Alcotest.int "no duplicate known inventions"
+          (List.length known)
+          (List.length (List.sort_uniq compare known)));
+    tc "usage stays within calibrated bounds" (fun () ->
+        let rng = Rng.create 4 in
+        for _ = 1 to 200 do
+          let u = Metamut.Llm_sim.invention_usage rng in
+          let t = Metamut.Llm_sim.tokens u in
+          check Alcotest.bool "invention tokens" true (t >= 359 && t <= 2240)
+        done);
+    tc "defect sampling is sometimes empty (first-shot correct)" (fun () ->
+        let rng = Rng.create 5 in
+        let empty = ref 0 in
+        for _ = 1 to 300 do
+          if Metamut.Llm_sim.sample_defects rng = [] then incr empty
+        done;
+        (* "nearly half of the mutators are correct on the first attempt" *)
+        check Alcotest.bool "roughly half" true (!empty > 100 && !empty < 200));
+    tc "fix removes exactly the targeted defect" (fun () ->
+        let llm = Metamut.Llm_sim.create ~seed:6 () in
+        let inv, _ = Metamut.Llm_sim.invent llm ~pool:Mutators.Registry.core in
+        let impl =
+          {
+            Metamut.Llm_sim.im_invention = inv;
+            im_defects =
+              [ Metamut.Llm_sim.D_not_compile; Metamut.Llm_sim.D_compile_error_mutant ];
+            im_flaw = Metamut.Llm_sim.F_none;
+          }
+        in
+        (* retry until the stochastic fix succeeds *)
+        let rec fix_until impl n =
+          if n > 50 then Alcotest.fail "fix never succeeded"
+          else
+            let impl', _, ok = Metamut.Llm_sim.fix llm impl ~goal:1 in
+            if ok then impl' else fix_until impl n |> fun _ -> fix_until impl (n + 1)
+        in
+        let impl' = fix_until impl 0 in
+        check Alcotest.bool "goal-1 defect gone" false
+          (List.mem Metamut.Llm_sim.D_not_compile impl'.Metamut.Llm_sim.im_defects);
+        check Alcotest.bool "goal-6 defect kept" true
+          (List.mem Metamut.Llm_sim.D_compile_error_mutant
+             impl'.Metamut.Llm_sim.im_defects));
+    tc "generated unit tests compile" (fun () ->
+        let llm = Metamut.Llm_sim.create ~seed:7 () in
+        let tests = Metamut.Llm_sim.generate_tests llm ~count:4 in
+        check Alcotest.bool "several" true (List.length tests > 10);
+        List.iter
+          (fun tu ->
+            check Alcotest.bool "typechecks" true
+              (Typecheck.check tu).Typecheck.r_ok)
+          tests);
+  ]
+
+let validation_tests =
+  [
+    tc "flagged defects are reported simplest-first" (fun () ->
+        let llm = Metamut.Llm_sim.create ~seed:8 () in
+        let inv, _ = Metamut.Llm_sim.invent llm ~pool:Mutators.Registry.core in
+        let impl =
+          {
+            Metamut.Llm_sim.im_invention = inv;
+            im_defects =
+              [ Metamut.Llm_sim.D_compile_error_mutant; Metamut.Llm_sim.D_not_compile ];
+            im_flaw = Metamut.Llm_sim.F_none;
+          }
+        in
+        let tests = Metamut.Llm_sim.generate_tests llm ~count:2 in
+        match Metamut.Validation.validate ~rng:(Rng.create 1) impl tests with
+        | Metamut.Validation.Fail gv ->
+          check Alcotest.int "goal 1 first" 1 gv.Metamut.Validation.gv_goal
+        | Metamut.Validation.Pass -> Alcotest.fail "should fail");
+    tc "clean corpus mutator passes validation" (fun () ->
+        let llm = Metamut.Llm_sim.create ~seed:9 () in
+        let m =
+          Option.get (Mutators.Registry.find_opt "SwapBinaryOperands")
+        in
+        let impl =
+          {
+            Metamut.Llm_sim.im_invention =
+              {
+                Metamut.Llm_sim.i_name = m.Mutators.Mutator.name;
+                i_description = m.Mutators.Mutator.description;
+                i_creative = false;
+                i_intended = Some m;
+              };
+            im_defects = [];
+            im_flaw = Metamut.Llm_sim.F_none;
+          }
+        in
+        let tests = Metamut.Llm_sim.generate_tests llm ~count:4 in
+        match Metamut.Validation.validate ~rng:(Rng.create 2) impl tests with
+        | Metamut.Validation.Pass -> ()
+        | Metamut.Validation.Fail gv ->
+          Alcotest.failf "failed goal %d: %s" gv.Metamut.Validation.gv_goal
+            gv.Metamut.Validation.gv_message);
+    tc "goal 6 catches a mutator that breaks compilation" (fun () ->
+        (* a deliberately broken mutator: renames one variable use without
+           declaring the new name *)
+        let broken =
+          Mutators.Mutator.make ~name:"BrokenRenamer"
+            ~description:"renames a use to an undeclared identifier"
+            ~category:Mutators.Mutator.Variable
+            ~provenance:Mutators.Mutator.Unsupervised
+            (fun ctx ->
+              let idents = Uast.Query.idents ctx.Uast.Ctx.tu in
+              match Uast.Ctx.rand_element ctx idents with
+              | Some e ->
+                Some
+                  (Visit.replace_expr ctx.Uast.Ctx.tu ~eid:e.Ast.eid
+                     ~repl:(Ast.ident "__undeclared__"))
+              | None -> None)
+        in
+        let llm = Metamut.Llm_sim.create ~seed:10 () in
+        let impl =
+          {
+            Metamut.Llm_sim.im_invention =
+              {
+                Metamut.Llm_sim.i_name = "BrokenRenamer";
+                i_description = "broken";
+                i_creative = false;
+                i_intended = Some broken;
+              };
+            im_defects = [];
+            im_flaw = Metamut.Llm_sim.F_none;
+          }
+        in
+        let tests = Metamut.Llm_sim.generate_tests llm ~count:4 in
+        match Metamut.Validation.validate ~rng:(Rng.create 3) impl tests with
+        | Metamut.Validation.Fail gv ->
+          check Alcotest.int "goal 6" 6 gv.Metamut.Validation.gv_goal
+        | Metamut.Validation.Pass -> Alcotest.fail "broken mutator passed");
+    tc "manual review rejects flawed implementations" (fun () ->
+        let impl flaw =
+          {
+            Metamut.Llm_sim.im_invention =
+              {
+                Metamut.Llm_sim.i_name = "X";
+                i_description = "x";
+                i_creative = false;
+                i_intended = None;
+              };
+            im_defects = [];
+            im_flaw = flaw;
+          }
+        in
+        (match
+           Metamut.Validation.manual_review
+             (impl Metamut.Llm_sim.F_mismatched_implementation)
+             ~accepted_names:[]
+         with
+        | Metamut.Validation.Rejected _ -> ()
+        | Metamut.Validation.Accepted -> Alcotest.fail "accepted mismatch");
+        match
+          Metamut.Validation.manual_review (impl Metamut.Llm_sim.F_none)
+            ~accepted_names:[ "X" ]
+        with
+        | Metamut.Validation.Rejected _ -> () (* duplicate *)
+        | Metamut.Validation.Accepted -> Alcotest.fail "accepted duplicate");
+  ]
+
+let pipeline_tests =
+  [
+    tc "run_many accounts for every invocation" (fun () ->
+        let runs = Metamut.Pipeline.run_many ~seed:21 ~n:40 () in
+        check Alcotest.int "count" 40 (List.length runs);
+        let s = Metamut.Pipeline.summarize runs in
+        check Alcotest.int "partition" 40
+          (s.Metamut.Pipeline.s_system_errors + s.s_valid
+          + s.s_invalid_refinement + s.s_invalid_manual));
+    tc "pipeline is deterministic per seed" (fun () ->
+        let a = Metamut.Pipeline.summarize (Metamut.Pipeline.run_many ~seed:5 ~n:25 ()) in
+        let b = Metamut.Pipeline.summarize (Metamut.Pipeline.run_many ~seed:5 ~n:25 ()) in
+        check Alcotest.bool "same" true (a = b));
+    tc "valid runs yield corpus mutators" (fun () ->
+        let runs = Metamut.Pipeline.run_many ~seed:22 ~n:30 () in
+        List.iter
+          (fun r ->
+            match r.Metamut.Pipeline.r_outcome with
+            | Metamut.Pipeline.Valid m ->
+              check Alcotest.bool "in corpus" true
+                (List.exists
+                   (fun m' -> m'.Mutators.Mutator.name = m.Mutators.Mutator.name)
+                   Mutators.Registry.core)
+            | _ -> ())
+          runs);
+    tc "system errors cost nothing" (fun () ->
+        let runs = Metamut.Pipeline.run_many ~seed:23 ~n:50 () in
+        List.iter
+          (fun r ->
+            if r.Metamut.Pipeline.r_outcome = Metamut.Pipeline.System_error then
+              check Alcotest.int "zero tokens" 0
+                (Metamut.Pipeline.total_cost r).Metamut.Pipeline.sc_tokens)
+          runs);
+    tc "completed runs consume at least two QA rounds" (fun () ->
+        let runs = Metamut.Pipeline.run_many ~seed:24 ~n:30 () in
+        List.iter
+          (fun r ->
+            if r.Metamut.Pipeline.r_outcome <> Metamut.Pipeline.System_error then
+              check Alcotest.bool "rounds >= 2" true
+                ((Metamut.Pipeline.total_cost r).Metamut.Pipeline.sc_qa_rounds >= 2))
+          runs);
+    tc "dollars scale with tokens" (fun () ->
+        let d = Metamut.Pipeline.dollars_of_tokens 8595 in
+        check Alcotest.bool "about 50 cents" true (d > 0.4 && d < 0.6));
+    tc "stats computes min/max/median/mean" (fun () ->
+        let mn, mx, md, mean = Metamut.Pipeline.stats [ 1.; 2.; 3.; 4.; 10. ] in
+        check (Alcotest.float 0.001) "min" 1. mn;
+        check (Alcotest.float 0.001) "max" 10. mx;
+        check (Alcotest.float 0.001) "median" 3. md;
+        check (Alcotest.float 0.001) "mean" 4. mean);
+    tc "bug-fix classes stay within goals 1-6" (fun () ->
+        let runs = Metamut.Pipeline.run_many ~seed:25 ~n:30 () in
+        List.iter
+          (fun r ->
+            List.iter
+              (fun (g, n) ->
+                check Alcotest.bool "goal range" true (g >= 1 && g <= 6);
+                check Alcotest.bool "count positive" true (n > 0))
+              r.Metamut.Pipeline.r_bugs_fixed)
+          runs);
+    tc "hang defects resist fixing" (fun () ->
+        (* a mutator whose only defect is a hang almost always fails
+           refinement, matching the paper's observation *)
+        let llm = Metamut.Llm_sim.create ~seed:31 () in
+        let m = List.hd Mutators.Registry.unsupervised in
+        let impl =
+          {
+            Metamut.Llm_sim.im_invention =
+              {
+                Metamut.Llm_sim.i_name = m.Mutators.Mutator.name;
+                i_description = "d";
+                i_creative = false;
+                i_intended = Some m;
+              };
+            im_defects = [ Metamut.Llm_sim.D_hangs ];
+            im_flaw = Metamut.Llm_sim.F_none;
+          }
+        in
+        let fixed = ref 0 in
+        for _ = 1 to 30 do
+          let _, _, ok = Metamut.Llm_sim.fix llm impl ~goal:2 in
+          if ok then incr fixed
+        done;
+        check Alcotest.bool "rarely fixed" true (!fixed <= 6));
+  ]
+
+let () =
+  Alcotest.run "metamut"
+    [
+      ("prompts", prompt_tests);
+      ("oracle", oracle_tests);
+      ("validation", validation_tests);
+      ("pipeline", pipeline_tests);
+    ]

@@ -1,0 +1,522 @@
+(* Tests for the mutator corpus: registry invariants, a generic soundness
+   battery over all mutators, and behavioural checks for the paper's
+   named mutators. *)
+
+open Cparse
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let parse src =
+  match Parser.parse src with
+  | Ok tu -> tu
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let rich_seeds =
+  lazy
+    (List.filter_map
+       (fun src ->
+         match Parser.parse src with Ok tu -> Some tu | Error _ -> None)
+       (Fuzzing.Seeds.templates @ Metamut.Llm_sim.targeted_snippets)
+    @ List.init 10 (fun i -> Ast_gen.gen_tu (Rng.create (100 + i))))
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let registry_tests =
+  [
+    tc "core corpus has 118 mutators" (fun () ->
+        check Alcotest.int "core" 118 (List.length Mutators.Registry.core));
+    tc "68 supervised + 50 unsupervised" (fun () ->
+        check Alcotest.int "Ms" 68 (List.length Mutators.Registry.supervised);
+        check Alcotest.int "Mu" 50 (List.length Mutators.Registry.unsupervised));
+    tc "category distribution matches the paper" (fun () ->
+        let counts = Mutators.Registry.category_counts () in
+        let get c = List.assoc c counts in
+        check Alcotest.int "Variable" 16 (get Mutators.Mutator.Variable);
+        check Alcotest.int "Expression" 50 (get Mutators.Mutator.Expression);
+        check Alcotest.int "Statement" 27 (get Mutators.Mutator.Statement);
+        check Alcotest.int "Function" 19 (get Mutators.Mutator.Function);
+        check Alcotest.int "Type" 6 (get Mutators.Mutator.Type_));
+    tc "33 creative mutators" (fun () ->
+        check Alcotest.int "creative" 33
+          (List.length Mutators.Registry.creative));
+    tc "names are unique" (fun () ->
+        let names =
+          List.map (fun m -> m.Mutators.Mutator.name) Mutators.Registry.extended
+        in
+        check Alcotest.int "unique" (List.length names)
+          (List.length (List.sort_uniq compare names)));
+    tc "descriptions are non-empty" (fun () ->
+        List.iter
+          (fun m ->
+            check Alcotest.bool m.Mutators.Mutator.name true
+              (String.length m.Mutators.Mutator.description > 10))
+          Mutators.Registry.extended);
+    tc "find_opt resolves known names" (fun () ->
+        check Alcotest.bool "Ret2V" true
+          (Mutators.Registry.find_opt "ModifyFunctionReturnTypeToVoid" <> None);
+        check Alcotest.bool "unknown" true
+          (Mutators.Registry.find_opt "NoSuchMutator" = None));
+    tc "paper-named mutators are present" (fun () ->
+        List.iter
+          (fun n ->
+            check Alcotest.bool n true (Mutators.Registry.find_opt n <> None))
+          [
+            "ModifyFunctionReturnTypeToVoid"; "DuplicateBranch";
+            "SwitchInitExpr"; "InverseUnaryOperator"; "SimpleUninliner";
+            "TransformSwitchToIfElse"; "ChangeVarDeclQualifier"; "CopyExpr";
+            "ChangeParamScope"; "AggregateMemberToScalarVariable";
+            "ReduceArrayDimension"; "CombineVariable"; "DecaySmallStruct";
+            "StructToInt"; "ModifyIntegerLiteral";
+            "ReplaceLiteralWithRandomValue";
+          ]);
+    tc "extension corpus is disjoint from core" (fun () ->
+        let core =
+          List.map (fun m -> m.Mutators.Mutator.name) Mutators.Registry.core
+        in
+        List.iter
+          (fun n -> check Alcotest.bool n false (List.mem n core))
+          Mutators.Registry.extension_names);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Generic soundness battery: for every mutator in the extended corpus *)
+(* ------------------------------------------------------------------ *)
+
+(* Applying any mutator to any seed either reports "not applicable" or
+   produces a mutant that (a) pretty-prints to re-parseable C and (b) has
+   unique node ids. *)
+let generic_battery =
+  List.map
+    (fun m ->
+      tc (Fmt.str "sound: %s" m.Mutators.Mutator.name) (fun () ->
+          let rng = Rng.create 7 in
+          let applied = ref 0 in
+          List.iter
+            (fun tu ->
+              match Mutators.Mutator.apply m ~rng tu with
+              | None -> ()
+              | Some tu' ->
+                incr applied;
+                check Alcotest.bool "ids unique" true (Ast_ids.well_formed tu');
+                let printed = Pretty.tu_to_string tu' in
+                (match Parser.parse printed with
+                | Ok _ -> ()
+                | Error e ->
+                  Alcotest.failf "%s produced unparseable mutant: %s\n%s"
+                    m.Mutators.Mutator.name e printed))
+            (Lazy.force rich_seeds);
+          check Alcotest.bool "applicable to at least one seed" true
+            (!applied > 0)))
+    Mutators.Registry.extended
+
+(* The corpus-wide compilable-mutant rate on first application should be
+   high (the validation loop accepted these implementations). *)
+let corpus_rate_test =
+  tc "corpus-wide compilable rate above 90%" (fun () ->
+      let rng = Rng.create 11 in
+      let total = ref 0 and ok = ref 0 in
+      List.iter
+        (fun m ->
+          List.iter
+            (fun tu ->
+              match Mutators.Mutator.apply m ~rng tu with
+              | None -> ()
+              | Some tu' ->
+                incr total;
+                if (Typecheck.check tu').Typecheck.r_ok then incr ok)
+            (Lazy.force rich_seeds))
+        Mutators.Registry.core;
+      let rate = 100. *. float_of_int !ok /. float_of_int (max 1 !total) in
+      if rate < 90. then Alcotest.failf "rate too low: %.1f%%" rate)
+
+(* ------------------------------------------------------------------ *)
+(* Behavioural tests for named mutators                                *)
+(* ------------------------------------------------------------------ *)
+
+let apply_to name src =
+  let m =
+    match Mutators.Registry.find_opt name with
+    | Some m -> m
+    | None -> Alcotest.failf "unknown mutator %s" name
+  in
+  let tu = parse src in
+  let rec try_seeds i =
+    if i > 40 then None
+    else
+      match Mutators.Mutator.apply m ~rng:(Rng.create i) tu with
+      | Some tu' -> Some tu'
+      | None -> try_seeds (i + 1)
+  in
+  try_seeds 1
+
+let apply_exn name src =
+  match apply_to name src with
+  | Some tu -> tu
+  | None -> Alcotest.failf "%s was not applicable" name
+
+let behaviour_tests =
+  [
+    tc "Ret2V: return type becomes void, returns stripped" (fun () ->
+        let tu =
+          apply_exn "ModifyFunctionReturnTypeToVoid"
+            "int f(void) { return 42; }\n\
+             int main(void) { int x = f(); return x; }"
+        in
+        let f = List.find (fun fd -> fd.Ast.f_name = "f") (Visit.functions tu) in
+        check Alcotest.bool "void ret" true (Ast.is_void_ty f.Ast.f_ret);
+        List.iter
+          (fun s ->
+            match s.Ast.sk with
+            | Ast.Sreturn (Some _) -> Alcotest.fail "return with value remains"
+            | _ -> ())
+          (Uast.Query.returns_of f);
+        (* result uses replaced: the mutant still compiles *)
+        check Alcotest.bool "compiles" true (Typecheck.check tu).Typecheck.r_ok);
+    tc "DuplicateBranch duplicates one branch over the other" (fun () ->
+        let tu =
+          apply_exn "DuplicateBranch"
+            "int main(void) { int x = 0; if (x) { x = 1; } else { x = 2; } return x; }"
+        in
+        match
+          Visit.collect_stmts
+            (fun s -> match s.Ast.sk with Ast.Sif _ -> true | _ -> false)
+            tu
+        with
+        | [ { Ast.sk = Ast.Sif (_, t, Some e); _ } ] ->
+          check Alcotest.string "same branch" (Uast.Query.source_of_stmt t)
+            (Uast.Query.source_of_stmt e)
+        | _ -> Alcotest.fail "bad if");
+    tc "SwitchInitExpr swaps initializers in the same scope" (fun () ->
+        let tu =
+          apply_exn "SwitchInitExpr"
+            "int main(void) { int a = 111; int b = 222; return a + b; }"
+        in
+        let inits =
+          List.filter_map
+            (fun (v, _) ->
+              match v.Ast.v_init with
+              | Some { Ast.ek = Ast.Int_lit (n, _, _); _ } -> Some n
+              | _ -> None)
+            (Uast.Query.local_var_decls tu)
+        in
+        check (Alcotest.list Alcotest.int64) "swapped" [ 222L; 111L ] inits);
+    tc "InverseUnaryOperator doubles the operator" (fun () ->
+        let tu =
+          apply_exn "InverseUnaryOperator"
+            "int main(void) { int a = 5; return -a; }"
+        in
+        let found = ref false in
+        Visit.iter_tu tu ~fe:(fun e ->
+            match e.Ast.ek with
+            | Ast.Unop (Ast.Neg, { ek = Ast.Unop (Ast.Neg, _); _ }) ->
+              found := true
+            | _ -> ());
+        check Alcotest.bool "-(-a)" true !found);
+    tc "TransformSwitchToIfElse removes the switch" (fun () ->
+        let tu =
+          apply_exn "TransformSwitchToIfElse"
+            "int main(void) { int x = 1; int r = 0; switch (x) { case 0: r = \
+             1; break; case 1: r = 2; break; default: r = 3; break; } return \
+             r; }"
+        in
+        check Alcotest.int "no switch" 0 (List.length (Uast.Query.switches tu));
+        check Alcotest.bool "has ifs" true (Uast.Query.if_stmts tu <> []);
+        check Alcotest.bool "compiles" true (Typecheck.check tu).Typecheck.r_ok);
+    tc "TransformSwitchToIfElse preserves behaviour" (fun () ->
+        let src =
+          "int classify(int x) { int r = 0; switch (x) { case 0: r = 10; \
+           break; case 1: r = 20; break; default: r = 30; break; } return r; \
+           }\n\
+           int main(void) { return classify(1); }"
+        in
+        let tu = parse src in
+        let before = (Simcomp.Interp.run tu).Simcomp.Interp.o_exit in
+        let tu' = apply_exn "TransformSwitchToIfElse" src in
+        let after = (Simcomp.Interp.run tu').Simcomp.Interp.o_exit in
+        check Alcotest.int "same exit" before after);
+    tc "ChangeVarDeclQualifier toggles const" (fun () ->
+        let tu =
+          apply_exn "ChangeVarDeclQualifier"
+            "int main(void) { int x = 1; return x; }"
+        in
+        let consts =
+          List.filter
+            (fun (v, _) -> v.Ast.v_quals.Ast.q_const)
+            (Uast.Query.local_var_decls tu)
+        in
+        check Alcotest.int "one const" 1 (List.length consts));
+    tc "ChangeParamScope moves the parameter into the body" (fun () ->
+        let tu =
+          apply_exn "ChangeParamScope"
+            "void f(int n) { while (n > 0) n--; }\n\
+             int main(void) { f(3); return 0; }"
+        in
+        let f = List.find (fun fd -> fd.Ast.f_name = "f") (Visit.functions tu) in
+        check Alcotest.int "no params" 0 (List.length f.Ast.f_params);
+        (* call sites updated *)
+        List.iter
+          (fun e ->
+            match e.Ast.ek with
+            | Ast.Call (_, args) -> check Alcotest.int "no args" 0 (List.length args)
+            | _ -> ())
+          (Uast.Query.calls_to tu "f");
+        check Alcotest.bool "compiles" true (Typecheck.check tu).Typecheck.r_ok);
+    tc "ReduceArrayDimension turns array into scalar" (fun () ->
+        let tu =
+          apply_exn "ReduceArrayDimension"
+            "int r[6];\nint main(void) { r[0] = 1; return r[5]; }"
+        in
+        (match Visit.global_vars tu with
+        | [ v ] ->
+          check Alcotest.bool "scalar now" false
+            (match v.Ast.v_ty with Ast.Tarray _ -> true | _ -> false)
+        | _ -> Alcotest.fail "bad globals");
+        check Alcotest.bool "compiles" true (Typecheck.check tu).Typecheck.r_ok);
+    tc "AggregateMemberToScalarVariable introduces a scalar" (fun () ->
+        let tu =
+          apply_exn "AggregateMemberToScalarVariable"
+            "int main(void) { int r[4]; r[0] = 3; return r[0]; }"
+        in
+        check Alcotest.bool "compiles" true (Typecheck.check tu).Typecheck.r_ok;
+        (* the subscript expression was replaced by an identifier *)
+        let subscripts =
+          Visit.collect_exprs
+            (fun e ->
+              match e.Ast.ek with
+              | Ast.Index (_, { ek = Ast.Int_lit (0L, _, _); _ }) -> true
+              | _ -> false)
+            tu
+        in
+        check Alcotest.int "no r[0] left" 0 (List.length subscripts));
+    tc "StructToInt retypes a struct cast" (fun () ->
+        match
+          apply_to "StructToInt"
+            "struct s2 { int a; int b; };\n\
+             int main(void) { struct s2 v; v.a = 1; return v.a; }"
+        with
+        | Some tu ->
+          let still_struct =
+            List.exists
+              (fun (v, _) ->
+                match v.Ast.v_ty with Ast.Tstruct _ -> true | _ -> false)
+              (Uast.Query.local_var_decls tu)
+          in
+          check Alcotest.bool "retyped" false still_struct
+        | None -> Alcotest.fail "not applicable");
+    tc "RemoveFunctionParameter keeps program compiling" (fun () ->
+        let tu =
+          apply_exn "RemoveFunctionParameter"
+            "int f(int a, int b) { return a + b; }\n\
+             int main(void) { return f(1, 2); }"
+        in
+        check Alcotest.bool "compiles" true (Typecheck.check tu).Typecheck.r_ok);
+    tc "AddFunctionParameter updates all call sites" (fun () ->
+        let tu =
+          apply_exn "AddFunctionParameter"
+            "int f(int a) { return a; }\n\
+             int main(void) { return f(1) + f(2); }"
+        in
+        List.iter
+          (fun e ->
+            match e.Ast.ek with
+            | Ast.Call (_, args) -> check Alcotest.int "two args" 2 (List.length args)
+            | _ -> ())
+          (Uast.Query.calls_to tu "f");
+        check Alcotest.bool "compiles" true (Typecheck.check tu).Typecheck.r_ok);
+    tc "SimpleUninliner extracts a block into a function" (fun () ->
+        let tu =
+          apply_exn "SimpleUninliner"
+            "int g;\nint main(void) { { g = 1; g = g + 2; } return g; }"
+        in
+        check Alcotest.int "two functions" 2
+          (List.length (Visit.functions tu));
+        check Alcotest.bool "compiles" true (Typecheck.check tu).Typecheck.r_ok);
+    tc "SimpleUninliner preserves behaviour" (fun () ->
+        let src = "int g;\nint main(void) { { g = 1; g = g + 2; } return g; }" in
+        let before = (Simcomp.Interp.run (parse src)).Simcomp.Interp.o_exit in
+        let tu' = apply_exn "SimpleUninliner" src in
+        let after = (Simcomp.Interp.run tu').Simcomp.Interp.o_exit in
+        check Alcotest.int "same exit" before after);
+    tc "InlineSimpleFunctionCall inlines the body" (fun () ->
+        let src =
+          "int twice(int a) { return a + a; }\n\
+           int main(void) { return twice(21); }"
+        in
+        let tu = apply_exn "InlineSimpleFunctionCall" src in
+        check Alcotest.int "no calls left" 0
+          (List.length (Uast.Query.calls_to tu "twice"));
+        let after = (Simcomp.Interp.run tu).Simcomp.Interp.o_exit in
+        check Alcotest.int "same value" 42 after);
+    tc "DeleteStatement removes one statement" (fun () ->
+        let src = "int g;\nint main(void) { g = 1; g = 2; return g; }" in
+        let before =
+          Visit.count_stmts
+            (fun s -> match s.Ast.sk with Ast.Sexpr _ -> true | _ -> false)
+            (parse src)
+        in
+        let tu = apply_exn "DeleteStatement" src in
+        let after =
+          Visit.count_stmts
+            (fun s -> match s.Ast.sk with Ast.Sexpr _ -> true | _ -> false)
+            tu
+        in
+        check Alcotest.int "one fewer" (before - 1) after);
+    tc "ConvertForToWhile eliminates the for" (fun () ->
+        let src =
+          "int main(void) { int s = 0; for (int i = 0; i < 4; i++) s += i; \
+           return s; }"
+        in
+        let tu = apply_exn "ConvertForToWhile" src in
+        check Alcotest.int "no for" 0
+          (Visit.count_stmts
+             (fun s -> match s.Ast.sk with Ast.Sfor _ -> true | _ -> false)
+             tu);
+        let after = (Simcomp.Interp.run tu).Simcomp.Interp.o_exit in
+        check Alcotest.int "same sum" 6 after);
+    tc "LowerWhileToGoto produces goto control flow" (fun () ->
+        let src =
+          "int main(void) { int n = 3; int s = 0; while (n > 0) { s += n; n \
+           = n - 1; } return s; }"
+        in
+        let tu = apply_exn "LowerWhileToGoto" src in
+        check Alcotest.bool "has goto" true
+          (Visit.count_stmts
+             (fun s -> match s.Ast.sk with Ast.Sgoto _ -> true | _ -> false)
+             tu
+          > 0);
+        check Alcotest.bool "compiles" true (Typecheck.check tu).Typecheck.r_ok;
+        let after = (Simcomp.Interp.run tu).Simcomp.Interp.o_exit in
+        check Alcotest.int "same sum" 6 after);
+    tc "CombineVariable merges two ints into an array" (fun () ->
+        let src =
+          "int main(void) { int a = 1; int b = 2; a = a + b; return a; }"
+        in
+        let tu = apply_exn "CombineVariable" src in
+        check Alcotest.bool "compiles" true (Typecheck.check tu).Typecheck.r_ok;
+        let arrays =
+          List.filter
+            (fun (v, _) ->
+              match v.Ast.v_ty with Ast.Tarray _ -> true | _ -> false)
+            (Uast.Query.local_var_decls tu)
+        in
+        check Alcotest.int "one array" 1 (List.length arrays));
+    tc "PromoteLocalToGlobal adds a global" (fun () ->
+        let src = "int main(void) { int x = 3; x = x + 1; return x; }" in
+        let tu = apply_exn "PromoteLocalToGlobal" src in
+        check Alcotest.bool "has global" true (Visit.global_vars tu <> []);
+        check Alcotest.bool "compiles" true (Typecheck.check tu).Typecheck.r_ok);
+    tc "ExpandCompoundAssignment rewrites +=" (fun () ->
+        let src = "int main(void) { int x = 1; x += 2; return x; }" in
+        let tu = apply_exn "ExpandCompoundAssignment" src in
+        let compounds =
+          Visit.collect_exprs
+            (fun e ->
+              match e.Ast.ek with
+              | Ast.Assign (Ast.A_add, _, _) -> true
+              | _ -> false)
+            tu
+        in
+        check Alcotest.int "no compound" 0 (List.length compounds);
+        let after = (Simcomp.Interp.run tu).Simcomp.Interp.o_exit in
+        check Alcotest.int "same value" 3 after);
+    tc "NegateIfCondition preserves semantics" (fun () ->
+        let src =
+          "int main(void) { int x = 5; if (x > 3) { x = 1; } else { x = 2; } \
+           return x; }"
+        in
+        let tu = apply_exn "NegateIfCondition" src in
+        let after = (Simcomp.Interp.run tu).Simcomp.Interp.o_exit in
+        check Alcotest.int "same result" 1 after);
+    tc "SwapConditionalArms preserves semantics" (fun () ->
+        let src = "int main(void) { int x = 5; return x > 3 ? 7 : 9; }" in
+        let tu = apply_exn "SwapConditionalArms" src in
+        let after = (Simcomp.Interp.run tu).Simcomp.Interp.o_exit in
+        check Alcotest.int "same result" 7 after);
+    tc "GrayC InjectControlFlow wraps a statement in a loop" (fun () ->
+        let m =
+          List.find
+            (fun m -> m.Mutators.Mutator.name = "GrayC.InjectControlFlow")
+            Fuzzing.Baselines.grayc_mutators
+        in
+        let tu = parse "int g;\nint main(void) { g = 2; return g; }" in
+        match Mutators.Mutator.apply m ~rng:(Rng.create 1) tu with
+        | Some tu' ->
+          check Alcotest.bool "has loop" true (Uast.Query.loops tu' <> []);
+          check Alcotest.bool "compiles" true
+            (Typecheck.check tu').Typecheck.r_ok
+        | None -> Alcotest.fail "not applicable");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Cross-cutting invariants                                            *)
+(* ------------------------------------------------------------------ *)
+
+let invariant_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"mutator application is deterministic"
+         ~count:60 QCheck.small_int
+         (fun seed ->
+           let tu = Ast_gen.gen_tu (Rng.create (seed + 9001)) in
+           let m =
+             List.nth Mutators.Registry.core
+               (seed mod List.length Mutators.Registry.core)
+           in
+           let a = Mutators.Mutator.apply m ~rng:(Rng.create 5) tu in
+           let b = Mutators.Mutator.apply m ~rng:(Rng.create 5) tu in
+           match a, b with
+           | None, None -> true
+           | Some x, Some y ->
+             String.equal (Pretty.tu_to_string x) (Pretty.tu_to_string y)
+           | _ -> false));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"mutators never modify their input unit"
+         ~count:40 QCheck.small_int
+         (fun seed ->
+           let tu = Ast_gen.gen_tu (Rng.create (seed + 9501)) in
+           let before = Pretty.tu_to_string tu in
+           let m =
+             List.nth Mutators.Registry.core
+               ((seed * 7) mod List.length Mutators.Registry.core)
+           in
+           ignore (Mutators.Mutator.apply m ~rng:(Rng.create 9) tu);
+           String.equal before (Pretty.tu_to_string tu)));
+    (* "changes something" (validation goal #5) holds almost always; an
+       identity outcome is legal when a stochastic choice happens to pick
+       a no-op (e.g. shuffling two equal switch cases), so the assertion
+       is statistical *)
+    tc "mutants almost always differ from their originals" (fun () ->
+        let differed = ref 0 and applied = ref 0 in
+        for seed = 1 to 120 do
+          let tu = Ast_gen.gen_tu (Rng.create (seed + 9901)) in
+          let m =
+            List.nth Mutators.Registry.core
+              ((seed * 13) mod List.length Mutators.Registry.core)
+          in
+          match Mutators.Mutator.apply m ~rng:(Rng.create 11) tu with
+          | None -> ()
+          | Some tu' ->
+            incr applied;
+            if
+              not
+                (String.equal (Pretty.tu_to_string tu)
+                   (Pretty.tu_to_string tu'))
+            then incr differed
+        done;
+        check Alcotest.bool "applied often" true (!applied > 60);
+        let rate = float_of_int !differed /. float_of_int !applied in
+        if rate < 0.9 then
+          Alcotest.failf "only %.0f%% of mutants differ" (100. *. rate));
+  ]
+
+let () =
+  Alcotest.run "mutators"
+    [
+      ("registry", registry_tests);
+      ("generic-soundness", generic_battery @ [ corpus_rate_test ]);
+      ("behaviour", behaviour_tests);
+      ("invariants", invariant_tests);
+    ]

@@ -1,0 +1,842 @@
+(* Tests for the simulated compiler: coverage, feature extraction, IR
+   lowering, optimizer passes, back-end, the reference interpreter, the
+   bug database, and the end-to-end pipeline. *)
+
+open Cparse
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let parse src =
+  match Parser.parse src with
+  | Ok tu -> tu
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let run_src src =
+  match Simcomp.Interp.run_src src with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "interp parse failed: %s" e
+
+let exit_of src = (run_src src).Simcomp.Interp.o_exit
+let output_of src = (run_src src).Simcomp.Interp.o_output
+
+(* ------------------------------------------------------------------ *)
+(* Coverage                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let coverage_tests =
+  [
+    tc "hit and covered" (fun () ->
+        let c = Simcomp.Coverage.create () in
+        Simcomp.Coverage.hit c 1;
+        Simcomp.Coverage.hit c 1;
+        Simcomp.Coverage.hit c 2;
+        check Alcotest.int "covered" 2 (Simcomp.Coverage.covered c);
+        check Alcotest.int "hits" 3 (Simcomp.Coverage.total_hits c));
+    tc "merge counts fresh branches" (fun () ->
+        let a = Simcomp.Coverage.create () in
+        let b = Simcomp.Coverage.create () in
+        Simcomp.Coverage.hit a 1;
+        Simcomp.Coverage.hit b 1;
+        Simcomp.Coverage.hit b 2;
+        let fresh = Simcomp.Coverage.merge ~into:a b in
+        check Alcotest.int "fresh" 1 fresh;
+        check Alcotest.int "covered" 2 (Simcomp.Coverage.covered a));
+    tc "has_new_coverage" (fun () ->
+        let seen = Simcomp.Coverage.create () in
+        let x = Simcomp.Coverage.create () in
+        Simcomp.Coverage.hit seen 1;
+        Simcomp.Coverage.hit x 1;
+        check Alcotest.bool "no new" false
+          (Simcomp.Coverage.has_new_coverage ~seen x);
+        Simcomp.Coverage.hit x 99;
+        check Alcotest.bool "new" true
+          (Simcomp.Coverage.has_new_coverage ~seen x));
+    tc "ids are bounded by the map size" (fun () ->
+        let c = Simcomp.Coverage.create () in
+        Simcomp.Coverage.hit c (Simcomp.Coverage.map_size + 5);
+        check Alcotest.bool "wrapped" true
+          (List.for_all
+             (fun id -> id < Simcomp.Coverage.map_size)
+             (Simcomp.Coverage.branch_ids c)));
+    tc "merge is idempotent on same map" (fun () ->
+        let a = Simcomp.Coverage.create () in
+        Simcomp.Coverage.hit a 3;
+        let b = Simcomp.Coverage.copy a in
+        let fresh = Simcomp.Coverage.merge ~into:a b in
+        check Alcotest.int "no fresh" 0 fresh);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Feature extraction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let feat src = Simcomp.Features.ast_features (parse src)
+
+let feature_tests =
+  [
+    tc "counts functions, loops, ifs" (fun () ->
+        let a =
+          feat
+            "int f(void) { if (1) return 1; return 0; }\n\
+             int main(void) { while (0) ; for (;;) break; return f(); }"
+        in
+        check Alcotest.int "functions" 2 a.Simcomp.Features.n_functions;
+        check Alcotest.int "ifs" 1 a.n_ifs;
+        check Alcotest.int "loops" 2 a.n_loops);
+    tc "const and volatile qualifiers" (fun () ->
+        let a = feat "int main(void) { const int c = 1; volatile int v = 2; return c + v; }" in
+        check Alcotest.bool "const" true a.Simcomp.Features.has_const_qual;
+        check Alcotest.bool "volatile" true a.has_volatile_qual);
+    tc "sprintf-to-self detection" (fun () ->
+        let a =
+          feat
+            "char buffer[32];\n\
+             int main(void) { return sprintf(buffer, \"%s\", buffer); }"
+        in
+        check Alcotest.bool "self" true a.Simcomp.Features.has_sprintf_self);
+    tc "sprintf to other is not self" (fun () ->
+        let a =
+          feat
+            "char buffer[32];\n\
+             int main(void) { return sprintf(buffer, \"%s\", \"bar\"); }"
+        in
+        check Alcotest.bool "not self" false a.Simcomp.Features.has_sprintf_self);
+    tc "void function with labels and no returns" (fun () ->
+        let a =
+          feat
+            "void foo(int x) { if (x) goto a; if (x > 1) goto b; a: ; b: ; }\n\
+             int main(void) { foo(1); return 0; }"
+        in
+        check Alcotest.bool "labels-no-return" true
+          a.Simcomp.Features.has_labels_no_return;
+        check Alcotest.bool "void-with-labels" true a.has_void_fn_with_labels);
+    tc "zero-init decreasing loop (GCC #111820 shape)" (fun () ->
+        let a =
+          feat
+            "int r;\nvoid f(void) { int n = 0; while (--n) { r += 1; } }\n\
+             int main(void) { return 0; }"
+        in
+        check Alcotest.bool "shape" true
+          a.Simcomp.Features.has_zero_init_decreasing_loop);
+    tc "accumulation chain" (fun () ->
+        let a =
+          feat
+            "int r[6];\n\
+             void f(void) { r[1] += r[0]; r[2] += r[1]; r[3] += r[2]; }\n\
+             int main(void) { return 0; }"
+        in
+        check Alcotest.bool "chain" true a.Simcomp.Features.has_scalar_accum_chain);
+    tc "compound literal and struct cast (Clang #69213 shape)" (fun () ->
+        let a =
+          feat
+            "struct s2 { int a; int b; };\n\
+             int main(void) { struct s2 v; v = (struct s2){1, 2}; return v.a; }"
+        in
+        check Alcotest.bool "compound" true a.Simcomp.Features.has_compound_literal;
+        check Alcotest.bool "struct cast" true a.has_struct_cast);
+    tc "pointer arith cast chain (GCC #111819 shape)" (fun () ->
+        let a =
+          feat
+            "long long combinedVar;\n\
+             double *bar(void) { return (double *)((char *)&combinedVar + 8); }\n\
+             int main(void) { return 0; }"
+        in
+        check Alcotest.bool "chain" true
+          a.Simcomp.Features.has_ptr_arith_cast_chain);
+    tc "fallthrough detection" (fun () ->
+        let a =
+          feat
+            "int main(void) { int r = 0; switch (r) { case 0: r = 1; case 1: \
+             r = 2; break; } return r; }"
+        in
+        check Alcotest.bool "fallthrough" true a.Simcomp.Features.has_fallthrough);
+    tc "shift overflow" (fun () ->
+        let a = feat "int main(void) { int x = 1; return x << 40; }" in
+        check Alcotest.bool "overflow" true a.Simcomp.Features.has_shift_overflow);
+    tc "division by literal zero" (fun () ->
+        let a = feat "int main(void) { int x = 4; return x / 0; }" in
+        check Alcotest.bool "div0" true a.Simcomp.Features.has_div_by_literal_zero);
+    tc "uninitialised use" (fun () ->
+        let a = feat "int main(void) { int x; return x + 1; }" in
+        check Alcotest.bool "uninit" true a.Simcomp.Features.has_uninit_use);
+    tc "initialised use is fine" (fun () ->
+        let a = feat "int main(void) { int x = 0; return x + 1; }" in
+        check Alcotest.bool "no uninit" false a.Simcomp.Features.has_uninit_use);
+    tc "recursion" (fun () ->
+        let a =
+          feat "int f(int n) { return n ? f(n - 1) : 0; }\nint main(void) { return f(3); }"
+        in
+        check Alcotest.bool "recursion" true a.Simcomp.Features.has_recursion);
+    tc "loop depth" (fun () ->
+        let a =
+          feat
+            "int main(void) { for (;;) { for (;;) { for (;;) break; break; } \
+             break; } return 0; }"
+        in
+        check Alcotest.int "depth" 3 a.Simcomp.Features.max_loop_depth);
+    tc "cast chain depth" (fun () ->
+        let a = feat "int main(void) { return (int)(char)(long)1; }" in
+        check Alcotest.int "chain" 3 a.Simcomp.Features.max_cast_chain);
+    tc "text features" (fun () ->
+        let tx =
+          Simcomp.Features.text_features "int aaaaaaaaaaaaaaaaaaaa; ((((("
+        in
+        check Alcotest.int "ident" 20 tx.Simcomp.Features.tx_max_ident_len;
+        check Alcotest.int "paren depth" 5 tx.tx_paren_depth;
+        check Alcotest.bool "no ctrl" false tx.tx_has_control_chars);
+    tc "text features on binary garbage" (fun () ->
+        let tx = Simcomp.Features.text_features "\x01\x02\"abc" in
+        check Alcotest.bool "ctrl" true tx.Simcomp.Features.tx_has_control_chars;
+        check Alcotest.bool "quote imbalance" true tx.tx_quote_imbalance);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let interp_tests =
+  [
+    tc "arithmetic and return" (fun () ->
+        check Alcotest.int "6*7" 42 (exit_of "int main(void) { return 6 * 7; }"));
+    tc "factorial via loop" (fun () ->
+        check Alcotest.int "5!" 120
+          (exit_of
+             "int main(void) { int f = 1; for (int i = 1; i <= 5; i++) f = f \
+              * i; return f; }"));
+    tc "recursion (fib)" (fun () ->
+        check Alcotest.int "fib 10" 55
+          (exit_of
+             "int fib(int n) { if (n < 2) return n; return fib(n-1) + \
+              fib(n-2); }\nint main(void) { return fib(10); }"));
+    tc "switch fallthrough" (fun () ->
+        check Alcotest.int "fallthrough" 21
+          (exit_of
+             "int main(void) { int r = 0; switch (2) { case 2: r = 20; case \
+              3: r += 1; break; default: r = 9; } return r; }"));
+    tc "switch default" (fun () ->
+        check Alcotest.int "default" 9
+          (exit_of
+             "int main(void) { int r = 0; switch (77) { case 2: r = 1; \
+              break; default: r = 9; } return r; }"));
+    tc "goto forward and backward" (fun () ->
+        check Alcotest.int "goto" 6
+          (exit_of
+             "int main(void) { int n = 3; int s = 0; top: if (n == 0) goto \
+              done; s += n; n--; goto top; done: return s; }"));
+    tc "break and continue" (fun () ->
+        check Alcotest.int "sum odds < 8" 16
+          (exit_of
+             "int main(void) { int s = 0; for (int i = 0; i < 100; i++) { if \
+              (i >= 8) break; if (i % 2 == 0) continue; s += i; } return s; }"));
+    tc "arrays" (fun () ->
+        check Alcotest.int "array sum" 30
+          (exit_of
+             "int main(void) { int a[3]; a[0] = 4; a[1] = 10; a[2] = 16; \
+              return a[0] + a[1] + a[2]; }"));
+    tc "array out of bounds traps" (fun () ->
+        let o = run_src "int main(void) { int a[2]; a[5] = 1; return 0; }" in
+        check Alcotest.bool "aborted" true o.Simcomp.Interp.o_aborted);
+    tc "structs" (fun () ->
+        check Alcotest.int "fields" 7
+          (exit_of
+             "struct p { int x; int y; };\n\
+              int main(void) { struct p v; v.x = 3; v.y = 4; return v.x + \
+              v.y; }"));
+    tc "pointers" (fun () ->
+        check Alcotest.int "through pointer" 9
+          (exit_of
+             "int main(void) { int x = 1; int *p = &x; *p = 9; return x; }"));
+    tc "struct pointer arrow" (fun () ->
+        check Alcotest.int "arrow" 5
+          (exit_of
+             "struct p { int x; };\n\
+              void set(struct p *q) { q->x = 5; }\n\
+              int main(void) { struct p v; set(&v); return v.x; }"));
+    tc "printf output" (fun () ->
+        check Alcotest.string "hello" "hello 42\n"
+          (output_of {|int main(void) { printf("hello %d\n", 42); return 0; }|}));
+    tc "sprintf + strlen" (fun () ->
+        check Alcotest.int "len" 3
+          (exit_of
+             {|char buffer[32];
+int main(void) { return sprintf(buffer, "%s", "bar"); }|}));
+    tc "strcpy into buffer" (fun () ->
+        check Alcotest.string "copied" "hello\n"
+          (output_of
+             {|int main(void) { char b[16]; strcpy(b, "hello"); puts(b); return 0; }|}));
+    tc "division by zero aborts" (fun () ->
+        let o = run_src "int main(void) { int z = 0; return 4 / z; }" in
+        check Alcotest.bool "aborted" true o.Simcomp.Interp.o_aborted);
+    tc "abort() aborts" (fun () ->
+        let o = run_src "int main(void) { abort(); return 0; }" in
+        check Alcotest.bool "aborted" true o.Simcomp.Interp.o_aborted);
+    tc "exit() sets code" (fun () ->
+        check Alcotest.int "code" 3 (exit_of "int main(void) { exit(3); return 0; }"));
+    tc "infinite loop runs out of fuel" (fun () ->
+        let o = run_src "int main(void) { while (1) ; return 0; }" in
+        check Alcotest.bool "hang" true o.Simcomp.Interp.o_hang);
+    tc "ternary and comma" (fun () ->
+        check Alcotest.int "value" 11
+          (exit_of "int main(void) { int x = (1, 2); return x > 1 ? 11 : 22; }"));
+    tc "float arithmetic" (fun () ->
+        check Alcotest.int "cast back" 3
+          (exit_of "int main(void) { double d = 1.5; return (int)(d * 2.0); }"));
+    tc "char truncation" (fun () ->
+        check Alcotest.int "(char)257" 1
+          (exit_of "int main(void) { return (char)257; }"));
+    tc "do-while runs at least once" (fun () ->
+        check Alcotest.int "once" 1
+          (exit_of "int main(void) { int n = 0; do n++; while (0); return n; }"));
+    tc "global initialisation order" (fun () ->
+        check Alcotest.int "init" 7
+          (exit_of "int g = 7;\nint main(void) { return g; }"));
+    tc "small generated seeds terminate" (fun () ->
+        (* bounded loops terminate; deep configurations can still be
+           exponentially expensive (calls nested in loops), so strict
+           termination is asserted on a small configuration *)
+        let cfg =
+          { Ast_gen.default_config with max_functions = 2; max_depth = 2;
+            call_weight = 1 }
+        in
+        let rng = Rng.create 202 in
+        for _ = 1 to 30 do
+          let tu = Ast_gen.gen_tu ~cfg rng in
+          let o = Simcomp.Interp.run ~fuel:5_000_000 tu in
+          check Alcotest.bool "no hang" false o.Simcomp.Interp.o_hang
+        done);
+    tc "interpreter outcome is deterministic" (fun () ->
+        let rng = Rng.create 203 in
+        for _ = 1 to 10 do
+          let tu = Ast_gen.gen_tu rng in
+          let o1 = Simcomp.Interp.run ~fuel:100_000 tu in
+          let o2 = Simcomp.Interp.run ~fuel:100_000 tu in
+          check Alcotest.int "same exit" o1.Simcomp.Interp.o_exit
+            o2.Simcomp.Interp.o_exit;
+          check Alcotest.string "same output" o1.Simcomp.Interp.o_output
+            o2.Simcomp.Interp.o_output
+        done);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Lowering and IR                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let lower src =
+  let tu = parse src in
+  let tc_res = Typecheck.check tu in
+  Simcomp.Lower.lower_tu tu tc_res
+
+let ir_tests =
+  [
+    tc "lowering produces a function per definition" (fun () ->
+        let p = lower "int f(void) { return 1; }\nint main(void) { return f(); }" in
+        check Alcotest.int "functions" 2 (List.length p.Simcomp.Ir.p_funcs));
+    tc "terminators always defined on reachable blocks" (fun () ->
+        let p =
+          lower
+            "int main(void) { int x = 0; if (x) x = 1; else x = 2; while (x) \
+             x--; return x; }"
+        in
+        List.iter
+          (fun f ->
+            match f.Simcomp.Ir.fn_blocks with
+            | entry :: _ ->
+              (* entry must not be unreachable-terminated *)
+              check Alcotest.bool "entry terminated" true
+                (entry.Simcomp.Ir.b_term <> Simcomp.Ir.Tunreachable
+                || entry.b_instrs = [])
+            | [] -> Alcotest.fail "no blocks")
+          p.Simcomp.Ir.p_funcs);
+    tc "successors reference existing blocks" (fun () ->
+        let p =
+          lower
+            "int main(void) { int s = 0; for (int i = 0; i < 3; i++) { if (i) \
+             s += i; } switch (s) { case 1: break; default: break; } return s; }"
+        in
+        List.iter
+          (fun f ->
+            List.iter
+              (fun b ->
+                List.iter
+                  (fun l ->
+                    check Alcotest.bool "target exists" true
+                      (Simcomp.Ir.block_of f l <> None))
+                  (Simcomp.Ir.successors b.Simcomp.Ir.b_term))
+              f.Simcomp.Ir.fn_blocks)
+          p.Simcomp.Ir.p_funcs);
+    tc "globals become slots" (fun () ->
+        let p = lower "int g = 5;\nint a[4];\nint main(void) { return g; }" in
+        let names = List.map (fun s -> s.Simcomp.Ir.g_name) p.Simcomp.Ir.p_globals in
+        check Alcotest.bool "g" true (List.mem "g" names);
+        check Alcotest.bool "a" true (List.mem "a" names));
+    tc "ir printing is total" (fun () ->
+        let p =
+          lower
+            "int main(void) { int x = 1; x += 2; x = x * 3 - 1; return x; }"
+        in
+        check Alcotest.bool "nonempty" true
+          (String.length (Simcomp.Ir.program_to_string p) > 0));
+    tc "program_size counts instructions" (fun () ->
+        let p = lower "int main(void) { return 1 + 2; }" in
+        check Alcotest.bool "positive" true (Simcomp.Ir.program_size p > 0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let opt_tests =
+  [
+    tc "const folding fires on constant arithmetic" (fun () ->
+        let p = lower "int main(void) { return 2 + 3 * 4; }" in
+        let changes = Simcomp.Opt.const_fold_pass.Simcomp.Opt.run p in
+        check Alcotest.bool "changed" true (changes > 0));
+    tc "const folding turns constant branches into jumps" (fun () ->
+        let p = lower "int main(void) { if (1 < 2) return 1; return 0; }" in
+        ignore (Simcomp.Opt.const_fold_pass.Simcomp.Opt.run p);
+        let has_cond_br = ref false in
+        List.iter
+          (fun f ->
+            List.iter
+              (fun b ->
+                match b.Simcomp.Ir.b_term with
+                | Simcomp.Ir.Tbr _ -> has_cond_br := true
+                | _ -> ())
+              f.Simcomp.Ir.fn_blocks)
+          p.Simcomp.Ir.p_funcs;
+        check Alcotest.bool "no conditional branch left" false !has_cond_br);
+    tc "simplify-cfg removes unreachable blocks" (fun () ->
+        let p = lower "int main(void) { return 1; int x = 2; return x; }" in
+        ignore (Simcomp.Opt.const_fold_pass.Simcomp.Opt.run p);
+        let before = List.length (List.hd p.Simcomp.Ir.p_funcs).Simcomp.Ir.fn_blocks in
+        ignore (Simcomp.Opt.simplify_cfg_pass.Simcomp.Opt.run p);
+        let after = List.length (List.hd p.Simcomp.Ir.p_funcs).Simcomp.Ir.fn_blocks in
+        check Alcotest.bool "fewer blocks" true (after <= before));
+    tc "dce removes instructions made dead by folding" (fun () ->
+        let p = lower "int main(void) { int unused = 1 + 2; return 7; }" in
+        ignore (Simcomp.Opt.const_fold_pass.Simcomp.Opt.run p);
+        let changes = Simcomp.Opt.dce_pass.Simcomp.Opt.run p in
+        check Alcotest.bool "removed" true (changes > 0));
+    tc "dce keeps calls" (fun () ->
+        let p =
+          lower
+            "int g;\nint f(void) { g = 1; return 0; }\n\
+             int main(void) { f(); return g; }"
+        in
+        ignore (Simcomp.Opt.dce_pass.Simcomp.Opt.run p);
+        let has_call = ref false in
+        List.iter
+          (fun fn ->
+            List.iter
+              (fun b ->
+                List.iter
+                  (fun i ->
+                    match i with Simcomp.Ir.Icall _ -> has_call := true | _ -> ())
+                  b.Simcomp.Ir.b_instrs)
+              fn.Simcomp.Ir.fn_blocks)
+          p.Simcomp.Ir.p_funcs;
+        check Alcotest.bool "call kept" true !has_call);
+    tc "strlen pass rewrites sprintf" (fun () ->
+        let p =
+          lower
+            {|char buffer[32];
+int main(void) { return sprintf(buffer, "%s", "bar"); }|}
+        in
+        let changes = Simcomp.Opt.strlen_pass.Simcomp.Opt.run p in
+        check Alcotest.bool "rewritten" true (changes > 0));
+    tc "inline pass folds constant functions" (fun () ->
+        let p =
+          lower "int five(void) { return 5; }\nint main(void) { return five(); }"
+        in
+        (* fold and simplify first so five() is a single constant return *)
+        ignore (Simcomp.Opt.const_fold_pass.Simcomp.Opt.run p);
+        ignore (Simcomp.Opt.simplify_cfg_pass.Simcomp.Opt.run p);
+        let changes = Simcomp.Opt.inline_pass.Simcomp.Opt.run p in
+        check Alcotest.bool "inlined" true (changes > 0));
+    tc "pipeline level ordering" (fun () ->
+        check Alcotest.int "O0 empty" 0
+          (List.length (Simcomp.Opt.passes_for_level 0));
+        check Alcotest.bool "O3 superset of O1" true
+          (List.length (Simcomp.Opt.passes_for_level 3)
+          > List.length (Simcomp.Opt.passes_for_level 1)));
+    tc "disabled passes are skipped" (fun () ->
+        let p = lower "int main(void) { return 1 + 2; }" in
+        let results =
+          Simcomp.Opt.run_pipeline ~level:2 ~disabled:[ "constfold" ] p
+        in
+        check Alcotest.bool "no constfold" false
+          (List.mem_assoc "constfold" results));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Backend                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let backend_tests =
+  [
+    tc "emits assembly text" (fun () ->
+        let p = lower "int main(void) { int x = 1; return x + 2; }" in
+        let asm, _ = Simcomp.Backend.emit_program p in
+        check Alcotest.bool "has main" true
+          (String.length asm > 0
+          && String.sub asm 0 5 = ".data"
+          || String.length asm > 0));
+    tc "register allocation stays within bounds" (fun () ->
+        let p =
+          lower
+            "int main(void) { int a = 1; int b = 2; int c = 3; int d = 4; \
+             return a + b + c + d; }"
+        in
+        List.iter
+          (fun f ->
+            let assignment, _ = Simcomp.Backend.regalloc f in
+            List.iter
+              (fun (_, phys) ->
+                check Alcotest.bool "in range" true
+                  (phys = -1 || (phys >= 0 && phys < Simcomp.Backend.phys_regs)))
+              assignment)
+          p.Simcomp.Ir.p_funcs);
+    tc "spills appear under register pressure" (fun () ->
+        let exprs =
+          String.concat " + " (List.init 40 (fun i -> Fmt.str "(a + %d)" i))
+        in
+        let p = lower (Fmt.str "int main(void) { int a = 1; return %s; }" exprs) in
+        let _, spills = Simcomp.Backend.emit_program p in
+        check Alcotest.bool "spilled" true (spills >= 0));
+    tc "dense switch uses a jump table" (fun () ->
+        let p =
+          lower
+            "int main(void) { int x = 3; switch (x) { case 0: return 0; case \
+             1: return 1; case 2: return 2; case 3: return 3; } return 9; }"
+        in
+        let asm, _ = Simcomp.Backend.emit_program p in
+        let contains s sub =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          go 0
+        in
+        check Alcotest.bool "jtab" true (contains asm "jtab"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bug database and end-to-end pipeline                                *)
+(* ------------------------------------------------------------------ *)
+
+let compile ?(compiler = Simcomp.Compiler.Gcc) ?(opt = 2) src =
+  Simcomp.Compiler.compile compiler
+    { Simcomp.Compiler.opt_level = opt; disabled_passes = [] }
+    src
+
+let expect_crash ?compiler ?opt ~bug src =
+  match compile ?compiler ?opt src with
+  | Simcomp.Compiler.Crashed c ->
+    check Alcotest.string "bug id" bug c.Simcomp.Crash.bug_id
+  | Simcomp.Compiler.Compiled _ -> Alcotest.failf "compiled, expected %s" bug
+  | Simcomp.Compiler.Compile_error es ->
+    Alcotest.failf "compile error (%s), expected %s" (String.concat ";" es) bug
+
+let bug_tests =
+  [
+    tc "clean seed compiles at every level" (fun () ->
+        let src = Ast_gen.gen_source (Rng.create 42) in
+        List.iter
+          (fun opt ->
+            match compile ~opt src with
+            | Simcomp.Compiler.Compiled _ -> ()
+            | _ -> Alcotest.failf "failed at -O%d" opt)
+          [ 0; 1; 2; 3 ]);
+    tc "GCC #111820 shape hangs the vectorizer at -O3" (fun () ->
+        expect_crash ~opt:3 ~bug:"gcc-111820"
+          "int r[6];\n\
+           void f(void) {\n\
+           \  int n = 0;\n\
+           \  while (--n) { r[1] += r[0]; r[2] += r[1]; r[3] += r[2]; }\n\
+           }\n\
+           int main(void) { return 0; }");
+    tc "GCC #111820 does not fire at -O2" (fun () ->
+        match
+          compile ~opt:2
+            "int r[6];\n\
+             void f(void) {\n\
+             \  int n = 0;\n\
+             \  while (--n) { r[1] += r[0]; r[2] += r[1]; r[3] += r[2]; }\n\
+             }\n\
+             int main(void) { return 0; }"
+        with
+        | Simcomp.Compiler.Crashed _ -> Alcotest.fail "fired too early"
+        | _ -> ());
+    tc "strlen-range crash needs const + sprintf-self" (fun () ->
+        expect_crash ~opt:2 ~bug:"gcc-strlen-range"
+          "static char buffer[32];\n\
+           const char tag = 1;\n\
+           int test4(void) { return sprintf(buffer, \"%s\", buffer); }\n\
+           int main(void) { return test4(); }");
+    tc "Clang #63762 shape crashes the back-end" (fun () ->
+        expect_crash ~compiler:Simcomp.Compiler.Clang ~bug:"clang-63762"
+          "void foo(int x, int y) {\n\
+           \  abort();\n\
+           \  if (x > y) goto gt;\n\
+           \  goto lt;\n\
+           gt: ;\n\
+           lt: ;\n\
+           }\n\
+           int main(void) { foo(1, 2); return 0; }");
+    tc "GCC does not have Clang's bugs" (fun () ->
+        match
+          compile ~compiler:Simcomp.Compiler.Gcc
+            "void foo(int x, int y) {\n\
+             \  abort();\n\
+             \  if (x > y) goto gt;\n\
+             \  goto lt;\n\
+             gt: ;\n\
+             lt: ;\n\
+             }\n\
+             int main(void) { foo(1, 2); return 0; }"
+        with
+        | Simcomp.Compiler.Crashed c ->
+          check Alcotest.bool "different bug" false
+            (String.equal c.Simcomp.Crash.bug_id "clang-63762")
+        | _ -> ());
+    tc "front-end text bug fires on unparseable input" (fun () ->
+        let long_ident = String.make 80 'a' in
+        match compile (Fmt.str "int %s(((((" long_ident) with
+        | Simcomp.Compiler.Crashed c ->
+          check Alcotest.string "stage" "Front-End"
+            (Simcomp.Crash.stage_to_string c.Simcomp.Crash.stage)
+        | _ -> Alcotest.fail "expected a front-end crash");
+    tc "crash identity uses top two frames" (fun () ->
+        let c =
+          {
+            Simcomp.Crash.bug_id = "x";
+            stage = Simcomp.Crash.Front_end;
+            kind = Simcomp.Crash.Segfault;
+            frames = [ "report_error"; "a"; "b"; "c" ];
+          }
+        in
+        check Alcotest.string "key skips helpers" "a|b"
+          (Simcomp.Crash.unique_key c));
+    tc "compile errors are not crashes" (fun () ->
+        match compile "int main(void) { return nope; }" with
+        | Simcomp.Compiler.Compile_error _ -> ()
+        | _ -> Alcotest.fail "expected compile error");
+    tc "parse errors are reported" (fun () ->
+        match compile "int main(void) {" with
+        | Simcomp.Compiler.Compile_error _ -> ()
+        | _ -> Alcotest.fail "expected parse error");
+    tc "coverage differs between compilers" (fun () ->
+        let src = "int main(void) { return 1 + 2; }" in
+        let cg = Simcomp.Coverage.create () in
+        let cc = Simcomp.Coverage.create () in
+        ignore (Simcomp.Compiler.compile ~cov:cg Simcomp.Compiler.Gcc
+                  Simcomp.Compiler.default_options src);
+        ignore (Simcomp.Compiler.compile ~cov:cc Simcomp.Compiler.Clang
+                  Simcomp.Compiler.default_options src);
+        check Alcotest.bool "salted ids differ" true
+          (Simcomp.Coverage.has_new_coverage ~seen:cg cc));
+    tc "compilation coverage is deterministic" (fun () ->
+        let src = Ast_gen.gen_source (Rng.create 77) in
+        let c1 = Simcomp.Coverage.create () in
+        let c2 = Simcomp.Coverage.create () in
+        ignore (Simcomp.Compiler.compile ~cov:c1 Simcomp.Compiler.Gcc
+                  Simcomp.Compiler.default_options src);
+        ignore (Simcomp.Compiler.compile ~cov:c2 Simcomp.Compiler.Gcc
+                  Simcomp.Compiler.default_options src);
+        check Alcotest.bool "same" false
+          (Simcomp.Coverage.has_new_coverage ~seen:c1 c2);
+        check Alcotest.int "same count"
+          (Simcomp.Coverage.covered c1)
+          (Simcomp.Coverage.covered c2));
+    tc "random_options stays in range" (fun () ->
+        let rng = Rng.create 3 in
+        for _ = 1 to 50 do
+          let o = Simcomp.Compiler.random_options rng in
+          check Alcotest.bool "level" true
+            (o.Simcomp.Compiler.opt_level >= 0 && o.opt_level <= 3)
+        done);
+    tc "triage is deterministic" (fun () ->
+        let a = Simcomp.Bugdb.triage_of "gcc-111820" in
+        let b = Simcomp.Bugdb.triage_of "gcc-111820" in
+        check Alcotest.bool "equal" true (a = b));
+    tc "bug database covers all stages for both compilers" (fun () ->
+        List.iter
+          (fun compiler ->
+            let bugs = Simcomp.Bugdb.bugs_for compiler in
+            List.iter
+              (fun stage ->
+                check Alcotest.bool
+                  (Fmt.str "%s has %s bugs"
+                     (Simcomp.Bugdb.compiler_to_string compiler)
+                     (Simcomp.Crash.stage_to_string stage))
+                  true
+                  (List.exists (fun b -> b.Simcomp.Bugdb.stage = stage) bugs))
+              Simcomp.Crash.[ Front_end; Ir_gen; Optimization; Back_end ])
+          Simcomp.Bugdb.[ Gcc; Clang ]);
+  ]
+
+(* opt passes must preserve the observable behaviour of the program when
+   the compiler succeeds: we compare the interpreter's verdict before and
+   after the mutation-free pipeline on generated seeds (the passes run on
+   IR; the check is that the pipeline at least never crashes or corrupts
+   the IR structurally) *)
+let pipeline_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"pipeline is total on generated programs"
+         ~count:60 QCheck.small_int
+         (fun seed ->
+           let src = Ast_gen.gen_source (Rng.create (seed + 501)) in
+           match compile ~opt:3 src with
+           | Simcomp.Compiler.Compiled _ -> true
+           | Simcomp.Compiler.Compile_error _ -> false
+           | Simcomp.Compiler.Crashed _ -> true (* latent bugs are legal *)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"optimizer never grows the program" ~count:40
+         QCheck.small_int
+         (fun seed ->
+           let src = Ast_gen.gen_source (Rng.create (seed + 901)) in
+           let tu = parse src in
+           let tc_res = Typecheck.check tu in
+           let p = Simcomp.Lower.lower_tu tu tc_res in
+           let before = Simcomp.Ir.program_size p in
+           ignore (Simcomp.Opt.run_pipeline ~level:2 ~disabled:[] p);
+           Simcomp.Ir.program_size p <= before + 1));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential testing: AST semantics vs lowered IR vs optimized IR    *)
+(* ------------------------------------------------------------------ *)
+
+(* The scalar/array subset both interpreters share. *)
+let diff_cfg =
+  {
+    Ast_gen.default_config with
+    allow_pointers = false;
+    allow_structs = false;
+    allow_strings = false;
+    max_functions = 2;
+    max_depth = 2;
+    call_weight = 1;
+  }
+
+let run_ir p =
+  let o = Simcomp.Ir_interp.run ~fuel:2_000_000 p in
+  match o.Simcomp.Ir_interp.o_unsupported with
+  | Some _ -> None
+  | None ->
+    if o.Simcomp.Ir_interp.o_hang then None
+    else Some (o.Simcomp.Ir_interp.o_exit, o.Simcomp.Ir_interp.o_trapped)
+
+let run_ast tu =
+  let o = Simcomp.Interp.run ~fuel:2_000_000 tu in
+  if o.Simcomp.Interp.o_hang then None
+  else Some (o.Simcomp.Interp.o_exit, o.Simcomp.Interp.o_aborted)
+
+let differential_tests =
+  [
+    tc "ir interpreter runs a hand-written program" (fun () ->
+        let p =
+          lower
+            "int acc;
+             int triple(int x) { return x * 3; }
+             int main(void) { int s = 0; for (int i = 0; i < 4; i++) s +=              triple(i); acc = s; return acc; }"
+        in
+        let o = Simcomp.Ir_interp.run p in
+        check Alcotest.(option string) "supported" None
+          o.Simcomp.Ir_interp.o_unsupported;
+        check Alcotest.int "3*(0+1+2+3)" 18 o.Simcomp.Ir_interp.o_exit);
+    tc "ir interpreter traps on division by zero" (fun () ->
+        let p = lower "int main(void) { int z = 0; return 4 / z; }" in
+        let o = Simcomp.Ir_interp.run p in
+        check Alcotest.bool "trapped" true o.Simcomp.Ir_interp.o_trapped);
+    tc "ir interpreter agrees with the AST interpreter on switch" (fun () ->
+        let src =
+          "int classify(int c) { int r = 0; switch (c) { case 0: case 1: r =            10; break; case 2: r = 20; case 3: r += 1; break; default: r = -1;            break; } return r; }
+           int main(void) { return classify(2) + classify(0) + classify(9); }"
+        in
+        let tu = parse src in
+        let p = lower src in
+        check Alcotest.(option (pair int bool)) "same" (run_ast tu) (run_ir p));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"lowering preserves observable behaviour (AST vs IR)"
+         ~count:80 QCheck.small_int
+         (fun seed ->
+           let rng = Rng.create (seed + 4001) in
+           let tu = Ast_gen.gen_tu ~cfg:diff_cfg rng in
+           let tc_res = Typecheck.check tu in
+           let p = Simcomp.Lower.lower_tu tu tc_res in
+           match run_ast tu, run_ir p with
+           | Some a, Some b -> a = b
+           | _ -> true (* fuel or unsupported: skip *)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"the optimizer is semantics-preserving (O2 pipeline)"
+         ~count:80 QCheck.small_int
+         (fun seed ->
+           let rng = Rng.create (seed + 5001) in
+           let tu = Ast_gen.gen_tu ~cfg:diff_cfg rng in
+           let tc_res = Typecheck.check tu in
+           let p = Simcomp.Lower.lower_tu tu tc_res in
+           let before = run_ir p in
+           ignore (Simcomp.Opt.run_pipeline ~level:2 ~disabled:[] p);
+           let after = run_ir p in
+           match before, after with
+           | Some a, Some b -> a = b
+           | _ -> true));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"O3 pipeline also preserves semantics" ~count:50
+         QCheck.small_int
+         (fun seed ->
+           let rng = Rng.create (seed + 6001) in
+           let tu = Ast_gen.gen_tu ~cfg:diff_cfg rng in
+           let tc_res = Typecheck.check tu in
+           let p = Simcomp.Lower.lower_tu tu tc_res in
+           let before = run_ir p in
+           ignore (Simcomp.Opt.run_pipeline ~level:3 ~disabled:[] p);
+           let after = run_ir p in
+           match before, after with
+           | Some a, Some b -> a = b
+           | _ -> true));
+  ]
+
+(* Mutants intentionally change *program* semantics, but the compiler
+   stack must still translate whatever program it is given faithfully:
+   AST and optimized-IR semantics must agree on mutants too. *)
+let mutant_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"optimizer soundness holds on mutated programs" ~count:60
+       QCheck.small_int
+       (fun seed ->
+         let rng = Rng.create (seed + 7001) in
+         let tu = Ast_gen.gen_tu ~cfg:diff_cfg rng in
+         let m = Rng.choose rng Mutators.Registry.core in
+         match Mutators.Mutator.apply m ~rng tu with
+         | None -> true
+         | Some tu' ->
+           let tc_res = Typecheck.check tu' in
+           if not tc_res.Typecheck.r_ok then true
+           else begin
+             let p = Simcomp.Lower.lower_tu tu' tc_res in
+             let before = run_ir p in
+             ignore (Simcomp.Opt.run_pipeline ~level:2 ~disabled:[] p);
+             let after = run_ir p in
+             match run_ast tu', before, after with
+             | Some a, Some b, Some c -> a = b && b = c
+             | _ -> true
+           end))
+
+let () =
+  Alcotest.run "simcomp"
+    [
+      ("coverage", coverage_tests);
+      ("features", feature_tests);
+      ("interp", interp_tests);
+      ("ir", ir_tests);
+      ("opt", opt_tests);
+      ("backend", backend_tests);
+      ("bugs-and-pipeline", bug_tests @ pipeline_props);
+      ("differential", differential_tests @ [ mutant_differential ]);
+    ]
