@@ -1,0 +1,28 @@
+#!/bin/sh
+# Tier-1 verification: full build + test suite, as required by ROADMAP.md.
+# Usage: bench/check.sh  (from the repository root)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== smoke: campaign determinism across job counts =="
+CLI=_build/default/bin/metamut_cli.exe
+if [ -x "$CLI" ]; then
+  "$CLI" campaign --iterations 10 --jobs 1 > /tmp/campaign_j1.txt
+  "$CLI" campaign --iterations 10 --jobs 4 > /tmp/campaign_j4.txt
+  if cmp -s /tmp/campaign_j1.txt /tmp/campaign_j4.txt; then
+    echo "campaign output identical for --jobs 1 and --jobs 4"
+  else
+    echo "FAIL: campaign output differs between --jobs 1 and --jobs 4" >&2
+    diff /tmp/campaign_j1.txt /tmp/campaign_j4.txt >&2 || true
+    exit 1
+  fi
+fi
+
+echo "OK"

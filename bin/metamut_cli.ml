@@ -17,6 +17,104 @@ let read_file path =
   s
 
 (* ------------------------------------------------------------------ *)
+(* metrics rendering (shared by fuzz / generate / campaign)            *)
+(* ------------------------------------------------------------------ *)
+
+let chop_prefix ~prefix s =
+  String.sub s (String.length prefix) (String.length s - String.length prefix)
+
+(* Per-stage span timings: one row per span histogram. *)
+let render_spans (ctx : Engine.Ctx.t) =
+  let spans =
+    List.filter_map
+      (function
+        | name, Engine.Metrics.Histogram { sum; total; _ }
+          when String.starts_with ~prefix:"span." name ->
+          Some (chop_prefix ~prefix:"span." name, total, sum)
+        | _ -> None)
+      (Engine.Metrics.snapshot ctx.Engine.Ctx.metrics)
+  in
+  if spans <> [] then begin
+    let t =
+      Report.Table.create ~title:"Span timings"
+        ~header:[ "span"; "count"; "total ms"; "mean us" ]
+    in
+    List.iter
+      (fun (name, total, sum) ->
+        Report.Table.add_row t
+          [
+            name;
+            string_of_int total;
+            Fmt.str "%.1f" (sum /. 1e6);
+            Fmt.str "%.1f"
+              (if total = 0 then 0. else sum /. float_of_int total /. 1e3);
+          ])
+      spans;
+    Report.Table.print t
+  end
+
+(* Counter families rendered as a two-column table. *)
+let render_counter_family (ctx : Engine.Ctx.t) ~title ~prefix =
+  let rows =
+    Engine.Metrics.counters_with_prefix ctx.Engine.Ctx.metrics ~prefix
+  in
+  if rows <> [] then begin
+    let t = Report.Table.create ~title ~header:[ "name"; "count" ] in
+    List.iter
+      (fun (name, n) -> Report.Table.add_row t [ name; string_of_int n ])
+      rows;
+    Report.Table.print t
+  end
+
+(* Per-mutator accept/reject counters, sorted by acceptance. *)
+let render_mutator_counters (ctx : Engine.Ctx.t) =
+  let reg = ctx.Engine.Ctx.metrics in
+  let family prefix = Engine.Metrics.counters_with_prefix reg ~prefix in
+  let attempts = family "mucfuzz.attempt." in
+  if attempts <> [] then begin
+    let get rows name =
+      Option.value ~default:0 (List.assoc_opt name rows)
+    in
+    let accepts = family "mucfuzz.accept."
+    and rejects = family "mucfuzz.reject."
+    and inapplicable = family "mucfuzz.inapplicable." in
+    let rows =
+      List.map
+        (fun (name, att) ->
+          (name, att, get accepts name, get rejects name,
+           get inapplicable name))
+        attempts
+      |> List.sort (fun (n1, _, a1, _, _) (n2, _, a2, _, _) ->
+             compare (-a1, n1) (-a2, n2))
+    in
+    let t =
+      Report.Table.create ~title:"Per-mutator accept/reject"
+        ~header:[ "mutator"; "attempts"; "accepts"; "rejects"; "n/a" ]
+    in
+    List.iter
+      (fun (name, att, acc, rej, na) ->
+        Report.Table.add_row t
+          [
+            name; string_of_int att; string_of_int acc; string_of_int rej;
+            string_of_int na;
+          ])
+      rows;
+    Report.Table.print t
+  end
+
+let render_metrics (ctx : Engine.Ctx.t) =
+  render_spans ctx;
+  render_counter_family ctx ~title:"Compile outcomes" ~prefix:"compile.";
+  render_counter_family ctx ~title:"Pipeline counters" ~prefix:"pipeline.";
+  render_mutator_counters ctx
+
+let metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Collect engine metrics (spans, counters) and print them.")
+
+(* ------------------------------------------------------------------ *)
 (* list-mutators                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -135,7 +233,7 @@ let compile_cmd =
 (* fuzz                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let fuzz compiler iterations seed corpus_kind =
+let fuzz compiler iterations seed corpus_kind metrics trace =
   let rng = Cparse.Rng.create seed in
   let seeds = Fuzzing.Seeds.corpus ~n:50 (Cparse.Rng.create seed) in
   let mutators =
@@ -149,8 +247,13 @@ let fuzz compiler iterations seed corpus_kind =
     { (Fuzzing.Mucfuzz.default_config ~mutators ()) with
       Fuzzing.Mucfuzz.max_attempts_per_iteration = 16 }
   in
+  let engine = Engine.Ctx.create () in
+  if trace then
+    Engine.Event.add_sink engine.Engine.Ctx.bus
+      (Engine.Event.text_sink ~out:(fun line -> Fmt.epr "%s@." line));
   let r =
-    Fuzzing.Mucfuzz.run ~cfg ~rng ~compiler ~seeds ~iterations ~name:"uCFuzz" ()
+    Fuzzing.Mucfuzz.run ~cfg ~engine ~rng ~compiler ~seeds ~iterations
+      ~name:"uCFuzz" ()
   in
   Fmt.pr "iterations: %d@." iterations;
   Fmt.pr "mutants: %d (%.1f%% compilable)@." r.Fuzzing.Fuzz_result.total_mutants
@@ -161,7 +264,8 @@ let fuzz compiler iterations seed corpus_kind =
   Hashtbl.iter
     (fun _ cr ->
       Fmt.pr "  %s@." (Simcomp.Crash.to_string cr.Fuzzing.Fuzz_result.cr_crash))
-    r.Fuzzing.Fuzz_result.crashes
+    r.Fuzzing.Fuzz_result.crashes;
+  if metrics then render_metrics engine
 
 let fuzz_cmd =
   let compiler =
@@ -179,16 +283,23 @@ let fuzz_cmd =
       & info [ "corpus" ]
           ~doc:"Mutator corpus: core, supervised, unsupervised, extended.")
   in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Stream engine events to stderr (line-oriented text sink).")
+  in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run the uCFuzz coverage-guided fuzzer")
-    Term.(const fuzz $ compiler $ iterations $ seed $ corpus)
+    Term.(const fuzz $ compiler $ iterations $ seed $ corpus $ metrics_flag $ trace)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let generate n seed =
-  let runs = Metamut.Pipeline.run_many ~seed ~n () in
+let generate n seed metrics =
+  let engine = if metrics then Some (Engine.Ctx.create ()) else None in
+  let runs = Metamut.Pipeline.run_many ~seed ?engine ~n () in
   List.iter
     (fun r ->
       let open Metamut.Pipeline in
@@ -201,26 +312,30 @@ let generate n seed =
       | System_error -> Fmt.pr "error      (API)@.")
     runs;
   let s = Metamut.Pipeline.summarize runs in
-  Fmt.pr "valid: %d/%d@." s.Metamut.Pipeline.s_valid n
+  Fmt.pr "valid: %d/%d@." s.Metamut.Pipeline.s_valid n;
+  Option.iter render_metrics engine
 
 let generate_cmd =
   let n = Arg.(value & opt int 20 & info [ "n" ] ~doc:"Invocations.") in
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"RNG seed.") in
   Cmd.v
     (Cmd.info "generate" ~doc:"Run the MetaMut mutator-generation pipeline")
-    Term.(const generate $ n $ seed)
+    Term.(const generate $ n $ seed $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
 (* campaign                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let campaign iterations =
+let campaign iterations jobs metrics =
   let cfg =
     { Fuzzing.Campaign.default_config with
       iterations;
-      sample_every = max 1 (iterations / 10) }
+      sample_every = max 1 (iterations / 10);
+      jobs =
+        (if jobs > 0 then jobs else Fuzzing.Campaign.default_config.jobs) }
   in
-  let t = Fuzzing.Campaign.run ~cfg () in
+  let engine = if metrics then Some (Engine.Ctx.create ()) else None in
+  let t = Fuzzing.Campaign.run ~cfg ?engine () in
   let table =
     Report.Table.create ~title:"RQ1 campaign"
       ~header:[ "fuzzer"; "compiler"; "coverage"; "crashes"; "compilable %" ]
@@ -234,15 +349,25 @@ let campaign iterations =
           string_of_int (Fuzzing.Fuzz_result.unique_crashes r);
           Fmt.str "%.1f" (Fuzzing.Fuzz_result.compilable_ratio r) ])
     t.Fuzzing.Campaign.results;
-  Report.Table.print table
+  Report.Table.print table;
+  Option.iter render_metrics engine
 
 let campaign_cmd =
   let iterations =
     Arg.(value & opt int 200 & info [ "n"; "iterations" ] ~doc:"Iterations.")
   in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ]
+          ~doc:
+            "Domain workers over the fuzzer x compiler matrix (0 = \
+             recommended domain count).  Results are identical at any job \
+             count.")
+  in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run the six-fuzzer RQ1 comparison")
-    Term.(const campaign $ iterations)
+    Term.(const campaign $ iterations $ jobs $ metrics_flag)
 
 let () =
   let info =

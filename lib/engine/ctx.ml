@@ -1,0 +1,23 @@
+(* The execution context threaded through the compiler, the fuzzers and
+   the MetaMut pipeline: one metrics registry + one event bus + a clock.
+
+   A context is owned by a single domain.  Parallel campaigns give each
+   worker its own context and Metrics.merge the registries at the join
+   barrier. *)
+
+type t = {
+  metrics : Metrics.t;
+  bus : Event.bus;
+  clock : unit -> int64;  (* monotonic-enough wall clock, nanoseconds *)
+}
+
+let default_clock () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let create ?(clock = default_clock) () =
+  { metrics = Metrics.create (); bus = Event.bus (); clock }
+
+let emit (t : t) e = Event.emit t.bus e
+let now_ns (t : t) = t.clock ()
+
+let incr ?(by = 1) (t : t) name =
+  Metrics.incr ~by (Metrics.counter t.metrics name)

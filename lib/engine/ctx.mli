@@ -1,0 +1,27 @@
+(** The execution context threaded through the compiler, the fuzzers
+    and the MetaMut pipeline: one metrics registry, one event bus, and
+    a nanosecond clock.
+
+    A context is owned by a single domain; parallel campaigns give each
+    worker its own and {!Metrics.merge} the registries at the join
+    barrier. *)
+
+type t = {
+  metrics : Metrics.t;
+  bus : Event.bus;
+  clock : unit -> int64;
+}
+
+val default_clock : unit -> int64
+(** Wall clock in nanoseconds ([Unix.gettimeofday]-based). *)
+
+val create : ?clock:(unit -> int64) -> unit -> t
+(** Fresh context with no sinks attached (events are dropped until a
+    sink is added — the null configuration). *)
+
+val emit : t -> Event.t -> unit
+val now_ns : t -> int64
+
+val incr : ?by:int -> t -> string -> unit
+(** Convenience counter bump (does the name lookup; hot paths should
+    pre-resolve with {!Metrics.counter} instead). *)

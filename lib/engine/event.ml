@@ -1,0 +1,116 @@
+(* Structured events and the bus that fans them out to pluggable sinks.
+
+   Events are typed (no string parsing on the hot path); sinks decide
+   what to retain: nothing (null), the last N events (memory ring), a
+   line per event (text), or per-kind counters (metrics). *)
+
+type stage = Frontend | Lower | Opt | Backend
+
+let stage_to_string = function
+  | Frontend -> "frontend"
+  | Lower -> "lower"
+  | Opt -> "opt"
+  | Backend -> "backend"
+
+type outcome_kind = Compiled_ok | Compile_failed | Crashed
+
+let outcome_kind_to_string = function
+  | Compiled_ok -> "compiled"
+  | Compile_failed -> "compile-error"
+  | Crashed -> "crash"
+
+type t =
+  | Mutant_attempted of { mutator : string }
+  | Compile_finished of outcome_kind * stage
+      (* stage = last pipeline stage reached *)
+  | Coverage_gained of { iteration : int; fresh : int }
+  | Coverage_sampled of { iteration : int; covered : int }
+  | Crash_found of { key : string; stage : stage; iteration : int }
+  | Pipeline_goal of int * bool  (* validation goal, fix succeeded *)
+  | Custom of string
+
+let kind_name = function
+  | Mutant_attempted _ -> "mutant_attempted"
+  | Compile_finished _ -> "compile_finished"
+  | Coverage_gained _ -> "coverage_gained"
+  | Coverage_sampled _ -> "coverage_sampled"
+  | Crash_found _ -> "crash_found"
+  | Pipeline_goal _ -> "pipeline_goal"
+  | Custom _ -> "custom"
+
+let to_string = function
+  | Mutant_attempted { mutator } -> Fmt.str "mutant-attempted %s" mutator
+  | Compile_finished (k, s) ->
+    Fmt.str "compile-finished %s @@%s" (outcome_kind_to_string k)
+      (stage_to_string s)
+  | Coverage_gained { iteration; fresh } ->
+    Fmt.str "coverage-gained +%d @@%d" fresh iteration
+  | Coverage_sampled { iteration; covered } ->
+    Fmt.str "coverage-sampled %d @@%d" covered iteration
+  | Crash_found { key; stage; iteration } ->
+    Fmt.str "crash-found %s @@%s @@%d" key (stage_to_string stage) iteration
+  | Pipeline_goal (goal, fixed) ->
+    Fmt.str "pipeline-goal #%d %s" goal (if fixed then "fixed" else "unfixed")
+  | Custom s -> Fmt.str "custom %s" s
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type sink = { sink_name : string; emit : t -> unit }
+
+let null_sink = { sink_name = "null"; emit = (fun _ -> ()) }
+
+type ring = {
+  r_capacity : int;
+  r_buf : t option array;
+  mutable r_seen : int;  (* total events ever emitted *)
+}
+
+let ring_sink ~capacity : ring * sink =
+  if capacity <= 0 then invalid_arg "Event.ring_sink: capacity must be > 0";
+  let r = { r_capacity = capacity; r_buf = Array.make capacity None; r_seen = 0 } in
+  let emit e =
+    r.r_buf.(r.r_seen mod r.r_capacity) <- Some e;
+    r.r_seen <- r.r_seen + 1
+  in
+  (r, { sink_name = "ring"; emit })
+
+let ring_seen (r : ring) = r.r_seen
+let ring_dropped (r : ring) = max 0 (r.r_seen - r.r_capacity)
+
+(* Oldest-to-newest retained events. *)
+let ring_contents (r : ring) : t list =
+  let kept = min r.r_seen r.r_capacity in
+  List.init kept (fun i ->
+      match r.r_buf.((r.r_seen - kept + i) mod r.r_capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let text_sink ~out = { sink_name = "text"; emit = (fun e -> out (to_string e)) }
+
+(* Counts events by kind into "event.<kind>" counters. *)
+let metrics_sink (m : Metrics.t) =
+  {
+    sink_name = "metrics";
+    emit = (fun e -> Metrics.incr (Metrics.counter m ("event." ^ kind_name e)));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Bus                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type bus = { mutable sinks : sink list }
+
+let bus () = { sinks = [] }
+let add_sink (b : bus) s = b.sinks <- b.sinks @ [ s ]
+
+(* Removal is by physical identity: scoped listeners (e.g. μCFuzz's
+   trend sink) detach exactly themselves at tear-down. *)
+let remove_sink (b : bus) (s : sink) =
+  b.sinks <- List.filter (fun s' -> s' != s) b.sinks
+
+let emit (b : bus) e =
+  match b.sinks with
+  | [] -> ()
+  | sinks -> List.iter (fun s -> s.emit e) sinks

@@ -1,0 +1,64 @@
+(** The metrics registry: counters, gauges, and histograms with fixed
+    bucket edges.
+
+    Hot paths resolve an instrument once ({!counter}, {!histogram}) and
+    then pay O(1) per increment/observation; {!snapshot} and {!merge}
+    are cold reporting paths. *)
+
+type counter
+type gauge
+type histogram
+
+type t
+(** A registry.  Not domain-safe: each worker owns its registry and the
+    join barrier {!merge}s them into the main one. *)
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Find-or-create by name. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val default_time_edges_ns : float array
+(** Decade buckets from 1us to 10s, in nanoseconds. *)
+
+val histogram : ?edges:float array -> t -> string -> histogram
+(** Find-or-create; [edges] are strictly increasing upper bounds (a value
+    [v] lands in the first bucket with [v <= edge], else overflow).
+    [edges] is ignored when the histogram already exists.
+    @raise Invalid_argument on empty or non-increasing edges. *)
+
+val bucket_index : histogram -> float -> int
+(** Bucket a value would land in; [Array.length edges] is overflow. *)
+
+val observe : histogram -> float -> unit
+val histogram_mean : histogram -> float
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      edges : float array;
+      counts : int array;
+      sum : float;
+      total : int;
+    }
+
+val snapshot : t -> (string * value) list
+(** All instruments as a name-sorted assoc list, for reporting. *)
+
+val counters_with_prefix : t -> prefix:string -> (string * int) list
+(** Counters whose name starts with [prefix], keyed by the suffix —
+    the idiom behind per-mutator counter families
+    ("mucfuzz.accept.<mutator>"). *)
+
+val merge : into:t -> t -> unit
+(** Join a worker registry: counters and histogram buckets add, gauges
+    take the source value.
+    @raise Invalid_argument on histogram bucket-edge mismatch. *)

@@ -1,0 +1,44 @@
+(* Domain-parallel fan-out with a work-stealing index counter.
+
+   [parallel_map] spawns up to [jobs] domains (OCaml 5 Domain.spawn),
+   each pulling the next unclaimed item off a shared Atomic counter, and
+   joins them all before returning.  Results come back in input order
+   regardless of which worker ran which item, so a deterministic
+   per-item function gives byte-identical output at any job count. *)
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let parallel_map ?(jobs = Domain.recommended_domain_count ()) (f : 'a -> 'b)
+    (items : 'a list) : 'b list =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let jobs = max 1 (min jobs n) in
+  if n = 0 then []
+  else if jobs = 1 then List.map f items
+  else begin
+    let results : ('b, exn) result option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (* each slot is written by exactly one worker: claiming [i]
+             through the atomic counter is the synchronisation *)
+          (results.(i) <-
+            (match f arr.(i) with
+            | v -> Some (Ok v)
+            | exception e -> Some (Error e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  end

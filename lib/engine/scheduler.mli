@@ -1,0 +1,15 @@
+(** Domain-parallel fan-out over a work list.
+
+    Workers claim items off a shared atomic counter; results return in
+    input order, so a deterministic per-item function yields identical
+    output at any job count. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Map [f] over the list with up to [jobs] domains (default
+    {!recommended_jobs}; [jobs <= 1] degrades to [List.map]).  [f] must
+    not share mutable state across items.  If any application raises,
+    the first exception in input order is re-raised after all workers
+    join. *)

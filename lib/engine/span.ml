@@ -1,0 +1,23 @@
+(* Tracing spans: wall-clock nanoseconds per named region, recorded
+   into the context's metrics registry as "span.<name>" histograms
+   (decade buckets, 1us..10s).  A span records even when the wrapped
+   computation raises — a compiler stage that crashes still spent the
+   time. *)
+
+let record (ctx : Ctx.t) ~name ns =
+  Metrics.observe
+    (Metrics.histogram ctx.Ctx.metrics ("span." ^ name))
+    (Int64.to_float ns)
+
+let with_ (ctx : Ctx.t) ~name f =
+  let t0 = Ctx.now_ns ctx in
+  match f () with
+  | v ->
+    record ctx ~name (Int64.sub (Ctx.now_ns ctx) t0);
+    v
+  | exception e ->
+    record ctx ~name (Int64.sub (Ctx.now_ns ctx) t0);
+    raise e
+
+let with_opt (ctx : Ctx.t option) ~name f =
+  match ctx with None -> f () | Some ctx -> with_ ctx ~name f

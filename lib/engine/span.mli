@@ -1,0 +1,15 @@
+(** Tracing spans: wall-clock nanoseconds per named region.
+
+    Durations land in the context registry as ["span.<name>"] histograms
+    with {!Metrics.default_time_edges_ns} buckets; the histogram's total
+    and sum give call count and cumulative time. *)
+
+val record : Ctx.t -> name:string -> int64 -> unit
+(** Record an externally measured duration (nanoseconds). *)
+
+val with_ : Ctx.t -> name:string -> (unit -> 'a) -> 'a
+(** Time [f] and record the duration — also when [f] raises (a crashing
+    compiler stage still spent the time). *)
+
+val with_opt : Ctx.t option -> name:string -> (unit -> 'a) -> 'a
+(** [with_] when a context is present, plain [f ()] otherwise. *)

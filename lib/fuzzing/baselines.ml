@@ -88,7 +88,7 @@ let havoc_byte_mutation (rng : Rng.t) (src : string) : string =
     Bytes.to_string !buf
   end
 
-let run_aflpp ~rng ~compiler ~seeds ~iterations ~sample_every () :
+let run_aflpp ?engine ~rng ~compiler ~seeds ~iterations ~sample_every () :
     Fuzz_result.t =
   let result = Fuzz_result.make ~fuzzer_name:"AFL++" ~compiler in
   let pool = ref (Array.of_list seeds) in
@@ -97,7 +97,7 @@ let run_aflpp ~rng ~compiler ~seeds ~iterations ~sample_every () :
   Array.iter
     (fun src ->
       let cov = Simcomp.Coverage.create () in
-      ignore (Simcomp.Compiler.compile ~cov compiler options src);
+      ignore (Simcomp.Compiler.compile ~cov ?engine compiler options src);
       ignore (Simcomp.Coverage.merge ~into:result.Fuzz_result.coverage cov))
     !pool;
   let trend = ref [] in
@@ -114,7 +114,7 @@ let run_aflpp ~rng ~compiler ~seeds ~iterations ~sample_every () :
           throughput_mutants = !result.throughput_mutants + 1;
         };
       let cov = Simcomp.Coverage.create () in
-      (match Simcomp.Compiler.compile ~cov compiler options mutant with
+      (match Simcomp.Compiler.compile ~cov ?engine compiler options mutant with
       | Simcomp.Compiler.Compiled _ ->
         result := { !result with compilable_mutants = !result.compilable_mutants + 1 }
       | Simcomp.Compiler.Crashed c ->
@@ -135,8 +135,8 @@ let run_aflpp ~rng ~compiler ~seeds ~iterations ~sample_every () :
 (* Generation-based baselines                                          *)
 (* ------------------------------------------------------------------ *)
 
-let run_generator ~name ~(cfg : Ast_gen.config) ~rng ~compiler ~iterations
-    ~sample_every () : Fuzz_result.t =
+let run_generator ?engine ~name ~(cfg : Ast_gen.config) ~rng ~compiler
+    ~iterations ~sample_every () : Fuzz_result.t =
   let result = ref (Fuzz_result.make ~fuzzer_name:name ~compiler) in
   let options = Simcomp.Compiler.default_options in
   let trend = ref [] in
@@ -149,7 +149,7 @@ let run_generator ~name ~(cfg : Ast_gen.config) ~rng ~compiler ~iterations
         throughput_mutants = !result.throughput_mutants + 1;
       };
     let cov = Simcomp.Coverage.create () in
-    (match Simcomp.Compiler.compile ~cov compiler options src with
+    (match Simcomp.Compiler.compile ~cov ?engine compiler options src with
     | Simcomp.Compiler.Compiled _ ->
       result := { !result with compilable_mutants = !result.compilable_mutants + 1 }
     | Simcomp.Compiler.Crashed c ->
@@ -161,12 +161,12 @@ let run_generator ~name ~(cfg : Ast_gen.config) ~rng ~compiler ~iterations
   done;
   { !result with iterations; coverage_trend = List.rev !trend }
 
-let run_csmith ~rng ~compiler ~iterations ~sample_every () =
-  run_generator ~name:"Csmith" ~cfg:Ast_gen.csmith_like_config ~rng ~compiler
-    ~iterations ~sample_every ()
+let run_csmith ?engine ~rng ~compiler ~iterations ~sample_every () =
+  run_generator ?engine ~name:"Csmith" ~cfg:Ast_gen.csmith_like_config ~rng
+    ~compiler ~iterations ~sample_every ()
 
-let run_yarpgen ~rng ~compiler ~iterations ~sample_every () =
-  run_generator ~name:"YARPGen" ~cfg:Ast_gen.yarpgen_like_config ~rng
+let run_yarpgen ?engine ~rng ~compiler ~iterations ~sample_every () =
+  run_generator ?engine ~name:"YARPGen" ~cfg:Ast_gen.yarpgen_like_config ~rng
     ~compiler ~iterations ~sample_every ()
 
 (* ------------------------------------------------------------------ *)
@@ -234,7 +234,7 @@ let grayc_mutators : Mutators.Mutator.t list =
     inject_control_flow;
   ]
 
-let run_grayc ~rng ~compiler ~seeds ~iterations ~sample_every () :
+let run_grayc ?engine ~rng ~compiler ~seeds ~iterations ~sample_every () :
     Fuzz_result.t =
   let cfg =
     {
@@ -243,4 +243,4 @@ let run_grayc ~rng ~compiler ~seeds ~iterations ~sample_every () :
       sample_every;
     }
   in
-  Mucfuzz.run ~cfg ~rng ~compiler ~seeds ~iterations ~name:"GrayC" ()
+  Mucfuzz.run ~cfg ?engine ~rng ~compiler ~seeds ~iterations ~name:"GrayC" ()

@@ -14,6 +14,7 @@ val havoc_byte_mutation : Cparse.Rng.t -> string -> string
     deletion/duplication/swap, token insertion. *)
 
 val run_aflpp :
+  ?engine:Engine.Ctx.t ->
   rng:Cparse.Rng.t ->
   compiler:Simcomp.Compiler.compiler ->
   seeds:string list ->
@@ -23,6 +24,7 @@ val run_aflpp :
   Fuzz_result.t
 
 val run_csmith :
+  ?engine:Engine.Ctx.t ->
   rng:Cparse.Rng.t ->
   compiler:Simcomp.Compiler.compiler ->
   iterations:int ->
@@ -31,6 +33,7 @@ val run_csmith :
   Fuzz_result.t
 
 val run_yarpgen :
+  ?engine:Engine.Ctx.t ->
   rng:Cparse.Rng.t ->
   compiler:Simcomp.Compiler.compiler ->
   iterations:int ->
@@ -46,6 +49,7 @@ val grayc_mutators : Mutators.Mutator.t list
 (** The five GrayC mutators ([./grayc --list-mutations] in the paper). *)
 
 val run_grayc :
+  ?engine:Engine.Ctx.t ->
   rng:Cparse.Rng.t ->
   compiler:Simcomp.Compiler.compiler ->
   seeds:string list ->

@@ -23,12 +23,27 @@ let fuzzer_name = function
 
 let all_fuzzers = [ MuCFuzz_s; MuCFuzz_u; AFLpp; GrayC; Csmith; YARPGen ]
 
+(* Stable per-fuzzer/per-compiler RNG-derivation tags.  Hashtbl.hash is
+   not a cross-version (or cross-domain-layout) determinism guarantee;
+   these are, and worker-parallel runs must reproduce the sequential
+   streams exactly. *)
+let fuzzer_tag = function
+  | MuCFuzz_s -> 1
+  | MuCFuzz_u -> 2
+  | AFLpp -> 3
+  | GrayC -> 4
+  | Csmith -> 5
+  | YARPGen -> 6
+
+let compiler_tag = function Simcomp.Compiler.Gcc -> 1 | Clang -> 2
+
 type config = {
   iterations : int;
   seeds : int;            (* seed-corpus size *)
   sample_every : int;
   seed_value : int;       (* RNG seed for determinism *)
   max_attempts : int;     (* μCFuzz per-iteration mutator budget *)
+  jobs : int;             (* Domain.spawn workers over the matrix *)
 }
 
 let default_config =
@@ -38,17 +53,16 @@ let default_config =
     sample_every = 20;
     seed_value = 2024;
     max_attempts = 16;
+    jobs = Domain.recommended_domain_count ();
   }
 
-let run_one (cfg : config) (fuzzer : fuzzer_id)
+let run_one ?engine (cfg : config) (fuzzer : fuzzer_id)
     (compiler : Simcomp.Compiler.compiler) : Fuzz_result.t =
   (* every fuzzer gets its own deterministic RNG stream and the same seed
      corpus (except the generation-based ones, which are seedless) *)
   let rng =
     Rng.create
-      (cfg.seed_value
-      + (1000 * Hashtbl.hash (fuzzer_name fuzzer))
-      + Hashtbl.hash compiler)
+      (cfg.seed_value + (1000 * fuzzer_tag fuzzer) + compiler_tag compiler)
   in
   let seed_rng = Rng.create cfg.seed_value in
   let seeds = Seeds.corpus ~n:cfg.seeds seed_rng in
@@ -69,22 +83,24 @@ let run_one (cfg : config) (fuzzer : fuzzer_id)
   | MuCFuzz_s ->
     Mucfuzz.run
       ~cfg:(mucfuzz_cfg Mutators.Registry.supervised "uCFuzz.s")
-      ~rng ~compiler ~seeds ~iterations:cfg.iterations ~name:"uCFuzz.s" ()
+      ?engine ~rng ~compiler ~seeds ~iterations:cfg.iterations
+      ~name:"uCFuzz.s" ()
   | MuCFuzz_u ->
     Mucfuzz.run
       ~cfg:(mucfuzz_cfg Mutators.Registry.unsupervised "uCFuzz.u")
-      ~rng ~compiler ~seeds ~iterations:cfg.iterations ~name:"uCFuzz.u" ()
+      ?engine ~rng ~compiler ~seeds ~iterations:cfg.iterations
+      ~name:"uCFuzz.u" ()
   | AFLpp ->
-    Baselines.run_aflpp ~rng ~compiler ~seeds ~iterations:cfg.iterations
-      ~sample_every:cfg.sample_every ()
+    Baselines.run_aflpp ?engine ~rng ~compiler ~seeds
+      ~iterations:cfg.iterations ~sample_every:cfg.sample_every ()
   | GrayC ->
-    Baselines.run_grayc ~rng ~compiler ~seeds ~iterations:cfg.iterations
-      ~sample_every:cfg.sample_every ()
+    Baselines.run_grayc ?engine ~rng ~compiler ~seeds
+      ~iterations:cfg.iterations ~sample_every:cfg.sample_every ()
   | Csmith ->
-    Baselines.run_csmith ~rng ~compiler ~iterations:(gen_iters 8)
+    Baselines.run_csmith ?engine ~rng ~compiler ~iterations:(gen_iters 8)
       ~sample_every:(max 1 (cfg.sample_every / 8)) ()
   | YARPGen ->
-    Baselines.run_yarpgen ~rng ~compiler ~iterations:(gen_iters 20)
+    Baselines.run_yarpgen ?engine ~rng ~compiler ~iterations:(gen_iters 20)
       ~sample_every:(max 1 (cfg.sample_every / 4)) ()
 
 type t = {
@@ -92,16 +108,42 @@ type t = {
   results : ((fuzzer_id * Simcomp.Compiler.compiler) * Fuzz_result.t) list;
 }
 
+(* Fan the fuzzer × compiler matrix out over Domain workers.  Each cell
+   derives its own RNG stream, coverage map, and (in parallel mode) its
+   own Engine context, so the per-cell computation is identical at any
+   job count; the join barrier merges worker registries into [engine] in
+   deterministic cell order. *)
 let run ?(cfg = default_config)
     ?(fuzzers = all_fuzzers)
-    ?(compilers = Simcomp.Compiler.[ Gcc; Clang ]) () : t =
-  let results =
+    ?(compilers = Simcomp.Compiler.[ Gcc; Clang ]) ?engine () : t =
+  let cells =
     List.concat_map
-      (fun fuzzer ->
-        List.map
-          (fun compiler -> ((fuzzer, compiler), run_one cfg fuzzer compiler))
-          compilers)
+      (fun fuzzer -> List.map (fun compiler -> (fuzzer, compiler)) compilers)
       fuzzers
+  in
+  let results =
+    if cfg.jobs <= 1 then
+      List.map
+        (fun (fuzzer, compiler) ->
+          ((fuzzer, compiler), run_one ?engine cfg fuzzer compiler))
+        cells
+    else begin
+      let worker (fuzzer, compiler) =
+        let ctx = Engine.Ctx.create () in
+        let r = run_one ~engine:ctx cfg fuzzer compiler in
+        (ctx, ((fuzzer, compiler), r))
+      in
+      let out = Engine.Scheduler.parallel_map ~jobs:cfg.jobs worker cells in
+      (match engine with
+      | None -> ()
+      | Some main ->
+        List.iter
+          (fun (ctx, _) ->
+            Engine.Metrics.merge ~into:main.Engine.Ctx.metrics
+              ctx.Engine.Ctx.metrics)
+          out);
+      List.map snd out
+    end
   in
   { config = cfg; results }
 

@@ -14,17 +14,29 @@ type fuzzer_id =
 val fuzzer_name : fuzzer_id -> string
 val all_fuzzers : fuzzer_id list
 
+val fuzzer_tag : fuzzer_id -> int
+(** Stable RNG-derivation tag (1-6): unlike [Hashtbl.hash], an explicit
+    cross-version determinism guarantee. *)
+
+val compiler_tag : Simcomp.Compiler.compiler -> int
+(** Stable RNG-derivation tag (1-2). *)
+
 type config = {
   iterations : int;    (** time-unit budget (generators get a fraction) *)
   seeds : int;         (** seed-corpus size *)
   sample_every : int;
   seed_value : int;    (** RNG seed: campaigns are deterministic *)
   max_attempts : int;  (** μCFuzz per-iteration mutator budget *)
+  jobs : int;
+      (** Domain workers over the fuzzer × compiler matrix; [<= 1] runs
+          sequentially.  Results are identical at any job count. *)
 }
 
 val default_config : config
+(** [jobs] defaults to [Domain.recommended_domain_count ()]. *)
 
 val run_one :
+  ?engine:Engine.Ctx.t ->
   config -> fuzzer_id -> Simcomp.Compiler.compiler -> Fuzz_result.t
 
 type t = {
@@ -36,8 +48,16 @@ val run :
   ?cfg:config ->
   ?fuzzers:fuzzer_id list ->
   ?compilers:Simcomp.Compiler.compiler list ->
+  ?engine:Engine.Ctx.t ->
   unit ->
   t
+(** Run every (fuzzer, compiler) cell, fanning out over [cfg.jobs]
+    Domain workers.  Each cell owns its RNG stream and coverage map, so
+    coverage/crash results are byte-identical at any job count.  With
+    [engine]: in sequential mode the context is threaded straight
+    through; in parallel mode each worker gets a private context and the
+    join barrier {!Engine.Metrics.merge}s worker registries into
+    [engine] in cell order (per-worker events are not forwarded). *)
 
 val result : t -> fuzzer_id -> Simcomp.Compiler.compiler -> Fuzz_result.t option
 

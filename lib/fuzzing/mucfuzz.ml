@@ -3,7 +3,12 @@
    Given seed programs S, mutators M and a compiler C, each iteration
    picks a random pool program P, shuffles M, and applies mutators until
    one produces a mutant P' covering a branch not covered by the pool;
-   P' then joins the pool.  No havoc, no forking, no pool culling. *)
+   P' then joins the pool.  No havoc, no forking, no pool culling.
+
+   Every run owns an Engine.Ctx: attempts/accepts/rejects are counted
+   per mutator, compile outcomes and crashes become events, and the
+   coverage trend is collected by a Coverage_sampled sink instead of a
+   hand-rolled list. *)
 
 open Cparse
 
@@ -26,18 +31,48 @@ let default_config ?(mutators = Mutators.Registry.core) () =
 
 type pool_entry = { src : string; tu : Ast.tu }
 
+(* Pre-resolved per-mutator instruments: one Hashtbl lookup at set-up,
+   O(1) bumps on the hot path. *)
+type mutator_counters = {
+  mc_attempt : Engine.Metrics.counter;
+  mc_inapplicable : Engine.Metrics.counter;
+  mc_accept : Engine.Metrics.counter;
+  mc_reject : Engine.Metrics.counter;
+}
+
 type state = {
   cfg : config;
   rng : Rng.t;
   compiler : Simcomp.Compiler.compiler;
   options : Simcomp.Compiler.options;
+  engine : Engine.Ctx.t;
+  per_mutator : (string, mutator_counters) Hashtbl.t;
+  trend_rev : (int * int) list ref;  (* fed by the trend sink *)
+  trend_sink : Engine.Event.sink;
   mutable pool : pool_entry array;
   mutable result : Fuzz_result.t;
-  mutable trend_rev : (int * int) list;
 }
 
-let init ?(options = Simcomp.Compiler.default_options) ~cfg ~rng ~compiler
-    ~(seeds : string list) () : state =
+let mutator_counters (st : state) (m : Mutators.Mutator.t) =
+  let name = m.Mutators.Mutator.name in
+  match Hashtbl.find_opt st.per_mutator name with
+  | Some c -> c
+  | None ->
+    let reg = st.engine.Engine.Ctx.metrics in
+    let c =
+      {
+        mc_attempt = Engine.Metrics.counter reg ("mucfuzz.attempt." ^ name);
+        mc_inapplicable =
+          Engine.Metrics.counter reg ("mucfuzz.inapplicable." ^ name);
+        mc_accept = Engine.Metrics.counter reg ("mucfuzz.accept." ^ name);
+        mc_reject = Engine.Metrics.counter reg ("mucfuzz.reject." ^ name);
+      }
+    in
+    Hashtbl.replace st.per_mutator name c;
+    c
+
+let init ?(options = Simcomp.Compiler.default_options) ?engine ~cfg ~rng
+    ~compiler ~(seeds : string list) () : state =
   let pool =
     List.filter_map
       (fun src ->
@@ -46,12 +81,34 @@ let init ?(options = Simcomp.Compiler.default_options) ~cfg ~rng ~compiler
         | Error _ -> None)
       seeds
   in
+  let engine =
+    match engine with Some e -> e | None -> Engine.Ctx.create ()
+  in
+  (* the coverage trend is an event stream: sample_trend emits
+     Coverage_sampled and this sink (detached at the end of [run])
+     collects the samples *)
+  let trend_rev = ref [] in
+  let trend_sink =
+    {
+      Engine.Event.sink_name = "mucfuzz.trend";
+      emit =
+        (function
+        | Engine.Event.Coverage_sampled { iteration; covered } ->
+          trend_rev := (iteration, covered) :: !trend_rev
+        | _ -> ());
+    }
+  in
+  Engine.Event.add_sink engine.Engine.Ctx.bus trend_sink;
   let st =
     {
       cfg;
       rng;
       compiler;
       options;
+      engine;
+      per_mutator = Hashtbl.create 160;
+      trend_rev;
+      trend_sink;
       pool = Array.of_list pool;
       result =
         Fuzz_result.make
@@ -59,17 +116,38 @@ let init ?(options = Simcomp.Compiler.default_options) ~cfg ~rng ~compiler
             (if cfg.mutators == Mutators.Registry.supervised then "uCFuzz.s"
              else "uCFuzz")
           ~compiler;
-      trend_rev = [];
     }
   in
-  (* the pool's baseline coverage comes from compiling the seeds *)
+  (* the pool's baseline coverage comes from compiling the seeds; a seed
+     that crashes the compiler is a finding like any other (iteration 0)
+     and fresh branches feed the baseline trend sample *)
   Array.iter
     (fun e ->
       let cov = Simcomp.Coverage.create () in
-      (match Simcomp.Compiler.compile ~cov compiler options e.src with
-      | _ -> ());
-      ignore (Simcomp.Coverage.merge ~into:st.result.Fuzz_result.coverage cov))
+      (match Simcomp.Compiler.compile ~cov ~engine compiler options e.src with
+      | Simcomp.Compiler.Compiled _ | Simcomp.Compiler.Compile_error _ -> ()
+      | Simcomp.Compiler.Crashed c ->
+        Fuzz_result.record_crash st.result ~iteration:0 ~input:e.src c;
+        Engine.Ctx.emit engine
+          (Engine.Event.Crash_found
+             {
+               key = Simcomp.Crash.unique_key c;
+               stage = Simcomp.Compiler.engine_stage c.Simcomp.Crash.stage;
+               iteration = 0;
+             }));
+      let fresh =
+        Simcomp.Coverage.merge ~into:st.result.Fuzz_result.coverage cov
+      in
+      if fresh > 0 then
+        Engine.Ctx.emit engine
+          (Engine.Event.Coverage_gained { iteration = 0; fresh }))
     st.pool;
+  Engine.Ctx.emit engine
+    (Engine.Event.Coverage_sampled
+       {
+         iteration = 0;
+         covered = Simcomp.Coverage.covered st.result.Fuzz_result.coverage;
+       });
   st
 
 (* One iteration of Algorithm 1. *)
@@ -86,8 +164,13 @@ let step (st : state) ~iteration : unit =
         if !found || !attempts >= st.cfg.max_attempts_per_iteration then ()
         else begin
           incr attempts;
+          let mc = mutator_counters st m in
+          Engine.Metrics.incr mc.mc_attempt;
+          Engine.Ctx.emit st.engine
+            (Engine.Event.Mutant_attempted
+               { mutator = m.Mutators.Mutator.name });
           (match Mutators.Mutator.apply m ~rng:st.rng entry.tu with
-          | None -> ()
+          | None -> Engine.Metrics.incr mc.mc_inapplicable
           | Some tu' ->
             let src' =
               if st.cfg.fragility then Fragility.render st.rng m tu'
@@ -101,7 +184,8 @@ let step (st : state) ~iteration : unit =
               };
             let cov = Simcomp.Coverage.create () in
             let outcome =
-              Simcomp.Compiler.compile ~cov st.compiler st.options src'
+              Simcomp.Compiler.compile ~cov ~engine:st.engine st.compiler
+                st.options src'
             in
             (match outcome with
             | Simcomp.Compiler.Compiled _ ->
@@ -111,14 +195,27 @@ let step (st : state) ~iteration : unit =
                   compilable_mutants = st.result.compilable_mutants + 1;
                 }
             | Simcomp.Compiler.Crashed c ->
-              Fuzz_result.record_crash st.result ~iteration ~input:src' c
+              Fuzz_result.record_crash st.result ~iteration ~input:src' c;
+              Engine.Ctx.emit st.engine
+                (Engine.Event.Crash_found
+                   {
+                     key = Simcomp.Crash.unique_key c;
+                     stage =
+                       Simcomp.Compiler.engine_stage c.Simcomp.Crash.stage;
+                     iteration;
+                   })
             | Simcomp.Compiler.Compile_error _ -> ());
             let new_cov =
               Simcomp.Coverage.has_new_coverage
                 ~seen:st.result.Fuzz_result.coverage cov
             in
-            ignore
-              (Simcomp.Coverage.merge ~into:st.result.Fuzz_result.coverage cov);
+            let fresh =
+              Simcomp.Coverage.merge ~into:st.result.Fuzz_result.coverage cov
+            in
+            if fresh > 0 then
+              Engine.Ctx.emit st.engine
+                (Engine.Event.Coverage_gained { iteration; fresh });
+            let accepted = ref false in
             if (new_cov || not st.cfg.coverage_guided) && not !found then begin
               (* P' joins the pool only when it compiles: broken mutants
                  still contribute (error-path) coverage but breeding from
@@ -129,11 +226,14 @@ let step (st : state) ~iteration : unit =
                 | Ok tu'' ->
                   st.pool <-
                     Array.append st.pool [| { src = src'; tu = tu'' } |];
-                  found := true
+                  found := true;
+                  accepted := true
                 | Error _ -> ())
               | Simcomp.Compiler.Compile_error _
               | Simcomp.Compiler.Crashed _ -> ()
-            end);
+            end;
+            Engine.Metrics.incr
+              (if !accepted then mc.mc_accept else mc.mc_reject));
           try_mutators rest
         end
     in
@@ -142,20 +242,27 @@ let step (st : state) ~iteration : unit =
 
 let sample_trend (st : state) ~iteration =
   if iteration mod st.cfg.sample_every = 0 then
-    st.trend_rev <-
-      (iteration, Simcomp.Coverage.covered st.result.Fuzz_result.coverage)
-      :: st.trend_rev
+    Engine.Ctx.emit st.engine
+      (Engine.Event.Coverage_sampled
+         {
+           iteration;
+           covered = Simcomp.Coverage.covered st.result.Fuzz_result.coverage;
+         })
 
-let run ?options ?(cfg = default_config ()) ~rng ~compiler ~seeds ~iterations
-    ~name () : Fuzz_result.t =
-  let st = init ?options ~cfg ~rng ~compiler ~seeds () in
+let run ?options ?(cfg = default_config ()) ?engine ~rng ~compiler ~seeds
+    ~iterations ~name () : Fuzz_result.t =
+  let st = init ?options ?engine ~cfg ~rng ~compiler ~seeds () in
   st.result <- { st.result with fuzzer_name = name };
-  for i = 1 to iterations do
-    step st ~iteration:i;
-    sample_trend st ~iteration:i
-  done;
+  Engine.Span.with_ st.engine ~name:"mucfuzz.run" (fun () ->
+      for i = 1 to iterations do
+        step st ~iteration:i;
+        sample_trend st ~iteration:i
+      done);
+  (* detach the trend listener so a shared engine context can host
+     subsequent runs without cross-feeding *)
+  Engine.Event.remove_sink st.engine.Engine.Ctx.bus st.trend_sink;
   {
     st.result with
     iterations;
-    coverage_trend = List.rev st.trend_rev;
+    coverage_trend = List.rev !(st.trend_rev);
   }

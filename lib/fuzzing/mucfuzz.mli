@@ -4,7 +4,13 @@
     picks a random pool program P, shuffles M, and applies mutators until
     one produces a mutant covering a branch the pool has not covered; the
     mutant then joins the pool (only if it compiles — breeding from broken
-    mutants would collapse the pool).  No havoc, no forking, no culling. *)
+    mutants would collapse the pool).  No havoc, no forking, no culling.
+
+    Every run owns an {!Engine.Ctx}: mutator attempts/accepts/rejects are
+    counted per mutator ([mucfuzz.attempt.<m>] / [.accept.<m>] /
+    [.reject.<m>] / [.inapplicable.<m>]), crashes and coverage gains are
+    emitted as events, and the coverage trend is collected by a
+    [Coverage_sampled] event sink. *)
 
 type config = {
   mutators : Mutators.Mutator.t list;
@@ -23,34 +29,51 @@ val default_config : ?mutators:Mutators.Mutator.t list -> unit -> config
 
 type pool_entry = { src : string; tu : Cparse.Ast.tu }
 
+type mutator_counters = {
+  mc_attempt : Engine.Metrics.counter;
+  mc_inapplicable : Engine.Metrics.counter;
+  mc_accept : Engine.Metrics.counter;
+  mc_reject : Engine.Metrics.counter;
+}
+(** Pre-resolved per-mutator instruments (O(1) hot-path bumps). *)
+
 type state = {
   cfg : config;
   rng : Cparse.Rng.t;
   compiler : Simcomp.Compiler.compiler;
   options : Simcomp.Compiler.options;
+  engine : Engine.Ctx.t;
+  per_mutator : (string, mutator_counters) Hashtbl.t;
+  trend_rev : (int * int) list ref;
+  trend_sink : Engine.Event.sink;
   mutable pool : pool_entry array;
   mutable result : Fuzz_result.t;
-  mutable trend_rev : (int * int) list;
 }
 
 val init :
   ?options:Simcomp.Compiler.options ->
+  ?engine:Engine.Ctx.t ->
   cfg:config ->
   rng:Cparse.Rng.t ->
   compiler:Simcomp.Compiler.compiler ->
   seeds:string list ->
   unit ->
   state
-(** Parse the seeds into the pool and record their baseline coverage. *)
+(** Parse the seeds into the pool and record their baseline coverage.
+    A seed that crashes the compiler is recorded in the result (as
+    iteration 0), and the baseline coverage becomes the trend's first
+    sample.  When [engine] is omitted a private context is created. *)
 
 val step : state -> iteration:int -> unit
 (** One iteration of Algorithm 1. *)
 
 val sample_trend : state -> iteration:int -> unit
+(** Emit a [Coverage_sampled] event every [sample_every] iterations. *)
 
 val run :
   ?options:Simcomp.Compiler.options ->
   ?cfg:config ->
+  ?engine:Engine.Ctx.t ->
   rng:Cparse.Rng.t ->
   compiler:Simcomp.Compiler.compiler ->
   seeds:string list ->
@@ -58,4 +81,6 @@ val run :
   name:string ->
   unit ->
   Fuzz_result.t
-(** Run a whole campaign and return the accumulated statistics. *)
+(** Run a whole campaign and return the accumulated statistics.  The
+    trend sink is detached on return, so a shared [engine] can host
+    subsequent runs. *)

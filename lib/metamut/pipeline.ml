@@ -69,10 +69,22 @@ let default_config =
     pool = Mutators.Registry.unsupervised;
   }
 
-let run_once ?(cfg = default_config) (llm : Llm_sim.t)
+(* Per-step token-cost accounting into the engine registry. *)
+let charge engine step (u : Llm_sim.usage) =
+  match engine with
+  | None -> ()
+  | Some ctx ->
+    Engine.Ctx.incr ~by:(Llm_sim.tokens u) ctx ("pipeline.tokens." ^ step);
+    Engine.Ctx.incr ctx ("pipeline.qa_rounds." ^ step)
+
+let run_once ?(cfg = default_config) ?engine (llm : Llm_sim.t)
     ~(accepted_names : string list) : run =
+  let span name f = Engine.Span.with_opt engine ~name f in
   let rng = Rng.split llm.Llm_sim.rng in
-  if Rng.flip rng cfg.system_error_rate then
+  if Rng.flip rng cfg.system_error_rate then begin
+    (match engine with
+    | None -> ()
+    | Some ctx -> Engine.Ctx.incr ctx "pipeline.outcome.system_error");
     {
       r_outcome = System_error;
       r_name = "<system-error>";
@@ -81,12 +93,15 @@ let run_once ?(cfg = default_config) (llm : Llm_sim.t)
       r_bugfix = zero_cost;
       r_bugs_fixed = [];
     }
+  end
   else begin
     (* step 1: invention *)
-    let inv, u1 = Llm_sim.invent llm ~pool:cfg.pool in
+    let inv, u1 = span "pipeline.invent" (fun () -> Llm_sim.invent llm ~pool:cfg.pool) in
+    charge engine "invention" u1;
     let invention = add_usage zero_cost u1 in
     (* step 2: synthesis *)
-    let impl, u2 = Llm_sim.synthesize llm inv in
+    let impl, u2 = span "pipeline.synthesize" (fun () -> Llm_sim.synthesize llm inv) in
+    charge engine "implementation" u2;
     let implementation = add_usage zero_cost u2 in
     (* step 3: validation and refinement *)
     (* the unit-test pool; each refinement round validates against a
@@ -99,14 +114,27 @@ let run_once ?(cfg = default_config) (llm : Llm_sim.t)
     let bugfix = ref zero_cost in
     let fixed : (int, int) Hashtbl.t = Hashtbl.create 6 in
     let rec refine impl attempts real_repairs =
-      match Validation.validate ~rng ~pool:test_pool impl !tests with
+      match
+        span "pipeline.validate" (fun () ->
+            Validation.validate ~rng ~pool:test_pool impl !tests)
+      with
       | Validation.Pass -> Some impl
       | Validation.Fail gv ->
         if attempts >= cfg.max_repair_attempts then None
         else begin
+          let goal = gv.Validation.gv_goal in
+          (* each validation goal gets its own repair span, so the
+             metrics table shows where refinement time goes per goal *)
           let impl', usage, success =
-            Llm_sim.fix llm impl ~goal:gv.Validation.gv_goal
+            span
+              (Fmt.str "pipeline.goal%d" goal)
+              (fun () -> Llm_sim.fix llm impl ~goal)
           in
+          charge engine "bugfix" usage;
+          (match engine with
+          | None -> ()
+          | Some ctx ->
+            Engine.Ctx.emit ctx (Engine.Event.Pipeline_goal (goal, success)));
           bugfix := add_usage !bugfix usage;
           if success then begin
             let g = gv.Validation.gv_goal in
@@ -134,7 +162,8 @@ let run_once ?(cfg = default_config) (llm : Llm_sim.t)
       Hashtbl.fold (fun g n acc -> (g, n) :: acc) fixed []
       |> List.sort compare
     in
-    match refine impl 0 0 with
+    let r =
+      match refine impl 0 0 with
     | None ->
       {
         r_outcome = Invalid_refinement;
@@ -175,14 +204,28 @@ let run_once ?(cfg = default_config) (llm : Llm_sim.t)
           r_bugfix = !bugfix;
           r_bugs_fixed = bugs_fixed ();
         })
+    in
+    (match engine with
+    | None -> ()
+    | Some ctx ->
+      let k =
+        match r.r_outcome with
+        | Valid _ -> "valid"
+        | Invalid_refinement -> "invalid_refinement"
+        | Invalid_manual _ -> "invalid_manual"
+        | System_error -> "system_error"
+      in
+      Engine.Ctx.incr ctx ("pipeline.outcome." ^ k));
+    r
   end
 
 (* The §4 unsupervised experiment: invoke the pipeline [n] times. *)
-let run_many ?(cfg = default_config) ?(seed = 7) ~(n : int) () : run list =
+let run_many ?(cfg = default_config) ?(seed = 7) ?engine ~(n : int) () :
+    run list =
   let llm = Llm_sim.create ~seed () in
   let accepted = ref [] in
   List.init n (fun _ ->
-      let r = run_once ~cfg llm ~accepted_names:!accepted in
+      let r = run_once ~cfg ?engine llm ~accepted_names:!accepted in
       (match r.r_outcome with
       | Valid m -> accepted := m.Mutators.Mutator.name :: !accepted
       | _ -> ());

@@ -44,12 +44,20 @@ type config = {
 val default_config : config
 
 val run_once :
-  ?cfg:config -> Llm_sim.t -> accepted_names:string list -> run
-(** One full mutator-generation attempt. *)
+  ?cfg:config -> ?engine:Engine.Ctx.t -> Llm_sim.t ->
+  accepted_names:string list -> run
+(** One full mutator-generation attempt.  With [engine]: per-step token
+    and QA-round counters ([pipeline.tokens.*], [pipeline.qa_rounds.*]),
+    outcome counters ([pipeline.outcome.*]), spans around invention,
+    synthesis, validation, and each per-goal repair
+    ([span.pipeline.goal<N>]), and a {!Engine.Event.Pipeline_goal} event
+    per repair attempt. *)
 
-val run_many : ?cfg:config -> ?seed:int -> n:int -> unit -> run list
+val run_many :
+  ?cfg:config -> ?seed:int -> ?engine:Engine.Ctx.t -> n:int -> unit ->
+  run list
 (** The §4 unsupervised experiment: [n] independent invocations
-    (deterministic per [seed]). *)
+    (deterministic per [seed]; instrumentation does not consume RNG). *)
 
 type summary = {
   s_runs : int;

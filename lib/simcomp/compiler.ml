@@ -266,78 +266,116 @@ let miscompile_ir (mc : Bugdb.miscompile) (prog : Ir.program) : unit =
 (* Pipeline                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let compile ?cov (compiler : compiler) (opts : options) (src : string) :
-    outcome =
+(* Crash stages and engine stages name the same pipeline boundaries. *)
+let engine_stage = function
+  | Crash.Front_end -> Engine.Event.Frontend
+  | Crash.Ir_gen -> Engine.Event.Lower
+  | Crash.Optimization -> Engine.Event.Opt
+  | Crash.Back_end -> Engine.Event.Backend
+
+let compile ?cov ?engine (compiler : compiler) (opts : options) (src : string)
+    : outcome =
   let salt = salt compiler in
   let tx = Features.text_features src in
   let check stage ast =
     Bugdb.check ~compiler ~stage ~opt_level:opts.opt_level ~tx ~ast
   in
-  try
-    (* parse first (uninstrumented) so lexical coverage can stop at the
-       point where a real single-pass front-end would stop *)
-    let parsed =
-      match Parser.parse_tu src with
-      | tu -> Ok tu
-      | exception Parser.Error (msg, loc) -> Error (msg, Some loc)
-      | exception Lexer.Error (msg, loc) -> Error (msg, Some loc)
-      | exception Stack_overflow -> Error ("parser stack overflow", None)
-    in
-    match parsed with
-    | Error (msg, loc) ->
-      lex_coverage ?limit:(Option.map (fun l -> l.Loc.offset) loc) cov ~salt
-        src;
-      check Crash.Front_end None;
-      cov_event cov ~salt ~site:0x120
-        ~a:(Hashtbl.hash (sanitize_msg msg) land 0x1f)
-        ~b:0;
-      Compile_error [ msg ]
-    | Ok tu ->
-      lex_coverage cov ~salt src;
-      ast_coverage cov ~salt tu;
-      let ast = Features.ast_features tu in
-      feature_coverage cov ~salt ast;
-      check Crash.Front_end (Some ast);
-      let tc = Typecheck.check tu in
-      diag_coverage cov ~salt tc.r_diags;
-      if not tc.r_ok then
-        Compile_error
-          (List.map Typecheck.diag_to_string (Typecheck.errors tc))
-      else begin
+  let span name f = Engine.Span.with_opt engine ~name f in
+  let outcome =
+    try
+      let frontend =
+        span "compile.frontend" (fun () ->
+            (* parse first (uninstrumented) so lexical coverage can stop at
+               the point where a real single-pass front-end would stop *)
+            let parsed =
+              match Parser.parse_tu src with
+              | tu -> Ok tu
+              | exception Parser.Error (msg, loc) -> Error (msg, Some loc)
+              | exception Lexer.Error (msg, loc) -> Error (msg, Some loc)
+              | exception Stack_overflow -> Error ("parser stack overflow", None)
+            in
+            match parsed with
+            | Error (msg, loc) ->
+              lex_coverage ?limit:(Option.map (fun l -> l.Loc.offset) loc) cov
+                ~salt src;
+              check Crash.Front_end None;
+              cov_event cov ~salt ~site:0x120
+                ~a:(Hashtbl.hash (sanitize_msg msg) land 0x1f)
+                ~b:0;
+              Error [ msg ]
+            | Ok tu ->
+              lex_coverage cov ~salt src;
+              ast_coverage cov ~salt tu;
+              let ast = Features.ast_features tu in
+              feature_coverage cov ~salt ast;
+              check Crash.Front_end (Some ast);
+              let tc = Typecheck.check tu in
+              diag_coverage cov ~salt tc.r_diags;
+              if not tc.r_ok then
+                Error (List.map Typecheck.diag_to_string (Typecheck.errors tc))
+              else Ok (tu, tc, ast))
+      in
+      match frontend with
+      | Error msgs -> Compile_error msgs
+      | Ok (tu, tc, ast) ->
         let warnings = List.length (Typecheck.warnings tc) in
         (* IR generation *)
-        let prog = Lower.lower_tu ?cov tu tc in
-        check Crash.Ir_gen (Some ast);
-        (* optimization *)
-        let _pass_results =
-          Opt.run_pipeline ?cov ~level:opts.opt_level
-            ~disabled:opts.disabled_passes prog
+        let prog =
+          span "compile.lower" (fun () ->
+              let prog = Lower.lower_tu ?cov tu tc in
+              check Crash.Ir_gen (Some ast);
+              prog)
         in
-        check Crash.Optimization (Some ast);
-        (* latent wrong-code bugs corrupt the IR silently *)
-        (match
-           Bugdb.check_miscompile ~compiler ~opt_level:opts.opt_level ~ast
-         with
-        | Some mc -> miscompile_ir mc prog
-        | None -> ());
+        (* optimization *)
+        span "compile.opt" (fun () ->
+            let _pass_results =
+              Opt.run_pipeline ?cov ~level:opts.opt_level
+                ~disabled:opts.disabled_passes prog
+            in
+            check Crash.Optimization (Some ast);
+            (* latent wrong-code bugs corrupt the IR silently *)
+            match
+              Bugdb.check_miscompile ~compiler ~opt_level:opts.opt_level ~ast
+            with
+            | Some mc -> miscompile_ir mc prog
+            | None -> ());
         (* back-end *)
-        let asm, spills = Backend.emit_program ?cov prog in
-        check Crash.Back_end (Some ast);
+        let asm, spills =
+          span "compile.backend" (fun () ->
+              let r = Backend.emit_program ?cov prog in
+              check Crash.Back_end (Some ast);
+              r)
+        in
         Compiled { asm; warnings; ir_size = Ir.program_size prog; spills }
-      end
-  with
-  | Crash.Compiler_crash c -> Crashed c
-  | Lexer.Error (msg, _) ->
-    check Crash.Front_end None;
-    Compile_error [ "lex error: " ^ msg ]
-  | Stack_overflow ->
-    Crashed
-      {
-        bug_id = Fmt.str "%s-stack-overflow" (Bugdb.compiler_to_string compiler);
-        stage = Crash.Front_end;
-        kind = Crash.Segfault;
-        frames = [ "recursive_descent"; "parse_expression" ];
-      }
+    with
+    | Crash.Compiler_crash c -> Crashed c
+    | Lexer.Error (msg, _) ->
+      check Crash.Front_end None;
+      Compile_error [ "lex error: " ^ msg ]
+    | Stack_overflow ->
+      Crashed
+        {
+          bug_id =
+            Fmt.str "%s-stack-overflow" (Bugdb.compiler_to_string compiler);
+          stage = Crash.Front_end;
+          kind = Crash.Segfault;
+          frames = [ "recursive_descent"; "parse_expression" ];
+        }
+  in
+  (match engine with
+  | None -> ()
+  | Some ctx ->
+    let kind, stage =
+      match outcome with
+      | Compiled _ -> (Engine.Event.Compiled_ok, Engine.Event.Backend)
+      | Compile_error _ -> (Engine.Event.Compile_failed, Engine.Event.Frontend)
+      | Crashed c -> (Engine.Event.Crashed, engine_stage c.Crash.stage)
+    in
+    Engine.Ctx.incr ctx "compile.total";
+    Engine.Ctx.incr ctx
+      ("compile.outcome." ^ Engine.Event.outcome_kind_to_string kind);
+    Engine.Ctx.emit ctx (Engine.Event.Compile_finished (kind, stage)));
+  outcome
 
 (* Produce the (possibly silently corrupted) optimized IR: the hook the
    EMI-style wrong-code detector (Fuzzing.Wrongcode) differences against

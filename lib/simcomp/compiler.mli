@@ -25,10 +25,19 @@ type outcome =
 
 val outcome_is_success : outcome -> bool
 
-val compile : ?cov:Coverage.t -> compiler -> options -> string -> outcome
+val engine_stage : Crash.stage -> Engine.Event.stage
+(** Crash stages and engine stages name the same pipeline boundaries. *)
+
+val compile :
+  ?cov:Coverage.t -> ?engine:Engine.Ctx.t -> compiler -> options -> string ->
+  outcome
 (** Compile C source.  When [cov] is given, every pipeline stage reports
     branch coverage into it (including error-handling paths for inputs
-    that fail to lex/parse/type check). *)
+    that fail to lex/parse/type check).  When [engine] is given, each
+    stage runs under a span ([span.compile.frontend] / [.lower] / [.opt]
+    / [.backend]), outcome counters are bumped, and a
+    {!Engine.Event.Compile_finished} event carrying the outcome kind and
+    the last stage reached is emitted. *)
 
 val compile_ir : compiler -> options -> string -> (Ir.program, string) result
 (** Produce the (possibly silently miscompiled) optimized IR — the hook

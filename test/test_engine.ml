@@ -1,0 +1,340 @@
+(* Tests for the execution engine: metrics registry (histogram bucket
+   boundaries, snapshots, merge), event bus sinks (ring overflow,
+   metrics sink), spans, the Domain scheduler, and the campaign
+   determinism guarantee (jobs:1 ≡ jobs:4). *)
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let metrics_tests =
+  [
+    tc "counter increments and snapshots" (fun () ->
+        let reg = Engine.Metrics.create () in
+        let c = Engine.Metrics.counter reg "a" in
+        Engine.Metrics.incr c;
+        Engine.Metrics.incr ~by:4 c;
+        check Alcotest.int "value" 5 (Engine.Metrics.counter_value c);
+        (* find-or-create returns the same instrument *)
+        Engine.Metrics.incr (Engine.Metrics.counter reg "a");
+        match Engine.Metrics.snapshot reg with
+        | [ ("a", Engine.Metrics.Counter 6) ] -> ()
+        | _ -> Alcotest.fail "unexpected snapshot");
+    tc "histogram bucket boundaries" (fun () ->
+        let reg = Engine.Metrics.create () in
+        let h =
+          Engine.Metrics.histogram ~edges:[| 1.; 2.; 5. |] reg "h"
+        in
+        (* v <= edge lands in that bucket; above the last edge overflows *)
+        check Alcotest.int "below first" 0 (Engine.Metrics.bucket_index h 0.5);
+        check Alcotest.int "on first edge" 0 (Engine.Metrics.bucket_index h 1.);
+        check Alcotest.int "between" 1 (Engine.Metrics.bucket_index h 1.5);
+        check Alcotest.int "on last edge" 2 (Engine.Metrics.bucket_index h 5.);
+        check Alcotest.int "overflow" 3 (Engine.Metrics.bucket_index h 7.);
+        List.iter (Engine.Metrics.observe h) [ 0.5; 1.; 1.5; 5.; 7. ];
+        (match Engine.Metrics.snapshot reg with
+        | [ ("h", Engine.Metrics.Histogram { counts; total; sum; _ }) ] ->
+          check (Alcotest.array Alcotest.int) "counts" [| 2; 1; 1; 1 |] counts;
+          check Alcotest.int "total" 5 total;
+          check (Alcotest.float 1e-9) "sum" 15. sum
+        | _ -> Alcotest.fail "unexpected snapshot");
+        check (Alcotest.float 1e-9) "mean" 3. (Engine.Metrics.histogram_mean h));
+    tc "histogram rejects bad edges" (fun () ->
+        let reg = Engine.Metrics.create () in
+        Alcotest.check_raises "empty" (Invalid_argument
+          "Metrics.histogram: empty bucket edges") (fun () ->
+            ignore (Engine.Metrics.histogram ~edges:[||] reg "e"));
+        Alcotest.check_raises "non-increasing" (Invalid_argument
+          "Metrics.histogram: bucket edges must strictly increase") (fun () ->
+            ignore (Engine.Metrics.histogram ~edges:[| 2.; 1. |] reg "d")));
+    tc "merge adds counters and histogram buckets" (fun () ->
+        let a = Engine.Metrics.create () and b = Engine.Metrics.create () in
+        Engine.Metrics.incr ~by:2 (Engine.Metrics.counter a "c");
+        Engine.Metrics.incr ~by:3 (Engine.Metrics.counter b "c");
+        Engine.Metrics.incr (Engine.Metrics.counter b "only-b");
+        let edges = [| 1.; 10. |] in
+        Engine.Metrics.observe (Engine.Metrics.histogram ~edges a "h") 0.5;
+        Engine.Metrics.observe (Engine.Metrics.histogram ~edges b "h") 5.;
+        Engine.Metrics.merge ~into:a b;
+        check Alcotest.int "counter summed" 5
+          (Engine.Metrics.counter_value (Engine.Metrics.counter a "c"));
+        check Alcotest.int "new counter copied" 1
+          (Engine.Metrics.counter_value (Engine.Metrics.counter a "only-b"));
+        match List.assoc "h" (Engine.Metrics.snapshot a) with
+        | Engine.Metrics.Histogram { counts; total; _ } ->
+          check (Alcotest.array Alcotest.int) "buckets" [| 1; 1; 0 |] counts;
+          check Alcotest.int "total" 2 total
+        | _ -> Alcotest.fail "histogram missing");
+    tc "counters_with_prefix strips and sorts" (fun () ->
+        let reg = Engine.Metrics.create () in
+        Engine.Metrics.incr ~by:7 (Engine.Metrics.counter reg "p.zeta");
+        Engine.Metrics.incr ~by:2 (Engine.Metrics.counter reg "p.alpha");
+        Engine.Metrics.incr (Engine.Metrics.counter reg "other");
+        check
+          Alcotest.(list (pair string int))
+          "family"
+          [ ("alpha", 2); ("zeta", 7) ]
+          (Engine.Metrics.counters_with_prefix reg ~prefix:"p."));
+  ]
+
+let event_tests =
+  [
+    tc "counter snapshot after a known event sequence" (fun () ->
+        let reg = Engine.Metrics.create () in
+        let bus = Engine.Event.bus () in
+        Engine.Event.add_sink bus (Engine.Event.metrics_sink reg);
+        List.iter
+          (Engine.Event.emit bus)
+          [
+            Engine.Event.Mutant_attempted { mutator = "Ret2V" };
+            Engine.Event.Mutant_attempted { mutator = "CopyExpr" };
+            Engine.Event.Compile_finished
+              (Engine.Event.Compiled_ok, Engine.Event.Backend);
+            Engine.Event.Crash_found
+              { key = "f|g"; stage = Engine.Event.Opt; iteration = 3 };
+            Engine.Event.Pipeline_goal (4, true);
+            Engine.Event.Mutant_attempted { mutator = "Ret2V" };
+          ];
+        let get name =
+          Engine.Metrics.counter_value (Engine.Metrics.counter reg name)
+        in
+        check Alcotest.int "attempts" 3 (get "event.mutant_attempted");
+        check Alcotest.int "compiles" 1 (get "event.compile_finished");
+        check Alcotest.int "crashes" 1 (get "event.crash_found");
+        check Alcotest.int "goals" 1 (get "event.pipeline_goal"));
+    tc "ring sink keeps the newest events on overflow" (fun () ->
+        let ring, sink = Engine.Event.ring_sink ~capacity:4 in
+        let bus = Engine.Event.bus () in
+        Engine.Event.add_sink bus sink;
+        for i = 1 to 10 do
+          Engine.Event.emit bus (Engine.Event.Custom (string_of_int i))
+        done;
+        check Alcotest.int "seen" 10 (Engine.Event.ring_seen ring);
+        check Alcotest.int "dropped" 6 (Engine.Event.ring_dropped ring);
+        check
+          Alcotest.(list string)
+          "newest retained, oldest first"
+          [ "7"; "8"; "9"; "10" ]
+          (List.map
+             (function Engine.Event.Custom s -> s | _ -> "?")
+             (Engine.Event.ring_contents ring)));
+    tc "ring below capacity drops nothing" (fun () ->
+        let ring, sink = Engine.Event.ring_sink ~capacity:8 in
+        sink.Engine.Event.emit (Engine.Event.Custom "x");
+        check Alcotest.int "dropped" 0 (Engine.Event.ring_dropped ring);
+        check Alcotest.int "kept" 1
+          (List.length (Engine.Event.ring_contents ring)));
+    tc "text sink renders one line per event" (fun () ->
+        let lines = ref [] in
+        let bus = Engine.Event.bus () in
+        Engine.Event.add_sink bus
+          (Engine.Event.text_sink ~out:(fun l -> lines := l :: !lines));
+        Engine.Event.emit bus
+          (Engine.Event.Coverage_sampled { iteration = 25; covered = 600 });
+        Engine.Event.emit bus (Engine.Event.Pipeline_goal (2, false));
+        check
+          Alcotest.(list string)
+          "lines"
+          [ "coverage-sampled 600 @25"; "pipeline-goal #2 unfixed" ]
+          (List.rev !lines));
+    tc "remove_sink detaches exactly that sink" (fun () ->
+        let ring, sink = Engine.Event.ring_sink ~capacity:4 in
+        let bus = Engine.Event.bus () in
+        Engine.Event.add_sink bus sink;
+        Engine.Event.emit bus (Engine.Event.Custom "a");
+        Engine.Event.remove_sink bus sink;
+        Engine.Event.emit bus (Engine.Event.Custom "b");
+        check Alcotest.int "only first seen" 1 (Engine.Event.ring_seen ring));
+  ]
+
+let span_tests =
+  [
+    tc "spans record count and duration into the registry" (fun () ->
+        (* a fake clock makes durations deterministic *)
+        let t = ref 0L in
+        let clock () =
+          t := Int64.add !t 1500L;
+          !t
+        in
+        let ctx = Engine.Ctx.create ~clock () in
+        let v = Engine.Span.with_ ctx ~name:"stage" (fun () -> 42) in
+        check Alcotest.int "value" 42 v;
+        (match
+           List.assoc "span.stage"
+             (Engine.Metrics.snapshot ctx.Engine.Ctx.metrics)
+         with
+        | Engine.Metrics.Histogram { total; sum; _ } ->
+          check Alcotest.int "one span" 1 total;
+          check (Alcotest.float 1e-9) "1500ns" 1500. sum
+        | _ -> Alcotest.fail "span histogram missing"));
+    tc "spans record when the computation raises" (fun () ->
+        let ctx = Engine.Ctx.create () in
+        (try
+           Engine.Span.with_ ctx ~name:"boom" (fun () -> failwith "x")
+         with Failure _ -> ());
+        match
+          List.assoc "span.boom"
+            (Engine.Metrics.snapshot ctx.Engine.Ctx.metrics)
+        with
+        | Engine.Metrics.Histogram { total; _ } ->
+          check Alcotest.int "recorded" 1 total
+        | _ -> Alcotest.fail "span histogram missing");
+  ]
+
+let scheduler_tests =
+  [
+    tc "parallel_map preserves input order" (fun () ->
+        let items = List.init 37 Fun.id in
+        check
+          Alcotest.(list int)
+          "squares in order"
+          (List.map (fun x -> x * x) items)
+          (Engine.Scheduler.parallel_map ~jobs:4 (fun x -> x * x) items));
+    tc "parallel_map re-raises worker exceptions" (fun () ->
+        Alcotest.check_raises "first failure" (Failure "item-3") (fun () ->
+            ignore
+              (Engine.Scheduler.parallel_map ~jobs:3
+                 (fun x ->
+                   if x = 3 then failwith ("item-" ^ string_of_int x) else x)
+                 (List.init 8 Fun.id))));
+    tc "jobs:1 degrades to List.map" (fun () ->
+        check
+          Alcotest.(list int)
+          "identity" [ 1; 2; 3 ]
+          (Engine.Scheduler.parallel_map ~jobs:1 Fun.id [ 1; 2; 3 ]));
+  ]
+
+(* The acceptance-criterion guarantee: a worker-parallel campaign must
+   reproduce the sequential per-cell results exactly. *)
+let determinism_tests =
+  [
+    tc "campaign jobs:1 and jobs:4 produce identical results" (fun () ->
+        let base =
+          {
+            Fuzzing.Campaign.default_config with
+            iterations = 12;
+            seeds = 10;
+            sample_every = 4;
+            max_attempts = 4;
+          }
+        in
+        let fingerprint jobs =
+          let t =
+            Fuzzing.Campaign.run
+              ~cfg:{ base with Fuzzing.Campaign.jobs }
+              ()
+          in
+          List.map
+            (fun ((f, c), (r : Fuzzing.Fuzz_result.t)) ->
+              ( (Fuzzing.Campaign.fuzzer_tag f, Fuzzing.Campaign.compiler_tag c),
+                ( List.sort compare
+                    (Simcomp.Coverage.branch_ids r.Fuzzing.Fuzz_result.coverage),
+                  List.sort compare (Fuzzing.Fuzz_result.crash_keys r),
+                  r.Fuzzing.Fuzz_result.coverage_trend,
+                  ( r.Fuzzing.Fuzz_result.total_mutants,
+                    r.Fuzzing.Fuzz_result.compilable_mutants ) ) ))
+            t.Fuzzing.Campaign.results
+        in
+        let seq = fingerprint 1 and par = fingerprint 4 in
+        check Alcotest.bool "identical coverage/crash/trend sets" true
+          (seq = par));
+    tc "parallel metrics merge equals the sequential registry" (fun () ->
+        let cfg =
+          {
+            Fuzzing.Campaign.default_config with
+            iterations = 8;
+            seeds = 6;
+            sample_every = 4;
+            max_attempts = 4;
+          }
+        in
+        let counters jobs =
+          let engine = Engine.Ctx.create () in
+          ignore
+            (Fuzzing.Campaign.run
+               ~cfg:{ cfg with Fuzzing.Campaign.jobs }
+               ~fuzzers:[ Fuzzing.Campaign.MuCFuzz_u ]
+               ~engine ());
+          List.filter
+            (function _, Engine.Metrics.Counter _ -> true | _ -> false)
+            (Engine.Metrics.snapshot engine.Engine.Ctx.metrics)
+        in
+        check Alcotest.bool "same counters" true (counters 1 = counters 2));
+  ]
+
+let mucfuzz_engine_tests =
+  [
+    tc "trend starts with the seed baseline sample" (fun () ->
+        let seeds = Fuzzing.Seeds.corpus ~n:8 (Cparse.Rng.create 3) in
+        let r =
+          Fuzzing.Mucfuzz.run
+            ~cfg:
+              {
+                (Fuzzing.Mucfuzz.default_config ()) with
+                Fuzzing.Mucfuzz.max_attempts_per_iteration = 4;
+                sample_every = 5;
+              }
+            ~rng:(Cparse.Rng.create 11) ~compiler:Simcomp.Compiler.Gcc ~seeds
+            ~iterations:10 ~name:"t" ()
+        in
+        match r.Fuzzing.Fuzz_result.coverage_trend with
+        | (0, covered) :: rest ->
+          check Alcotest.bool "baseline covered" true (covered > 0);
+          check Alcotest.bool "later samples follow" true
+            (List.for_all (fun (i, _) -> i > 0) rest)
+        | _ -> Alcotest.fail "trend must start at iteration 0");
+    tc "per-mutator counters balance: attempts = outcomes" (fun () ->
+        let seeds = Fuzzing.Seeds.corpus ~n:8 (Cparse.Rng.create 3) in
+        let cfg =
+          {
+            (Fuzzing.Mucfuzz.default_config ()) with
+            Fuzzing.Mucfuzz.max_attempts_per_iteration = 6;
+          }
+        in
+        let fuzz ~engine ~iterations =
+          ignore
+            (Fuzzing.Mucfuzz.run ~cfg ~engine ~rng:(Cparse.Rng.create 5)
+               ~compiler:Simcomp.Compiler.Gcc ~seeds ~iterations ~name:"t" ())
+        in
+        (* a zero-iteration run compiles only the (parseable) seeds *)
+        let seed_engine = Engine.Ctx.create () in
+        fuzz ~engine:seed_engine ~iterations:0;
+        let seed_compiles =
+          Engine.Metrics.counter_value
+            (Engine.Metrics.counter seed_engine.Engine.Ctx.metrics
+               "compile.total")
+        in
+        check Alcotest.bool "seeds compiled" true (seed_compiles > 0);
+        let engine = Engine.Ctx.create () in
+        fuzz ~engine ~iterations:15;
+        let reg = engine.Engine.Ctx.metrics in
+        let sum prefix =
+          List.fold_left
+            (fun acc (_, n) -> acc + n)
+            0
+            (Engine.Metrics.counters_with_prefix reg ~prefix)
+        in
+        let attempts = sum "mucfuzz.attempt." in
+        check Alcotest.bool "some attempts" true (attempts > 0);
+        check Alcotest.int "attempt = accept + reject + inapplicable"
+          attempts
+          (sum "mucfuzz.accept." + sum "mucfuzz.reject."
+          + sum "mucfuzz.inapplicable.");
+        (* compile events were emitted for every produced mutant + seed *)
+        let compiles =
+          Engine.Metrics.counter_value
+            (Engine.Metrics.counter reg "compile.total")
+        in
+        check Alcotest.int "compiles = seeds + produced mutants" compiles
+          (seed_compiles + sum "mucfuzz.accept." + sum "mucfuzz.reject."));
+  ]
+
+let () =
+  Alcotest.run "engine"
+    [
+      ("metrics", metrics_tests);
+      ("events", event_tests);
+      ("spans", span_tests);
+      ("scheduler", scheduler_tests);
+      ("determinism", determinism_tests);
+      ("mucfuzz-engine", mucfuzz_engine_tests);
+    ]
