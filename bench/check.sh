@@ -25,4 +25,18 @@ if [ -x "$CLI" ]; then
   fi
 fi
 
+echo "== smoke: fuzz-throughput bench =="
+# Smoke mode keeps CI fast; this gate only checks the bench runs and
+# emits well-formed JSON — perf numbers are informational, not gating.
+# Written under _build/ so a local run never tramples the committed
+# full-mode BENCH_fuzz_throughput.json at the repository root.
+BENCH=_build/default/bench/throughput.exe
+if [ -x "$BENCH" ]; then
+  "$BENCH" --smoke --out _build/BENCH_fuzz_throughput.json
+  grep -q '"bench": "fuzz_throughput"' _build/BENCH_fuzz_throughput.json || {
+    echo "FAIL: _build/BENCH_fuzz_throughput.json malformed" >&2
+    exit 1
+  }
+fi
+
 echo "OK"

@@ -1,0 +1,148 @@
+(* Fuzzing-throughput benchmark: the perf trajectory for the hot path.
+
+   Unlike bench/main.ml (which regenerates the paper's tables), this
+   harness measures what the ROADMAP's "as fast as the hardware allows"
+   goal needs tracked across PRs:
+
+     - mutants/sec and compiles/sec over a μCFuzz microbench,
+     - minor-words allocated per compile (GC pressure of the pipeline),
+     - minor-words allocated per Coverage.hit (must be 0: the coverage
+       hot path is allocation-free),
+     - covered branches and unique crashes, as a sanity anchor that the
+       speedup did not change fuzzing behaviour.
+
+   Results are written as JSON to BENCH_fuzz_throughput.json in the
+   current directory (bench/check.sh runs from the repository root).
+
+   Flags / environment:
+     --smoke                     tiny budget for CI (also: METAMUT_BENCH_SMOKE=1)
+     --out FILE                  output path (default BENCH_fuzz_throughput.json)
+     METAMUT_THROUGHPUT_ITERS=N  override the iteration budget *)
+
+let smoke =
+  Array.exists (( = ) "--smoke") Sys.argv
+  || Sys.getenv_opt "METAMUT_BENCH_SMOKE" = Some "1"
+
+let iterations =
+  match Sys.getenv_opt "METAMUT_THROUGHPUT_ITERS" with
+  | Some s -> (try int_of_string s with _ -> 10_000)
+  | None -> if smoke then 200 else 10_000
+
+let out_path =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then "BENCH_fuzz_throughput.json"
+    else if Sys.argv.(i) = "--out" then Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+(* ------------------------------------------------------------------ *)
+(* Measurements                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Minor words allocated per Coverage.hit.  The acceptance bar is 0:
+   the AFL-style byte map bumps a cell without touching the heap. *)
+let coverage_hit_minor_words () =
+  let cov = Simcomp.Coverage.create () in
+  let n = 1_000_000 in
+  (* warm up so any one-time allocation is outside the window *)
+  for i = 0 to 999 do
+    Simcomp.Coverage.hit cov i
+  done;
+  let before = (Gc.quick_stat ()).Gc.minor_words in
+  for i = 0 to n - 1 do
+    Simcomp.Coverage.hit cov (i * 7919)
+  done;
+  let after = (Gc.quick_stat ()).Gc.minor_words in
+  (after -. before) /. float_of_int n
+
+type run_stats = {
+  rs_elapsed_s : float;
+  rs_mutants : int;
+  rs_compiles : int;
+  rs_cached : int;
+  rs_minor_words : float;
+  rs_covered : int;
+  rs_crashes : int;
+}
+
+(* The 10k-iteration μCFuzz microbench: one coverage-guided campaign on
+   GCC-sim with the core corpus, the configuration the paper's RQ1 runs
+   at (bounded attempt budget, fragility on). *)
+let mucfuzz_throughput () =
+  let seeds = Fuzzing.Seeds.corpus ~n:30 (Cparse.Rng.create 11) in
+  let cfg =
+    {
+      (Fuzzing.Mucfuzz.default_config ()) with
+      Fuzzing.Mucfuzz.max_attempts_per_iteration = 8;
+      sample_every = max 1 (iterations / 20);
+    }
+  in
+  let engine = Engine.Ctx.create () in
+  let counter name =
+    Engine.Metrics.counter_value
+      (Engine.Metrics.counter engine.Engine.Ctx.metrics name)
+  in
+  let compiles () = counter "compile.total" in
+  let c0 = compiles () in
+  let w0 = (Gc.quick_stat ()).Gc.minor_words in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Fuzzing.Mucfuzz.run ~cfg ~engine
+      ~rng:(Cparse.Rng.create 42)
+      ~compiler:Simcomp.Compiler.Gcc ~seeds ~iterations ~name:"bench" ()
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let minor = (Gc.quick_stat ()).Gc.minor_words -. w0 in
+  {
+    rs_elapsed_s = elapsed;
+    rs_mutants = r.Fuzzing.Fuzz_result.total_mutants;
+    rs_compiles = compiles () - c0;
+    rs_cached = counter "compile.cached";
+    rs_minor_words = minor;
+    rs_covered = Simcomp.Coverage.covered r.Fuzzing.Fuzz_result.coverage;
+    rs_crashes = Fuzzing.Fuzz_result.unique_crashes r;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON output (hand-rolled: no JSON dependency in the image)          *)
+(* ------------------------------------------------------------------ *)
+
+let json_field buf last name v =
+  Buffer.add_string buf (Fmt.str "  %S: %s%s\n" name v (if last then "" else ","))
+
+let emit (rs : run_stats) ~hit_words =
+  let per_compile =
+    if rs.rs_compiles = 0 then 0.
+    else rs.rs_minor_words /. float_of_int rs.rs_compiles
+  in
+  let rate n = float_of_int n /. rs.rs_elapsed_s in
+  let buf = Buffer.create 512 in
+  let f = json_field buf false and f_last = json_field buf true in
+  Buffer.add_string buf "{\n";
+  f "bench" "\"fuzz_throughput\"";
+  f "mode" (if smoke then "\"smoke\"" else "\"full\"");
+  f "iterations" (string_of_int iterations);
+  f "elapsed_s" (Fmt.str "%.3f" rs.rs_elapsed_s);
+  f "mutants" (string_of_int rs.rs_mutants);
+  f "compiles" (string_of_int rs.rs_compiles);
+  f "compiles_cached" (string_of_int rs.rs_cached);
+  f "mutants_per_sec" (Fmt.str "%.1f" (rate rs.rs_mutants));
+  f "compiles_per_sec" (Fmt.str "%.1f" (rate rs.rs_compiles));
+  f "minor_words_per_compile" (Fmt.str "%.1f" per_compile);
+  f "coverage_hit_minor_words" (Fmt.str "%.6f" hit_words);
+  f "covered_branches" (string_of_int rs.rs_covered);
+  f_last "unique_crashes" (string_of_int rs.rs_crashes);
+  Buffer.add_string buf "}\n";
+  let oc = open_out out_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_string (Buffer.contents buf)
+
+let () =
+  Fmt.pr "fuzz-throughput bench: %d iterations (%s mode)@." iterations
+    (if smoke then "smoke" else "full");
+  let hit_words = coverage_hit_minor_words () in
+  let rs = mucfuzz_throughput () in
+  emit rs ~hit_words;
+  Fmt.pr "wrote %s@." out_path

@@ -22,10 +22,21 @@ let loc_of st =
 
 let error st msg = raise (Error (msg, loc_of st))
 
-let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+(* [peek] runs several times per input byte; returning a fresh [Some c]
+   each call dominates the lexer's allocation.  Sharing one immutable
+   [Some] block per byte value makes peeking allocation-free while
+   keeping every call site's pattern match unchanged. *)
+let some_char : char option array = Array.init 256 (fun i -> Some (Char.chr i))
+
+let peek st =
+  if st.pos < String.length st.src then
+    Array.unsafe_get some_char (Char.code (String.unsafe_get st.src st.pos))
+  else None
 
 let peek2 st =
-  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+  if st.pos + 1 < String.length st.src then
+    Array.unsafe_get some_char (Char.code (String.unsafe_get st.src (st.pos + 1)))
+  else None
 
 let advance st =
   (match peek st with

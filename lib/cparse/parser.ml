@@ -765,8 +765,9 @@ let parse_global st : global list =
     end
   end
 
-let parse_tu (src : string) : tu =
-  let toks = Lexer.tokenize src in
+(* Parse from an already-lexed buffer: the compile pipeline tokenizes
+   once and feeds the same array to the parser and to lexical coverage. *)
+let parse_tokens (toks : Lexer.lexeme array) : tu =
   let st =
     { toks; idx = 0; typedefs = Hashtbl.create 16; enum_tags = Hashtbl.create 8 }
   in
@@ -775,6 +776,8 @@ let parse_tu (src : string) : tu =
     globals := List.rev_append (parse_global st) !globals
   done;
   Ast_ids.renumber { globals = List.rev !globals }
+
+let parse_tu (src : string) : tu = parse_tokens (Lexer.tokenize src)
 
 (* Parse, mapping both lexer and parser errors into a result. *)
 let parse (src : string) : (tu, string) result =

@@ -1,0 +1,45 @@
+(* An amortized-doubling vector: the growable pools of the fuzz loops.
+
+   [Array.append pool [| x |]] per accept is O(n) and turns a long
+   campaign quadratic; push here is amortized O(1).  The backing array
+   grows by doubling and uses the pushed element as the fill value, so
+   no dummy element is ever required. *)
+
+type 'a t = {
+  mutable arr : 'a array;
+  mutable len : int;
+}
+
+let create () = { arr = [||]; len = 0 }
+
+let of_list xs =
+  let arr = Array.of_list xs in
+  { arr; len = Array.length arr }
+
+let length v = v.len
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get: index out of bounds";
+  v.arr.(i)
+
+let push v x =
+  if v.len = Array.length v.arr then begin
+    let cap = max 8 (2 * Array.length v.arr) in
+    let arr = Array.make cap x in
+    Array.blit v.arr 0 arr 0 v.len;
+    v.arr <- arr
+  end;
+  v.arr.(v.len) <- x;
+  v.len <- v.len + 1
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.arr.(i)
+  done
+
+let to_list v =
+  let acc = ref [] in
+  for i = v.len - 1 downto 0 do
+    acc := v.arr.(i) :: !acc
+  done;
+  !acc

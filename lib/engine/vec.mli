@@ -1,0 +1,18 @@
+(** An amortized-doubling vector.
+
+    The growable pools of the fuzz loops: [push] is amortized O(1)
+    (versus the O(n) [Array.append pool [| x |]] idiom, which makes a
+    long campaign quadratic in accepts). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val of_list : 'a list -> 'a t
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument when the index is out of bounds. *)
+
+val push : 'a t -> 'a -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val to_list : 'a t -> 'a list

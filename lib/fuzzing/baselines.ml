@@ -91,19 +91,20 @@ let havoc_byte_mutation (rng : Rng.t) (src : string) : string =
 let run_aflpp ?engine ~rng ~compiler ~seeds ~iterations ~sample_every () :
     Fuzz_result.t =
   let result = Fuzz_result.make ~fuzzer_name:"AFL++" ~compiler in
-  let pool = ref (Array.of_list seeds) in
+  let pool = Engine.Vec.of_list seeds in
   let options = Simcomp.Compiler.default_options in
+  let scratch = Simcomp.Coverage.create () in
   (* seed coverage *)
-  Array.iter
+  Engine.Vec.iter
     (fun src ->
-      let cov = Simcomp.Coverage.create () in
-      ignore (Simcomp.Compiler.compile ~cov ?engine compiler options src);
-      ignore (Simcomp.Coverage.merge ~into:result.Fuzz_result.coverage cov))
-    !pool;
+      Simcomp.Coverage.reset scratch;
+      ignore (Simcomp.Compiler.compile ~cov:scratch ?engine compiler options src);
+      ignore (Simcomp.Coverage.merge ~into:result.Fuzz_result.coverage scratch))
+    pool;
   let trend = ref [] in
   let result = ref result in
   for i = 1 to iterations do
-    let base = !pool.(Rng.int rng (Array.length !pool)) in
+    let base = Engine.Vec.get pool (Rng.int rng (Engine.Vec.length pool)) in
     (* AFL mutates faster than μCFuzz compiles: several mutants/iteration *)
     for _ = 1 to 3 do
       let mutant = havoc_byte_mutation rng base in
@@ -113,18 +114,18 @@ let run_aflpp ?engine ~rng ~compiler ~seeds ~iterations ~sample_every () :
           total_mutants = !result.total_mutants + 1;
           throughput_mutants = !result.throughput_mutants + 1;
         };
-      let cov = Simcomp.Coverage.create () in
-      (match Simcomp.Compiler.compile ~cov ?engine compiler options mutant with
+      Simcomp.Coverage.reset scratch;
+      (match Simcomp.Compiler.compile ~cov:scratch ?engine compiler options mutant with
       | Simcomp.Compiler.Compiled _ ->
         result := { !result with compilable_mutants = !result.compilable_mutants + 1 }
       | Simcomp.Compiler.Crashed c ->
         Fuzz_result.record_crash !result ~iteration:i ~input:mutant c
       | Simcomp.Compiler.Compile_error _ -> ());
+      (* the merged fresh count doubles as the accept signal: one scan *)
       let fresh =
-        Simcomp.Coverage.has_new_coverage ~seen:!result.Fuzz_result.coverage cov
+        Simcomp.Coverage.merge ~into:!result.Fuzz_result.coverage scratch
       in
-      ignore (Simcomp.Coverage.merge ~into:!result.Fuzz_result.coverage cov);
-      if fresh then pool := Array.append !pool [| mutant |]
+      if fresh > 0 then Engine.Vec.push pool mutant
     done;
     if i mod sample_every = 0 then
       trend := (i, Simcomp.Coverage.covered !result.Fuzz_result.coverage) :: !trend
@@ -140,6 +141,7 @@ let run_generator ?engine ~name ~(cfg : Ast_gen.config) ~rng ~compiler
   let result = ref (Fuzz_result.make ~fuzzer_name:name ~compiler) in
   let options = Simcomp.Compiler.default_options in
   let trend = ref [] in
+  let scratch = Simcomp.Coverage.create () in
   for i = 1 to iterations do
     let src = Ast_gen.gen_source ~cfg rng in
     result :=
@@ -148,14 +150,14 @@ let run_generator ?engine ~name ~(cfg : Ast_gen.config) ~rng ~compiler
         total_mutants = !result.total_mutants + 1;
         throughput_mutants = !result.throughput_mutants + 1;
       };
-    let cov = Simcomp.Coverage.create () in
-    (match Simcomp.Compiler.compile ~cov ?engine compiler options src with
+    Simcomp.Coverage.reset scratch;
+    (match Simcomp.Compiler.compile ~cov:scratch ?engine compiler options src with
     | Simcomp.Compiler.Compiled _ ->
       result := { !result with compilable_mutants = !result.compilable_mutants + 1 }
     | Simcomp.Compiler.Crashed c ->
       Fuzz_result.record_crash !result ~iteration:i ~input:src c
     | Simcomp.Compiler.Compile_error _ -> ());
-    ignore (Simcomp.Coverage.merge ~into:!result.Fuzz_result.coverage cov);
+    ignore (Simcomp.Coverage.merge ~into:!result.Fuzz_result.coverage scratch);
     if i mod sample_every = 0 then
       trend := (i, Simcomp.Coverage.covered !result.Fuzz_result.coverage) :: !trend
   done;

@@ -29,7 +29,7 @@ let default_config =
 
 type instance = {
   i_rng : Rng.t;
-  mutable i_pool : (string * Ast.tu) array;
+  i_pool : (string * Ast.tu) Engine.Vec.t;
 }
 
 let run ?(cfg = default_config) ~rng ~compiler ~seeds ~iterations () :
@@ -45,26 +45,32 @@ let run ?(cfg = default_config) ~rng ~compiler ~seeds ~iterations () :
   in
   let instances =
     List.init cfg.instances (fun _ ->
-        { i_rng = Rng.split rng; i_pool = Array.of_list (parse_pool seeds) })
+        { i_rng = Rng.split rng; i_pool = Engine.Vec.of_list (parse_pool seeds) })
   in
   let result = ref shared in
   let trend = ref [] in
+  (* one scratch map for the whole run: reset per compile, never realloc'd *)
+  let scratch = Simcomp.Coverage.create () in
   (* seed coverage once *)
   List.iteri
     (fun idx src ->
       if idx < 50 then begin
-        let cov = Simcomp.Coverage.create () in
+        Simcomp.Coverage.reset scratch;
         ignore
-          (Simcomp.Compiler.compile ~cov compiler
+          (Simcomp.Compiler.compile ~cov:scratch compiler
              Simcomp.Compiler.default_options src);
-        ignore (Simcomp.Coverage.merge ~into:!result.Fuzz_result.coverage cov)
+        ignore
+          (Simcomp.Coverage.merge ~into:!result.Fuzz_result.coverage scratch)
       end)
     seeds;
   for i = 1 to iterations do
     (* round-robin over simulated parallel instances *)
     let inst = List.nth instances (i mod cfg.instances) in
-    if Array.length inst.i_pool > 0 then begin
-      let _, base_tu = inst.i_pool.(Rng.int inst.i_rng (Array.length inst.i_pool)) in
+    if Engine.Vec.length inst.i_pool > 0 then begin
+      let _, base_tu =
+        Engine.Vec.get inst.i_pool
+          (Rng.int inst.i_rng (Engine.Vec.length inst.i_pool))
+      in
       (* Havoc: stack several mutators *)
       let rounds = 1 + Rng.int inst.i_rng cfg.havoc_rounds_max in
       let mutated = ref base_tu in
@@ -94,25 +100,26 @@ let run ?(cfg = default_config) ~rng ~compiler ~seeds ~iterations () :
               total_mutants = !result.total_mutants + 1;
               throughput_mutants = !result.throughput_mutants + 1;
             };
-          let cov = Simcomp.Coverage.create () in
-          (match Simcomp.Compiler.compile ~cov compiler options src' with
+          Simcomp.Coverage.reset scratch;
+          let outcome, parsed =
+            Simcomp.Compiler.compile_tu ~cov:scratch compiler options src'
+          in
+          (match outcome with
           | Simcomp.Compiler.Compiled _ ->
             result :=
               { !result with compilable_mutants = !result.compilable_mutants + 1 }
           | Simcomp.Compiler.Crashed c ->
             Fuzz_result.record_crash !result ~iteration:i ~input:src' c
           | Simcomp.Compiler.Compile_error _ -> ());
-          (* shared coverage across instances *)
+          (* shared coverage across instances; the merged fresh count is
+             the accept signal (one scan, not a has_new + merge pair) *)
           let fresh =
-            Simcomp.Coverage.has_new_coverage
-              ~seen:!result.Fuzz_result.coverage cov
+            Simcomp.Coverage.merge ~into:!result.Fuzz_result.coverage scratch
           in
-          ignore (Simcomp.Coverage.merge ~into:!result.Fuzz_result.coverage cov);
-          if fresh then
-            match Parser.parse src' with
-            | Ok tu'' ->
-              inst.i_pool <- Array.append inst.i_pool [| (src', tu'') |]
-            | Error _ -> ()
+          if fresh > 0 then
+            match parsed with
+            | Some tu'' -> Engine.Vec.push inst.i_pool (src', tu'')
+            | None -> ()
         end
     end;
     if i mod cfg.sample_every = 0 then

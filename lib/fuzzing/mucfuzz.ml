@@ -49,7 +49,9 @@ type state = {
   per_mutator : (string, mutator_counters) Hashtbl.t;
   trend_rev : (int * int) list ref;  (* fed by the trend sink *)
   trend_sink : Engine.Event.sink;
-  mutable pool : pool_entry array;
+  pool : pool_entry Engine.Vec.t;    (* amortized-O(1) accepts *)
+  scratch : Simcomp.Coverage.t;      (* per-mutant map, reset not realloc'd *)
+  cache : Simcomp.Compiler.cache;    (* byte-identical mutant dedup *)
   mutable result : Fuzz_result.t;
 }
 
@@ -109,7 +111,9 @@ let init ?(options = Simcomp.Compiler.default_options) ?engine ~cfg ~rng
       per_mutator = Hashtbl.create 160;
       trend_rev;
       trend_sink;
-      pool = Array.of_list pool;
+      pool = Engine.Vec.of_list pool;
+      scratch = Simcomp.Coverage.create ();
+      cache = Simcomp.Compiler.cache_create ();
       result =
         Fuzz_result.make
           ~fuzzer_name:
@@ -121,10 +125,15 @@ let init ?(options = Simcomp.Compiler.default_options) ?engine ~cfg ~rng
   (* the pool's baseline coverage comes from compiling the seeds; a seed
      that crashes the compiler is a finding like any other (iteration 0)
      and fresh branches feed the baseline trend sample *)
-  Array.iter
+  Engine.Vec.iter
     (fun e ->
-      let cov = Simcomp.Coverage.create () in
-      (match Simcomp.Compiler.compile ~cov ~engine compiler options e.src with
+      Simcomp.Coverage.reset st.scratch;
+      let cov = st.scratch in
+      (match
+         fst
+           (Simcomp.Compiler.compile_cached ~cache:st.cache ~cov ~engine
+              compiler options e.src)
+       with
       | Simcomp.Compiler.Compiled _ | Simcomp.Compiler.Compile_error _ -> ()
       | Simcomp.Compiler.Crashed c ->
         Fuzz_result.record_crash st.result ~iteration:0 ~input:e.src c;
@@ -152,9 +161,9 @@ let init ?(options = Simcomp.Compiler.default_options) ?engine ~cfg ~rng
 
 (* One iteration of Algorithm 1. *)
 let step (st : state) ~iteration : unit =
-  if Array.length st.pool = 0 then ()
+  if Engine.Vec.length st.pool = 0 then ()
   else begin
-    let entry = st.pool.(Rng.int st.rng (Array.length st.pool)) in
+    let entry = Engine.Vec.get st.pool (Rng.int st.rng (Engine.Vec.length st.pool)) in
     let shuffled = Rng.shuffle st.rng st.cfg.mutators in
     let attempts = ref 0 in
     let found = ref false in
@@ -182,10 +191,16 @@ let step (st : state) ~iteration : unit =
                 total_mutants = st.result.total_mutants + 1;
                 throughput_mutants = st.result.throughput_mutants + 1;
               };
-            let cov = Simcomp.Coverage.create () in
-            let outcome =
-              Simcomp.Compiler.compile ~cov ~engine:st.engine st.compiler
-                st.options src'
+            Simcomp.Coverage.reset st.scratch;
+            let cov = st.scratch in
+            (* byte-identical mutants (frequent under the fragility
+               model) short-circuit in the cache: the memoized outcome
+               comes back and the scratch map stays empty, which is
+               equivalent — the first compile's coverage was already
+               merged below, so its fresh count would be 0 anyway *)
+            let outcome, parsed =
+              Simcomp.Compiler.compile_cached ~cache:st.cache ~cov
+                ~engine:st.engine st.compiler st.options src'
             in
             (match outcome with
             | Simcomp.Compiler.Compiled _ ->
@@ -205,10 +220,7 @@ let step (st : state) ~iteration : unit =
                      iteration;
                    })
             | Simcomp.Compiler.Compile_error _ -> ());
-            let new_cov =
-              Simcomp.Coverage.has_new_coverage
-                ~seen:st.result.Fuzz_result.coverage cov
-            in
+            (* one pass: the merged fresh count IS the accept signal *)
             let fresh =
               Simcomp.Coverage.merge ~into:st.result.Fuzz_result.coverage cov
             in
@@ -216,16 +228,22 @@ let step (st : state) ~iteration : unit =
               Engine.Ctx.emit st.engine
                 (Engine.Event.Coverage_gained { iteration; fresh });
             let accepted = ref false in
-            if (new_cov || not st.cfg.coverage_guided) && not !found then begin
+            if (fresh > 0 || not st.cfg.coverage_guided) && not !found then begin
               (* P' joins the pool only when it compiles: broken mutants
                  still contribute (error-path) coverage but breeding from
                  them would collapse the pool's compilable ratio *)
               match outcome with
               | Simcomp.Compiler.Compiled _ -> (
-                match Parser.parse src' with
+                (* the compiler already parsed this exact source; fall
+                   back to a fresh parse only on a cache hit *)
+                let reparsed =
+                  match parsed with
+                  | Some tu'' -> Ok tu''
+                  | None -> Parser.parse src'
+                in
+                match reparsed with
                 | Ok tu'' ->
-                  st.pool <-
-                    Array.append st.pool [| { src = src'; tu = tu'' } |];
+                  Engine.Vec.push st.pool { src = src'; tu = tu'' };
                   found := true;
                   accepted := true
                 | Error _ -> ())

@@ -46,7 +46,13 @@ type state = {
   per_mutator : (string, mutator_counters) Hashtbl.t;
   trend_rev : (int * int) list ref;
   trend_sink : Engine.Event.sink;
-  mutable pool : pool_entry array;
+  pool : pool_entry Engine.Vec.t;
+      (** amortized-O(1) accepts (an [Array.append] pool is quadratic) *)
+  scratch : Simcomp.Coverage.t;
+      (** the per-mutant coverage map, reset between compiles instead of
+          reallocated *)
+  cache : Simcomp.Compiler.cache;
+      (** byte-identical mutant dedup (see {!Simcomp.Compiler.compile_cached}) *)
   mutable result : Fuzz_result.t;
 }
 

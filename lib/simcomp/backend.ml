@@ -24,10 +24,15 @@ let mnemonic_of_binop (op : Cparse.Ast.binop) =
   | Band -> "and" | Bxor -> "xor" | Bor -> "or"
   | Land -> "andl" | Lor -> "orl"
 
+(* String building here is hot (every operand of every instruction of
+   every compile); plain concatenation avoids the Format machinery. *)
+let vreg r = "v" ^ string_of_int r
+let label l = "L" ^ string_of_int l
+
 let sel_operand = function
-  | Reg r -> Fmt.str "v%d" r
-  | Imm v -> Fmt.str "#%Ld" v
-  | Fimm f -> Fmt.str "#%g" f
+  | Reg r -> vreg r
+  | Imm v -> "#" ^ Int64.to_string v
+  | Fimm f -> Printf.sprintf "#%g" f
   | Sym s -> "@" ^ s
 
 let sel_addr = function
@@ -49,17 +54,17 @@ let select ?cov (i : instr) : asm_instr list =
     let opk = function Reg _ -> 0 | Imm _ -> 1 | Fimm _ -> 2 | Sym _ -> 3 in
     event (Hashtbl.hash op land 0xff) ((4 * opk a) + opk b);
     let m = mnemonic_of_binop op ^ if imm_form then "i" else "" in
-    [ { mnemonic = m; operands = [ Fmt.str "v%d" r; sel_operand a; sel_operand b ] } ]
+    [ { mnemonic = m; operands = [ vreg r; sel_operand a; sel_operand b ] } ]
   | Iun (op, r, a) ->
     event 200 (Hashtbl.hash op land 0xff);
     let m =
       match op with
       | Neg -> "neg" | Lognot -> "not" | Bitnot -> "inv" | Uplus -> "mov"
     in
-    [ { mnemonic = m; operands = [ Fmt.str "v%d" r; sel_operand a ] } ]
+    [ { mnemonic = m; operands = [ vreg r; sel_operand a ] } ]
   | Imov (r, a) ->
     event 201 0;
-    [ { mnemonic = "mov"; operands = [ Fmt.str "v%d" r; sel_operand a ] } ]
+    [ { mnemonic = "mov"; operands = [ vreg r; sel_operand a ] } ]
   | Icast (r, ty, a) ->
     let tag = Lower.ty_tag ty in
     event 202 tag;
@@ -70,16 +75,16 @@ let select ?cov (i : instr) : asm_instr list =
       | Cparse.Ast.Tint (Ishort, _) -> "sext16"
       | _ -> "mov"
     in
-    [ { mnemonic = m; operands = [ Fmt.str "v%d" r; sel_operand a ] } ]
+    [ { mnemonic = m; operands = [ vreg r; sel_operand a ] } ]
   | Iload (r, addr) ->
     event 203 (match addr with Avar _ -> 0 | Aindex _ -> 1 | Areg _ -> 2);
-    [ { mnemonic = "ld"; operands = Fmt.str "v%d" r :: sel_addr addr } ]
+    [ { mnemonic = "ld"; operands = vreg r :: sel_addr addr } ]
   | Istore (addr, v) ->
     event 204 (match addr with Avar _ -> 0 | Aindex _ -> 1 | Areg _ -> 2);
     [ { mnemonic = "st"; operands = sel_addr addr @ [ sel_operand v ] } ]
   | Iaddr (r, addr) ->
     event 205 0;
-    [ { mnemonic = "lea"; operands = Fmt.str "v%d" r :: sel_addr addr } ]
+    [ { mnemonic = "lea"; operands = vreg r :: sel_addr addr } ]
   | Icall (r, fn, args) ->
     event 206 (List.length args);
     let setup =
@@ -90,7 +95,7 @@ let select ?cov (i : instr) : asm_instr list =
     setup
     @ [ { mnemonic = "call"; operands = [ fn ] } ]
     @ (match r with
-      | Some r -> [ { mnemonic = "mov"; operands = [ Fmt.str "v%d" r; "rv" ] } ]
+      | Some r -> [ { mnemonic = "mov"; operands = [ vreg r; "rv" ] } ]
       | None -> [])
 
 let select_term ?cov (t : terminator) : asm_instr list =
@@ -109,11 +114,11 @@ let select_term ?cov (t : terminator) : asm_instr list =
       { mnemonic = "ret"; operands = [] } ]
   | Tjmp l ->
     event 2;
-    [ { mnemonic = "jmp"; operands = [ Fmt.str "L%d" l ] } ]
+    [ { mnemonic = "jmp"; operands = [ label l ] } ]
   | Tbr (c, a, b) ->
     event 3;
-    [ { mnemonic = "bnez"; operands = [ sel_operand c; Fmt.str "L%d" a ] };
-      { mnemonic = "jmp"; operands = [ Fmt.str "L%d" b ] } ]
+    [ { mnemonic = "bnez"; operands = [ sel_operand c; label a ] };
+      { mnemonic = "jmp"; operands = [ label b ] } ]
   | Tswitch (c, cases, d) ->
     (* dense case sets use a jump table, sparse ones a compare chain *)
     let dense =
@@ -127,13 +132,13 @@ let select_term ?cov (t : terminator) : asm_instr list =
     in
     event (if dense then 4 else 5);
     if dense then
-      [ { mnemonic = "jtab"; operands = sel_operand c :: List.map (fun (v, l) -> Fmt.str "%Ld:L%d" v l) cases @ [ Fmt.str "L%d" d ] } ]
+      [ { mnemonic = "jtab"; operands = sel_operand c :: List.map (fun (v, l) -> Int64.to_string v ^ ":" ^ label l) cases @ [ label d ] } ]
     else
       List.map
         (fun (v, l) ->
-          { mnemonic = "beq"; operands = [ sel_operand c; Fmt.str "#%Ld" v; Fmt.str "L%d" l ] })
+          { mnemonic = "beq"; operands = [ sel_operand c; "#" ^ Int64.to_string v; label l ] })
         cases
-      @ [ { mnemonic = "jmp"; operands = [ Fmt.str "L%d" d ] } ]
+      @ [ { mnemonic = "jmp"; operands = [ label d ] } ]
   | Tunreachable ->
     event 6;
     [ { mnemonic = "trap"; operands = [] } ]
@@ -210,31 +215,46 @@ let regalloc ?cov (f : func) : (int * int) list * int =
 
 let emit_function ?cov (f : func) : string * int =
   let assignment, spills = regalloc ?cov f in
+  (* assoc-list lookups per operand are quadratic in the vreg count;
+     index the assignment once *)
+  let assigned = Hashtbl.create (List.length assignment) in
+  List.iter (fun (vr, p) -> Hashtbl.replace assigned vr p) assignment;
   let rename s =
     if String.length s > 1 && s.[0] = 'v' then
       match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
       | Some vr -> (
-        match List.assoc_opt vr assignment with
-        | Some p when p >= 0 -> Fmt.str "r%d" p
-        | Some _ -> Fmt.str "[sp+%d]" (vr * 8)
+        match Hashtbl.find_opt assigned vr with
+        | Some p when p >= 0 -> "r" ^ string_of_int p
+        | Some _ -> "[sp+" ^ string_of_int (vr * 8) ^ "]"
         | None -> s)
       | None -> s
     else s
   in
   let buf = Buffer.create 256 in
-  Buffer.add_string buf (Fmt.str "%s:\n" f.fn_name);
+  Buffer.add_string buf f.fn_name;
+  Buffer.add_string buf ":\n";
   List.iter
     (fun b ->
-      Buffer.add_string buf (Fmt.str ".L%d:\n" b.b_label);
-      let instrs =
-        List.concat_map (select ?cov) b.b_instrs @ select_term ?cov b.b_term
+      Buffer.add_string buf ".L";
+      Buffer.add_string buf (string_of_int b.b_label);
+      Buffer.add_string buf ":\n";
+      let emit a =
+        (* "  %-6s %s\n" without the Format machinery *)
+        Buffer.add_string buf "  ";
+        Buffer.add_string buf a.mnemonic;
+        for _ = String.length a.mnemonic to 5 do
+          Buffer.add_char buf ' '
+        done;
+        Buffer.add_char buf ' ';
+        List.iteri
+          (fun i op ->
+            if i > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf (rename op))
+          a.operands;
+        Buffer.add_char buf '\n'
       in
-      List.iter
-        (fun a ->
-          Buffer.add_string buf
-            (Fmt.str "  %-6s %s\n" a.mnemonic
-               (String.concat ", " (List.map rename a.operands))))
-        instrs)
+      List.iter (fun i -> List.iter emit (select ?cov i)) b.b_instrs;
+      List.iter emit (select_term ?cov b.b_term))
     f.fn_blocks;
   (Buffer.contents buf, spills)
 
@@ -243,8 +263,9 @@ let emit_program ?cov (p : program) : string * int =
   List.iter
     (fun g ->
       Buffer.add_string buf
-        (Fmt.str ".data %s size=%d init=%s\n" g.g_name g.g_size
-           (match g.g_init with Some v -> Int64.to_string v | None -> "0")))
+        (".data " ^ g.g_name ^ " size=" ^ string_of_int g.g_size ^ " init="
+        ^ (match g.g_init with Some v -> Int64.to_string v | None -> "0")
+        ^ "\n"))
     p.p_globals;
   let total_spills = ref 0 in
   List.iter

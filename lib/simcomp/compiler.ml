@@ -46,50 +46,52 @@ let sanitize_msg (msg : string) : string =
   Buffer.contents buf
 
 (* Front-end lexical coverage: token-kind bigrams (error-handling paths of
-   the lexer are what byte-level fuzzers explore). *)
-let lex_coverage ?limit cov ~salt (src : string) : unit =
+   the lexer are what byte-level fuzzers explore).  Takes the token array
+   the parser already consumed — the source is lexed exactly once per
+   compile. *)
+let lex_coverage ?limit cov ~salt (toks : Lexer.lexeme array) : unit =
   match cov with
   | None -> ()
-  | Some _ -> (
-    match Lexer.tokenize src with
-    | toks ->
-      (* a recursive-descent front-end stops lexing at the first parse
-         error, so coverage beyond [limit] (the error offset) is never
-         reached in reality *)
-      let toks =
-        match limit with
-        | None -> toks
-        | Some off ->
-          let n = ref 0 in
-          Array.iter
-            (fun l ->
-              if l.Lexer.loc.Loc.offset <= off then incr n)
-            toks;
-          Array.sub toks 0 (max 1 !n)
-      in
-      (* the lexer branches on token *classes*, not identifier content *)
-      let tag (t : Token.t) =
-        match t with
-        | Token.Ident _ -> 1
-        | Token.Int_lit (v, _, _) ->
-          2 + (if Int64.compare v 256L < 0 then 0 else 1)
-        | Token.Float_lit _ -> 4
-        | Token.Char_lit _ -> 5
-        | Token.Str_lit _ -> 6
-        | Token.Kw k -> 8 + (Hashtbl.hash k land 0x1f)
-        | t -> 48 + (Hashtbl.hash (Token.to_string t) land 0x7)
-      in
-      Array.iteri
-        (fun i l ->
-          if i > 0 then
-            cov_event cov ~salt ~site:0x100
-              ~a:(tag toks.(i - 1).Lexer.tok)
-              ~b:(tag l.Lexer.tok))
-        toks
-    | exception Lexer.Error (msg, _loc) ->
-      cov_event cov ~salt ~site:0x110
-        ~a:(Hashtbl.hash (sanitize_msg msg) land 0x1f)
-        ~b:0)
+  | Some _ ->
+    (* a recursive-descent front-end stops lexing at the first parse
+       error, so coverage beyond [limit] (the error offset) is never
+       reached in reality *)
+    let toks =
+      match limit with
+      | None -> toks
+      | Some off ->
+        let n = ref 0 in
+        Array.iter
+          (fun l ->
+            if l.Lexer.loc.Loc.offset <= off then incr n)
+          toks;
+        Array.sub toks 0 (max 1 !n)
+    in
+    (* the lexer branches on token *classes*, not identifier content *)
+    let tag (t : Token.t) =
+      match t with
+      | Token.Ident _ -> 1
+      | Token.Int_lit (v, _, _) ->
+        2 + (if Int64.compare v 256L < 0 then 0 else 1)
+      | Token.Float_lit _ -> 4
+      | Token.Char_lit _ -> 5
+      | Token.Str_lit _ -> 6
+      | Token.Kw k -> 8 + (Hashtbl.hash k land 0x1f)
+      | t -> 48 + (Hashtbl.hash (Token.to_string t) land 0x7)
+    in
+    Array.iteri
+      (fun i l ->
+        if i > 0 then
+          cov_event cov ~salt ~site:0x100
+            ~a:(tag toks.(i - 1).Lexer.tok)
+            ~b:(tag l.Lexer.tok))
+      toks
+
+(* The lexer's own error-handling path (malformed input). *)
+let lex_error_coverage cov ~salt msg =
+  cov_event cov ~salt ~site:0x110
+    ~a:(Hashtbl.hash (sanitize_msg msg) land 0x1f)
+    ~b:0
 
 (* AST-shape coverage: parent/child node-kind pairs, as a proxy for the
    parser's and semantic analyzer's branch structure. *)
@@ -273,47 +275,116 @@ let engine_stage = function
   | Crash.Optimization -> Engine.Event.Opt
   | Crash.Back_end -> Engine.Event.Backend
 
-let compile ?cov ?engine (compiler : compiler) (opts : options) (src : string)
-    : outcome =
+(* Per-compile engine counters, resolved once per context instead of two
+   string-keyed registry lookups (plus a name concatenation) per compile.
+   The memo is domain-local: parallel campaign workers each own their
+   context, so a one-slot cache per domain never sees contention and
+   re-resolves only when the context changes. *)
+type outcome_counters = {
+  oc_total : Engine.Metrics.counter;
+  oc_ok : Engine.Metrics.counter;
+  oc_error : Engine.Metrics.counter;
+  oc_crash : Engine.Metrics.counter;
+  oc_cached : Engine.Metrics.counter;
+}
+
+let counters_memo : (Engine.Ctx.t * outcome_counters) option ref Domain.DLS.key
+    =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let outcome_counters (ctx : Engine.Ctx.t) : outcome_counters =
+  let memo = Domain.DLS.get counters_memo in
+  match !memo with
+  | Some (c, k) when c == ctx -> k
+  | _ ->
+    let c name = Engine.Metrics.counter ctx.Engine.Ctx.metrics name in
+    let outcome k = c ("compile.outcome." ^ Engine.Event.outcome_kind_to_string k) in
+    let k =
+      {
+        oc_total = c "compile.total";
+        oc_ok = outcome Engine.Event.Compiled_ok;
+        oc_error = outcome Engine.Event.Compile_failed;
+        oc_crash = outcome Engine.Event.Crashed;
+        oc_cached = c "compile.cached";
+      }
+    in
+    memo := Some (ctx, k);
+    k
+
+let record_outcome ?(cached = false) engine (outcome : outcome) =
+  match engine with
+  | None -> ()
+  | Some ctx ->
+    let kind, stage =
+      match outcome with
+      | Compiled _ -> (Engine.Event.Compiled_ok, Engine.Event.Backend)
+      | Compile_error _ -> (Engine.Event.Compile_failed, Engine.Event.Frontend)
+      | Crashed c -> (Engine.Event.Crashed, engine_stage c.Crash.stage)
+    in
+    let k = outcome_counters ctx in
+    Engine.Metrics.incr k.oc_total;
+    Engine.Metrics.incr
+      (match kind with
+      | Engine.Event.Compiled_ok -> k.oc_ok
+      | Engine.Event.Compile_failed -> k.oc_error
+      | Engine.Event.Crashed -> k.oc_crash);
+    if cached then Engine.Metrics.incr k.oc_cached;
+    Engine.Ctx.emit ctx (Engine.Event.Compile_finished (kind, stage))
+
+let compile_tu ?cov ?engine (compiler : compiler) (opts : options)
+    (src : string) : outcome * Cparse.Ast.tu option =
   let salt = salt compiler in
   let tx = Features.text_features src in
   let check stage ast =
     Bugdb.check ~compiler ~stage ~opt_level:opts.opt_level ~tx ~ast
   in
   let span name f = Engine.Span.with_opt engine ~name f in
+  let parsed_tu = ref None in
   let outcome =
     try
       let frontend =
         span "compile.frontend" (fun () ->
-            (* parse first (uninstrumented) so lexical coverage can stop at
-               the point where a real single-pass front-end would stop *)
-            let parsed =
-              match Parser.parse_tu src with
-              | tu -> Ok tu
-              | exception Parser.Error (msg, loc) -> Error (msg, Some loc)
-              | exception Lexer.Error (msg, loc) -> Error (msg, Some loc)
-              | exception Stack_overflow -> Error ("parser stack overflow", None)
-            in
-            match parsed with
-            | Error (msg, loc) ->
-              lex_coverage ?limit:(Option.map (fun l -> l.Loc.offset) loc) cov
-                ~salt src;
+            (* tokenize exactly once: the same array feeds the parser and
+               lexical coverage (which, for parse errors, stops at the
+               point where a real single-pass front-end would stop) *)
+            match Lexer.tokenize src with
+            | exception Lexer.Error (msg, _loc) ->
+              lex_error_coverage cov ~salt msg;
               check Crash.Front_end None;
               cov_event cov ~salt ~site:0x120
                 ~a:(Hashtbl.hash (sanitize_msg msg) land 0x1f)
                 ~b:0;
               Error [ msg ]
-            | Ok tu ->
-              lex_coverage cov ~salt src;
-              ast_coverage cov ~salt tu;
-              let ast = Features.ast_features tu in
-              feature_coverage cov ~salt ast;
-              check Crash.Front_end (Some ast);
-              let tc = Typecheck.check tu in
-              diag_coverage cov ~salt tc.r_diags;
-              if not tc.r_ok then
-                Error (List.map Typecheck.diag_to_string (Typecheck.errors tc))
-              else Ok (tu, tc, ast))
+            | toks -> (
+              let parsed =
+                match Parser.parse_tokens toks with
+                | tu -> Ok tu
+                | exception Parser.Error (msg, loc) -> Error (msg, Some loc)
+                | exception Stack_overflow ->
+                  Error ("parser stack overflow", None)
+              in
+              match parsed with
+              | Error (msg, loc) ->
+                lex_coverage ?limit:(Option.map (fun l -> l.Loc.offset) loc)
+                  cov ~salt toks;
+                check Crash.Front_end None;
+                cov_event cov ~salt ~site:0x120
+                  ~a:(Hashtbl.hash (sanitize_msg msg) land 0x1f)
+                  ~b:0;
+                Error [ msg ]
+              | Ok tu ->
+                parsed_tu := Some tu;
+                lex_coverage cov ~salt toks;
+                ast_coverage cov ~salt tu;
+                let ast = Features.ast_features tu in
+                feature_coverage cov ~salt ast;
+                check Crash.Front_end (Some ast);
+                let tc = Typecheck.check tu in
+                diag_coverage cov ~salt tc.r_diags;
+                if not tc.r_ok then
+                  Error
+                    (List.map Typecheck.diag_to_string (Typecheck.errors tc))
+                else Ok (tu, tc, ast)))
       in
       match frontend with
       | Error msgs -> Compile_error msgs
@@ -362,20 +433,12 @@ let compile ?cov ?engine (compiler : compiler) (opts : options) (src : string)
           frames = [ "recursive_descent"; "parse_expression" ];
         }
   in
-  (match engine with
-  | None -> ()
-  | Some ctx ->
-    let kind, stage =
-      match outcome with
-      | Compiled _ -> (Engine.Event.Compiled_ok, Engine.Event.Backend)
-      | Compile_error _ -> (Engine.Event.Compile_failed, Engine.Event.Frontend)
-      | Crashed c -> (Engine.Event.Crashed, engine_stage c.Crash.stage)
-    in
-    Engine.Ctx.incr ctx "compile.total";
-    Engine.Ctx.incr ctx
-      ("compile.outcome." ^ Engine.Event.outcome_kind_to_string kind);
-    Engine.Ctx.emit ctx (Engine.Event.Compile_finished (kind, stage)));
-  outcome
+  record_outcome engine outcome;
+  (outcome, !parsed_tu)
+
+let compile ?cov ?engine (compiler : compiler) (opts : options) (src : string)
+    : outcome =
+  fst (compile_tu ?cov ?engine compiler opts src)
 
 (* Produce the (possibly silently corrupted) optimized IR: the hook the
    EMI-style wrong-code detector (Fuzzing.Wrongcode) differences against
@@ -416,3 +479,59 @@ let options_to_string (o : options) =
   Fmt.str "-O%d%s" o.opt_level
     (String.concat ""
        (List.map (fun p -> " -fno-" ^ p) o.disabled_passes))
+
+(* ------------------------------------------------------------------ *)
+(* Mutant dedup cache                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The pipeline is deterministic in (compiler, options, source), and the
+   fragility model frequently re-renders byte-identical mutants, so a
+   repeated source can skip the whole compile.  Keys are the full
+   (compiler, options, source) text — no hash-collision unsoundness —
+   and the table is dropped wholesale when it reaches capacity (the
+   working set of a fuzz run is recent mutants; an LRU would buy little
+   over epoch clearing). *)
+type cache = {
+  c_tbl : (string, outcome) Hashtbl.t;
+  c_capacity : int;
+  mutable c_hits : int;
+  mutable c_misses : int;
+}
+
+let cache_create ?(capacity = 2048) () =
+  {
+    c_tbl = Hashtbl.create 256;
+    c_capacity = max 1 capacity;
+    c_hits = 0;
+    c_misses = 0;
+  }
+
+let cache_hits c = c.c_hits
+let cache_misses c = c.c_misses
+
+let cache_key compiler opts src =
+  String.concat "\x00"
+    [ Bugdb.compiler_to_string compiler; options_to_string opts; src ]
+
+let compile_cached ~cache ?cov ?engine (compiler : compiler) (opts : options)
+    (src : string) : outcome * Cparse.Ast.tu option =
+  let key = cache_key compiler opts src in
+  match Hashtbl.find_opt cache.c_tbl key with
+  | Some outcome ->
+    cache.c_hits <- cache.c_hits + 1;
+    (* A byte-identical source was already compiled: its outcome is
+       deterministic and its coverage map is identical to the first
+       run's, so recording into [cov] is skipped — any map the caller
+       previously merged that coverage into already subsumes it, making
+       the fresh-branch count 0 either way.  Engine accounting is still
+       replayed so compile.total/compile.outcome.* match an uncached
+       run exactly. *)
+    record_outcome ~cached:true engine outcome;
+    (outcome, None)
+  | None ->
+    cache.c_misses <- cache.c_misses + 1;
+    let outcome, tu = compile_tu ?cov ?engine compiler opts src in
+    if Hashtbl.length cache.c_tbl >= cache.c_capacity then
+      Hashtbl.reset cache.c_tbl;
+    Hashtbl.replace cache.c_tbl key outcome;
+    (outcome, tu)

@@ -37,7 +37,40 @@ val compile :
     stage runs under a span ([span.compile.frontend] / [.lower] / [.opt]
     / [.backend]), outcome counters are bumped, and a
     {!Engine.Event.Compile_finished} event carrying the outcome kind and
-    the last stage reached is emitted. *)
+    the last stage reached is emitted.  The source is lexed exactly once
+    (the parser and lexical coverage share the token array). *)
+
+val compile_tu :
+  ?cov:Coverage.t -> ?engine:Engine.Ctx.t -> compiler -> options -> string ->
+  outcome * Cparse.Ast.tu option
+(** Like {!compile}, but also returns the parsed translation unit when
+    the front-end parse succeeded (always [Some] when the outcome is
+    [Compiled]).  Fuzz loops that pool compiled mutants use this to
+    avoid re-parsing a source the compiler just parsed; the returned
+    tree is exactly what [Parser.parse] of the same source yields. *)
+
+type cache
+(** A mutant dedup cache: memoizes compile outcomes keyed by the full
+    (compiler, options, source) text.  The pipeline is deterministic in
+    that triple, so byte-identical mutants — which the fragility model
+    produces often — skip the whole compile. *)
+
+val cache_create : ?capacity:int -> unit -> cache
+(** The table is cleared wholesale when it reaches [capacity]
+    (default 2048 entries). *)
+
+val cache_hits : cache -> int
+val cache_misses : cache -> int
+
+val compile_cached :
+  cache:cache -> ?cov:Coverage.t -> ?engine:Engine.Ctx.t -> compiler ->
+  options -> string -> outcome * Cparse.Ast.tu option
+(** {!compile_tu} through the cache.  On a hit the memoized outcome is
+    returned with [None] for the tree, nothing is recorded into [cov]
+    (the identical coverage was already produced by the first compile —
+    any accumulator the caller merged it into subsumes it), and engine
+    accounting is replayed exactly as for a real compile, plus a
+    [compile.cached] counter bump. *)
 
 val compile_ir : compiler -> options -> string -> (Ir.program, string) result
 (** Produce the (possibly silently miscompiled) optimized IR — the hook

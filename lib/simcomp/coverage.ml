@@ -4,58 +4,113 @@
    context captures what the real compiler's branch would depend on (node
    kind, type class, pass decision...), so coverage grows with program
    diversity exactly as it does when fuzzing an instrumented GCC/Clang.
-   Ids are hashed into a bounded space like AFL's edge map. *)
+
+   The representation is AFL's edge map taken literally: a fixed byte
+   array of [map_size] saturating 8-bit hit counters.  [hit] is a
+   branch-predictable unboxed byte bump — no tuple, no [Hashtbl.hash],
+   no heap traffic of any kind — because it fires thousands of times per
+   compile (the feature-pair loop alone is O(n²) in feature buckets).
+   The distinct-branch count is maintained incrementally so [covered]
+   is O(1); [merge] is a word-at-a-time scan that skips the (almost
+   always zero) empty stretches of the mutant's map and returns the
+   fresh-branch count, which is Algorithm 1's acceptance signal. *)
 
 type t = {
-  map : (int, int) Hashtbl.t;
-  mutable hits : int;
+  map : Bytes.t;           (* map_size saturating 8-bit hit counters *)
+  mutable hits : int;      (* total branch events, unsaturated *)
+  mutable distinct : int;  (* number of nonzero cells *)
 }
 
 let map_bits = 20
 let map_size = 1 lsl map_bits
 
-let create () = { map = Hashtbl.create 4096; hits = 0 }
+let create () = { map = Bytes.make map_size '\000'; hits = 0; distinct = 0 }
 
 let hit cov id =
-  let id = id land (map_size - 1) in
+  let i = id land (map_size - 1) in
   cov.hits <- cov.hits + 1;
-  match Hashtbl.find_opt cov.map id with
-  | Some n -> Hashtbl.replace cov.map id (n + 1)
-  | None -> Hashtbl.replace cov.map id 1
+  let c = Char.code (Bytes.unsafe_get cov.map i) in
+  if c = 0 then cov.distinct <- cov.distinct + 1;
+  if c < 255 then Bytes.unsafe_set cov.map i (Char.unsafe_chr (c + 1))
+
+(* An integer mixer over the (site, a, b) triple: xmix/murmur-style
+   multiply-shift rounds, entirely on immediates.  Replaces
+   [Hashtbl.hash (site, a, b)], which boxed the triple on every event. *)
+let[@inline] mix3 site a b =
+  let h = site * 0x9E3779B1 in
+  let h = (h lxor a) * 0x85EBCA77 in
+  let h = (h lxor b) * 0xC2B2AE3D in
+  let h = h lxor (h lsr 16) in
+  let h = h * 0x27D4EB2F in
+  h lxor (h lsr 13)
 
 (* Report a branch at [site] with contextual values. *)
-let branch cov ~site ?(a = 0) ?(b = 0) () =
-  hit cov (Hashtbl.hash (site, a, b))
+let branch cov ~site ?(a = 0) ?(b = 0) () = hit cov (mix3 site a b)
 
-let covered cov = Hashtbl.length cov.map
+let covered cov = cov.distinct
 
 let total_hits cov = cov.hits
 
-let branch_ids cov = Hashtbl.fold (fun k _ acc -> k :: acc) cov.map []
+let branch_ids cov =
+  let acc = ref [] in
+  for i = map_size - 1 downto 0 do
+    if Bytes.unsafe_get cov.map i <> '\000' then acc := i :: !acc
+  done;
+  !acc
+
+let words = map_size / 8
 
 (* Merge [src] into [dst] (the macro fuzzer's shared coverage map).
-   Returns the number of branches new to [dst]. *)
+   Returns the number of branches new to [dst] — [fresh > 0] is the
+   acceptance test of the paper's Algorithm 1, so callers need exactly
+   one pass for both the accept decision and the accumulation. *)
 let merge ~into:dst src =
   let fresh = ref 0 in
-  Hashtbl.iter
-    (fun k v ->
-      match Hashtbl.find_opt dst.map k with
-      | Some n -> Hashtbl.replace dst.map k (n + v)
-      | None ->
-        incr fresh;
-        Hashtbl.replace dst.map k v)
-    src.map;
+  for w = 0 to words - 1 do
+    if Bytes.get_int64_ne src.map (w * 8) <> 0L then begin
+      let base = w * 8 in
+      for i = base to base + 7 do
+        let s = Char.code (Bytes.unsafe_get src.map i) in
+        if s <> 0 then begin
+          let d = Char.code (Bytes.unsafe_get dst.map i) in
+          if d = 0 then begin
+            incr fresh;
+            dst.distinct <- dst.distinct + 1
+          end;
+          let sum = d + s in
+          Bytes.unsafe_set dst.map i
+            (Char.unsafe_chr (if sum > 255 then 255 else sum))
+        end
+      done
+    end
+  done;
   dst.hits <- dst.hits + src.hits;
   !fresh
 
-(* Does [src] cover any branch absent from [dst]?  (Alg. 1's test.) *)
+(* Does [src] cover any branch absent from [dst]?  Same word-skipping
+   scan as [merge] with an early exit; kept for read-only callers —
+   accept-and-accumulate paths should use [merge]'s return instead. *)
 let has_new_coverage ~seen:dst src =
-  Hashtbl.fold
-    (fun k _ acc -> acc || not (Hashtbl.mem dst.map k))
-    src.map false
+  let rec go w =
+    if w >= words then false
+    else if Bytes.get_int64_ne src.map (w * 8) = 0L then go (w + 1)
+    else begin
+      let base = w * 8 in
+      let found = ref false in
+      for i = base to base + 7 do
+        if
+          Bytes.unsafe_get src.map i <> '\000'
+          && Bytes.unsafe_get dst.map i = '\000'
+        then found := true
+      done;
+      !found || go (w + 1)
+    end
+  in
+  go 0
 
 let reset cov =
-  Hashtbl.reset cov.map;
-  cov.hits <- 0
+  Bytes.fill cov.map 0 map_size '\000';
+  cov.hits <- 0;
+  cov.distinct <- 0
 
-let copy cov = { map = Hashtbl.copy cov.map; hits = cov.hits }
+let copy cov = { map = Bytes.copy cov.map; hits = cov.hits; distinct = cov.distinct }

@@ -4,7 +4,12 @@
     context captures what the real compiler's branch would depend on
     (node kind, type class, pass decision) — so coverage grows with
     program diversity the way instrumented GCC/Clang coverage does.
-    Ids are hashed into a bounded AFL-style edge map. *)
+
+    The representation is an AFL-style edge map: a fixed byte array of
+    [map_size] saturating 8-bit hit counters plus an exact total-hits
+    count.  {!hit} is allocation-free (no boxing, no hashing of boxed
+    tuples), {!covered} is O(1), and {!merge} is a single word-skipping
+    scan whose return value is the accept signal of Algorithm 1. *)
 
 type t
 (** A mutable coverage map. *)
@@ -14,28 +19,39 @@ val map_size : int
 (** The id space is [\[0, map_size)] ([1 lsl map_bits]). *)
 
 val create : unit -> t
+(** A zeroed map.  Allocates [map_size] bytes: fuzz loops should create
+    one scratch map per campaign and {!reset} it per mutant rather than
+    allocating per compile. *)
 
 val hit : t -> int -> unit
-(** Record one execution of branch [id mod map_size]. *)
+(** Record one execution of branch [id mod map_size].  Performs no heap
+    allocation (the benchmark's [coverage_hit_minor_words] pins this). *)
 
 val branch : t -> site:int -> ?a:int -> ?b:int -> unit -> unit
 (** Report a branch at [site] with contextual values [a], [b]; the id is
-    [hash (site, a, b)]. *)
+    an inlined integer mix of the triple (no tuple is built). *)
 
 val covered : t -> int
-(** Number of distinct branches covered. *)
+(** Number of distinct branches covered.  O(1). *)
 
 val total_hits : t -> int
 
 val branch_ids : t -> int list
+(** Covered ids in increasing order. *)
 
 val merge : into:t -> t -> int
-(** [merge ~into src] accumulates [src] and returns the number of
-    branches new to [into] — the macro fuzzer's shared coverage map. *)
+(** [merge ~into src] accumulates [src] (saturating per-cell) and
+    returns the number of branches new to [into].  [merge ... > 0] is
+    exactly {!has_new_coverage} computed in the same pass — fuzz loops
+    should use this single call for both the accept decision and the
+    accumulation. *)
 
 val has_new_coverage : seen:t -> t -> bool
-(** Does the second map cover a branch absent from [seen]?  This is the
-    acceptance test of the paper's Algorithm 1. *)
+(** Does the second map cover a branch absent from [seen]?  Read-only
+    variant of the {!merge} fresh test, for callers that must not
+    accumulate. *)
 
 val reset : t -> unit
+(** Zero the map in place (no allocation), for scratch-map reuse. *)
+
 val copy : t -> t

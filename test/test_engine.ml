@@ -180,6 +180,35 @@ let span_tests =
         | _ -> Alcotest.fail "span histogram missing");
   ]
 
+let vec_tests =
+  [
+    tc "push/get/length across growth" (fun () ->
+        let v = Engine.Vec.create () in
+        for i = 0 to 99 do
+          Engine.Vec.push v (i * i)
+        done;
+        check Alcotest.int "length" 100 (Engine.Vec.length v);
+        for i = 0 to 99 do
+          check Alcotest.int "element" (i * i) (Engine.Vec.get v i)
+        done;
+        Alcotest.check_raises "out of bounds"
+          (Invalid_argument "Vec.get: index out of bounds") (fun () ->
+            ignore (Engine.Vec.get v 100)));
+    tc "of_list/to_list round-trip and iter order" (fun () ->
+        let v = Engine.Vec.of_list [ "a"; "b"; "c" ] in
+        Engine.Vec.push v "d";
+        check Alcotest.(list string) "to_list" [ "a"; "b"; "c"; "d" ]
+          (Engine.Vec.to_list v);
+        let seen = ref [] in
+        Engine.Vec.iter (fun x -> seen := x :: !seen) v;
+        check Alcotest.(list string) "iter order" [ "a"; "b"; "c"; "d" ]
+          (List.rev !seen));
+    tc "empty vector" (fun () ->
+        let v : int Engine.Vec.t = Engine.Vec.create () in
+        check Alcotest.int "length" 0 (Engine.Vec.length v);
+        check Alcotest.(list int) "to_list" [] (Engine.Vec.to_list v));
+  ]
+
 let scheduler_tests =
   [
     tc "parallel_map preserves input order" (fun () ->
@@ -334,6 +363,7 @@ let () =
       ("metrics", metrics_tests);
       ("events", event_tests);
       ("spans", span_tests);
+      ("vec", vec_tests);
       ("scheduler", scheduler_tests);
       ("determinism", determinism_tests);
       ("mucfuzz-engine", mucfuzz_engine_tests);

@@ -67,6 +67,154 @@ let coverage_tests =
         check Alcotest.int "no fresh" 0 fresh);
   ]
 
+(* Differential pin of the bitmap against the previous Hashtbl
+   representation: the AFL-style edge map must report the same covered
+   counts, fresh-branch counts, has-new verdicts, total hits, and id
+   sets as the reference for any event stream, so coverage-guided
+   acceptance decisions are unchanged by the representation swap. *)
+module Ref_cov = struct
+  type t = { map : (int, int) Hashtbl.t; mutable hits : int }
+
+  let create () = { map = Hashtbl.create 64; hits = 0 }
+
+  let hit cov id =
+    let id = id land (Simcomp.Coverage.map_size - 1) in
+    cov.hits <- cov.hits + 1;
+    match Hashtbl.find_opt cov.map id with
+    | Some n -> Hashtbl.replace cov.map id (n + 1)
+    | None -> Hashtbl.replace cov.map id 1
+
+  let covered c = Hashtbl.length c.map
+  let ids c = List.sort compare (Hashtbl.fold (fun k _ a -> k :: a) c.map [])
+
+  let merge ~into:dst src =
+    let fresh = ref 0 in
+    Hashtbl.iter
+      (fun k v ->
+        match Hashtbl.find_opt dst.map k with
+        | Some n -> Hashtbl.replace dst.map k (n + v)
+        | None ->
+          incr fresh;
+          Hashtbl.replace dst.map k v)
+      src.map;
+    dst.hits <- dst.hits + src.hits;
+    !fresh
+
+  let has_new ~seen src =
+    Hashtbl.fold
+      (fun k _ acc -> acc || not (Hashtbl.mem seen.map k))
+      src.map false
+end
+
+(* A randomized id stream: a mix of small ids (forced collisions), full
+   range ids, and out-of-range ids (wrap-around). *)
+let random_ids rng n =
+  List.init n (fun _ ->
+      match Rng.int rng 3 with
+      | 0 -> Rng.int rng 64
+      | 1 -> Rng.int rng Simcomp.Coverage.map_size
+      | _ -> Rng.int rng (8 * Simcomp.Coverage.map_size))
+
+let bitmap_differential_tests =
+  [
+    tc "hit/covered/hits/ids match the Hashtbl reference" (fun () ->
+        let rng = Rng.create 2024 in
+        for _round = 1 to 20 do
+          let bm = Simcomp.Coverage.create () and rf = Ref_cov.create () in
+          let ids = random_ids rng (1 + Rng.int rng 400) in
+          List.iter
+            (fun id ->
+              Simcomp.Coverage.hit bm id;
+              Ref_cov.hit rf id)
+            ids;
+          check Alcotest.int "covered" (Ref_cov.covered rf)
+            (Simcomp.Coverage.covered bm);
+          check Alcotest.int "hits" rf.Ref_cov.hits
+            (Simcomp.Coverage.total_hits bm);
+          check
+            Alcotest.(list int)
+            "id sets" (Ref_cov.ids rf)
+            (Simcomp.Coverage.branch_ids bm)
+        done);
+    tc "merge fresh counts and has_new match the reference" (fun () ->
+        let rng = Rng.create 4242 in
+        let bm_acc = Simcomp.Coverage.create () in
+        let rf_acc = Ref_cov.create () in
+        for _round = 1 to 40 do
+          let bm = Simcomp.Coverage.create () and rf = Ref_cov.create () in
+          List.iter
+            (fun id ->
+              Simcomp.Coverage.hit bm id;
+              Ref_cov.hit rf id)
+            (random_ids rng (Rng.int rng 120));
+          check Alcotest.bool "has_new"
+            (Ref_cov.has_new ~seen:rf_acc rf)
+            (Simcomp.Coverage.has_new_coverage ~seen:bm_acc bm);
+          let rf_fresh = Ref_cov.merge ~into:rf_acc rf in
+          let bm_fresh = Simcomp.Coverage.merge ~into:bm_acc bm in
+          check Alcotest.int "fresh" rf_fresh bm_fresh;
+          check Alcotest.int "accumulated covered" (Ref_cov.covered rf_acc)
+            (Simcomp.Coverage.covered bm_acc);
+          check Alcotest.int "accumulated hits" rf_acc.Ref_cov.hits
+            (Simcomp.Coverage.total_hits bm_acc)
+        done);
+    tc "coverage-guided accept decisions identical to the reference"
+      (fun () ->
+        (* Algorithm 1's accept test, run side by side: for the same RNG
+           seed the two representations must accept/reject the exact
+           same mutants *)
+        let rng = Rng.create 77 in
+        let bm_pool = Simcomp.Coverage.create () in
+        let rf_pool = Ref_cov.create () in
+        let decisions = ref [] in
+        for _mutant = 1 to 300 do
+          let ids = random_ids rng (Rng.int rng 60) in
+          let bm = Simcomp.Coverage.create () and rf = Ref_cov.create () in
+          List.iter
+            (fun id ->
+              Simcomp.Coverage.hit bm id;
+              Ref_cov.hit rf id)
+            ids;
+          (* old API shape: has_new, then merge *)
+          let rf_accept = Ref_cov.has_new ~seen:rf_pool rf in
+          ignore (Ref_cov.merge ~into:rf_pool rf);
+          (* new API shape: single merge, fresh count is the signal *)
+          let bm_accept = Simcomp.Coverage.merge ~into:bm_pool bm > 0 in
+          decisions := (rf_accept, bm_accept) :: !decisions
+        done;
+        check Alcotest.bool "some accepts and some rejects" true
+          (List.exists (fun (a, _) -> a) !decisions
+          && List.exists (fun (a, _) -> not a) !decisions);
+        List.iter
+          (fun (rf_accept, bm_accept) ->
+            check Alcotest.bool "same decision" rf_accept bm_accept)
+          !decisions);
+    tc "reset zeroes in place and copy is independent" (fun () ->
+        let c = Simcomp.Coverage.create () in
+        List.iter (Simcomp.Coverage.hit c) [ 1; 2; 3; 1 ];
+        let d = Simcomp.Coverage.copy c in
+        Simcomp.Coverage.reset c;
+        check Alcotest.int "reset covered" 0 (Simcomp.Coverage.covered c);
+        check Alcotest.int "reset hits" 0 (Simcomp.Coverage.total_hits c);
+        check Alcotest.(list int) "reset ids" [] (Simcomp.Coverage.branch_ids c);
+        check Alcotest.int "copy survives" 3 (Simcomp.Coverage.covered d);
+        check Alcotest.int "copy hits" 4 (Simcomp.Coverage.total_hits d);
+        (* a reset map accepts hits again *)
+        Simcomp.Coverage.hit c 9;
+        check Alcotest.int "after reset" 1 (Simcomp.Coverage.covered c));
+    tc "per-cell counters saturate without losing distinctness" (fun () ->
+        let c = Simcomp.Coverage.create () in
+        for _ = 1 to 1000 do
+          Simcomp.Coverage.hit c 5
+        done;
+        check Alcotest.int "one branch" 1 (Simcomp.Coverage.covered c);
+        check Alcotest.int "exact hits" 1000 (Simcomp.Coverage.total_hits c);
+        (* saturated cells still merge correctly *)
+        let d = Simcomp.Coverage.create () in
+        Simcomp.Coverage.hit d 5;
+        check Alcotest.int "no fresh" 0 (Simcomp.Coverage.merge ~into:c d));
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Feature extraction                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -828,10 +976,95 @@ let mutant_differential =
              | _ -> true
            end))
 
+(* The single-lex pipeline entries: compile_tu's returned tree and the
+   dedup cache must be indistinguishable from plain compile. *)
+let compile_pipeline_tests =
+  let opts = Simcomp.Compiler.default_options in
+  let gen_sources n seed =
+    List.init n (fun i -> Ast_gen.gen_source (Rng.create (seed + i)))
+  in
+  [
+    tc "compile_tu returns the tree parse would produce" (fun () ->
+        List.iter
+          (fun src ->
+            match Simcomp.Compiler.compile_tu Simcomp.Compiler.Gcc opts src with
+            | Simcomp.Compiler.Compiled _, Some tu ->
+              check Alcotest.string "same pretty-printed tree"
+                (Pretty.tu_to_string (parse src))
+                (Pretty.tu_to_string tu)
+            | Simcomp.Compiler.Compiled _, None ->
+              Alcotest.fail "compiled outcome must carry the parsed tree"
+            | _ -> ())
+          (gen_sources 10 500));
+    tc "compile_tu parse failure yields no tree" (fun () ->
+        match Simcomp.Compiler.compile_tu Simcomp.Compiler.Gcc opts "int main( {" with
+        | Simcomp.Compiler.Compile_error _, None -> ()
+        | _ -> Alcotest.fail "expected error outcome without a tree");
+    tc "compile_cached reproduces compile outcomes and dedups repeats"
+      (fun () ->
+        let cache = Simcomp.Compiler.cache_create () in
+        let srcs = gen_sources 8 900 in
+        let srcs = srcs @ srcs in
+        (* every source twice *)
+        List.iter
+          (fun src ->
+            let cov_plain = Simcomp.Coverage.create () in
+            let plain =
+              Simcomp.Compiler.compile ~cov:cov_plain Simcomp.Compiler.Gcc
+                opts src
+            in
+            let cov_cached = Simcomp.Coverage.create () in
+            let cached, _ =
+              Simcomp.Compiler.compile_cached ~cache ~cov:cov_cached
+                Simcomp.Compiler.Gcc opts src
+            in
+            check Alcotest.bool "identical outcome" true (plain = cached))
+          srcs;
+        check Alcotest.int "second pass all hits" 8
+          (Simcomp.Compiler.cache_hits cache);
+        check Alcotest.int "first pass all misses" 8
+          (Simcomp.Compiler.cache_misses cache));
+    tc "cache hits replay engine accounting exactly" (fun () ->
+        let src = Ast_gen.gen_source (Rng.create 321) in
+        let counters engine =
+          List.filter
+            (function _, Engine.Metrics.Counter _ -> true | _ -> false)
+            (Engine.Metrics.snapshot engine.Engine.Ctx.metrics)
+        in
+        let uncached = Engine.Ctx.create () in
+        ignore
+          (Simcomp.Compiler.compile ~engine:uncached Simcomp.Compiler.Gcc opts
+             src);
+        ignore
+          (Simcomp.Compiler.compile ~engine:uncached Simcomp.Compiler.Gcc opts
+             src);
+        let cached_engine = Engine.Ctx.create () in
+        let cache = Simcomp.Compiler.cache_create () in
+        ignore
+          (Simcomp.Compiler.compile_cached ~cache ~engine:cached_engine
+             Simcomp.Compiler.Gcc opts src);
+        ignore
+          (Simcomp.Compiler.compile_cached ~cache ~engine:cached_engine
+             Simcomp.Compiler.Gcc opts src);
+        (* same compile.total / compile.outcome.* family, plus the
+           compile.cached marker on the cached run *)
+        let drop_cached =
+          List.filter (fun (name, _) -> name <> "compile.cached")
+        in
+        check Alcotest.bool "counter families match" true
+          (drop_cached (counters uncached)
+          = drop_cached (counters cached_engine));
+        check Alcotest.bool "cache marker counted" true
+          (List.assoc "compile.cached" (counters cached_engine)
+          = Engine.Metrics.Counter 1));
+  ]
+
 let () =
   Alcotest.run "simcomp"
     [
       ("coverage", coverage_tests);
+      ("coverage-bitmap-differential", bitmap_differential_tests);
+      ("compile-pipeline", compile_pipeline_tests);
       ("features", feature_tests);
       ("interp", interp_tests);
       ("ir", ir_tests);
