@@ -25,6 +25,41 @@ if [ -x "$CLI" ]; then
   fi
 fi
 
+echo "== smoke: faulted campaign determinism across job counts =="
+if [ -x "$CLI" ]; then
+  FAULTS="hang=0.05,crash=0.2"
+  "$CLI" campaign --iterations 10 --jobs 1 --faults "$FAULTS" --fault-seed 3 \
+    > /tmp/campaign_f1.txt
+  "$CLI" campaign --iterations 10 --jobs 4 --faults "$FAULTS" --fault-seed 3 \
+    > /tmp/campaign_f4.txt
+  if cmp -s /tmp/campaign_f1.txt /tmp/campaign_f4.txt; then
+    echo "faulted campaign output identical for --jobs 1 and --jobs 4"
+  else
+    echo "FAIL: faulted campaign output differs between job counts" >&2
+    diff /tmp/campaign_f1.txt /tmp/campaign_f4.txt >&2 || true
+    exit 1
+  fi
+fi
+
+echo "== smoke: campaign checkpoint/resume round-trip =="
+if [ -x "$CLI" ]; then
+  CKPT=$(mktemp -d)
+  "$CLI" campaign --iterations 10 --jobs 2 --checkpoint "$CKPT" \
+    > /tmp/campaign_ckpt.txt 2> /dev/null
+  # lose one completed cell, as a mid-run kill would
+  rm "$CKPT/done-uCFuzz.s-GCC.ckpt"
+  "$CLI" campaign --iterations 10 --jobs 2 --checkpoint "$CKPT" --resume \
+    > /tmp/campaign_resume.txt 2> /dev/null
+  if cmp -s /tmp/campaign_ckpt.txt /tmp/campaign_resume.txt; then
+    echo "resumed campaign output identical to the uninterrupted run"
+  else
+    echo "FAIL: resumed campaign output differs from the original" >&2
+    diff /tmp/campaign_ckpt.txt /tmp/campaign_resume.txt >&2 || true
+    exit 1
+  fi
+  rm -rf "$CKPT"
+fi
+
 echo "== smoke: fuzz-throughput bench =="
 # Smoke mode keeps CI fast; this gate only checks the bench runs and
 # emits well-formed JSON — perf numbers are informational, not gating.

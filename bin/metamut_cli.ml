@@ -53,10 +53,17 @@ let render_spans (ctx : Engine.Ctx.t) =
     Report.Table.print t
   end
 
-(* Counter families rendered as a two-column table. *)
-let render_counter_family (ctx : Engine.Ctx.t) ~title ~prefix =
+(* Counter families rendered as a two-column table.  [exclude] drops
+   sub-families rendered as their own table (suffixes, like [prefix]). *)
+let render_counter_family (ctx : Engine.Ctx.t) ?(exclude = []) ~title ~prefix ()
+    =
   let rows =
     Engine.Metrics.counters_with_prefix ctx.Engine.Ctx.metrics ~prefix
+    |> List.filter (fun (name, _) ->
+           not
+             (List.exists
+                (fun p -> String.starts_with ~prefix:p name)
+                exclude))
   in
   if rows <> [] then begin
     let t = Report.Table.create ~title ~header:[ "name"; "count" ] in
@@ -104,8 +111,17 @@ let render_mutator_counters (ctx : Engine.Ctx.t) =
 
 let render_metrics (ctx : Engine.Ctx.t) =
   render_spans ctx;
-  render_counter_family ctx ~title:"Compile outcomes" ~prefix:"compile.";
-  render_counter_family ctx ~title:"Pipeline counters" ~prefix:"pipeline.";
+  render_counter_family ctx ~title:"Compile outcomes" ~prefix:"compile." ();
+  render_counter_family ctx ~title:"Pipeline outcomes"
+    ~prefix:"pipeline.outcome." ();
+  render_counter_family ctx ~title:"Pipeline retry" ~prefix:"pipeline.retry."
+    ();
+  render_counter_family ctx ~title:"Pipeline counters" ~prefix:"pipeline."
+    ~exclude:[ "outcome."; "retry." ] ();
+  render_counter_family ctx ~title:"Fault injection" ~prefix:"faults." ();
+  render_counter_family ctx ~title:"Scheduler supervision" ~prefix:"scheduler."
+    ();
+  render_counter_family ctx ~title:"Checkpointing" ~prefix:"checkpoint." ();
   render_mutator_counters ctx
 
 let metrics_flag =
@@ -113,6 +129,52 @@ let metrics_flag =
     value & flag
     & info [ "metrics" ]
         ~doc:"Collect engine metrics (spans, counters) and print them.")
+
+(* --faults / --fault-seed, shared by fuzz / generate / campaign.  The
+   spec falls back to METAMUT_FAULTS so CI can fault a whole run without
+   touching each command line. *)
+let faults_term =
+  let spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Fault-injection spec: comma-separated site=rate pairs over the \
+             sites llm, hang, crash, io (e.g. \
+             $(b,llm=0.3,hang=0.05,crash=0.2,io=0.1)); $(b,off) disables.  \
+             Defaults to $(b,METAMUT_FAULTS) when set.")
+  in
+  let fseed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-seed" ] ~docv:"N"
+          ~doc:
+            "Seed of the fault-decision streams (default \
+             $(b,METAMUT_FAULT_SEED), or 0).")
+  in
+  let make spec fseed =
+    let config =
+      match spec with
+      | Some s -> (
+        match Engine.Faults.parse_spec s with
+        | Ok c -> Some c
+        | Error e -> Fmt.failwith "--faults: %s" e)
+      | None -> Engine.Faults.config_from_env ()
+    in
+    match config with
+    | None -> None
+    | Some c when c = Engine.Faults.no_faults -> None
+    | Some c ->
+      let seed =
+        match fseed with
+        | Some s -> s
+        | None -> Engine.Faults.seed_from_env ()
+      in
+      Some (Engine.Faults.create ~seed c)
+  in
+  Term.(const make $ spec $ fseed)
 
 (* ------------------------------------------------------------------ *)
 (* list-mutators                                                       *)
@@ -233,7 +295,7 @@ let compile_cmd =
 (* fuzz                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let fuzz compiler iterations seed corpus_kind metrics trace =
+let fuzz compiler iterations seed corpus_kind faults metrics trace =
   let rng = Cparse.Rng.create seed in
   let seeds = Fuzzing.Seeds.corpus ~n:50 (Cparse.Rng.create seed) in
   let mutators =
@@ -252,7 +314,7 @@ let fuzz compiler iterations seed corpus_kind metrics trace =
     Engine.Event.add_sink engine.Engine.Ctx.bus
       (Engine.Event.text_sink ~out:(fun line -> Fmt.epr "%s@." line));
   let r =
-    Fuzzing.Mucfuzz.run ~cfg ~engine ~rng ~compiler ~seeds ~iterations
+    Fuzzing.Mucfuzz.run ~cfg ~engine ?faults ~rng ~compiler ~seeds ~iterations
       ~name:"uCFuzz" ()
   in
   Fmt.pr "iterations: %d@." iterations;
@@ -291,15 +353,29 @@ let fuzz_cmd =
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run the uCFuzz coverage-guided fuzzer")
-    Term.(const fuzz $ compiler $ iterations $ seed $ corpus $ metrics_flag $ trace)
+    Term.(
+      const fuzz $ compiler $ iterations $ seed $ corpus $ faults_term
+      $ metrics_flag $ trace)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let generate n seed metrics =
+let generate n seed retry_budget faults metrics =
   let engine = if metrics then Some (Engine.Ctx.create ()) else None in
-  let runs = Metamut.Pipeline.run_many ~seed ?engine ~n () in
+  let cfg =
+    let base = Metamut.Pipeline.default_config in
+    {
+      base with
+      Metamut.Pipeline.retry =
+        {
+          base.Metamut.Pipeline.retry with
+          Engine.Retry.max_attempts = max 1 retry_budget;
+        };
+      faults;
+    }
+  in
+  let runs = Metamut.Pipeline.run_many ~cfg ~seed ?engine ~n () in
   List.iter
     (fun r ->
       let open Metamut.Pipeline in
@@ -309,24 +385,50 @@ let generate n seed metrics =
           (dollars_of_tokens (total_cost r).sc_tokens)
       | Invalid_refinement -> Fmt.pr "invalid    %s (refinement)@." r.r_name
       | Invalid_manual why -> Fmt.pr "invalid    %s (%s)@." r.r_name why
-      | System_error -> Fmt.pr "error      (API)@.")
+      | System_error ->
+        Fmt.pr "error      (API, %d attempt%s)@." r.r_attempts
+          (if r.r_attempts = 1 then "" else "s"))
     runs;
   let s = Metamut.Pipeline.summarize runs in
   Fmt.pr "valid: %d/%d@." s.Metamut.Pipeline.s_valid n;
+  let recovered =
+    List.length
+      (List.filter
+         (fun r ->
+           r.Metamut.Pipeline.r_attempts > 1
+           && r.Metamut.Pipeline.r_outcome <> Metamut.Pipeline.System_error)
+         runs)
+  in
+  if recovered > 0 then
+    Fmt.pr "recovered after retry: %d (%.1f s backoff charged)@." recovered
+      (List.fold_left
+         (fun acc r ->
+           acc +. r.Metamut.Pipeline.r_retry.Metamut.Pipeline.sc_wait_s)
+         0. runs);
   Option.iter render_metrics engine
 
 let generate_cmd =
   let n = Arg.(value & opt int 20 & info [ "n" ] ~doc:"Invocations.") in
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"RNG seed.") in
+  let retry_budget =
+    Arg.(
+      value
+      & opt int Engine.Retry.default_policy.Engine.Retry.max_attempts
+      & info [ "retry-budget" ] ~docv:"N"
+          ~doc:
+            "Maximum pipeline attempts per invocation when the simulated \
+             API throttles ($(b,1) disables retry, matching the paper's \
+             24-errors-in-100 behaviour).")
+  in
   Cmd.v
     (Cmd.info "generate" ~doc:"Run the MetaMut mutator-generation pipeline")
-    Term.(const generate $ n $ seed $ metrics_flag)
+    Term.(const generate $ n $ seed $ retry_budget $ faults_term $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
 (* campaign                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let campaign iterations jobs metrics =
+let campaign iterations jobs faults checkpoint resume metrics =
   let cfg =
     { Fuzzing.Campaign.default_config with
       iterations;
@@ -335,7 +437,19 @@ let campaign iterations jobs metrics =
         (if jobs > 0 then jobs else Fuzzing.Campaign.default_config.jobs) }
   in
   let engine = if metrics then Some (Engine.Ctx.create ()) else None in
-  let t = Fuzzing.Campaign.run ~cfg ?engine () in
+  let t = Fuzzing.Campaign.run ~cfg ?engine ?faults ?checkpoint ~resume () in
+  (* bookkeeping goes to stderr so stdout stays byte-comparable between
+     faulted/resumed runs and clean ones *)
+  if t.Fuzzing.Campaign.resumed_cells > 0 then
+    Fmt.epr "resumed %d completed cell(s) from checkpoint@."
+      t.Fuzzing.Campaign.resumed_cells;
+  List.iter
+    (fun ((f, c), msg) ->
+      Fmt.epr "FAILED %s-%s: %s@."
+        (Fuzzing.Campaign.fuzzer_name f)
+        (Simcomp.Bugdb.compiler_to_string c)
+        msg)
+    t.Fuzzing.Campaign.failures;
   let table =
     Report.Table.create ~title:"RQ1 campaign"
       ~header:[ "fuzzer"; "compiler"; "coverage"; "crashes"; "compilable %" ]
@@ -365,9 +479,30 @@ let campaign_cmd =
              recommended domain count).  Results are identical at any job \
              count.")
   in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"DIR"
+          ~doc:
+            "Snapshot each cell's state to $(docv) periodically (atomic \
+             write-temp + rename) and save completed cells, so a killed \
+             campaign can $(b,--resume).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Restore completed cells and continue interrupted ones from \
+             $(b,--checkpoint) $(i,DIR); the reassembled results are \
+             identical to an uninterrupted run.")
+  in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run the six-fuzzer RQ1 comparison")
-    Term.(const campaign $ iterations $ jobs $ metrics_flag)
+    Term.(
+      const campaign $ iterations $ jobs $ faults_term $ checkpoint $ resume
+      $ metrics_flag)
 
 let () =
   let info =

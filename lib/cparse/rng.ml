@@ -71,3 +71,8 @@ let shuffle t xs =
 let split t =
   let s = next_int64 t in
   { state = s }
+
+(* Raw state accessors, for checkpoint/resume: restoring a saved state
+   replays the exact draw sequence the snapshot interrupted. *)
+let state t = t.state
+let set_state t s = t.state <- s

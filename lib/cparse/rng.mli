@@ -50,3 +50,10 @@ val shuffle : t -> 'a list -> 'a list
 
 val split : t -> t
 (** Split off an independent stream (for per-task determinism). *)
+
+val state : t -> int64
+(** The raw generator state, for checkpointing. *)
+
+val set_state : t -> int64 -> unit
+(** Restore a state captured by {!state}: the generator replays the
+    exact draw sequence from that point. *)

@@ -1,0 +1,26 @@
+(** Atomic snapshot store for checkpoint/resume.
+
+    Files are [magic · fingerprint · Marshal payload]; writes go to a
+    temp file renamed into place, so a kill mid-write leaves either the
+    previous or the new complete snapshot, never a torn one.  The
+    fingerprint names everything the payload is valid for; {!load}
+    refuses a mismatch. *)
+
+val mkdir_p : string -> unit
+(** Create the directory (and parents) if missing; best-effort. *)
+
+val save :
+  ?faults:Faults.t -> ?ctx:Ctx.t -> ?retry:Retry.policy ->
+  path:string -> fingerprint:string -> 'a -> (unit, string) result
+(** Atomically write a snapshot.  Each attempt consults the
+    [Io_failure] fault site (when [faults] is given) and real
+    [Sys_error]s are retried under [retry] (default
+    {!Retry.default_policy}); with [ctx], bumps [checkpoint.saved] /
+    [checkpoint.save_failed] and [checkpoint.retry.*].
+    The payload must be Marshal-safe (no closures, no custom blocks). *)
+
+val load : path:string -> fingerprint:string -> ('a, string) result
+(** Read a snapshot back.  [Error] on missing file, foreign format,
+    fingerprint mismatch, or a corrupt payload — resume callers treat
+    any [Error] as "start from scratch".  The result type must match
+    what was saved ([Marshal] is untyped). *)

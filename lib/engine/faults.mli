@@ -1,0 +1,67 @@
+(** Deterministic fault-injection harness.
+
+    Any layer may consult a harness at one of four {!site}s; the
+    decision stream per site is a pure function of (seed, site, draw
+    index), so one site's decisions are independent of how other sites'
+    draws interleave — the property that keeps faulted campaigns
+    byte-identical at any job count.
+
+    A harness is single-domain: parallel consumers must {!derive} a
+    child per worker or per campaign cell.  Derivation does not consume
+    parent state, so children are stable regardless of creation order. *)
+
+type site =
+  | Llm_throttle  (** the §4 API throttle/timeout, a.k.a. [System_error] *)
+  | Compile_hang  (** pathological mutant stalling the compiler *)
+  | Worker_crash  (** a scheduler domain dying mid-item *)
+  | Io_failure    (** checkpoint write failing *)
+
+val all_sites : site list
+val site_to_string : site -> string
+
+type config = {
+  llm_throttle : float;
+  compile_hang : float;
+  worker_crash : float;
+  io_failure : float;
+}
+(** Per-site injection probabilities, each in [\[0,1\]]. *)
+
+val no_faults : config
+val rate : config -> site -> float
+
+type t
+(** A seeded harness (mutable per-site draw counters). *)
+
+val create : ?seed:int -> config -> t
+val config_of : t -> config
+
+val derive : t -> tag:int -> t
+(** Child harness with the same config and a seed mixed from [tag].
+    Distinct tags give independent streams; equal tags reproduce. *)
+
+val fire : ?ctx:Ctx.t -> t -> site -> bool
+(** Draw the site's next decision.  A zero-rate site never fires and
+    consumes no draw.  With [ctx], fired faults bump
+    [faults.injected.<site>]. *)
+
+val parse_spec : string -> (config, string) result
+(** ["llm=0.2,hang=0.01,crash=0.05,io=0.02"] (long site names accepted);
+    [""], ["off"] and ["none"] mean {!no_faults}. *)
+
+val spec_to_string : config -> string
+(** Canonical spec (["off"] for {!no_faults}); round-trips through
+    {!parse_spec}. *)
+
+val fingerprint : t -> string
+(** Spec + seed, for checkpoint compatibility checks. *)
+
+val config_from_env : unit -> config option
+(** Parse [METAMUT_FAULTS] (unset/empty → [None]; malformed → raises
+    [Invalid_argument] — CI must not silently run fault-free). *)
+
+val seed_from_env : unit -> int
+(** [METAMUT_FAULT_SEED], default 0. *)
+
+val from_env : unit -> t option
+(** Harness from both variables, when [METAMUT_FAULTS] is set. *)

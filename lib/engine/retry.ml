@@ -1,0 +1,66 @@
+(* Exponential backoff with jitter, in *simulated* time.
+
+   The reproduction charges wait time to cost accounting instead of
+   sleeping (campaigns are iteration-budgeted, not wall-clock-budgeted),
+   so [run] returns the total backoff delay for the caller to charge —
+   the pipeline adds it to [sc_wait_s] — and mirrors it into a
+   [<name>.wait_ms] counter for the metrics table. *)
+
+type policy = {
+  max_attempts : int;    (* total attempts, including the first *)
+  base_delay_s : float;  (* delay before the 2nd attempt *)
+  multiplier : float;    (* exponential growth factor *)
+  max_delay_s : float;   (* per-wait cap *)
+  jitter : float;        (* +/- fraction of the computed delay *)
+}
+
+let default_policy =
+  {
+    max_attempts = 4;
+    base_delay_s = 1.0;
+    multiplier = 2.0;
+    max_delay_s = 30.0;
+    jitter = 0.5;
+  }
+
+let delay_for (p : policy) ~attempt ~jitter01 =
+  if attempt < 1 then invalid_arg "Retry.delay_for: attempt < 1";
+  let exp = p.base_delay_s *. (p.multiplier ** float_of_int (attempt - 1)) in
+  let capped = Float.min p.max_delay_s exp in
+  (* jitter01 in [0,1) maps to a factor in [1-j, 1+j) *)
+  let factor = 1. -. p.jitter +. (2. *. p.jitter *. jitter01) in
+  Float.max 0. (capped *. factor)
+
+type 'a outcome = {
+  value : 'a;
+  attempts : int;
+  waited_s : float;   (* simulated backoff total *)
+  recovered : bool;   (* a retryable value was followed by a final one *)
+}
+
+let run ?ctx ?(name = "retry") (p : policy) ~(retryable : 'a -> bool)
+    ~(jitter : unit -> float) (f : attempt:int -> 'a) : 'a outcome =
+  let bump ?(by = 1) suffix =
+    Option.iter (fun c -> Ctx.incr ~by c (name ^ suffix)) ctx
+  in
+  let max_attempts = max 1 p.max_attempts in
+  let rec go attempt waited =
+    let v = f ~attempt in
+    bump ".attempts";
+    if not (retryable v) then begin
+      let recovered = attempt > 1 in
+      if recovered then bump ".recovered";
+      { value = v; attempts = attempt; waited_s = waited; recovered }
+    end
+    else if attempt >= max_attempts then begin
+      bump ".exhausted";
+      { value = v; attempts = attempt; waited_s = waited; recovered = false }
+    end
+    else begin
+      let d = delay_for p ~attempt ~jitter01:(jitter ()) in
+      bump ".retried";
+      bump ~by:(int_of_float (d *. 1000.)) ".wait_ms";
+      go (attempt + 1) (waited +. d)
+    end
+  in
+  go 1 0.

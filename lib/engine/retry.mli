@@ -1,0 +1,36 @@
+(** Bounded retry with exponential backoff + jitter, in simulated time.
+
+    Waits are charged, not slept: {!run} accumulates the backoff it
+    would have spent and returns it for the caller's cost accounting
+    (the pipeline adds it to [sc_wait_s]). *)
+
+type policy = {
+  max_attempts : int;   (** total attempts including the first; >= 1 *)
+  base_delay_s : float; (** delay before the 2nd attempt *)
+  multiplier : float;   (** exponential growth per retry *)
+  max_delay_s : float;  (** per-wait cap, applied before jitter *)
+  jitter : float;       (** delay scaled by a factor in [1±jitter] *)
+}
+
+val default_policy : policy
+(** 4 attempts, 1 s base, ×2, 30 s cap, ±50 % jitter. *)
+
+val delay_for : policy -> attempt:int -> jitter01:float -> float
+(** Backoff after failed attempt [n >= 1], with [jitter01] in [\[0,1)]
+    selecting the point inside the jitter window.  Pure. *)
+
+type 'a outcome = {
+  value : 'a;        (** the last attempt's result *)
+  attempts : int;
+  waited_s : float;  (** total simulated backoff *)
+  recovered : bool;  (** retryable result(s), then a non-retryable one *)
+}
+
+val run :
+  ?ctx:Ctx.t -> ?name:string -> policy -> retryable:('a -> bool) ->
+  jitter:(unit -> float) -> (attempt:int -> 'a) -> 'a outcome
+(** Call [f] until [retryable] is false or the budget is exhausted.
+    [jitter] is drawn once per backoff (callers pass a deterministic
+    session-RNG closure).  With [ctx], bumps [<name>.attempts],
+    [.retried], [.recovered], [.exhausted] and [.wait_ms]
+    (default name ["retry"]). *)

@@ -1,20 +1,22 @@
 (* Domain-parallel fan-out with a work-stealing index counter.
 
-   [parallel_map] spawns up to [jobs] domains (OCaml 5 Domain.spawn),
-   each pulling the next unclaimed item off a shared Atomic counter, and
-   joins them all before returning.  Results come back in input order
-   regardless of which worker ran which item, so a deterministic
-   per-item function gives byte-identical output at any job count. *)
+   [try_map] is the primitive: each worker pulls the next unclaimed item
+   off a shared Atomic counter and records a per-item [result], so one
+   raising item never discards its siblings' completed work.
+   [parallel_map] keeps the original raising contract on top of it;
+   [supervised_map] adds per-item retries, injected worker deaths, and a
+   requeue pass for items orphaned by a dead domain. *)
 
 let recommended_jobs () = Domain.recommended_domain_count ()
 
-let parallel_map ?(jobs = Domain.recommended_domain_count ()) (f : 'a -> 'b)
-    (items : 'a list) : 'b list =
+let try_map ?(jobs = Domain.recommended_domain_count ()) (f : 'a -> 'b)
+    (items : 'a list) : ('b, exn) result list =
   let arr = Array.of_list items in
   let n = Array.length arr in
   let jobs = max 1 (min jobs n) in
   if n = 0 then []
-  else if jobs = 1 then List.map f items
+  else if jobs = 1 then
+    List.map (fun x -> match f x with v -> Ok v | exception e -> Error e) items
   else begin
     let results : ('b, exn) result option array = Array.make n None in
     let next = Atomic.make 0 in
@@ -37,8 +39,119 @@ let parallel_map ?(jobs = Domain.recommended_domain_count ()) (f : 'a -> 'b)
     worker ();
     List.iter Domain.join domains;
     Array.to_list results
-    |> List.map (function
-         | Some (Ok v) -> v
-         | Some (Error e) -> raise e
-         | None -> assert false)
+    |> List.map (function Some r -> r | None -> assert false)
+  end
+
+let parallel_map ?jobs (f : 'a -> 'b) (items : 'a list) : 'b list =
+  try_map ?jobs f items
+  |> List.map (function Ok v -> v | Error e -> raise e)
+
+(* ------------------------------------------------------------------ *)
+(* Supervised execution                                                *)
+(* ------------------------------------------------------------------ *)
+
+exception Worker_killed
+(* The injected domain death: raised *between* items (after claiming,
+   before executing), so a killed worker never leaves a half-executed
+   item behind — the orphaned item is requeued whole. *)
+
+type error = { e_exn : exn; e_attempts : int }
+
+let supervised_map ?(jobs = Domain.recommended_domain_count ())
+    ?(attempts = 2) ?faults ?ctx (f : 'a -> 'b) (items : 'a list) :
+    ('b, error) result list =
+  let attempts = max 1 attempts in
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let jobs = max 1 (min jobs n) in
+  if n = 0 then []
+  else begin
+    (* Per-item barrier: every exception [f] raises is caught here and
+       retried up to [attempts] times; the error result carries the last
+       exception.  Returns the retry count for accounting. *)
+    let run_item x : ('b, error) result * int =
+      let rec go k =
+        match f x with
+        | v -> (Ok v, k - 1)
+        | exception e ->
+          if k < attempts then go (k + 1)
+          else (Error { e_exn = e; e_attempts = k }, k - 1)
+      in
+      go 1
+    in
+    let retried = Atomic.make 0 in
+    let crashed = Atomic.make 0 in
+    let results : ('b, error) result option array = Array.make n None in
+    if jobs = 1 then
+      Array.iteri
+        (fun i x ->
+          let r, retries = run_item x in
+          Atomic.fetch_and_add retried retries |> ignore;
+          results.(i) <- Some r)
+        arr
+    else begin
+      let next = Atomic.make 0 in
+      let worker wid () =
+        (* each worker draws domain deaths from its own derived stream;
+           a fired Worker_crash kills the domain after it claimed an
+           item but before running it, so the item is requeued whole *)
+        let wf = Option.map (fun t -> Faults.derive t ~tag:(1_000 + wid)) faults in
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (match wf with
+            | Some t when Faults.fire t Faults.Worker_crash ->
+              raise Worker_killed
+            | _ -> ());
+            let r, retries = run_item arr.(i) in
+            Atomic.fetch_and_add retried retries |> ignore;
+            results.(i) <- Some r;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let guard g =
+        match g () with
+        | () -> ()
+        | exception _ -> Atomic.incr crashed
+      in
+      let domains =
+        List.init (jobs - 1) (fun k -> Domain.spawn (fun () -> guard (worker (k + 1))))
+      in
+      guard (worker 0);
+      List.iter (fun d -> guard (fun () -> Domain.join d)) domains;
+      (* graceful degradation: items claimed by a domain that died (or
+         never claimed because every domain died) run here, on the main
+         domain, with the same per-item barrier *)
+      Array.iteri
+        (fun i r ->
+          if r = None then begin
+            Option.iter (fun c -> Ctx.incr c "scheduler.requeued") ctx;
+            let r, retries = run_item arr.(i) in
+            Atomic.fetch_and_add retried retries |> ignore;
+            results.(i) <- Some r
+          end)
+        results
+    end;
+    let out =
+      Array.to_list results
+      |> List.map (function Some r -> r | None -> assert false)
+    in
+    (* a healthy run is metrics-silent — the registry stays identical to
+       a sequential run's, preserving job-count metric invariance; the
+       [ok] tally appears only once supervision actually intervened *)
+    Option.iter
+      (fun c ->
+        let count by name = if by > 0 then Ctx.incr ~by c ("scheduler." ^ name) in
+        let retried_n = Atomic.get retried in
+        let crashed_n = Atomic.get crashed in
+        let failed_n = List.length (List.filter Result.is_error out) in
+        count retried_n "retried";
+        count crashed_n "worker_crashed";
+        count failed_n "failed";
+        if retried_n + crashed_n + failed_n > 0 then
+          count (List.length (List.filter Result.is_ok out)) "ok")
+      ctx;
+    out
   end

@@ -7,9 +7,41 @@
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
-val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val try_map : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
 (** Map [f] over the list with up to [jobs] domains (default
-    {!recommended_jobs}; [jobs <= 1] degrades to [List.map]).  [f] must
-    not share mutable state across items.  If any application raises,
-    the first exception in input order is re-raised after all workers
-    join. *)
+    {!recommended_jobs}; [jobs <= 1] degrades to a sequential map).
+    [f] must not share mutable state across items.  Each item's
+    exception is captured in its own slot, so one raising item never
+    discards siblings' completed results. *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!try_map} with the raising contract: if any application raised, the
+    first exception in input order is re-raised after all workers join
+    (every other item still ran to completion first). *)
+
+exception Worker_killed
+(** The injected domain death ({!Faults.Worker_crash}).  Raised between
+    items, never mid-item. *)
+
+type error = {
+  e_exn : exn;       (** the last attempt's exception *)
+  e_attempts : int;  (** how many attempts were made *)
+}
+
+val supervised_map :
+  ?jobs:int -> ?attempts:int -> ?faults:Faults.t -> ?ctx:Ctx.t ->
+  ('a -> 'b) -> 'a list -> ('b, error) result list
+(** Crash-isolated map: each item runs behind its own exception barrier
+    and is retried up to [attempts] times (default 2); a persistent
+    failure becomes that item's [Error] without disturbing siblings.
+    With [faults], each worker derives a private stream for
+    {!Faults.Worker_crash} and a fired fault kills that domain after
+    claiming an item but *before* running it; orphaned items are
+    requeued on the calling domain after the join, so every item
+    completes (or fails on its own merits) even if every worker dies.
+    Because items are retried/requeued whole and [f] is deterministic,
+    the result list is identical at any job count and fault rate — only
+    the accounting varies.  With [ctx], bumps [scheduler.retried],
+    [.requeued], [.worker_crashed], [.failed] when they occur, and
+    [scheduler.ok] once supervision intervened; a healthy run is
+    metrics-silent, so registries stay job-count-invariant. *)

@@ -88,7 +88,7 @@ let havoc_byte_mutation (rng : Rng.t) (src : string) : string =
     Bytes.to_string !buf
   end
 
-let run_aflpp ?engine ~rng ~compiler ~seeds ~iterations ~sample_every () :
+let run_aflpp ?engine ?faults ~rng ~compiler ~seeds ~iterations ~sample_every () :
     Fuzz_result.t =
   let result = Fuzz_result.make ~fuzzer_name:"AFL++" ~compiler in
   let pool = Engine.Vec.of_list seeds in
@@ -98,7 +98,9 @@ let run_aflpp ?engine ~rng ~compiler ~seeds ~iterations ~sample_every () :
   Engine.Vec.iter
     (fun src ->
       Simcomp.Coverage.reset scratch;
-      ignore (Simcomp.Compiler.compile ~cov:scratch ?engine compiler options src);
+      ignore
+        (Simcomp.Compiler.compile ~cov:scratch ?engine ?faults compiler options
+           src);
       ignore (Simcomp.Coverage.merge ~into:result.Fuzz_result.coverage scratch))
     pool;
   let trend = ref [] in
@@ -115,7 +117,10 @@ let run_aflpp ?engine ~rng ~compiler ~seeds ~iterations ~sample_every () :
           throughput_mutants = !result.throughput_mutants + 1;
         };
       Simcomp.Coverage.reset scratch;
-      (match Simcomp.Compiler.compile ~cov:scratch ?engine compiler options mutant with
+      (match
+         Simcomp.Compiler.compile ~cov:scratch ?engine ?faults compiler options
+           mutant
+       with
       | Simcomp.Compiler.Compiled _ ->
         result := { !result with compilable_mutants = !result.compilable_mutants + 1 }
       | Simcomp.Compiler.Crashed c ->
@@ -136,7 +141,7 @@ let run_aflpp ?engine ~rng ~compiler ~seeds ~iterations ~sample_every () :
 (* Generation-based baselines                                          *)
 (* ------------------------------------------------------------------ *)
 
-let run_generator ?engine ~name ~(cfg : Ast_gen.config) ~rng ~compiler
+let run_generator ?engine ?faults ~name ~(cfg : Ast_gen.config) ~rng ~compiler
     ~iterations ~sample_every () : Fuzz_result.t =
   let result = ref (Fuzz_result.make ~fuzzer_name:name ~compiler) in
   let options = Simcomp.Compiler.default_options in
@@ -151,7 +156,9 @@ let run_generator ?engine ~name ~(cfg : Ast_gen.config) ~rng ~compiler
         throughput_mutants = !result.throughput_mutants + 1;
       };
     Simcomp.Coverage.reset scratch;
-    (match Simcomp.Compiler.compile ~cov:scratch ?engine compiler options src with
+    (match
+       Simcomp.Compiler.compile ~cov:scratch ?engine ?faults compiler options src
+     with
     | Simcomp.Compiler.Compiled _ ->
       result := { !result with compilable_mutants = !result.compilable_mutants + 1 }
     | Simcomp.Compiler.Crashed c ->
@@ -163,12 +170,12 @@ let run_generator ?engine ~name ~(cfg : Ast_gen.config) ~rng ~compiler
   done;
   { !result with iterations; coverage_trend = List.rev !trend }
 
-let run_csmith ?engine ~rng ~compiler ~iterations ~sample_every () =
-  run_generator ?engine ~name:"Csmith" ~cfg:Ast_gen.csmith_like_config ~rng
+let run_csmith ?engine ?faults ~rng ~compiler ~iterations ~sample_every () =
+  run_generator ?engine ?faults ~name:"Csmith" ~cfg:Ast_gen.csmith_like_config ~rng
     ~compiler ~iterations ~sample_every ()
 
-let run_yarpgen ?engine ~rng ~compiler ~iterations ~sample_every () =
-  run_generator ?engine ~name:"YARPGen" ~cfg:Ast_gen.yarpgen_like_config ~rng
+let run_yarpgen ?engine ?faults ~rng ~compiler ~iterations ~sample_every () =
+  run_generator ?engine ?faults ~name:"YARPGen" ~cfg:Ast_gen.yarpgen_like_config ~rng
     ~compiler ~iterations ~sample_every ()
 
 (* ------------------------------------------------------------------ *)
@@ -236,7 +243,7 @@ let grayc_mutators : Mutators.Mutator.t list =
     inject_control_flow;
   ]
 
-let run_grayc ?engine ~rng ~compiler ~seeds ~iterations ~sample_every () :
+let run_grayc ?engine ?faults ~rng ~compiler ~seeds ~iterations ~sample_every () :
     Fuzz_result.t =
   let cfg =
     {
@@ -245,4 +252,5 @@ let run_grayc ?engine ~rng ~compiler ~seeds ~iterations ~sample_every () :
       sample_every;
     }
   in
-  Mucfuzz.run ~cfg ?engine ~rng ~compiler ~seeds ~iterations ~name:"GrayC" ()
+  Mucfuzz.run ~cfg ?engine ?faults ~rng ~compiler ~seeds ~iterations
+    ~name:"GrayC" ()

@@ -15,6 +15,7 @@ val havoc_byte_mutation : Cparse.Rng.t -> string -> string
 
 val run_aflpp :
   ?engine:Engine.Ctx.t ->
+  ?faults:Engine.Faults.t ->
   rng:Cparse.Rng.t ->
   compiler:Simcomp.Compiler.compiler ->
   seeds:string list ->
@@ -25,6 +26,7 @@ val run_aflpp :
 
 val run_csmith :
   ?engine:Engine.Ctx.t ->
+  ?faults:Engine.Faults.t ->
   rng:Cparse.Rng.t ->
   compiler:Simcomp.Compiler.compiler ->
   iterations:int ->
@@ -34,6 +36,7 @@ val run_csmith :
 
 val run_yarpgen :
   ?engine:Engine.Ctx.t ->
+  ?faults:Engine.Faults.t ->
   rng:Cparse.Rng.t ->
   compiler:Simcomp.Compiler.compiler ->
   iterations:int ->
@@ -50,6 +53,7 @@ val grayc_mutators : Mutators.Mutator.t list
 
 val run_grayc :
   ?engine:Engine.Ctx.t ->
+  ?faults:Engine.Faults.t ->
   rng:Cparse.Rng.t ->
   compiler:Simcomp.Compiler.compiler ->
   seeds:string list ->

@@ -56,13 +56,25 @@ let default_config =
     jobs = Domain.recommended_domain_count ();
   }
 
-let run_one ?engine (cfg : config) (fuzzer : fuzzer_id)
-    (compiler : Simcomp.Compiler.compiler) : Fuzz_result.t =
-  (* every fuzzer gets its own deterministic RNG stream and the same seed
-     corpus (except the generation-based ones, which are seedless) *)
+(* Per-cell fault-harness derivation tag: distinct per (fuzzer, compiler)
+   and independent of the cell's position in the work list, so a faulted
+   campaign is identical at any job count and any fuzzer subset. *)
+let cell_tag fuzzer compiler = (10 * fuzzer_tag fuzzer) + compiler_tag compiler
+
+let run_one ?engine ?faults ?checkpoint ?resume (cfg : config)
+    (fuzzer : fuzzer_id) (compiler : Simcomp.Compiler.compiler) :
+    Fuzz_result.t =
+  (* every fuzzer gets its own deterministic RNG stream, fault stream,
+     and the same seed corpus (except the generation-based ones, which
+     are seedless) *)
   let rng =
     Rng.create
       (cfg.seed_value + (1000 * fuzzer_tag fuzzer) + compiler_tag compiler)
+  in
+  let faults =
+    Option.map
+      (fun f -> Engine.Faults.derive f ~tag:(cell_tag fuzzer compiler))
+      faults
   in
   let seed_rng = Rng.create cfg.seed_value in
   let seeds = Seeds.corpus ~n:cfg.seeds seed_rng in
@@ -83,69 +95,176 @@ let run_one ?engine (cfg : config) (fuzzer : fuzzer_id)
   | MuCFuzz_s ->
     Mucfuzz.run
       ~cfg:(mucfuzz_cfg Mutators.Registry.supervised "uCFuzz.s")
-      ?engine ~rng ~compiler ~seeds ~iterations:cfg.iterations
-      ~name:"uCFuzz.s" ()
+      ?engine ?faults ?checkpoint ?resume ~rng ~compiler ~seeds
+      ~iterations:cfg.iterations ~name:"uCFuzz.s" ()
   | MuCFuzz_u ->
     Mucfuzz.run
       ~cfg:(mucfuzz_cfg Mutators.Registry.unsupervised "uCFuzz.u")
-      ?engine ~rng ~compiler ~seeds ~iterations:cfg.iterations
-      ~name:"uCFuzz.u" ()
+      ?engine ?faults ?checkpoint ?resume ~rng ~compiler ~seeds
+      ~iterations:cfg.iterations ~name:"uCFuzz.u" ()
   | AFLpp ->
-    Baselines.run_aflpp ?engine ~rng ~compiler ~seeds
+    Baselines.run_aflpp ?engine ?faults ~rng ~compiler ~seeds
       ~iterations:cfg.iterations ~sample_every:cfg.sample_every ()
   | GrayC ->
-    Baselines.run_grayc ?engine ~rng ~compiler ~seeds
+    Baselines.run_grayc ?engine ?faults ~rng ~compiler ~seeds
       ~iterations:cfg.iterations ~sample_every:cfg.sample_every ()
   | Csmith ->
-    Baselines.run_csmith ?engine ~rng ~compiler ~iterations:(gen_iters 8)
+    Baselines.run_csmith ?engine ?faults ~rng ~compiler
+      ~iterations:(gen_iters 8)
       ~sample_every:(max 1 (cfg.sample_every / 8)) ()
   | YARPGen ->
-    Baselines.run_yarpgen ?engine ~rng ~compiler ~iterations:(gen_iters 20)
+    Baselines.run_yarpgen ?engine ?faults ~rng ~compiler
+      ~iterations:(gen_iters 20)
       ~sample_every:(max 1 (cfg.sample_every / 4)) ()
+
+type cell = fuzzer_id * Simcomp.Compiler.compiler
 
 type t = {
   config : config;
-  results : ((fuzzer_id * Simcomp.Compiler.compiler) * Fuzz_result.t) list;
+  results : (cell * Fuzz_result.t) list;
+  failures : (cell * string) list;
+  resumed_cells : int;
 }
 
+(* Checkpointing is per cell: each (fuzzer, compiler) pair snapshots its
+   own μCFuzz state under a stable file name, and a completed cell's
+   final result is saved as a second file so resume can skip it
+   entirely.  The fingerprint covers every parameter the snapshot is
+   only valid for; [jobs] is deliberately excluded (resuming at a
+   different job count is fine — results are job-count-invariant). *)
+let cell_name (fuzzer, compiler) =
+  Fmt.str "%s-%s" (fuzzer_name fuzzer) (Simcomp.Bugdb.compiler_to_string compiler)
+
+let cell_ckpt_file dir cell =
+  Filename.concat dir ("cell-" ^ cell_name cell ^ ".ckpt")
+
+let cell_done_file dir cell =
+  Filename.concat dir ("done-" ^ cell_name cell ^ ".ckpt")
+
+let cell_fingerprint (cfg : config) ?faults cell =
+  Fmt.str "campaign|%s|it=%d|seeds=%d|every=%d|seed=%d|ma=%d|%s"
+    (cell_name cell) cfg.iterations cfg.seeds cfg.sample_every cfg.seed_value
+    cfg.max_attempts
+    (match faults with
+    | None -> "faults=off"
+    | Some f -> "faults=" ^ Engine.Faults.fingerprint f)
+
 (* Fan the fuzzer × compiler matrix out over Domain workers.  Each cell
-   derives its own RNG stream, coverage map, and (in parallel mode) its
-   own Engine context, so the per-cell computation is identical at any
-   job count; the join barrier merges worker registries into [engine] in
-   deterministic cell order. *)
+   derives its own RNG stream, fault stream, coverage map, and (in
+   parallel mode) its own Engine context, so the per-cell computation is
+   identical at any job count; the join barrier merges worker registries
+   into [engine] in deterministic cell order.  Parallel cells run under
+   {!Engine.Scheduler.supervised_map}: a cell that keeps failing becomes
+   its own [failures] entry instead of destroying sibling results. *)
 let run ?(cfg = default_config)
     ?(fuzzers = all_fuzzers)
-    ?(compilers = Simcomp.Compiler.[ Gcc; Clang ]) ?engine () : t =
+    ?(compilers = Simcomp.Compiler.[ Gcc; Clang ]) ?engine ?faults
+    ?checkpoint ?(resume = false) () : t =
   let cells =
     List.concat_map
       (fun fuzzer -> List.map (fun compiler -> (fuzzer, compiler)) compilers)
       fuzzers
   in
-  let results =
+  Option.iter Engine.Checkpoint.mkdir_p checkpoint;
+  let fingerprint cell = cell_fingerprint cfg ?faults cell in
+  (* the mid-run snapshot cadence: frequent enough that a killed
+     campaign loses little, coarse enough that Marshal cost stays noise *)
+  let ckpt_every = max 1 (cfg.sample_every * 5) in
+  let compute ?ctx cell =
+    let fuzzer, compiler = cell in
+    let checkpoint =
+      Option.map (fun dir -> (cell_ckpt_file dir cell, ckpt_every)) checkpoint
+    in
+    let resume =
+      match checkpoint with
+      | Some (path, _) when resume -> Some path
+      | _ -> None
+    in
+    run_one ?engine:ctx ?faults ?checkpoint ?resume cfg fuzzer compiler
+  in
+  (* a finished cell is written as done-<cell>.ckpt: on resume those
+     cells are restored outright and never recomputed *)
+  let save_done ?ctx cell r =
+    Option.iter
+      (fun dir ->
+        ignore
+          (Engine.Checkpoint.save ?ctx ~path:(cell_done_file dir cell)
+             ~fingerprint:(fingerprint cell) r))
+      checkpoint
+  in
+  let restored, todo =
+    match checkpoint with
+    | Some dir when resume ->
+      List.partition_map
+        (fun cell ->
+          match
+            Engine.Checkpoint.load ~path:(cell_done_file dir cell)
+              ~fingerprint:(fingerprint cell)
+          with
+          | Ok (r : Fuzz_result.t) -> Left (cell, r)
+          | Error _ -> Right cell)
+        cells
+    | _ -> ([], cells)
+  in
+  let computed =
     if cfg.jobs <= 1 then
       List.map
-        (fun (fuzzer, compiler) ->
-          ((fuzzer, compiler), run_one ?engine cfg fuzzer compiler))
-        cells
+        (fun cell ->
+          match compute ?ctx:engine cell with
+          | r ->
+            save_done ?ctx:engine cell r;
+            (cell, Ok r)
+          | exception e -> (cell, Error (Printexc.to_string e)))
+        todo
     else begin
-      let worker (fuzzer, compiler) =
+      let worker cell =
         let ctx = Engine.Ctx.create () in
-        let r = run_one ~engine:ctx cfg fuzzer compiler in
-        (ctx, ((fuzzer, compiler), r))
+        let r = compute ~ctx cell in
+        save_done ~ctx cell r;
+        (ctx, r)
       in
-      let out = Engine.Scheduler.parallel_map ~jobs:cfg.jobs worker cells in
+      let out =
+        Engine.Scheduler.supervised_map ~jobs:cfg.jobs ?faults ?ctx:engine
+          worker todo
+      in
       (match engine with
       | None -> ()
       | Some main ->
         List.iter
-          (fun (ctx, _) ->
-            Engine.Metrics.merge ~into:main.Engine.Ctx.metrics
-              ctx.Engine.Ctx.metrics)
+          (function
+            | Ok (ctx, _) ->
+              Engine.Metrics.merge ~into:main.Engine.Ctx.metrics
+                ctx.Engine.Ctx.metrics
+            | Error _ -> ())
           out);
-      List.map snd out
+      List.map2
+        (fun cell -> function
+          | Ok (_, r) -> (cell, Ok r)
+          | Error { Engine.Scheduler.e_exn; _ } ->
+            (cell, Error (Printexc.to_string e_exn)))
+        todo out
     end
   in
-  { config = cfg; results }
+  (* reassemble in canonical cell order (restored cells interleave with
+     computed ones), so output ordering is independent of resume *)
+  let completed = restored @ List.filter_map
+    (fun (cell, r) -> match r with Ok r -> Some (cell, r) | Error _ -> None)
+    computed
+  in
+  {
+    config = cfg;
+    results =
+      List.filter_map
+        (fun cell ->
+          Option.map (fun r -> (cell, r)) (List.assoc_opt cell completed))
+        cells;
+    failures =
+      List.filter_map
+        (fun (cell, r) ->
+          match r with Ok _ -> None | Error msg -> Some (cell, msg))
+        computed;
+    resumed_cells = List.length restored;
+  }
 
 let result (t : t) fuzzer compiler = List.assoc_opt (fuzzer, compiler) t.results
 

@@ -35,13 +35,30 @@ type config = {
 val default_config : config
 (** [jobs] defaults to [Domain.recommended_domain_count ()]. *)
 
+val cell_tag : fuzzer_id -> Simcomp.Compiler.compiler -> int
+(** Stable per-cell fault-stream derivation tag, independent of the
+    cell's position in the work list. *)
+
 val run_one :
   ?engine:Engine.Ctx.t ->
+  ?faults:Engine.Faults.t ->
+  ?checkpoint:string * int ->
+  ?resume:string ->
   config -> fuzzer_id -> Simcomp.Compiler.compiler -> Fuzz_result.t
+(** One cell.  [faults] is the *campaign* harness: the cell derives its
+    own stream with {!cell_tag}.  [checkpoint]/[resume] are forwarded to
+    {!Mucfuzz.run} (ignored by the baselines other than GrayC). *)
+
+type cell = fuzzer_id * Simcomp.Compiler.compiler
 
 type t = {
   config : config;
-  results : ((fuzzer_id * Simcomp.Compiler.compiler) * Fuzz_result.t) list;
+  results : (cell * Fuzz_result.t) list;
+  failures : (cell * string) list;
+      (** cells whose computation kept failing (supervised mode);
+          empty in a healthy campaign *)
+  resumed_cells : int;
+      (** cells restored from completed-cell checkpoints, not recomputed *)
 }
 
 val run :
@@ -49,15 +66,30 @@ val run :
   ?fuzzers:fuzzer_id list ->
   ?compilers:Simcomp.Compiler.compiler list ->
   ?engine:Engine.Ctx.t ->
+  ?faults:Engine.Faults.t ->
+  ?checkpoint:string ->
+  ?resume:bool ->
   unit ->
   t
 (** Run every (fuzzer, compiler) cell, fanning out over [cfg.jobs]
-    Domain workers.  Each cell owns its RNG stream and coverage map, so
-    coverage/crash results are byte-identical at any job count.  With
-    [engine]: in sequential mode the context is threaded straight
-    through; in parallel mode each worker gets a private context and the
-    join barrier {!Engine.Metrics.merge}s worker registries into
-    [engine] in cell order (per-worker events are not forwarded). *)
+    Domain workers.  Each cell owns its RNG stream, fault stream, and
+    coverage map, so coverage/crash results are byte-identical at any
+    job count and any fault configuration.  With [engine]: in
+    sequential mode the context is threaded straight through; in
+    parallel mode each worker gets a private context and the join
+    barrier {!Engine.Metrics.merge}s worker registries into [engine] in
+    cell order (per-worker events are not forwarded).
+
+    Parallel cells run under {!Engine.Scheduler.supervised_map}: a cell
+    that keeps failing lands in [failures] instead of destroying
+    sibling results, and injected worker deaths are requeued.
+
+    With [checkpoint:dir], each cell periodically snapshots its μCFuzz
+    state to [dir] (atomic write-temp + rename) and saves its final
+    result on completion; with [resume:true], completed cells are
+    restored outright and interrupted μCFuzz cells continue from their
+    last snapshot — the reassembled [results] are identical to an
+    uninterrupted run with the same config. *)
 
 val result : t -> fuzzer_id -> Simcomp.Compiler.compiler -> Fuzz_result.t option
 

@@ -46,6 +46,23 @@ let compilable_ratio (r : t) =
   if r.total_mutants = 0 then 0.
   else 100. *. float_of_int r.compilable_mutants /. float_of_int r.total_mutants
 
+(* Exact equality over everything a fuzz run reports, for the
+   checkpoint/resume identity check: crash tables compare as sorted
+   bindings (insertion order is not part of the result). *)
+let equal (a : t) (b : t) =
+  let bindings h =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [] |> List.sort compare
+  in
+  a.fuzzer_name = b.fuzzer_name
+  && a.compiler = b.compiler
+  && a.iterations = b.iterations
+  && a.total_mutants = b.total_mutants
+  && a.compilable_mutants = b.compilable_mutants
+  && a.throughput_mutants = b.throughput_mutants
+  && a.coverage_trend = b.coverage_trend
+  && Simcomp.Coverage.equal a.coverage b.coverage
+  && bindings a.crashes = bindings b.crashes
+
 let crashes_by_stage (r : t) : (Simcomp.Crash.stage * int) list =
   let count stage =
     Hashtbl.fold

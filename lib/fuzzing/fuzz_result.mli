@@ -31,5 +31,10 @@ val record_crash : t -> iteration:int -> input:string -> Simcomp.Crash.t -> unit
 val compilable_ratio : t -> float
 (** Percentage of compilable mutants (Table 5). *)
 
+val equal : t -> t -> bool
+(** Exact equality over every reported field (coverage bit-for-bit,
+    crash tables as sorted bindings): the checkpoint/resume and
+    jobs-count determinism identity check. *)
+
 val crashes_by_stage : t -> (Simcomp.Crash.stage * int) list
 (** Crash histogram per compiler component (Table 4). *)

@@ -49,9 +49,11 @@ type state = {
   per_mutator : (string, mutator_counters) Hashtbl.t;
   trend_rev : (int * int) list ref;  (* fed by the trend sink *)
   trend_sink : Engine.Event.sink;
-  pool : pool_entry Engine.Vec.t;    (* amortized-O(1) accepts *)
+  (* pool/cache/faults are replaced wholesale on checkpoint resume *)
+  mutable pool : pool_entry Engine.Vec.t; (* amortized-O(1) accepts *)
   scratch : Simcomp.Coverage.t;      (* per-mutant map, reset not realloc'd *)
-  cache : Simcomp.Compiler.cache;    (* byte-identical mutant dedup *)
+  mutable cache : Simcomp.Compiler.cache; (* byte-identical mutant dedup *)
+  mutable faults : Engine.Faults.t option;
   mutable result : Fuzz_result.t;
 }
 
@@ -73,8 +75,8 @@ let mutator_counters (st : state) (m : Mutators.Mutator.t) =
     Hashtbl.replace st.per_mutator name c;
     c
 
-let init ?(options = Simcomp.Compiler.default_options) ?engine ~cfg ~rng
-    ~compiler ~(seeds : string list) () : state =
+let init ?(options = Simcomp.Compiler.default_options) ?engine ?faults ~cfg
+    ~rng ~compiler ~(seeds : string list) () : state =
   let pool =
     List.filter_map
       (fun src ->
@@ -114,6 +116,7 @@ let init ?(options = Simcomp.Compiler.default_options) ?engine ~cfg ~rng
       pool = Engine.Vec.of_list pool;
       scratch = Simcomp.Coverage.create ();
       cache = Simcomp.Compiler.cache_create ();
+      faults;
       result =
         Fuzz_result.make
           ~fuzzer_name:
@@ -132,7 +135,7 @@ let init ?(options = Simcomp.Compiler.default_options) ?engine ~cfg ~rng
       (match
          fst
            (Simcomp.Compiler.compile_cached ~cache:st.cache ~cov ~engine
-              compiler options e.src)
+              ?faults:st.faults compiler options e.src)
        with
       | Simcomp.Compiler.Compiled _ | Simcomp.Compiler.Compile_error _ -> ()
       | Simcomp.Compiler.Crashed c ->
@@ -200,7 +203,7 @@ let step (st : state) ~iteration : unit =
                merged below, so its fresh count would be 0 anyway *)
             let outcome, parsed =
               Simcomp.Compiler.compile_cached ~cache:st.cache ~cov
-                ~engine:st.engine st.compiler st.options src'
+                ~engine:st.engine ?faults:st.faults st.compiler st.options src'
             in
             (match outcome with
             | Simcomp.Compiler.Compiled _ ->
@@ -267,14 +270,82 @@ let sample_trend (st : state) ~iteration =
            covered = Simcomp.Coverage.covered st.result.Fuzz_result.coverage;
          })
 
-let run ?options ?(cfg = default_config ()) ?engine ~rng ~compiler ~seeds
-    ~iterations ~name () : Fuzz_result.t =
-  let st = init ?options ?engine ~cfg ~rng ~compiler ~seeds () in
+(* Everything [step] reads or writes, captured at an iteration boundary.
+   The compile cache is included because cache hits skip coverage
+   recording: a resumed run with a cold cache would re-accumulate hit
+   counts the uninterrupted run deduplicated, diverging in
+   [coverage.hits].  The fault harness is included because its per-site
+   draw counters are part of the deterministic stream position. *)
+type snapshot = {
+  sn_iteration : int;
+  sn_rng_state : int64;
+  sn_pool : pool_entry list;
+  sn_result : Fuzz_result.t;
+  sn_trend_rev : (int * int) list;
+  sn_cache : Simcomp.Compiler.cache;
+  sn_faults : Engine.Faults.t option;
+}
+
+let run ?options ?(cfg = default_config ()) ?engine ?faults ?checkpoint
+    ?resume ~rng ~compiler ~seeds ~iterations ~name () : Fuzz_result.t =
+  let st = init ?options ?engine ?faults ~cfg ~rng ~compiler ~seeds () in
   st.result <- { st.result with fuzzer_name = name };
+  let fingerprint =
+    Fmt.str "mucfuzz|%s|%s|it=%d|%s" name
+      (Simcomp.Bugdb.compiler_to_string compiler)
+      iterations
+      (match faults with
+      | None -> "faults=off"
+      | Some f -> "faults=" ^ Engine.Faults.fingerprint f)
+  in
+  (* resume replaces the freshly initialised run state wholesale (the
+     seed compiles [init] just performed drew from streams the snapshot
+     supersedes); a stale or unreadable snapshot falls back to a full
+     run from iteration 1 *)
+  let start =
+    match resume with
+    | None -> 1
+    | Some path -> (
+      match Engine.Checkpoint.load ~path ~fingerprint with
+      | Ok (sn : snapshot) ->
+        Rng.set_state st.rng sn.sn_rng_state;
+        st.pool <- Engine.Vec.of_list sn.sn_pool;
+        st.result <- sn.sn_result;
+        st.trend_rev := sn.sn_trend_rev;
+        st.cache <- sn.sn_cache;
+        st.faults <- sn.sn_faults;
+        Engine.Ctx.incr st.engine "mucfuzz.resumed";
+        sn.sn_iteration + 1
+      | Error _ ->
+        Engine.Ctx.incr st.engine "mucfuzz.resume_failed";
+        1)
+  in
+  let save_checkpoint i =
+    match checkpoint with
+    | Some (path, every) when every > 0 && i mod every = 0 ->
+      let sn =
+        {
+          sn_iteration = i;
+          sn_rng_state = Rng.state st.rng;
+          sn_pool = Engine.Vec.to_list st.pool;
+          sn_result = st.result;
+          sn_trend_rev = !(st.trend_rev);
+          sn_cache = st.cache;
+          sn_faults = st.faults;
+        }
+      in
+      (* best-effort: a failed save (exhausted Io_failure retries) costs
+         resume granularity, not campaign correctness *)
+      ignore
+        (Engine.Checkpoint.save ?faults:st.faults ~ctx:st.engine ~path
+           ~fingerprint sn)
+    | _ -> ()
+  in
   Engine.Span.with_ st.engine ~name:"mucfuzz.run" (fun () ->
-      for i = 1 to iterations do
+      for i = start to iterations do
         step st ~iteration:i;
-        sample_trend st ~iteration:i
+        sample_trend st ~iteration:i;
+        save_checkpoint i
       done);
   (* detach the trend listener so a shared engine context can host
      subsequent runs without cross-feeding *)

@@ -46,19 +46,23 @@ type state = {
   per_mutator : (string, mutator_counters) Hashtbl.t;
   trend_rev : (int * int) list ref;
   trend_sink : Engine.Event.sink;
-  pool : pool_entry Engine.Vec.t;
-      (** amortized-O(1) accepts (an [Array.append] pool is quadratic) *)
+  mutable pool : pool_entry Engine.Vec.t;
+      (** amortized-O(1) accepts (an [Array.append] pool is quadratic);
+          replaced wholesale on checkpoint resume *)
   scratch : Simcomp.Coverage.t;
       (** the per-mutant coverage map, reset between compiles instead of
           reallocated *)
-  cache : Simcomp.Compiler.cache;
+  mutable cache : Simcomp.Compiler.cache;
       (** byte-identical mutant dedup (see {!Simcomp.Compiler.compile_cached}) *)
+  mutable faults : Engine.Faults.t option;
+      (** consulted (as [Compile_hang]) on every real compile *)
   mutable result : Fuzz_result.t;
 }
 
 val init :
   ?options:Simcomp.Compiler.options ->
   ?engine:Engine.Ctx.t ->
+  ?faults:Engine.Faults.t ->
   cfg:config ->
   rng:Cparse.Rng.t ->
   compiler:Simcomp.Compiler.compiler ->
@@ -80,6 +84,9 @@ val run :
   ?options:Simcomp.Compiler.options ->
   ?cfg:config ->
   ?engine:Engine.Ctx.t ->
+  ?faults:Engine.Faults.t ->
+  ?checkpoint:string * int ->
+  ?resume:string ->
   rng:Cparse.Rng.t ->
   compiler:Simcomp.Compiler.compiler ->
   seeds:string list ->
@@ -89,4 +96,13 @@ val run :
   Fuzz_result.t
 (** Run a whole campaign and return the accumulated statistics.  The
     trend sink is detached on return, so a shared [engine] can host
-    subsequent runs. *)
+    subsequent runs.
+
+    [checkpoint:(path, every)] snapshots the complete run state (RNG,
+    pool, result, compile cache, fault-harness counters) atomically to
+    [path] every [every] iterations; saves are best-effort and consult
+    the [Io_failure] fault site.  [resume:path] restores a snapshot
+    whose fingerprint (name, compiler, budget, fault spec) matches and
+    continues from the saved iteration — producing a result *identical*
+    to an uninterrupted run with the same inputs; a missing or
+    mismatched snapshot falls back to a full run. *)

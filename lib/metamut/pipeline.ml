@@ -36,6 +36,8 @@ type run = {
   r_invention : step_cost;
   r_implementation : step_cost;
   r_bugfix : step_cost;
+  r_retry : step_cost; (* backoff waits after throttled attempts *)
+  r_attempts : int;    (* pipeline invocations incl. the successful one *)
   r_bugs_fixed : (int * int) list; (* goal -> count *)
 }
 
@@ -48,7 +50,7 @@ let total_cost (r : run) =
       sc_prepare_s = a.sc_prepare_s +. b.sc_prepare_s;
     }
   in
-  add (add r.r_invention r.r_implementation) r.r_bugfix
+  add (add (add r.r_invention r.r_implementation) r.r_bugfix) r.r_retry
 
 (* Price per 1k tokens approximating the paper's GPT-4 pricing (~$0.5 for
    a mean of ~8.6k tokens). *)
@@ -58,14 +60,22 @@ type config = {
   max_repair_attempts : int; (* the paper terminates after 27 *)
   unit_tests : int;
   system_error_rate : float; (* 24 of 100 invocations in §4 *)
+  retry : Engine.Retry.policy;
+  faults : Engine.Faults.t option; (* extra Llm_throttle injection *)
   pool : Mutators.Mutator.t list;
 }
 
+(* The paper treats its 24 throttled invocations as dead; the default
+   retry budget (4 attempts) recovers ~98.6% of them (1 - 0.24^3), which
+   the recovery test pins at >= 80%.  [retry.max_attempts = 1] restores
+   the paper's no-retry behaviour exactly. *)
 let default_config =
   {
     max_repair_attempts = 27;
     unit_tests = 5;
     system_error_rate = 0.24;
+    retry = Engine.Retry.default_policy;
+    faults = None;
     pool = Mutators.Registry.unsupervised;
   }
 
@@ -77,23 +87,35 @@ let charge engine step (u : Llm_sim.usage) =
     Engine.Ctx.incr ~by:(Llm_sim.tokens u) ctx ("pipeline.tokens." ^ step);
     Engine.Ctx.incr ctx ("pipeline.qa_rounds." ^ step)
 
-let run_once ?(cfg = default_config) ?engine (llm : Llm_sim.t)
+(* One pipeline invocation as the paper performs it: may terminate in
+   [System_error] (the modelled §4 throttle rate, plus any injected
+   [Llm_throttle] faults).  Retry orchestration lives in [run_once]. *)
+let attempt_once ~cfg ?engine (llm : Llm_sim.t)
     ~(accepted_names : string list) : run =
   let span name f = Engine.Span.with_opt engine ~name f in
   let rng = Rng.split llm.Llm_sim.rng in
-  if Rng.flip rng cfg.system_error_rate then begin
-    (match engine with
-    | None -> ()
-    | Some ctx -> Engine.Ctx.incr ctx "pipeline.outcome.system_error");
+  let throttled =
+    (* both draws happen unconditionally, so the session-RNG and
+       fault-harness stream positions advance identically per attempt *)
+    let modelled = Rng.flip rng cfg.system_error_rate in
+    let injected =
+      match cfg.faults with
+      | Some f -> Engine.Faults.fire ?ctx:engine f Engine.Faults.Llm_throttle
+      | None -> false
+    in
+    modelled || injected
+  in
+  if throttled then
     {
       r_outcome = System_error;
       r_name = "<system-error>";
       r_invention = zero_cost;
       r_implementation = zero_cost;
       r_bugfix = zero_cost;
+      r_retry = zero_cost;
+      r_attempts = 1;
       r_bugs_fixed = [];
     }
-  end
   else begin
     (* step 1: invention *)
     let inv, u1 = span "pipeline.invent" (fun () -> Llm_sim.invent llm ~pool:cfg.pool) in
@@ -171,6 +193,8 @@ let run_once ?(cfg = default_config) ?engine (llm : Llm_sim.t)
         r_invention = invention;
         r_implementation = implementation;
         r_bugfix = !bugfix;
+        r_retry = zero_cost;
+        r_attempts = 1;
         r_bugs_fixed = bugs_fixed ();
       }
     | Some impl -> (
@@ -184,6 +208,8 @@ let run_once ?(cfg = default_config) ?engine (llm : Llm_sim.t)
             r_invention = invention;
             r_implementation = implementation;
             r_bugfix = !bugfix;
+            r_retry = zero_cost;
+            r_attempts = 1;
             r_bugs_fixed = bugs_fixed ();
           }
         | None ->
@@ -193,6 +219,8 @@ let run_once ?(cfg = default_config) ?engine (llm : Llm_sim.t)
             r_invention = invention;
             r_implementation = implementation;
             r_bugfix = !bugfix;
+            r_retry = zero_cost;
+            r_attempts = 1;
             r_bugs_fixed = bugs_fixed ();
           })
       | Validation.Rejected reason ->
@@ -202,22 +230,49 @@ let run_once ?(cfg = default_config) ?engine (llm : Llm_sim.t)
           r_invention = invention;
           r_implementation = implementation;
           r_bugfix = !bugfix;
+          r_retry = zero_cost;
+          r_attempts = 1;
           r_bugs_fixed = bugs_fixed ();
         })
     in
-    (match engine with
-    | None -> ()
-    | Some ctx ->
-      let k =
-        match r.r_outcome with
-        | Valid _ -> "valid"
-        | Invalid_refinement -> "invalid_refinement"
-        | Invalid_manual _ -> "invalid_manual"
-        | System_error -> "system_error"
-      in
-      Engine.Ctx.incr ctx ("pipeline.outcome." ^ k));
     r
   end
+
+let outcome_key = function
+  | Valid _ -> "valid"
+  | Invalid_refinement -> "invalid_refinement"
+  | Invalid_manual _ -> "invalid_manual"
+  | System_error -> "system_error"
+
+let run_once ?(cfg = default_config) ?engine (llm : Llm_sim.t)
+    ~(accepted_names : string list) : run =
+  let out =
+    Engine.Retry.run ?ctx:engine ~name:"pipeline.retry" cfg.retry
+      ~retryable:(fun r -> r.r_outcome = System_error)
+      (* jitter comes from the session RNG, so faulted runs reproduce
+         bit-for-bit from the seed *)
+      ~jitter:(fun () -> Rng.float llm.Llm_sim.rng)
+      (fun ~attempt:_ ->
+        Engine.Span.with_opt engine ~name:"pipeline.attempt" (fun () ->
+            attempt_once ~cfg ?engine llm ~accepted_names))
+  in
+  let r =
+    {
+      out.Engine.Retry.value with
+      r_attempts = out.Engine.Retry.attempts;
+      r_retry = { zero_cost with sc_wait_s = out.Engine.Retry.waited_s };
+    }
+  in
+  (match engine with
+  | None -> ()
+  | Some ctx ->
+    (* outcome counters count *invocations*, not attempts — transient
+       throttles surface under pipeline.retry.* instead, and a run that
+       needed retries to complete is also counted as recovered *)
+    Engine.Ctx.incr ctx ("pipeline.outcome." ^ outcome_key r.r_outcome);
+    if out.Engine.Retry.recovered then
+      Engine.Ctx.incr ctx "pipeline.outcome.recovered_after_retry");
+  r
 
 (* The §4 unsupervised experiment: invoke the pipeline [n] times. *)
 let run_many ?(cfg = default_config) ?(seed = 7) ?engine ~(n : int) () :

@@ -331,8 +331,34 @@ let record_outcome ?(cached = false) engine (outcome : outcome) =
     if cached then Engine.Metrics.incr k.oc_cached;
     Engine.Ctx.emit ctx (Engine.Event.Compile_finished (kind, stage))
 
-let compile_tu ?cov ?engine (compiler : compiler) (opts : options)
+(* The watchdog fuel barrier: a compile that would stall its worker
+   (injected via the Compile_hang fault site; a real harness would kill
+   the process on a wall-clock timeout) is recorded as a hang crash at
+   a stable identity, instead of wedging the scheduler.  The outcome
+   goes through [record_outcome] like any other crash so it lands in
+   crash bucketing (Table 4) and the event stream. *)
+let watchdog_outcome (compiler : compiler) : outcome =
+  Crashed
+    {
+      bug_id = Fmt.str "%s-watchdog-timeout" (Bugdb.compiler_to_string compiler);
+      stage = Crash.Optimization;
+      kind = Crash.Hang;
+      frames = [ "watchdog_timeout"; "compile_supervisor" ];
+    }
+
+let compile_tu ?cov ?engine ?faults (compiler : compiler) (opts : options)
     (src : string) : outcome * Cparse.Ast.tu option =
+  match
+    Option.map
+      (fun f -> Engine.Faults.fire ?ctx:engine f Engine.Faults.Compile_hang)
+      faults
+  with
+  | Some true ->
+    Option.iter (fun ctx -> Engine.Ctx.incr ctx "compile.watchdog_hang") engine;
+    let outcome = watchdog_outcome compiler in
+    record_outcome engine outcome;
+    (outcome, None)
+  | _ ->
   let salt = salt compiler in
   let tx = Features.text_features src in
   let check stage ast =
@@ -436,9 +462,9 @@ let compile_tu ?cov ?engine (compiler : compiler) (opts : options)
   record_outcome engine outcome;
   (outcome, !parsed_tu)
 
-let compile ?cov ?engine (compiler : compiler) (opts : options) (src : string)
-    : outcome =
-  fst (compile_tu ?cov ?engine compiler opts src)
+let compile ?cov ?engine ?faults (compiler : compiler) (opts : options)
+    (src : string) : outcome =
+  fst (compile_tu ?cov ?engine ?faults compiler opts src)
 
 (* Produce the (possibly silently corrupted) optimized IR: the hook the
    EMI-style wrong-code detector (Fuzzing.Wrongcode) differences against
@@ -513,8 +539,8 @@ let cache_key compiler opts src =
   String.concat "\x00"
     [ Bugdb.compiler_to_string compiler; options_to_string opts; src ]
 
-let compile_cached ~cache ?cov ?engine (compiler : compiler) (opts : options)
-    (src : string) : outcome * Cparse.Ast.tu option =
+let compile_cached ~cache ?cov ?engine ?faults (compiler : compiler)
+    (opts : options) (src : string) : outcome * Cparse.Ast.tu option =
   let key = cache_key compiler opts src in
   match Hashtbl.find_opt cache.c_tbl key with
   | Some outcome ->
@@ -530,7 +556,10 @@ let compile_cached ~cache ?cov ?engine (compiler : compiler) (opts : options)
     (outcome, None)
   | None ->
     cache.c_misses <- cache.c_misses + 1;
-    let outcome, tu = compile_tu ?cov ?engine compiler opts src in
+    (* the fault draw happens only on real compiles (a cache hit replays
+       the memoized outcome, injected hang included), so a pathological
+       mutant is pathological every time it is seen *)
+    let outcome, tu = compile_tu ?cov ?engine ?faults compiler opts src in
     if Hashtbl.length cache.c_tbl >= cache.c_capacity then
       Hashtbl.reset cache.c_tbl;
     Hashtbl.replace cache.c_tbl key outcome;

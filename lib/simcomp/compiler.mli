@@ -29,8 +29,8 @@ val engine_stage : Crash.stage -> Engine.Event.stage
 (** Crash stages and engine stages name the same pipeline boundaries. *)
 
 val compile :
-  ?cov:Coverage.t -> ?engine:Engine.Ctx.t -> compiler -> options -> string ->
-  outcome
+  ?cov:Coverage.t -> ?engine:Engine.Ctx.t -> ?faults:Engine.Faults.t ->
+  compiler -> options -> string -> outcome
 (** Compile C source.  When [cov] is given, every pipeline stage reports
     branch coverage into it (including error-handling paths for inputs
     that fail to lex/parse/type check).  When [engine] is given, each
@@ -38,11 +38,17 @@ val compile :
     / [.backend]), outcome counters are bumped, and a
     {!Engine.Event.Compile_finished} event carrying the outcome kind and
     the last stage reached is emitted.  The source is lexed exactly once
-    (the parser and lexical coverage share the token array). *)
+    (the parser and lexical coverage share the token array).
+    When [faults] is given, the watchdog fuel barrier consults its
+    [Compile_hang] site before compiling: a fired fault stands in for a
+    compile that would stall its worker and is recorded as a [Crashed]
+    hang (stable identity [<compiler>-watchdog-timeout]) with a
+    [compile.watchdog_hang] counter bump, instead of wedging the
+    scheduler. *)
 
 val compile_tu :
-  ?cov:Coverage.t -> ?engine:Engine.Ctx.t -> compiler -> options -> string ->
-  outcome * Cparse.Ast.tu option
+  ?cov:Coverage.t -> ?engine:Engine.Ctx.t -> ?faults:Engine.Faults.t ->
+  compiler -> options -> string -> outcome * Cparse.Ast.tu option
 (** Like {!compile}, but also returns the parsed translation unit when
     the front-end parse succeeded (always [Some] when the outcome is
     [Compiled]).  Fuzz loops that pool compiled mutants use this to
@@ -63,14 +69,17 @@ val cache_hits : cache -> int
 val cache_misses : cache -> int
 
 val compile_cached :
-  cache:cache -> ?cov:Coverage.t -> ?engine:Engine.Ctx.t -> compiler ->
-  options -> string -> outcome * Cparse.Ast.tu option
+  cache:cache -> ?cov:Coverage.t -> ?engine:Engine.Ctx.t ->
+  ?faults:Engine.Faults.t -> compiler -> options -> string ->
+  outcome * Cparse.Ast.tu option
 (** {!compile_tu} through the cache.  On a hit the memoized outcome is
     returned with [None] for the tree, nothing is recorded into [cov]
     (the identical coverage was already produced by the first compile —
     any accumulator the caller merged it into subsumes it), and engine
     accounting is replayed exactly as for a real compile, plus a
-    [compile.cached] counter bump. *)
+    [compile.cached] counter bump.  The [Compile_hang] fault draw
+    happens only on misses: a byte-identical mutant replays its
+    memoized outcome, injected hang included. *)
 
 val compile_ir : compiler -> options -> string -> (Ir.program, string) result
 (** Produce the (possibly silently miscompiled) optimized IR — the hook

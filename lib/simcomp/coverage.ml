@@ -114,3 +114,8 @@ let reset cov =
   cov.distinct <- 0
 
 let copy cov = { map = Bytes.copy cov.map; hits = cov.hits; distinct = cov.distinct }
+
+(* Exact structural equality, for the checkpoint/resume tests: a resumed
+   run must reproduce the uninterrupted run's map bit-for-bit. *)
+let equal a b =
+  a.hits = b.hits && a.distinct = b.distinct && Bytes.equal a.map b.map

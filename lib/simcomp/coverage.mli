@@ -55,3 +55,7 @@ val reset : t -> unit
 (** Zero the map in place (no allocation), for scratch-map reuse. *)
 
 val copy : t -> t
+
+val equal : t -> t -> bool
+(** Bit-for-bit map equality (plus hit/distinct counts): the
+    checkpoint/resume identity check. *)

@@ -20,6 +20,7 @@ and cell = value ref
 exception Aborted
 exception Exited of int
 exception Out_of_fuel
+exception Stack_depth_exceeded
 exception Runtime_error of string
 
 type outcome = {
@@ -27,6 +28,7 @@ type outcome = {
   o_output : string;
   o_aborted : bool;
   o_hang : bool;
+  o_stack_overflow : bool;
 }
 
 type frame = (string, cell) Hashtbl.t
@@ -38,6 +40,7 @@ type state = {
   out : Buffer.t;
   mutable fuel : int;
   mutable frames : frame list;
+  mutable depth : int; (* = List.length frames, maintained incrementally *)
 }
 
 exception Return_value of value
@@ -658,7 +661,10 @@ and exec_body st (ss : stmt list) : unit =
 
 and call_function st (fd : fundef) (args : value list) : value =
   tick st;
-  if List.length st.frames > 200 then raise Out_of_fuel;
+  (* deep recursion is a *crash* (what a real process reports as
+     SIGSEGV), not a hang: misclassifying it as fuel exhaustion hid
+     runaway-recursion mutants from crash bucketing *)
+  if st.depth > 200 then raise Stack_depth_exceeded;
   let frame = Hashtbl.create 8 in
   List.iteri
     (fun i p ->
@@ -666,6 +672,7 @@ and call_function st (fd : fundef) (args : value list) : value =
       Hashtbl.replace frame p.p_name (ref v))
     fd.f_params;
   st.frames <- frame :: st.frames;
+  st.depth <- st.depth + 1;
   let result =
     try
       exec_body st fd.f_body;
@@ -675,6 +682,7 @@ and call_function st (fd : fundef) (args : value list) : value =
     | Goto l -> raise (Runtime_error ("goto to unreachable label " ^ l))
   in
   st.frames <- List.tl st.frames;
+  st.depth <- st.depth - 1;
   result
 
 (* ------------------------------------------------------------------ *)
@@ -690,6 +698,7 @@ let run ?(fuel = 200_000) (tu : tu) : outcome =
       out = Buffer.create 64;
       fuel;
       frames = [];
+      depth = 0;
     }
   in
   List.iter
@@ -706,8 +715,14 @@ let run ?(fuel = 200_000) (tu : tu) : outcome =
         Hashtbl.replace st.globals v.v_name (ref (default_value st v.v_ty))
       | _ -> ())
     tu.globals;
-  let finish exit_code aborted hang =
-    { o_exit = exit_code; o_output = Buffer.contents st.out; o_aborted = aborted; o_hang = hang }
+  let finish ?(overflow = false) exit_code aborted hang =
+    {
+      o_exit = exit_code;
+      o_output = Buffer.contents st.out;
+      o_aborted = aborted;
+      o_hang = hang;
+      o_stack_overflow = overflow;
+    }
   in
   try
     List.iter
@@ -725,7 +740,10 @@ let run ?(fuel = 200_000) (tu : tu) : outcome =
   | Exited n -> finish (n land 0xff) false false
   | Out_of_fuel -> finish 124 false true
   | Runtime_error _ -> finish 139 true false
-  | Stack_overflow -> finish 139 true false
+  (* both the interpreter's own depth barrier and a native overflow of
+     the host stack report as the process crash they would be (SIGSEGV,
+     exit 139), distinct from fuel exhaustion *)
+  | Stack_depth_exceeded | Stack_overflow -> finish ~overflow:true 139 false false
 
 let run_src ?fuel (src : string) : (outcome, string) result =
   match Parser.parse src with

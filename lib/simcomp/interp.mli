@@ -20,6 +20,9 @@ type outcome = {
   o_output : string; (** everything written via printf/puts/putchar *)
   o_aborted : bool;  (** abort(), trap (division by zero, OOB, null deref) *)
   o_hang : bool;     (** ran out of fuel *)
+  o_stack_overflow : bool;
+      (** call depth exceeded 200 frames (or the host stack overflowed):
+          a crash (exit 139), distinct from fuel exhaustion *)
 }
 
 val run : ?fuel:int -> Cparse.Ast.tu -> outcome

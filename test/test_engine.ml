@@ -230,6 +230,250 @@ let scheduler_tests =
           Alcotest.(list int)
           "identity" [ 1; 2; 3 ]
           (Engine.Scheduler.parallel_map ~jobs:1 Fun.id [ 1; 2; 3 ]));
+    tc "try_map keeps completed results next to failures" (fun () ->
+        let out =
+          Engine.Scheduler.try_map ~jobs:3
+            (fun x -> if x = 3 then failwith "boom" else x * 2)
+            (List.init 6 Fun.id)
+        in
+        check
+          Alcotest.(list int)
+          "siblings survive" [ 0; 2; 4; 8; 10 ]
+          (List.filter_map
+             (function Ok v -> Some v | Error _ -> None)
+             out);
+        match List.nth out 3 with
+        | Error e ->
+          check Alcotest.string "exception kept" "Failure(\"boom\")"
+            (Printexc.to_string e)
+        | Ok _ -> Alcotest.fail "failing item must surface its own exception");
+  ]
+
+let counter_value ctx name =
+  Engine.Metrics.counter_value
+    (Engine.Metrics.counter ctx.Engine.Ctx.metrics name)
+
+let faults_tests =
+  let cfg =
+    {
+      Engine.Faults.no_faults with
+      Engine.Faults.llm_throttle = 0.5;
+      io_failure = 0.5;
+    }
+  in
+  let stream t site n = List.init n (fun _ -> Engine.Faults.fire t site) in
+  [
+    tc "per-site streams are independent of interleaving" (fun () ->
+        let a = Engine.Faults.create ~seed:7 cfg in
+        let b = Engine.Faults.create ~seed:7 cfg in
+        (* draining io draws on [b] must not shift its llm stream *)
+        let da = stream a Engine.Faults.Llm_throttle 50 in
+        let db =
+          List.init 50 (fun _ ->
+              ignore (Engine.Faults.fire b Engine.Faults.Io_failure);
+              Engine.Faults.fire b Engine.Faults.Llm_throttle)
+        in
+        check Alcotest.(list bool) "same llm decisions" da db;
+        check Alcotest.bool "stream is non-trivial" true
+          (List.mem true da && List.mem false da));
+    tc "derive is stable per tag and consumes no parent state" (fun () ->
+        let p = Engine.Faults.create ~seed:1 cfg in
+        let c1 = Engine.Faults.derive p ~tag:5 in
+        let c2 = Engine.Faults.derive p ~tag:5 in
+        let s1 = stream c1 Engine.Faults.Llm_throttle 50 in
+        check Alcotest.(list bool) "equal tags reproduce" s1
+          (stream c2 Engine.Faults.Llm_throttle 50);
+        check Alcotest.bool "distinct tags diverge" false
+          (s1
+          = stream (Engine.Faults.derive p ~tag:6) Engine.Faults.Llm_throttle 50);
+        check
+          Alcotest.(list bool)
+          "parent stream untouched by derivation"
+          (stream (Engine.Faults.create ~seed:1 cfg) Engine.Faults.Llm_throttle
+             50)
+          (stream p Engine.Faults.Llm_throttle 50));
+    tc "zero-rate sites never fire" (fun () ->
+        let t = Engine.Faults.create ~seed:3 Engine.Faults.no_faults in
+        check Alcotest.bool "silent" false
+          (List.mem true (stream t Engine.Faults.Worker_crash 100)));
+    tc "fired faults bump the injected counter" (fun () ->
+        let ctx = Engine.Ctx.create () in
+        let t =
+          Engine.Faults.create
+            { Engine.Faults.no_faults with Engine.Faults.compile_hang = 1.0 }
+        in
+        for _ = 1 to 5 do
+          ignore (Engine.Faults.fire ~ctx t Engine.Faults.Compile_hang)
+        done;
+        check Alcotest.int "counted" 5
+          (counter_value ctx "faults.injected.compile_hang"));
+    tc "spec parses, round-trips, and rejects junk" (fun () ->
+        (match Engine.Faults.parse_spec "llm=0.25,hang=0.5,crash=0,io=1" with
+        | Ok c ->
+          check (Alcotest.float 1e-9) "llm" 0.25 c.Engine.Faults.llm_throttle;
+          check (Alcotest.float 1e-9) "io" 1.0 c.Engine.Faults.io_failure;
+          check Alcotest.bool "round-trip" true
+            (Engine.Faults.parse_spec (Engine.Faults.spec_to_string c) = Ok c)
+        | Error e -> Alcotest.failf "spec rejected: %s" e);
+        check Alcotest.bool "off" true
+          (Engine.Faults.parse_spec "off" = Ok Engine.Faults.no_faults);
+        check Alcotest.string "off renders" "off"
+          (Engine.Faults.spec_to_string Engine.Faults.no_faults);
+        check Alcotest.bool "rate out of range" true
+          (Result.is_error (Engine.Faults.parse_spec "llm=2"));
+        check Alcotest.bool "unknown site" true
+          (Result.is_error (Engine.Faults.parse_spec "bogus=0.1")));
+  ]
+
+let retry_tests =
+  let p = Engine.Retry.default_policy in
+  [
+    tc "backoff doubles from the base and respects the cap" (fun () ->
+        (* jitter01 = 0.5 is the centre of the 1±jitter window: factor 1 *)
+        let d n = Engine.Retry.delay_for p ~attempt:n ~jitter01:0.5 in
+        check (Alcotest.float 1e-9) "first" 1. (d 1);
+        check (Alcotest.float 1e-9) "second" 2. (d 2);
+        check (Alcotest.float 1e-9) "third" 4. (d 3);
+        check (Alcotest.float 1e-9) "capped" 30. (d 10);
+        check (Alcotest.float 1e-9) "jitter floor" 0.5
+          (Engine.Retry.delay_for p ~attempt:1 ~jitter01:0.));
+    tc "recovery stops retrying and reports waits" (fun () ->
+        let ctx = Engine.Ctx.create () in
+        let out =
+          Engine.Retry.run ~ctx ~name:"t" p
+            ~retryable:(fun v -> v < 3)
+            ~jitter:(fun () -> 0.5)
+            (fun ~attempt -> attempt)
+        in
+        check Alcotest.int "value" 3 out.Engine.Retry.value;
+        check Alcotest.int "attempts" 3 out.Engine.Retry.attempts;
+        check (Alcotest.float 1e-9) "waited 1+2" 3. out.Engine.Retry.waited_s;
+        check Alcotest.bool "recovered" true out.Engine.Retry.recovered;
+        check Alcotest.int "t.attempts" 3 (counter_value ctx "t.attempts");
+        check Alcotest.int "t.retried" 2 (counter_value ctx "t.retried");
+        check Alcotest.int "t.recovered" 1 (counter_value ctx "t.recovered");
+        check Alcotest.int "t.wait_ms" 3000 (counter_value ctx "t.wait_ms"));
+    tc "exhaustion keeps the last value and is not a recovery" (fun () ->
+        let ctx = Engine.Ctx.create () in
+        let out =
+          Engine.Retry.run ~ctx ~name:"t" p
+            ~retryable:(fun _ -> true)
+            ~jitter:(fun () -> 0.5)
+            (fun ~attempt -> attempt)
+        in
+        check Alcotest.int "all attempts" 4 out.Engine.Retry.attempts;
+        check (Alcotest.float 1e-9) "waited 1+2+4" 7. out.Engine.Retry.waited_s;
+        check Alcotest.bool "not recovered" false out.Engine.Retry.recovered;
+        check Alcotest.int "t.exhausted" 1 (counter_value ctx "t.exhausted"));
+  ]
+
+let checkpoint_tests =
+  let temp_dir () = Filename.temp_dir "metamut-ckpt" "" in
+  [
+    tc "save/load round-trips a payload atomically" (fun () ->
+        let path = Filename.concat (temp_dir ()) "a.ckpt" in
+        (match Engine.Checkpoint.save ~path ~fingerprint:"fp" (42, "x") with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "save: %s" e);
+        check Alcotest.bool "no stray temp file" false
+          (Sys.file_exists (path ^ ".tmp"));
+        match Engine.Checkpoint.load ~path ~fingerprint:"fp" with
+        | Ok v -> check (Alcotest.pair Alcotest.int Alcotest.string) "value"
+                    (42, "x") v
+        | Error e -> Alcotest.failf "load: %s" e);
+    tc "mismatched fingerprints refuse to load" (fun () ->
+        let path = Filename.concat (temp_dir ()) "b.ckpt" in
+        (match Engine.Checkpoint.save ~path ~fingerprint:"old" () with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "save: %s" e);
+        check Alcotest.bool "refused" true
+          (Result.is_error
+             (Engine.Checkpoint.load ~path ~fingerprint:"new" : (unit, _) result)));
+    tc "corrupt files are errors, not exceptions" (fun () ->
+        let path = Filename.concat (temp_dir ()) "c.ckpt" in
+        let oc = open_out_bin path in
+        output_string oc "not a checkpoint";
+        close_out oc;
+        check Alcotest.bool "rejected" true
+          (Result.is_error
+             (Engine.Checkpoint.load ~path ~fingerprint:"fp" : (unit, _) result)));
+    tc "injected i/o failures exhaust the retry budget" (fun () ->
+        let ctx = Engine.Ctx.create () in
+        let faults =
+          Engine.Faults.create
+            { Engine.Faults.no_faults with Engine.Faults.io_failure = 1.0 }
+        in
+        let path = Filename.concat (temp_dir ()) "d.ckpt" in
+        check Alcotest.bool "save fails" true
+          (Result.is_error
+             (Engine.Checkpoint.save ~faults ~ctx ~path ~fingerprint:"fp" ()));
+        check Alcotest.bool "nothing written" false (Sys.file_exists path);
+        check Alcotest.int "failure counted" 1
+          (counter_value ctx "checkpoint.save_failed"));
+  ]
+
+let supervision_tests =
+  [
+    tc "flaky items recover behind the per-item barrier" (fun () ->
+        let tries = Array.init 5 (fun _ -> Atomic.make 0) in
+        let ctx = Engine.Ctx.create () in
+        let out =
+          Engine.Scheduler.supervised_map ~jobs:4 ~attempts:2 ~ctx
+            (fun i ->
+              if Atomic.fetch_and_add tries.(i) 1 = 0 then failwith "flake"
+              else i)
+            (List.init 5 Fun.id)
+        in
+        check
+          Alcotest.(list int)
+          "all recovered" [ 0; 1; 2; 3; 4 ]
+          (List.filter_map Result.to_option out);
+        check Alcotest.int "retried" 5 (counter_value ctx "scheduler.retried");
+        check Alcotest.int "ok" 5 (counter_value ctx "scheduler.ok"));
+    tc "persistent failures surface without killing siblings" (fun () ->
+        let out =
+          Engine.Scheduler.supervised_map ~jobs:2 ~attempts:3
+            (fun x -> if x = 1 then failwith "dead" else x * 10)
+            [ 0; 1; 2 ]
+        in
+        (match List.nth out 1 with
+        | Error { Engine.Scheduler.e_exn; e_attempts } ->
+          check Alcotest.string "last exception" "Failure(\"dead\")"
+            (Printexc.to_string e_exn);
+          check Alcotest.int "attempts" 3 e_attempts
+        | Ok _ -> Alcotest.fail "expected a 3-attempt failure");
+        check
+          Alcotest.(list int)
+          "siblings fine" [ 0; 20 ]
+          (List.filter_map Result.to_option out));
+    tc "injected worker deaths requeue every orphaned item" (fun () ->
+        let ctx = Engine.Ctx.create () in
+        let faults =
+          Engine.Faults.create ~seed:5
+            { Engine.Faults.no_faults with Engine.Faults.worker_crash = 1.0 }
+        in
+        let out =
+          Engine.Scheduler.supervised_map ~jobs:4 ~faults ~ctx
+            (fun x -> x + 1)
+            (List.init 9 Fun.id)
+        in
+        check
+          Alcotest.(list int)
+          "all items completed"
+          (List.init 9 (fun i -> i + 1))
+          (List.filter_map Result.to_option out);
+        check Alcotest.int "all four domains died" 4
+          (counter_value ctx "scheduler.worker_crashed");
+        check Alcotest.int "everything requeued" 9
+          (counter_value ctx "scheduler.requeued"));
+    tc "healthy runs leave the registry untouched" (fun () ->
+        let ctx = Engine.Ctx.create () in
+        ignore
+          (Engine.Scheduler.supervised_map ~jobs:4 ~ctx
+             (fun x -> x)
+             (List.init 8 Fun.id));
+        check Alcotest.bool "metrics-silent" true
+          (Engine.Metrics.snapshot ctx.Engine.Ctx.metrics = []));
   ]
 
 (* The acceptance-criterion guarantee: a worker-parallel campaign must
@@ -288,6 +532,47 @@ let determinism_tests =
             (Engine.Metrics.snapshot engine.Engine.Ctx.metrics)
         in
         check Alcotest.bool "same counters" true (counters 1 = counters 2));
+    tc "faulted campaign is identical at any job count" (fun () ->
+        (* the CI fault job raises these rates via METAMUT_FAULTS; the
+           invariance must hold at whatever configuration is injected *)
+        let config =
+          match Engine.Faults.config_from_env () with
+          | Some c -> c
+          | None ->
+            {
+              Engine.Faults.no_faults with
+              Engine.Faults.compile_hang = 0.05;
+              worker_crash = 0.3;
+            }
+        in
+        let base =
+          {
+            Fuzzing.Campaign.default_config with
+            iterations = 10;
+            seeds = 8;
+            sample_every = 4;
+            max_attempts = 4;
+          }
+        in
+        let run jobs =
+          let faults =
+            Engine.Faults.create ~seed:(Engine.Faults.seed_from_env ()) config
+          in
+          (Fuzzing.Campaign.run
+             ~cfg:{ base with Fuzzing.Campaign.jobs }
+             ~faults ())
+            .Fuzzing.Campaign.results
+        in
+        let a = run 1 and b = run 4 in
+        check Alcotest.int "same cells" (List.length a) (List.length b);
+        List.iter2
+          (fun (c1, r1) (c2, r2) ->
+            check Alcotest.bool "same cell" true (c1 = c2);
+            check Alcotest.bool
+              ("equal result for " ^ Fuzzing.Campaign.fuzzer_name (fst c1))
+              true
+              (Fuzzing.Fuzz_result.equal r1 r2))
+          a b);
   ]
 
 let mucfuzz_engine_tests =
@@ -365,6 +650,10 @@ let () =
       ("spans", span_tests);
       ("vec", vec_tests);
       ("scheduler", scheduler_tests);
+      ("faults", faults_tests);
+      ("retry", retry_tests);
+      ("checkpoint", checkpoint_tests);
+      ("supervision", supervision_tests);
       ("determinism", determinism_tests);
       ("mucfuzz-engine", mucfuzz_engine_tests);
     ]

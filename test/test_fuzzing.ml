@@ -196,6 +196,49 @@ let mucfuzz_tests =
           (List.assoc Simcomp.Crash.Front_end by);
         check Alcotest.int "opt" 1
           (List.assoc Simcomp.Crash.Optimization by));
+    tc "checkpoint/resume reproduces an uninterrupted run" (fun () ->
+        let file =
+          Filename.concat (Filename.temp_dir "metamut-mucfuzz" "") "m.ckpt"
+        in
+        let cfg =
+          {
+            (Fuzzing.Mucfuzz.default_config ()) with
+            Fuzzing.Mucfuzz.max_attempts_per_iteration = 6;
+            sample_every = 5;
+          }
+        in
+        let go ?checkpoint ?resume () =
+          Fuzzing.Mucfuzz.run ~cfg ?checkpoint ?resume ~rng:(Rng.create 9)
+            ~compiler:Simcomp.Compiler.Gcc ~seeds:(Lazy.force seed_corpus)
+            ~iterations:40 ~name:"t" ()
+        in
+        let full = go () in
+        (* every=15 leaves the last snapshot at iteration 30: resuming
+           replays the final 10 iterations from restored state *)
+        let checkpointed = go ~checkpoint:(file, 15) () in
+        check Alcotest.bool "checkpointing is transparent" true
+          (Fuzzing.Fuzz_result.equal full checkpointed);
+        let resumed = go ~resume:file () in
+        check Alcotest.bool "resumed run identical" true
+          (Fuzzing.Fuzz_result.equal full resumed));
+    tc "injected compile hangs surface as watchdog Hang crashes" (fun () ->
+        let faults =
+          Engine.Faults.create
+            { Engine.Faults.no_faults with Engine.Faults.compile_hang = 1.0 }
+        in
+        let r =
+          Fuzzing.Mucfuzz.run ~faults ~rng:(Rng.create 4)
+            ~compiler:Simcomp.Compiler.Gcc ~seeds:(Lazy.force seed_corpus)
+            ~iterations:10 ~name:"t" ()
+        in
+        check Alcotest.bool "crash recorded" true
+          (Fuzzing.Fuzz_result.unique_crashes r > 0);
+        Hashtbl.iter
+          (fun _ cr ->
+            check Alcotest.bool "hang kind" true
+              (cr.Fuzzing.Fuzz_result.cr_crash.Simcomp.Crash.kind
+              = Simcomp.Crash.Hang))
+          r.Fuzzing.Fuzz_result.crashes);
   ]
 
 let baseline_tests =
@@ -278,6 +321,66 @@ let campaign_tests =
         check Alcotest.(list string) "names"
           [ "uCFuzz.s"; "uCFuzz.u"; "AFL++"; "GrayC"; "Csmith"; "YARPGen" ]
           (List.map Fuzzing.Campaign.fuzzer_name Fuzzing.Campaign.all_fuzzers));
+    tc "worker-crash faults do not change results" (fun () ->
+        (* deaths strike between items, so supervision must requeue and
+           reproduce the fault-free campaign exactly *)
+        let cfg =
+          {
+            Fuzzing.Campaign.default_config with
+            iterations = 8;
+            seeds = 6;
+            sample_every = 4;
+            max_attempts = 4;
+            jobs = 3;
+          }
+        in
+        let fuzzers = Fuzzing.Campaign.[ MuCFuzz_u; AFLpp ] in
+        let clean = Fuzzing.Campaign.run ~cfg ~fuzzers () in
+        let faults =
+          Engine.Faults.create ~seed:5
+            { Engine.Faults.no_faults with Engine.Faults.worker_crash = 1.0 }
+        in
+        let faulted = Fuzzing.Campaign.run ~cfg ~fuzzers ~faults () in
+        check Alcotest.int "no failures" 0
+          (List.length faulted.Fuzzing.Campaign.failures);
+        List.iter2
+          (fun (c1, r1) (c2, r2) ->
+            check Alcotest.bool "same cell" true (c1 = c2);
+            check Alcotest.bool "equal result" true
+              (Fuzzing.Fuzz_result.equal r1 r2))
+          clean.Fuzzing.Campaign.results faulted.Fuzzing.Campaign.results);
+    tc "campaign resume reproduces the uninterrupted result" (fun () ->
+        let cfg =
+          {
+            Fuzzing.Campaign.default_config with
+            iterations = 10;
+            seeds = 8;
+            sample_every = 4;
+            max_attempts = 4;
+            jobs = 2;
+          }
+        in
+        let fuzzers = Fuzzing.Campaign.[ MuCFuzz_u; Csmith ] in
+        let full = Fuzzing.Campaign.run ~cfg ~fuzzers () in
+        let dir = Filename.temp_dir "metamut-campaign" "" in
+        let first = Fuzzing.Campaign.run ~cfg ~fuzzers ~checkpoint:dir () in
+        check Alcotest.int "first run computes everything" 0
+          first.Fuzzing.Campaign.resumed_cells;
+        (* simulate a crash that lost one completed cell's result *)
+        Sys.remove (Filename.concat dir "done-uCFuzz.u-GCC.ckpt");
+        let resumed =
+          Fuzzing.Campaign.run ~cfg ~fuzzers ~checkpoint:dir ~resume:true ()
+        in
+        check Alcotest.int "three cells restored" 3
+          resumed.Fuzzing.Campaign.resumed_cells;
+        check Alcotest.int "no failures" 0
+          (List.length resumed.Fuzzing.Campaign.failures);
+        List.iter2
+          (fun (c1, r1) (c2, r2) ->
+            check Alcotest.bool "same cell" true (c1 = c2);
+            check Alcotest.bool "equal result" true
+              (Fuzzing.Fuzz_result.equal r1 r2))
+          full.Fuzzing.Campaign.results resumed.Fuzzing.Campaign.results);
   ]
 
 let report_tests =

@@ -298,6 +298,115 @@ let pipeline_tests =
         check Alcotest.bool "rarely fixed" true (!fixed <= 6));
   ]
 
+let retry_tests =
+  [
+    tc "most throttled invocations recover within the default budget" (fun () ->
+        (* acceptance bar: >= 80 % of invocations that hit at least one
+           System_error end in a real outcome (4 attempts at the paper's
+           0.24 rate predict ~98.6 %) *)
+        let runs = Metamut.Pipeline.run_many ~seed:41 ~n:100 () in
+        let hit =
+          List.filter (fun r -> r.Metamut.Pipeline.r_attempts > 1) runs
+        in
+        let recovered =
+          List.filter
+            (fun r ->
+              r.Metamut.Pipeline.r_outcome <> Metamut.Pipeline.System_error)
+            hit
+        in
+        check Alcotest.bool "throttles occurred" true (hit <> []);
+        check Alcotest.bool "recovery rate >= 0.8" true
+          (float_of_int (List.length recovered)
+           /. float_of_int (List.length hit)
+          >= 0.8));
+    tc "backoff waits match the retry counters" (fun () ->
+        let engine = Engine.Ctx.create () in
+        let runs = Metamut.Pipeline.run_many ~seed:42 ~engine ~n:60 () in
+        let charged =
+          List.fold_left
+            (fun acc r ->
+              acc +. r.Metamut.Pipeline.r_retry.Metamut.Pipeline.sc_wait_s)
+            0. runs
+        in
+        let wait_ms =
+          Engine.Metrics.counter_value
+            (Engine.Metrics.counter engine.Engine.Ctx.metrics
+               "pipeline.retry.wait_ms")
+        in
+        let waits =
+          List.fold_left
+            (fun acc r -> acc + r.Metamut.Pipeline.r_attempts - 1)
+            0 runs
+        in
+        (* the counter truncates each wait to whole milliseconds *)
+        check Alcotest.bool "accounted" true
+          (charged -. (float_of_int wait_ms /. 1000.) >= 0.
+          && charged -. (float_of_int wait_ms /. 1000.)
+             <= 0.001 *. float_of_int waits);
+        List.iter
+          (fun r ->
+            check Alcotest.bool "waited iff retried" true
+              (r.Metamut.Pipeline.r_retry.Metamut.Pipeline.sc_wait_s > 0.
+              = (r.Metamut.Pipeline.r_attempts > 1)))
+          runs);
+    tc "retrying keeps the pipeline deterministic per seed" (fun () ->
+        let go () =
+          List.map
+            (fun r ->
+              ( r.Metamut.Pipeline.r_name,
+                r.Metamut.Pipeline.r_attempts,
+                (Metamut.Pipeline.total_cost r).Metamut.Pipeline.sc_tokens,
+                r.Metamut.Pipeline.r_retry.Metamut.Pipeline.sc_wait_s ))
+            (Metamut.Pipeline.run_many ~seed:43 ~n:30 ())
+        in
+        check Alcotest.bool "identical" true (go () = go ()));
+    tc "a permanent throttle exhausts the budget" (fun () ->
+        let faults =
+          Engine.Faults.create
+            { Engine.Faults.no_faults with Engine.Faults.llm_throttle = 1.0 }
+        in
+        let cfg =
+          { Metamut.Pipeline.default_config with Metamut.Pipeline.faults = Some faults }
+        in
+        let runs = Metamut.Pipeline.run_many ~cfg ~seed:44 ~n:5 () in
+        List.iter
+          (fun r ->
+            check Alcotest.bool "system error" true
+              (r.Metamut.Pipeline.r_outcome = Metamut.Pipeline.System_error);
+            check Alcotest.int "all attempts used"
+              cfg.Metamut.Pipeline.retry.Engine.Retry.max_attempts
+              r.Metamut.Pipeline.r_attempts;
+            check Alcotest.bool "waits charged" true
+              (r.Metamut.Pipeline.r_retry.Metamut.Pipeline.sc_wait_s > 0.))
+          runs);
+    tc "a unit retry budget restores the paper's behaviour" (fun () ->
+        let cfg =
+          {
+            Metamut.Pipeline.default_config with
+            Metamut.Pipeline.retry =
+              {
+                Engine.Retry.default_policy with
+                Engine.Retry.max_attempts = 1;
+              };
+          }
+        in
+        let runs = Metamut.Pipeline.run_many ~cfg ~seed:45 ~n:100 () in
+        let errors =
+          List.length
+            (List.filter
+               (fun r ->
+                 r.Metamut.Pipeline.r_outcome = Metamut.Pipeline.System_error)
+               runs)
+        in
+        List.iter
+          (fun r ->
+            check Alcotest.int "single attempt" 1 r.Metamut.Pipeline.r_attempts)
+          runs;
+        (* binomial n=100 p=0.24: stay within a generous band *)
+        check Alcotest.bool "throttle rate modelled" true
+          (errors >= 10 && errors <= 40));
+  ]
+
 let () =
   Alcotest.run "metamut"
     [
@@ -305,4 +414,5 @@ let () =
       ("oracle", oracle_tests);
       ("validation", validation_tests);
       ("pipeline", pipeline_tests);
+      ("retry", retry_tests);
     ]

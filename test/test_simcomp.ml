@@ -33,6 +33,18 @@ let coverage_tests =
         Simcomp.Coverage.hit c 2;
         check Alcotest.int "covered" 2 (Simcomp.Coverage.covered c);
         check Alcotest.int "hits" 3 (Simcomp.Coverage.total_hits c));
+    tc "equal compares hits, distinct count, and the map" (fun () ->
+        let a = Simcomp.Coverage.create () in
+        let b = Simcomp.Coverage.create () in
+        check Alcotest.bool "fresh maps equal" true (Simcomp.Coverage.equal a b);
+        Simcomp.Coverage.hit a 7;
+        check Alcotest.bool "diverged" false (Simcomp.Coverage.equal a b);
+        Simcomp.Coverage.hit b 7;
+        check Alcotest.bool "re-converged" true (Simcomp.Coverage.equal a b);
+        (* same branch set, different hit counts: still unequal *)
+        Simcomp.Coverage.hit a 7;
+        check Alcotest.bool "hit counts matter" false
+          (Simcomp.Coverage.equal a b));
     tc "merge counts fresh branches" (fun () ->
         let a = Simcomp.Coverage.create () in
         let b = Simcomp.Coverage.create () in
@@ -423,7 +435,26 @@ int main(void) { return sprintf(buffer, "%s", "bar"); }|}));
         check Alcotest.int "code" 3 (exit_of "int main(void) { exit(3); return 0; }"));
     tc "infinite loop runs out of fuel" (fun () ->
         let o = run_src "int main(void) { while (1) ; return 0; }" in
-        check Alcotest.bool "hang" true o.Simcomp.Interp.o_hang);
+        check Alcotest.bool "hang" true o.Simcomp.Interp.o_hang;
+        check Alcotest.bool "not a stack overflow" false
+          o.Simcomp.Interp.o_stack_overflow);
+    tc "runaway recursion is a stack overflow, not a hang" (fun () ->
+        let o =
+          run_src
+            "int f(int n) { return f(n + 1); }\n\
+             int main(void) { return f(0); }"
+        in
+        check Alcotest.bool "stack overflow" true
+          o.Simcomp.Interp.o_stack_overflow;
+        check Alcotest.bool "distinct from fuel exhaustion" false
+          o.Simcomp.Interp.o_hang;
+        check Alcotest.bool "not an abort" false o.Simcomp.Interp.o_aborted;
+        check Alcotest.int "sigsegv exit" 139 o.Simcomp.Interp.o_exit);
+    tc "bounded recursion stays under the depth limit" (fun () ->
+        check Alcotest.int "5050 mod 256" 186
+          (exit_of
+             "int f(int n) { if (n == 0) return 0; return n + f(n - 1); }\n\
+              int main(void) { return f(100) % 256; }"));
     tc "ternary and comma" (fun () ->
         check Alcotest.int "value" 11
           (exit_of "int main(void) { int x = (1, 2); return x > 1 ? 11 : 22; }"));
@@ -1057,6 +1088,47 @@ let compile_pipeline_tests =
         check Alcotest.bool "cache marker counted" true
           (List.assoc "compile.cached" (counters cached_engine)
           = Engine.Metrics.Counter 1));
+    tc "injected hangs trip the compile watchdog" (fun () ->
+        let engine = Engine.Ctx.create () in
+        let faults =
+          Engine.Faults.create
+            { Engine.Faults.no_faults with Engine.Faults.compile_hang = 1.0 }
+        in
+        (match
+           Simcomp.Compiler.compile ~engine ~faults Simcomp.Compiler.Gcc opts
+             "int main(void) { return 0; }"
+         with
+        | Simcomp.Compiler.Crashed c ->
+          check Alcotest.bool "hang kind" true
+            (c.Simcomp.Crash.kind = Simcomp.Crash.Hang);
+          check Alcotest.bool "watchdog frame" true
+            (List.mem "watchdog_timeout" c.Simcomp.Crash.frames)
+        | _ -> Alcotest.fail "expected the watchdog to report a hang");
+        check Alcotest.int "hang counted" 1
+          (Engine.Metrics.counter_value
+             (Engine.Metrics.counter engine.Engine.Ctx.metrics
+                "compile.watchdog_hang")));
+    tc "cached hangs replay as hangs" (fun () ->
+        (* a pathological mutant stays pathological: memoization must
+           not resurrect it *)
+        let faults =
+          Engine.Faults.create
+            { Engine.Faults.no_faults with Engine.Faults.compile_hang = 1.0 }
+        in
+        let cache = Simcomp.Compiler.cache_create () in
+        let src = "int main(void) { return 1; }" in
+        let once () =
+          fst
+            (Simcomp.Compiler.compile_cached ~cache ~faults
+               Simcomp.Compiler.Gcc opts src)
+        in
+        (match (once (), once ()) with
+        | Simcomp.Compiler.Crashed a, Simcomp.Compiler.Crashed b ->
+          check Alcotest.string "same bug id" a.Simcomp.Crash.bug_id
+            b.Simcomp.Crash.bug_id
+        | _ -> Alcotest.fail "both lookups must replay the hang");
+        check Alcotest.int "second lookup hit the cache" 1
+          (Simcomp.Compiler.cache_hits cache));
   ]
 
 let () =
