@@ -60,6 +60,102 @@ if [ -x "$CLI" ]; then
   rm -rf "$CKPT"
 fi
 
+echo "== smoke: telemetry artifacts =="
+if [ -x "$CLI" ]; then
+  TEL=$(mktemp -d)
+  # Telemetry must be a pure observer: the fuzz result printed on
+  # stdout has to be byte-identical with and without --telemetry.
+  "$CLI" fuzz -n 40 --seed 7 > /tmp/fuzz_plain.txt 2> /dev/null
+  "$CLI" fuzz -n 40 --seed 7 --telemetry "$TEL" \
+    > /tmp/fuzz_tel.txt 2> /dev/null
+  if ! cmp -s /tmp/fuzz_plain.txt /tmp/fuzz_tel.txt; then
+    echo "FAIL: --telemetry changed the fuzz output" >&2
+    diff /tmp/fuzz_plain.txt /tmp/fuzz_tel.txt >&2 || true
+    exit 1
+  fi
+  for f in trace.jsonl metrics.prom metrics.json campaign-report.md; do
+    if [ ! -s "$TEL/$f" ]; then
+      echo "FAIL: telemetry artifact $f missing or empty" >&2
+      exit 1
+    fi
+  done
+  # Chrome trace and JSON snapshot must each be one valid JSON document.
+  if command -v jq > /dev/null 2>&1; then
+    jq -e . "$TEL/trace.jsonl" > /dev/null || {
+      echo "FAIL: trace.jsonl is not valid JSON" >&2
+      exit 1
+    }
+    jq -e '.counters and .gauges and .histograms' "$TEL/metrics.json" \
+      > /dev/null || {
+      echo "FAIL: metrics.json missing counters/gauges/histograms" >&2
+      exit 1
+    }
+  else
+    echo "jq not found; skipping JSON validation"
+  fi
+  # Prometheus text exposition: TYPE comments and sane sample lines.
+  grep -q '^# TYPE metamut_compile_total counter' "$TEL/metrics.prom" || {
+    echo "FAIL: metrics.prom missing compile counter TYPE line" >&2
+    exit 1
+  }
+  grep -q '^metamut_.*_bucket{le="+Inf"} ' "$TEL/metrics.prom" || {
+    echo "FAIL: metrics.prom missing histogram +Inf bucket" >&2
+    exit 1
+  }
+  grep -q '"name":"compile.' "$TEL/trace.jsonl" || {
+    echo "FAIL: trace.jsonl has no compile spans" >&2
+    exit 1
+  }
+  grep -q '^## ' "$TEL/campaign-report.md" || {
+    echo "FAIL: campaign-report.md has no sections" >&2
+    exit 1
+  }
+  rm -rf "$TEL"
+  echo "telemetry artifacts well-formed; fuzz output unchanged"
+fi
+
+echo "== smoke: campaign determinism with telemetry enabled =="
+if [ -x "$CLI" ]; then
+  TEL1=$(mktemp -d)
+  TEL4=$(mktemp -d)
+  "$CLI" campaign --iterations 10 --jobs 1 --telemetry "$TEL1" \
+    > /tmp/campaign_t1.txt 2> /dev/null
+  "$CLI" campaign --iterations 10 --jobs 4 --telemetry "$TEL4" \
+    > /tmp/campaign_t4.txt 2> /dev/null
+  if cmp -s /tmp/campaign_t1.txt /tmp/campaign_t4.txt \
+      && cmp -s /tmp/campaign_j1.txt /tmp/campaign_t1.txt; then
+    echo "campaign output identical with telemetry at --jobs 1 and 4"
+  else
+    echo "FAIL: telemetry perturbed campaign output across job counts" >&2
+    diff /tmp/campaign_t1.txt /tmp/campaign_t4.txt >&2 || true
+    exit 1
+  fi
+  rm -rf "$TEL1" "$TEL4"
+fi
+
+echo "== smoke: faulted resume with telemetry stays byte-identical =="
+if [ -x "$CLI" ]; then
+  CKPT=$(mktemp -d)
+  TELA=$(mktemp -d)
+  TELB=$(mktemp -d)
+  FAULTS="hang=0.05,crash=0.2"
+  "$CLI" campaign --iterations 10 --jobs 2 --faults "$FAULTS" \
+    --fault-seed 3 --checkpoint "$CKPT" --telemetry "$TELA" \
+    > /tmp/campaign_ftel.txt 2> /dev/null
+  rm "$CKPT/done-uCFuzz.s-GCC.ckpt"
+  "$CLI" campaign --iterations 10 --jobs 2 --faults "$FAULTS" \
+    --fault-seed 3 --checkpoint "$CKPT" --resume --telemetry "$TELB" \
+    > /tmp/campaign_ftel_resume.txt 2> /dev/null
+  if cmp -s /tmp/campaign_ftel.txt /tmp/campaign_ftel_resume.txt; then
+    echo "faulted resumed campaign with telemetry identical to uninterrupted"
+  else
+    echo "FAIL: telemetry+faults+resume changed the campaign output" >&2
+    diff /tmp/campaign_ftel.txt /tmp/campaign_ftel_resume.txt >&2 || true
+    exit 1
+  fi
+  rm -rf "$CKPT" "$TELA" "$TELB"
+fi
+
 echo "== smoke: fuzz-throughput bench =="
 # Smoke mode keeps CI fast; this gate only checks the bench runs and
 # emits well-formed JSON — perf numbers are informational, not gating.

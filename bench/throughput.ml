@@ -64,6 +64,9 @@ type run_stats = {
   rs_minor_words : float;
   rs_covered : int;
   rs_crashes : int;
+  rs_probe_minor_mean : float;
+  rs_promoted_words : float;
+  rs_major_collections : float;
 }
 
 (* The 10k-iteration μCFuzz microbench: one coverage-guided campaign on
@@ -79,6 +82,9 @@ let mucfuzz_throughput () =
     }
   in
   let engine = Engine.Ctx.create () in
+  (* The probe piggybacks on the compile hook, so the same run also
+     yields the batch-sampled GC profile telemetry would report. *)
+  let probe = Engine.Ctx.enable_probe engine in
   let counter name =
     Engine.Metrics.counter_value
       (Engine.Metrics.counter engine.Engine.Ctx.metrics name)
@@ -94,6 +100,7 @@ let mucfuzz_throughput () =
   in
   let elapsed = Unix.gettimeofday () -. t0 in
   let minor = (Gc.quick_stat ()).Gc.minor_words -. w0 in
+  Engine.Probe.sample probe;
   {
     rs_elapsed_s = elapsed;
     rs_mutants = r.Fuzzing.Fuzz_result.total_mutants;
@@ -102,6 +109,9 @@ let mucfuzz_throughput () =
     rs_minor_words = minor;
     rs_covered = Simcomp.Coverage.covered r.Fuzzing.Fuzz_result.coverage;
     rs_crashes = Fuzzing.Fuzz_result.unique_crashes r;
+    rs_probe_minor_mean = Engine.Probe.minor_words_mean probe;
+    rs_promoted_words = Engine.Probe.promoted_words probe;
+    rs_major_collections = Engine.Probe.major_collections probe;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -131,6 +141,9 @@ let emit (rs : run_stats) ~hit_words =
   f "compiles_per_sec" (Fmt.str "%.1f" (rate rs.rs_compiles));
   f "minor_words_per_compile" (Fmt.str "%.1f" per_compile);
   f "coverage_hit_minor_words" (Fmt.str "%.6f" hit_words);
+  f "probe_minor_words_per_compile" (Fmt.str "%.1f" rs.rs_probe_minor_mean);
+  f "probe_promoted_words" (Fmt.str "%.1f" rs.rs_promoted_words);
+  f "probe_major_collections" (Fmt.str "%.0f" rs.rs_major_collections);
   f "covered_branches" (string_of_int rs.rs_covered);
   f_last "unique_crashes" (string_of_int rs.rs_crashes);
   Buffer.add_string buf "}\n";

@@ -130,6 +130,33 @@ let metrics_flag =
     & info [ "metrics" ]
         ~doc:"Collect engine metrics (spans, counters) and print them.")
 
+(* --telemetry DIR: the export layer (Chrome trace, Prometheus/JSON
+   metrics snapshots, GC probes, post-run report). *)
+let telemetry_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"DIR"
+        ~doc:
+          "Write telemetry artifacts under $(docv): $(b,trace.jsonl) (Chrome \
+           trace-event JSON, loadable in Perfetto), $(b,metrics.prom) \
+           (Prometheus text exposition), $(b,metrics.json), and \
+           $(b,campaign-report.md).  Snapshots refresh periodically and at \
+           exit.  Enabling telemetry never changes fuzz results.")
+
+(* --status: the live stderr status line.  Forced by the flag, automatic
+   on an interactive terminal, and always off when stderr is a pipe (CI
+   logs stay clean). *)
+let status_flag =
+  Arg.(
+    value & flag
+    & info [ "status" ]
+        ~doc:
+          "Force the live status line (execs/s, covered edges, crashes, \
+           plateau) on stderr.  On by default when stderr is a terminal.")
+
+let want_status forced = forced || Unix.isatty Unix.stderr
+
 (* --faults / --fault-seed, shared by fuzz / generate / campaign.  The
    spec falls back to METAMUT_FAULTS so CI can fault a whole run without
    touching each command line. *)
@@ -295,7 +322,8 @@ let compile_cmd =
 (* fuzz                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let fuzz compiler iterations seed corpus_kind faults metrics trace =
+let fuzz compiler iterations seed corpus_kind sample_every faults metrics
+    trace telemetry status =
   let rng = Cparse.Rng.create seed in
   let seeds = Fuzzing.Seeds.corpus ~n:50 (Cparse.Rng.create seed) in
   let mutators =
@@ -307,16 +335,25 @@ let fuzz compiler iterations seed corpus_kind faults metrics trace =
   in
   let cfg =
     { (Fuzzing.Mucfuzz.default_config ~mutators ()) with
-      Fuzzing.Mucfuzz.max_attempts_per_iteration = 16 }
+      Fuzzing.Mucfuzz.max_attempts_per_iteration = 16;
+      sample_every = max 1 sample_every }
   in
   let engine = Engine.Ctx.create () in
   if trace then
     Engine.Event.add_sink engine.Engine.Ctx.bus
       (Engine.Event.text_sink ~out:(fun line -> Fmt.epr "%s@." line));
+  let tel =
+    Option.map (fun dir -> Engine.Telemetry.attach ~dir engine) telemetry
+  in
+  let st =
+    if want_status status then Some (Engine.Status.attach ~label:"uCFuzz" engine)
+    else None
+  in
   let r =
     Fuzzing.Mucfuzz.run ~cfg ~engine ?faults ~rng ~compiler ~seeds ~iterations
       ~name:"uCFuzz" ()
   in
+  Option.iter Engine.Status.finish st;
   Fmt.pr "iterations: %d@." iterations;
   Fmt.pr "mutants: %d (%.1f%% compilable)@." r.Fuzzing.Fuzz_result.total_mutants
     (Fuzzing.Fuzz_result.compilable_ratio r);
@@ -327,6 +364,10 @@ let fuzz compiler iterations seed corpus_kind faults metrics trace =
     (fun _ cr ->
       Fmt.pr "  %s@." (Simcomp.Crash.to_string cr.Fuzzing.Fuzz_result.cr_crash))
     r.Fuzzing.Fuzz_result.crashes;
+  Option.iter
+    (fun t ->
+      Engine.Telemetry.finalize ~report:(Fuzzing.Run_report.fuzz ~engine r) t)
+    tel;
   if metrics then render_metrics engine
 
 let fuzz_cmd =
@@ -351,18 +392,31 @@ let fuzz_cmd =
       & info [ "trace" ]
           ~doc:"Stream engine events to stderr (line-oriented text sink).")
   in
+  let sample_every =
+    Arg.(
+      value & opt int 25
+      & info [ "sample-every" ] ~docv:"N"
+          ~doc:"Coverage-trend sampling period, iterations per sample.")
+  in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run the uCFuzz coverage-guided fuzzer")
     Term.(
-      const fuzz $ compiler $ iterations $ seed $ corpus $ faults_term
-      $ metrics_flag $ trace)
+      const fuzz $ compiler $ iterations $ seed $ corpus $ sample_every
+      $ faults_term $ metrics_flag $ trace $ telemetry_flag $ status_flag)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let generate n seed retry_budget faults metrics =
-  let engine = if metrics then Some (Engine.Ctx.create ()) else None in
+let generate n seed retry_budget faults metrics telemetry =
+  let engine =
+    if metrics || telemetry <> None then Some (Engine.Ctx.create ()) else None
+  in
+  let tel =
+    match (engine, telemetry) with
+    | Some e, Some dir -> Some (Engine.Telemetry.attach ~dir e)
+    | _ -> None
+  in
   let cfg =
     let base = Metamut.Pipeline.default_config in
     {
@@ -405,7 +459,8 @@ let generate n seed retry_budget faults metrics =
          (fun acc r ->
            acc +. r.Metamut.Pipeline.r_retry.Metamut.Pipeline.sc_wait_s)
          0. runs);
-  Option.iter render_metrics engine
+  Option.iter Engine.Telemetry.finalize tel;
+  if metrics then Option.iter render_metrics engine
 
 let generate_cmd =
   let n = Arg.(value & opt int 20 & info [ "n" ] ~doc:"Invocations.") in
@@ -422,22 +477,61 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Run the MetaMut mutator-generation pipeline")
-    Term.(const generate $ n $ seed $ retry_budget $ faults_term $ metrics_flag)
+    Term.(
+      const generate $ n $ seed $ retry_budget $ faults_term $ metrics_flag
+      $ telemetry_flag)
 
 (* ------------------------------------------------------------------ *)
 (* campaign                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let campaign iterations jobs faults checkpoint resume metrics =
+let campaign iterations jobs sample_every faults checkpoint resume metrics
+    telemetry status =
   let cfg =
     { Fuzzing.Campaign.default_config with
       iterations;
-      sample_every = max 1 (iterations / 10);
+      (* 0 = auto: ten samples across the run *)
+      sample_every =
+        (if sample_every > 0 then sample_every else max 1 (iterations / 10));
       jobs =
         (if jobs > 0 then jobs else Fuzzing.Campaign.default_config.jobs) }
   in
-  let engine = if metrics then Some (Engine.Ctx.create ()) else None in
-  let t = Fuzzing.Campaign.run ~cfg ?engine ?faults ?checkpoint ~resume () in
+  let status = want_status status in
+  let engine =
+    if metrics || telemetry <> None || status then Some (Engine.Ctx.create ())
+    else None
+  in
+  let tel =
+    match (engine, telemetry) with
+    | Some e, Some dir -> Some (Engine.Telemetry.attach ~dir e)
+    | _ -> None
+  in
+  (* live progress: the Status sink narrates events when cells share the
+     main context (jobs <= 1); the per-cell completion callback covers
+     parallel runs, whose workers emit on private buses.  Both rewrite
+     the same stderr line, serialised by a mutex (ticks arrive from
+     worker domains). *)
+  let st =
+    match engine with
+    | Some e when status -> Some (Engine.Status.attach ~label:"campaign" e)
+    | _ -> None
+  in
+  let progress =
+    if not status then None
+    else begin
+      let m = Mutex.create () in
+      Some
+        (fun ~completed ~total name ->
+          Mutex.lock m;
+          Fmt.epr "\r\027[K[%d/%d] %s done%!" completed total name;
+          Mutex.unlock m)
+    end
+  in
+  let t =
+    Fuzzing.Campaign.run ~cfg ?engine ?faults ?checkpoint ~resume ?progress ()
+  in
+  Option.iter Engine.Status.finish st;
+  if status then Fmt.epr "\r\027[K%!";
   (* bookkeeping goes to stderr so stdout stays byte-comparable between
      faulted/resumed runs and clean ones *)
   if t.Fuzzing.Campaign.resumed_cells > 0 then
@@ -464,7 +558,13 @@ let campaign iterations jobs faults checkpoint resume metrics =
           Fmt.str "%.1f" (Fuzzing.Fuzz_result.compilable_ratio r) ])
     t.Fuzzing.Campaign.results;
   Report.Table.print table;
-  Option.iter render_metrics engine
+  Option.iter
+    (fun tl ->
+      Engine.Telemetry.finalize
+        ~report:(Fuzzing.Run_report.campaign ?engine t)
+        tl)
+    tel;
+  if metrics then Option.iter render_metrics engine
 
 let campaign_cmd =
   let iterations =
@@ -498,11 +598,19 @@ let campaign_cmd =
              $(b,--checkpoint) $(i,DIR); the reassembled results are \
              identical to an uninterrupted run.")
   in
+  let sample_every =
+    Arg.(
+      value & opt int 0
+      & info [ "sample-every" ] ~docv:"N"
+          ~doc:
+            "Coverage-trend sampling period (0 = auto: ten samples across \
+             the run).")
+  in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run the six-fuzzer RQ1 comparison")
     Term.(
-      const campaign $ iterations $ jobs $ faults_term $ checkpoint $ resume
-      $ metrics_flag)
+      const campaign $ iterations $ jobs $ sample_every $ faults_term
+      $ checkpoint $ resume $ metrics_flag $ telemetry_flag $ status_flag)
 
 let () =
   let info =

@@ -1,23 +1,48 @@
 (* The execution context threaded through the compiler, the fuzzers and
-   the MetaMut pipeline: one metrics registry + one event bus + a clock.
+   the MetaMut pipeline: one metrics registry + one event bus + a clock,
+   plus (when telemetry is enabled) a span-trace buffer and a GC probe.
 
    A context is owned by a single domain.  Parallel campaigns give each
-   worker its own context and Metrics.merge the registries at the join
-   barrier. *)
+   worker its own context and Metrics.merge the registries (and
+   Trace.merge the buffers) at the join barrier. *)
 
 type t = {
   metrics : Metrics.t;
   bus : Event.bus;
   clock : unit -> int64;  (* monotonic-enough wall clock, nanoseconds *)
+  mutable trace : Trace.t option;  (* span instances, for Chrome export *)
+  mutable probe : Probe.t option;  (* GC sampling, per compile batch *)
 }
 
 let default_clock () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
 let create ?(clock = default_clock) () =
-  { metrics = Metrics.create (); bus = Event.bus (); clock }
+  {
+    metrics = Metrics.create ();
+    bus = Event.bus ();
+    clock;
+    trace = None;
+    probe = None;
+  }
 
 let emit (t : t) e = Event.emit t.bus e
 let now_ns (t : t) = t.clock ()
 
 let incr ?(by = 1) (t : t) name =
   Metrics.incr ~by (Metrics.counter t.metrics name)
+
+let enable_trace ?(tid = 0) (t : t) : Trace.t =
+  match t.trace with
+  | Some tr -> tr
+  | None ->
+    let tr = Trace.create ~tid () in
+    t.trace <- Some tr;
+    tr
+
+let enable_probe ?batch (t : t) : Probe.t =
+  match t.probe with
+  | Some p -> p
+  | None ->
+    let p = Probe.create ?batch t.metrics in
+    t.probe <- Some p;
+    p

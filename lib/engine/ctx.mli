@@ -1,15 +1,18 @@
 (** The execution context threaded through the compiler, the fuzzers
     and the MetaMut pipeline: one metrics registry, one event bus, and
-    a nanosecond clock.
+    a nanosecond clock — plus, when telemetry is enabled, a span-trace
+    buffer and a GC probe.
 
     A context is owned by a single domain; parallel campaigns give each
-    worker its own and {!Metrics.merge} the registries at the join
-    barrier. *)
+    worker its own and {!Metrics.merge} the registries (and
+    {!Trace.merge} the buffers) at the join barrier. *)
 
 type t = {
   metrics : Metrics.t;
   bus : Event.bus;
   clock : unit -> int64;
+  mutable trace : Trace.t option;
+  mutable probe : Probe.t option;
 }
 
 val default_clock : unit -> int64
@@ -17,7 +20,7 @@ val default_clock : unit -> int64
 
 val create : ?clock:(unit -> int64) -> unit -> t
 (** Fresh context with no sinks attached (events are dropped until a
-    sink is added — the null configuration). *)
+    sink is added — the null configuration), tracing and probing off. *)
 
 val emit : t -> Event.t -> unit
 val now_ns : t -> int64
@@ -25,3 +28,10 @@ val now_ns : t -> int64
 val incr : ?by:int -> t -> string -> unit
 (** Convenience counter bump (does the name lookup; hot paths should
     pre-resolve with {!Metrics.counter} instead). *)
+
+val enable_trace : ?tid:int -> t -> Trace.t
+(** Start recording span instances into a fresh buffer (idempotent:
+    returns the existing buffer when already enabled). *)
+
+val enable_probe : ?batch:int -> t -> Probe.t
+(** Start GC sampling every [batch] compiles (idempotent). *)

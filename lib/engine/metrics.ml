@@ -6,7 +6,19 @@
    for joining per-worker registries after a parallel campaign. *)
 
 type counter = { c_name : string; mutable c_count : int }
-type gauge = { g_name : string; mutable g_value : float }
+
+(* How a gauge joins its per-worker copies at the merge barrier.  A
+   last-writer-wins gauge depends on worker join order (and on
+   supervised_map requeues), so [Last] is only for values where any
+   worker's reading is as good as another's; order-independent campaigns
+   want [Max] (high-water marks) or [Sum] (accumulated deltas). *)
+type gauge_policy = Max | Sum | Last
+
+type gauge = {
+  g_name : string;
+  mutable g_value : float;
+  g_policy : gauge_policy;
+}
 
 type histogram = {
   h_name : string;
@@ -40,16 +52,18 @@ let counter (t : t) name =
 let incr ?(by = 1) (c : counter) = c.c_count <- c.c_count + by
 let counter_value (c : counter) = c.c_count
 
-let gauge (t : t) name =
+let gauge ?(policy = Max) (t : t) name =
   match Hashtbl.find_opt t.gauges name with
   | Some g -> g
   | None ->
-    let g = { g_name = name; g_value = 0. } in
+    let g = { g_name = name; g_value = 0.; g_policy = policy } in
     Hashtbl.replace t.gauges name g;
     g
 
 let set (g : gauge) v = g.g_value <- v
+let add (g : gauge) v = g.g_value <- g.g_value +. v
 let gauge_value (g : gauge) = g.g_value
+let gauge_policy (g : gauge) = g.g_policy
 
 (* Wall-clock span buckets: 1us .. 10s, in decades of nanoseconds. *)
 let default_time_edges_ns =
@@ -144,12 +158,20 @@ let counters_with_prefix (t : t) ~prefix : (string * int) list =
   |> List.sort compare
 
 (* Join a worker's registry into the main one (counters and histogram
-   buckets add; gauges take the source's last value). *)
+   buckets add; gauges join under their declared policy, so the merged
+   value is independent of worker join order for Max and Sum). *)
 let merge ~into:(dst : t) (src : t) =
   Hashtbl.iter
     (fun k (c : counter) -> incr ~by:c.c_count (counter dst k))
     src.counters;
-  Hashtbl.iter (fun k (g : gauge) -> set (gauge dst k) g.g_value) src.gauges;
+  Hashtbl.iter
+    (fun k (g : gauge) ->
+      let d = gauge ~policy:g.g_policy dst k in
+      match d.g_policy with
+      | Max -> if g.g_value > d.g_value then set d g.g_value
+      | Sum -> add d g.g_value
+      | Last -> set d g.g_value)
+    src.gauges;
   Hashtbl.iter
     (fun k (h : histogram) ->
       let d = histogram ~edges:h.h_edges dst k in

@@ -6,6 +6,13 @@
     are cold reporting paths. *)
 
 type counter
+
+type gauge_policy =
+  | Max   (** merged value is the maximum across workers (high-water marks) *)
+  | Sum   (** worker values add (accumulated deltas, e.g. GC promotions) *)
+  | Last  (** last merged worker wins — join-order dependent; only for
+              gauges where any worker's reading is representative *)
+
 type gauge
 type histogram
 
@@ -21,9 +28,13 @@ val counter : t -> string -> counter
 val incr : ?by:int -> counter -> unit
 val counter_value : counter -> int
 
-val gauge : t -> string -> gauge
+val gauge : ?policy:gauge_policy -> t -> string -> gauge
+(** Find-or-create; [policy] (default {!Max}) only applies on creation. *)
+
 val set : gauge -> float -> unit
+val add : gauge -> float -> unit
 val gauge_value : gauge -> float
+val gauge_policy : gauge -> gauge_policy
 
 val default_time_edges_ns : float array
 (** Decade buckets from 1us to 10s, in nanoseconds. *)
@@ -60,5 +71,6 @@ val counters_with_prefix : t -> prefix:string -> (string * int) list
 
 val merge : into:t -> t -> unit
 (** Join a worker registry: counters and histogram buckets add, gauges
-    take the source value.
+    join under their {!gauge_policy} (the destination's when both
+    exist).
     @raise Invalid_argument on histogram bucket-edge mismatch. *)

@@ -1,7 +1,9 @@
 (* Tracing spans: wall-clock nanoseconds per named region, recorded
    into the context's metrics registry as "span.<name>" histograms
-   (decade buckets, 1us..10s).  A span records even when the wrapped
-   computation raises — a compiler stage that crashes still spent the
+   (decade buckets, 1us..10s) and — when the context has tracing
+   enabled — as individual span instances in its Trace buffer for the
+   Chrome trace-event export.  A span records even when the wrapped
+   computation raises: a compiler stage that crashes still spent the
    time. *)
 
 let record (ctx : Ctx.t) ~name ns =
@@ -9,14 +11,21 @@ let record (ctx : Ctx.t) ~name ns =
     (Metrics.histogram ctx.Ctx.metrics ("span." ^ name))
     (Int64.to_float ns)
 
+let record_instance (ctx : Ctx.t) ~name ~t0 ~t1 =
+  let dur = Int64.sub t1 t0 in
+  record ctx ~name dur;
+  match ctx.Ctx.trace with
+  | None -> ()
+  | Some tr -> Trace.record tr ~name ~ts_ns:t0 ~dur_ns:dur
+
 let with_ (ctx : Ctx.t) ~name f =
   let t0 = Ctx.now_ns ctx in
   match f () with
   | v ->
-    record ctx ~name (Int64.sub (Ctx.now_ns ctx) t0);
+    record_instance ctx ~name ~t0 ~t1:(Ctx.now_ns ctx);
     v
   | exception e ->
-    record ctx ~name (Int64.sub (Ctx.now_ns ctx) t0);
+    record_instance ctx ~name ~t0 ~t1:(Ctx.now_ns ctx);
     raise e
 
 let with_opt (ctx : Ctx.t option) ~name f =

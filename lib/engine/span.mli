@@ -5,11 +5,17 @@
     and sum give call count and cumulative time. *)
 
 val record : Ctx.t -> name:string -> int64 -> unit
-(** Record an externally measured duration (nanoseconds). *)
+(** Record an externally measured duration (nanoseconds) into the
+    histogram only (no trace instance — there is no start time). *)
+
+val record_instance : Ctx.t -> name:string -> t0:int64 -> t1:int64 -> unit
+(** Record a span with explicit endpoints: histogram observation plus,
+    when the context traces, a {!Trace} instance. *)
 
 val with_ : Ctx.t -> name:string -> (unit -> 'a) -> 'a
 (** Time [f] and record the duration — also when [f] raises (a crashing
-    compiler stage still spent the time). *)
+    compiler stage still spent the time).  When the context has tracing
+    enabled the span instance lands in its {!Trace} buffer too. *)
 
 val with_opt : Ctx.t option -> name:string -> (unit -> 'a) -> 'a
 (** [with_] when a context is present, plain [f ()] otherwise. *)

@@ -1,0 +1,113 @@
+(* The live TTY status line: a bus sink that folds the event stream into
+   a one-line summary (execs/s, covered edges, crashes, retry
+   recoveries) rewritten in place with \r.
+
+   Long campaigns plateau; the line calls it out by counting consecutive
+   Coverage_sampled events with no new edges.  Rendering is throttled by
+   the context clock so a hot fuzz loop pays one comparison per event,
+   not one terminal write. *)
+
+type t = {
+  ctx : Ctx.t;
+  out : string -> unit;
+  interval_ns : int64;
+  label : string;
+  mutable sink : Event.sink;
+  mutable last_render_ns : int64;
+  mutable started_ns : int64;
+  mutable execs : int;            (* Compile_finished events *)
+  mutable crashes : int;          (* distinct Crash_found events seen *)
+  mutable covered : int;          (* last Coverage_sampled value *)
+  mutable iteration : int;        (* last sampled iteration *)
+  mutable plateau : int;          (* consecutive flat coverage samples *)
+  mutable rendered : bool;        (* something was written (needs clearing) *)
+}
+
+let counter_value (ctx : Ctx.t) name =
+  Metrics.counter_value (Metrics.counter ctx.Ctx.metrics name)
+
+(* Recoveries across the retry/supervision layers, surfaced as one
+   number: transient failures the run absorbed rather than died from. *)
+let recoveries (ctx : Ctx.t) =
+  counter_value ctx "pipeline.retry.recovered"
+  + counter_value ctx "scheduler.retried"
+  + counter_value ctx "scheduler.requeued"
+
+let line (t : t) : string =
+  let elapsed_s =
+    Int64.to_float (Int64.sub (Ctx.now_ns t.ctx) t.started_ns) /. 1e9
+  in
+  let rate =
+    if elapsed_s <= 0. then 0. else float_of_int t.execs /. elapsed_s
+  in
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf
+    (Fmt.str "%s it %d | %d execs (%.0f/s) | %d edges | %d crashes" t.label
+       t.iteration t.execs rate t.covered t.crashes);
+  let rec_ = recoveries t.ctx in
+  if rec_ > 0 then Buffer.add_string buf (Fmt.str " | %d recovered" rec_);
+  if t.plateau >= 3 then
+    Buffer.add_string buf (Fmt.str " | plateau x%d" t.plateau);
+  Buffer.contents buf
+
+let render (t : t) =
+  t.rendered <- true;
+  t.out ("\r\027[K" ^ line t)
+
+let maybe_render (t : t) =
+  let now = Ctx.now_ns t.ctx in
+  if Int64.sub now t.last_render_ns >= t.interval_ns then begin
+    t.last_render_ns <- now;
+    render t
+  end
+
+let default_out s =
+  output_string stderr s;
+  flush stderr
+
+let attach ?(out = default_out) ?(interval_ns = 200_000_000L)
+    ?(label = "fuzz") (ctx : Ctx.t) : t =
+  let now = Ctx.now_ns ctx in
+  let t =
+    {
+      ctx;
+      out;
+      interval_ns;
+      label;
+      sink = Event.null_sink;
+      last_render_ns = now;
+      started_ns = now;
+      execs = 0;
+      crashes = 0;
+      covered = 0;
+      iteration = 0;
+      plateau = 0;
+      rendered = false;
+    }
+  in
+  let sink =
+    {
+      Event.sink_name = "status";
+      emit =
+        (fun e ->
+          (match e with
+          | Event.Compile_finished _ -> t.execs <- t.execs + 1
+          | Event.Crash_found _ -> t.crashes <- t.crashes + 1
+          | Event.Coverage_sampled { iteration; covered } ->
+            t.iteration <- iteration;
+            if covered > t.covered then t.plateau <- 0
+            else t.plateau <- t.plateau + 1;
+            t.covered <- covered
+          | _ -> ());
+          maybe_render t);
+    }
+  in
+  t.sink <- sink;
+  Event.add_sink ctx.Ctx.bus sink;
+  t
+
+(* Final render + clear: leave the summary as an ordinary stderr line so
+   the terminal scrollback keeps the last state. *)
+let finish (t : t) =
+  Event.remove_sink t.ctx.Ctx.bus t.sink;
+  if t.rendered then t.out ("\r\027[K" ^ line t ^ "\n")

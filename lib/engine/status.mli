@@ -1,0 +1,26 @@
+(** Live TTY status line for long-running fuzz/campaign loops.
+
+    A bus sink folds the event stream into a single line — iteration,
+    execs/s, covered edges, crashes, retry recoveries, plateau streak —
+    rewritten in place on stderr (or a custom [out]) at most once per
+    [interval_ns].  Plateau detection counts consecutive
+    [Coverage_sampled] events that gained no edges. *)
+
+type t
+
+val attach :
+  ?out:(string -> unit) ->
+  ?interval_ns:int64 ->
+  ?label:string ->
+  Ctx.t ->
+  t
+(** Install the status sink on the context bus.  [out] defaults to
+    writing stderr (with [\r\027\[K] in-place rewriting); [interval_ns]
+    defaults to 200ms; [label] prefixes the line (default ["fuzz"]). *)
+
+val line : t -> string
+(** The current status line (no control characters) — used by tests. *)
+
+val finish : t -> unit
+(** Detach the sink and, if anything was rendered, leave a final
+    newline-terminated summary so scrollback keeps the last state. *)

@@ -1,0 +1,103 @@
+(* Span-instance buffer behind the Chrome trace-event export.
+
+   The metrics registry keeps only per-name histograms; loading a run in
+   Perfetto/chrome://tracing needs the individual span instances with
+   their wall-clock timestamps.  Each context owns one buffer (a Vec of
+   unboxed-ish records, appended on the Span hot path only when tracing
+   was explicitly enabled); parallel campaigns give each worker its own
+   buffer tagged with the cell's stable tid and merge them in canonical
+   cell order at the join barrier, so the merged event list is
+   deterministic up to the timestamps themselves. *)
+
+type span_rec = {
+  sr_name : string;
+  sr_ts_ns : int64;   (* wall-clock start, nanoseconds *)
+  sr_dur_ns : int64;
+  sr_tid : int;       (* Chrome thread id: the stable cell/worker tag *)
+}
+
+type t = {
+  mutable cur_tid : int;  (* tid stamped on subsequently recorded spans *)
+  spans : span_rec Vec.t;
+  mutable labels : (int * string) list;  (* tid -> display name *)
+}
+
+let create ?(tid = 0) () = { cur_tid = tid; spans = Vec.create (); labels = [] }
+
+let set_tid (t : t) tid = t.cur_tid <- tid
+
+let label_tid (t : t) ~tid ~label =
+  if not (List.mem_assoc tid t.labels) then
+    t.labels <- t.labels @ [ (tid, label) ]
+
+let record (t : t) ~name ~ts_ns ~dur_ns =
+  Vec.push t.spans
+    { sr_name = name; sr_ts_ns = ts_ns; sr_dur_ns = dur_ns; sr_tid = t.cur_tid }
+
+let length (t : t) = Vec.length t.spans
+let spans (t : t) = Vec.to_list t.spans
+
+(* Append a worker buffer, retagging its spans with the worker's stable
+   tid (the worker recorded under its own [cur_tid], usually the same
+   value, but the barrier is authoritative). *)
+let merge ~into:(dst : t) ?tid (src : t) =
+  Vec.iter
+    (fun (r : span_rec) ->
+      let tid = Option.value ~default:r.sr_tid tid in
+      Vec.push dst.spans { r with sr_tid = tid })
+    src.spans;
+  List.iter (fun (tid, l) -> label_tid dst ~tid ~label:l) src.labels
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event rendering                                        *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Chrome trace timestamps are microseconds. *)
+let us ns = Int64.to_float ns /. 1e3
+
+(* The JSON Array Format: one complete ("ph":"X") event object per line,
+   metadata events naming the process and each tid, wrapped in [ ].  The
+   line orientation is what makes the file streamable and greppable; the
+   wrapping keeps it a single valid JSON document for jq and Perfetto. *)
+let to_chrome_lines ?(pid = 1) ?(process_name = "metamut") (t : t) :
+    string list =
+  let meta =
+    Fmt.str
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"%s\"}}"
+      pid (json_escape process_name)
+    :: List.map
+         (fun (tid, label) ->
+           Fmt.str
+             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+             pid tid (json_escape label))
+         t.labels
+  in
+  let events =
+    List.map
+      (fun (r : span_rec) ->
+        Fmt.str
+          "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}"
+          (json_escape r.sr_name) pid r.sr_tid (us r.sr_ts_ns) (us r.sr_dur_ns))
+      (spans t)
+  in
+  let body = meta @ events in
+  let n = List.length body in
+  ("[" :: List.mapi (fun i l -> if i = n - 1 then l else l ^ ",") body) @ [ "]" ]
+
+let to_chrome_string ?pid ?process_name (t : t) =
+  String.concat "\n" (to_chrome_lines ?pid ?process_name t) ^ "\n"

@@ -1,0 +1,44 @@
+(** Span-instance buffer behind the Chrome trace-event export.
+
+    A context that has tracing enabled appends every {!Span} instance
+    here; {!to_chrome_lines} renders the buffer as a Chrome trace-event
+    JSON document (one event per line) loadable in Perfetto or
+    chrome://tracing.  Parallel campaigns merge per-worker buffers at
+    the join barrier in canonical cell order, each under the cell's
+    stable tid. *)
+
+type span_rec = {
+  sr_name : string;
+  sr_ts_ns : int64;   (** wall-clock start, nanoseconds *)
+  sr_dur_ns : int64;
+  sr_tid : int;       (** Chrome thread id: the stable cell/worker tag *)
+}
+
+type t
+
+val create : ?tid:int -> unit -> t
+(** Empty buffer; spans record under [tid] (default 0) until {!set_tid}. *)
+
+val set_tid : t -> int -> unit
+(** Change the tid stamped on subsequently recorded spans (sequential
+    campaigns re-tag one shared buffer per cell). *)
+
+val label_tid : t -> tid:int -> label:string -> unit
+(** Attach a display name to a tid (rendered as a [thread_name]
+    metadata event).  First label per tid wins. *)
+
+val record : t -> name:string -> ts_ns:int64 -> dur_ns:int64 -> unit
+
+val length : t -> int
+val spans : t -> span_rec list
+
+val merge : into:t -> ?tid:int -> t -> unit
+(** Append a worker buffer; [tid] retags every appended span (the join
+    barrier is authoritative over what the worker stamped). *)
+
+val to_chrome_lines : ?pid:int -> ?process_name:string -> t -> string list
+(** The buffer as Chrome trace-event JSON: ["["], one event object per
+    line (["ph":"X"] complete events plus [process_name]/[thread_name]
+    metadata), ["]"]. *)
+
+val to_chrome_string : ?pid:int -> ?process_name:string -> t -> string

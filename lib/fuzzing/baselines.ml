@@ -88,6 +88,39 @@ let havoc_byte_mutation (rng : Rng.t) (src : string) : string =
     Bytes.to_string !buf
   end
 
+(* Trend sampling for the hand-rolled baseline loops: record the point
+   and, when an engine context is threaded, publish it as a
+   Coverage_sampled event so telemetry snapshots and the status line see
+   baseline cells too. *)
+let sample_point ?engine trend ~iteration (result : Fuzz_result.t) =
+  let covered = Simcomp.Coverage.covered result.Fuzz_result.coverage in
+  trend := (iteration, covered) :: !trend;
+  match engine with
+  | None -> ()
+  | Some ctx ->
+    Engine.Ctx.emit ctx
+      (Engine.Event.Coverage_sampled { iteration; covered })
+
+(* The trend always ends at the final iteration (the satellite rule
+   Mucfuzz.run also follows): skip only when the periodic cadence
+   already landed there. *)
+let sample_final ?engine trend ~iterations result =
+  match !trend with
+  | (last, _) :: _ when last = iterations -> ()
+  | _ -> sample_point ?engine trend ~iteration:iterations result
+
+let emit_crash ?engine ~iteration (c : Simcomp.Crash.t) =
+  match engine with
+  | None -> ()
+  | Some ctx ->
+    Engine.Ctx.emit ctx
+      (Engine.Event.Crash_found
+         {
+           key = Simcomp.Crash.unique_key c;
+           stage = Simcomp.Compiler.engine_stage c.Simcomp.Crash.stage;
+           iteration;
+         })
+
 let run_aflpp ?engine ?faults ~rng ~compiler ~seeds ~iterations ~sample_every () :
     Fuzz_result.t =
   let result = Fuzz_result.make ~fuzzer_name:"AFL++" ~compiler in
@@ -124,7 +157,8 @@ let run_aflpp ?engine ?faults ~rng ~compiler ~seeds ~iterations ~sample_every ()
       | Simcomp.Compiler.Compiled _ ->
         result := { !result with compilable_mutants = !result.compilable_mutants + 1 }
       | Simcomp.Compiler.Crashed c ->
-        Fuzz_result.record_crash !result ~iteration:i ~input:mutant c
+        Fuzz_result.record_crash !result ~iteration:i ~input:mutant c;
+        emit_crash ?engine ~iteration:i c
       | Simcomp.Compiler.Compile_error _ -> ());
       (* the merged fresh count doubles as the accept signal: one scan *)
       let fresh =
@@ -132,9 +166,9 @@ let run_aflpp ?engine ?faults ~rng ~compiler ~seeds ~iterations ~sample_every ()
       in
       if fresh > 0 then Engine.Vec.push pool mutant
     done;
-    if i mod sample_every = 0 then
-      trend := (i, Simcomp.Coverage.covered !result.Fuzz_result.coverage) :: !trend
+    if i mod sample_every = 0 then sample_point ?engine trend ~iteration:i !result
   done;
+  sample_final ?engine trend ~iterations !result;
   { !result with iterations; coverage_trend = List.rev !trend }
 
 (* ------------------------------------------------------------------ *)
@@ -162,12 +196,13 @@ let run_generator ?engine ?faults ~name ~(cfg : Ast_gen.config) ~rng ~compiler
     | Simcomp.Compiler.Compiled _ ->
       result := { !result with compilable_mutants = !result.compilable_mutants + 1 }
     | Simcomp.Compiler.Crashed c ->
-      Fuzz_result.record_crash !result ~iteration:i ~input:src c
+      Fuzz_result.record_crash !result ~iteration:i ~input:src c;
+      emit_crash ?engine ~iteration:i c
     | Simcomp.Compiler.Compile_error _ -> ());
     ignore (Simcomp.Coverage.merge ~into:!result.Fuzz_result.coverage scratch);
-    if i mod sample_every = 0 then
-      trend := (i, Simcomp.Coverage.covered !result.Fuzz_result.coverage) :: !trend
+    if i mod sample_every = 0 then sample_point ?engine trend ~iteration:i !result
   done;
+  sample_final ?engine trend ~iterations !result;
   { !result with iterations; coverage_trend = List.rev !trend }
 
 let run_csmith ?engine ?faults ~rng ~compiler ~iterations ~sample_every () =

@@ -159,7 +159,7 @@ let cell_fingerprint (cfg : config) ?faults cell =
 let run ?(cfg = default_config)
     ?(fuzzers = all_fuzzers)
     ?(compilers = Simcomp.Compiler.[ Gcc; Clang ]) ?engine ?faults
-    ?checkpoint ?(resume = false) () : t =
+    ?checkpoint ?(resume = false) ?progress () : t =
   let cells =
     List.concat_map
       (fun fuzzer -> List.map (fun compiler -> (fuzzer, compiler)) compilers)
@@ -192,6 +192,27 @@ let run ?(cfg = default_config)
              ~fingerprint:(fingerprint cell) r))
       checkpoint
   in
+  (* completion ticks for the live status line: invoked from whichever
+     domain finished the cell (callers synchronise if jobs > 1) *)
+  let completed_cells = Atomic.make 0 in
+  let tick cell =
+    match progress with
+    | None -> ()
+    | Some f ->
+      let completed = 1 + Atomic.fetch_and_add completed_cells 1 in
+      f ~completed ~total:(List.length cells) (cell_name cell)
+  in
+  (* Chrome-trace thread identity: the stable cell tag, not the (work-
+     stealing, nondeterministic) worker domain id.  Sequential campaigns
+     re-tag the one shared buffer per cell; parallel workers trace into
+     their own buffer under the cell tag and the join barrier merges in
+     canonical cell order. *)
+  let main_trace =
+    Option.bind engine (fun (e : Engine.Ctx.t) -> e.Engine.Ctx.trace)
+  in
+  let main_probe =
+    Option.bind engine (fun (e : Engine.Ctx.t) -> e.Engine.Ctx.probe)
+  in
   let restored, todo =
     match checkpoint with
     | Some dir when resume ->
@@ -207,36 +228,67 @@ let run ?(cfg = default_config)
     | _ -> ([], cells)
   in
   let computed =
-    if cfg.jobs <= 1 then
-      List.map
-        (fun cell ->
-          match compute ?ctx:engine cell with
-          | r ->
-            save_done ?ctx:engine cell r;
-            (cell, Ok r)
-          | exception e -> (cell, Error (Printexc.to_string e)))
-        todo
+    if cfg.jobs <= 1 then begin
+      let out =
+        List.map
+          (fun cell ->
+            (match main_trace with
+            | Some tr ->
+              let f, c = cell in
+              let tid = cell_tag f c in
+              Engine.Trace.set_tid tr tid;
+              Engine.Trace.label_tid tr ~tid ~label:(cell_name cell)
+            | None -> ());
+            match compute ?ctx:engine cell with
+            | r ->
+              save_done ?ctx:engine cell r;
+              tick cell;
+              (cell, Ok r)
+            | exception e -> (cell, Error (Printexc.to_string e)))
+          todo
+      in
+      (* spans recorded after the campaign belong to the driver again *)
+      Option.iter (fun tr -> Engine.Trace.set_tid tr 0) main_trace;
+      out
+    end
     else begin
       let worker cell =
         let ctx = Engine.Ctx.create () in
+        let f, c = cell in
+        if Option.is_some main_trace then
+          ignore (Engine.Ctx.enable_trace ~tid:(cell_tag f c) ctx);
+        if Option.is_some main_probe then ignore (Engine.Ctx.enable_probe ctx);
         let r = compute ~ctx cell in
+        (* flush the partial GC batch so the merge sees this cell's tail *)
+        Option.iter Engine.Probe.sample ctx.Engine.Ctx.probe;
         save_done ~ctx cell r;
+        tick cell;
         (ctx, r)
       in
       let out =
         Engine.Scheduler.supervised_map ~jobs:cfg.jobs ?faults ?ctx:engine
           worker todo
       in
+      (* join barrier: merge worker registries (and trace buffers, each
+         retagged under its cell tid) into the main context in
+         deterministic cell order *)
       (match engine with
       | None -> ()
       | Some main ->
-        List.iter
-          (function
+        List.iter2
+          (fun cell -> function
             | Ok (ctx, _) ->
               Engine.Metrics.merge ~into:main.Engine.Ctx.metrics
-                ctx.Engine.Ctx.metrics
+                ctx.Engine.Ctx.metrics;
+              (match (main_trace, ctx.Engine.Ctx.trace) with
+              | Some into, Some src ->
+                let f, c = cell in
+                let tid = cell_tag f c in
+                Engine.Trace.label_tid into ~tid ~label:(cell_name cell);
+                Engine.Trace.merge ~into ~tid src
+              | _ -> ())
             | Error _ -> ())
-          out);
+          todo out);
       List.map2
         (fun cell -> function
           | Ok (_, r) -> (cell, Ok r)

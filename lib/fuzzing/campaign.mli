@@ -51,6 +51,10 @@ val run_one :
 
 type cell = fuzzer_id * Simcomp.Compiler.compiler
 
+val cell_name : cell -> string
+(** Stable display name, ["<fuzzer>-<compiler>"] — also the Chrome-trace
+    thread label and the checkpoint file stem. *)
+
 type t = {
   config : config;
   results : (cell * Fuzz_result.t) list;
@@ -69,6 +73,7 @@ val run :
   ?faults:Engine.Faults.t ->
   ?checkpoint:string ->
   ?resume:bool ->
+  ?progress:(completed:int -> total:int -> string -> unit) ->
   unit ->
   t
 (** Run every (fuzzer, compiler) cell, fanning out over [cfg.jobs]
@@ -78,7 +83,14 @@ val run :
     sequential mode the context is threaded straight through; in
     parallel mode each worker gets a private context and the join
     barrier {!Engine.Metrics.merge}s worker registries into [engine] in
-    cell order (per-worker events are not forwarded).
+    cell order (per-worker events are not forwarded).  When [engine]
+    has tracing enabled, spans carry the stable {!cell_tag} as their
+    Chrome-trace thread id (sequential mode re-tags the shared buffer;
+    parallel workers trace privately and {!Engine.Trace.merge} happens
+    at the join barrier in canonical cell order), so merged traces are
+    deterministic up to timestamps.  [progress] is called once per
+    completed cell with its display name — from whichever domain
+    finished it, so callers synchronise when [cfg.jobs > 1].
 
     Parallel cells run under {!Engine.Scheduler.supervised_map}: a cell
     that keeps failing lands in [failures] instead of destroying

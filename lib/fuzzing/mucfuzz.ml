@@ -347,6 +347,20 @@ let run ?options ?(cfg = default_config ()) ?engine ?faults ?checkpoint
         sample_trend st ~iteration:i;
         save_checkpoint i
       done);
+  (* the trend always ends at the final iteration, even when
+     [iterations mod sample_every <> 0] — downstream plots and reports
+     otherwise truncate the tail.  Guarded on the trend head so a run
+     resumed from a snapshot taken at the last iteration (whose loop
+     body never executes) doesn't append a duplicate sample. *)
+  (match !(st.trend_rev) with
+  | (last, _) :: _ when last = iterations -> ()
+  | _ ->
+    Engine.Ctx.emit st.engine
+      (Engine.Event.Coverage_sampled
+         {
+           iteration = iterations;
+           covered = Simcomp.Coverage.covered st.result.Fuzz_result.coverage;
+         }));
   (* detach the trend listener so a shared engine context can host
      subsequent runs without cross-feeding *)
   Engine.Event.remove_sink st.engine.Engine.Ctx.bus st.trend_sink;

@@ -1,0 +1,20 @@
+(** The post-run markdown report ([campaign-report.md]): per-fuzzer
+    summary, coverage trends, crash buckets by pipeline stage, and —
+    when an engine context is supplied — the per-mutator accept/reject
+    table, the fault/retry recovery summary, and the span-time table
+    from its metrics registry. *)
+
+val render :
+  title:string ->
+  ?preamble:string ->
+  ?engine:Engine.Ctx.t ->
+  (string * Fuzz_result.t) list ->
+  string
+(** The generic assembler over labelled results. *)
+
+val fuzz : ?engine:Engine.Ctx.t -> Fuzz_result.t -> string
+(** Report for a single fuzz run. *)
+
+val campaign : ?engine:Engine.Ctx.t -> Campaign.t -> string
+(** Report for a campaign: one summary row per cell, failed/restored
+    cell accounting in the preamble. *)

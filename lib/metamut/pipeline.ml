@@ -156,6 +156,13 @@ let attempt_once ~cfg ?engine (llm : Llm_sim.t)
           (match engine with
           | None -> ()
           | Some ctx ->
+            (* per-goal repair outcomes as a counter family, so metrics
+               snapshots show *which* validation goals resist fixing
+               without replaying the event stream *)
+            Engine.Ctx.incr ctx
+              (Fmt.str "pipeline.goal.%s.%d"
+                 (if success then "fixed" else "unfixed")
+                 goal);
             Engine.Ctx.emit ctx (Engine.Event.Pipeline_goal (goal, success)));
           bugfix := add_usage !bugfix usage;
           if success then begin

@@ -1,0 +1,42 @@
+(* Small markdown builders for the post-run report: GitHub-flavoured
+   pipe tables, headings and fenced code blocks, assembled into one
+   document string.  Kept dependency-free (strings in, string out) so
+   both the fuzzing layer and the CLI can render reports. *)
+
+let heading ?(level = 2) title =
+  String.make (max 1 (min 6 level)) '#' ^ " " ^ title ^ "\n\n"
+
+let paragraph s = s ^ "\n\n"
+
+let code_block ?(lang = "") body =
+  let body =
+    if String.length body > 0 && body.[String.length body - 1] = '\n' then body
+    else body ^ "\n"
+  in
+  "```" ^ lang ^ "\n" ^ body ^ "```\n\n"
+
+let bullet items =
+  String.concat "" (List.map (fun s -> "- " ^ s ^ "\n") items) ^ "\n"
+
+(* A pipe table; cells are escaped just enough ('|' would break the
+   row structure) and the first column is left-aligned, the rest right-
+   aligned, matching the numeric tables this report is made of. *)
+let escape_cell s =
+  String.concat "\\|" (String.split_on_char '|' s)
+
+let table ~header rows =
+  let row cells =
+    "| " ^ String.concat " | " (List.map escape_cell cells) ^ " |\n"
+  in
+  let align =
+    "|:---"
+    ^ String.concat "" (List.map (fun _ -> "|---:") (List.tl header))
+    ^ "|\n"
+  in
+  row header ^ align ^ String.concat "" (List.map row rows) ^ "\n"
+
+type doc = Buffer.t
+
+let doc () : doc = Buffer.create 4096
+let add (d : doc) s = Buffer.add_string d s
+let contents (d : doc) = Buffer.contents d

@@ -1,0 +1,25 @@
+(** Markdown builders for the post-run [campaign-report.md]: headings,
+    pipe tables, fenced code blocks, bullet lists.  Strings in, string
+    out — no model types, so any layer can render a report. *)
+
+val heading : ?level:int -> string -> string
+(** [heading ~level t] (default level 2), newline-terminated. *)
+
+val paragraph : string -> string
+
+val code_block : ?lang:string -> string -> string
+(** Fenced block; the body gains a trailing newline if it lacks one. *)
+
+val bullet : string list -> string
+
+val table : header:string list -> string list list -> string
+(** GitHub pipe table: first column left-aligned, the rest right-
+    aligned; ['|'] in cells is escaped. *)
+
+(** {2 Document accumulation} *)
+
+type doc
+
+val doc : unit -> doc
+val add : doc -> string -> unit
+val contents : doc -> string

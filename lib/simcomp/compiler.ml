@@ -328,7 +328,15 @@ let record_outcome ?(cached = false) engine (outcome : outcome) =
       | Engine.Event.Compiled_ok -> k.oc_ok
       | Engine.Event.Compile_failed -> k.oc_error
       | Engine.Event.Crashed -> k.oc_crash);
-    if cached then Engine.Metrics.incr k.oc_cached;
+    if cached then Engine.Metrics.incr k.oc_cached
+    else begin
+      (* cache hits replay a memoized outcome without compiling, so they
+         don't advance the GC probe batch: minor-words-per-compile means
+         per *real* compile *)
+      match ctx.Engine.Ctx.probe with
+      | Some p -> Engine.Probe.on_compile p
+      | None -> ()
+    end;
     Engine.Ctx.emit ctx (Engine.Event.Compile_finished (kind, stage))
 
 (* The watchdog fuel barrier: a compile that would stall its worker

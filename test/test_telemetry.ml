@@ -1,0 +1,480 @@
+(* Tests for the telemetry export layer: gauge merge policies, the
+   Chrome trace buffer and its JSON rendering (golden, under a fake
+   clock), Prometheus/JSON snapshot exporters (golden + round-trip
+   parse), GC probes, the live status line, the final-trend-sample rule,
+   and jobs:N invariance of the deterministic telemetry snapshot. *)
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let is_infix ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+(* A deterministic nanosecond clock: +1ms per reading. *)
+let fake_clock () =
+  let t = ref 0L in
+  fun () ->
+    t := Int64.add !t 1_000_000L;
+    !t
+
+(* ------------------------------------------------------------------ *)
+(* Gauge merge policies (Metrics.merge used to be last-writer-wins)     *)
+(* ------------------------------------------------------------------ *)
+
+let gauge_policy_tests =
+  [
+    tc "Max keeps the high-water mark across merge order" (fun () ->
+        let merged order =
+          let dst = Engine.Metrics.create () in
+          List.iter
+            (fun v ->
+              let src = Engine.Metrics.create () in
+              Engine.Metrics.set (Engine.Metrics.gauge src "hw") v;
+              Engine.Metrics.merge ~into:dst src)
+            order;
+          Engine.Metrics.gauge_value (Engine.Metrics.gauge dst "hw")
+        in
+        check (Alcotest.float 1e-9) "ascending" 9. (merged [ 1.; 5.; 9. ]);
+        check (Alcotest.float 1e-9) "descending" 9. (merged [ 9.; 5.; 1. ]));
+    tc "Sum accumulates worker deltas" (fun () ->
+        let dst = Engine.Metrics.create () in
+        List.iter
+          (fun v ->
+            let src = Engine.Metrics.create () in
+            Engine.Metrics.set
+              (Engine.Metrics.gauge ~policy:Engine.Metrics.Sum src "d")
+              v;
+            Engine.Metrics.merge ~into:dst src)
+          [ 2.; 3.; 4. ];
+        check (Alcotest.float 1e-9) "sum" 9.
+          (Engine.Metrics.gauge_value (Engine.Metrics.gauge dst "d"));
+        (* the destination's policy governs: it was created on first
+           merge with the source's policy *)
+        check Alcotest.bool "policy propagated" true
+          (Engine.Metrics.gauge_policy (Engine.Metrics.gauge dst "d")
+          = Engine.Metrics.Sum));
+    tc "Last takes the most recent merge" (fun () ->
+        let dst = Engine.Metrics.create () in
+        List.iter
+          (fun v ->
+            let src = Engine.Metrics.create () in
+            Engine.Metrics.set
+              (Engine.Metrics.gauge ~policy:Engine.Metrics.Last src "l")
+              v;
+            Engine.Metrics.merge ~into:dst src)
+          [ 7.; 3. ];
+        check (Alcotest.float 1e-9) "last" 3.
+          (Engine.Metrics.gauge_value (Engine.Metrics.gauge dst "l")));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let trace_tests =
+  [
+    tc "span instances render as golden Chrome trace JSON" (fun () ->
+        let ctx = Engine.Ctx.create ~clock:(fake_clock ()) () in
+        let tr = Engine.Ctx.enable_trace ~tid:7 ctx in
+        Engine.Trace.label_tid tr ~tid:7 ~label:"worker-7";
+        ignore (Engine.Span.with_ ctx ~name:"compile.opt" (fun () -> 42));
+        let lines = Engine.Trace.to_chrome_lines ~pid:1 tr in
+        let expected =
+          [
+            "[";
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"metamut\"}},";
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":7,\"args\":{\"name\":\"worker-7\"}},";
+            "{\"name\":\"compile.opt\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":1,\"tid\":7,\"ts\":1000.000,\"dur\":1000.000}";
+            "]";
+          ]
+        in
+        check (Alcotest.list Alcotest.string) "golden" expected lines);
+    tc "trace JSON escapes span names" (fun () ->
+        let tr = Engine.Trace.create () in
+        Engine.Trace.record tr ~name:"a\"b\\c" ~ts_ns:0L ~dur_ns:1L;
+        let s = Engine.Trace.to_chrome_string tr in
+        check Alcotest.bool "escaped quote" true
+          (is_infix ~affix:{|a\"b\\c|} s));
+    tc "merge retags worker spans under the cell tid" (fun () ->
+        let main = Engine.Trace.create ~tid:0 () in
+        let worker = Engine.Trace.create ~tid:3 () in
+        Engine.Trace.record worker ~name:"w" ~ts_ns:5L ~dur_ns:6L;
+        Engine.Trace.record main ~name:"m" ~ts_ns:1L ~dur_ns:2L;
+        Engine.Trace.merge ~into:main ~tid:42 worker;
+        let tids =
+          List.map (fun s -> s.Engine.Trace.sr_tid) (Engine.Trace.spans main)
+        in
+        check (Alcotest.list Alcotest.int) "tids" [ 0; 42 ] tids);
+    tc "set_tid re-tags subsequent spans (sequential campaign)" (fun () ->
+        let tr = Engine.Trace.create ~tid:1 () in
+        Engine.Trace.record tr ~name:"a" ~ts_ns:0L ~dur_ns:1L;
+        Engine.Trace.set_tid tr 2;
+        Engine.Trace.record tr ~name:"b" ~ts_ns:0L ~dur_ns:1L;
+        let tids =
+          List.map (fun s -> s.Engine.Trace.sr_tid) (Engine.Trace.spans tr)
+        in
+        check (Alcotest.list Alcotest.int) "tids" [ 1; 2 ] tids);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus / JSON exporters                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A minimal parser for the Prometheus text exposition format: returns
+   (name, labels-part, value) triples for sample lines. *)
+let parse_prom text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> l <> "" && not (String.starts_with ~prefix:"#" l))
+  |> List.map (fun l ->
+         match String.rindex_opt l ' ' with
+         | None -> Alcotest.fail ("malformed sample line: " ^ l)
+         | Some i ->
+           let key = String.sub l 0 i in
+           let value =
+             float_of_string (String.sub l (i + 1) (String.length l - i - 1))
+           in
+           (key, value))
+
+let golden_registry () =
+  let m = Engine.Metrics.create () in
+  Engine.Metrics.incr ~by:12 (Engine.Metrics.counter m "mucfuzz.accept.X");
+  Engine.Metrics.set (Engine.Metrics.gauge m "gc.heap_words") 4096.;
+  let h = Engine.Metrics.histogram ~edges:[| 1.; 10. |] m "lat" in
+  List.iter (Engine.Metrics.observe h) [ 0.5; 5.; 50. ];
+  m
+
+let exporter_tests =
+  [
+    tc "prometheus text is golden for a known registry" (fun () ->
+        let text =
+          Engine.Telemetry.prometheus_of_snapshot
+            (Engine.Metrics.snapshot (golden_registry ()))
+        in
+        let expected =
+          String.concat "\n"
+            [
+              "# TYPE metamut_gc_heap_words gauge";
+              "metamut_gc_heap_words 4096";
+              "# TYPE metamut_lat histogram";
+              "metamut_lat_bucket{le=\"1\"} 1";
+              "metamut_lat_bucket{le=\"10\"} 2";
+              "metamut_lat_bucket{le=\"+Inf\"} 3";
+              "metamut_lat_sum 55.5";
+              "metamut_lat_count 3";
+              "# TYPE metamut_mucfuzz_accept_X counter";
+              "metamut_mucfuzz_accept_X 12";
+              "";
+            ]
+        in
+        check Alcotest.string "golden" expected text);
+    tc "prometheus samples round-trip through a parser" (fun () ->
+        let samples =
+          parse_prom
+            (Engine.Telemetry.prometheus_of_snapshot
+               (Engine.Metrics.snapshot (golden_registry ())))
+        in
+        let get k = List.assoc k samples in
+        check (Alcotest.float 1e-9) "counter" 12.
+          (get "metamut_mucfuzz_accept_X");
+        check (Alcotest.float 1e-9) "gauge" 4096. (get "metamut_gc_heap_words");
+        (* histogram buckets are cumulative and end at +Inf = count *)
+        check Alcotest.bool "buckets monotone" true
+          (get "metamut_lat_bucket{le=\"1\"}"
+           <= get "metamut_lat_bucket{le=\"10\"}"
+          && get "metamut_lat_bucket{le=\"10\"}"
+             <= get "metamut_lat_bucket{le=\"+Inf\"}");
+        check (Alcotest.float 1e-9) "inf bucket = count" (get "metamut_lat_count")
+          (get "metamut_lat_bucket{le=\"+Inf\"}"));
+    tc "prom_name sanitizes to the exposition charset" (fun () ->
+        check Alcotest.string "dots and dashes" "metamut_a_b_c_1"
+          (Engine.Telemetry.prom_name "a.b-c 1"));
+    tc "json snapshot is golden for a known registry" (fun () ->
+        let json =
+          Engine.Telemetry.json_of_snapshot
+            (Engine.Metrics.snapshot (golden_registry ()))
+        in
+        let expected =
+          String.concat "\n"
+            [
+              "{";
+              "  \"counters\": {";
+              "    \"mucfuzz.accept.X\": 12";
+              "  },";
+              "  \"gauges\": {";
+              "    \"gc.heap_words\": 4096";
+              "  },";
+              "  \"histograms\": {";
+              "    \"lat\": {\"edges\": [1,10], \"counts\": [1,1,1], \"sum\": 55.5, \"total\": 3}";
+              "  }";
+              "}";
+              "";
+            ]
+        in
+        check Alcotest.string "golden" expected json);
+    tc "deterministic_snapshot strips span/gc/telemetry families" (fun () ->
+        let m = Engine.Metrics.create () in
+        Engine.Metrics.incr (Engine.Metrics.counter m "compile.total");
+        Engine.Metrics.incr (Engine.Metrics.counter m "telemetry.flushes");
+        Engine.Metrics.set (Engine.Metrics.gauge m "gc.heap_words") 1.;
+        ignore (Engine.Metrics.histogram m "span.compile.opt");
+        let names = List.map fst (Engine.Telemetry.deterministic_snapshot m) in
+        check (Alcotest.list Alcotest.string) "only deterministic families"
+          [ "compile.total" ] names);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* GC probe                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let probe_tests =
+  [
+    tc "probe samples per batch and on demand" (fun () ->
+        let m = Engine.Metrics.create () in
+        let p = Engine.Probe.create ~batch:2 m in
+        (* allocate visibly between compiles *)
+        let sink = ref [] in
+        for i = 1 to 3 do
+          sink := List.init 1000 (fun j -> (i * j, string_of_int j)) :: !sink;
+          Engine.Probe.on_compile p
+        done;
+        (* 3 compiles at batch 2: one automatic sample, one partial *)
+        Engine.Probe.sample p;
+        (match
+           List.assoc_opt "gc.minor_words_per_compile" (Engine.Metrics.snapshot m)
+         with
+        | Some (Engine.Metrics.Histogram { total; _ }) ->
+          check Alcotest.int "two samples" 2 total
+        | _ -> Alcotest.fail "missing histogram");
+        check Alcotest.bool "allocation observed" true
+          (Engine.Probe.minor_words_mean p > 0.);
+        ignore !sink);
+    tc "probe instruments never include counters" (fun () ->
+        (* the parallel-merge invariance test compares Counter-filtered
+           snapshots; GC readings must stay out of that universe *)
+        let m = Engine.Metrics.create () in
+        let p = Engine.Probe.create ~batch:1 m in
+        Engine.Probe.on_compile p;
+        List.iter
+          (fun (name, v) ->
+            if String.starts_with ~prefix:"gc." name then
+              match v with
+              | Engine.Metrics.Counter _ ->
+                Alcotest.fail ("gc counter leaked: " ^ name)
+              | _ -> ())
+          (Engine.Metrics.snapshot m));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Status line                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let status_tests =
+  [
+    tc "status line folds events and detects plateaus" (fun () ->
+        let ctx = Engine.Ctx.create ~clock:(fake_clock ()) () in
+        let out = Buffer.create 128 in
+        let st =
+          Engine.Status.attach
+            ~out:(Buffer.add_string out)
+            ~interval_ns:0L ~label:"t" ctx
+        in
+        for _ = 1 to 5 do
+          Engine.Ctx.emit ctx
+            (Engine.Event.Compile_finished
+               (Engine.Event.Compiled_ok, Engine.Event.Backend))
+        done;
+        Engine.Ctx.emit ctx
+          (Engine.Event.Crash_found
+             { key = "k"; stage = Engine.Event.Opt; iteration = 3 });
+        Engine.Ctx.emit ctx
+          (Engine.Event.Coverage_sampled { iteration = 10; covered = 100 });
+        let line = Engine.Status.line st in
+        check Alcotest.bool "execs" true
+          (is_infix ~affix:"5 execs" line);
+        check Alcotest.bool "crashes" true
+          (is_infix ~affix:"1 crashes" line);
+        check Alcotest.bool "edges" true
+          (is_infix ~affix:"100 edges" line);
+        check Alcotest.bool "no plateau yet" false
+          (is_infix ~affix:"plateau" line);
+        (* four flat samples in a row *)
+        for i = 11 to 14 do
+          Engine.Ctx.emit ctx
+            (Engine.Event.Coverage_sampled { iteration = i; covered = 100 })
+        done;
+        check Alcotest.bool "plateau flagged" true
+          (is_infix ~affix:"plateau x4" (Engine.Status.line st));
+        (* fresh coverage resets the streak *)
+        Engine.Ctx.emit ctx
+          (Engine.Event.Coverage_sampled { iteration = 15; covered = 101 });
+        check Alcotest.bool "plateau cleared" false
+          (is_infix ~affix:"plateau" (Engine.Status.line st));
+        Engine.Status.finish st;
+        (* detached: further events no longer count *)
+        let n = Buffer.length out in
+        Engine.Ctx.emit ctx
+          (Engine.Event.Compile_finished
+             (Engine.Event.Compiled_ok, Engine.Event.Backend));
+        check Alcotest.int "no output after finish" n (Buffer.length out));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Final trend sample (the tail is never truncated)                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_mucfuzz ~sample_every ~iterations =
+  let seeds = Fuzzing.Seeds.corpus ~n:8 (Cparse.Rng.create 3) in
+  Fuzzing.Mucfuzz.run
+    ~cfg:
+      {
+        (Fuzzing.Mucfuzz.default_config ()) with
+        Fuzzing.Mucfuzz.max_attempts_per_iteration = 4;
+        sample_every;
+      }
+    ~rng:(Cparse.Rng.create 11) ~compiler:Simcomp.Compiler.Gcc ~seeds
+    ~iterations ~name:"t" ()
+
+let trend_tail_tests =
+  [
+    tc "trend ends at the final iteration when the cadence misses it"
+      (fun () ->
+        let r = run_mucfuzz ~sample_every:7 ~iterations:10 in
+        match List.rev r.Fuzzing.Fuzz_result.coverage_trend with
+        | (last, _) :: _ -> check Alcotest.int "tail iteration" 10 last
+        | [] -> Alcotest.fail "empty trend");
+    tc "no duplicate sample when the cadence already landed there"
+      (fun () ->
+        let r = run_mucfuzz ~sample_every:5 ~iterations:10 in
+        let iters = List.map fst r.Fuzzing.Fuzz_result.coverage_trend in
+        check
+          (Alcotest.list Alcotest.int)
+          "each iteration sampled once"
+          (List.sort_uniq compare iters)
+          iters;
+        check Alcotest.int "tail iteration" 10
+          (List.nth iters (List.length iters - 1)));
+    tc "baseline trends end at the final iteration too" (fun () ->
+        let seeds = Fuzzing.Seeds.corpus ~n:6 (Cparse.Rng.create 3) in
+        let r =
+          Fuzzing.Baselines.run_aflpp ~rng:(Cparse.Rng.create 4)
+            ~compiler:Simcomp.Compiler.Gcc ~seeds ~iterations:10
+            ~sample_every:7 ()
+        in
+        match List.rev r.Fuzzing.Fuzz_result.coverage_trend with
+        | (last, _) :: _ -> check Alcotest.int "tail iteration" 10 last
+        | [] -> Alcotest.fail "empty trend");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry attach / flush / finalize and jobs:N invariance           *)
+(* ------------------------------------------------------------------ *)
+
+let temp_dir name =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) name in
+  dir
+
+let telemetry_tests =
+  [
+    tc "attach/flush/finalize write the artifact files" (fun () ->
+        let dir = temp_dir "metamut-tel-test" in
+        let ctx = Engine.Ctx.create ~clock:(fake_clock ()) () in
+        let t = Engine.Telemetry.attach ~flush_every:1 ~dir ctx in
+        ignore (Engine.Span.with_ ctx ~name:"x" (fun () -> ()));
+        Engine.Ctx.emit ctx
+          (Engine.Event.Coverage_sampled { iteration = 1; covered = 5 });
+        Engine.Telemetry.finalize ~report:"# hi\n" t;
+        let read f =
+          let ic = open_in_bin (Filename.concat dir f) in
+          let s = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          s
+        in
+        let trace = read Engine.Telemetry.trace_file in
+        check Alcotest.bool "trace is a JSON array" true
+          (String.starts_with ~prefix:"[\n" trace
+          && String.ends_with ~suffix:"]\n" trace);
+        check Alcotest.bool "prom has the span histogram" true
+          (is_infix ~affix:"metamut_span_x"
+             (read Engine.Telemetry.prom_file));
+        check Alcotest.bool "json has sections" true
+          (is_infix ~affix:"\"histograms\""
+             (read Engine.Telemetry.json_file));
+        check Alcotest.string "report written" "# hi\n"
+          (read Engine.Telemetry.report_file);
+        (* the periodic sink is gone after finalize: further samples no
+           longer bump the flush counter *)
+        let flushes () =
+          Engine.Metrics.counter_value
+            (Engine.Metrics.counter ctx.Engine.Ctx.metrics "telemetry.flushes")
+        in
+        let before = flushes () in
+        Engine.Ctx.emit ctx
+          (Engine.Event.Coverage_sampled { iteration = 2; covered = 6 });
+        check Alcotest.int "sink detached" before (flushes ()));
+    tc "merged telemetry is identical at jobs:1 and jobs:4" (fun () ->
+        let cfg =
+          {
+            Fuzzing.Campaign.default_config with
+            iterations = 10;
+            seeds = 8;
+            sample_every = 4;
+            max_attempts = 4;
+          }
+        in
+        let snapshot jobs =
+          let engine = Engine.Ctx.create () in
+          ignore (Engine.Ctx.enable_trace engine);
+          ignore (Engine.Ctx.enable_probe engine);
+          ignore
+            (Fuzzing.Campaign.run
+               ~cfg:{ cfg with Fuzzing.Campaign.jobs }
+               ~engine ());
+          Engine.Telemetry.deterministic_snapshot engine.Engine.Ctx.metrics
+        in
+        check Alcotest.bool "identical deterministic snapshots" true
+          (snapshot 1 = snapshot 4));
+    tc "campaign report renders the load-bearing sections" (fun () ->
+        let cfg =
+          {
+            Fuzzing.Campaign.default_config with
+            iterations = 8;
+            seeds = 6;
+            sample_every = 4;
+            max_attempts = 4;
+            jobs = 1;
+          }
+        in
+        let engine = Engine.Ctx.create () in
+        let t =
+          Fuzzing.Campaign.run ~cfg
+            ~fuzzers:[ Fuzzing.Campaign.MuCFuzz_u ]
+            ~engine ()
+        in
+        let md = Fuzzing.Run_report.campaign ~engine t in
+        List.iter
+          (fun affix ->
+            check Alcotest.bool affix true
+              (is_infix ~affix md))
+          [
+            "# Campaign report";
+            "## Run summary";
+            "## Coverage trend";
+            "## Per-mutator outcomes";
+            "## Fault & retry recovery";
+            "uCFuzz.u-GCC";
+          ]);
+  ]
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ("gauge-policy", gauge_policy_tests);
+      ("trace", trace_tests);
+      ("exporters", exporter_tests);
+      ("probe", probe_tests);
+      ("status", status_tests);
+      ("trend-tail", trend_tail_tests);
+      ("telemetry", telemetry_tests);
+    ]
