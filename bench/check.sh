@@ -156,6 +156,59 @@ if [ -x "$CLI" ]; then
   rm -rf "$CKPT" "$TELA" "$TELB"
 fi
 
+echo "== smoke: culprit-pass bisection =="
+if [ -x "$CLI" ]; then
+  # A canned wrong-code finding (the seeded reassociation miscompile):
+  # bisection must name constfold, deterministically.
+  WC=$(mktemp /tmp/wrongcode_XXXXXX.c)
+  cat > "$WC" <<'EOF'
+int r[6];
+int total;
+int main(void) {
+  int a = (int)(char)100;
+  for (int i = 0; i < 3; i++) total += i;
+  for (int j = 0; j < 3; j++) total += j;
+  r[1] += r[0];
+  r[2] += r[1];
+  r[3] += r[2];
+  total = a - 7;
+  return total & 255;
+}
+EOF
+  "$CLI" bisect "$WC" -c gcc -O 2 > /tmp/bisect_1.txt
+  grep -q '^culprit passes:  constfold$' /tmp/bisect_1.txt || {
+    echo "FAIL: bisect did not name constfold as the culprit" >&2
+    cat /tmp/bisect_1.txt >&2
+    exit 1
+  }
+  grep -q '^first divergent: constfold$' /tmp/bisect_1.txt || {
+    echo "FAIL: per-pass differential did not flag constfold" >&2
+    cat /tmp/bisect_1.txt >&2
+    exit 1
+  }
+  "$CLI" bisect "$WC" -c gcc -O 2 > /tmp/bisect_2.txt
+  if cmp -s /tmp/bisect_1.txt /tmp/bisect_2.txt; then
+    echo "bisect verdict deterministic: constfold"
+  else
+    echo "FAIL: bisect verdict not deterministic" >&2
+    exit 1
+  fi
+  rm -f "$WC"
+fi
+
+echo "== smoke: campaign --bisect determinism across job counts =="
+if [ -x "$CLI" ]; then
+  "$CLI" campaign --iterations 10 --jobs 1 --bisect > /tmp/campaign_b1.txt
+  "$CLI" campaign --iterations 10 --jobs 4 --bisect > /tmp/campaign_b4.txt
+  if cmp -s /tmp/campaign_b1.txt /tmp/campaign_b4.txt; then
+    echo "campaign --bisect output identical for --jobs 1 and --jobs 4"
+  else
+    echo "FAIL: campaign --bisect output differs between job counts" >&2
+    diff /tmp/campaign_b1.txt /tmp/campaign_b4.txt >&2 || true
+    exit 1
+  fi
+fi
+
 echo "== smoke: fuzz-throughput bench =="
 # Smoke mode keeps CI fast; this gate only checks the bench runs and
 # emits well-formed JSON — perf numbers are informational, not gating.

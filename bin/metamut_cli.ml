@@ -112,6 +112,8 @@ let render_mutator_counters (ctx : Engine.Ctx.t) =
 let render_metrics (ctx : Engine.Ctx.t) =
   render_spans ctx;
   render_counter_family ctx ~title:"Compile outcomes" ~prefix:"compile." ();
+  render_counter_family ctx ~title:"Per-pass activity" ~prefix:"opt.pass." ();
+  render_counter_family ctx ~title:"Bisection" ~prefix:"bisect." ();
   render_counter_family ctx ~title:"Pipeline outcomes"
     ~prefix:"pipeline.outcome." ();
   render_counter_family ctx ~title:"Pipeline retry" ~prefix:"pipeline.retry."
@@ -276,18 +278,74 @@ let mutate_cmd =
 let compiler_conv =
   Arg.enum [ ("gcc", Simcomp.Compiler.Gcc); ("clang", Simcomp.Compiler.Clang) ]
 
-let compile file compiler opt emit_ir =
+(* Shared pass-pipeline flags: -O, --fno PASS (repeatable), --passes. *)
+let options_term =
+  let opt = Arg.(value & opt int 2 & info [ "O" ] ~doc:"Optimization level.") in
+  let fno =
+    Arg.(
+      value & opt_all string []
+      & info [ "fno" ] ~docv:"PASS" ~doc:"Disable a pass (repeatable).")
+  in
+  let passes =
+    Arg.(
+      value
+      & opt (some (list ~sep:',' string)) None
+      & info [ "passes" ] ~docv:"LIST"
+          ~doc:"Explicit comma-separated pass pipeline overriding the -O spec.")
+  in
+  let build opt_level disabled_passes pass_list =
+    {
+      Simcomp.Compiler.default_options with
+      opt_level;
+      disabled_passes;
+      pass_list;
+    }
+  in
+  Term.(const build $ opt $ fno $ passes)
+
+let dump_ir_term =
+  let dump_conv =
+    Arg.conv
+      ( (fun s ->
+          Ok
+            (if String.equal s "" || String.equal s "all" then
+               Simcomp.Compiler.Dump_all
+             else Simcomp.Compiler.Dump_pass s)),
+        fun ppf d ->
+          Fmt.string ppf
+            (match d with
+            | Simcomp.Compiler.Dump_none -> "none"
+            | Simcomp.Compiler.Dump_all -> "all"
+            | Simcomp.Compiler.Dump_pass p -> p) )
+  in
+  Arg.(
+    value
+    & opt ~vopt:Simcomp.Compiler.Dump_all dump_conv Simcomp.Compiler.Dump_none
+    & info [ "dump-ir" ] ~docv:"PASS"
+        ~doc:"Print IR before/after each pass (or only $(docv)).")
+
+let compile file compiler options dump_ir emit_ir =
   let src = read_file file in
-  let options = { Simcomp.Compiler.opt_level = opt; disabled_passes = [] } in
-  if emit_ir then begin
-    match Cparse.Parser.parse src with
-    | Error e -> Fmt.failwith "parse error: %s" e
-    | Ok tu ->
-      let tc = Cparse.Typecheck.check tu in
-      if not tc.Cparse.Typecheck.r_ok then Fmt.failwith "does not type check";
-      let p = Simcomp.Lower.lower_tu tu tc in
-      ignore (Simcomp.Opt.run_pipeline ~level:opt ~disabled:[] p);
-      print_string (Simcomp.Ir.program_to_string p)
+  let options = { options with Simcomp.Compiler.dump_ir } in
+  let dumping = dump_ir <> Simcomp.Compiler.Dump_none in
+  if emit_ir || dumping then begin
+    match Simcomp.Compiler.compile_passes compiler options src with
+    | Error e -> Fmt.failwith "%s" e
+    | Ok tr ->
+      List.iter
+        (fun (st : Simcomp.Compiler.pass_step) ->
+          (match st.st_ir_before with
+          | Some ir ->
+            Fmt.pr ";; IR before %s [%d]@.%s" st.st_pass st.st_index ir
+          | None -> ());
+          match st.st_ir_after with
+          | Some ir ->
+            Fmt.pr ";; IR after %s [%d] (%d changes)@.%s" st.st_pass
+              st.st_index st.st_changes ir
+          | None -> ())
+        tr.Simcomp.Compiler.pt_steps;
+      if emit_ir then
+        print_string (Simcomp.Ir.program_to_string tr.Simcomp.Compiler.pt_program)
   end
   else begin
     let cov = Simcomp.Coverage.create () in
@@ -312,11 +370,82 @@ let compile_cmd =
       value & opt compiler_conv Simcomp.Compiler.Gcc
       & info [ "c"; "compiler" ] ~doc:"gcc or clang.")
   in
-  let opt = Arg.(value & opt int 2 & info [ "O" ] ~doc:"Optimization level.") in
   let emit_ir = Arg.(value & flag & info [ "emit-ir" ] ~doc:"Print the IR.") in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a C file with the simulated compiler")
-    Term.(const compile $ file $ compiler $ opt $ emit_ir)
+    Term.(const compile $ file $ compiler $ options_term $ dump_ir_term $ emit_ir)
+
+(* ------------------------------------------------------------------ *)
+(* passes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let passes options =
+  let disabled = options.Simcomp.Compiler.disabled_passes in
+  let t =
+    Report.Table.create ~title:"Registered passes"
+      ~header:[ "pass"; "default placement"; "status" ]
+  in
+  List.iter
+    (fun (p : Simcomp.Opt.pass) ->
+      Report.Table.add_row t
+        [
+          p.Simcomp.Opt.pass_name;
+          Fmt.str "-O%d" p.Simcomp.Opt.pass_since;
+          (if List.mem p.Simcomp.Opt.pass_name disabled then "disabled"
+           else "enabled");
+        ])
+    (Simcomp.Opt.all_passes ());
+  Report.Table.print t;
+  let pipeline = Simcomp.Compiler.pipeline_of options in
+  Fmt.pr "pipeline at -O%d: %s@." options.Simcomp.Compiler.opt_level
+    (if pipeline = [] then "(empty)" else String.concat " -> " pipeline)
+
+let passes_cmd =
+  Cmd.v
+    (Cmd.info "passes"
+       ~doc:
+         "List the registered optimization passes and the pipeline the \
+          given options would run")
+    Term.(const passes $ options_term)
+
+(* ------------------------------------------------------------------ *)
+(* bisect                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let bisect file compiler options =
+  let src = read_file file in
+  let open Fuzzing.Bisect in
+  match run compiler options src with
+  | None ->
+    Fmt.epr "no finding: compiles cleanly and matches the -O0 behaviour@.";
+    exit 1
+  | Some v ->
+    Fmt.pr "finding:         %s@." (finding_to_string v.v_finding);
+    Fmt.pr "pipeline:        %s@." (String.concat " -> " v.v_pipeline);
+    (if v.v_attributable then
+       Fmt.pr "culprit passes:  %s@." (String.concat ", " v.v_culprits)
+     else
+       Fmt.pr
+         "culprit passes:  (unattributable: the finding survives with every \
+          pass disabled)@.");
+    Option.iter
+      (fun p -> Fmt.pr "first divergent: %s@." p)
+      v.v_first_divergent;
+    Fmt.pr "recompiles:      %d@." v.v_recompiles
+
+let bisect_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let compiler =
+    Arg.(
+      value & opt compiler_conv Simcomp.Compiler.Gcc
+      & info [ "c"; "compiler" ] ~doc:"gcc or clang.")
+  in
+  Cmd.v
+    (Cmd.info "bisect"
+       ~doc:
+         "Find the culprit optimization pass behind an ICE or wrong-code \
+          finding by re-compiling with passes disabled")
+    Term.(const bisect $ file $ compiler $ options_term)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
@@ -485,8 +614,8 @@ let generate_cmd =
 (* campaign                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let campaign iterations jobs sample_every faults checkpoint resume metrics
-    telemetry status =
+let campaign iterations jobs sample_every faults checkpoint resume bisect
+    metrics telemetry status =
   let cfg =
     { Fuzzing.Campaign.default_config with
       iterations;
@@ -558,10 +687,40 @@ let campaign iterations jobs sample_every faults checkpoint resume metrics
           Fmt.str "%.1f" (Fuzzing.Fuzz_result.compilable_ratio r) ])
     t.Fuzzing.Campaign.results;
   Report.Table.print table;
+  (* --bisect: attribute every unique optimizer-stage crash to its
+     culprit pass(es).  Deterministic in the campaign results, so this
+     table is byte-identical at any job count. *)
+  let attribution =
+    if not bisect then None
+    else begin
+      let ats = Fuzzing.Bisect.attribute ?engine t in
+      let bt =
+        Report.Table.create ~title:"Culprit-pass attribution"
+          ~header:
+            [ "compiler"; "bug"; "finding"; "culprits"; "first divergent" ]
+      in
+      List.iter
+        (fun (a : Fuzzing.Bisect.attribution) ->
+          let v = a.Fuzzing.Bisect.at_verdict in
+          Report.Table.add_row bt
+            [
+              Simcomp.Bugdb.compiler_to_string a.Fuzzing.Bisect.at_compiler;
+              a.Fuzzing.Bisect.at_bug_id;
+              Fuzzing.Bisect.finding_to_string v.Fuzzing.Bisect.v_finding;
+              (if v.Fuzzing.Bisect.v_attributable then
+                 String.concat ", " v.Fuzzing.Bisect.v_culprits
+               else "(unattributable)");
+              Option.value ~default:"-" v.Fuzzing.Bisect.v_first_divergent;
+            ])
+        ats;
+      Report.Table.print bt;
+      Some ats
+    end
+  in
   Option.iter
     (fun tl ->
       Engine.Telemetry.finalize
-        ~report:(Fuzzing.Run_report.campaign ?engine t)
+        ~report:(Fuzzing.Run_report.campaign ?engine ?attribution t)
         tl)
     tel;
   if metrics then Option.iter render_metrics engine
@@ -606,11 +765,21 @@ let campaign_cmd =
             "Coverage-trend sampling period (0 = auto: ten samples across \
              the run).")
   in
+  let bisect =
+    Arg.(
+      value & flag
+      & info [ "bisect" ]
+          ~doc:
+            "After the run, bisect every unique optimizer-stage crash to \
+             its culprit pass(es) and print the attribution table (also \
+             lands in the telemetry campaign report).")
+  in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run the six-fuzzer RQ1 comparison")
     Term.(
       const campaign $ iterations $ jobs $ sample_every $ faults_term
-      $ checkpoint $ resume $ metrics_flag $ telemetry_flag $ status_flag)
+      $ checkpoint $ resume $ bisect $ metrics_flag $ telemetry_flag
+      $ status_flag)
 
 let () =
   let info =
@@ -620,4 +789,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; mutate_cmd; compile_cmd; fuzz_cmd; generate_cmd; campaign_cmd ]))
+          [
+            list_cmd; mutate_cmd; compile_cmd; passes_cmd; bisect_cmd;
+            fuzz_cmd; generate_cmd; campaign_cmd;
+          ]))

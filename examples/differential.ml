@@ -19,7 +19,7 @@ let () =
             (fun opt_level ->
               let o =
                 Simcomp.Compiler.compile compiler
-                  { Simcomp.Compiler.opt_level; disabled_passes = [] }
+                  { Simcomp.Compiler.default_options with opt_level }
                   src
               in
               Simcomp.Compiler.outcome_is_success o)

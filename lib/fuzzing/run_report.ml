@@ -152,6 +152,38 @@ let recovery_section (m : Engine.Metrics.t) =
        succeeded first try."
   else Report.Markdown.table ~header:[ "counter"; "count"; "meaning" ] rows
 
+(* Which pass broke it: one row per bisected optimizer-stage finding.
+   Everything here is deterministic in the campaign results, so the
+   section is byte-identical at any job count. *)
+let attribution_section (ats : Bisect.attribution list) =
+  Report.Markdown.heading ~level:2 "Culprit-pass attribution"
+  ^
+  if ats = [] then
+    Report.Markdown.paragraph
+      "No optimizer-stage findings to bisect: every recorded crash lives \
+       outside the pass pipeline."
+  else
+    Report.Markdown.table
+      ~header:
+        [
+          "compiler"; "bug"; "finding"; "culprit passes"; "first divergent";
+          "recompiles";
+        ]
+      (List.map
+         (fun (a : Bisect.attribution) ->
+           let v = a.Bisect.at_verdict in
+           [
+             Simcomp.Bugdb.compiler_to_string a.Bisect.at_compiler;
+             a.Bisect.at_bug_id;
+             Bisect.finding_to_string v.Bisect.v_finding;
+             (if v.Bisect.v_attributable then
+                String.concat ", " v.Bisect.v_culprits
+              else "(unattributable)");
+             Option.value ~default:"-" v.Bisect.v_first_divergent;
+             string_of_int v.Bisect.v_recompiles;
+           ])
+         ats)
+
 (* Where the time went: span histograms, cumulative and mean, sorted by
    total time.  Wall-clock — the one machine-dependent table. *)
 let span_section (m : Engine.Metrics.t) =
@@ -180,7 +212,7 @@ let span_section (m : Engine.Metrics.t) =
              ])
            spans)
 
-let render ~title ?(preamble = "") ?engine
+let render ~title ?(preamble = "") ?engine ?attribution
     (results : (string * Fuzz_result.t) list) : string =
   let d = Report.Markdown.doc () in
   Report.Markdown.add d (Report.Markdown.heading ~level:1 title);
@@ -188,6 +220,9 @@ let render ~title ?(preamble = "") ?engine
   Report.Markdown.add d (summary_section results);
   Report.Markdown.add d (trend_section results);
   Report.Markdown.add d (crash_section results);
+  Option.iter
+    (fun ats -> Report.Markdown.add d (attribution_section ats))
+    attribution;
   (match engine with
   | None -> ()
   | Some (ctx : Engine.Ctx.t) ->
@@ -201,7 +236,7 @@ let fuzz ?engine (r : Fuzz_result.t) : string =
   render ~title:("Fuzz report: " ^ r.fuzzer_name) ?engine
     [ (r.fuzzer_name, r) ]
 
-let campaign ?engine (t : Campaign.t) : string =
+let campaign ?engine ?attribution (t : Campaign.t) : string =
   let preamble =
     let failures =
       match t.Campaign.failures with
@@ -222,7 +257,7 @@ let campaign ?engine (t : Campaign.t) : string =
       t.Campaign.config.Campaign.iterations t.Campaign.config.Campaign.seeds
       t.Campaign.config.Campaign.jobs failures
   in
-  render ~title:"Campaign report" ~preamble ?engine
+  render ~title:"Campaign report" ~preamble ?engine ?attribution
     (List.map
        (fun (cell, r) -> (Campaign.cell_name cell, r))
        t.Campaign.results)

@@ -8,13 +8,21 @@ val render :
   title:string ->
   ?preamble:string ->
   ?engine:Engine.Ctx.t ->
+  ?attribution:Bisect.attribution list ->
   (string * Fuzz_result.t) list ->
   string
-(** The generic assembler over labelled results. *)
+(** The generic assembler over labelled results.  With [attribution], a
+    "Culprit-pass attribution" table (one row per bisected
+    optimizer-stage finding) lands between the crash buckets and the
+    metrics sections. *)
 
 val fuzz : ?engine:Engine.Ctx.t -> Fuzz_result.t -> string
 (** Report for a single fuzz run. *)
 
-val campaign : ?engine:Engine.Ctx.t -> Campaign.t -> string
+val campaign :
+  ?engine:Engine.Ctx.t ->
+  ?attribution:Bisect.attribution list ->
+  Campaign.t ->
+  string
 (** Report for a campaign: one summary row per cell, failed/restored
     cell accounting in the preamble. *)

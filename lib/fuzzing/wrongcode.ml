@@ -17,27 +17,27 @@ type mismatch = {
   mm_observed : int * bool;   (* at the target level *)
 }
 
-let run_ir p =
-  let o = Simcomp.Ir_interp.run ~fuel:1_000_000 p in
-  match o.Simcomp.Ir_interp.o_unsupported with
-  | Some _ -> None
-  | None ->
-    if o.Simcomp.Ir_interp.o_hang then None
-    else Some (o.Simcomp.Ir_interp.o_exit, o.Simcomp.Ir_interp.o_trapped)
+let run_ir p = Simcomp.Ir_interp.observable ~fuel:1_000_000 p
 
 (* Check one program at one optimization level against the -O0 baseline. *)
 let check_program (compiler : Simcomp.Compiler.compiler)
     (options : Simcomp.Compiler.options) (src : string) : mismatch option =
-  let at level =
-    match
-      Simcomp.Compiler.compile_ir compiler
-        { options with Simcomp.Compiler.opt_level = level }
-        src
-    with
+  let observe opts =
+    match Simcomp.Compiler.compile_ir compiler opts src with
     | Ok p -> run_ir p
     | Error _ -> None
   in
-  match at 0, at options.Simcomp.Compiler.opt_level with
+  (* the reference must be truly unoptimized: clear any explicit
+     pipeline override along with the level *)
+  let reference_opts =
+    {
+      options with
+      Simcomp.Compiler.opt_level = 0;
+      disabled_passes = [];
+      pass_list = None;
+    }
+  in
+  match observe reference_opts, observe options with
   | Some reference, Some observed when reference <> observed ->
     Some
       { mm_source = src; mm_options = options; mm_reference = reference; mm_observed = observed }
@@ -83,7 +83,10 @@ let hunt ?(mutators = Mutators.Registry.core) ~(rng : Rng.t)
         let src = Pretty.tu_to_string tu' in
         incr checked;
         let options =
-          { Simcomp.Compiler.opt_level = 2 + Rng.int rng 2; disabled_passes = [] }
+          {
+            Simcomp.Compiler.default_options with
+            opt_level = 2 + Rng.int rng 2;
+          }
         in
         (match check_program compiler options src with
         | Some mm ->

@@ -21,6 +21,11 @@ type bug = {
   kind : Crash.kind;
   frames : string list;
   min_opt : int;
+  pass : string option;
+  (* optimizer-stage bugs live in a pass: the bug fires only when that
+     pass executed, so -fno-<pass> masks it and culprit bisection can
+     recover it.  The pass must appear in the spec at [min_opt], or the
+     bug becomes unreachable at default options.  [None] = stage-wide. *)
   (* text predicate applies even to non-parsing inputs; ast predicate
      requires a successful parse *)
   pred : Features.text -> Features.ast option -> bool;
@@ -32,8 +37,8 @@ let tx_only f : Features.text -> Features.ast option -> bool =
 let ast_only f : Features.text -> Features.ast option -> bool =
  fun _ ast -> match ast with Some a -> f a | None -> false
 
-let bug ?(min_opt = 0) ~compiler ~stage ~kind ~frames id pred =
-  { id; compiler; stage; kind; frames; min_opt; pred }
+let bug ?(min_opt = 0) ?pass ~compiler ~stage ~kind ~frames id pred =
+  { id; compiler; stage; kind; frames; min_opt; pass; pred }
 
 open Crash
 
@@ -45,7 +50,7 @@ let marquee =
   [
     (* GCC #111820: loop vectorizer hangs on a zero-initialised counter
        driven towards negative infinity with a scalar accumulation chain *)
-    bug "gcc-111820" ~compiler:Gcc ~stage:Optimization ~kind:Hang
+    bug "gcc-111820" ~compiler:Gcc ~stage:Optimization ~kind:Hang ~pass:"loop-opt"
       ~frames:[ "vect_analyze_loop_form"; "vect_analyze_loop"; "try_vectorize_loop" ]
       ~min_opt:3
       (ast_only (fun a ->
@@ -57,7 +62,7 @@ let marquee =
       (ast_only (fun a -> a.has_ptr_arith_cast_chain));
     (* GCC strlen-optimization crash (§5.2): sprintf of a const buffer to
        itself makes the strlen pass build an invalid range *)
-    bug "gcc-strlen-range" ~compiler:Gcc ~stage:Optimization
+    bug "gcc-strlen-range" ~compiler:Gcc ~stage:Optimization ~pass:"strlen-opt"
       ~kind:Assertion_failure
       ~frames:[ "verify_range"; "strlen_pass_execute"; "execute_one_pass" ]
       ~min_opt:2
@@ -100,8 +105,8 @@ let ast_family ~compiler ~stage ~prefix ~frames ~kind ?(min_opt = 0) grades get 
         (ast_only (fun a -> get a >= threshold)))
     grades
 
-let bool_bug ~compiler ~stage ~kind ~frames ?(min_opt = 0) id pred =
-  bug id ~compiler ~stage ~kind ~frames ~min_opt (ast_only pred)
+let bool_bug ~compiler ~stage ~kind ~frames ?(min_opt = 0) ?pass id pred =
+  bug id ~compiler ~stage ~kind ~frames ~min_opt ?pass (ast_only pred)
 
 let gcc_front_text =
   text_family ~compiler:Gcc ~prefix:"gcc-lex-ident" ~kind:Assertion_failure
@@ -221,27 +226,27 @@ let gcc_opt =
               parity, so qualifying programs crash rarely *)
            a.has_decreasing_loop && a.n_loops >= 5 && a.max_loop_depth >= 3
            && ((7 * a.n_exprs) + a.n_stmts) mod 17 = 5);
-    bool_bug "gcc-shift-vrp" ~compiler:Gcc ~stage:Optimization
+    bool_bug "gcc-shift-vrp" ~compiler:Gcc ~stage:Optimization ~pass:"constfold"
       ~kind:Assertion_failure ~min_opt:2
       ~frames:[ "irange::set"; "range_op_handler::fold_range"; "vrp_pass" ]
       (fun a -> a.has_shift_overflow);
-    bool_bug "gcc-div0-fold" ~compiler:Gcc ~stage:Optimization
+    bool_bug "gcc-div0-fold" ~compiler:Gcc ~stage:Optimization ~pass:"constfold"
       ~kind:Assertion_failure ~min_opt:1
       ~frames:[ "const_binop"; "fold_binary_loc" ]
       (fun a -> a.has_div_by_literal_zero);
-    bool_bug "gcc-reassoc" ~compiler:Gcc ~stage:Optimization
+    bool_bug "gcc-reassoc" ~compiler:Gcc ~stage:Optimization ~pass:"constfold"
       ~kind:Assertion_failure ~min_opt:2
       ~frames:[ "rewrite_expr_tree"; "reassociate_bb" ]
       (fun a -> a.has_scalar_accum_chain && a.has_volatile_qual);
-    bool_bug "gcc-loop-interchange" ~compiler:Gcc ~stage:Optimization
+    bool_bug "gcc-loop-interchange" ~compiler:Gcc ~stage:Optimization ~pass:"loop-opt"
       ~kind:Segfault ~min_opt:3
       ~frames:[ "tree_loop_interchange"; "pass_linterchange::execute" ]
       (fun a -> a.max_loop_depth >= 4 && a.n_loops >= 4);
-    bool_bug "gcc-cunroll" ~compiler:Gcc ~stage:Optimization
+    bool_bug "gcc-cunroll" ~compiler:Gcc ~stage:Optimization ~pass:"loop-opt"
       ~kind:Assertion_failure ~min_opt:3
       ~frames:[ "try_unroll_loop_completely"; "canonicalize_loop_induction_variables" ]
       (fun a -> a.has_decreasing_loop && a.n_loops >= 2);
-    bool_bug "gcc-dse-volatile" ~compiler:Gcc ~stage:Optimization
+    bool_bug "gcc-dse-volatile" ~compiler:Gcc ~stage:Optimization ~pass:"dce"
       ~kind:Assertion_failure ~min_opt:2
       ~frames:[ "dse_classify_store"; "pass_dse::execute" ]
       (fun a -> a.has_volatile_qual && a.n_compound_assigns >= 2);
@@ -255,23 +260,23 @@ let clang_opt =
       (fun a ->
            a.has_decreasing_loop && a.max_loop_depth >= 4 && a.n_loops >= 4
            && ((5 * a.n_exprs) + a.n_stmts) mod 13 = 3);
-    bool_bug "clang-instcombine-shift" ~compiler:Clang ~stage:Optimization
+    bool_bug "clang-instcombine-shift" ~compiler:Clang ~stage:Optimization ~pass:"constfold"
       ~kind:Assertion_failure ~min_opt:2
       ~frames:[ "InstCombinerImpl::visitShl"; "InstCombinePass::run" ]
       (fun a -> a.has_shift_overflow);
-    bool_bug "clang-sccp-div0" ~compiler:Clang ~stage:Optimization
+    bool_bug "clang-sccp-div0" ~compiler:Clang ~stage:Optimization ~pass:"constfold"
       ~kind:Assertion_failure ~min_opt:1
       ~frames:[ "ConstantFoldBinaryInstruction"; "SCCPSolver::visitBinaryOperator" ]
       (fun a -> a.has_div_by_literal_zero && a.n_switches >= 1);
-    bool_bug "clang-loopdel-hang" ~compiler:Clang ~stage:Optimization
+    bool_bug "clang-loopdel-hang" ~compiler:Clang ~stage:Optimization ~pass:"dce"
       ~kind:Hang ~min_opt:2
       ~frames:[ "LoopDeletionPass::run"; "FunctionPassManager::run" ]
       (fun a -> a.has_empty_loop_body && a.has_decreasing_loop);
-    bool_bug "clang-inline-rec" ~compiler:Clang ~stage:Optimization
+    bool_bug "clang-inline-rec" ~compiler:Clang ~stage:Optimization ~pass:"inline"
       ~kind:Segfault ~min_opt:2
       ~frames:[ "InlineFunction"; "InlinerPass::run" ]
       (fun a -> a.has_recursion && a.n_calls >= 2);
-    bool_bug "clang-gvn-casts" ~compiler:Clang ~stage:Optimization
+    bool_bug "clang-gvn-casts" ~compiler:Clang ~stage:Optimization ~pass:"constfold"
       ~kind:Assertion_failure ~min_opt:2
       ~frames:[ "GVNPass::processInstruction"; "GVNPass::runImpl" ]
       (fun a -> a.n_casts >= 4 && a.max_cast_chain >= 3);
@@ -323,12 +328,24 @@ let bugs_for compiler =
   List.filter (fun b -> b.compiler = compiler) all_bugs
 
 (* Check the bug database at one pipeline stage; raises on the first
-   triggered bug (deterministic order). *)
-let check ~compiler ~stage ~opt_level ~(tx : Features.text)
-    ~(ast : Features.ast option) : unit =
+   triggered bug (deterministic order).  [executed] is the pass
+   sequence the optimizer actually ran — pass-homed bugs fire only when
+   their pass executed, so -fno-<pass> masks them. *)
+let check ~compiler ~stage ~opt_level ?executed ~(tx : Features.text)
+    ~(ast : Features.ast option) () : unit =
+  let pass_ran (b : bug) =
+    match b.pass with
+    | None -> true
+    | Some p -> (
+      match executed with
+      | Some names -> List.exists (String.equal p) names
+      | None -> false)
+  in
   List.iter
     (fun (b : bug) ->
-      if b.stage = stage && opt_level >= b.min_opt && b.pred tx ast then
+      if b.stage = stage && opt_level >= b.min_opt && pass_ran b
+         && b.pred tx ast
+      then
         raise
           (Crash.Compiler_crash
              { bug_id = b.id; stage = b.stage; kind = b.kind; frames = b.frames }))
@@ -347,6 +364,10 @@ type miscompile = {
   mc_id : string;
   mc_compiler : compiler;
   mc_min_opt : int;
+  mc_culprit : string;
+      (* the pass whose execution corrupts the IR; bisection ground truth *)
+  mc_requires_absent : string list;
+      (* passes whose presence in the pipeline masks the bug *)
   mc_pred : Features.ast -> bool;
 }
 
@@ -356,6 +377,8 @@ let miscompiles : miscompile list =
       mc_id = "gcc-wrongcode-reassoc";
       mc_compiler = Gcc;
       mc_min_opt = 2;
+      mc_culprit = "constfold";
+      mc_requires_absent = [];
       mc_pred =
         (fun a ->
           a.Features.has_scalar_accum_chain && a.Features.n_casts >= 2
@@ -365,6 +388,8 @@ let miscompiles : miscompile list =
       mc_id = "gcc-wrongcode-narrowing";
       mc_compiler = Gcc;
       mc_min_opt = 3;
+      mc_culprit = "loop-opt";
+      mc_requires_absent = [];
       mc_pred =
         (fun a ->
           a.Features.max_cast_chain >= 2 && a.Features.has_decreasing_loop);
@@ -373,20 +398,137 @@ let miscompiles : miscompile list =
       mc_id = "clang-wrongcode-instsimplify";
       mc_compiler = Clang;
       mc_min_opt = 2;
+      mc_culprit = "dce";
+      mc_requires_absent = [];
       mc_pred =
         (fun a ->
           a.Features.n_commas >= 1 && a.Features.n_conds >= 2
           && a.Features.n_switches >= 1);
     };
+    (* Pass-ordering surface: the strlen rewrite miscompiles when the
+       folder hasn't canonicalized its operands first — only reachable
+       under -fno-constfold, i.e. by pass-matrix exploration. *)
+    {
+      mc_id = "gcc-wrongcode-strlen-nofold";
+      mc_compiler = Gcc;
+      mc_min_opt = 2;
+      mc_culprit = "strlen-opt";
+      mc_requires_absent = [ "constfold" ];
+      mc_pred = (fun a -> a.Features.has_sprintf_self);
+    };
+    {
+      mc_id = "clang-wrongcode-jumpthread";
+      mc_compiler = Clang;
+      mc_min_opt = 1;
+      mc_culprit = "simplify-cfg";
+      mc_requires_absent = [ "dce" ];
+      mc_pred = (fun a -> a.Features.n_gotos >= 1 && a.Features.n_labels >= 1);
+    };
   ]
 
-let check_miscompile ~compiler ~opt_level ~(ast : Features.ast) :
-    miscompile option =
+let check_miscompile ~compiler ~opt_level ~(pipeline : string list)
+    ~(ast : Features.ast) : miscompile option =
   List.find_opt
     (fun mc ->
       mc.mc_compiler = compiler && opt_level >= mc.mc_min_opt
+      && List.mem mc.mc_culprit pipeline
+      && not (List.exists (fun p -> List.mem p pipeline) mc.mc_requires_absent)
       && mc.mc_pred ast)
     miscompiles
+
+(* ------------------------------------------------------------------ *)
+(* Pass-ordering ICEs                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Crashes keyed on the *executed pass sequence* rather than the -O
+   level alone: they only fire under specific pass orders or disable
+   sets, so campaigns exploring an -O/pass matrix keep finding fresh
+   unique crashes after the level-gated surface is exhausted. *)
+
+type pass_bug = {
+  pb_id : string;
+  pb_compiler : compiler;
+  pb_kind : Crash.kind;
+  pb_frames : string list;
+  pb_pred : Features.ast -> bool;
+  pb_fires : executed:string list -> bool;
+}
+
+(* [target] ran with no prior [prereq] in the executed sequence. *)
+let ran_without_prior ~executed target prereq =
+  let rec go seen_prereq = function
+    | [] -> false
+    | p :: _ when String.equal p target -> not seen_prereq
+    | p :: rest -> go (seen_prereq || String.equal p prereq) rest
+  in
+  go false executed
+
+let count_runs ~executed name =
+  List.length (List.filter (String.equal name) executed)
+
+let pass_bugs : pass_bug list =
+  [
+    {
+      (* DCE trips over unfolded degenerate branches when no constant
+         folding ran before it (-O1+ -fno-constfold). *)
+      pb_id = "gcc-dce-unfolded";
+      pb_compiler = Gcc;
+      pb_kind = Assertion_failure;
+      pb_frames =
+        [ "eliminate_unnecessary_stmts"; "perform_tree_ssa_dce"; "execute_one_pass" ];
+      pb_pred = (fun a -> a.Features.n_conds >= 2);
+      pb_fires = (fun ~executed -> ran_without_prior ~executed "dce" "constfold");
+    };
+    {
+      (* The second simplify-cfg run of the -O3 spec re-threads jumps
+         it already threaded and corrupts deeply nested loop CFGs. *)
+      pb_id = "gcc-cfg-rethread";
+      pb_compiler = Gcc;
+      pb_kind = Segfault;
+      pb_frames = [ "thread_through_loop_header"; "jump_thread_path_registry::update_cfg" ];
+      pb_pred = (fun a -> a.Features.max_loop_depth >= 3 && a.Features.n_loops >= 3);
+      pb_fires = (fun ~executed -> count_runs ~executed "simplify-cfg" >= 2);
+    };
+    {
+      (* The strlen rewrite asserts on call forms the inliner would have
+         collapsed first (-O2 -fno-inline). *)
+      pb_id = "clang-strlen-before-inline";
+      pb_compiler = Clang;
+      pb_kind = Assertion_failure;
+      pb_frames = [ "llvm::annotateDereferenceableBytes"; "SimplifyLibCalls" ];
+      pb_pred = (fun a -> a.Features.n_calls >= 2);
+      pb_fires =
+        (fun ~executed -> ran_without_prior ~executed "strlen-opt" "inline");
+    };
+    {
+      (* Trip-count analysis spins on irreducible regions that
+         simplify-cfg normally cleans up (-O3 -fno-simplify-cfg). *)
+      pb_id = "clang-loopopt-irreducible";
+      pb_compiler = Clang;
+      pb_kind = Hang;
+      pb_frames = [ "llvm::ScalarEvolution::getBackedgeTakenInfo"; "LoopUnrollPass" ];
+      pb_pred = (fun a -> a.Features.n_loops >= 2);
+      pb_fires =
+        (fun ~executed ->
+          List.mem "loop-opt" executed && not (List.mem "simplify-cfg" executed));
+    };
+  ]
+
+let check_passes ~compiler ~(executed : string list) ~(ast : Features.ast) :
+    unit =
+  List.iter
+    (fun pb ->
+      if pb.pb_compiler = compiler && pb.pb_fires ~executed && pb.pb_pred ast
+      then
+        raise
+          (Crash.Compiler_crash
+             {
+               bug_id = pb.pb_id;
+               stage = Crash.Optimization;
+               kind = pb.pb_kind;
+               frames = pb.pb_frames;
+             }))
+    pass_bugs
 
 (* ------------------------------------------------------------------ *)
 (* Bug-report triage model (Table 6 lifecycle)                         *)

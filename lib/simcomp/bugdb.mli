@@ -20,6 +20,10 @@ type bug = {
   kind : Crash.kind;
   frames : string list;
   min_opt : int;
+  pass : string option;
+      (** optimizer-stage bugs live in a pass: the bug fires only when
+          that pass executed, so [-fno-<pass>] masks it and culprit
+          bisection can recover it; [None] = stage-wide *)
   pred : Features.text -> Features.ast option -> bool;
       (** the text predicate applies even to inputs that fail to parse;
           the AST predicate requires a successful parse *)
@@ -33,11 +37,16 @@ val check :
   compiler:compiler ->
   stage:Crash.stage ->
   opt_level:int ->
+  ?executed:string list ->
   tx:Features.text ->
   ast:Features.ast option ->
+  unit ->
   unit
 (** Consult the database at one stage boundary; raises
-    {!Crash.Compiler_crash} on the first triggered bug. *)
+    {!Crash.Compiler_crash} on the first triggered bug.  [executed] is
+    the pass sequence the optimizer ran (pass it at the [Optimization]
+    boundary): bugs homed in a pass fire only when that pass appears in
+    it. *)
 
 (** Silent wrong-code bugs: when one fires, the optimizer produces wrong
     code without crashing.  Only differential (EMI-style) testing exposes
@@ -46,13 +55,44 @@ type miscompile = {
   mc_id : string;
   mc_compiler : compiler;
   mc_min_opt : int;
+  mc_culprit : string;
+      (** the pass whose execution corrupts the IR — the ground truth
+          that culprit-pass bisection must recover *)
+  mc_requires_absent : string list;
+      (** passes whose presence in the pipeline masks the bug *)
   mc_pred : Features.ast -> bool;
 }
 
 val miscompiles : miscompile list
 
 val check_miscompile :
-  compiler:compiler -> opt_level:int -> ast:Features.ast -> miscompile option
+  compiler:compiler ->
+  opt_level:int ->
+  pipeline:string list ->
+  ast:Features.ast ->
+  miscompile option
+(** [pipeline] is the ordered pass-name list the driver is about to run:
+    a miscompile fires only when its culprit pass is scheduled and none
+    of its masking passes are. *)
+
+(** Pass-ordering ICEs: crashes keyed on the executed pass sequence
+    (pass ran twice, ran without a prerequisite, ...) rather than the
+    [-O] level alone — only reachable by exploring the pass matrix. *)
+type pass_bug = {
+  pb_id : string;
+  pb_compiler : compiler;
+  pb_kind : Crash.kind;
+  pb_frames : string list;
+  pb_pred : Features.ast -> bool;
+  pb_fires : executed:string list -> bool;
+}
+
+val pass_bugs : pass_bug list
+
+val check_passes :
+  compiler:compiler -> executed:string list -> ast:Features.ast -> unit
+(** Consult the pass-ordering bugs after the pipeline ran; raises
+    {!Crash.Compiler_crash} on the first triggered bug. *)
 
 (** Bug-report lifecycle model (Table 6). *)
 type triage = {

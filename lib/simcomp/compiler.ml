@@ -11,12 +11,22 @@ open Cparse
 
 type compiler = Bugdb.compiler = Gcc | Clang
 
+type dump_ir = Dump_none | Dump_all | Dump_pass of string
+
 type options = {
   opt_level : int;                (* 0..3; the paper uses -O2 *)
   disabled_passes : string list;  (* -fno-<pass> *)
+  pass_list : string list option; (* -fpasses=a,b,c: explicit pipeline *)
+  dump_ir : dump_ir;              (* -fdump-ir[=PASS]: snapshot IR around passes *)
 }
 
-let default_options = { opt_level = 2; disabled_passes = [] }
+let default_options =
+  { opt_level = 2; disabled_passes = []; pass_list = None; dump_ir = Dump_none }
+
+(* The ordered pass names the optimizer will run under [opts]. *)
+let pipeline_of (opts : options) : string list =
+  Opt.planned ?pass_list:opts.pass_list ~level:opts.opt_level
+    ~disabled:opts.disabled_passes ()
 
 type outcome =
   | Compiled of { asm : string; warnings : int; ir_size : int; spills : int }
@@ -265,6 +275,145 @@ let miscompile_ir (mc : Bugdb.miscompile) (prog : Ir.program) : unit =
     prog.Ir.p_funcs
 
 (* ------------------------------------------------------------------ *)
+(* Optimizer stage                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One executed pipeline step, as recorded by [compile_passes]. *)
+type pass_step = {
+  st_pass : string;
+  st_index : int;                 (* position in the executed pipeline *)
+  st_changes : int;
+  st_ir_before : string option;   (* per [options.dump_ir] *)
+  st_ir_after : string option;
+  st_diverged : bool option;
+      (* with [verify]: does the IR's observable behaviour after this
+         pass differ from the pre-opt IR's?  [None] when either run
+         falls outside the interpreter's subset. *)
+}
+
+type pass_trace = {
+  pt_steps : pass_step list;
+  pt_reference : (int * bool) option;  (* pre-opt observable, with [verify] *)
+  pt_first_divergent : string option;
+  pt_program : Ir.program;
+}
+
+let interp_fuel = 1_000_000
+
+(* Per-pass optimizer counters (opt.pass.<name>.{runs,changes}),
+   pre-resolved per context like [outcome_counters] below: the pipeline
+   runs up to eight passes per compile, so per-pass registry lookups on
+   the hot path would dwarf the passes themselves on small inputs.  The
+   memo is domain-local, so parallel campaign workers never contend. *)
+type pass_counters = {
+  pc_runs : Engine.Metrics.counter;
+  pc_changes : Engine.Metrics.counter;
+}
+
+let pass_counters_memo :
+    (Engine.Ctx.t * (string, pass_counters) Hashtbl.t) option ref
+    Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let pass_counters (ctx : Engine.Ctx.t) (name : string) : pass_counters =
+  let memo = Domain.DLS.get pass_counters_memo in
+  let tbl =
+    match !memo with
+    | Some (c, tbl) when c == ctx -> tbl
+    | _ ->
+      let tbl = Hashtbl.create 16 in
+      memo := Some (ctx, tbl);
+      tbl
+  in
+  match Hashtbl.find_opt tbl name with
+  | Some k -> k
+  | None ->
+    let c suffix =
+      Engine.Metrics.counter ctx.Engine.Ctx.metrics
+        ("opt.pass." ^ name ^ suffix)
+    in
+    let k = { pc_runs = c ".runs"; pc_changes = c ".changes" } in
+    Hashtbl.replace tbl name k;
+    k
+
+(* Run the optimizer pipeline over [prog]: per-pass engine accounting
+   (spans + opt.pass.<name>.{runs,changes}), the culprit-keyed wrong-code
+   injection, and optional per-step IR snapshots / differential checks.
+   Shared by [compile_tu] (hot path: no [collect]) and [compile_passes]. *)
+let run_opt_stage ?cov ?engine ?collect ?(verify = false)
+    (compiler : compiler) (opts : options) (ast : Features.ast)
+    (prog : Ir.program) : (string * int) list * (int * bool) option =
+  let planned = pipeline_of opts in
+  let mc =
+    Bugdb.check_miscompile ~compiler ~opt_level:opts.opt_level
+      ~pipeline:planned ~ast
+  in
+  let reference =
+    if verify then Ir_interp.observable ~fuel:interp_fuel prog else None
+  in
+  let dump_wanted name =
+    match opts.dump_ir with
+    | Dump_none -> false
+    | Dump_all -> true
+    | Dump_pass p -> String.equal p name
+  in
+  let mc_applied = ref false in
+  let pending_before = ref None in
+  let instrument (pass : Opt.pass) execute =
+    pending_before :=
+      (if Option.is_some collect && dump_wanted pass.Opt.pass_name then
+         Some (Ir.program_to_string prog)
+       else None);
+    Engine.Span.with_opt engine ~name:("opt.pass." ^ pass.Opt.pass_name)
+      execute
+  in
+  let observer ~index ~pass ~changes p =
+    let name = pass.Opt.pass_name in
+    (match engine with
+    | Some ctx ->
+      let k = pass_counters ctx name in
+      Engine.Metrics.incr k.pc_runs;
+      if changes > 0 then Engine.Metrics.incr ~by:changes k.pc_changes
+    | None -> ());
+    (* a latent wrong-code bug is the culprit pass's own miscompilation:
+       the corruption lands when that pass executes, so per-pass dumps
+       and differential checks can localize it *)
+    (match mc with
+    | Some m when (not !mc_applied) && String.equal m.Bugdb.mc_culprit name ->
+      mc_applied := true;
+      miscompile_ir m p
+    | _ -> ());
+    match collect with
+    | None -> ()
+    | Some push ->
+      let after =
+        if dump_wanted name then Some (Ir.program_to_string p) else None
+      in
+      let diverged =
+        match reference with
+        | None -> None
+        | Some r -> (
+          match Ir_interp.observable ~fuel:interp_fuel p with
+          | Some o -> Some (o <> r)
+          | None -> None)
+      in
+      push
+        {
+          st_pass = name;
+          st_index = index;
+          st_changes = changes;
+          st_ir_before = !pending_before;
+          st_ir_after = after;
+          st_diverged = diverged;
+        }
+  in
+  let results =
+    Opt.run_pipeline ?cov ~observer ~instrument ?pass_list:opts.pass_list
+      ~level:opts.opt_level ~disabled:opts.disabled_passes prog
+  in
+  (results, reference)
+
+(* ------------------------------------------------------------------ *)
 (* Pipeline                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -369,8 +518,8 @@ let compile_tu ?cov ?engine ?faults (compiler : compiler) (opts : options)
   | _ ->
   let salt = salt compiler in
   let tx = Features.text_features src in
-  let check stage ast =
-    Bugdb.check ~compiler ~stage ~opt_level:opts.opt_level ~tx ~ast
+  let check ?executed stage ast =
+    Bugdb.check ~compiler ~stage ~opt_level:opts.opt_level ?executed ~tx ~ast ()
   in
   let span name f = Engine.Span.with_opt engine ~name f in
   let parsed_tu = ref None in
@@ -431,19 +580,15 @@ let compile_tu ?cov ?engine ?faults (compiler : compiler) (opts : options)
               check Crash.Ir_gen (Some ast);
               prog)
         in
-        (* optimization *)
+        (* optimization: the stage runner handles per-pass accounting
+           and the culprit-keyed wrong-code injection *)
         span "compile.opt" (fun () ->
-            let _pass_results =
-              Opt.run_pipeline ?cov ~level:opts.opt_level
-                ~disabled:opts.disabled_passes prog
+            let results, _ =
+              run_opt_stage ?cov ?engine compiler opts ast prog
             in
-            check Crash.Optimization (Some ast);
-            (* latent wrong-code bugs corrupt the IR silently *)
-            match
-              Bugdb.check_miscompile ~compiler ~opt_level:opts.opt_level ~ast
-            with
-            | Some mc -> miscompile_ir mc prog
-            | None -> ());
+            let executed = List.map fst results in
+            Bugdb.check_passes ~compiler ~executed ~ast;
+            check ~executed Crash.Optimization (Some ast));
         (* back-end *)
         let asm, spills =
           span "compile.backend" (fun () ->
@@ -474,11 +619,13 @@ let compile ?cov ?engine ?faults (compiler : compiler) (opts : options)
     (src : string) : outcome =
   fst (compile_tu ?cov ?engine ?faults compiler opts src)
 
-(* Produce the (possibly silently corrupted) optimized IR: the hook the
-   EMI-style wrong-code detector (Fuzzing.Wrongcode) differences against
-   the -O0 lowering. *)
-let compile_ir (compiler : compiler) (opts : options) (src : string) :
-    (Ir.program, string) result =
+(* Run the pipeline step by step, recording each executed pass: change
+   counts, IR snapshots per [opts.dump_ir], and (with [verify]) a
+   per-pass differential check against the pre-opt IR semantics.  Like
+   [compile_ir] this is crash-free — the observation channel for
+   wrong-code triage must not be masked by seeded ICEs. *)
+let compile_passes ?(verify = false) (compiler : compiler) (opts : options)
+    (src : string) : (pass_trace, string) result =
   match Parser.parse src with
   | Error e -> Error e
   | Ok tu ->
@@ -487,32 +634,57 @@ let compile_ir (compiler : compiler) (opts : options) (src : string) :
     else begin
       let ast = Features.ast_features tu in
       let prog = Lower.lower_tu tu tc in
-      ignore
-        (Opt.run_pipeline ~level:opts.opt_level
-           ~disabled:opts.disabled_passes prog);
-      (match
-         Bugdb.check_miscompile ~compiler ~opt_level:opts.opt_level ~ast
-       with
-      | Some mc -> miscompile_ir mc prog
-      | None -> ());
-      Ok prog
+      let steps = ref [] in
+      let collect st = steps := st :: !steps in
+      let _, reference =
+        run_opt_stage ~collect ~verify compiler opts ast prog
+      in
+      let steps = List.rev !steps in
+      let first_divergent =
+        List.find_map
+          (fun st ->
+            match st.st_diverged with
+            | Some true -> Some st.st_pass
+            | _ -> None)
+          steps
+      in
+      Ok
+        {
+          pt_steps = steps;
+          pt_reference = reference;
+          pt_first_divergent = first_divergent;
+          pt_program = prog;
+        }
     end
 
-(* Sample a random command line the way the macro fuzzer does. *)
+(* Produce the (possibly silently corrupted) optimized IR: the hook the
+   EMI-style wrong-code detector (Fuzzing.Wrongcode) differences against
+   the -O0 lowering. *)
+let compile_ir (compiler : compiler) (opts : options) (src : string) :
+    (Ir.program, string) result =
+  Result.map (fun tr -> tr.pt_program) (compile_passes compiler opts src)
+
+(* Sample a random command line the way the macro fuzzer does.  The pass
+   universe comes from the registry, so a newly registered pass joins
+   option fuzzing automatically. *)
 let random_options (rng : Rng.t) : options =
   let opt_level = Rng.int rng 4 in
-  let all_passes =
-    [ "constfold"; "simplify-cfg"; "dce"; "inline"; "strlen-opt"; "loop-opt" ]
-  in
   let disabled_passes =
-    List.filter (fun _ -> Rng.flip rng 0.15) all_passes
+    List.filter (fun _ -> Rng.flip rng 0.15) (Opt.pass_names ())
   in
-  { opt_level; disabled_passes }
+  { default_options with opt_level; disabled_passes }
 
 let options_to_string (o : options) =
-  Fmt.str "-O%d%s" o.opt_level
+  Fmt.str "-O%d%s%s%s" o.opt_level
     (String.concat ""
        (List.map (fun p -> " -fno-" ^ p) o.disabled_passes))
+    (match o.pass_list with
+    | None -> ""
+    | Some l -> " -fpasses=" ^ String.concat "," l)
+    (match o.dump_ir with
+    | Dump_none -> ""
+    | Dump_all -> " -fdump-ir"
+    | Dump_pass p -> " -fdump-ir=" ^ p)
 
 (* ------------------------------------------------------------------ *)
 (* Mutant dedup cache                                                  *)

@@ -9,13 +9,27 @@
 
 type compiler = Bugdb.compiler = Gcc | Clang
 
+(** IR-snapshot requests honoured by {!compile_passes}. *)
+type dump_ir =
+  | Dump_none
+  | Dump_all  (** [-fdump-ir]: snapshot around every pass *)
+  | Dump_pass of string  (** [-fdump-ir=PASS]: only around that pass *)
+
 type options = {
   opt_level : int;                (** 0..3; the paper fuzzes at -O2 *)
   disabled_passes : string list;  (** -fno-<pass> *)
+  pass_list : string list option;
+      (** [-fpasses=a,b,c]: explicit ordered pipeline overriding the
+          level's spec (still subject to [disabled_passes]) *)
+  dump_ir : dump_ir;
 }
 
 val default_options : options
-(** [-O2] with every pass enabled. *)
+(** [-O2] with every pass enabled, no pipeline override, no dumps. *)
+
+val pipeline_of : options -> string list
+(** The ordered pass names the optimizer will run under these options.
+    @raise Invalid_argument if [pass_list] names an unknown pass. *)
 
 type outcome =
   | Compiled of { asm : string; warnings : int; ir_size : int; spills : int }
@@ -81,9 +95,42 @@ val compile_cached :
     happens only on misses: a byte-identical mutant replays its
     memoized outcome, injected hang included. *)
 
+(** One executed pipeline step, as recorded by {!compile_passes}. *)
+type pass_step = {
+  st_pass : string;
+  st_index : int;  (** position in the executed pipeline *)
+  st_changes : int;
+  st_ir_before : string option;  (** per [options.dump_ir] *)
+  st_ir_after : string option;
+  st_diverged : bool option;
+      (** with [verify]: does the IR's observable behaviour after this
+          pass differ from the pre-opt IR's?  [None] when either run
+          falls outside the interpreter's subset. *)
+}
+
+type pass_trace = {
+  pt_steps : pass_step list;
+  pt_reference : (int * bool) option;
+      (** the pre-opt IR's observable behaviour (with [verify]) *)
+  pt_first_divergent : string option;
+      (** the first pass after which behaviour diverged — per-pass
+          differential testing's culprit estimate *)
+  pt_program : Ir.program;  (** the final (possibly miscompiled) IR *)
+}
+
+val compile_passes :
+  ?verify:bool -> compiler -> options -> string ->
+  (pass_trace, string) result
+(** Run the pipeline step by step, recording each executed pass; with
+    [verify] (default false) the IR is interpreted after every pass and
+    compared against the pre-opt semantics.  Crash-free like
+    {!compile_ir}: seeded ICEs must not mask the wrong-code observation
+    channel. *)
+
 val compile_ir : compiler -> options -> string -> (Ir.program, string) result
 (** Produce the (possibly silently miscompiled) optimized IR — the hook
-    the EMI-style wrong-code detector differences against -O0. *)
+    the EMI-style wrong-code detector differences against -O0.
+    Equivalent to [compile_passes] without observation. *)
 
 val random_options : Cparse.Rng.t -> options
 (** Sample a random command line, as the macro fuzzer does (§3.4). *)

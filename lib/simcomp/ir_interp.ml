@@ -302,3 +302,8 @@ let run ?(fuel = 500_000) (p : program) : outcome =
     | exception Trap -> finish 134 true false None
     | exception Out_of_fuel -> finish 124 false true None
     | exception Unsupported what -> finish 0 false false (Some what))
+
+let observable ?fuel (p : program) : (int * bool) option =
+  let o = run ?fuel p in
+  if o.o_hang || Option.is_some o.o_unsupported then None
+  else Some (o.o_exit, o.o_trapped)

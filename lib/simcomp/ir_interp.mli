@@ -26,3 +26,9 @@ type outcome = {
 
 val run : ?fuel:int -> Ir.program -> outcome
 (** Execute from [main] (default fuel 500_000). *)
+
+val observable : ?fuel:int -> Ir.program -> (int * bool) option
+(** The program's observable behaviour [(exit, trapped)], or [None] when
+    the program hangs or falls outside the interpreter's subset.  The
+    comparison key used by wrong-code detection and the per-pass
+    differential check. *)

@@ -1,17 +1,26 @@
-(* The optimizer of the simulated compiler.
+(* The optimizer of the simulated compiler: a registered pass pipeline.
 
-   Pass pipeline (driven by -O level in compiler.ml):
+   Every pass registers a name, a default placement (the lowest -O level
+   that schedules it), and a [run] that mutates the IR in place and
+   returns a change count.  Levels are named pipeline specs — ordered
+   pass-name lists resolved against the registry, GCC-passes.def style —
+   so drivers can introspect the pipeline, disable passes, override the
+   order outright ([pass_list]), and observe each pass as it executes
+   (per-pass IR dumps, differential testing, culprit bisection).
+
+   Default specs:
      -O1: constfold, simplify-cfg, dce
-     -O2: + inline, strlen-opt
+     -O2: + inline, strlen-opt, a second constfold
      -O3: + loop-opt (unrolling; the "vectorizer" of the GCC hang bug)
 
-   Passes mutate the IR in place and report coverage per decision, so the
-   optimizer's reachable behaviour grows with input diversity. *)
+   Passes report coverage per decision, so the optimizer's reachable
+   behaviour grows with input diversity. *)
 
 open Ir
 
 type pass = {
   pass_name : string;
+  pass_since : int; (* default placement: lowest -O level that schedules it *)
   run : ?cov:Coverage.t -> program -> int; (* returns number of changes *)
 }
 
@@ -196,7 +205,7 @@ let const_fold_pass =
       p.p_funcs;
     !changes
   in
-  { pass_name = "constfold"; run }
+  { pass_name = "constfold"; pass_since = 1; run }
 
 (* ------------------------------------------------------------------ *)
 (* CFG simplification: drop unreachable blocks, thread trivial jumps   *)
@@ -259,7 +268,7 @@ let simplify_cfg_pass =
       p.p_funcs;
     !changes
   in
-  { pass_name = "simplify-cfg"; run }
+  { pass_name = "simplify-cfg"; pass_since = 1; run }
 
 (* ------------------------------------------------------------------ *)
 (* Dead code elimination (pure instrs with unused destinations)        *)
@@ -298,7 +307,7 @@ let dce_pass =
       p.p_funcs;
     !changes
   in
-  { pass_name = "dce"; run }
+  { pass_name = "dce"; pass_since = 1; run }
 
 (* ------------------------------------------------------------------ *)
 (* Inlining of small leaf functions                                    *)
@@ -343,7 +352,7 @@ let inline_pass =
       p.p_funcs;
     !changes
   in
-  { pass_name = "inline"; run }
+  { pass_name = "inline"; pass_since = 2; run }
 
 (* ------------------------------------------------------------------ *)
 (* strlen/sprintf optimization (the GCC strlen-pass analogue)          *)
@@ -373,7 +382,7 @@ let strlen_pass =
       p.p_funcs;
     !changes
   in
-  { pass_name = "strlen-opt"; run }
+  { pass_name = "strlen-opt"; pass_since = 2; run }
 
 (* ------------------------------------------------------------------ *)
 (* Loop optimization: trip-count analysis + full unrolling             *)
@@ -410,26 +419,114 @@ let loop_pass =
       p.p_funcs;
     !changes
   in
-  { pass_name = "loop-opt"; run }
+  { pass_name = "loop-opt"; pass_since = 3; run }
 
 (* ------------------------------------------------------------------ *)
-(* Pipeline                                                            *)
+(* Pass registry                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let passes_for_level level =
-  if level <= 0 then []
-  else if level = 1 then [ const_fold_pass; simplify_cfg_pass; dce_pass ]
-  else if level = 2 then
-    [ const_fold_pass; simplify_cfg_pass; inline_pass; strlen_pass; const_fold_pass; dce_pass ]
-  else
+let registry : pass list ref = ref []
+
+let register (p : pass) =
+  if List.exists (fun q -> String.equal q.pass_name p.pass_name) !registry
+  then invalid_arg ("Opt.register: duplicate pass " ^ p.pass_name);
+  registry := !registry @ [ p ]
+
+(* Registration order is the canonical pass enumeration order: it feeds
+   [Compiler.random_options]' per-pass coin flips, so reordering it
+   reshuffles every seeded option stream. Append new passes at the end. *)
+let () =
+  List.iter register
     [
-      const_fold_pass; simplify_cfg_pass; inline_pass; strlen_pass;
-      loop_pass; const_fold_pass; simplify_cfg_pass; dce_pass;
+      const_fold_pass; simplify_cfg_pass; dce_pass; inline_pass;
+      strlen_pass; loop_pass;
     ]
 
-let run_pipeline ?cov ~level ~disabled (p : program) : (string * int) list =
-  List.filter_map
-    (fun pass ->
-      if List.mem pass.pass_name disabled then None
-      else Some (pass.pass_name, pass.run ?cov p))
-    (passes_for_level level)
+let all_passes () = !registry
+let pass_names () = List.map (fun p -> p.pass_name) !registry
+
+let find_pass name =
+  List.find_opt (fun p -> String.equal p.pass_name name) !registry
+
+let resolve name =
+  match find_pass name with
+  | Some p -> p
+  | None -> invalid_arg ("Opt: unknown pass " ^ name)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline specs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type spec = { spec_name : string; spec_level : int; spec_passes : string list }
+
+let specs =
+  [
+    { spec_name = "O0"; spec_level = 0; spec_passes = [] };
+    {
+      spec_name = "O1";
+      spec_level = 1;
+      spec_passes = [ "constfold"; "simplify-cfg"; "dce" ];
+    };
+    {
+      spec_name = "O2";
+      spec_level = 2;
+      spec_passes =
+        [ "constfold"; "simplify-cfg"; "inline"; "strlen-opt"; "constfold"; "dce" ];
+    };
+    {
+      spec_name = "O3";
+      spec_level = 3;
+      spec_passes =
+        [
+          "constfold"; "simplify-cfg"; "inline"; "strlen-opt"; "loop-opt";
+          "constfold"; "simplify-cfg"; "dce";
+        ];
+    };
+  ]
+
+(* Every spec entry must resolve against the registry and respect the
+   pass's default placement; fail loudly at module init otherwise. *)
+let () =
+  List.iter
+    (fun s ->
+      List.iter
+        (fun name ->
+          let p = resolve name in
+          if s.spec_level < p.pass_since then
+            invalid_arg
+              (Printf.sprintf "Opt: spec %s schedules %s below -O%d"
+                 s.spec_name name p.pass_since))
+        s.spec_passes)
+    specs
+
+let spec_for_level level =
+  let level = if level <= 0 then 0 else if level >= 3 then 3 else level in
+  List.find (fun s -> s.spec_level = level) specs
+
+let passes_for_level level = List.map resolve (spec_for_level level).spec_passes
+
+let planned ?pass_list ~level ~disabled () : string list =
+  let base =
+    match pass_list with
+    | Some names ->
+      List.iter (fun n -> ignore (resolve n)) names;
+      names
+    | None -> (spec_for_level level).spec_passes
+  in
+  List.filter (fun n -> not (List.mem n disabled)) base
+
+let run_pipeline ?cov ?observer ?instrument ?pass_list ~level ~disabled
+    (p : program) : (string * int) list =
+  let names = planned ?pass_list ~level ~disabled () in
+  List.mapi
+    (fun index name ->
+      let pass = resolve name in
+      let execute () = pass.run ?cov p in
+      let changes =
+        match instrument with Some f -> f pass execute | None -> execute ()
+      in
+      (match observer with
+      | Some f -> f ~index ~pass ~changes p
+      | None -> ());
+      (pass.pass_name, changes))
+    names

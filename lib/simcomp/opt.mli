@@ -1,9 +1,16 @@
-(** The optimizer of the simulated compiler.
+(** The optimizer of the simulated compiler: a registered pass pipeline.
 
-    Pass pipeline by level:
+    Each pass registers a name, a default placement (the lowest [-O]
+    level that schedules it), and a [run] over the IR. Optimization
+    levels are named pipeline {e specs} — ordered pass-name lists
+    resolved against the registry — so drivers can introspect the
+    pipeline, disable passes, override the order, and observe each pass
+    as it executes (IR dumps, differential testing, culprit bisection).
+
+    Default specs:
     {ul
     {- [-O1]: constfold, simplify-cfg, dce}
-    {- [-O2]: + inline, strlen-opt}
+    {- [-O2]: + inline, strlen-opt, a second constfold}
     {- [-O3]: + loop-opt (the "vectorizer" of the GCC #111820 hang)}}
 
     Passes mutate the IR in place, report branch coverage per decision,
@@ -12,6 +19,8 @@
 
 type pass = {
   pass_name : string;
+  pass_since : int;
+      (** default placement: lowest [-O] level that schedules the pass *)
   run : ?cov:Coverage.t -> Ir.program -> int;  (** returns changes made *)
 }
 
@@ -37,13 +46,49 @@ val loop_pass : pass
 (** Back-edge detection and trip-count analysis (coverage-bearing; the
     stage where the vectorizer-hang bug is keyed). *)
 
+(** {1 Registry} *)
+
+val register : pass -> unit
+(** Append a pass to the registry. Registration order is the canonical
+    enumeration order (option fuzzing depends on it).
+    @raise Invalid_argument on a duplicate name. *)
+
+val all_passes : unit -> pass list
+val pass_names : unit -> string list
+
+val find_pass : string -> pass option
+
+(** {1 Pipeline specs} *)
+
+type spec = { spec_name : string; spec_level : int; spec_passes : string list }
+
+val specs : spec list
+(** One spec per optimization level, [O0] through [O3]. *)
+
+val spec_for_level : int -> spec
+(** Clamps the level into [0, 3]. *)
+
 val passes_for_level : int -> pass list
+
+val planned :
+  ?pass_list:string list -> level:int -> disabled:string list -> unit ->
+  string list
+(** The ordered pass names the driver will execute: [pass_list] when
+    given (an explicit pipeline override), else the spec for [level],
+    minus [disabled].
+    @raise Invalid_argument if [pass_list] names an unknown pass. *)
 
 val run_pipeline :
   ?cov:Coverage.t ->
+  ?observer:(index:int -> pass:pass -> changes:int -> Ir.program -> unit) ->
+  ?instrument:(pass -> (unit -> int) -> int) ->
+  ?pass_list:string list ->
   level:int ->
   disabled:string list ->
   Ir.program ->
   (string * int) list
-(** Run the pipeline, skipping [disabled] pass names; returns
-    [(pass, changes)] per executed pass. *)
+(** Run the planned pipeline over the program; returns [(pass, changes)]
+    per executed pass. [instrument] wraps each pass execution (spans);
+    [observer] fires after each pass with the mutated program (metrics,
+    IR snapshots, differential checks).
+    @raise Invalid_argument if [pass_list] names an unknown pass. *)

@@ -466,12 +466,16 @@ let wrongcode_tests =
           in
           if
             Simcomp.Bugdb.check_miscompile ~compiler:Simcomp.Compiler.Gcc
-              ~opt_level:3 ~ast:a
+              ~opt_level:3
+              ~pipeline:
+                (Simcomp.Compiler.pipeline_of
+                   { Simcomp.Compiler.default_options with opt_level = 3 })
+              ~ast:a
             = None
           then
             check Alcotest.bool "sound" true
               (Fuzzing.Wrongcode.check_program Simcomp.Compiler.Gcc
-                 { Simcomp.Compiler.opt_level = 3; disabled_passes = [] }
+                 { Simcomp.Compiler.default_options with opt_level = 3 }
                  src
               = None)
         done);
@@ -483,6 +487,114 @@ let wrongcode_tests =
         in
         check Alcotest.bool "checked some" true
           (r.Fuzzing.Wrongcode.r_checked > 0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Culprit-pass bisection                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One trigger per seeded miscompile, validated against the Bugdb ground
+   truth (mc_culprit).  Where the bug needs a masking pass absent, the
+   options disable it. *)
+let bisect_cases =
+  [
+    ( "gcc-wrongcode-reassoc", Simcomp.Compiler.Gcc,
+      { Simcomp.Compiler.default_options with opt_level = 2 },
+      "constfold", wrongcode_trigger );
+    ( "gcc-wrongcode-narrowing", Simcomp.Compiler.Gcc,
+      { Simcomp.Compiler.default_options with opt_level = 3 },
+      "loop-opt",
+      "int main(void) { int x = (int)(char)200; int s = 3; int n = 1; while \
+       (--n) s += 5; return (s - x) & 255; }" );
+    ( "clang-wrongcode-instsimplify", Simcomp.Compiler.Clang,
+      { Simcomp.Compiler.default_options with opt_level = 2 },
+      "dce",
+      "int main(void) { int a = 120; int b = 3; int c = a > b ? 1 : 2; int d \
+       = b > a ? 3 : 4; int e; e = (c, d); switch (c) { case 1: e += 1; \
+       break; default: e += 2; break; } return (a - b - e) & 255; }" );
+    ( "gcc-wrongcode-strlen-nofold", Simcomp.Compiler.Gcc,
+      { Simcomp.Compiler.default_options with
+        opt_level = 2; disabled_passes = [ "constfold" ] },
+      "strlen-opt",
+      "char buf[16];\n\
+       int helper(void) { return sprintf(buf, \"%s-pad\", buf); }\n\
+       int main(void) { int a = 90; int b = 7; return (a - b) & 255; }" );
+    ( "clang-wrongcode-jumpthread", Simcomp.Compiler.Clang,
+      { Simcomp.Compiler.default_options with
+        opt_level = 2; disabled_passes = [ "dce" ] },
+      "simplify-cfg",
+      "int main(void) { int a = 100; int b = 9; goto skip; a = 1; skip: \
+       return (a - b) & 255; }" );
+  ]
+
+let bisect_tests =
+  let open Fuzzing.Bisect in
+  [
+    tc "bisection recovers every seeded miscompile's culprit pass" (fun () ->
+        List.iter
+          (fun (id, compiler, opts, culprit, src) ->
+            match run compiler opts src with
+            | None -> Alcotest.failf "%s: no finding" id
+            | Some v ->
+              check Alcotest.bool (id ^ " is wrong-code") true
+                (match v.v_finding with Wrong_code _ -> true | Ice _ -> false);
+              check Alcotest.bool (id ^ " attributable") true v.v_attributable;
+              check
+                Alcotest.(list string)
+                (id ^ " culprit") [ culprit ] v.v_culprits;
+              check
+                Alcotest.(option string)
+                (id ^ " first divergent") (Some culprit) v.v_first_divergent)
+          bisect_cases);
+    tc "clean source yields no finding" (fun () ->
+        check Alcotest.bool "none" true
+          (run Simcomp.Compiler.Gcc Simcomp.Compiler.default_options
+             "int main(void) { return 40 + 2; }"
+          = None));
+    tc "per-pass differential stays silent on clean programs" (fun () ->
+        let rng = Rng.create 77 in
+        let cfg =
+          { Ast_gen.default_config with
+            allow_pointers = false; allow_structs = false;
+            allow_strings = false; max_functions = 2; max_depth = 2 }
+        in
+        for _ = 1 to 10 do
+          let src = Ast_gen.gen_source ~cfg rng in
+          match
+            Simcomp.Compiler.compile_passes ~verify:true Simcomp.Compiler.Gcc
+              Simcomp.Compiler.default_options src
+          with
+          | Ok tr ->
+            check
+              Alcotest.(option string)
+              "no divergence" None tr.Simcomp.Compiler.pt_first_divergent
+          | Error _ -> ()
+        done);
+    tc "an ICE bisects to the pass whose disabling clears it" (fun () ->
+        (* gcc-dce-unfolded: fires when dce runs without a prior
+           constfold, so with constfold already off the culprit is dce *)
+        let opts =
+          { Simcomp.Compiler.default_options with
+            opt_level = 2; disabled_passes = [ "constfold" ] }
+        in
+        let src =
+          "int main(void) { int a = 1; int b = 2; int c = a < b ? 1 : 2; int \
+           d = b < a ? 3 : 4; return a + b + c + d; }"
+        in
+        match run Simcomp.Compiler.Gcc opts src with
+        | Some v ->
+          check Alcotest.bool "is ICE" true
+            (match v.v_finding with
+            | Ice { bug_id; _ } -> String.equal bug_id "gcc-dce-unfolded"
+            | Wrong_code _ -> false);
+          check Alcotest.bool "attributable" true v.v_attributable;
+          check Alcotest.bool "dce among culprits" true
+            (List.mem "dce" v.v_culprits)
+        | None -> Alcotest.fail "expected an ICE finding");
+    tc "bisection verdicts are deterministic" (fun () ->
+        let _, compiler, opts, _, src = List.hd bisect_cases in
+        let v1 = run compiler opts src and v2 = run compiler opts src in
+        check Alcotest.bool "same verdict" true (v1 = v2));
   ]
 
 let mutation_score_tests =
@@ -563,5 +675,6 @@ let () =
       ("campaign", campaign_tests);
       ("report", report_tests);
       ("wrongcode", wrongcode_tests);
+      ("bisect", bisect_tests);
       ("mutation-score", mutation_score_tests);
     ]

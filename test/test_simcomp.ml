@@ -704,7 +704,7 @@ let backend_tests =
 
 let compile ?(compiler = Simcomp.Compiler.Gcc) ?(opt = 2) src =
   Simcomp.Compiler.compile compiler
-    { Simcomp.Compiler.opt_level = opt; disabled_passes = [] }
+    { Simcomp.Compiler.default_options with opt_level = opt }
     src
 
 let expect_crash ?compiler ?opt ~bug src =
@@ -1078,9 +1078,15 @@ let compile_pipeline_tests =
           (Simcomp.Compiler.compile_cached ~cache ~engine:cached_engine
              Simcomp.Compiler.Gcc opts src);
         (* same compile.total / compile.outcome.* family, plus the
-           compile.cached marker on the cached run *)
+           compile.cached marker on the cached run; opt.pass.* counters
+           count real pass executions (like spans) and are legitimately
+           absent on a hit *)
         let drop_cached =
-          List.filter (fun (name, _) -> name <> "compile.cached")
+          List.filter (fun (name, _) ->
+              name <> "compile.cached"
+              && not
+                   (String.length name >= 9
+                   && String.equal (String.sub name 0 9) "opt.pass."))
         in
         check Alcotest.bool "counter families match" true
           (drop_cached (counters uncached)
@@ -1131,6 +1137,181 @@ let compile_pipeline_tests =
           (Simcomp.Compiler.cache_hits cache));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Pass manager                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let pass_manager_tests =
+  let opts_at ?(disabled = []) ?pass_list level =
+    {
+      Simcomp.Compiler.default_options with
+      opt_level = level;
+      disabled_passes = disabled;
+      pass_list;
+    }
+  in
+  [
+    tc "registry enumerates passes in canonical order" (fun () ->
+        check
+          Alcotest.(list string)
+          "names"
+          [ "constfold"; "simplify-cfg"; "dce"; "inline"; "strlen-opt";
+            "loop-opt" ]
+          (Simcomp.Opt.pass_names ()));
+    tc "registering a duplicate pass name is rejected" (fun () ->
+        Alcotest.check_raises "duplicate"
+          (Invalid_argument "Opt.register: duplicate pass dce") (fun () ->
+            Simcomp.Opt.register Simcomp.Opt.dce_pass));
+    tc "pipeline specs are golden per level" (fun () ->
+        let golden =
+          [
+            (0, []);
+            (1, [ "constfold"; "simplify-cfg"; "dce" ]);
+            ( 2,
+              [ "constfold"; "simplify-cfg"; "inline"; "strlen-opt";
+                "constfold"; "dce" ] );
+            ( 3,
+              [ "constfold"; "simplify-cfg"; "inline"; "strlen-opt";
+                "loop-opt"; "constfold"; "simplify-cfg"; "dce" ] );
+          ]
+        in
+        List.iter
+          (fun (level, expected) ->
+            check
+              Alcotest.(list string)
+              (Fmt.str "-O%d" level) expected
+              (Simcomp.Compiler.pipeline_of (opts_at level)))
+          golden);
+    tc "unknown pass in an explicit pipeline is rejected" (fun () ->
+        check Alcotest.bool "raises" true
+          (try
+             ignore
+               (Simcomp.Compiler.pipeline_of
+                  (opts_at ~pass_list:[ "constfold"; "vectorize" ] 2));
+             false
+           with Invalid_argument _ -> true));
+    tc "disabling a pass equals the explicit pipeline without it" (fun () ->
+        let src =
+          "int five(void) { return 5; }\n\
+           int main(void) { int unused = 1 + 2; return five() + 4; }"
+        in
+        let spec_minus_dce =
+          List.filter
+            (fun p -> not (String.equal p "dce"))
+            (Simcomp.Compiler.pipeline_of (opts_at 2))
+        in
+        let outcome opts = Simcomp.Compiler.compile Simcomp.Compiler.Gcc opts src in
+        check Alcotest.bool "same outcome" true
+          (outcome (opts_at ~disabled:[ "dce" ] 2)
+          = outcome (opts_at ~pass_list:spec_minus_dce 2)));
+    tc "dump-ir snapshots only the requested pass" (fun () ->
+        let src = "int main(void) { int unused = 1 + 2; return 7; }" in
+        let steps dump =
+          match
+            Simcomp.Compiler.compile_passes Simcomp.Compiler.Gcc
+              { (opts_at 2) with Simcomp.Compiler.dump_ir = dump }
+              src
+          with
+          | Ok tr -> tr.Simcomp.Compiler.pt_steps
+          | Error e -> Alcotest.failf "compile_passes: %s" e
+        in
+        List.iter
+          (fun (st : Simcomp.Compiler.pass_step) ->
+            check Alcotest.bool "no IR captured" true
+              (st.st_ir_before = None && st.st_ir_after = None))
+          (steps Simcomp.Compiler.Dump_none);
+        List.iter
+          (fun (st : Simcomp.Compiler.pass_step) ->
+            check Alcotest.bool "all IR captured" true
+              (st.st_ir_before <> None && st.st_ir_after <> None))
+          (steps Simcomp.Compiler.Dump_all);
+        List.iter
+          (fun (st : Simcomp.Compiler.pass_step) ->
+            let want = String.equal st.st_pass "dce" in
+            check Alcotest.bool "only dce captured" want
+              (st.st_ir_before <> None))
+          (steps (Simcomp.Compiler.Dump_pass "dce")));
+    tc "per-pass run counters follow the spec" (fun () ->
+        let engine = Engine.Ctx.create () in
+        ignore
+          (Simcomp.Compiler.compile ~engine Simcomp.Compiler.Gcc (opts_at 2)
+             "int main(void) { return 1 + 2; }");
+        let runs name =
+          Engine.Metrics.counter_value
+            (Engine.Metrics.counter engine.Engine.Ctx.metrics
+               (Fmt.str "opt.pass.%s.runs" name))
+        in
+        check Alcotest.int "constfold twice" 2 (runs "constfold");
+        check Alcotest.int "dce once" 1 (runs "dce");
+        check Alcotest.int "loop-opt never" 0 (runs "loop-opt"));
+    tc "pass-ordering ICE: dce without a prior constfold" (fun () ->
+        let src =
+          "int main(void) { int a = 1; int b = 2; int c = a < b ? 1 : 2; int \
+           d = b < a ? 3 : 4; return a + b + c + d; }"
+        in
+        (match
+           Simcomp.Compiler.compile Simcomp.Compiler.Gcc
+             (opts_at ~disabled:[ "constfold" ] 2)
+             src
+         with
+        | Simcomp.Compiler.Crashed c ->
+          check Alcotest.string "bug id" "gcc-dce-unfolded"
+            c.Simcomp.Crash.bug_id
+        | _ -> Alcotest.fail "expected the pass-ordering ICE");
+        match Simcomp.Compiler.compile Simcomp.Compiler.Gcc (opts_at 2) src with
+        | Simcomp.Compiler.Compiled _ -> ()
+        | _ -> Alcotest.fail "default pipeline must stay clean");
+    tc "pass-ordering ICE: strlen-opt without a prior inline" (fun () ->
+        let src =
+          "int f(void) { return 1; }\n\
+           int main(void) { return f() + f(); }"
+        in
+        (match
+           Simcomp.Compiler.compile Simcomp.Compiler.Clang
+             (opts_at ~disabled:[ "inline" ] 2)
+             src
+         with
+        | Simcomp.Compiler.Crashed c ->
+          check Alcotest.string "bug id" "clang-strlen-before-inline"
+            c.Simcomp.Crash.bug_id
+        | _ -> Alcotest.fail "expected the pass-ordering ICE");
+        match
+          Simcomp.Compiler.compile Simcomp.Compiler.Clang (opts_at 2) src
+        with
+        | Simcomp.Compiler.Compiled _ -> ()
+        | _ -> Alcotest.fail "default pipeline must stay clean");
+    tc "pass-homed ICE is masked by disabling its home pass" (fun () ->
+        let src =
+          "static char buffer[32];\n\
+           const char tag = 1;\n\
+           int test4(void) { return sprintf(buffer, \"%s\", buffer); }\n\
+           int main(void) { return test4(); }"
+        in
+        (match Simcomp.Compiler.compile Simcomp.Compiler.Gcc (opts_at 2) src with
+        | Simcomp.Compiler.Crashed c ->
+          check Alcotest.string "bug id" "gcc-strlen-range"
+            c.Simcomp.Crash.bug_id
+        | _ -> Alcotest.fail "expected gcc-strlen-range");
+        match
+          Simcomp.Compiler.compile Simcomp.Compiler.Gcc
+            (opts_at ~disabled:[ "strlen-opt" ] 2)
+            src
+        with
+        | Simcomp.Compiler.Crashed c ->
+          Alcotest.failf "still crashed: %s" c.Simcomp.Crash.bug_id
+        | _ -> ());
+    tc "random_options draws from the registry" (fun () ->
+        let rng = Rng.create 11 in
+        for _ = 1 to 50 do
+          let o = Simcomp.Compiler.random_options rng in
+          List.iter
+            (fun p ->
+              check Alcotest.bool "known pass" true
+                (Option.is_some (Simcomp.Opt.find_pass p)))
+            o.Simcomp.Compiler.disabled_passes
+        done);
+  ]
+
 let () =
   Alcotest.run "simcomp"
     [
@@ -1141,6 +1322,7 @@ let () =
       ("interp", interp_tests);
       ("ir", ir_tests);
       ("opt", opt_tests);
+      ("pass-manager", pass_manager_tests);
       ("backend", backend_tests);
       ("bugs-and-pipeline", bug_tests @ pipeline_props);
       ("differential", differential_tests @ [ mutant_differential ]);
