@@ -221,6 +221,38 @@ if [ -x "$BENCH" ]; then
     echo "FAIL: _build/BENCH_fuzz_throughput.json malformed" >&2
     exit 1
   }
+  # Allocation-regression gate: the smoke run's minor-words/compile is
+  # deterministic for a given build, so compare it against the recorded
+  # baseline with 15% headroom.  Improvements should lower the baseline
+  # (bench/BASELINE_smoke_minor_words) in the same PR.
+  BASELINE=$(cat bench/BASELINE_smoke_minor_words)
+  SMOKE_WORDS=$(sed -n 's/.*"minor_words_per_compile": \([0-9.]*\).*/\1/p' \
+    _build/BENCH_fuzz_throughput.json | head -n 1)
+  if [ -z "$SMOKE_WORDS" ]; then
+    echo "FAIL: minor_words_per_compile missing from bench JSON" >&2
+    exit 1
+  fi
+  if awk -v w="$SMOKE_WORDS" -v b="$BASELINE" 'BEGIN { exit !(w > b * 1.15) }'
+  then
+    echo "FAIL: smoke minor-words/compile $SMOKE_WORDS exceeds baseline $BASELINE x 1.15" >&2
+    exit 1
+  fi
+  echo "smoke minor-words/compile $SMOKE_WORDS within baseline $BASELINE x 1.15"
+fi
+
+echo "== smoke: scheduled fuzzing determinism across job counts =="
+# The corpus scheduler (favored-entry picks + pool trimming) must be
+# deterministic at any job count, like the default path.
+if [ -x "$CLI" ]; then
+  "$CLI" campaign --iterations 10 --jobs 1 --schedule > /tmp/campaign_s1.txt
+  "$CLI" campaign --iterations 10 --jobs 4 --schedule > /tmp/campaign_s4.txt
+  if cmp -s /tmp/campaign_s1.txt /tmp/campaign_s4.txt; then
+    echo "scheduled campaign output identical for --jobs 1 and --jobs 4"
+  else
+    echo "FAIL: scheduled campaign output differs between job counts" >&2
+    diff /tmp/campaign_s1.txt /tmp/campaign_s4.txt >&2 || true
+    exit 1
+  fi
 fi
 
 echo "OK"

@@ -14,10 +14,19 @@
    Results are written as JSON to BENCH_fuzz_throughput.json in the
    current directory (bench/check.sh runs from the repository root).
 
+   The file keeps a history: each run appends (or, for a re-run under
+   the same label, replaces) one entry in the "history" array, and the
+   latest entry's fields are mirrored at the top level so dashboards
+   and bench/check.sh keep reading the flat keys.  A pre-history flat
+   file is migrated into the first entry.
+
    Flags / environment:
      --smoke                     tiny budget for CI (also: METAMUT_BENCH_SMOKE=1)
      --out FILE                  output path (default BENCH_fuzz_throughput.json)
+     --label NAME                history key (default: the mode, smoke/full)
      METAMUT_THROUGHPUT_ITERS=N  override the iteration budget *)
+
+let () = Engine.Runtime.tune ()
 
 let smoke =
   Array.exists (( = ) "--smoke") Sys.argv
@@ -28,13 +37,16 @@ let iterations =
   | Some s -> (try int_of_string s with _ -> 10_000)
   | None -> if smoke then 200 else 10_000
 
-let out_path =
+let flag_value name ~default =
   let rec find i =
-    if i >= Array.length Sys.argv - 1 then "BENCH_fuzz_throughput.json"
-    else if Sys.argv.(i) = "--out" then Sys.argv.(i + 1)
+    if i >= Array.length Sys.argv - 1 then default
+    else if Sys.argv.(i) = name then Sys.argv.(i + 1)
     else find (i + 1)
   in
   find 1
+
+let out_path = flag_value "--out" ~default:"BENCH_fuzz_throughput.json"
+let label = flag_value "--label" ~default:(if smoke then "smoke" else "full")
 
 (* ------------------------------------------------------------------ *)
 (* Measurements                                                        *)
@@ -65,6 +77,8 @@ type run_stats = {
   rs_covered : int;
   rs_crashes : int;
   rs_probe_minor_mean : float;
+  rs_probe_minor_p50 : float;
+  rs_probe_minor_p95 : float;
   rs_promoted_words : float;
   rs_major_collections : float;
 }
@@ -110,6 +124,8 @@ let mucfuzz_throughput () =
     rs_covered = Simcomp.Coverage.covered r.Fuzzing.Fuzz_result.coverage;
     rs_crashes = Fuzzing.Fuzz_result.unique_crashes r;
     rs_probe_minor_mean = Engine.Probe.minor_words_mean probe;
+    rs_probe_minor_p50 = Engine.Probe.minor_words_p50 probe;
+    rs_probe_minor_p95 = Engine.Probe.minor_words_p95 probe;
     rs_promoted_words = Engine.Probe.promoted_words probe;
     rs_major_collections = Engine.Probe.major_collections probe;
   }
@@ -118,35 +134,110 @@ let mucfuzz_throughput () =
 (* JSON output (hand-rolled: no JSON dependency in the image)          *)
 (* ------------------------------------------------------------------ *)
 
-let json_field buf last name v =
-  Buffer.add_string buf (Fmt.str "  %S: %s%s\n" name v (if last then "" else ","))
-
-let emit (rs : run_stats) ~hit_words =
+(* Every field of one run, as (name, rendered value) pairs: the source
+   for both the flat top-level mirror and the single-line history
+   entry. *)
+let fields (rs : run_stats) ~hit_words =
   let per_compile =
     if rs.rs_compiles = 0 then 0.
     else rs.rs_minor_words /. float_of_int rs.rs_compiles
   in
   let rate n = float_of_int n /. rs.rs_elapsed_s in
-  let buf = Buffer.create 512 in
-  let f = json_field buf false and f_last = json_field buf true in
+  [
+    ("label", Fmt.str "%S" label);
+    ("mode", if smoke then "\"smoke\"" else "\"full\"");
+    ("iterations", string_of_int iterations);
+    ("elapsed_s", Fmt.str "%.3f" rs.rs_elapsed_s);
+    ("mutants", string_of_int rs.rs_mutants);
+    ("compiles", string_of_int rs.rs_compiles);
+    ("compiles_cached", string_of_int rs.rs_cached);
+    ("mutants_per_sec", Fmt.str "%.1f" (rate rs.rs_mutants));
+    ("compiles_per_sec", Fmt.str "%.1f" (rate rs.rs_compiles));
+    ("minor_words_per_compile", Fmt.str "%.1f" per_compile);
+    ("coverage_hit_minor_words", Fmt.str "%.6f" hit_words);
+    ("probe_minor_words_per_compile", Fmt.str "%.1f" rs.rs_probe_minor_mean);
+    ("probe_minor_words_p50", Fmt.str "%.1f" rs.rs_probe_minor_p50);
+    ("probe_minor_words_p95", Fmt.str "%.1f" rs.rs_probe_minor_p95);
+    ("probe_promoted_words", Fmt.str "%.1f" rs.rs_promoted_words);
+    ("probe_major_collections", Fmt.str "%.0f" rs.rs_major_collections);
+    ("covered_branches", string_of_int rs.rs_covered);
+    ("unique_crashes", string_of_int rs.rs_crashes);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* History: one single-line object per labeled run                     *)
+(* ------------------------------------------------------------------ *)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+(* A history entry is serialized on one line starting with {"label":,
+   so prior entries are recovered by a line scan — no JSON parser in
+   the image.  A pre-history flat file (one multi-line object, no
+   history array) is collapsed into the first entry. *)
+let entry_label line =
+  let prefix = "{\"label\": \"" in
+  if String.length line > String.length prefix then begin
+    let start = String.length prefix in
+    match String.index_from_opt line start '"' with
+    | Some stop -> String.sub line start (stop - start)
+    | None -> ""
+  end
+  else ""
+
+let read_history path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let content = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let lines = List.map String.trim (String.split_on_char '\n' content) in
+    let entries =
+      List.filter_map
+        (fun l ->
+          if String.starts_with ~prefix:"{\"label\":" l then
+            Some
+              (if String.ends_with ~suffix:"," l then
+                 String.sub l 0 (String.length l - 1)
+               else l)
+          else None)
+        lines
+    in
+    if entries <> [] then entries
+    else if contains_sub content "\"bench\"" && not (contains_sub content "\"history\"")
+    then begin
+      (* legacy flat format: its fields become the first entry *)
+      let fields =
+        List.filter (fun l -> l <> "{" && l <> "}" && l <> "") lines
+      in
+      [ "{\"label\": \"pre-history\", " ^ String.concat " " fields ^ "}" ]
+    end
+    else []
+  end
+
+let emit (rs : run_stats) ~hit_words =
+  let fs = fields rs ~hit_words in
+  let entry =
+    "{" ^ String.concat ", " (List.map (fun (n, v) -> Fmt.str "%S: %s" n v) fs)
+    ^ "}"
+  in
+  (* same label = same experiment re-run: replace in place, keeping the
+     history one entry per label; new labels append chronologically *)
+  let history =
+    List.filter (fun e -> entry_label e <> label) (read_history out_path)
+    @ [ entry ]
+  in
+  let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  f "bench" "\"fuzz_throughput\"";
-  f "mode" (if smoke then "\"smoke\"" else "\"full\"");
-  f "iterations" (string_of_int iterations);
-  f "elapsed_s" (Fmt.str "%.3f" rs.rs_elapsed_s);
-  f "mutants" (string_of_int rs.rs_mutants);
-  f "compiles" (string_of_int rs.rs_compiles);
-  f "compiles_cached" (string_of_int rs.rs_cached);
-  f "mutants_per_sec" (Fmt.str "%.1f" (rate rs.rs_mutants));
-  f "compiles_per_sec" (Fmt.str "%.1f" (rate rs.rs_compiles));
-  f "minor_words_per_compile" (Fmt.str "%.1f" per_compile);
-  f "coverage_hit_minor_words" (Fmt.str "%.6f" hit_words);
-  f "probe_minor_words_per_compile" (Fmt.str "%.1f" rs.rs_probe_minor_mean);
-  f "probe_promoted_words" (Fmt.str "%.1f" rs.rs_promoted_words);
-  f "probe_major_collections" (Fmt.str "%.0f" rs.rs_major_collections);
-  f "covered_branches" (string_of_int rs.rs_covered);
-  f_last "unique_crashes" (string_of_int rs.rs_crashes);
-  Buffer.add_string buf "}\n";
+  Buffer.add_string buf (Fmt.str "  %S: %s,\n" "bench" "\"fuzz_throughput\"");
+  (* the latest run's fields, mirrored flat for dashboards and check.sh *)
+  List.iter (fun (n, v) -> Buffer.add_string buf (Fmt.str "  %S: %s,\n" n v)) fs;
+  Buffer.add_string buf "  \"history\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n" (List.map (fun e -> "    " ^ e) history));
+  Buffer.add_string buf "\n  ]\n}\n";
   let oc = open_out out_path in
   output_string oc (Buffer.contents buf);
   close_out oc;

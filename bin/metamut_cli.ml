@@ -451,8 +451,8 @@ let bisect_cmd =
 (* fuzz                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let fuzz compiler iterations seed corpus_kind sample_every faults metrics
-    trace telemetry status =
+let fuzz compiler iterations seed corpus_kind sample_every schedule pool_max
+    faults metrics trace telemetry status =
   let rng = Cparse.Rng.create seed in
   let seeds = Fuzzing.Seeds.corpus ~n:50 (Cparse.Rng.create seed) in
   let mutators =
@@ -465,7 +465,11 @@ let fuzz compiler iterations seed corpus_kind sample_every faults metrics
   let cfg =
     { (Fuzzing.Mucfuzz.default_config ~mutators ()) with
       Fuzzing.Mucfuzz.max_attempts_per_iteration = 16;
-      sample_every = max 1 sample_every }
+      sample_every = max 1 sample_every;
+      schedule;
+      pool_max =
+        (if pool_max > 0 then pool_max
+         else (Fuzzing.Mucfuzz.default_config ()).Fuzzing.Mucfuzz.pool_max) }
   in
   let engine = Engine.Ctx.create () in
   if trace then
@@ -527,11 +531,30 @@ let fuzz_cmd =
       & info [ "sample-every" ] ~docv:"N"
           ~doc:"Coverage-trend sampling period, iterations per sample.")
   in
+  let schedule =
+    Arg.(
+      value & flag
+      & info [ "schedule" ]
+          ~doc:
+            "AFL-style corpus scheduling: favored entries (smallest per \
+             covered edge) are picked 4:1 and the non-favored pool tail is \
+             trimmed past $(b,--pool-max).  Changes the RNG stream; off by \
+             default to match the paper's Algorithm 1.")
+  in
+  let pool_max =
+    Arg.(
+      value & opt int 0
+      & info [ "pool-max" ] ~docv:"N"
+          ~doc:
+            "Pool size the scheduler trims back to (0 = default 4096); \
+             only meaningful with $(b,--schedule).")
+  in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run the uCFuzz coverage-guided fuzzer")
     Term.(
       const fuzz $ compiler $ iterations $ seed $ corpus $ sample_every
-      $ faults_term $ metrics_flag $ trace $ telemetry_flag $ status_flag)
+      $ schedule $ pool_max $ faults_term $ metrics_flag $ trace
+      $ telemetry_flag $ status_flag)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
@@ -614,8 +637,8 @@ let generate_cmd =
 (* campaign                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let campaign iterations jobs sample_every faults checkpoint resume bisect
-    metrics telemetry status =
+let campaign iterations jobs sample_every schedule faults checkpoint resume
+    bisect metrics telemetry status =
   let cfg =
     { Fuzzing.Campaign.default_config with
       iterations;
@@ -623,7 +646,8 @@ let campaign iterations jobs sample_every faults checkpoint resume bisect
       sample_every =
         (if sample_every > 0 then sample_every else max 1 (iterations / 10));
       jobs =
-        (if jobs > 0 then jobs else Fuzzing.Campaign.default_config.jobs) }
+        (if jobs > 0 then jobs else Fuzzing.Campaign.default_config.jobs);
+      schedule }
   in
   let status = want_status status in
   let engine =
@@ -774,14 +798,25 @@ let campaign_cmd =
              its culprit pass(es) and print the attribution table (also \
              lands in the telemetry campaign report).")
   in
+  let schedule =
+    Arg.(
+      value & flag
+      & info [ "schedule" ]
+          ~doc:
+            "Enable AFL-style corpus scheduling in the uCFuzz cells \
+             (favored-entry picks + pool trimming).  Deterministic at any \
+             job count.")
+  in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run the six-fuzzer RQ1 comparison")
     Term.(
-      const campaign $ iterations $ jobs $ sample_every $ faults_term
+      const campaign $ iterations $ jobs $ sample_every $ schedule
+      $ faults_term
       $ checkpoint $ resume $ bisect $ metrics_flag $ telemetry_flag
       $ status_flag)
 
 let () =
+  Engine.Runtime.tune ();
   let info =
     Cmd.info "metamut" ~version:"1.0.0"
       ~doc:"MetaMut reproduction: LLM-generated mutators for compiler fuzzing"

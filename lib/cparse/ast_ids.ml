@@ -7,22 +7,22 @@
 
 open Ast
 
+(* canonicalise negated literals (the parser folds them, so keeping
+   them folded makes print/parse round trips stable) *)
+let fold_neg (e : expr) : expr =
+  match e.ek with
+  | Unop (Neg, { ek = Int_lit (v, k, u); _ }) ->
+    { e with ek = Int_lit (Int64.neg v, k, u) }
+  | Unop (Neg, { ek = Float_lit (v, d); _ }) ->
+    { e with ek = Float_lit (-.v, d) }
+  | _ -> e
+
+let canonicalize (tu : tu) : tu = Visit.map_tu tu ~fe:fold_neg
+
 let renumber (tu : tu) : tu =
   let next = ref 0 in
   let fresh () = incr next; !next in
-  let fe e =
-    (* canonicalise negated literals (the parser folds them, so keeping
-       them folded makes print/parse round trips stable) *)
-    let e =
-      match e.ek with
-      | Unop (Neg, { ek = Int_lit (v, k, u); _ }) ->
-        { e with ek = Int_lit (Int64.neg v, k, u) }
-      | Unop (Neg, { ek = Float_lit (v, d); _ }) ->
-        { e with ek = Float_lit (-.v, d) }
-      | _ -> e
-    in
-    { e with eid = fresh () }
-  in
+  let fe e = { (fold_neg e) with eid = fresh () } in
   let fs s = { s with sid = fresh () } in
   let globals =
     List.map

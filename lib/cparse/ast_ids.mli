@@ -5,6 +5,13 @@
     Fresh nodes are built with [Ast.no_id]; [renumber] restores the
     invariant after parsing, generation, or mutation. *)
 
+val canonicalize : Ast.tu -> Ast.tu
+(** Only the literal canonicalisation of {!renumber} — negation of a
+    literal is folded into the literal (matching the parser), without
+    touching ids.  Identity-preserving: untouched subtrees are shared
+    with the input.  {!Pretty} output of the result is byte-identical to
+    that of [renumber]'s. *)
+
 val renumber : Ast.tu -> Ast.tu
 (** Reassign every expression, statement, and function a fresh sequential
     id.  Also canonicalises negation-of-literal expressions (matching the

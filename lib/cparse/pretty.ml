@@ -454,13 +454,16 @@ let global_to_buf buf = function
     Buffer.add_string buf (decl_string p.pr_ret (p.pr_name ^ "(" ^ params ^ ")"));
     Buffer.add_string buf ";\n"
 
-let tu_to_string (tu : tu) : string =
-  let buf = Buffer.create 1024 in
+let tu_to_buf buf (tu : tu) : unit =
   List.iteri
     (fun i g ->
       if i > 0 then Buffer.add_char buf '\n';
       global_to_buf buf g)
-    tu.globals;
+    tu.globals
+
+let tu_to_string (tu : tu) : string =
+  let buf = Buffer.create 1024 in
+  tu_to_buf buf tu;
   Buffer.contents buf
 
 let print = tu_to_string

@@ -29,6 +29,10 @@ val expr_to_string : Ast.expr -> string
 val stmt_to_buf : Buffer.t -> int -> Ast.stmt -> unit
 (** Print a statement at the given indentation level. *)
 
+val tu_to_buf : Buffer.t -> Ast.tu -> unit
+(** Render a whole translation unit into [buf] — the scratch-buffer form
+    of {!tu_to_string} used by the fuzz loops' render hot path. *)
+
 val tu_to_string : Ast.tu -> string
 (** Render a whole translation unit as compilable C. *)
 

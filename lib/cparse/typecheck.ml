@@ -18,7 +18,17 @@ type env = {
   enum_consts : (string, int64) Hashtbl.t;
   funcs : (string, ty * ty list * bool) Hashtbl.t; (* ret, params, variadic *)
   globals : (string, ty * quals) Hashtbl.t;
-  mutable scopes : (string, ty * quals) Hashtbl.t list;
+  (* Block scoping as one table plus an undo trail, not a Hashtbl per
+     scope: [vars] stacks shadowed bindings with [Hashtbl.add] (find
+     returns the innermost), each binding is tagged with the depth it
+     was declared at (same-depth redeclaration is the redefinition
+     error), and leaving a scope removes exactly the names its trail
+     recorded.  Deeply nested blocks — which mutants grow without bound
+     — cost one string hash per lookup instead of one per enclosing
+     scope. *)
+  vars : (string, int * ty * quals) Hashtbl.t;
+  mutable depth : int; (* 0 = file scope: declare_local is a no-op *)
+  mutable trail : string list ref list; (* names declared per open scope *)
   types : (int, ty) Hashtbl.t; (* eid -> type *)
   mutable diags : diag list;
   mutable cur_func : fundef option;
@@ -104,28 +114,32 @@ let arith_conv a b =
 let decay ty = match ty with Tarray (t, _) -> Tptr t | t -> t
 
 let lookup_var env name =
-  let rec find = function
-    | [] -> Hashtbl.find_opt env.globals name
-    | scope :: rest -> (
-      match Hashtbl.find_opt scope name with
-      | Some v -> Some v
-      | None -> find rest)
-  in
-  find env.scopes
+  match Hashtbl.find_opt env.vars name with
+  | Some (_, ty, quals) -> Some (ty, quals)
+  | None -> Hashtbl.find_opt env.globals name
 
-let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+let push_scope env =
+  env.depth <- env.depth + 1;
+  env.trail <- ref [] :: env.trail
 
 let pop_scope env =
-  match env.scopes with
-  | _ :: rest -> env.scopes <- rest
+  match env.trail with
+  | declared :: rest ->
+    List.iter (Hashtbl.remove env.vars) !declared;
+    env.trail <- rest;
+    env.depth <- env.depth - 1
   | [] -> ()
 
 let declare_local env name ty quals =
-  match env.scopes with
-  | scope :: _ ->
-    if Hashtbl.mem scope name then
-      error env (Fmt.str "redefinition of '%s'" name);
-    Hashtbl.replace scope name (ty, quals)
+  match env.trail with
+  | declared :: _ ->
+    (match Hashtbl.find_opt env.vars name with
+    | Some (d, _, _) when d = env.depth ->
+      error env (Fmt.str "redefinition of '%s'" name)
+    | _ -> ());
+    (* [add], not [replace]: the outer binding must come back on pop *)
+    Hashtbl.add env.vars name (env.depth, ty, quals);
+    declared := name :: !declared
   | [] -> ()
 
 (* Is an expression a modifiable lvalue?  Returns an error reason if not. *)
@@ -662,7 +676,17 @@ let check_function env (fd : fundef) =
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let check (tu : tu) : result =
+let check ?types (tu : tu) : result =
+  (* [types] lets the compile hot path recycle one grown table across
+     compiles (the caller must be done with the previous result's
+     [r_types] — it is cleared here, not copied). *)
+  let types =
+    match types with
+    | Some t ->
+      Hashtbl.clear t;
+      t
+    | None -> Hashtbl.create 256
+  in
   let env =
     {
       structs = Hashtbl.create 8;
@@ -671,8 +695,10 @@ let check (tu : tu) : result =
       enum_consts = Hashtbl.create 8;
       funcs = Hashtbl.create 16;
       globals = Hashtbl.create 16;
-      scopes = [];
-      types = Hashtbl.create 256;
+      vars = Hashtbl.create 64;
+      depth = 0;
+      trail = [];
+      types;
       diags = [];
       cur_func = None;
       loop_depth = 0;

@@ -27,8 +27,12 @@ val decay : Ast.ty -> Ast.ty
 val arith_conv : Ast.ty -> Ast.ty -> Ast.ty
 (** Usual arithmetic conversions (integer promotion, float domination). *)
 
-val check : Ast.tu -> result
-(** Check a whole translation unit. *)
+val check : ?types:(int, Ast.ty) Hashtbl.t -> Ast.tu -> result
+(** Check a whole translation unit.  [types] recycles a caller-owned
+    table for the [r_types] map (it is cleared here and returned as
+    [r_types]): the compile hot path passes its arena table so each
+    compile skips re-growing a fresh one.  Callers that retain [r_types]
+    across compiles must not pass a shared table. *)
 
 val errors : result -> diag list
 val warnings : result -> diag list

@@ -2,7 +2,15 @@
 
    [map_*] apply a transformation bottom-up (children first, then the node
    itself), which lets a rewrite function simply test [e.eid] against a
-   target id and return a replacement.  [iter_*] visit nodes top-down. *)
+   target id and return a replacement.  [iter_*] visit nodes top-down.
+
+   Both families are allocation-lean: the recursive workers are hoisted
+   so no closure is built per node, and [map_*] preserve physical
+   identity — a node whose children came back unchanged and whose
+   rewrite function returned it untouched is returned as-is, not
+   rebuilt.  A mutator that edits one node therefore shares every
+   untouched subtree with the input; the AST is immutable, so sharing is
+   observationally equivalent to the old deep copy. *)
 
 open Ast
 
@@ -10,82 +18,172 @@ open Ast
 (* Mapping                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let rec map_expr f (e : expr) : expr =
-  let recur = map_expr f in
-  let ek =
-    match e.ek with
-    | Int_lit _ | Float_lit _ | Char_lit _ | Str_lit _ | Ident _ | Sizeof_ty _ ->
-      e.ek
-    | Binop (op, a, b) -> Binop (op, recur a, recur b)
-    | Unop (op, a) -> Unop (op, recur a)
-    | Assign (op, a, b) -> Assign (op, recur a, recur b)
-    | Incdec (i, p, a) -> Incdec (i, p, recur a)
-    | Call (g, args) -> Call (recur g, List.map recur args)
-    | Index (a, b) -> Index (recur a, recur b)
-    | Member (a, n) -> Member (recur a, n)
-    | Arrow (a, n) -> Arrow (recur a, n)
-    | Deref a -> Deref (recur a)
-    | Addrof a -> Addrof (recur a)
-    | Cast (t, a) -> Cast (t, recur a)
-    | Cond (c, t, f') -> Cond (recur c, recur t, recur f')
-    | Comma (a, b) -> Comma (recur a, recur b)
-    | Sizeof_expr a -> Sizeof_expr (recur a)
-    | Init_list es -> Init_list (List.map recur es)
+(* [List.map f l] returning [l] itself when every element mapped to
+   itself (physically). *)
+let rec map_list_same f = function
+  | [] -> []
+  | x :: tl as l ->
+    let x' = f x in
+    let tl' = map_list_same f tl in
+    if x' == x && tl' == tl then l else x' :: tl'
+
+let opt_map_same f = function
+  | None -> None
+  | Some x as o ->
+    let x' = f x in
+    if x' == x then o else Some x'
+
+let map_expr f (e : expr) : expr =
+  let rec recur (e : expr) =
+    let ek =
+      match e.ek with
+      | Int_lit _ | Float_lit _ | Char_lit _ | Str_lit _ | Ident _
+      | Sizeof_ty _ ->
+        e.ek
+      | Binop (op, a, b) ->
+        let a' = recur a and b' = recur b in
+        if a' == a && b' == b then e.ek else Binop (op, a', b')
+      | Unop (op, a) ->
+        let a' = recur a in
+        if a' == a then e.ek else Unop (op, a')
+      | Assign (op, a, b) ->
+        let a' = recur a and b' = recur b in
+        if a' == a && b' == b then e.ek else Assign (op, a', b')
+      | Incdec (i, p, a) ->
+        let a' = recur a in
+        if a' == a then e.ek else Incdec (i, p, a')
+      | Call (g, args) ->
+        let g' = recur g and args' = map_list_same recur args in
+        if g' == g && args' == args then e.ek else Call (g', args')
+      | Index (a, b) ->
+        let a' = recur a and b' = recur b in
+        if a' == a && b' == b then e.ek else Index (a', b')
+      | Member (a, n) ->
+        let a' = recur a in
+        if a' == a then e.ek else Member (a', n)
+      | Arrow (a, n) ->
+        let a' = recur a in
+        if a' == a then e.ek else Arrow (a', n)
+      | Deref a ->
+        let a' = recur a in
+        if a' == a then e.ek else Deref a'
+      | Addrof a ->
+        let a' = recur a in
+        if a' == a then e.ek else Addrof a'
+      | Cast (t, a) ->
+        let a' = recur a in
+        if a' == a then e.ek else Cast (t, a')
+      | Cond (c, t, f') ->
+        let c' = recur c and t' = recur t and f'' = recur f' in
+        if c' == c && t' == t && f'' == f' then e.ek else Cond (c', t', f'')
+      | Comma (a, b) ->
+        let a' = recur a and b' = recur b in
+        if a' == a && b' == b then e.ek else Comma (a', b')
+      | Sizeof_expr a ->
+        let a' = recur a in
+        if a' == a then e.ek else Sizeof_expr a'
+      | Init_list es ->
+        let es' = map_list_same recur es in
+        if es' == es then e.ek else Init_list es'
+    in
+    f (if ek == e.ek then e else { e with ek })
   in
-  f { e with ek }
+  recur e
 
 let map_var_decl fe (v : var_decl) =
-  { v with v_init = Option.map (map_expr fe) v.v_init }
+  let init' = opt_map_same (map_expr fe) v.v_init in
+  if init' == v.v_init then v else { v with v_init = init' }
 
-let rec map_stmt ~fe ~fs (s : stmt) : stmt =
+let map_stmt ~fe ~fs (s : stmt) : stmt =
   let me = map_expr fe in
-  let ms = map_stmt ~fe ~fs in
-  let sk =
-    match s.sk with
-    | Sexpr e -> Sexpr (me e)
-    | Sdecl vs -> Sdecl (List.map (map_var_decl fe) vs)
-    | Sif (c, t, f) -> Sif (me c, ms t, Option.map ms f)
-    | Swhile (c, b) -> Swhile (me c, ms b)
-    | Sdo (b, c) -> Sdo (ms b, me c)
-    | Sfor (init, cond, step, b) ->
-      let init =
-        Option.map
-          (function
-            | Fi_expr e -> Fi_expr (me e)
-            | Fi_decl vs -> Fi_decl (List.map (map_var_decl fe) vs))
-          init
-      in
-      Sfor (init, Option.map me cond, Option.map me step, ms b)
-    | Sreturn e -> Sreturn (Option.map me e)
-    | Sbreak -> Sbreak
-    | Scontinue -> Scontinue
-    | Sblock ss -> Sblock (List.map ms ss)
-    | Sswitch (e, cases) ->
-      let map_case c =
-        let case_labels =
-          List.map
-            (function L_case e -> L_case (me e) | L_default -> L_default)
-            c.case_labels
+  let mv = map_var_decl fe in
+  let rec ms (s : stmt) =
+    let sk =
+      match s.sk with
+      | Sexpr e ->
+        let e' = me e in
+        if e' == e then s.sk else Sexpr e'
+      | Sdecl vs ->
+        let vs' = map_list_same mv vs in
+        if vs' == vs then s.sk else Sdecl vs'
+      | Sif (c, t, f) ->
+        let c' = me c and t' = ms t and f' = opt_map_same ms f in
+        if c' == c && t' == t && f' == f then s.sk else Sif (c', t', f')
+      | Swhile (c, b) ->
+        let c' = me c and b' = ms b in
+        if c' == c && b' == b then s.sk else Swhile (c', b')
+      | Sdo (b, c) ->
+        let b' = ms b and c' = me c in
+        if b' == b && c' == c then s.sk else Sdo (b', c')
+      | Sfor (init, cond, step, b) ->
+        let init' =
+          opt_map_same
+            (fun fi ->
+              match fi with
+              | Fi_expr e ->
+                let e' = me e in
+                if e' == e then fi else Fi_expr e'
+              | Fi_decl vs ->
+                let vs' = map_list_same mv vs in
+                if vs' == vs then fi else Fi_decl vs')
+            init
         in
-        { case_labels; case_body = List.map ms c.case_body }
-      in
-      Sswitch (me e, List.map map_case cases)
-    | Sgoto l -> Sgoto l
-    | Slabel (l, inner) -> Slabel (l, ms inner)
-    | Snull -> Snull
+        let cond' = opt_map_same me cond in
+        let step' = opt_map_same me step in
+        let b' = ms b in
+        if init' == init && cond' == cond && step' == step && b' == b then
+          s.sk
+        else Sfor (init', cond', step', b')
+      | Sreturn e ->
+        let e' = opt_map_same me e in
+        if e' == e then s.sk else Sreturn e'
+      | Sbreak | Scontinue | Sgoto _ | Snull -> s.sk
+      | Sblock ss ->
+        let ss' = map_list_same ms ss in
+        if ss' == ss then s.sk else Sblock ss'
+      | Sswitch (e, cases) ->
+        let map_case c =
+          let case_labels =
+            map_list_same
+              (fun l ->
+                match l with
+                | L_case e ->
+                  let e' = me e in
+                  if e' == e then l else L_case e'
+                | L_default -> l)
+              c.case_labels
+          in
+          let case_body = map_list_same ms c.case_body in
+          if case_labels == c.case_labels && case_body == c.case_body then c
+          else { case_labels; case_body }
+        in
+        let e' = me e and cases' = map_list_same map_case cases in
+        if e' == e && cases' == cases then s.sk else Sswitch (e', cases')
+      | Slabel (l, inner) ->
+        let inner' = ms inner in
+        if inner' == inner then s.sk else Slabel (l, inner')
+    in
+    fs (if sk == s.sk then s else { s with sk })
   in
-  fs { s with sk }
+  ms s
 
 let map_fundef ~fe ~fs (fd : fundef) =
-  { fd with f_body = List.map (map_stmt ~fe ~fs) fd.f_body }
+  let body' = map_list_same (map_stmt ~fe ~fs) fd.f_body in
+  if body' == fd.f_body then fd else { fd with f_body = body' }
 
 let map_tu ?(fe = fun e -> e) ?(fs = fun s -> s) (tu : tu) : tu =
-  let map_global = function
-    | Gfun fd -> Gfun (map_fundef ~fe ~fs fd)
-    | Gvar v -> Gvar (map_var_decl fe v)
-    | (Gtypedef _ | Gstruct _ | Gunion _ | Genum _ | Gproto _) as g -> g
+  let map_global g =
+    match g with
+    | Gfun fd ->
+      let fd' = map_fundef ~fe ~fs fd in
+      if fd' == fd then g else Gfun fd'
+    | Gvar v ->
+      let v' = map_var_decl fe v in
+      if v' == v then g else Gvar v'
+    | Gtypedef _ | Gstruct _ | Gunion _ | Genum _ | Gproto _ -> g
   in
-  { globals = List.map map_global tu.globals }
+  let globals' = map_list_same map_global tu.globals in
+  if globals' == tu.globals then tu else { globals = globals' }
 
 (* Replace the expression with id [eid] by [repl] everywhere. *)
 let replace_expr tu ~eid ~repl =
@@ -111,54 +209,60 @@ let remove_stmt tu ~sid =
 (* Iteration                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let rec iter_expr f (e : expr) =
-  f e;
-  let recur = iter_expr f in
-  match e.ek with
-  | Int_lit _ | Float_lit _ | Char_lit _ | Str_lit _ | Ident _ | Sizeof_ty _ ->
-    ()
-  | Binop (_, a, b) | Assign (_, a, b) | Index (a, b) | Comma (a, b) ->
-    recur a; recur b
-  | Unop (_, a) | Incdec (_, _, a) | Member (a, _) | Arrow (a, _)
-  | Deref a | Addrof a | Cast (_, a) | Sizeof_expr a -> recur a
-  | Call (g, args) -> recur g; List.iter recur args
-  | Cond (c, t, f') -> recur c; recur t; recur f'
-  | Init_list es -> List.iter recur es
+let iter_expr f (e : expr) =
+  let rec recur (e : expr) =
+    f e;
+    match e.ek with
+    | Int_lit _ | Float_lit _ | Char_lit _ | Str_lit _ | Ident _
+    | Sizeof_ty _ ->
+      ()
+    | Binop (_, a, b) | Assign (_, a, b) | Index (a, b) | Comma (a, b) ->
+      recur a; recur b
+    | Unop (_, a) | Incdec (_, _, a) | Member (a, _) | Arrow (a, _)
+    | Deref a | Addrof a | Cast (_, a) | Sizeof_expr a -> recur a
+    | Call (g, args) -> recur g; List.iter recur args
+    | Cond (c, t, f') -> recur c; recur t; recur f'
+    | Init_list es -> List.iter recur es
+  in
+  recur e
 
 let iter_var_decl fe (v : var_decl) = Option.iter (iter_expr fe) v.v_init
 
-let rec iter_stmt ~fe ~fs (s : stmt) =
-  fs s;
-  let ie = iter_expr fe in
-  let is' = iter_stmt ~fe ~fs in
-  match s.sk with
-  | Sexpr e -> ie e
-  | Sdecl vs -> List.iter (iter_var_decl fe) vs
-  | Sif (c, t, f) -> ie c; is' t; Option.iter is' f
-  | Swhile (c, b) -> ie c; is' b
-  | Sdo (b, c) -> is' b; ie c
-  | Sfor (init, cond, step, b) ->
-    Option.iter
-      (function
-        | Fi_expr e -> ie e
-        | Fi_decl vs -> List.iter (iter_var_decl fe) vs)
-      init;
-    Option.iter ie cond;
-    Option.iter ie step;
-    is' b
-  | Sreturn e -> Option.iter ie e
-  | Sbreak | Scontinue | Sgoto _ | Snull -> ()
-  | Sblock ss -> List.iter is' ss
-  | Sswitch (e, cases) ->
-    ie e;
-    List.iter
-      (fun c ->
-        List.iter
-          (function L_case e -> ie e | L_default -> ())
-          c.case_labels;
-        List.iter is' c.case_body)
-      cases
-  | Slabel (_, inner) -> is' inner
+let iter_stmt ~fe ~fs (s : stmt) =
+  let ie e = iter_expr fe e in
+  let iv v = iter_var_decl fe v in
+  let rec is' (s : stmt) =
+    fs s;
+    match s.sk with
+    | Sexpr e -> ie e
+    | Sdecl vs -> List.iter iv vs
+    | Sif (c, t, f) -> ie c; is' t; Option.iter is' f
+    | Swhile (c, b) -> ie c; is' b
+    | Sdo (b, c) -> is' b; ie c
+    | Sfor (init, cond, step, b) ->
+      Option.iter
+        (function
+          | Fi_expr e -> ie e
+          | Fi_decl vs -> List.iter iv vs)
+        init;
+      Option.iter ie cond;
+      Option.iter ie step;
+      is' b
+    | Sreturn e -> Option.iter ie e
+    | Sbreak | Scontinue | Sgoto _ | Snull -> ()
+    | Sblock ss -> List.iter is' ss
+    | Sswitch (e, cases) ->
+      ie e;
+      List.iter
+        (fun c ->
+          List.iter
+            (function L_case e -> ie e | L_default -> ())
+            c.case_labels;
+          List.iter is' c.case_body)
+        cases
+    | Slabel (_, inner) -> is' inner
+  in
+  is' s
 
 let iter_tu ?(fe = fun _ -> ()) ?(fs = fun _ -> ()) (tu : tu) =
   List.iter

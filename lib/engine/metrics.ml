@@ -116,6 +116,38 @@ let observe (h : histogram) v =
 let histogram_mean (h : histogram) =
   if h.h_total = 0 then 0. else h.h_sum /. float_of_int h.h_total
 
+(* Prometheus-style quantile estimate from bucket counts: find the
+   bucket holding the q-th observation and interpolate linearly inside
+   it.  The overflow bucket has no upper bound, so values landing there
+   clamp to the top edge — like `histogram_quantile` over `+Inf`. *)
+let quantile_of ~(edges : float array) ~(counts : int array) ~total q =
+  if total = 0 then 0.
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let rank = q *. float_of_int total in
+    let n = Array.length edges in
+    let rec go i cum =
+      if i >= n then edges.(n - 1)
+      else begin
+        let cum' = cum + counts.(i) in
+        if float_of_int cum' >= rank then begin
+          let lo = if i = 0 then 0. else edges.(i - 1) in
+          let hi = edges.(i) in
+          if counts.(i) = 0 then hi
+          else
+            lo
+            +. (hi -. lo)
+               *. ((rank -. float_of_int cum) /. float_of_int counts.(i))
+        end
+        else go (i + 1) cum'
+      end
+    in
+    go 0 0
+  end
+
+let histogram_quantile (h : histogram) q =
+  quantile_of ~edges:h.h_edges ~counts:h.h_counts ~total:h.h_total q
+
 type value =
   | Counter of int
   | Gauge of float

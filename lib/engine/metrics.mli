@@ -51,6 +51,17 @@ val bucket_index : histogram -> float -> int
 val observe : histogram -> float -> unit
 val histogram_mean : histogram -> float
 
+val quantile_of :
+  edges:float array -> counts:int array -> total:int -> float -> float
+(** Prometheus-style quantile estimate from raw bucket data: locate the
+    bucket holding the q-th observation and interpolate linearly within
+    it.  Observations in the overflow bucket clamp to the top edge;
+    an empty histogram reads 0.  [q] is clamped to [\[0, 1\]]. *)
+
+val histogram_quantile : histogram -> float -> float
+(** {!quantile_of} over a live instrument ([histogram_quantile h 0.95]
+    is the p95 estimate). *)
+
 type value =
   | Counter of int
   | Gauge of float

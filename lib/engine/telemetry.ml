@@ -107,10 +107,14 @@ let json_of_snapshot (snapshot : (string * Metrics.value) list) : string =
         "[" ^ String.concat "," (List.map f (Array.to_list xs)) ^ "]"
       in
       Some
-        (Fmt.str "{\"edges\": %s, \"counts\": %s, \"sum\": %s, \"total\": %d}"
+        (Fmt.str
+           "{\"edges\": %s, \"counts\": %s, \"sum\": %s, \"total\": %d, \
+            \"p50\": %s, \"p95\": %s}"
            (arr prom_float edges)
            (arr string_of_int counts)
-           (prom_float sum) total)
+           (prom_float sum) total
+           (prom_float (Metrics.quantile_of ~edges ~counts ~total 0.5))
+           (prom_float (Metrics.quantile_of ~edges ~counts ~total 0.95)))
     | _ -> None
   in
   section true "histograms"

@@ -43,3 +43,15 @@ let to_list v =
     acc := v.arr.(i) :: !acc
   done;
   !acc
+
+(* The backing array is kept, so a scratch vector reused across compiles
+   reaches a steady state where push never allocates.  The stale slots
+   beyond [len] still reference their old elements; scratch vectors hold
+   short-lived per-compile data, so the retention window is one compile. *)
+let clear v = v.len <- 0
+
+let to_array v = Array.sub v.arr 0 v.len
+
+let of_array a =
+  let arr = Array.copy a in
+  { arr; len = Array.length arr }

@@ -16,3 +16,16 @@ val get : 'a t -> int -> 'a
 val push : 'a t -> 'a -> unit
 val iter : ('a -> unit) -> 'a t -> unit
 val to_list : 'a t -> 'a list
+
+val clear : 'a t -> unit
+(** Set the length to 0 without shrinking the backing array: a scratch
+    vector reused across compiles reaches a steady state where [push]
+    never allocates.  Elements beyond the new length stay referenced
+    until overwritten. *)
+
+val to_array : 'a t -> 'a array
+(** A fresh array of the live elements — the direct serialization form
+    for checkpoints (no intermediate list). *)
+
+val of_array : 'a array -> 'a t
+(** A vector over a copy of [a] (the argument is not aliased). *)

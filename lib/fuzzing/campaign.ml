@@ -44,6 +44,7 @@ type config = {
   seed_value : int;       (* RNG seed for determinism *)
   max_attempts : int;     (* μCFuzz per-iteration mutator budget *)
   jobs : int;             (* Domain.spawn workers over the matrix *)
+  schedule : bool;        (* μCFuzz corpus scheduling (AFL-style) *)
 }
 
 let default_config =
@@ -54,6 +55,7 @@ let default_config =
     seed_value = 2024;
     max_attempts = 16;
     jobs = Domain.recommended_domain_count ();
+    schedule = false;
   }
 
 (* Per-cell fault-harness derivation tag: distinct per (fuzzer, compiler)
@@ -84,6 +86,7 @@ let run_one ?engine ?faults ?checkpoint ?resume (cfg : config)
       (Mucfuzz.default_config ~mutators ()) with
       Mucfuzz.sample_every = cfg.sample_every;
       max_attempts_per_iteration = cfg.max_attempts;
+      schedule = cfg.schedule;
     }
   in
   (* Equal *wall-clock*, not equal program counts: per Table 5, in 24 h
@@ -142,9 +145,9 @@ let cell_done_file dir cell =
   Filename.concat dir ("done-" ^ cell_name cell ^ ".ckpt")
 
 let cell_fingerprint (cfg : config) ?faults cell =
-  Fmt.str "campaign|%s|it=%d|seeds=%d|every=%d|seed=%d|ma=%d|%s"
+  Fmt.str "campaign|%s|it=%d|seeds=%d|every=%d|seed=%d|ma=%d|sched=%b|%s"
     (cell_name cell) cfg.iterations cfg.seeds cfg.sample_every cfg.seed_value
-    cfg.max_attempts
+    cfg.max_attempts cfg.schedule
     (match faults with
     | None -> "faults=off"
     | Some f -> "faults=" ^ Engine.Faults.fingerprint f)

@@ -30,6 +30,9 @@ type config = {
   jobs : int;
       (** Domain workers over the fuzzer × compiler matrix; [<= 1] runs
           sequentially.  Results are identical at any job count. *)
+  schedule : bool;
+      (** enable {!Mucfuzz} corpus scheduling in the μCFuzz cells (the
+          baselines are unaffected); off by default *)
 }
 
 val default_config : config

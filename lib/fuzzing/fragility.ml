@@ -54,9 +54,12 @@ let corrupt (rng : Rng.t) (src : string) : string =
       String.sub src 0 cut
   end
 
-(* Render a mutated unit to text, applying the fragility model. *)
+(* Render a mutated unit to text, applying the fragility model.  The
+   pretty-printing goes through the compile arena's render buffer — the
+   bytes are identical to [Pretty.tu_to_string]'s, without growing a
+   fresh buffer per mutant. *)
 let render (rng : Rng.t) (m : Mutators.Mutator.t) (tu : Cparse.Ast.tu) : string =
-  let src = Pretty.tu_to_string tu in
+  let src = Simcomp.Scratch.render_tu tu in
   if Rng.flip rng (slip_probability m.Mutators.Mutator.provenance) then
     corrupt rng src
   else src

@@ -88,7 +88,7 @@ let run ?(cfg = default_config) ~rng ~compiler ~seeds ~iterations () :
       | Some m ->
         let src' =
           if cfg.fragility then Fragility.render inst.i_rng m !mutated
-          else Pretty.tu_to_string !mutated
+          else Simcomp.Scratch.render_tu !mutated
         in
         (* resource limit: discard over-sized mutants *)
         if String.length src' <= cfg.max_program_bytes then begin

@@ -18,6 +18,8 @@ type config = {
   coverage_guided : bool; (* ablation: accept every mutant when false *)
   max_attempts_per_iteration : int; (* |M| in the paper *)
   sample_every : int;     (* coverage-trend sampling period *)
+  schedule : bool;        (* AFL-style favored-entry corpus scheduling *)
+  pool_max : int;         (* trim target when [schedule] is on *)
 }
 
 let default_config ?(mutators = Mutators.Registry.core) () =
@@ -27,9 +29,21 @@ let default_config ?(mutators = Mutators.Registry.core) () =
     coverage_guided = true;
     max_attempts_per_iteration = List.length mutators;
     sample_every = 25;
+    (* off by default: the paper's Algorithm 1 has no culling, and the
+       default RNG stream must stay byte-identical to pre-scheduling
+       builds *)
+    schedule = false;
+    pool_max = 4096;
   }
 
-type pool_entry = { src : string; tu : Ast.tu }
+type pool_entry = {
+  src : string;
+  tu : Ast.tu;
+  pe_len : int;          (* String.length src: the scheduling rank *)
+  mutable pe_tops : int; (* edges this entry currently claims (favored iff > 0) *)
+}
+
+let make_entry src tu = { src; tu; pe_len = String.length src; pe_tops = 0 }
 
 (* Pre-resolved per-mutator instruments: one Hashtbl lookup at set-up,
    O(1) bumps on the hot path. *)
@@ -51,11 +65,123 @@ type state = {
   trend_sink : Engine.Event.sink;
   (* pool/cache/faults are replaced wholesale on checkpoint resume *)
   mutable pool : pool_entry Engine.Vec.t; (* amortized-O(1) accepts *)
-  scratch : Simcomp.Coverage.t;      (* per-mutant map, reset not realloc'd *)
+  scratch : Simcomp.Coverage.t; (* per-mutant map, consumed not realloc'd *)
   mutable cache : Simcomp.Compiler.cache; (* byte-identical mutant dedup *)
+  mutable batch : Simcomp.Compiler.batch; (* per-TU setup hoisted out *)
   mutable faults : Engine.Faults.t option;
+  sched_top : Bytes.t;
+  (* per-coverage-cell claimant: little-endian u16 pool index per cell,
+     0xFFFF = unclaimed.  Only written when [cfg.schedule] is on. *)
+  sched_scratch : int Engine.Vec.t; (* favored-index scan buffer *)
   mutable result : Fuzz_result.t;
 }
+
+(* ------------------------------------------------------------------ *)
+(* AFL-style corpus scheduling (opt-in via [cfg.schedule]).            *)
+(*                                                                     *)
+(* Each covered edge is "claimed" by the smallest pool entry whose     *)
+(* compile touched it (AFL's top_rated[] with source length as the     *)
+(* rank).  Entries holding at least one claim are *favored*; the       *)
+(* picker prefers favored entries 4:1, and when the pool outgrows      *)
+(* [pool_max] the non-favored tail is trimmed oldest-first.  All of it *)
+(* is deterministic: claims update in cell order, trims keep relative  *)
+(* order, and the extra RNG draws only happen when [schedule] is on    *)
+(* (the default stream is byte-identical to pre-scheduling builds).    *)
+(* ------------------------------------------------------------------ *)
+
+let sched_none = 0xFFFF
+
+(* Record the freshly accepted entry at [idx] as claimant of every edge
+   its compile covered and the incumbent doesn't beat: an unclaimed
+   edge, or an incumbent with a strictly larger source (ties keep the
+   incumbent, so re-running claims is idempotent). *)
+let sched_claim (st : state) idx (e : pool_entry) cov =
+  Simcomp.Coverage.iter_nonzero cov (fun cell ->
+      let off = cell * 2 in
+      let cur = Bytes.get_uint16_le st.sched_top off in
+      let better =
+        cur = sched_none
+        || e.pe_len < (Engine.Vec.get st.pool cur).pe_len
+      in
+      if better then begin
+        if cur <> sched_none then begin
+          let inc = Engine.Vec.get st.pool cur in
+          inc.pe_tops <- inc.pe_tops - 1
+        end;
+        Bytes.set_uint16_le st.sched_top off idx;
+        e.pe_tops <- e.pe_tops + 1
+      end)
+
+(* Drop non-favored entries, oldest first, until the pool is back to
+   [pool_max] (favored entries are never dropped, even past the limit).
+   Claim indices are remapped in the same pass; dropped entries hold no
+   claims by construction, so every stored index survives the remap. *)
+let sched_trim (st : state) =
+  let n = Engine.Vec.length st.pool in
+  let keep = Array.make n false in
+  let n_fav = ref 0 in
+  for i = 0 to n - 1 do
+    if (Engine.Vec.get st.pool i).pe_tops > 0 then begin
+      keep.(i) <- true;
+      incr n_fav
+    end
+  done;
+  let budget = ref (st.cfg.pool_max - !n_fav) in
+  for i = n - 1 downto 0 do
+    if (not keep.(i)) && !budget > 0 then begin
+      keep.(i) <- true;
+      decr budget
+    end
+  done;
+  let remap = Array.make n sched_none in
+  let pool' = Engine.Vec.create () in
+  for i = 0 to n - 1 do
+    if keep.(i) then begin
+      remap.(i) <- Engine.Vec.length pool';
+      Engine.Vec.push pool' (Engine.Vec.get st.pool i)
+    end
+  done;
+  st.pool <- pool';
+  for cell = 0 to Simcomp.Coverage.map_size - 1 do
+    let off = cell * 2 in
+    let cur = Bytes.get_uint16_le st.sched_top off in
+    if cur <> sched_none then Bytes.set_uint16_le st.sched_top off remap.(cur)
+  done
+
+(* Called after an accepted push: claim, then trim once the pool is 25%
+   past the limit (the slack amortizes the map-wide remap over many
+   accepts instead of paying it on every one). *)
+let sched_accept (st : state) cov =
+  let idx = Engine.Vec.length st.pool - 1 in
+  sched_claim st idx (Engine.Vec.get st.pool idx) cov;
+  if st.cfg.pool_max > 0
+     && Engine.Vec.length st.pool > st.cfg.pool_max + (st.cfg.pool_max / 4)
+  then sched_trim st
+
+(* Pool pick: uniform by default; with scheduling on, an 0.8-biased
+   coin picks uniformly among favored entries when there are any. *)
+let pick_entry (st : state) =
+  let n = Engine.Vec.length st.pool in
+  if not st.cfg.schedule then Engine.Vec.get st.pool (Rng.int st.rng n)
+  else begin
+    Engine.Vec.clear st.sched_scratch;
+    for i = 0 to n - 1 do
+      if (Engine.Vec.get st.pool i).pe_tops > 0 then
+        Engine.Vec.push st.sched_scratch i
+    done;
+    let nf = Engine.Vec.length st.sched_scratch in
+    if nf > 0 && Rng.flip st.rng 0.8 then
+      Engine.Vec.get st.pool
+        (Engine.Vec.get st.sched_scratch (Rng.int st.rng nf))
+    else Engine.Vec.get st.pool (Rng.int st.rng n)
+  end
+
+(* The batch handle pre-resolves everything [compile_cached] would
+   recompute per mutant (fingerprint salt, optional args).  Rebuilt
+   whenever cache or faults are replaced wholesale (checkpoint
+   resume). *)
+let make_batch ~cache ~cov ~engine ~faults compiler options =
+  Simcomp.Compiler.batch_create ~cache ~cov ~engine ?faults compiler options
 
 let mutator_counters (st : state) (m : Mutators.Mutator.t) =
   let name = m.Mutators.Mutator.name in
@@ -81,7 +207,7 @@ let init ?(options = Simcomp.Compiler.default_options) ?engine ?faults ~cfg
     List.filter_map
       (fun src ->
         match Parser.parse src with
-        | Ok tu -> Some { src; tu }
+        | Ok tu -> Some (make_entry src tu)
         | Error _ -> None)
       seeds
   in
@@ -103,6 +229,8 @@ let init ?(options = Simcomp.Compiler.default_options) ?engine ?faults ~cfg
     }
   in
   Engine.Event.add_sink engine.Engine.Ctx.bus trend_sink;
+  let scratch = Simcomp.Coverage.create () in
+  let cache = Simcomp.Compiler.cache_create () in
   let st =
     {
       cfg;
@@ -114,9 +242,12 @@ let init ?(options = Simcomp.Compiler.default_options) ?engine ?faults ~cfg
       trend_rev;
       trend_sink;
       pool = Engine.Vec.of_list pool;
-      scratch = Simcomp.Coverage.create ();
-      cache = Simcomp.Compiler.cache_create ();
+      scratch;
+      cache;
+      batch = make_batch ~cache ~cov:scratch ~engine ~faults compiler options;
       faults;
+      sched_top = Bytes.make (Simcomp.Coverage.map_size * 2) '\xFF';
+      sched_scratch = Engine.Vec.create ();
       result =
         Fuzz_result.make
           ~fuzzer_name:
@@ -128,32 +259,32 @@ let init ?(options = Simcomp.Compiler.default_options) ?engine ?faults ~cfg
   (* the pool's baseline coverage comes from compiling the seeds; a seed
      that crashes the compiler is a finding like any other (iteration 0)
      and fresh branches feed the baseline trend sample *)
-  Engine.Vec.iter
-    (fun e ->
-      Simcomp.Coverage.reset st.scratch;
-      let cov = st.scratch in
-      (match
-         fst
-           (Simcomp.Compiler.compile_cached ~cache:st.cache ~cov ~engine
-              ?faults:st.faults compiler options e.src)
-       with
-      | Simcomp.Compiler.Compiled _ | Simcomp.Compiler.Compile_error _ -> ()
-      | Simcomp.Compiler.Crashed c ->
-        Fuzz_result.record_crash st.result ~iteration:0 ~input:e.src c;
-        Engine.Ctx.emit engine
-          (Engine.Event.Crash_found
-             {
-               key = Simcomp.Crash.unique_key c;
-               stage = Simcomp.Compiler.engine_stage c.Simcomp.Crash.stage;
-               iteration = 0;
-             }));
-      let fresh =
-        Simcomp.Coverage.merge ~into:st.result.Fuzz_result.coverage cov
-      in
-      if fresh > 0 then
-        Engine.Ctx.emit engine
-          (Engine.Event.Coverage_gained { iteration = 0; fresh }))
-    st.pool;
+  for i = 0 to Engine.Vec.length st.pool - 1 do
+    let e = Engine.Vec.get st.pool i in
+    let cov = st.scratch in
+    (match fst (Simcomp.Compiler.batch_compile st.batch e.src) with
+    | Simcomp.Compiler.Compiled _ | Simcomp.Compiler.Compile_error _ -> ()
+    | Simcomp.Compiler.Crashed c ->
+      Fuzz_result.record_crash st.result ~iteration:0 ~input:e.src c;
+      Engine.Ctx.emit engine
+        (Engine.Event.Crash_found
+           {
+             key = Simcomp.Crash.unique_key c;
+             stage = Simcomp.Compiler.engine_stage c.Simcomp.Crash.stage;
+             iteration = 0;
+           }));
+    (* seeds claim their edges before the scratch map is consumed, so
+       the scheduler starts from a fully-ranked baseline *)
+    if cfg.schedule then sched_claim st i e cov;
+    (* consume: merge and re-zero the scratch map in one pass, so the
+       next compile starts from a pristine map without a full memset *)
+    let fresh =
+      Simcomp.Coverage.merge_consume ~into:st.result.Fuzz_result.coverage cov
+    in
+    if fresh > 0 then
+      Engine.Ctx.emit engine
+        (Engine.Event.Coverage_gained { iteration = 0; fresh })
+  done;
   Engine.Ctx.emit engine
     (Engine.Event.Coverage_sampled
        {
@@ -166,7 +297,13 @@ let init ?(options = Simcomp.Compiler.default_options) ?engine ?faults ~cfg
 let step (st : state) ~iteration : unit =
   if Engine.Vec.length st.pool = 0 then ()
   else begin
-    let entry = Engine.Vec.get st.pool (Rng.int st.rng (Engine.Vec.length st.pool)) in
+    let entry = pick_entry st in
+    (* one semantic context for the whole iteration: every attempt
+       mutates the same program, so the typecheck behind [Uast.Ctx] is
+       shared instead of redone per attempt (apply_ctx rewinds the name
+       supply, keeping each attempt identical to a fresh-context
+       apply) *)
+    let ctx = Uast.Ctx.create ~rng:st.rng entry.tu in
     let shuffled = Rng.shuffle st.rng st.cfg.mutators in
     let attempts = ref 0 in
     let found = ref false in
@@ -181,12 +318,12 @@ let step (st : state) ~iteration : unit =
           Engine.Ctx.emit st.engine
             (Engine.Event.Mutant_attempted
                { mutator = m.Mutators.Mutator.name });
-          (match Mutators.Mutator.apply m ~rng:st.rng entry.tu with
+          (match Mutators.Mutator.apply_ctx m ctx with
           | None -> Engine.Metrics.incr mc.mc_inapplicable
           | Some tu' ->
             let src' =
               if st.cfg.fragility then Fragility.render st.rng m tu'
-              else Pretty.tu_to_string tu'
+              else Simcomp.Scratch.render_tu tu'
             in
             st.result <-
               {
@@ -194,16 +331,16 @@ let step (st : state) ~iteration : unit =
                 total_mutants = st.result.total_mutants + 1;
                 throughput_mutants = st.result.throughput_mutants + 1;
               };
-            Simcomp.Coverage.reset st.scratch;
             let cov = st.scratch in
-            (* byte-identical mutants (frequent under the fragility
-               model) short-circuit in the cache: the memoized outcome
-               comes back and the scratch map stays empty, which is
-               equivalent — the first compile's coverage was already
-               merged below, so its fresh count would be 0 anyway *)
+            (* the scratch map is pristine here: merge_consume below
+               re-zeroes it every cycle.  Byte-identical mutants
+               (frequent under the fragility model) short-circuit in
+               the cache: the memoized outcome comes back and the
+               scratch map stays empty, which is equivalent — the first
+               compile's coverage was already merged below, so its
+               fresh count would be 0 anyway *)
             let outcome, parsed =
-              Simcomp.Compiler.compile_cached ~cache:st.cache ~cov
-                ~engine:st.engine ?faults:st.faults st.compiler st.options src'
+              Simcomp.Compiler.batch_compile st.batch src'
             in
             (match outcome with
             | Simcomp.Compiler.Compiled _ ->
@@ -223,9 +360,18 @@ let step (st : state) ~iteration : unit =
                      iteration;
                    })
             | Simcomp.Compiler.Compile_error _ -> ());
-            (* one pass: the merged fresh count IS the accept signal *)
+            (* one pass: the merged fresh count IS the accept signal,
+               and consuming re-zeroes the scratch for the next compile.
+               The scheduler must read the mutant's own cells *after*
+               the accept decision (claim bookkeeping), so it merges
+               without consuming and drains below instead. *)
             let fresh =
-              Simcomp.Coverage.merge ~into:st.result.Fuzz_result.coverage cov
+              if st.cfg.schedule then
+                Simcomp.Coverage.merge ~into:st.result.Fuzz_result.coverage
+                  cov
+              else
+                Simcomp.Coverage.merge_consume
+                  ~into:st.result.Fuzz_result.coverage cov
             in
             if fresh > 0 then
               Engine.Ctx.emit st.engine
@@ -246,13 +392,15 @@ let step (st : state) ~iteration : unit =
                 in
                 match reparsed with
                 | Ok tu'' ->
-                  Engine.Vec.push st.pool { src = src'; tu = tu'' };
+                  Engine.Vec.push st.pool (make_entry src' tu'');
+                  if st.cfg.schedule then sched_accept st cov;
                   found := true;
                   accepted := true
                 | Error _ -> ())
               | Simcomp.Compiler.Compile_error _
               | Simcomp.Compiler.Crashed _ -> ()
             end;
+            if st.cfg.schedule then Simcomp.Coverage.drain cov;
             Engine.Metrics.incr
               (if !accepted then mc.mc_accept else mc.mc_reject));
           try_mutators rest
@@ -279,11 +427,18 @@ let sample_trend (st : state) ~iteration =
 type snapshot = {
   sn_iteration : int;
   sn_rng_state : int64;
-  sn_pool : pool_entry list;
+  sn_pool : pool_entry array;
+  (* serialized straight from the pool vector ([Vec.to_array]), not via
+     an intermediate list: one array instead of a cons per entry, and
+     resume restores it byte-identically with [Vec.of_array] *)
   sn_result : Fuzz_result.t;
   sn_trend_rev : (int * int) list;
   sn_cache : Simcomp.Compiler.cache;
   sn_faults : Engine.Faults.t option;
+  sn_sched_top : Bytes.t option;
+  (* per-edge claim table, present iff the run schedules; entry claim
+     counts ride along inside [sn_pool] ([pe_tops] is part of the
+     entry), so restoring both reproduces the scheduler's exact state *)
 }
 
 let run ?options ?(cfg = default_config ()) ?engine ?faults ?checkpoint
@@ -291,12 +446,16 @@ let run ?options ?(cfg = default_config ()) ?engine ?faults ?checkpoint
   let st = init ?options ?engine ?faults ~cfg ~rng ~compiler ~seeds () in
   st.result <- { st.result with fuzzer_name = name };
   let fingerprint =
-    Fmt.str "mucfuzz|%s|%s|it=%d|%s" name
+    Fmt.str "mucfuzz|%s|%s|it=%d|%s|%s" name
       (Simcomp.Bugdb.compiler_to_string compiler)
       iterations
       (match faults with
       | None -> "faults=off"
       | Some f -> "faults=" ^ Engine.Faults.fingerprint f)
+      (* the schedule mode changes the RNG stream and the pool shape, so
+         a snapshot from one mode must not resume a run in the other *)
+      (if cfg.schedule then Fmt.str "sched=on,max=%d" cfg.pool_max
+       else "sched=off")
   in
   (* resume replaces the freshly initialised run state wholesale (the
      seed compiles [init] just performed drew from streams the snapshot
@@ -309,11 +468,17 @@ let run ?options ?(cfg = default_config ()) ?engine ?faults ?checkpoint
       match Engine.Checkpoint.load ~path ~fingerprint with
       | Ok (sn : snapshot) ->
         Rng.set_state st.rng sn.sn_rng_state;
-        st.pool <- Engine.Vec.of_list sn.sn_pool;
+        st.pool <- Engine.Vec.of_array sn.sn_pool;
+        (match sn.sn_sched_top with
+        | Some b -> Bytes.blit b 0 st.sched_top 0 (Bytes.length b)
+        | None -> ());
         st.result <- sn.sn_result;
         st.trend_rev := sn.sn_trend_rev;
         st.cache <- sn.sn_cache;
         st.faults <- sn.sn_faults;
+        st.batch <-
+          make_batch ~cache:st.cache ~cov:st.scratch ~engine:st.engine
+            ~faults:st.faults st.compiler st.options;
         Engine.Ctx.incr st.engine "mucfuzz.resumed";
         sn.sn_iteration + 1
       | Error _ ->
@@ -327,11 +492,12 @@ let run ?options ?(cfg = default_config ()) ?engine ?faults ?checkpoint
         {
           sn_iteration = i;
           sn_rng_state = Rng.state st.rng;
-          sn_pool = Engine.Vec.to_list st.pool;
+          sn_pool = Engine.Vec.to_array st.pool;
           sn_result = st.result;
           sn_trend_rev = !(st.trend_rev);
           sn_cache = st.cache;
           sn_faults = st.faults;
+          sn_sched_top = (if cfg.schedule then Some st.sched_top else None);
         }
       in
       (* best-effort: a failed save (exhausted Io_failure retries) costs

@@ -21,13 +21,30 @@ type config = {
   max_attempts_per_iteration : int;
       (** mutator budget per iteration (|M| in the paper) *)
   sample_every : int;  (** coverage-trend sampling period *)
+  schedule : bool;
+      (** AFL-style corpus scheduling: per-edge claims by the smallest
+          covering entry, 4:1 favored-entry picks, non-favored trimming
+          past [pool_max].  Off by default — the paper's Algorithm 1
+          has no culling, and the default RNG stream stays
+          byte-identical to pre-scheduling builds. *)
+  pool_max : int;
+      (** pool size the scheduler trims back to (favored entries are
+          never dropped); ignored unless [schedule] is on *)
 }
 
 val default_config : ?mutators:Mutators.Mutator.t list -> unit -> config
 (** Defaults to the 118-mutator core corpus with fragility and coverage
-    guidance on. *)
+    guidance on, scheduling off, [pool_max = 4096]. *)
 
-type pool_entry = { src : string; tu : Cparse.Ast.tu }
+type pool_entry = {
+  src : string;
+  tu : Cparse.Ast.tu;
+  pe_len : int;  (** [String.length src]: the scheduling rank *)
+  mutable pe_tops : int;
+      (** number of coverage edges this entry currently claims (the
+          entry is {e favored} iff positive); maintained only when the
+          run schedules *)
+}
 
 type mutator_counters = {
   mc_attempt : Engine.Metrics.counter;
@@ -50,12 +67,20 @@ type state = {
       (** amortized-O(1) accepts (an [Array.append] pool is quadratic);
           replaced wholesale on checkpoint resume *)
   scratch : Simcomp.Coverage.t;
-      (** the per-mutant coverage map, reset between compiles instead of
-          reallocated *)
+      (** the per-mutant coverage map, consumed (merged-and-zeroed in
+          one pass) between compiles instead of reallocated *)
   mutable cache : Simcomp.Compiler.cache;
       (** byte-identical mutant dedup (see {!Simcomp.Compiler.compile_cached}) *)
+  mutable batch : Simcomp.Compiler.batch;
+      (** pre-resolved compile handle over [cache]/[scratch]; rebuilt on
+          checkpoint resume *)
   mutable faults : Engine.Faults.t option;
       (** consulted (as [Compile_hang]) on every real compile *)
+  sched_top : Bytes.t;
+      (** per-coverage-cell claimant (little-endian u16 pool index,
+          [0xFFFF] = unclaimed); written only when [cfg.schedule] *)
+  sched_scratch : int Engine.Vec.t;
+      (** reusable favored-index buffer for the scheduled pick *)
   mutable result : Fuzz_result.t;
 }
 

@@ -40,8 +40,21 @@ let make ~name ~description ~category ~provenance ?(creative = false) mutate =
 exception Mutator_crash of string
 exception Mutator_hang of string
 
-(* Apply a mutator to a translation unit.  The result is renumbered so the
-   unique-id invariant holds for the next round. *)
+(* Apply a mutator through an existing context (several mutators probing
+   one unit share its semantic analysis).  The name supply is rewound
+   first, so each application sees the context exactly as created.  The
+   result is canonicalised but NOT renumbered — callers that render or
+   compile the mutant don't read ids, and a later [Uast.Ctx.create]
+   restores the invariant on demand; skipping the renumber lets the
+   mutant share every untouched subtree with the input. *)
+let apply_ctx (m : t) (ctx : Uast.Ctx.t) : Ast.tu option =
+  Uast.Ctx.reset_names ctx;
+  match m.mutate ctx with
+  | Some tu' -> Some (Ast_ids.canonicalize tu')
+  | None -> None
+
+(* Apply a mutator to a translation unit.  The result is renumbered so
+   the unique-id invariant holds for the next round. *)
 let apply (m : t) ~(rng : Rng.t) (tu : Ast.tu) : Ast.tu option =
   let ctx = Uast.Ctx.create ~rng tu in
   match m.mutate ctx with

@@ -43,6 +43,16 @@ val apply : t -> rng:Cparse.Rng.t -> Cparse.Ast.tu -> Cparse.Ast.tu option
 (** Apply the mutator under a fresh semantic context; the result is
     renumbered so the unique-id invariant holds for the next round. *)
 
+val apply_ctx : t -> Uast.Ctx.t -> Cparse.Ast.tu option
+(** Like {!apply} but through an existing context: a fuzz iteration
+    probing one unit with several mutators pays for the semantic
+    analysis once.  The context's name supply is rewound before the
+    application, so the result renders byte-identically to a
+    fresh-context {!apply}'s.  Unlike {!apply} the mutant is NOT
+    renumbered (it shares untouched subtrees with the input and its ids
+    may be stale or duplicated) — render or compile it, or let a later
+    {!Uast.Ctx.create} renumber on demand before chaining mutations. *)
+
 val apply_src : t -> rng:Cparse.Rng.t -> string -> string option
 (** Parse, mutate, pretty-print.  [None] when the source does not parse
     or the mutator is not applicable. *)

@@ -1,18 +1,20 @@
 (* Back-end of the simulated compiler: instruction selection to a small
    RISC-flavoured target, linear-scan register allocation over 8 physical
-   registers, and assembly emission. *)
+   registers, and assembly emission.
+
+   Selection and emission are fused: operands are written straight into
+   the arena's assembly buffer instead of materialising per-instruction
+   [asm_instr] records with per-operand strings that were immediately
+   re-parsed by the renaming step.  The emitted bytes (and every coverage
+   event) are identical to the old two-phase pipeline — the scratch-reuse
+   byte-identity test pins this. *)
 
 open Ir
-
-type asm_instr = {
-  mnemonic : string;
-  operands : string list;
-}
 
 let phys_regs = 8
 
 (* ------------------------------------------------------------------ *)
-(* Instruction selection                                               *)
+(* Mnemonics                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let mnemonic_of_binop (op : Cparse.Ast.binop) =
@@ -24,27 +26,209 @@ let mnemonic_of_binop (op : Cparse.Ast.binop) =
   | Band -> "and" | Bxor -> "xor" | Bor -> "or"
   | Land -> "andl" | Lor -> "orl"
 
-(* String building here is hot (every operand of every instruction of
-   every compile); plain concatenation avoids the Format machinery. *)
-let vreg r = "v" ^ string_of_int r
-let label l = "L" ^ string_of_int l
+(* Immediate forms, pre-concatenated so the hot path never builds the
+   mnemonic string ([m ^ "i"] per instruction). *)
+let mnemonic_of_binop_imm (op : Cparse.Ast.binop) =
+  match op with
+  | Add -> "addi" | Sub -> "subi" | Mul -> "muli" | Div -> "divi"
+  | Mod -> "remi"
+  | Shl -> "slli" | Shr -> "srli"
+  | Lt -> "slti" | Gt -> "sgti" | Le -> "slei" | Ge -> "sgei"
+  | Eq -> "seqi" | Ne -> "snei"
+  | Band -> "andi" | Bxor -> "xori" | Bor -> "ori"
+  | Land -> "andli" | Lor -> "orli"
 
-let sel_operand = function
-  | Reg r -> vreg r
-  | Imm v -> "#" ^ Int64.to_string v
-  | Fimm f -> Printf.sprintf "#%g" f
-  | Sym s -> "@" ^ s
+let phys_name = [| "r0"; "r1"; "r2"; "r3"; "r4"; "r5"; "r6"; "r7" |]
 
-let sel_addr = function
-  | Avar s -> [ "@" ^ s ]
-  | Aindex (s, op, sz) -> [ "@" ^ s; sel_operand op; string_of_int sz ]
-  | Areg op -> [ sel_operand op ]
+(* ------------------------------------------------------------------ *)
+(* Linear-scan register allocation                                     *)
+(* ------------------------------------------------------------------ *)
 
-(* Select instructions for one IR instruction; reports the pattern used. *)
-let select ?cov (i : instr) : asm_instr list =
+(* Compute live intervals of virtual registers over the linear instruction
+   order, then allocate [phys_regs] registers; the rest spill.  Fills the
+   arena's [regmap] (vreg → phys; -1 = spilled, -2 = untouched) and
+   returns it with the spill count.
+
+   The interval order — which drives both allocation under pressure and
+   the 0x4210 coverage events — comes from [Hashtbl.fold] over [first],
+   so it depends on that table's internal layout.  The arena recycles the
+   table with [Hashtbl.reset] (not [clear]): reset restores the bucket
+   array to its creation size, making the layout — and therefore the fold
+   order — exactly that of the freshly created table the old code
+   allocated per function. *)
+let regalloc_into ?cov (s : Scratch.t) (f : func) : int array * int =
+  let first = s.Scratch.live_first and last = s.Scratch.live_last in
+  Hashtbl.reset first;
+  Hashtbl.reset last;
+  let pos = ref 0 in
+  let touch r =
+    if not (Hashtbl.mem first r) then Hashtbl.replace first r !pos;
+    Hashtbl.replace last r !pos
+  in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          incr pos;
+          (* dest-then-uses visit order matches the list-building
+             [dest]/[uses] spellings exactly *)
+          iter_regs touch i)
+        b.b_instrs;
+      incr pos;
+      iter_term_regs touch b.b_term)
+    f.fn_blocks;
+  let intervals =
+    Hashtbl.fold
+      (fun r s acc -> (r, s, Hashtbl.find last r) :: acc)
+      first []
+    |> List.sort (fun (_, s1, _) (_, s2, _) -> compare s1 s2)
+  in
+  let regmap = Scratch.regmap_for s f.fn_nregs in
+  let active = Array.make phys_regs (-1) (* expiry position *) in
+  let spills = ref 0 in
+  List.iter
+    (fun (r, s, e) ->
+      (* find a free or expired physical register *)
+      let found = ref (-1) in
+      Array.iteri (fun i expiry -> if !found < 0 && expiry < s then found := i) active;
+      if !found >= 0 then begin
+        active.(!found) <- e;
+        regmap.(r) <- !found
+      end
+      else begin
+        incr spills;
+        regmap.(r) <- -1
+      end)
+    intervals;
+  (match cov with
+  | Some cov ->
+    Coverage.branch3 cov 0x4200 (min 31 !spills)
+      (List.length intervals land 0xf);
+    (* live-interval shape: length buckets per allocation order position *)
+    List.iteri
+      (fun i (_, s, e) ->
+        if i < 64 then
+          let len = e - s in
+          let bucket =
+            if len <= 2 then 0 else if len <= 8 then 1
+            else if len <= 32 then 2 else if len <= 128 then 3 else 4
+          in
+          Coverage.branch3 cov 0x4210 (i land 0x3f) bucket)
+      intervals
+  | None -> ());
+  (regmap, !spills)
+
+let regalloc ?cov (f : func) : (int * int) list * int =
+  let regmap, spills = regalloc_into ?cov (Scratch.get ()) f in
+  let acc = ref [] in
+  for r = f.fn_nregs downto 0 do
+    if regmap.(r) <> -2 then acc := (r, regmap.(r)) :: !acc
+  done;
+  (!acc, spills)
+
+(* ------------------------------------------------------------------ *)
+(* Fused selection + emission                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Non-negative decimal straight into the buffer (no [string_of_int]
+   intermediate; register/label/size numbers are never negative). *)
+let rec add_pos_int buf n =
+  if n >= 10 then add_pos_int buf (n / 10);
+  Buffer.add_char buf (Char.unsafe_chr (48 + (n mod 10)))
+
+let add_int buf n =
+  if n < 0 then begin
+    Buffer.add_char buf '-';
+    add_pos_int buf (-n)
+  end
+  else add_pos_int buf n
+
+let add_sep buf = Buffer.add_string buf ", "
+
+(* "  %-6s " — the line prefix of one assembly instruction. *)
+let start_instr buf m =
+  Buffer.add_string buf "  ";
+  Buffer.add_string buf m;
+  for _ = String.length m to 5 do
+    Buffer.add_char buf ' '
+  done;
+  Buffer.add_char buf ' '
+
+let end_instr buf = Buffer.add_char buf '\n'
+
+let add_label buf l =
+  Buffer.add_char buf 'L';
+  add_pos_int buf l
+
+(* A vreg operand after renaming: physical name, spill slot, or (when the
+   allocator never saw it) the virtual name itself. *)
+let add_vreg buf regmap nregs r =
+  let a =
+    if r >= 0 && r <= nregs then regmap.(r) else -2
+  in
+  if a >= 0 then Buffer.add_string buf phys_name.(a)
+  else if a = -1 then begin
+    Buffer.add_string buf "[sp+";
+    add_pos_int buf (r * 8);
+    Buffer.add_char buf ']'
+  end
+  else begin
+    Buffer.add_char buf 'v';
+    add_pos_int buf r
+  end
+
+let add_operand buf regmap nregs (op : operand) =
+  match op with
+  | Reg r -> add_vreg buf regmap nregs r
+  | Imm v ->
+    Buffer.add_char buf '#';
+    Buffer.add_string buf (Int64.to_string v)
+  | Fimm f -> Buffer.add_string buf (Printf.sprintf "#%g" f)
+  | Sym s ->
+    Buffer.add_char buf '@';
+    Buffer.add_string buf s
+
+(* Address operands; [lead] prefixes a separator before the first one
+   (they follow a destination register for ld/lea but open the operand
+   list for st). *)
+let add_addr buf regmap nregs ~lead (addr : address) =
+  if lead then add_sep buf;
+  match addr with
+  | Avar s ->
+    Buffer.add_char buf '@';
+    Buffer.add_string buf s
+  | Aindex (s, op, sz) ->
+    Buffer.add_char buf '@';
+    Buffer.add_string buf s;
+    add_sep buf;
+    add_operand buf regmap nregs op;
+    add_sep buf;
+    add_pos_int buf sz
+  | Areg op -> add_operand buf regmap nregs op
+
+(* The old pipeline renamed every operand *string*, so a call target that
+   happens to parse as "v<int>" was renamed like a register; the emitted
+   bytes replicate that quirk. *)
+let add_maybe_vreg_string buf regmap nregs s =
+  if String.length s > 1 && s.[0] = 'v' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some vr ->
+      let a = if vr >= 0 && vr <= nregs then regmap.(vr) else -2 in
+      if a >= 0 then Buffer.add_string buf phys_name.(a)
+      else if a = -1 then begin
+        Buffer.add_string buf "[sp+";
+        add_pos_int buf (vr * 8);
+        Buffer.add_char buf ']'
+      end
+      else Buffer.add_string buf s
+    | None -> Buffer.add_string buf s
+  else Buffer.add_string buf s
+
+(* Select and emit one IR instruction; reports the pattern used. *)
+let emit_instr ?cov buf regmap nregs (i : instr) : unit =
   let event a b =
     match cov with
-    | Some cov -> Coverage.branch cov ~site:0x4000 ~a ~b ()
+    | Some cov -> Coverage.branch3 cov 0x4000 a b
     | None -> ()
   in
   match i with
@@ -53,18 +237,32 @@ let select ?cov (i : instr) : asm_instr list =
     let imm_form = match b with Imm v when Int64.abs v < 2048L -> true | _ -> false in
     let opk = function Reg _ -> 0 | Imm _ -> 1 | Fimm _ -> 2 | Sym _ -> 3 in
     event (Hashtbl.hash op land 0xff) ((4 * opk a) + opk b);
-    let m = mnemonic_of_binop op ^ if imm_form then "i" else "" in
-    [ { mnemonic = m; operands = [ vreg r; sel_operand a; sel_operand b ] } ]
+    let m = if imm_form then mnemonic_of_binop_imm op else mnemonic_of_binop op in
+    start_instr buf m;
+    add_vreg buf regmap nregs r;
+    add_sep buf;
+    add_operand buf regmap nregs a;
+    add_sep buf;
+    add_operand buf regmap nregs b;
+    end_instr buf
   | Iun (op, r, a) ->
     event 200 (Hashtbl.hash op land 0xff);
     let m =
       match op with
       | Neg -> "neg" | Lognot -> "not" | Bitnot -> "inv" | Uplus -> "mov"
     in
-    [ { mnemonic = m; operands = [ vreg r; sel_operand a ] } ]
+    start_instr buf m;
+    add_vreg buf regmap nregs r;
+    add_sep buf;
+    add_operand buf regmap nregs a;
+    end_instr buf
   | Imov (r, a) ->
     event 201 0;
-    [ { mnemonic = "mov"; operands = [ vreg r; sel_operand a ] } ]
+    start_instr buf "mov";
+    add_vreg buf regmap nregs r;
+    add_sep buf;
+    add_operand buf regmap nregs a;
+    end_instr buf
   | Icast (r, ty, a) ->
     let tag = Lower.ty_tag ty in
     event 202 tag;
@@ -75,50 +273,87 @@ let select ?cov (i : instr) : asm_instr list =
       | Cparse.Ast.Tint (Ishort, _) -> "sext16"
       | _ -> "mov"
     in
-    [ { mnemonic = m; operands = [ vreg r; sel_operand a ] } ]
+    start_instr buf m;
+    add_vreg buf regmap nregs r;
+    add_sep buf;
+    add_operand buf regmap nregs a;
+    end_instr buf
   | Iload (r, addr) ->
     event 203 (match addr with Avar _ -> 0 | Aindex _ -> 1 | Areg _ -> 2);
-    [ { mnemonic = "ld"; operands = vreg r :: sel_addr addr } ]
+    start_instr buf "ld";
+    add_vreg buf regmap nregs r;
+    add_addr buf regmap nregs ~lead:true addr;
+    end_instr buf
   | Istore (addr, v) ->
     event 204 (match addr with Avar _ -> 0 | Aindex _ -> 1 | Areg _ -> 2);
-    [ { mnemonic = "st"; operands = sel_addr addr @ [ sel_operand v ] } ]
+    start_instr buf "st";
+    add_addr buf regmap nregs ~lead:false addr;
+    add_sep buf;
+    add_operand buf regmap nregs v;
+    end_instr buf
   | Iaddr (r, addr) ->
     event 205 0;
-    [ { mnemonic = "lea"; operands = vreg r :: sel_addr addr } ]
+    start_instr buf "lea";
+    add_vreg buf regmap nregs r;
+    add_addr buf regmap nregs ~lead:true addr;
+    end_instr buf
   | Icall (r, fn, args) ->
     event 206 (List.length args);
-    let setup =
-      List.mapi
-        (fun i a -> { mnemonic = "arg"; operands = [ string_of_int i; sel_operand a ] })
-        args
-    in
-    setup
-    @ [ { mnemonic = "call"; operands = [ fn ] } ]
-    @ (match r with
-      | Some r -> [ { mnemonic = "mov"; operands = [ vreg r; "rv" ] } ]
-      | None -> [])
+    List.iteri
+      (fun i a ->
+        start_instr buf "arg";
+        add_pos_int buf i;
+        add_sep buf;
+        add_operand buf regmap nregs a;
+        end_instr buf)
+      args;
+    start_instr buf "call";
+    add_maybe_vreg_string buf regmap nregs fn;
+    end_instr buf;
+    (match r with
+    | Some r ->
+      start_instr buf "mov";
+      add_vreg buf regmap nregs r;
+      add_sep buf;
+      Buffer.add_string buf "rv";
+      end_instr buf
+    | None -> ())
 
-let select_term ?cov (t : terminator) : asm_instr list =
+let emit_term ?cov buf regmap nregs (t : terminator) : unit =
   let event a =
     match cov with
-    | Some cov -> Coverage.branch cov ~site:0x4100 ~a ()
+    | Some cov -> Coverage.branch3 cov 0x4100 a 0
     | None -> ()
   in
   match t with
   | Tret None ->
     event 0;
-    [ { mnemonic = "ret"; operands = [] } ]
+    start_instr buf "ret";
+    end_instr buf
   | Tret (Some op) ->
     event 1;
-    [ { mnemonic = "mov"; operands = [ "rv"; sel_operand op ] };
-      { mnemonic = "ret"; operands = [] } ]
+    start_instr buf "mov";
+    Buffer.add_string buf "rv";
+    add_sep buf;
+    add_operand buf regmap nregs op;
+    end_instr buf;
+    start_instr buf "ret";
+    end_instr buf
   | Tjmp l ->
     event 2;
-    [ { mnemonic = "jmp"; operands = [ label l ] } ]
+    start_instr buf "jmp";
+    add_label buf l;
+    end_instr buf
   | Tbr (c, a, b) ->
     event 3;
-    [ { mnemonic = "bnez"; operands = [ sel_operand c; label a ] };
-      { mnemonic = "jmp"; operands = [ label b ] } ]
+    start_instr buf "bnez";
+    add_operand buf regmap nregs c;
+    add_sep buf;
+    add_label buf a;
+    end_instr buf;
+    start_instr buf "jmp";
+    add_label buf b;
+    end_instr buf
   | Tswitch (c, cases, d) ->
     (* dense case sets use a jump table, sparse ones a compare chain *)
     let dense =
@@ -131,147 +366,82 @@ let select_term ?cov (t : terminator) : asm_instr list =
         Int64.to_int (Int64.sub hi lo) < 2 * List.length cases + 8
     in
     event (if dense then 4 else 5);
-    if dense then
-      [ { mnemonic = "jtab"; operands = sel_operand c :: List.map (fun (v, l) -> Int64.to_string v ^ ":" ^ label l) cases @ [ label d ] } ]
-    else
-      List.map
+    if dense then begin
+      start_instr buf "jtab";
+      add_operand buf regmap nregs c;
+      List.iter
         (fun (v, l) ->
-          { mnemonic = "beq"; operands = [ sel_operand c; "#" ^ Int64.to_string v; label l ] })
-        cases
-      @ [ { mnemonic = "jmp"; operands = [ label d ] } ]
+          add_sep buf;
+          Buffer.add_string buf (Int64.to_string v);
+          Buffer.add_char buf ':';
+          add_label buf l)
+        cases;
+      add_sep buf;
+      add_label buf d;
+      end_instr buf
+    end
+    else begin
+      List.iter
+        (fun (v, l) ->
+          start_instr buf "beq";
+          add_operand buf regmap nregs c;
+          add_sep buf;
+          Buffer.add_char buf '#';
+          Buffer.add_string buf (Int64.to_string v);
+          add_sep buf;
+          add_label buf l;
+          end_instr buf)
+        cases;
+      start_instr buf "jmp";
+      add_label buf d;
+      end_instr buf
+    end
   | Tunreachable ->
     event 6;
-    [ { mnemonic = "trap"; operands = [] } ]
+    start_instr buf "trap";
+    end_instr buf
 
 (* ------------------------------------------------------------------ *)
-(* Linear-scan register allocation                                     *)
+(* Function / program emission                                         *)
 (* ------------------------------------------------------------------ *)
 
-(* Compute live intervals of virtual registers over the linear instruction
-   order, then allocate [phys_regs] registers; the rest spill. *)
-let regalloc ?cov (f : func) : (int * int) list * int =
-  (* returns (vreg -> phys or -1 for spill), spill count *)
-  let first = Hashtbl.create 64 and last = Hashtbl.create 64 in
-  let pos = ref 0 in
-  let touch r =
-    if not (Hashtbl.mem first r) then Hashtbl.replace first r !pos;
-    Hashtbl.replace last r !pos
-  in
-  List.iter
-    (fun b ->
-      List.iter
-        (fun i ->
-          incr pos;
-          Option.iter touch (dest i);
-          List.iter touch (uses i))
-        b.b_instrs;
-      incr pos;
-      List.iter touch (uses_of_term b.b_term))
-    f.fn_blocks;
-  let intervals =
-    Hashtbl.fold
-      (fun r s acc -> (r, s, Hashtbl.find last r) :: acc)
-      first []
-    |> List.sort (fun (_, s1, _) (_, s2, _) -> compare s1 s2)
-  in
-  let active = Array.make phys_regs (-1) (* expiry position *) in
-  let assignment = ref [] in
-  let spills = ref 0 in
-  List.iter
-    (fun (r, s, e) ->
-      (* find a free or expired physical register *)
-      let found = ref (-1) in
-      Array.iteri (fun i expiry -> if !found < 0 && expiry < s then found := i) active;
-      if !found >= 0 then begin
-        active.(!found) <- e;
-        assignment := (r, !found) :: !assignment
-      end
-      else begin
-        incr spills;
-        assignment := (r, -1) :: !assignment
-      end)
-    intervals;
-  (match cov with
-  | Some cov ->
-    Coverage.branch cov ~site:0x4200 ~a:(min 31 !spills)
-      ~b:(List.length intervals land 0xf) ();
-    (* live-interval shape: length buckets per allocation order position *)
-    List.iteri
-      (fun i (_, s, e) ->
-        if i < 64 then
-          let len = e - s in
-          let bucket =
-            if len <= 2 then 0 else if len <= 8 then 1
-            else if len <= 32 then 2 else if len <= 128 then 3 else 4
-          in
-          Coverage.branch cov ~site:0x4210 ~a:(i land 0x3f) ~b:bucket ())
-      intervals
-  | None -> ());
-  (!assignment, !spills)
-
-(* ------------------------------------------------------------------ *)
-(* Emission                                                            *)
-(* ------------------------------------------------------------------ *)
-
-let emit_function ?cov (f : func) : string * int =
-  let assignment, spills = regalloc ?cov f in
-  (* assoc-list lookups per operand are quadratic in the vreg count;
-     index the assignment once *)
-  let assigned = Hashtbl.create (List.length assignment) in
-  List.iter (fun (vr, p) -> Hashtbl.replace assigned vr p) assignment;
-  let rename s =
-    if String.length s > 1 && s.[0] = 'v' then
-      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
-      | Some vr -> (
-        match Hashtbl.find_opt assigned vr with
-        | Some p when p >= 0 -> "r" ^ string_of_int p
-        | Some _ -> "[sp+" ^ string_of_int (vr * 8) ^ "]"
-        | None -> s)
-      | None -> s
-    else s
-  in
-  let buf = Buffer.create 256 in
+let emit_function_into ?cov (s : Scratch.t) buf (f : func) : int =
+  let regmap, spills = regalloc_into ?cov s f in
+  let nregs = f.fn_nregs in
   Buffer.add_string buf f.fn_name;
   Buffer.add_string buf ":\n";
   List.iter
     (fun b ->
       Buffer.add_string buf ".L";
-      Buffer.add_string buf (string_of_int b.b_label);
+      add_pos_int buf b.b_label;
       Buffer.add_string buf ":\n";
-      let emit a =
-        (* "  %-6s %s\n" without the Format machinery *)
-        Buffer.add_string buf "  ";
-        Buffer.add_string buf a.mnemonic;
-        for _ = String.length a.mnemonic to 5 do
-          Buffer.add_char buf ' '
-        done;
-        Buffer.add_char buf ' ';
-        List.iteri
-          (fun i op ->
-            if i > 0 then Buffer.add_string buf ", ";
-            Buffer.add_string buf (rename op))
-          a.operands;
-        Buffer.add_char buf '\n'
-      in
-      List.iter (fun i -> List.iter emit (select ?cov i)) b.b_instrs;
-      List.iter emit (select_term ?cov b.b_term))
+      List.iter (fun i -> emit_instr ?cov buf regmap nregs i) b.b_instrs;
+      emit_term ?cov buf regmap nregs b.b_term)
     f.fn_blocks;
+  spills
+
+let emit_function ?cov (f : func) : string * int =
+  let buf = Buffer.create 256 in
+  let spills = emit_function_into ?cov (Scratch.get ()) buf f in
   (Buffer.contents buf, spills)
 
 let emit_program ?cov (p : program) : string * int =
-  let buf = Buffer.create 1024 in
+  let s = Scratch.get () in
+  let buf = s.Scratch.asm_buf in
+  Buffer.clear buf;
   List.iter
     (fun g ->
+      Buffer.add_string buf ".data ";
+      Buffer.add_string buf g.g_name;
+      Buffer.add_string buf " size=";
+      add_int buf g.g_size;
+      Buffer.add_string buf " init=";
       Buffer.add_string buf
-        (".data " ^ g.g_name ^ " size=" ^ string_of_int g.g_size ^ " init="
-        ^ (match g.g_init with Some v -> Int64.to_string v | None -> "0")
-        ^ "\n"))
+        (match g.g_init with Some v -> Int64.to_string v | None -> "0");
+      Buffer.add_char buf '\n')
     p.p_globals;
   let total_spills = ref 0 in
   List.iter
-    (fun f ->
-      let asm, spills = emit_function ?cov f in
-      total_spills := !total_spills + spills;
-      Buffer.add_string buf asm)
+    (fun f -> total_spills := !total_spills + emit_function_into ?cov s buf f)
     p.p_funcs;
   (Buffer.contents buf, !total_spills)

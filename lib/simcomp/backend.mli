@@ -1,24 +1,21 @@
 (** Back-end of the simulated compiler: instruction selection to a small
     RISC-flavoured target, linear-scan register allocation over
     {!phys_regs} physical registers, and assembly emission.  Selection
-    patterns and allocation decisions report branch coverage. *)
+    patterns and allocation decisions report branch coverage.
 
-type asm_instr = { mnemonic : string; operands : string list }
+    Selection and emission are fused into one buffer-writing pass over
+    the IR (no per-instruction records, no per-operand strings); the
+    working tables and the output buffer come from the per-domain
+    {!Scratch} arena, so a steady-state compile allocates little beyond
+    the returned assembly string. *)
 
 val phys_regs : int
 (** Number of physical registers (8). *)
 
-val select : ?cov:Coverage.t -> Ir.instr -> asm_instr list
-(** Instruction selection for one IR instruction (immediate forms,
-    addressing modes, call sequences). *)
-
-val select_term : ?cov:Coverage.t -> Ir.terminator -> asm_instr list
-(** Terminator selection; dense switches become a jump table, sparse
-    ones a compare chain. *)
-
 val regalloc : ?cov:Coverage.t -> Ir.func -> (int * int) list * int
 (** Linear-scan allocation over live intervals.  Returns the
-    [(virtual, physical)] assignment (-1 = spilled) and the spill count. *)
+    [(virtual, physical)] assignment (-1 = spilled; untouched vregs are
+    absent) and the spill count. *)
 
 val emit_function : ?cov:Coverage.t -> Ir.func -> string * int
 (** Assembly text and spill count for one function. *)

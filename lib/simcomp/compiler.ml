@@ -39,7 +39,7 @@ let salt = function Gcc -> 0x5a5a00 | Clang -> 0xc1a600
 
 let cov_event cov ~salt ~site ~a ~b =
   match cov with
-  | Some cov -> Coverage.branch cov ~site:(site lxor salt) ~a ~b ()
+  | Some cov -> Coverage.branch3 cov (site lxor salt) a b
   | None -> ()
 
 (* Diagnostics mention user identifiers; a real compiler's branches do
@@ -59,6 +59,43 @@ let sanitize_msg (msg : string) : string =
    the lexer are what byte-level fuzzers explore).  Takes the token array
    the parser already consumed — the source is lexed exactly once per
    compile. *)
+(* The lexer branches on token *classes*, not identifier content.  The
+   keyword and operator classes hash a constant constructor (resp. its
+   spelling) — both deterministic per constructor, so the hashes are
+   memoized by constant-constructor index instead of recomputed for
+   every token of every compile.  Racing initializations across domains
+   write the same value, so the unsynchronized arrays are benign. *)
+let kw_lex_tags = Array.make 64 (-1)
+let op_lex_tags = Array.make 64 (-1)
+
+let lex_tag (t : Token.t) =
+  match t with
+  | Token.Ident _ -> 1
+  | Token.Int_lit (v, _, _) -> 2 + (if Int64.compare v 256L < 0 then 0 else 1)
+  | Token.Float_lit _ -> 4
+  | Token.Char_lit _ -> 5
+  | Token.Str_lit _ -> 6
+  | Token.Kw k ->
+    let i : int = Obj.magic k in
+    let v = Array.unsafe_get kw_lex_tags i in
+    if v >= 0 then v
+    else begin
+      let v = 8 + (Hashtbl.hash k land 0x1f) in
+      kw_lex_tags.(i) <- v;
+      v
+    end
+  | t ->
+    (* every remaining constructor is constant (operators, punctuation,
+       Eof), so its runtime representation is an immediate index *)
+    let i : int = Obj.magic t in
+    let v = Array.unsafe_get op_lex_tags i in
+    if v >= 0 then v
+    else begin
+      let v = 48 + (Hashtbl.hash (Token.to_string t) land 0x7) in
+      op_lex_tags.(i) <- v;
+      v
+    end
+
 let lex_coverage ?limit cov ~salt (toks : Lexer.lexeme array) : unit =
   match cov with
   | None -> ()
@@ -77,25 +114,14 @@ let lex_coverage ?limit cov ~salt (toks : Lexer.lexeme array) : unit =
           toks;
         Array.sub toks 0 (max 1 !n)
     in
-    (* the lexer branches on token *classes*, not identifier content *)
-    let tag (t : Token.t) =
-      match t with
-      | Token.Ident _ -> 1
-      | Token.Int_lit (v, _, _) ->
-        2 + (if Int64.compare v 256L < 0 then 0 else 1)
-      | Token.Float_lit _ -> 4
-      | Token.Char_lit _ -> 5
-      | Token.Str_lit _ -> 6
-      | Token.Kw k -> 8 + (Hashtbl.hash k land 0x1f)
-      | t -> 48 + (Hashtbl.hash (Token.to_string t) land 0x7)
-    in
-    Array.iteri
-      (fun i l ->
-        if i > 0 then
-          cov_event cov ~salt ~site:0x100
-            ~a:(tag toks.(i - 1).Lexer.tok)
-            ~b:(tag l.Lexer.tok))
-      toks
+    if Array.length toks > 1 then begin
+      let prev = ref (lex_tag toks.(0).Lexer.tok) in
+      for i = 1 to Array.length toks - 1 do
+        let t = lex_tag toks.(i).Lexer.tok in
+        cov_event cov ~salt ~site:0x100 ~a:!prev ~b:t;
+        prev := t
+      done
+    end
 
 (* The lexer's own error-handling path (malformed input). *)
 let lex_error_coverage cov ~salt msg =
@@ -115,7 +141,7 @@ let ast_coverage cov ~salt (tu : Ast.tu) : unit =
       let p = ek e in
       match e.ek with
       | Binop (op, a, b) ->
-        cov_event cov ~salt ~site:0x210 ~a:(Hashtbl.hash op land 0xff) ~b:p;
+        cov_event cov ~salt ~site:0x210 ~a:(Lower.binop_hash_tag op) ~b:p;
         walk_expr p a;
         walk_expr p b
       | Unop (_, a) | Incdec (_, _, a) | Deref a | Addrof a | Cast (_, a)
@@ -562,7 +588,10 @@ let compile_tu ?cov ?engine ?faults (compiler : compiler) (opts : options)
                 let ast = Features.ast_features tu in
                 feature_coverage cov ~salt ast;
                 check Crash.Front_end (Some ast);
-                let tc = Typecheck.check tu in
+                (* the expression-type table is recycled from the arena:
+                   [tc] does not outlive this compile (lowering is its
+                   last reader) *)
+                let tc = Typecheck.check ~types:(Scratch.get ()).Scratch.types tu in
                 diag_coverage cov ~salt tc.r_diags;
                 if not tc.r_ok then
                   Error
@@ -692,38 +721,98 @@ let options_to_string (o : options) =
 
 (* The pipeline is deterministic in (compiler, options, source), and the
    fragility model frequently re-renders byte-identical mutants, so a
-   repeated source can skip the whole compile.  Keys are the full
-   (compiler, options, source) text — no hash-collision unsoundness —
-   and the table is dropped wholesale when it reaches capacity (the
-   working set of a fuzz run is recent mutants; an LRU would buy little
-   over epoch clearing). *)
-type cache = {
-  c_tbl : (string, outcome) Hashtbl.t;
-  c_capacity : int;
-  mutable c_hits : int;
-  mutable c_misses : int;
+   repeated source can skip the whole compile.
+
+   The table is keyed by a cheap 64-bit FNV-1a fingerprint of the mutant
+   source (mixed with a per-(compiler, options) salt), consulted *before*
+   any key construction: the old full-text key concatenated
+   compiler+options+source into a fresh string — a source-sized
+   allocation plus a full-string hash — on every probe, hits included.
+   Soundness is unchanged: each fingerprint bucket stores the exact
+   (compiler, options, source) triple and a probe compares all three, so
+   a fingerprint collision falls back to the exact key and at worst
+   costs a bucket walk, never a wrong outcome.  The table is dropped
+   wholesale when it reaches capacity (the working set of a fuzz run is
+   recent mutants; an LRU would buy little over epoch clearing). *)
+
+type cache_entry = {
+  ce_compiler : compiler;
+  ce_opts : options;
+  ce_src : string;
+  ce_outcome : outcome;
 }
 
-let cache_create ?(capacity = 2048) () =
+(* The source fingerprint is injectable so tests can force collisions
+   (e.g. a constant fingerprint) and pin the exact-key fallback.  A
+   variant rather than a bare closure: the default case must survive
+   [Marshal] inside checkpoint snapshots. *)
+type fingerprint_fn = Fp_default | Fp_custom of (string -> int)
+
+type cache = {
+  c_tbl : (int, cache_entry list) Hashtbl.t;
+  c_capacity : int;
+  c_fingerprint : fingerprint_fn;
+  mutable c_len : int; (* total entries across buckets *)
+  mutable c_hits : int;
+  mutable c_misses : int;
+  mutable c_collisions : int; (* probes that had to walk past a bucket *)
+}
+
+let cache_create ?(capacity = 2048) ?fingerprint () =
   {
     c_tbl = Hashtbl.create 256;
     c_capacity = max 1 capacity;
+    c_fingerprint =
+      (match fingerprint with None -> Fp_default | Some f -> Fp_custom f);
+    c_len = 0;
     c_hits = 0;
     c_misses = 0;
+    c_collisions = 0;
   }
 
 let cache_hits c = c.c_hits
 let cache_misses c = c.c_misses
+let cache_collisions c = c.c_collisions
 
-let cache_key compiler opts src =
-  String.concat "\x00"
-    [ Bugdb.compiler_to_string compiler; options_to_string opts; src ]
+(* FNV-1a over the source bytes in native-int arithmetic (wraps mod
+   2^63): one pass, no allocation. *)
+let fp_source (s : string) : int =
+  let h = ref 0x3bf29ce484222325 in
+  for i = 0 to String.length s - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * 0x100000001b3
+  done;
+  !h
 
-let compile_cached ~cache ?cov ?engine ?faults (compiler : compiler)
+(* The per-(compiler, options) salt — precomputed once per batch so the
+   per-mutant cost is the source scan alone. *)
+let fp_salt (compiler : compiler) (opts : options) : int =
+  let ctag = match compiler with Gcc -> 0x9e01 | Clang -> 0x3c75 in
+  (Hashtbl.hash opts * 0x9E3779B1) lxor (ctag * 0x85EBCA77)
+
+let fp_of cache ~salt src =
+  let base =
+    match cache.c_fingerprint with
+    | Fp_default -> fp_source src
+    | Fp_custom f -> f src
+  in
+  base lxor salt
+
+let entry_matches (compiler : compiler) (opts : options) (src : string)
+    (e : cache_entry) =
+  e.ce_compiler = compiler && String.equal e.ce_src src && e.ce_opts = opts
+
+(* The shared cached-compile core: [fp] is the already-salted
+   fingerprint. *)
+let cached_compile ~cache ~fp ?cov ?engine ?faults (compiler : compiler)
     (opts : options) (src : string) : outcome * Cparse.Ast.tu option =
-  let key = cache_key compiler opts src in
-  match Hashtbl.find_opt cache.c_tbl key with
-  | Some outcome ->
+  let bucket = Hashtbl.find_opt cache.c_tbl fp in
+  let hit =
+    match bucket with
+    | None -> None
+    | Some entries -> List.find_opt (entry_matches compiler opts src) entries
+  in
+  match hit with
+  | Some e ->
     cache.c_hits <- cache.c_hits + 1;
     (* A byte-identical source was already compiled: its outcome is
        deterministic and its coverage map is identical to the first
@@ -732,15 +821,73 @@ let compile_cached ~cache ?cov ?engine ?faults (compiler : compiler)
        the fresh-branch count 0 either way.  Engine accounting is still
        replayed so compile.total/compile.outcome.* match an uncached
        run exactly. *)
-    record_outcome ~cached:true engine outcome;
-    (outcome, None)
+    record_outcome ~cached:true engine e.ce_outcome;
+    (e.ce_outcome, None)
   | None ->
     cache.c_misses <- cache.c_misses + 1;
+    (match bucket with
+    | Some _ ->
+      (* fingerprint collision (or same source under other options):
+         the exact-key comparison above kept the probe sound *)
+      cache.c_collisions <- cache.c_collisions + 1
+    | None -> ());
     (* the fault draw happens only on real compiles (a cache hit replays
        the memoized outcome, injected hang included), so a pathological
        mutant is pathological every time it is seen *)
     let outcome, tu = compile_tu ?cov ?engine ?faults compiler opts src in
-    if Hashtbl.length cache.c_tbl >= cache.c_capacity then
+    if cache.c_len >= cache.c_capacity then begin
       Hashtbl.reset cache.c_tbl;
-    Hashtbl.replace cache.c_tbl key outcome;
+      cache.c_len <- 0
+    end;
+    let prev =
+      match Hashtbl.find_opt cache.c_tbl fp with Some l -> l | None -> []
+    in
+    Hashtbl.replace cache.c_tbl fp
+      ({ ce_compiler = compiler; ce_opts = opts; ce_src = src;
+         ce_outcome = outcome }
+       :: prev);
+    cache.c_len <- cache.c_len + 1;
     (outcome, tu)
+
+let compile_cached ~cache ?cov ?engine ?faults (compiler : compiler)
+    (opts : options) (src : string) : outcome * Cparse.Ast.tu option =
+  let fp = fp_of cache ~salt:(fp_salt compiler opts) src in
+  cached_compile ~cache ~fp ?cov ?engine ?faults compiler opts src
+
+(* ------------------------------------------------------------------ *)
+(* Batch compile sessions                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A fuzz loop compiles many mutants of one original under one
+   (compiler, options) pair.  A batch pins that pair once: the
+   fingerprint salt (an options traversal) is precomputed, the
+   cov/engine/faults plumbing is bound up front instead of re-boxed per
+   call, and every compile shares the cache — decisions are exactly
+   those of [compile_cached] called with the same arguments (pinned by
+   the batch-equivalence test). *)
+type batch = {
+  bt_cache : cache;
+  bt_compiler : compiler;
+  bt_opts : options;
+  bt_salt : int;
+  bt_cov : Coverage.t option;
+  bt_engine : Engine.Ctx.t option;
+  bt_faults : Engine.Faults.t option;
+}
+
+let batch_create ~cache ?cov ?engine ?faults (compiler : compiler)
+    (opts : options) : batch =
+  {
+    bt_cache = cache;
+    bt_compiler = compiler;
+    bt_opts = opts;
+    bt_salt = fp_salt compiler opts;
+    bt_cov = cov;
+    bt_engine = engine;
+    bt_faults = faults;
+  }
+
+let batch_compile (b : batch) (src : string) : outcome * Cparse.Ast.tu option =
+  let fp = fp_of b.bt_cache ~salt:b.bt_salt src in
+  cached_compile ~cache:b.bt_cache ~fp ?cov:b.bt_cov ?engine:b.bt_engine
+    ?faults:b.bt_faults b.bt_compiler b.bt_opts src

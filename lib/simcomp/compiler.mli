@@ -70,17 +70,31 @@ val compile_tu :
     tree is exactly what [Parser.parse] of the same source yields. *)
 
 type cache
-(** A mutant dedup cache: memoizes compile outcomes keyed by the full
-    (compiler, options, source) text.  The pipeline is deterministic in
-    that triple, so byte-identical mutants — which the fragility model
-    produces often — skip the whole compile. *)
+(** A mutant dedup cache: memoizes compile outcomes.  Lookups go through
+    a cheap 64-bit fingerprint of the mutant source (salted with the
+    compiler and options), but every entry stores the exact
+    (compiler, options, source) triple and probes compare all three —
+    a fingerprint collision falls back to the exact key, so decisions
+    are identical to a full-text-keyed cache.  The pipeline is
+    deterministic in that triple, so byte-identical mutants — which the
+    fragility model produces often — skip the whole compile. *)
 
-val cache_create : ?capacity:int -> unit -> cache
+val cache_create :
+  ?capacity:int -> ?fingerprint:(string -> int) -> unit -> cache
 (** The table is cleared wholesale when it reaches [capacity]
-    (default 2048 entries). *)
+    (default 2048 entries).  [fingerprint] overrides the source hash —
+    meant for tests forcing collisions (e.g. a constant function) to
+    exercise the exact-key fallback.  Caches built with the default
+    fingerprint survive [Marshal]-based checkpointing; a custom
+    fingerprint is a closure and does not. *)
 
 val cache_hits : cache -> int
 val cache_misses : cache -> int
+
+val cache_collisions : cache -> int
+(** Misses and cross-option probes that landed in an occupied
+    fingerprint bucket without an exact-triple match.  A nonzero count
+    only costs a bucket walk; outcomes are unaffected. *)
 
 val compile_cached :
   cache:cache -> ?cov:Coverage.t -> ?engine:Engine.Ctx.t ->
@@ -94,6 +108,22 @@ val compile_cached :
     [compile.cached] counter bump.  The [Compile_hang] fault draw
     happens only on misses: a byte-identical mutant replays its
     memoized outcome, injected hang included. *)
+
+type batch
+(** A pinned (compiler, options, cache, plumbing) compile session.  Fuzz
+    loops compile many mutants of one original under one configuration;
+    a batch precomputes the per-configuration fingerprint salt and binds
+    the cov/engine/faults plumbing once, so the per-mutant overhead is a
+    single scan of the source. *)
+
+val batch_create :
+  cache:cache -> ?cov:Coverage.t -> ?engine:Engine.Ctx.t ->
+  ?faults:Engine.Faults.t -> compiler -> options -> batch
+
+val batch_compile : batch -> string -> outcome * Cparse.Ast.tu option
+(** Exactly {!compile_cached} with the batch's pinned arguments: cache
+    decisions, engine accounting, fault draws and outcomes are
+    indistinguishable from the unbatched call. *)
 
 (** One executed pipeline step, as recorded by {!compile_passes}. *)
 type pass_step = {

@@ -44,8 +44,13 @@ let[@inline] mix3 site a b =
   let h = h * 0x27D4EB2F in
   h lxor (h lsr 13)
 
-(* Report a branch at [site] with contextual values. *)
-let branch cov ~site ?(a = 0) ?(b = 0) () = hit cov (mix3 site a b)
+(* Report a branch at [site] with contextual values.  [branch3] is the
+   hot-path spelling: without flambda, [branch]'s optional arguments box
+   a [Some] per supplied value at every call site — thousands of events
+   per compile, all allocating for nothing.  Instrumentation sites that
+   fire per token/node/instruction must use [branch3]. *)
+let branch3 cov site a b = hit cov (mix3 site a b)
+let branch cov ~site ?(a = 0) ?(b = 0) () = branch3 cov site a b
 
 let covered cov = cov.distinct
 
@@ -86,6 +91,65 @@ let merge ~into:dst src =
   done;
   dst.hits <- dst.hits + src.hits;
   !fresh
+
+(* [merge] fused with the scratch-map reset: accumulate [src] into
+   [dst] and zero [src] in the same word-skipping pass.  Fuzz loops
+   reuse one scratch map per mutant; with this call the 1 MiB
+   [Bytes.fill] that [reset] would do before every compile collapses
+   into zeroing only the words the compile actually touched.  On return
+   [src] is pristine (all-zero map, hits = distinct = 0). *)
+let merge_consume ~into:dst src =
+  let fresh = ref 0 in
+  for w = 0 to words - 1 do
+    let base = w * 8 in
+    if Bytes.get_int64_ne src.map base <> 0L then begin
+      for i = base to base + 7 do
+        let s = Char.code (Bytes.unsafe_get src.map i) in
+        if s <> 0 then begin
+          let d = Char.code (Bytes.unsafe_get dst.map i) in
+          if d = 0 then begin
+            incr fresh;
+            dst.distinct <- dst.distinct + 1
+          end;
+          let sum = d + s in
+          Bytes.unsafe_set dst.map i
+            (Char.unsafe_chr (if sum > 255 then 255 else sum))
+        end
+      done;
+      Bytes.set_int64_ne src.map base 0L
+    end
+  done;
+  dst.hits <- dst.hits + src.hits;
+  src.hits <- 0;
+  src.distinct <- 0;
+  !fresh
+
+(* Word-skipping iteration over covered cell indices, in increasing
+   order.  The corpus scheduler uses this to update per-edge top-entry
+   claims on accept without materializing [branch_ids]'s list. *)
+let iter_nonzero cov f =
+  for w = 0 to words - 1 do
+    if Bytes.get_int64_ne cov.map (w * 8) <> 0L then begin
+      let base = w * 8 in
+      for i = base to base + 7 do
+        if Bytes.unsafe_get cov.map i <> '\000' then f i
+      done
+    end
+  done
+
+(* [reset] with the word-skipping scan of [merge_consume]: zero only
+   the words that are actually nonzero.  The scheduling path reads the
+   scratch map after the merge (claim bookkeeping needs the mutant's own
+   cells), so it cannot use [merge_consume]; this keeps the
+   full-map-memset-per-mutant from coming back. *)
+let drain cov =
+  for w = 0 to words - 1 do
+    let base = w * 8 in
+    if Bytes.get_int64_ne cov.map base <> 0L then
+      Bytes.set_int64_ne cov.map base 0L
+  done;
+  cov.hits <- 0;
+  cov.distinct <- 0
 
 (* Does [src] cover any branch absent from [dst]?  Same word-skipping
    scan as [merge] with an early exit; kept for read-only callers —

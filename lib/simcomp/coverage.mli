@@ -29,7 +29,14 @@ val hit : t -> int -> unit
 
 val branch : t -> site:int -> ?a:int -> ?b:int -> unit -> unit
 (** Report a branch at [site] with contextual values [a], [b]; the id is
-    an inlined integer mix of the triple (no tuple is built). *)
+    an inlined integer mix of the triple (no tuple is built).  Each
+    supplied optional argument boxes a [Some] at the call site (no
+    flambda): fine for one-off sites, not for per-node loops. *)
+
+val branch3 : t -> int -> int -> int -> unit
+(** [branch3 cov site a b] = [branch cov ~site ~a ~b ()] without the
+    optional-argument boxing — the allocation-free spelling for
+    instrumentation that fires per token/node/instruction. *)
 
 val covered : t -> int
 (** Number of distinct branches covered.  O(1). *)
@@ -45,6 +52,24 @@ val merge : into:t -> t -> int
     exactly {!has_new_coverage} computed in the same pass — fuzz loops
     should use this single call for both the accept decision and the
     accumulation. *)
+
+val merge_consume : into:t -> t -> int
+(** {!merge} fused with {!reset}: accumulates the second map into
+    [into], zeroes the second map in the same word-skipping pass, and
+    returns the fresh-branch count.  After the call the source map is
+    pristine, so a scratch map cycled through [merge_consume] never
+    needs an up-front {!reset} — the full-map memset collapses into
+    zeroing only the words the compile touched. *)
+
+val iter_nonzero : t -> (int -> unit) -> unit
+(** Apply the callback to every covered cell index, in increasing
+    order, skipping zero words.  For accept-time bookkeeping (corpus
+    scheduling) that must run before the map is consumed. *)
+
+val drain : t -> unit
+(** {!reset} via the word-skipping scan: zero only the nonzero words.
+    For paths that must read the scratch map between the merge and the
+    re-zero (scheduling claims) and so cannot use {!merge_consume}. *)
 
 val has_new_coverage : seen:t -> t -> bool
 (** Does the second map cover a branch absent from [seen]?  Read-only

@@ -110,6 +110,56 @@ let uses_of_term = function
     match op with Reg r -> [ r ] | _ -> [])
   | Tret None | Tjmp _ | Tunreachable -> []
 
+(* Allocation-free visit of an instruction's register operands, in
+   exactly [dest]-then-[uses] order (liveness scans run this per
+   instruction; the list-building spellings above cost a cons per
+   operand). *)
+let iter_op f = function Reg r -> f r | Imm _ | Fimm _ | Sym _ -> ()
+
+let iter_addr f = function
+  | Avar _ -> ()
+  | Aindex (_, op, _) | Areg op -> iter_op f op
+
+let iter_regs f = function
+  | Ibin (_, r, a, b) ->
+    f r;
+    iter_op f a;
+    iter_op f b
+  | Iun (_, r, a) | Imov (r, a) | Icast (r, _, a) ->
+    f r;
+    iter_op f a
+  | Iload (r, addr) | Iaddr (r, addr) ->
+    f r;
+    iter_addr f addr
+  | Istore (addr, v) ->
+    iter_addr f addr;
+    iter_op f v
+  | Icall (r, _, args) ->
+    (match r with Some r -> f r | None -> ());
+    List.iter (iter_op f) args
+
+let iter_term_regs f = function
+  | Tret (Some op) | Tbr (op, _, _) | Tswitch (op, _, _) -> iter_op f op
+  | Tret None | Tjmp _ | Tunreachable -> ()
+
+let iter_uses f = function
+  | Ibin (_, _, a, b) ->
+    iter_op f a;
+    iter_op f b
+  | Iun (_, _, a) | Imov (_, a) | Icast (_, _, a) -> iter_op f a
+  | Iload (_, addr) | Iaddr (_, addr) -> iter_addr f addr
+  | Istore (addr, v) ->
+    iter_addr f addr;
+    iter_op f v
+  | Icall (_, _, args) -> List.iter (iter_op f) args
+
+(* [dest] without the option box: -1 when the instruction has none. *)
+let dest_reg = function
+  | Ibin (_, r, _, _) | Iun (_, r, _) | Imov (r, _) | Icast (r, _, _)
+  | Iload (r, _) | Iaddr (r, _) -> r
+  | Icall (Some r, _, _) -> r
+  | Icall (None, _, _) | Istore _ -> -1
+
 (* Side-effect-free instructions are candidates for dead-code elimination. *)
 let is_pure_instr = function
   | Ibin _ | Iun _ | Imov _ | Icast _ | Iload _ | Iaddr _ -> true

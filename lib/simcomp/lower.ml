@@ -17,6 +17,12 @@ type env = {
   mutable nlabels : int;
   mutable blocks : block list;               (* reverse order *)
   mutable cur : block;
+  pending : Ir.instr Engine.Vec.t;
+      (* instructions of [cur], staged in the arena vector: blocks are
+         built strictly sequentially (emit only ever targets [cur]), so
+         one scratch vector serves the whole function and each block's
+         instruction list is materialised once, when the block is sealed
+         — the per-instruction [l @ [i]] append was O(n²) per block *)
   mutable scopes : (string * string) list list; (* name -> slot *)
   mutable slot_count : int;
   mutable loop_stack : (label * label) list; (* break, continue *)
@@ -43,8 +49,23 @@ let ty_tag = function
 
 let cov_event env site a b =
   match env.cov with
-  | Some cov -> Coverage.branch cov ~site ~a ~b ()
+  | Some cov -> Coverage.branch3 cov site a b
   | None -> ()
+
+(* [Hashtbl.hash op land 0xff], memoized by constant-constructor index:
+   the polymorphic hash is a C call that instrumentation sites pay per
+   binop otherwise.  Cross-domain init races write identical values. *)
+let binop_hash_tags = Array.make 32 (-1)
+
+let binop_hash_tag (op : Cparse.Ast.binop) =
+  let i : int = Obj.magic op in
+  let v = Array.unsafe_get binop_hash_tags i in
+  if v >= 0 then v
+  else begin
+    let v = Hashtbl.hash op land 0xff in
+    binop_hash_tags.(i) <- v;
+    v
+  end
 
 let type_of env (e : expr) : ty =
   match Hashtbl.find_opt env.types e.eid with
@@ -59,9 +80,16 @@ let fresh_label env =
   env.nlabels <- env.nlabels + 1;
   env.nlabels
 
-let emit env i = env.cur.b_instrs <- env.cur.b_instrs @ [ i ]
+let emit env i = Engine.Vec.push env.pending i
+
+(* Materialise [cur]'s staged instructions; nothing emits into a block
+   after it is sealed. *)
+let seal env =
+  env.cur.b_instrs <- Engine.Vec.to_list env.pending;
+  Engine.Vec.clear env.pending
 
 let start_block env label =
+  seal env;
   let b = { b_label = label; b_instrs = []; b_term = Tunreachable } in
   env.blocks <- b :: env.blocks;
   env.cur <- b
@@ -75,7 +103,7 @@ let pop_scope env =
 
 let declare_slot env name ~size ~is_float ~init =
   env.slot_count <- env.slot_count + 1;
-  let slot = Fmt.str "%s.%d" name env.slot_count in
+  let slot = name ^ "." ^ string_of_int env.slot_count in
   (match env.scopes with
   | scope :: rest -> env.scopes <- ((name, slot) :: scope) :: rest
   | [] -> env.scopes <- [ [ (name, slot) ] ]);
@@ -126,7 +154,7 @@ let rec lower_expr env (e : expr) : operand =
     let oa = lower_expr env a in
     let ob = lower_expr env b in
     let r = fresh_reg env in
-    cov_event env 0x1100 (Hashtbl.hash op land 0xff) (ty_tag (type_of env a));
+    cov_event env 0x1100 (binop_hash_tag op) (ty_tag (type_of env a));
     emit env (Ibin (op, r, oa, ob));
     Reg r
   | Unop (op, a) ->
@@ -582,6 +610,8 @@ let rec lower_stmt env (s : stmt) : unit =
 
 let lower_function ?cov ~types ~struct_fields (fd : fundef) : func * global_slot list =
   let entry = { b_label = 0; b_instrs = []; b_term = Tunreachable } in
+  let pending = (Scratch.get ()).Scratch.instrs in
+  Engine.Vec.clear pending;
   let env =
     {
       cov;
@@ -590,6 +620,7 @@ let lower_function ?cov ~types ~struct_fields (fd : fundef) : func * global_slot
       nlabels = 0;
       blocks = [ entry ];
       cur = entry;
+      pending;
       scopes = [ [] ];
       slot_count = 0;
       loop_stack = [];
@@ -609,6 +640,7 @@ let lower_function ?cov ~types ~struct_fields (fd : fundef) : func * global_slot
   in
   List.iter (lower_stmt env) fd.f_body;
   terminate env (Tret (if is_void_ty fd.f_ret then None else Some (Imm 0L)));
+  seal env;
   let blocks = List.rev env.blocks in
   ( {
       fn_name = fd.f_name;

@@ -22,6 +22,10 @@ val skind_tag : Cparse.Ast.stmt -> int
 
 val ty_tag : Cparse.Ast.ty -> int
 
+val binop_hash_tag : Cparse.Ast.binop -> int
+(** [Hashtbl.hash op land 0xff], memoized per constructor — the
+    allocation- and C-call-free spelling for per-node instrumentation. *)
+
 val lower_tu :
   ?cov:Coverage.t -> Cparse.Ast.tu -> Cparse.Typecheck.result -> Ir.program
 (** Lower a type-checked unit.  Local slots are registered in the

@@ -26,8 +26,27 @@ type pass = {
 
 let cov_event cov site a b =
   match cov with
-  | Some cov -> Coverage.branch cov ~site ~a ~b ()
+  | Some cov -> Coverage.branch3 cov site a b
   | None -> ()
+
+(* [List.map] that preserves physical identity when [f] changes nothing:
+   passes run over every block of every compile, and most visits change
+   no instruction, so rebuilding structurally identical lists was pure
+   allocation.  Recursion depth is the block size (bounded by function
+   length; fine for generated programs). *)
+let rec map_same f = function
+  | [] -> []
+  | x :: tl as l ->
+    let x' = f x in
+    let tl' = map_same f tl in
+    if x' == x && tl' == tl then l else x' :: tl'
+
+(* [List.filter] with the same identity-preserving contract. *)
+let rec filter_same pred = function
+  | [] -> []
+  | x :: tl as l ->
+    let tl' = filter_same pred tl in
+    if pred x then if tl' == tl then l else x :: tl' else tl'
 
 (* ------------------------------------------------------------------ *)
 (* Constant folding + copy propagation (per block)                     *)
@@ -70,11 +89,14 @@ let eval_unop op (a : int64) : int64 =
 let const_fold_pass =
   let run ?cov (p : program) =
     let changes = ref 0 in
+    (* the per-block constant table comes from the arena: cleared per
+       block, never folded/iterated, so recycling cannot affect results *)
+    let consts = (Scratch.get ()).Scratch.consts in
     List.iter
       (fun f ->
         List.iter
           (fun b ->
-            let consts : (int, int64) Hashtbl.t = Hashtbl.create 16 in
+            Hashtbl.clear consts;
             let subst (op : operand) =
               match op with
               | Reg r -> (
@@ -85,13 +107,23 @@ let const_fold_pass =
                 | None -> op)
               | _ -> op
             in
+            let subst_addr (addr : address) =
+              match addr with
+              | Aindex (s, op, sz) ->
+                let op' = subst op in
+                if op' == op then addr else Aindex (s, op', sz)
+              | Areg op ->
+                let op' = subst op in
+                if op' == op then addr else Areg op'
+              | a -> a
+            in
             b.b_instrs <-
-              List.map
+              map_same
                 (fun i ->
                   match i with
                   | Ibin (bop, r, a, bb) -> (
-                    let a = subst a and bb = subst bb in
-                    match a, bb with
+                    let a' = subst a and bb' = subst bb in
+                    match a', bb' with
                     | Imm va, Imm vb -> (
                       match eval_binop bop va vb with
                       | Some v ->
@@ -112,10 +144,11 @@ let const_fold_pass =
                           ((2 * magnitude) + if Int64.compare v 0L < 0 then 1 else 0);
                         incr changes;
                         Imov (r, Imm v)
-                      | None -> Ibin (bop, r, a, bb))
+                      | None ->
+                        if a' == a && bb' == bb then i else Ibin (bop, r, a', bb'))
                     | _ ->
                       cov_event cov 0x3000 (Hashtbl.hash bop land 0xff) 0;
-                      Ibin (bop, r, a, bb))
+                      if a' == a && bb' == bb then i else Ibin (bop, r, a', bb'))
                   | Iun (uop, r, a) -> (
                     match subst a with
                     | Imm v ->
@@ -123,13 +156,13 @@ let const_fold_pass =
                       Hashtbl.replace consts r v;
                       incr changes;
                       Imov (r, Imm v)
-                    | a -> Iun (uop, r, a))
+                    | a' -> if a' == a then i else Iun (uop, r, a'))
                   | Imov (r, a) -> (
                     match subst a with
-                    | Imm v ->
+                    | Imm v as a' ->
                       Hashtbl.replace consts r v;
-                      Imov (r, Imm v)
-                    | a -> Imov (r, a))
+                      if a' == a then i else Imov (r, a')
+                    | a' -> if a' == a then i else Imov (r, a'))
                   | Icast (r, ty, a) -> (
                     match subst a with
                     | Imm v ->
@@ -146,30 +179,22 @@ let const_fold_pass =
                       Hashtbl.replace consts r v';
                       incr changes;
                       Imov (r, Imm v')
-                    | a -> Icast (r, ty, a))
+                    | a' -> if a' == a then i else Icast (r, ty, a'))
                   | Iload (r, addr) ->
                     Hashtbl.remove consts r;
-                    let addr =
-                      match addr with
-                      | Aindex (s, op, sz) -> Aindex (s, subst op, sz)
-                      | Areg op -> Areg (subst op)
-                      | a -> a
-                    in
-                    Iload (r, addr)
+                    let addr' = subst_addr addr in
+                    if addr' == addr then i else Iload (r, addr')
                   | Istore (addr, v) ->
-                    let addr =
-                      match addr with
-                      | Aindex (s, op, sz) -> Aindex (s, subst op, sz)
-                      | Areg op -> Areg (subst op)
-                      | a -> a
-                    in
-                    Istore (addr, subst v)
-                  | Iaddr (r, addr) ->
+                    let addr' = subst_addr addr in
+                    let v' = subst v in
+                    if addr' == addr && v' == v then i else Istore (addr', v')
+                  | Iaddr (r, _) ->
                     Hashtbl.remove consts r;
-                    Iaddr (r, addr)
+                    i
                   | Icall (r, fn, args) ->
                     Option.iter (Hashtbl.remove consts) r;
-                    Icall (r, fn, List.map subst args))
+                    let args' = map_same subst args in
+                    if args' == args then i else Icall (r, fn, args'))
                 b.b_instrs;
             (* per-block optimization context: block size vs fold count *)
             let nb = List.length b.b_instrs in
@@ -219,8 +244,12 @@ let simplify_cfg_pass =
         match f.fn_blocks with
         | [] -> ()
         | entry :: _ ->
-          (* thread jumps to empty forwarding blocks *)
-          let forward = Hashtbl.create 8 in
+          (* thread jumps to empty forwarding blocks; arena tables are
+             only probed (find/mem), never iterated, so recycling is
+             result-neutral *)
+          let s = Scratch.get () in
+          let forward = s.Scratch.forward in
+          Hashtbl.clear forward;
           List.iter
             (fun b ->
               match b.b_instrs, b.b_term with
@@ -240,14 +269,27 @@ let simplify_cfg_pass =
             (fun b ->
               b.b_term <-
                 (match b.b_term with
-                | Tjmp l -> Tjmp (resolve [] l)
-                | Tbr (c, a, b') -> Tbr (c, resolve [] a, resolve [] b')
-                | Tswitch (c, cases, d) ->
-                  Tswitch (c, List.map (fun (v, l) -> (v, resolve [] l)) cases, resolve [] d)
+                | Tjmp l as t ->
+                  let l' = resolve [] l in
+                  if l' = l then t else Tjmp l'
+                | Tbr (c, a, b') as t ->
+                  let a' = resolve [] a and b'' = resolve [] b' in
+                  if a' = a && b'' = b' then t else Tbr (c, a', b'')
+                | Tswitch (c, cases, d) as t ->
+                  let cases' =
+                    map_same
+                      (fun ((v, l) as case) ->
+                        let l' = resolve [] l in
+                        if l' = l then case else (v, l'))
+                      cases
+                  in
+                  let d' = resolve [] d in
+                  if cases' == cases && d' = d then t else Tswitch (c, cases', d')
                 | t -> t))
             f.fn_blocks;
           (* reachability *)
-          let reachable = Hashtbl.create 16 in
+          let reachable = s.Scratch.reach in
+          Hashtbl.clear reachable;
           let rec visit l =
             if not (Hashtbl.mem reachable l) then begin
               Hashtbl.replace reachable l ();
@@ -259,7 +301,7 @@ let simplify_cfg_pass =
           visit entry.b_label;
           let before = List.length f.fn_blocks in
           f.fn_blocks <-
-            List.filter (fun b -> Hashtbl.mem reachable b.b_label) f.fn_blocks;
+            filter_same (fun b -> Hashtbl.mem reachable b.b_label) f.fn_blocks;
           let removed = before - List.length f.fn_blocks in
           if removed > 0 then begin
             cov_event cov 0x3100 removed 0;
@@ -279,24 +321,23 @@ let dce_pass =
     let changes = ref 0 in
     List.iter
       (fun f ->
-        let used = Hashtbl.create 64 in
+        (* arena table: membership-only, so recycling is result-neutral *)
+        let used = (Scratch.get ()).Scratch.used in
+        Hashtbl.clear used;
+        let mark r = Hashtbl.replace used r () in
         List.iter
           (fun b ->
-            List.iter
-              (fun i -> List.iter (fun r -> Hashtbl.replace used r ()) (uses i))
-              b.b_instrs;
-            List.iter (fun r -> Hashtbl.replace used r ()) (uses_of_term b.b_term))
+            List.iter (fun i -> iter_uses mark i) b.b_instrs;
+            iter_term_regs mark b.b_term)
           f.fn_blocks;
         List.iter
           (fun b ->
             let before = List.length b.b_instrs in
             b.b_instrs <-
-              List.filter
+              filter_same
                 (fun i ->
-                  match dest i with
-                  | Some r when is_pure_instr i && not (Hashtbl.mem used r) ->
-                    false
-                  | _ -> true)
+                  let r = dest_reg i in
+                  not (r >= 0 && is_pure_instr i && not (Hashtbl.mem used r)))
                 b.b_instrs;
             let removed = before - List.length b.b_instrs in
             if removed > 0 then begin
@@ -336,7 +377,7 @@ let inline_pass =
         List.iter
           (fun b ->
             b.b_instrs <-
-              List.map
+              map_same
                 (fun i ->
                   match i with
                   | Icall (Some r, fn, _) -> (
@@ -366,7 +407,7 @@ let strlen_pass =
         List.iter
           (fun b ->
             b.b_instrs <-
-              List.map
+              map_same
                 (fun i ->
                   match i with
                   | Icall (Some r, "sprintf", [ _; Sym fmt; src ])

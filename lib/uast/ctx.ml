@@ -10,12 +10,19 @@ type t = {
   rng : Rng.t;
   tu : Ast.tu;
   tc : Typecheck.result;
+  name_base : int;
   mutable name_counter : int;
 }
 
 let create ~rng (tu : Ast.tu) : t =
   let tu = if Ast_ids.well_formed tu then tu else Ast_ids.renumber tu in
-  { rng; tu; tc = Typecheck.check tu; name_counter = Ast_ids.max_id tu }
+  let base = Ast_ids.max_id tu in
+  (* [tc] may outlive a compile of the same source (a fuzz iteration
+     holds the context across several mutation attempts and compiles),
+     so it must own its type table — never the compile arena's. *)
+  { rng; tu; tc = Typecheck.check tu; name_base = base; name_counter = base }
+
+let reset_names ctx = ctx.name_counter <- ctx.name_base
 
 (* Semantic type of an expression, as computed by the front-end.  [None]
    for nodes synthesised after the last renumbering. *)

@@ -8,12 +8,20 @@ type t = {
   rng : Cparse.Rng.t;
   tu : Cparse.Ast.tu;
   tc : Cparse.Typecheck.result;
+  name_base : int;  (** [name_counter]'s value at creation (the max id) *)
   mutable name_counter : int;
 }
 
 val create : rng:Cparse.Rng.t -> Cparse.Ast.tu -> t
 (** Runs the type checker; renumbers the unit first if its node ids are
-    not well formed. *)
+    not well formed.  Creation is the expensive part (a full semantic
+    analysis), so callers applying several mutators to the same unit
+    should create one context and reuse it (see
+    {!Mutators.Mutator.apply_ctx}). *)
+
+val reset_names : t -> unit
+(** Rewind the unique-name supply to its creation state, so a reused
+    context hands out the same names a fresh one would. *)
 
 val type_of : t -> Cparse.Ast.expr -> Cparse.Ast.ty option
 (** Semantic type of an expression as computed by the front-end; [None]

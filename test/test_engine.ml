@@ -64,6 +64,28 @@ let metrics_tests =
           check (Alcotest.array Alcotest.int) "buckets" [| 1; 1; 0 |] counts;
           check Alcotest.int "total" 2 total
         | _ -> Alcotest.fail "histogram missing");
+    tc "histogram_quantile interpolates, clamps, and handles empties" (fun () ->
+        let reg = Engine.Metrics.create () in
+        let h = Engine.Metrics.histogram ~edges:[| 1.; 10. |] reg "q" in
+        check (Alcotest.float 1e-9) "empty histogram reads 0" 0.
+          (Engine.Metrics.histogram_quantile h 0.5);
+        (* one observation per bucket: (0,1], (1,10], overflow *)
+        List.iter (Engine.Metrics.observe h) [ 0.5; 5.; 20. ];
+        (* p50: rank 1.5 falls in the second bucket, halfway in *)
+        check (Alcotest.float 1e-9) "p50 interpolated" 5.5
+          (Engine.Metrics.histogram_quantile h 0.5);
+        (* p95: rank 2.85 falls in the overflow bucket -> top edge *)
+        check (Alcotest.float 1e-9) "overflow clamps to top edge" 10.
+          (Engine.Metrics.histogram_quantile h 0.95);
+        (* out-of-range q is clamped *)
+        check (Alcotest.float 1e-9) "q > 1 clamps" 10.
+          (Engine.Metrics.histogram_quantile h 2.);
+        (* quantile_of works straight off snapshot data *)
+        match List.assoc "q" (Engine.Metrics.snapshot reg) with
+        | Engine.Metrics.Histogram { edges; counts; total; _ } ->
+          check (Alcotest.float 1e-9) "quantile_of agrees" 5.5
+            (Engine.Metrics.quantile_of ~edges ~counts ~total 0.5)
+        | _ -> Alcotest.fail "histogram missing");
     tc "counters_with_prefix strips and sorts" (fun () ->
         let reg = Engine.Metrics.create () in
         Engine.Metrics.incr ~by:7 (Engine.Metrics.counter reg "p.zeta");
@@ -207,6 +229,26 @@ let vec_tests =
         let v : int Engine.Vec.t = Engine.Vec.create () in
         check Alcotest.int "length" 0 (Engine.Vec.length v);
         check Alcotest.(list int) "to_list" [] (Engine.Vec.to_list v));
+    tc "to_array/of_array round-trip without aliasing" (fun () ->
+        let v = Engine.Vec.of_list [ 1; 2; 3 ] in
+        Engine.Vec.push v 4;
+        let a = Engine.Vec.to_array v in
+        check (Alcotest.array Alcotest.int) "live elements" [| 1; 2; 3; 4 |] a;
+        (* the snapshot is a copy: later pushes don't show in it *)
+        Engine.Vec.push v 5;
+        check Alcotest.int "snapshot unchanged" 4 (Array.length a);
+        let v' = Engine.Vec.of_array a in
+        a.(0) <- 99;
+        check Alcotest.int "of_array copied" 1 (Engine.Vec.get v' 0);
+        check Alcotest.(list int) "round-trip" [ 1; 2; 3; 4 ]
+          (Engine.Vec.to_list v'));
+    tc "clear keeps capacity and resets length" (fun () ->
+        let v = Engine.Vec.of_list [ 1; 2; 3 ] in
+        Engine.Vec.clear v;
+        check Alcotest.int "length" 0 (Engine.Vec.length v);
+        check Alcotest.(list int) "empty" [] (Engine.Vec.to_list v);
+        Engine.Vec.push v 7;
+        check Alcotest.int "reusable" 7 (Engine.Vec.get v 0));
   ]
 
 let scheduler_tests =

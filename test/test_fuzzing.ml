@@ -221,6 +221,75 @@ let mucfuzz_tests =
         let resumed = go ~resume:file () in
         check Alcotest.bool "resumed run identical" true
           (Fuzzing.Fuzz_result.equal full resumed));
+    tc "corpus scheduling is deterministic and keeps finding coverage"
+      (fun () ->
+        (* pool_max 8 on a 60-iteration run forces several trim cycles,
+           so favored-set selection, claim transfer, and the index remap
+           are all exercised by the equality check *)
+        let cfg =
+          {
+            (Fuzzing.Mucfuzz.default_config ()) with
+            Fuzzing.Mucfuzz.max_attempts_per_iteration = 6;
+            sample_every = 10;
+            schedule = true;
+            pool_max = 8;
+          }
+        in
+        let go () =
+          Fuzzing.Mucfuzz.run ~cfg ~rng:(Rng.create 21)
+            ~compiler:Simcomp.Compiler.Gcc ~seeds:(Lazy.force seed_corpus)
+            ~iterations:60 ~name:"t" ()
+        in
+        let a = go () and b = go () in
+        check Alcotest.bool "same run" true (Fuzzing.Fuzz_result.equal a b);
+        check Alcotest.bool "coverage found" true
+          (Simcomp.Coverage.covered a.Fuzzing.Fuzz_result.coverage > 100));
+    tc "scheduling off leaves the default run untouched" (fun () ->
+        (* the scheduler draws extra RNG only when enabled: a default
+           config run must be byte-for-byte the run from before the
+           scheduler existed (same stream, same decisions) *)
+        let go schedule =
+          let cfg =
+            {
+              (Fuzzing.Mucfuzz.default_config ()) with
+              Fuzzing.Mucfuzz.max_attempts_per_iteration = 6;
+              sample_every = 10;
+              schedule;
+            }
+          in
+          Fuzzing.Mucfuzz.run ~cfg ~rng:(Rng.create 33)
+            ~compiler:Simcomp.Compiler.Gcc ~seeds:(Lazy.force seed_corpus)
+            ~iterations:30 ~name:"t" ()
+        in
+        let off = go false and off' = go false in
+        check Alcotest.bool "default deterministic" true
+          (Fuzzing.Fuzz_result.equal off off'));
+    tc "scheduled checkpoint/resume reproduces an uninterrupted run"
+      (fun () ->
+        let file =
+          Filename.concat (Filename.temp_dir "metamut-sched" "") "m.ckpt"
+        in
+        let cfg =
+          {
+            (Fuzzing.Mucfuzz.default_config ()) with
+            Fuzzing.Mucfuzz.max_attempts_per_iteration = 6;
+            sample_every = 5;
+            schedule = true;
+            pool_max = 8;
+          }
+        in
+        let go ?checkpoint ?resume () =
+          Fuzzing.Mucfuzz.run ~cfg ?checkpoint ?resume ~rng:(Rng.create 9)
+            ~compiler:Simcomp.Compiler.Gcc ~seeds:(Lazy.force seed_corpus)
+            ~iterations:40 ~name:"t" ()
+        in
+        let full = go () in
+        let checkpointed = go ~checkpoint:(file, 15) () in
+        check Alcotest.bool "checkpointing is transparent" true
+          (Fuzzing.Fuzz_result.equal full checkpointed);
+        let resumed = go ~resume:file () in
+        check Alcotest.bool "resumed run identical" true
+          (Fuzzing.Fuzz_result.equal full resumed));
     tc "injected compile hangs surface as watchdog Hang crashes" (fun () ->
         let faults =
           Engine.Faults.create
@@ -349,6 +418,29 @@ let campaign_tests =
             check Alcotest.bool "equal result" true
               (Fuzzing.Fuzz_result.equal r1 r2))
           clean.Fuzzing.Campaign.results faulted.Fuzzing.Campaign.results);
+    tc "scheduled campaigns are identical across job counts" (fun () ->
+        (* corpus scheduling lives inside each cell's private RNG and
+           pool, so parallelism must not perturb it *)
+        let cfg jobs =
+          {
+            Fuzzing.Campaign.default_config with
+            iterations = 10;
+            seeds = 8;
+            sample_every = 4;
+            max_attempts = 4;
+            schedule = true;
+            jobs;
+          }
+        in
+        let fuzzers = Fuzzing.Campaign.[ MuCFuzz_s; MuCFuzz_u ] in
+        let serial = Fuzzing.Campaign.run ~cfg:(cfg 1) ~fuzzers () in
+        let par = Fuzzing.Campaign.run ~cfg:(cfg 4) ~fuzzers () in
+        List.iter2
+          (fun (c1, r1) (c2, r2) ->
+            check Alcotest.bool "same cell" true (c1 = c2);
+            check Alcotest.bool "equal result" true
+              (Fuzzing.Fuzz_result.equal r1 r2))
+          serial.Fuzzing.Campaign.results par.Fuzzing.Campaign.results);
     tc "campaign resume reproduces the uninterrupted result" (fun () ->
         let cfg =
           {

@@ -1055,6 +1055,99 @@ let compile_pipeline_tests =
           (Simcomp.Compiler.cache_hits cache);
         check Alcotest.int "first pass all misses" 8
           (Simcomp.Compiler.cache_misses cache));
+    tc "fingerprint dedup decisions match an exact-keyed cache" (fun () ->
+        (* a constant fingerprint makes every lookup collide, forcing
+           the exact-triple fallback on each probe: hit/miss decisions
+           (and so outcomes, coverage, accounting) must be identical to
+           the well-distributed default hash *)
+        let normal = Simcomp.Compiler.cache_create () in
+        let colliding =
+          Simcomp.Compiler.cache_create ~fingerprint:(fun _ -> 42) ()
+        in
+        let srcs = gen_sources 6 1300 in
+        let srcs = srcs @ List.rev srcs @ srcs in
+        let outcomes cache =
+          List.map
+            (fun src ->
+              fst
+                (Simcomp.Compiler.compile_cached ~cache Simcomp.Compiler.Gcc
+                   opts src))
+            srcs
+        in
+        check Alcotest.bool "same outcome sequence" true
+          (outcomes normal = outcomes colliding);
+        check Alcotest.int "same hits"
+          (Simcomp.Compiler.cache_hits normal)
+          (Simcomp.Compiler.cache_hits colliding);
+        check Alcotest.int "same misses"
+          (Simcomp.Compiler.cache_misses normal)
+          (Simcomp.Compiler.cache_misses colliding);
+        check Alcotest.bool "collisions detected" true
+          (Simcomp.Compiler.cache_collisions colliding > 0);
+        check Alcotest.int "default hash does not collide" 0
+          (Simcomp.Compiler.cache_collisions normal));
+    tc "epoch clearing keeps decisions correct at tiny capacity" (fun () ->
+        (* capacity 2 forces wholesale epoch clears mid-sequence: hits
+           become misses, but every returned outcome must still equal
+           the uncached compile *)
+        let cache = Simcomp.Compiler.cache_create ~capacity:2 () in
+        let srcs = gen_sources 5 1400 in
+        let srcs = srcs @ srcs @ srcs in
+        List.iter
+          (fun src ->
+            let plain = Simcomp.Compiler.compile Simcomp.Compiler.Gcc opts src in
+            let cached, _ =
+              Simcomp.Compiler.compile_cached ~cache Simcomp.Compiler.Gcc opts
+                src
+            in
+            check Alcotest.bool "outcome survives epoch clears" true
+              (plain = cached))
+          srcs);
+    tc "batch_compile is indistinguishable from compile_cached" (fun () ->
+        let srcs = gen_sources 6 1500 in
+        let srcs = srcs @ srcs in
+        let cache_a = Simcomp.Compiler.cache_create () in
+        let cov_a = Simcomp.Coverage.create () in
+        let via_cached =
+          List.map
+            (fun src ->
+              Simcomp.Compiler.compile_cached ~cache:cache_a ~cov:cov_a
+                Simcomp.Compiler.Gcc opts src)
+            srcs
+        in
+        let cache_b = Simcomp.Compiler.cache_create () in
+        let cov_b = Simcomp.Coverage.create () in
+        let batch =
+          Simcomp.Compiler.batch_create ~cache:cache_b ~cov:cov_b
+            Simcomp.Compiler.Gcc opts
+        in
+        let via_batch =
+          List.map (fun src -> Simcomp.Compiler.batch_compile batch src) srcs
+        in
+        check Alcotest.bool "same outcomes and trees" true
+          (via_cached = via_batch);
+        check Alcotest.bool "same coverage" true
+          (Simcomp.Coverage.equal cov_a cov_b);
+        check Alcotest.int "same hits"
+          (Simcomp.Compiler.cache_hits cache_a)
+          (Simcomp.Compiler.cache_hits cache_b));
+    tc "scratch reuse yields byte-identical assembly" (fun () ->
+        (* per-domain scratch buffers (arena, token array, IR vectors)
+           are reused across compiles: interleaving other compiles must
+           not leak state into a recompile of the same source *)
+        let srcs = gen_sources 6 1600 in
+        let asm src =
+          match Simcomp.Compiler.compile Simcomp.Compiler.Gcc opts src with
+          | Simcomp.Compiler.Compiled { asm; _ } -> Some asm
+          | _ -> None
+        in
+        let cold = List.map asm srcs in
+        (* scratch is now warm and sized by the largest of the batch *)
+        let warm = List.map asm srcs in
+        List.iter2
+          (fun a b ->
+            check Alcotest.(option string) "identical assembly" a b)
+          cold warm);
     tc "cache hits replay engine accounting exactly" (fun () ->
         let src = Ast_gen.gen_source (Rng.create 321) in
         let counters engine =

@@ -206,7 +206,7 @@ let exporter_tests =
               "    \"gc.heap_words\": 4096";
               "  },";
               "  \"histograms\": {";
-              "    \"lat\": {\"edges\": [1,10], \"counts\": [1,1,1], \"sum\": 55.5, \"total\": 3}";
+              "    \"lat\": {\"edges\": [1,10], \"counts\": [1,1,1], \"sum\": 55.5, \"total\": 3, \"p50\": 5.5, \"p95\": 10}";
               "  }";
               "}";
               "";
