@@ -255,4 +255,62 @@ if [ -x "$CLI" ]; then
   fi
 fi
 
+echo "== smoke: sharded campaign determinism across shard counts =="
+# The fork/socket coordinator must reproduce the sequential campaign
+# byte-for-byte: shards:1 (inline) and shards:2 (two forked workers)
+# both have to match the plain --jobs 1 run captured above.
+if [ -x "$CLI" ]; then
+  "$CLI" campaign --iterations 10 --shards 1 > /tmp/campaign_sh1.txt 2> /dev/null
+  "$CLI" campaign --iterations 10 --shards 2 > /tmp/campaign_sh2.txt 2> /dev/null
+  if cmp -s /tmp/campaign_sh1.txt /tmp/campaign_sh2.txt \
+      && cmp -s /tmp/campaign_j1.txt /tmp/campaign_sh1.txt; then
+    echo "sharded campaign output identical for --shards 1, --shards 2, and plain"
+  else
+    echo "FAIL: sharded campaign output differs across shard counts" >&2
+    diff /tmp/campaign_sh1.txt /tmp/campaign_sh2.txt >&2 || true
+    diff /tmp/campaign_j1.txt /tmp/campaign_sh1.txt >&2 || true
+    exit 1
+  fi
+fi
+
+echo "== smoke: sharded worker-kill recovery =="
+# Kill the worker holding one lease mid-campaign (test hook fires on the
+# first attempt only): the coordinator must requeue the lease, respawn,
+# and still produce byte-identical stdout; the intervention is reported
+# on stderr only.
+if [ -x "$CLI" ]; then
+  METAMUT_SHARD_KILL="uCFuzz.s-GCC" \
+    "$CLI" campaign --iterations 10 --shards 2 \
+    > /tmp/campaign_kill.txt 2> /tmp/campaign_kill.err
+  if cmp -s /tmp/campaign_sh2.txt /tmp/campaign_kill.txt; then
+    echo "campaign output identical after a mid-lease worker kill"
+  else
+    echo "FAIL: worker-kill recovery changed the campaign output" >&2
+    diff /tmp/campaign_sh2.txt /tmp/campaign_kill.txt >&2 || true
+    exit 1
+  fi
+  grep -q 'shard recovery: 1 worker death' /tmp/campaign_kill.err || {
+    echo "FAIL: worker kill was not reported on stderr" >&2
+    cat /tmp/campaign_kill.err >&2
+    exit 1
+  }
+fi
+
+echo "== smoke: opt-matrix determinism across shard counts =="
+# The -O axis multiplies the unit list; the shards:1 = shards:K
+# byte-identity contract must hold there too.
+if [ -x "$CLI" ]; then
+  "$CLI" campaign --iterations 10 --shards 1 --opt-matrix 0,2 \
+    > /tmp/campaign_om1.txt 2> /dev/null
+  "$CLI" campaign --iterations 10 --shards 2 --opt-matrix 0,2 \
+    > /tmp/campaign_om2.txt 2> /dev/null
+  if cmp -s /tmp/campaign_om1.txt /tmp/campaign_om2.txt; then
+    echo "opt-matrix campaign output identical for --shards 1 and --shards 2"
+  else
+    echo "FAIL: opt-matrix campaign output differs between shard counts" >&2
+    diff /tmp/campaign_om1.txt /tmp/campaign_om2.txt >&2 || true
+    exit 1
+  fi
+fi
+
 echo "OK"

@@ -45,8 +45,15 @@ let flag_value name ~default =
   in
   find 1
 
+let shards = int_of_string (flag_value "--shards" ~default:"0")
 let out_path = flag_value "--out" ~default:"BENCH_fuzz_throughput.json"
-let label = flag_value "--label" ~default:(if smoke then "smoke" else "full")
+
+let label =
+  flag_value "--label"
+    ~default:
+      (if shards > 0 then Fmt.str "shards-%d" shards
+       else if smoke then "smoke"
+       else "full")
 
 (* ------------------------------------------------------------------ *)
 (* Measurements                                                        *)
@@ -129,6 +136,140 @@ let mucfuzz_throughput () =
     rs_promoted_words = Engine.Probe.promoted_words probe;
     rs_major_collections = Engine.Probe.major_collections probe;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Sharded mode: the scaling curve                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One shard's share of a sharded run: everything the breakdown needs,
+   Marshal-shipped back over the Result frame. *)
+type shard_stats = {
+  ss_shard : int;
+  ss_elapsed_s : float;
+  ss_mutants : int;
+  ss_compiles : int;
+  ss_covered : int;
+  ss_crashes : int;
+}
+
+(* N forked workers, each running the same μCFuzz microbench with its
+   own RNG stream (seed 42+shard) and its own iteration budget — the
+   aggregate mutants/s over the wall-clock of the whole pool is the
+   number the ROADMAP's scaling curve tracks.  The per-shard rate sanity
+   anchor: sum(per-shard mutants) / wall == aggregate. *)
+let sharded_throughput n =
+  let f ~heartbeat ~seq:_ ~attempt:_ (body : string) =
+    let shard =
+      match Engine.Shard.decode body with
+      | Ok (i : int) -> i
+      | Error msg -> failwith msg
+    in
+    let seeds = Fuzzing.Seeds.corpus ~n:30 (Cparse.Rng.create 11) in
+    let cfg =
+      {
+        (Fuzzing.Mucfuzz.default_config ()) with
+        Fuzzing.Mucfuzz.max_attempts_per_iteration = 8;
+        sample_every = max 1 (iterations / 20);
+      }
+    in
+    let engine = Engine.Ctx.create () in
+    (* A full-mode lease is minutes of silent work — without heartbeats
+       the pool's hang detector would kill a perfectly healthy worker.
+       Same throttle as the campaign coordinator: one beat per ~200
+       compiles. *)
+    let execs = ref 0 in
+    Engine.Event.add_sink engine.Engine.Ctx.bus
+      {
+        Engine.Event.sink_name = "bench-heartbeat";
+        emit =
+          (fun e ->
+            match e with
+            | Engine.Event.Compile_finished _ ->
+              incr execs;
+              if !execs mod 200 = 0 then
+                heartbeat ~execs:!execs ~covered:0 ~crashes:0
+            | _ -> ());
+      };
+    let compiles () =
+      Engine.Metrics.counter_value
+        (Engine.Metrics.counter engine.Engine.Ctx.metrics "compile.total")
+    in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Fuzzing.Mucfuzz.run ~cfg ~engine
+        ~rng:(Cparse.Rng.create (42 + shard))
+        ~compiler:Simcomp.Compiler.Gcc ~seeds ~iterations
+        ~name:(Fmt.str "bench-s%d" shard)
+        ()
+    in
+    Engine.Shard.encode
+      {
+        ss_shard = shard;
+        ss_elapsed_s = Unix.gettimeofday () -. t0;
+        ss_mutants = r.Fuzzing.Fuzz_result.total_mutants;
+        ss_compiles = compiles ();
+        ss_covered = Simcomp.Coverage.covered r.Fuzzing.Fuzz_result.coverage;
+        ss_crashes = Fuzzing.Fuzz_result.unique_crashes r;
+      }
+  in
+  let leases = Array.init n (fun i -> Engine.Shard.encode i) in
+  let t0 = Unix.gettimeofday () in
+  let results, _stats =
+    Engine.Shard.run_pool ~shards:n ~backend:Engine.Shard.Fork ~f leases
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let per =
+    Array.to_list results
+    |> List.map (function
+         | Ok body -> (
+           match Engine.Shard.decode body with
+           | Ok (ss : shard_stats) -> ss
+           | Error msg -> failwith ("bad shard result: " ^ msg))
+         | Error msg -> failwith ("shard failed: " ^ msg))
+    |> List.sort (fun a b -> compare a.ss_shard b.ss_shard)
+  in
+  (wall, per)
+
+let sharded_fields ~wall (per : shard_stats list) =
+  let sum f = List.fold_left (fun acc ss -> acc + f ss) 0 per in
+  let mutants = sum (fun ss -> ss.ss_mutants) in
+  let compiles = sum (fun ss -> ss.ss_compiles) in
+  let rate n = float_of_int n /. wall in
+  let per_shard =
+    "["
+    ^ String.concat ", "
+        (List.map
+           (fun ss ->
+             Fmt.str
+               "{\"shard\": %d, \"elapsed_s\": %.3f, \"mutants\": %d, \
+                \"compiles\": %d, \"mutants_per_sec\": %.1f, \
+                \"covered_branches\": %d, \"unique_crashes\": %d}"
+               ss.ss_shard ss.ss_elapsed_s ss.ss_mutants ss.ss_compiles
+               (if ss.ss_elapsed_s <= 0. then 0.
+                else float_of_int ss.ss_mutants /. ss.ss_elapsed_s)
+               ss.ss_covered ss.ss_crashes)
+           per)
+    ^ "]"
+  in
+  [
+    ("label", Fmt.str "%S" label);
+    ("mode", if smoke then "\"smoke\"" else "\"full\"");
+    ("shards", string_of_int (List.length per));
+    (* scaling curves only mean something relative to the cores that ran
+       them; record the box so a 1-core container's flat curve is not
+       mistaken for a sharding regression *)
+    ("cores", string_of_int (Domain.recommended_domain_count ()));
+    ("iterations", string_of_int iterations);
+    ("elapsed_s", Fmt.str "%.3f" wall);
+    ("mutants", string_of_int mutants);
+    ("compiles", string_of_int compiles);
+    ("mutants_per_sec", Fmt.str "%.1f" (rate mutants));
+    ("compiles_per_sec", Fmt.str "%.1f" (rate compiles));
+    ("covered_branches",
+     string_of_int (List.fold_left (fun m ss -> max m ss.ss_covered) 0 per));
+    ("unique_crashes", string_of_int (sum (fun ss -> ss.ss_crashes)));
+    ("per_shard", per_shard);
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* JSON output (hand-rolled: no JSON dependency in the image)          *)
@@ -217,8 +358,7 @@ let read_history path =
     else []
   end
 
-let emit (rs : run_stats) ~hit_words =
-  let fs = fields rs ~hit_words in
+let emit (fs : (string * string) list) =
   let entry =
     "{" ^ String.concat ", " (List.map (fun (n, v) -> Fmt.str "%S: %s" n v) fs)
     ^ "}"
@@ -244,9 +384,18 @@ let emit (rs : run_stats) ~hit_words =
   print_string (Buffer.contents buf)
 
 let () =
-  Fmt.pr "fuzz-throughput bench: %d iterations (%s mode)@." iterations
-    (if smoke then "smoke" else "full");
-  let hit_words = coverage_hit_minor_words () in
-  let rs = mucfuzz_throughput () in
-  emit rs ~hit_words;
+  if shards > 0 then begin
+    Fmt.pr "fuzz-throughput bench: %d shards x %d iterations (%s mode)@."
+      shards iterations
+      (if smoke then "smoke" else "full");
+    let wall, per = sharded_throughput shards in
+    emit (sharded_fields ~wall per)
+  end
+  else begin
+    Fmt.pr "fuzz-throughput bench: %d iterations (%s mode)@." iterations
+      (if smoke then "smoke" else "full");
+    let hit_words = coverage_hit_minor_words () in
+    let rs = mucfuzz_throughput () in
+    emit (fields rs ~hit_words)
+  end;
   Fmt.pr "wrote %s@." out_path

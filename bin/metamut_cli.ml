@@ -637,8 +637,53 @@ let generate_cmd =
 (* campaign                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* The RQ1 stdout table: shared by the Domain-parallel and sharded
+   paths, so `campaign` and `campaign --shards K` stay byte-comparable
+   on stdout. *)
+let print_rq1_table (t : Fuzzing.Campaign.t) =
+  let table =
+    Report.Table.create ~title:"RQ1 campaign"
+      ~header:[ "fuzzer"; "compiler"; "coverage"; "crashes"; "compilable %" ]
+  in
+  List.iter
+    (fun ((f, c), r) ->
+      Report.Table.add_row table
+        [ Fuzzing.Campaign.fuzzer_name f;
+          Simcomp.Bugdb.compiler_to_string c;
+          string_of_int (Simcomp.Coverage.covered r.Fuzzing.Fuzz_result.coverage);
+          string_of_int (Fuzzing.Fuzz_result.unique_crashes r);
+          Fmt.str "%.1f" (Fuzzing.Fuzz_result.compilable_ratio r) ])
+    t.Fuzzing.Campaign.results;
+  Report.Table.print table
+
+(* --bisect: attribute every unique optimizer-stage crash to its
+   culprit pass(es).  Deterministic in the campaign results, so this
+   table is byte-identical at any job or shard count. *)
+let run_bisect ?engine (t : Fuzzing.Campaign.t) =
+  let ats = Fuzzing.Bisect.attribute ?engine t in
+  let bt =
+    Report.Table.create ~title:"Culprit-pass attribution"
+      ~header:[ "compiler"; "bug"; "finding"; "culprits"; "first divergent" ]
+  in
+  List.iter
+    (fun (a : Fuzzing.Bisect.attribution) ->
+      let v = a.Fuzzing.Bisect.at_verdict in
+      Report.Table.add_row bt
+        [
+          Simcomp.Bugdb.compiler_to_string a.Fuzzing.Bisect.at_compiler;
+          a.Fuzzing.Bisect.at_bug_id;
+          Fuzzing.Bisect.finding_to_string v.Fuzzing.Bisect.v_finding;
+          (if v.Fuzzing.Bisect.v_attributable then
+             String.concat ", " v.Fuzzing.Bisect.v_culprits
+           else "(unattributable)");
+          Option.value ~default:"-" v.Fuzzing.Bisect.v_first_divergent;
+        ])
+    ats;
+  Report.Table.print bt;
+  ats
+
 let campaign iterations jobs sample_every schedule faults checkpoint resume
-    bisect metrics telemetry status =
+    bisect metrics telemetry status shards opt_matrix =
   let cfg =
     { Fuzzing.Campaign.default_config with
       iterations;
@@ -680,74 +725,110 @@ let campaign iterations jobs sample_every schedule faults checkpoint resume
           Mutex.unlock m)
     end
   in
-  let t =
-    Fuzzing.Campaign.run ~cfg ?engine ?faults ?checkpoint ~resume ?progress ()
-  in
-  Option.iter Engine.Status.finish st;
-  if status then Fmt.epr "\r\027[K%!";
-  (* bookkeeping goes to stderr so stdout stays byte-comparable between
-     faulted/resumed runs and clean ones *)
-  if t.Fuzzing.Campaign.resumed_cells > 0 then
-    Fmt.epr "resumed %d completed cell(s) from checkpoint@."
-      t.Fuzzing.Campaign.resumed_cells;
-  List.iter
-    (fun ((f, c), msg) ->
-      Fmt.epr "FAILED %s-%s: %s@."
-        (Fuzzing.Campaign.fuzzer_name f)
-        (Simcomp.Bugdb.compiler_to_string c)
-        msg)
-    t.Fuzzing.Campaign.failures;
-  let table =
-    Report.Table.create ~title:"RQ1 campaign"
-      ~header:[ "fuzzer"; "compiler"; "coverage"; "crashes"; "compilable %" ]
-  in
-  List.iter
-    (fun ((f, c), r) ->
-      Report.Table.add_row table
-        [ Fuzzing.Campaign.fuzzer_name f;
-          Simcomp.Bugdb.compiler_to_string c;
-          string_of_int (Simcomp.Coverage.covered r.Fuzzing.Fuzz_result.coverage);
-          string_of_int (Fuzzing.Fuzz_result.unique_crashes r);
-          Fmt.str "%.1f" (Fuzzing.Fuzz_result.compilable_ratio r) ])
-    t.Fuzzing.Campaign.results;
-  Report.Table.print table;
-  (* --bisect: attribute every unique optimizer-stage crash to its
-     culprit pass(es).  Deterministic in the campaign results, so this
-     table is byte-identical at any job count. *)
-  let attribution =
-    if not bisect then None
+  if shards = 0 && opt_matrix = [] then begin
+    (* single-process path: the Domain scheduler over the cell matrix *)
+    let t =
+      Fuzzing.Campaign.run ~cfg ?engine ?faults ?checkpoint ~resume ?progress ()
+    in
+    Option.iter Engine.Status.finish st;
+    if status then Fmt.epr "\r\027[K%!";
+    (* bookkeeping goes to stderr so stdout stays byte-comparable between
+       faulted/resumed runs and clean ones *)
+    if t.Fuzzing.Campaign.resumed_cells > 0 then
+      Fmt.epr "resumed %d completed cell(s) from checkpoint@."
+        t.Fuzzing.Campaign.resumed_cells;
+    List.iter
+      (fun ((f, c), msg) ->
+        Fmt.epr "FAILED %s-%s: %s@."
+          (Fuzzing.Campaign.fuzzer_name f)
+          (Simcomp.Bugdb.compiler_to_string c)
+          msg)
+      t.Fuzzing.Campaign.failures;
+    print_rq1_table t;
+    let attribution =
+      if not bisect then None else Some (run_bisect ?engine t)
+    in
+    Option.iter
+      (fun tl ->
+        Engine.Telemetry.finalize
+          ~report:(Fuzzing.Run_report.campaign ?engine ?attribution t)
+          tl)
+      tel;
+    if metrics then Option.iter render_metrics engine
+  end
+  else begin
+    (* sharded path: deal cells (x -O levels) to worker subprocesses
+       spawned as `metamut worker`, socket end as the child's stdin *)
+    let exe = Sys.executable_name in
+    let backend =
+      Engine.Shard.Spawn
+        (fun fd ->
+          Unix.create_process exe [| exe; "worker" |] fd Unix.stdout
+            Unix.stderr)
+    in
+    let t =
+      Fuzzing.Coordinator.run ~cfg ~opt_levels:opt_matrix ?engine ?faults
+        ?checkpoint ~resume ~shards:(max 1 shards) ~backend ?status:st
+        ?progress ()
+    in
+    Option.iter Engine.Status.finish st;
+    if status then Fmt.epr "\r\027[K%!";
+    if t.Fuzzing.Coordinator.resumed_units > 0 then
+      Fmt.epr "resumed %d completed cell(s) from checkpoint@."
+        t.Fuzzing.Coordinator.resumed_units;
+    List.iter
+      (fun (u, msg) ->
+        Fmt.epr "FAILED %s: %s@." (Fuzzing.Coordinator.unit_name u) msg)
+      t.Fuzzing.Coordinator.failures;
+    let s = t.Fuzzing.Coordinator.shard_stats in
+    if s.Engine.Shard.st_died > 0 || s.Engine.Shard.st_requeued > 0 then
+      Fmt.epr "shard recovery: %d worker death(s), %d lease(s) requeued@."
+        s.Engine.Shard.st_died s.Engine.Shard.st_requeued;
+    if opt_matrix = [] then
+      (* same cells, same table: stdout is byte-identical to the
+         single-process campaign *)
+      print_rq1_table (Fuzzing.Coordinator.to_campaign t)
     else begin
-      let ats = Fuzzing.Bisect.attribute ?engine t in
-      let bt =
-        Report.Table.create ~title:"Culprit-pass attribution"
+      let table =
+        Report.Table.create ~title:"RQ1 campaign (opt matrix)"
           ~header:
-            [ "compiler"; "bug"; "finding"; "culprits"; "first divergent" ]
+            [ "fuzzer"; "compiler"; "-O"; "coverage"; "crashes";
+              "compilable %" ]
       in
       List.iter
-        (fun (a : Fuzzing.Bisect.attribution) ->
-          let v = a.Fuzzing.Bisect.at_verdict in
-          Report.Table.add_row bt
-            [
-              Simcomp.Bugdb.compiler_to_string a.Fuzzing.Bisect.at_compiler;
-              a.Fuzzing.Bisect.at_bug_id;
-              Fuzzing.Bisect.finding_to_string v.Fuzzing.Bisect.v_finding;
-              (if v.Fuzzing.Bisect.v_attributable then
-                 String.concat ", " v.Fuzzing.Bisect.v_culprits
-               else "(unattributable)");
-              Option.value ~default:"-" v.Fuzzing.Bisect.v_first_divergent;
-            ])
-        ats;
-      Report.Table.print bt;
-      Some ats
-    end
-  in
-  Option.iter
-    (fun tl ->
-      Engine.Telemetry.finalize
-        ~report:(Fuzzing.Run_report.campaign ?engine ?attribution t)
-        tl)
-    tel;
-  if metrics then Option.iter render_metrics engine
+        (fun ((u : Fuzzing.Coordinator.unit_id), r) ->
+          Report.Table.add_row table
+            [ Fuzzing.Campaign.fuzzer_name u.Fuzzing.Coordinator.u_fuzzer;
+              Simcomp.Bugdb.compiler_to_string u.Fuzzing.Coordinator.u_compiler;
+              (match u.Fuzzing.Coordinator.u_opt with
+              | Some l -> string_of_int l
+              | None -> "2");
+              string_of_int
+                (Simcomp.Coverage.covered r.Fuzzing.Fuzz_result.coverage);
+              string_of_int (Fuzzing.Fuzz_result.unique_crashes r);
+              Fmt.str "%.1f" (Fuzzing.Fuzz_result.compilable_ratio r) ])
+        t.Fuzzing.Coordinator.results;
+      Report.Table.print table
+    end;
+    (* bisect runs over the default axis only: opt-matrix units would
+       collapse onto the same cell and mix levels *)
+    let attribution =
+      if bisect && opt_matrix = [] then
+        Some (run_bisect ?engine (Fuzzing.Coordinator.to_campaign t))
+      else begin
+        if bisect then
+          Fmt.epr "bisect: skipped (not defined over --opt-matrix units)@.";
+        None
+      end
+    in
+    Option.iter
+      (fun tl ->
+        Engine.Telemetry.finalize
+          ~report:(Fuzzing.Coordinator.report ?engine ?attribution t)
+          tl)
+      tel;
+    if metrics then Option.iter render_metrics engine
+  end
 
 let campaign_cmd =
   let iterations =
@@ -807,13 +888,48 @@ let campaign_cmd =
              (favored-entry picks + pool trimming).  Deterministic at any \
              job count.")
   in
+  let shards =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ]
+          ~doc:
+            "Deal campaign cells to $(docv) worker $(i,processes) \
+             (spawned $(b,metamut worker), length-prefixed frames over a \
+             Unix socketpair).  0 = off (in-process Domain workers); \
+             results are byte-identical at any shard count, and a dead \
+             or hung worker's lease is requeued."
+          ~docv:"K")
+  in
+  let opt_matrix =
+    Arg.(
+      value & opt (list int) []
+      & info [ "opt-matrix" ] ~docv:"L1,L2,..."
+          ~doc:
+            "Cross every cell with these $(b,-O) levels (e.g. \
+             $(b,--opt-matrix 0,2,3)), so per-level pass pipelines \
+             become campaign units of their own.  Implies the sharded \
+             coordinator path.")
+  in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run the six-fuzzer RQ1 comparison")
     Term.(
       const campaign $ iterations $ jobs $ sample_every $ schedule
       $ faults_term
       $ checkpoint $ resume $ bisect $ metrics_flag $ telemetry_flag
-      $ status_flag)
+      $ status_flag $ shards $ opt_matrix)
+
+(* ------------------------------------------------------------------ *)
+(* worker (internal)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let worker_cmd =
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "(internal) Sharded-campaign worker: serve lease frames on stdin \
+          until Shutdown.  Spawned by $(b,campaign --shards); not meant \
+          for interactive use.")
+    Term.(const Fuzzing.Coordinator.worker_main $ const ())
 
 let () =
   Engine.Runtime.tune ();
@@ -826,5 +942,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; mutate_cmd; compile_cmd; passes_cmd; bisect_cmd;
-            fuzz_cmd; generate_cmd; campaign_cmd;
+            fuzz_cmd; generate_cmd; campaign_cmd; worker_cmd;
           ]))

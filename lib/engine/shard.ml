@@ -1,0 +1,553 @@
+(* Multi-process sharding: framed IPC over Unix sockets plus the
+   coordinator/worker pool.
+
+   The wire format is deliberately dumb: a 4-byte magic whose last byte
+   is the protocol version, a type byte, a big-endian length, and the
+   payload.  Dumb is what makes a hung or garbled peer detectable — the
+   coordinator validates every header before trusting the length, and
+   every read carries a deadline, so a worker that writes junk (or
+   nothing) is killed and its lease requeued instead of being waited on
+   forever.
+
+   Work distribution is pull-based: idle workers send Request and the
+   coordinator deals the next lease off one queue.  That is the whole
+   work-stealing story — a slow worker simply claims fewer leases, so
+   the tail of a campaign never serializes behind a straggler. *)
+
+let protocol_version = 1
+let magic = Printf.sprintf "MSF%c" (Char.chr protocol_version)
+let max_frame_len = 1 lsl 28 (* 256 MB: far above any real lease/result *)
+
+type frame =
+  | Hello of { shard : int }
+  | Request
+  | Lease of { seq : int; attempt : int; body : string }
+  | Result of { seq : int; body : string }
+  | Heartbeat of { execs : int; covered : int; crashes : int }
+  | Shutdown
+
+(* An internal frame: a lease that failed on its own merits (the work
+   function raised).  Distinct from a worker death — the worker is
+   healthy and immediately requests more work. *)
+type internal_frame = Plain of frame | Failed of { seq : int; msg : string }
+
+type conn = { c_fd : Unix.file_descr }
+
+let of_fd fd = { c_fd = fd }
+let fd (c : conn) = c.c_fd
+
+type recv_error = Timeout | Closed | Garbled of string
+
+let recv_error_to_string = function
+  | Timeout -> "timeout"
+  | Closed -> "connection closed"
+  | Garbled msg -> "garbled frame: " ^ msg
+
+(* ------------------------------------------------------------------ *)
+(* Wire encoding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let tag_of = function
+  | Plain (Hello _) -> 0
+  | Plain Request -> 1
+  | Plain (Lease _) -> 2
+  | Plain (Result _) -> 3
+  | Plain (Heartbeat _) -> 4
+  | Plain Shutdown -> 5
+  | Failed _ -> 6
+
+let payload_of = function
+  | Plain (Hello { shard }) ->
+    let b = Bytes.create 4 in
+    Bytes.set_int32_be b 0 (Int32.of_int shard);
+    Bytes.unsafe_to_string b
+  | Plain Request | Plain Shutdown -> ""
+  | Plain (Lease { seq; attempt; body }) ->
+    let b = Bytes.create (8 + String.length body) in
+    Bytes.set_int32_be b 0 (Int32.of_int seq);
+    Bytes.set_int32_be b 4 (Int32.of_int attempt);
+    Bytes.blit_string body 0 b 8 (String.length body);
+    Bytes.unsafe_to_string b
+  | Plain (Result { seq; body }) ->
+    let b = Bytes.create (4 + String.length body) in
+    Bytes.set_int32_be b 0 (Int32.of_int seq);
+    Bytes.blit_string body 0 b 4 (String.length body);
+    Bytes.unsafe_to_string b
+  | Plain (Heartbeat { execs; covered; crashes }) ->
+    let b = Bytes.create 16 in
+    Bytes.set_int64_be b 0 (Int64.of_int execs);
+    Bytes.set_int32_be b 8 (Int32.of_int covered);
+    Bytes.set_int32_be b 12 (Int32.of_int crashes);
+    Bytes.unsafe_to_string b
+  | Failed { seq; msg } ->
+    let b = Bytes.create (4 + String.length msg) in
+    Bytes.set_int32_be b 0 (Int32.of_int seq);
+    Bytes.blit_string msg 0 b 4 (String.length msg);
+    Bytes.unsafe_to_string b
+
+let i32 b off = Int32.to_int (Bytes.get_int32_be b off)
+
+let parse_payload tag (p : Bytes.t) : (internal_frame, string) result =
+  let len = Bytes.length p in
+  let body off = Bytes.sub_string p off (len - off) in
+  match tag with
+  | 0 when len = 4 -> Ok (Plain (Hello { shard = i32 p 0 }))
+  | 1 when len = 0 -> Ok (Plain Request)
+  | 2 when len >= 8 ->
+    Ok (Plain (Lease { seq = i32 p 0; attempt = i32 p 4; body = body 8 }))
+  | 3 when len >= 4 -> Ok (Plain (Result { seq = i32 p 0; body = body 4 }))
+  | 4 when len = 16 ->
+    Ok
+      (Plain
+         (Heartbeat
+            {
+              execs = Int64.to_int (Bytes.get_int64_be p 0);
+              covered = i32 p 8;
+              crashes = i32 p 12;
+            }))
+  | 5 when len = 0 -> Ok (Plain Shutdown)
+  | 6 when len >= 4 -> Ok (Failed { seq = i32 p 0; msg = body 4 })
+  | t when t >= 0 && t <= 6 ->
+    Error (Printf.sprintf "frame type %d with bad payload length %d" t len)
+  | t -> Error (Printf.sprintf "unknown frame type %d" t)
+
+let write_all fd (b : Bytes.t) =
+  let n = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < n do
+    match Unix.write fd b !pos (n - !pos) with
+    | k -> pos := !pos + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let send_internal (c : conn) fr =
+  let payload = payload_of fr in
+  let plen = String.length payload in
+  let b = Bytes.create (9 + plen) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set_uint8 b 4 (tag_of fr);
+  Bytes.set_int32_be b 5 (Int32.of_int plen);
+  Bytes.blit_string payload 0 b 9 plen;
+  write_all c.c_fd b
+
+let send (c : conn) (f : frame) = send_internal c (Plain f)
+
+(* Read exactly [len] bytes, honouring the shared [deadline].  [eof]
+   and [stall] name the error for a peer that closes or goes silent at
+   this position — EOF at a frame boundary is an orderly [Closed], EOF
+   or junk inside a frame is [Garbled]. *)
+let read_exact fd buf off len ~deadline ~eof ~stall =
+  let pos = ref off and remaining = ref len in
+  let result = ref (Ok ()) in
+  let continue = ref true in
+  while !continue && !remaining > 0 do
+    let timeout =
+      match deadline with
+      | None -> -1.
+      | Some d -> d -. Unix.gettimeofday ()
+    in
+    if deadline <> None && timeout <= 0. then begin
+      result := Error stall;
+      continue := false
+    end
+    else begin
+      match Unix.select [ fd ] [] [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | [], _, _ -> () (* select timed out; the deadline check above decides *)
+      | _ -> (
+        match Unix.read fd buf !pos !remaining with
+        | 0 ->
+          result := Error eof;
+          continue := false
+        | k ->
+          pos := !pos + k;
+          remaining := !remaining - k
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          result := Error eof;
+          continue := false)
+    end
+  done;
+  !result
+
+let recv_internal ?timeout_s (c : conn) : (internal_frame, recv_error) result =
+  let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout_s in
+  let header = Bytes.create 9 in
+  (* the first header byte decides boundary-vs-midframe errors; read it
+     separately so a clean EOF is Closed, not Garbled *)
+  match
+    read_exact c.c_fd header 0 1 ~deadline ~eof:Closed ~stall:Timeout
+  with
+  | Error e -> Error e
+  | Ok () -> (
+    match
+      read_exact c.c_fd header 1 8 ~deadline
+        ~eof:(Garbled "EOF inside frame header") ~stall:Timeout
+    with
+    | Error e -> Error e
+    | Ok () ->
+      if Bytes.sub_string header 0 4 <> magic then
+        Error
+          (Garbled
+             (Printf.sprintf "bad magic %S (speaking protocol %d?)"
+                (Bytes.sub_string header 0 4)
+                protocol_version))
+      else begin
+        let tag = Bytes.get_uint8 header 4 in
+        let len = i32 header 5 in
+        if len < 0 || len > max_frame_len then
+          Error (Garbled (Printf.sprintf "frame length %d out of bounds" len))
+        else begin
+          let payload = Bytes.create len in
+          match
+            read_exact c.c_fd payload 0 len ~deadline
+              ~eof:(Garbled "EOF inside frame payload") ~stall:Timeout
+          with
+          | Error e -> Error e
+          | Ok () -> (
+            match parse_payload tag payload with
+            | Ok f -> Ok f
+            | Error msg -> Error (Garbled msg))
+        end
+      end)
+
+let recv ?timeout_s (c : conn) : (frame, recv_error) result =
+  match recv_internal ?timeout_s c with
+  | Ok (Plain f) -> Ok f
+  | Ok (Failed _) -> Error (Garbled "unexpected Failed frame")
+  | Error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Marshal helpers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let encode v = Marshal.to_string v []
+
+let decode (s : string) =
+  if String.length s < Marshal.header_size then
+    Error "decode: input shorter than a Marshal header"
+  else if Marshal.total_size (Bytes.unsafe_of_string s) 0 > String.length s
+  then Error "decode: truncated Marshal payload"
+  else
+    match Marshal.from_string s 0 with
+    | v -> Ok v
+    | exception Failure msg -> Error ("decode: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Worker side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let in_worker_flag = ref false
+let in_worker () = !in_worker_flag
+
+let worker_loop (c : conn) ~f =
+  in_worker_flag := true;
+  (* K workers share the coordinator's stderr: none of them may draw *)
+  Status.set_tty_owner false;
+  let continue = ref true in
+  let safe_send fr = try send_internal c fr with _ -> continue := false in
+  safe_send (Plain (Hello { shard = Unix.getpid () }));
+  while !continue do
+    safe_send (Plain Request);
+    if !continue then begin
+      match recv c with
+      | Ok (Lease { seq; attempt; body }) -> (
+        let heartbeat ~execs ~covered ~crashes =
+          try send c (Heartbeat { execs; covered; crashes }) with _ -> ()
+        in
+        match f ~heartbeat ~seq ~attempt body with
+        | r -> safe_send (Plain (Result { seq; body = r }))
+        | exception e -> safe_send (Failed { seq; msg = Printexc.to_string e })
+        )
+      | Ok Shutdown -> continue := false
+      | Ok _ | Error _ -> continue := false (* dead or confused coordinator *)
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator side                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type backend = Fork | Spawn of (Unix.file_descr -> int)
+
+type stats = {
+  mutable st_spawned : int;
+  mutable st_died : int;
+  mutable st_garbled : int;
+  mutable st_hung : int;
+  mutable st_requeued : int;
+  mutable st_inline : int;
+}
+
+type worker = {
+  w_shard : int;
+  w_pid : int;
+  w_conn : conn;
+  mutable w_lease : (int * int) option; (* seq, attempt *)
+  mutable w_last_active : float;
+  mutable w_alive : bool;
+}
+
+let run_pool ~shards ?(backend = Fork) ?(hang_timeout_s = 120.)
+    ?(max_attempts = 3) ?ctx ?on_heartbeat ?on_result ~f
+    (leases : string array) : (string, string) result array * stats =
+  let n = Array.length leases in
+  let results : (string, string) result option array = Array.make n None in
+  let attempts = Array.make n 0 in
+  let stats =
+    {
+      st_spawned = 0;
+      st_died = 0;
+      st_garbled = 0;
+      st_hung = 0;
+      st_requeued = 0;
+      st_inline = 0;
+    }
+  in
+  let bump name = Option.iter (fun c -> Ctx.incr c name) ctx in
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    Queue.add i queue
+  done;
+  let commit seq r =
+    if results.(seq) = None then begin
+      results.(seq) <- Some r;
+      match r with
+      | Ok _ -> Option.iter (fun g -> g ~seq) on_result
+      | Error _ -> ()
+    end
+  in
+  let finished () = Array.for_all Option.is_some results in
+  (* Inline execution on the calling process: the sequential degenerate
+     mode, and the last-resort fallback when no worker can be spawned.
+     Retries mirror the requeue semantics so the final Ok/Error verdict
+     per lease is identical to the pooled path. *)
+  let run_inline seq =
+    let rec go () =
+      attempts.(seq) <- attempts.(seq) + 1;
+      let heartbeat ~execs ~covered ~crashes =
+        Option.iter
+          (fun g -> g ~shard:0 ~execs ~covered ~crashes)
+          on_heartbeat
+      in
+      match f ~heartbeat ~seq ~attempt:(attempts.(seq) - 1) leases.(seq) with
+      | r -> commit seq (Ok r)
+      | exception e ->
+        if attempts.(seq) >= max_attempts then
+          commit seq (Error (Printexc.to_string e))
+        else go ()
+    in
+    go ()
+  in
+  if shards <= 1 || n = 0 then begin
+    while not (Queue.is_empty queue) do
+      run_inline (Queue.pop queue)
+    done;
+    ( Array.map
+        (function Some r -> r | None -> Error "lease never ran") results,
+      stats )
+  end
+  else begin
+    let previous_sigpipe =
+      (* a worker dying mid-write must surface as EPIPE, not kill us *)
+      try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+      with Invalid_argument _ -> None
+    in
+    let workers : worker list ref = ref [] in
+    let alive () = List.filter (fun w -> w.w_alive) !workers in
+    let parent_fds () = List.map (fun w -> w.w_conn.c_fd) (alive ()) in
+    let spawn shard =
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let pid =
+        match backend with
+        | Fork -> (
+          flush stdout;
+          flush stderr;
+          match Unix.fork () with
+          | 0 ->
+            (* the child serves leases on [b]; every inherited parent
+               end is closed so a sibling's death is visible as EOF in
+               the coordinator, not masked by our copy of its fd *)
+            List.iter
+              (fun fd -> try Unix.close fd with _ -> ())
+              (a :: parent_fds ());
+            (try worker_loop (of_fd b) ~f with _ -> ());
+            Unix._exit 0
+          | pid -> pid)
+        | Spawn start -> start b
+      in
+      Unix.close b;
+      stats.st_spawned <- stats.st_spawned + 1;
+      let w =
+        {
+          w_shard = shard;
+          w_pid = pid;
+          w_conn = of_fd a;
+          w_lease = None;
+          w_last_active = Unix.gettimeofday ();
+          w_alive = true;
+        }
+      in
+      workers := w :: !workers;
+      w
+    in
+    let reap w =
+      (try Unix.close w.w_conn.c_fd with _ -> ());
+      try ignore (Unix.waitpid [] w.w_pid) with _ -> ()
+    in
+    (* orderly retirement after Shutdown: not a death, nothing requeued *)
+    let retire w =
+      w.w_alive <- false;
+      reap w
+    in
+    let kill_worker w ~reason =
+      if w.w_alive then begin
+        w.w_alive <- false;
+        (try Unix.kill w.w_pid Sys.sigkill with _ -> ());
+        reap w;
+        stats.st_died <- stats.st_died + 1;
+        bump "shard.worker_died";
+        match w.w_lease with
+        | None -> ()
+        | Some (seq, _) ->
+          w.w_lease <- None;
+          if results.(seq) = None then begin
+            if attempts.(seq) >= max_attempts then
+              commit seq
+                (Error
+                   (Printf.sprintf "lease failed after %d attempts (%s)"
+                      attempts.(seq) reason))
+            else begin
+              stats.st_requeued <- stats.st_requeued + 1;
+              bump "shard.requeued";
+              Queue.add seq queue
+            end
+          end
+      end
+    in
+    let deal w =
+      if Queue.is_empty queue then begin
+        (match try Some (send w.w_conn Shutdown) with _ -> None with
+        | Some () -> retire w
+        | None -> kill_worker w ~reason:"write failed at shutdown")
+      end
+      else begin
+        let seq = Queue.pop queue in
+        attempts.(seq) <- attempts.(seq) + 1;
+        w.w_lease <- Some (seq, attempts.(seq) - 1);
+        w.w_last_active <- Unix.gettimeofday ();
+        try
+          send w.w_conn
+            (Lease { seq; attempt = attempts.(seq) - 1; body = leases.(seq) })
+        with _ -> kill_worker w ~reason:"write failed on lease grant"
+      end
+    in
+    let handle w =
+      match recv_internal ~timeout_s:10. w.w_conn with
+      | Ok (Plain (Hello _)) -> w.w_last_active <- Unix.gettimeofday ()
+      | Ok (Plain Request) ->
+        w.w_last_active <- Unix.gettimeofday ();
+        deal w
+      | Ok (Plain (Result { seq; body })) ->
+        w.w_last_active <- Unix.gettimeofday ();
+        w.w_lease <- None;
+        commit seq (Ok body)
+      | Ok (Failed { seq; msg }) ->
+        w.w_last_active <- Unix.gettimeofday ();
+        w.w_lease <- None;
+        if results.(seq) = None then begin
+          if attempts.(seq) >= max_attempts then commit seq (Error msg)
+          else Queue.add seq queue (* a healthy worker retries elsewhere *)
+        end
+      | Ok (Plain (Heartbeat { execs; covered; crashes })) ->
+        w.w_last_active <- Unix.gettimeofday ();
+        Option.iter
+          (fun g -> g ~shard:w.w_shard ~execs ~covered ~crashes)
+          on_heartbeat
+      | Ok (Plain (Lease _)) | Ok (Plain Shutdown) ->
+        stats.st_garbled <- stats.st_garbled + 1;
+        bump "shard.garbled";
+        kill_worker w ~reason:"protocol violation (coordinator-only frame)"
+      | Error Closed -> kill_worker w ~reason:"worker closed its socket"
+      | Error (Garbled msg) ->
+        stats.st_garbled <- stats.st_garbled + 1;
+        bump "shard.garbled";
+        kill_worker w ~reason:("garbled frame: " ^ msg)
+      | Error Timeout -> () (* partial frame in flight; hang scan decides *)
+    in
+    let spawn_budget = ref (shards * max_attempts) in
+    let maybe_spawn () =
+      (* keep one worker per queued lease up to [shards], while the
+         respawn budget lasts (bounded: each death consumes attempts) *)
+      let want = min shards (Queue.length queue + List.length (alive ())) in
+      while List.length (alive ()) < want && !spawn_budget > 0 do
+        decr spawn_budget;
+        let shard = List.length (alive ()) in
+        match spawn shard with
+        | (_ : worker) ->
+          if stats.st_spawned > shards then bump "shard.respawned"
+        | exception _ -> spawn_budget := 0
+      done
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter (fun w -> kill_worker w ~reason:"coordinator exit") (alive ());
+        match previous_sigpipe with
+        | Some b -> (try Sys.set_signal Sys.sigpipe b with _ -> ())
+        | None -> ())
+      (fun () ->
+        for i = 0 to min shards n - 1 do
+          ignore (spawn i : worker)
+        done;
+        while not (finished ()) || alive () <> [] do
+          let live = alive () in
+          if live = [] then begin
+            if not (finished ()) then begin
+              maybe_spawn ();
+              if alive () = [] then begin
+                (* nothing spawnable: finish the queue on this process *)
+                while not (Queue.is_empty queue) do
+                  stats.st_inline <- stats.st_inline + 1;
+                  bump "shard.inline";
+                  run_inline (Queue.pop queue)
+                done;
+                (* leases neither queued nor committed were lost with
+                   their workers; fail them explicitly *)
+                Array.iteri
+                  (fun seq r ->
+                    if r = None then
+                      commit seq (Error "lease lost: no worker survived"))
+                  results
+              end
+            end
+          end
+          else begin
+            let fds = List.map (fun w -> w.w_conn.c_fd) live in
+            let readable =
+              match Unix.select fds [] [] 0.25 with
+              | r, _, _ -> r
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+            in
+            List.iter
+              (fun w ->
+                if w.w_alive && List.mem w.w_conn.c_fd readable then handle w)
+              live;
+            let now = Unix.gettimeofday () in
+            List.iter
+              (fun w ->
+                if
+                  w.w_alive && w.w_lease <> None
+                  && now -. w.w_last_active > hang_timeout_s
+                then begin
+                  stats.st_hung <- stats.st_hung + 1;
+                  bump "shard.hung";
+                  kill_worker w ~reason:"hang timeout"
+                end)
+              (alive ());
+            if not (Queue.is_empty queue) then maybe_spawn ()
+          end
+        done);
+    ( Array.map
+        (function Some r -> r | None -> Error "lease never ran") results,
+      stats )
+  end

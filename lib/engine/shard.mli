@@ -1,0 +1,153 @@
+(** Multi-process sharding: a length-prefixed binary frame protocol over
+    Unix sockets, and a fork/spawn worker pool that deals leases from a
+    shared work queue.
+
+    The coordinator owns a queue of opaque lease bodies.  Idle workers
+    {i pull}: each sends {!Request} and is granted the next {!Lease}
+    (work-stealing — a straggler never serializes the tail, it just
+    claims fewer leases).  A worker that dies, hangs past the timeout,
+    or garbles a frame is killed and its uncommitted lease is requeued
+    with an incremented attempt counter; if no worker can be respawned
+    the remaining leases run on the calling process, so every lease
+    completes (or fails on its own merits) even if every worker dies —
+    the process-level mirror of {!Scheduler.supervised_map}.
+
+    Framing is versioned: a peer speaking another protocol revision (or
+    writing garbage) is detected by the magic check on the next frame
+    boundary, never waited on. *)
+
+(** {2 Wire format}
+
+    Every frame is [magic(4) · type(1) · length(4, big-endian) ·
+    payload(length)].  The magic's last byte is the protocol version, so
+    a cross-version peer fails the magic check rather than being
+    misparsed.  Integer payload fields are fixed-width big-endian; lease
+    and result bodies are opaque strings (callers typically
+    {!encode}/{!decode} them). *)
+
+val protocol_version : int
+val magic : string
+(** 4 bytes, ["MSF" ^ version byte]. *)
+
+val max_frame_len : int
+(** Upper bound on a payload length; longer frames are garbled. *)
+
+type frame =
+  | Hello of { shard : int }  (** worker announces itself once *)
+  | Request                   (** worker is idle and wants a lease *)
+  | Lease of { seq : int; attempt : int; body : string }
+  | Result of { seq : int; body : string }
+  | Heartbeat of { execs : int; covered : int; crashes : int }
+      (** liveness + progress: counters cumulative over the worker's
+          lifetime, so the coordinator's per-shard fold is monotone *)
+  | Shutdown                  (** coordinator: no more work, exit *)
+
+type conn
+(** One end of a worker socket. *)
+
+val of_fd : Unix.file_descr -> conn
+val fd : conn -> Unix.file_descr
+
+type recv_error =
+  | Timeout          (** no complete frame within the deadline *)
+  | Closed           (** EOF at a frame boundary: orderly death *)
+  | Garbled of string
+      (** bad magic, foreign version, oversized length, or EOF mid-frame *)
+
+val recv_error_to_string : recv_error -> string
+
+val send : conn -> frame -> unit
+(** Write one frame.  Raises [Unix.Unix_error] (e.g. [EPIPE]) when the
+    peer is gone — {!run_pool} treats that as a worker death. *)
+
+val recv : ?timeout_s:float -> conn -> (frame, recv_error) result
+(** Read one complete frame, waiting at most [timeout_s] (default: wait
+    forever).  Never blocks past the deadline: a peer that stalls
+    mid-frame is a {!Timeout}, one that wrote junk is {!Garbled}. *)
+
+(** {2 Marshal helpers for lease/result bodies} *)
+
+val encode : 'a -> string
+val decode : string -> ('a, string) result
+(** [decode] catches truncated/corrupt input as [Error] instead of
+    raising.  As with any [Marshal], the type is the caller's claim. *)
+
+(** {2 Worker side} *)
+
+val in_worker : unit -> bool
+(** True inside a pool worker process (set by the fork backend and by
+    {!worker_loop}).  Test hooks that deliberately kill a worker guard
+    on this so they can never take down the coordinator. *)
+
+val worker_loop :
+  conn ->
+  f:
+    (heartbeat:(execs:int -> covered:int -> crashes:int -> unit) ->
+    seq:int ->
+    attempt:int ->
+    string ->
+    string) ->
+  unit
+(** The worker protocol: request, execute, reply, repeat until
+    {!Shutdown} (or a dead coordinator socket).  [f] receives the lease
+    body and a [heartbeat] it may call during long work; its return
+    value is sent back as the {!Result} body.  Marks {!in_worker} and
+    relinquishes {!Status} TTY ownership (workers never draw). *)
+
+(** {2 Coordinator side} *)
+
+type backend =
+  | Fork
+      (** [Unix.fork]: the child runs [f] via {!worker_loop} and
+          [_exit]s.  Must be chosen before any Domain workers exist. *)
+  | Spawn of (Unix.file_descr -> int)
+      (** custom spawner: given the child's socket end, start a process
+          whose {!worker_loop} serves it (e.g. exec ["metamut worker"]
+          with the socket as stdin) and return the pid. *)
+
+type stats = {
+  mutable st_spawned : int;       (** workers started, incl. respawns *)
+  mutable st_died : int;          (** deaths: EOF, kill, garble, hang *)
+  mutable st_garbled : int;       (** frames rejected by the magic/length check *)
+  mutable st_hung : int;          (** workers killed by the hang timeout *)
+  mutable st_requeued : int;      (** leases re-dealt after a death *)
+  mutable st_inline : int;        (** leases run on the calling process *)
+}
+
+val run_pool :
+  shards:int ->
+  ?backend:backend ->
+  ?hang_timeout_s:float ->
+  ?max_attempts:int ->
+  ?ctx:Ctx.t ->
+  ?on_heartbeat:(shard:int -> execs:int -> covered:int -> crashes:int -> unit) ->
+  ?on_result:(seq:int -> unit) ->
+  f:
+    (heartbeat:(execs:int -> covered:int -> crashes:int -> unit) ->
+    seq:int ->
+    attempt:int ->
+    string ->
+    string) ->
+  string array ->
+  (string, string) result array * stats
+(** Deal the lease bodies to [shards] worker processes and collect the
+    result bodies in input order.  [shards <= 1] runs every lease on
+    the calling process in order — the degenerate mode sharded runs are
+    compared against for determinism.
+
+    Failure handling: a worker that EOFs, garbles a frame, or goes
+    silent for [hang_timeout_s] (default 120) while holding a lease is
+    killed ([SIGKILL] + reap) and the lease is requeued; a replacement
+    worker is spawned while work remains.  A lease that has been dealt
+    [max_attempts] times (default 3) without a result fails with
+    [Error].  If every worker is gone and none can be spawned, the
+    remaining queue runs inline on the coordinator.
+
+    With [ctx], bumps [shard.worker_died], [shard.requeued],
+    [shard.garbled], [shard.hung], [shard.inline], [shard.respawned]
+    {i only when the event occurs} — a healthy pool is metrics-silent,
+    so merged registries stay shard-count-invariant.
+
+    [on_heartbeat] observes worker progress (for an aggregated status
+    line); [on_result] fires as each lease commits.  Both are called on
+    the coordinator, never concurrently. *)

@@ -23,6 +23,14 @@ type t = {
   mutable rendered : bool;        (* something was written (needs clearing) *)
 }
 
+(* Exactly one process may own the terminal.  Sharded campaigns set
+   this to false in every worker so K processes sharing a stderr don't
+   interleave K \r-rewriting lines; the coordinator keeps ownership and
+   renders the one aggregated line. *)
+let tty_owner_flag = ref true
+let set_tty_owner b = tty_owner_flag := b
+let tty_owner () = !tty_owner_flag
+
 let counter_value (ctx : Ctx.t) name =
   Metrics.counter_value (Metrics.counter ctx.Ctx.metrics name)
 
@@ -51,8 +59,10 @@ let line (t : t) : string =
   Buffer.contents buf
 
 let render (t : t) =
-  t.rendered <- true;
-  t.out ("\r\027[K" ^ line t)
+  if tty_owner () then begin
+    t.rendered <- true;
+    t.out ("\r\027[K" ^ line t)
+  end
 
 let maybe_render (t : t) =
   let now = Ctx.now_ns t.ctx in
@@ -106,8 +116,19 @@ let attach ?(out = default_out) ?(interval_ns = 200_000_000L)
   Event.add_sink ctx.Ctx.bus sink;
   t
 
+(* Aggregated external feed: the sharded coordinator has no events on
+   its own bus (work happens in worker processes), so it pushes absolute
+   totals folded from heartbeats instead. *)
+let update (t : t) ?iteration ~execs ~covered ~crashes () =
+  t.execs <- execs;
+  t.crashes <- crashes;
+  (match iteration with Some i -> t.iteration <- i | None -> ());
+  if covered > t.covered then t.plateau <- 0;
+  t.covered <- covered;
+  maybe_render t
+
 (* Final render + clear: leave the summary as an ordinary stderr line so
    the terminal scrollback keeps the last state. *)
 let finish (t : t) =
   Event.remove_sink t.ctx.Ctx.bus t.sink;
-  if t.rendered then t.out ("\r\027[K" ^ line t ^ "\n")
+  if t.rendered && tty_owner () then t.out ("\r\027[K" ^ line t ^ "\n")

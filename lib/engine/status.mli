@@ -8,6 +8,14 @@
 
 type t
 
+val set_tty_owner : bool -> unit
+(** Process-global terminal ownership (default [true]).  When false,
+    this process renders nothing — sharded workers relinquish ownership
+    so K processes sharing a stderr don't interleave [\r] rewrites; the
+    coordinator keeps it and draws the one aggregated line. *)
+
+val tty_owner : unit -> bool
+
 val attach :
   ?out:(string -> unit) ->
   ?interval_ns:int64 ->
@@ -20,6 +28,12 @@ val attach :
 
 val line : t -> string
 (** The current status line (no control characters) — used by tests. *)
+
+val update :
+  t -> ?iteration:int -> execs:int -> covered:int -> crashes:int -> unit -> unit
+(** Feed absolute aggregate totals from outside the event bus and
+    render (throttled).  The sharded coordinator folds worker
+    heartbeats into one line this way — no events reach its own bus. *)
 
 val finish : t -> unit
 (** Detach the sink and, if anything was rendered, leave a final

@@ -121,11 +121,10 @@ let emit_crash ?engine ~iteration (c : Simcomp.Crash.t) =
            iteration;
          })
 
-let run_aflpp ?engine ?faults ~rng ~compiler ~seeds ~iterations ~sample_every () :
-    Fuzz_result.t =
+let run_aflpp ?engine ?faults ?(options = Simcomp.Compiler.default_options)
+    ~rng ~compiler ~seeds ~iterations ~sample_every () : Fuzz_result.t =
   let result = Fuzz_result.make ~fuzzer_name:"AFL++" ~compiler in
   let pool = Engine.Vec.of_list seeds in
-  let options = Simcomp.Compiler.default_options in
   let scratch = Simcomp.Coverage.create () in
   (* seed coverage *)
   Engine.Vec.iter
@@ -175,10 +174,10 @@ let run_aflpp ?engine ?faults ~rng ~compiler ~seeds ~iterations ~sample_every ()
 (* Generation-based baselines                                          *)
 (* ------------------------------------------------------------------ *)
 
-let run_generator ?engine ?faults ~name ~(cfg : Ast_gen.config) ~rng ~compiler
-    ~iterations ~sample_every () : Fuzz_result.t =
+let run_generator ?engine ?faults ?(options = Simcomp.Compiler.default_options)
+    ~name ~(cfg : Ast_gen.config) ~rng ~compiler ~iterations ~sample_every () :
+    Fuzz_result.t =
   let result = ref (Fuzz_result.make ~fuzzer_name:name ~compiler) in
-  let options = Simcomp.Compiler.default_options in
   let trend = ref [] in
   let scratch = Simcomp.Coverage.create () in
   for i = 1 to iterations do
@@ -205,13 +204,15 @@ let run_generator ?engine ?faults ~name ~(cfg : Ast_gen.config) ~rng ~compiler
   sample_final ?engine trend ~iterations !result;
   { !result with iterations; coverage_trend = List.rev !trend }
 
-let run_csmith ?engine ?faults ~rng ~compiler ~iterations ~sample_every () =
-  run_generator ?engine ?faults ~name:"Csmith" ~cfg:Ast_gen.csmith_like_config ~rng
-    ~compiler ~iterations ~sample_every ()
+let run_csmith ?engine ?faults ?options ~rng ~compiler ~iterations
+    ~sample_every () =
+  run_generator ?engine ?faults ?options ~name:"Csmith"
+    ~cfg:Ast_gen.csmith_like_config ~rng ~compiler ~iterations ~sample_every ()
 
-let run_yarpgen ?engine ?faults ~rng ~compiler ~iterations ~sample_every () =
-  run_generator ?engine ?faults ~name:"YARPGen" ~cfg:Ast_gen.yarpgen_like_config ~rng
-    ~compiler ~iterations ~sample_every ()
+let run_yarpgen ?engine ?faults ?options ~rng ~compiler ~iterations
+    ~sample_every () =
+  run_generator ?engine ?faults ?options ~name:"YARPGen"
+    ~cfg:Ast_gen.yarpgen_like_config ~rng ~compiler ~iterations ~sample_every ()
 
 (* ------------------------------------------------------------------ *)
 (* GrayC-sim                                                           *)
@@ -278,8 +279,8 @@ let grayc_mutators : Mutators.Mutator.t list =
     inject_control_flow;
   ]
 
-let run_grayc ?engine ?faults ~rng ~compiler ~seeds ~iterations ~sample_every () :
-    Fuzz_result.t =
+let run_grayc ?engine ?faults ?options ~rng ~compiler ~seeds ~iterations
+    ~sample_every () : Fuzz_result.t =
   let cfg =
     {
       (Mucfuzz.default_config ~mutators:grayc_mutators ()) with
@@ -287,5 +288,5 @@ let run_grayc ?engine ?faults ~rng ~compiler ~seeds ~iterations ~sample_every ()
       sample_every;
     }
   in
-  Mucfuzz.run ~cfg ?engine ?faults ~rng ~compiler ~seeds ~iterations
+  Mucfuzz.run ?options ~cfg ?engine ?faults ~rng ~compiler ~seeds ~iterations
     ~name:"GrayC" ()

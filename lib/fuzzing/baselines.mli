@@ -16,6 +16,7 @@ val havoc_byte_mutation : Cparse.Rng.t -> string -> string
 val run_aflpp :
   ?engine:Engine.Ctx.t ->
   ?faults:Engine.Faults.t ->
+  ?options:Simcomp.Compiler.options ->
   rng:Cparse.Rng.t ->
   compiler:Simcomp.Compiler.compiler ->
   seeds:string list ->
@@ -27,6 +28,7 @@ val run_aflpp :
 val run_csmith :
   ?engine:Engine.Ctx.t ->
   ?faults:Engine.Faults.t ->
+  ?options:Simcomp.Compiler.options ->
   rng:Cparse.Rng.t ->
   compiler:Simcomp.Compiler.compiler ->
   iterations:int ->
@@ -37,6 +39,7 @@ val run_csmith :
 val run_yarpgen :
   ?engine:Engine.Ctx.t ->
   ?faults:Engine.Faults.t ->
+  ?options:Simcomp.Compiler.options ->
   rng:Cparse.Rng.t ->
   compiler:Simcomp.Compiler.compiler ->
   iterations:int ->
@@ -54,6 +57,7 @@ val grayc_mutators : Mutators.Mutator.t list
 val run_grayc :
   ?engine:Engine.Ctx.t ->
   ?faults:Engine.Faults.t ->
+  ?options:Simcomp.Compiler.options ->
   rng:Cparse.Rng.t ->
   compiler:Simcomp.Compiler.compiler ->
   seeds:string list ->

@@ -63,7 +63,7 @@ let default_config =
    campaign is identical at any job count and any fuzzer subset. *)
 let cell_tag fuzzer compiler = (10 * fuzzer_tag fuzzer) + compiler_tag compiler
 
-let run_one ?engine ?faults ?checkpoint ?resume (cfg : config)
+let run_one ?engine ?faults ?checkpoint ?resume ?options (cfg : config)
     (fuzzer : fuzzer_id) (compiler : Simcomp.Compiler.compiler) :
     Fuzz_result.t =
   (* every fuzzer gets its own deterministic RNG stream, fault stream,
@@ -96,27 +96,27 @@ let run_one ?engine ?faults ?checkpoint ?resume (cfg : config)
   let gen_iters factor = max 10 (cfg.iterations * factor / 100) in
   match fuzzer with
   | MuCFuzz_s ->
-    Mucfuzz.run
+    Mucfuzz.run ?options
       ~cfg:(mucfuzz_cfg Mutators.Registry.supervised "uCFuzz.s")
       ?engine ?faults ?checkpoint ?resume ~rng ~compiler ~seeds
       ~iterations:cfg.iterations ~name:"uCFuzz.s" ()
   | MuCFuzz_u ->
-    Mucfuzz.run
+    Mucfuzz.run ?options
       ~cfg:(mucfuzz_cfg Mutators.Registry.unsupervised "uCFuzz.u")
       ?engine ?faults ?checkpoint ?resume ~rng ~compiler ~seeds
       ~iterations:cfg.iterations ~name:"uCFuzz.u" ()
   | AFLpp ->
-    Baselines.run_aflpp ?engine ?faults ~rng ~compiler ~seeds
+    Baselines.run_aflpp ?engine ?faults ?options ~rng ~compiler ~seeds
       ~iterations:cfg.iterations ~sample_every:cfg.sample_every ()
   | GrayC ->
-    Baselines.run_grayc ?engine ?faults ~rng ~compiler ~seeds
+    Baselines.run_grayc ?engine ?faults ?options ~rng ~compiler ~seeds
       ~iterations:cfg.iterations ~sample_every:cfg.sample_every ()
   | Csmith ->
-    Baselines.run_csmith ?engine ?faults ~rng ~compiler
+    Baselines.run_csmith ?engine ?faults ?options ~rng ~compiler
       ~iterations:(gen_iters 8)
       ~sample_every:(max 1 (cfg.sample_every / 8)) ()
   | YARPGen ->
-    Baselines.run_yarpgen ?engine ?faults ~rng ~compiler
+    Baselines.run_yarpgen ?engine ?faults ?options ~rng ~compiler
       ~iterations:(gen_iters 20)
       ~sample_every:(max 1 (cfg.sample_every / 4)) ()
 

@@ -47,16 +47,34 @@ val run_one :
   ?faults:Engine.Faults.t ->
   ?checkpoint:string * int ->
   ?resume:string ->
+  ?options:Simcomp.Compiler.options ->
   config -> fuzzer_id -> Simcomp.Compiler.compiler -> Fuzz_result.t
 (** One cell.  [faults] is the *campaign* harness: the cell derives its
     own stream with {!cell_tag}.  [checkpoint]/[resume] are forwarded to
-    {!Mucfuzz.run} (ignored by the baselines other than GrayC). *)
+    {!Mucfuzz.run} (ignored by the baselines other than GrayC).
+    [options] selects the compiler configuration every mutant is
+    compiled under (default [-O2]) — the {!Coordinator}'s opt-matrix
+    axis runs the same cell at several [-O] levels. *)
 
 type cell = fuzzer_id * Simcomp.Compiler.compiler
 
 val cell_name : cell -> string
 (** Stable display name, ["<fuzzer>-<compiler>"] — also the Chrome-trace
     thread label and the checkpoint file stem. *)
+
+val cell_ckpt_file : string -> cell -> string
+(** [cell_ckpt_file dir cell]: the mid-run snapshot path {!run} uses for
+    this cell.  Exposed so the sharded {!Coordinator} writes the same
+    files — a sequential campaign interrupted under [--shards 1] resumes
+    under [--shards K] and vice versa. *)
+
+val cell_done_file : string -> cell -> string
+(** The completed-cell result path ({!run} restores these on resume). *)
+
+val cell_fingerprint :
+  config -> ?faults:Engine.Faults.t -> cell -> string
+(** The validity stamp those files are saved under: every parameter the
+    snapshot depends on ([jobs] deliberately excluded). *)
 
 type t = {
   config : config;

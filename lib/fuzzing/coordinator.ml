@@ -1,0 +1,385 @@
+(* Sharded campaign coordinator: deal Campaign cells (optionally crossed
+   with -O levels) to an Engine.Shard worker pool and merge the pieces
+   back into one aggregated view.
+
+   Determinism is inherited, not re-proven: a unit's RNG stream, fault
+   stream, and coverage map are pure functions of (config, unit id) —
+   the same property Campaign.run relies on for job-count invariance —
+   and every merge below walks the canonical unit list, never the
+   completion order.  So shards:1 and shards:K produce byte-identical
+   coverage, crash sets, and reports. *)
+
+type unit_id = {
+  u_fuzzer : Campaign.fuzzer_id;
+  u_compiler : Simcomp.Compiler.compiler;
+  u_opt : int option;
+}
+
+let unit_name (u : unit_id) =
+  let base = Campaign.cell_name (u.u_fuzzer, u.u_compiler) in
+  match u.u_opt with None -> base | Some l -> Fmt.str "%s-O%d" base l
+
+(* Cell tags are 11..62; opt units shift to a disjoint range so a trace
+   mixing both axes never aliases thread ids. *)
+let unit_tag (u : unit_id) =
+  let t = Campaign.cell_tag u.u_fuzzer u.u_compiler in
+  match u.u_opt with None -> t | Some l -> (t * 10) + l + 1
+
+let units ?(fuzzers = Campaign.all_fuzzers)
+    ?(compilers = Simcomp.Compiler.[ Gcc; Clang ]) ?(opt_levels = []) () :
+    unit_id list =
+  List.concat_map
+    (fun f ->
+      List.concat_map
+        (fun c ->
+          match opt_levels with
+          | [] -> [ { u_fuzzer = f; u_compiler = c; u_opt = None } ]
+          | ls ->
+            List.map (fun l -> { u_fuzzer = f; u_compiler = c; u_opt = Some l }) ls)
+        compilers)
+    fuzzers
+
+(* Default-axis units reuse Campaign.run's snapshot paths and
+   fingerprints verbatim — that is what lets a sequential campaign
+   resume sharded (and back).  Opt units get level-suffixed names. *)
+let unit_ckpt_file dir (u : unit_id) =
+  match u.u_opt with
+  | None -> Campaign.cell_ckpt_file dir (u.u_fuzzer, u.u_compiler)
+  | Some _ -> Filename.concat dir ("cell-" ^ unit_name u ^ ".ckpt")
+
+let unit_done_file dir (u : unit_id) =
+  match u.u_opt with
+  | None -> Campaign.cell_done_file dir (u.u_fuzzer, u.u_compiler)
+  | Some _ -> Filename.concat dir ("done-" ^ unit_name u ^ ".ckpt")
+
+let unit_fingerprint cfg ?faults (u : unit_id) =
+  let base = Campaign.cell_fingerprint cfg ?faults (u.u_fuzzer, u.u_compiler) in
+  match u.u_opt with None -> base | Some l -> Fmt.str "%s|O%d" base l
+
+let unit_options (u : unit_id) =
+  Option.map
+    (fun l -> { Simcomp.Compiler.default_options with opt_level = l })
+    u.u_opt
+
+(* The fault stream: default units hand run_one the root harness (so
+   their draws match Campaign.run exactly); opt units interpose one
+   per-level derivation so the same cell at -O0 and -O3 doesn't replay
+   identical faults.  Both are pure in (root, unit), hence
+   shard-count-invariant. *)
+let unit_faults root (u : unit_id) =
+  match (root, u.u_opt) with
+  | None, _ -> None
+  | Some f, None -> Some f
+  | Some f, Some l -> Some (Engine.Faults.derive f ~tag:(900 + l))
+
+(* ------------------------------------------------------------------ *)
+(* The lease and its execution (runs on a worker or inline)            *)
+(* ------------------------------------------------------------------ *)
+
+type lease = {
+  l_cfg : Campaign.config;
+  l_unit : unit_id;
+  l_faults : Engine.Faults.t option; (* root harness; derived per unit *)
+  l_checkpoint : string option;
+  l_resume : bool;
+  l_trace : bool; (* the coordinator's engine wants trace buffers back *)
+  l_probe : bool;
+}
+
+type worker_result = {
+  wr_result : Fuzz_result.t;
+  wr_metrics : Engine.Metrics.t;
+  wr_trace : Engine.Trace.t option;
+}
+
+(* [counters] are worker-lifetime cumulative (see the Heartbeat frame
+   doc): the coordinator's per-shard fold stays monotone across leases. *)
+let exec_lease ~heartbeat ~counters (l : lease) : worker_result =
+  let u = l.l_unit in
+  let ctx = Engine.Ctx.create () in
+  if l.l_trace then ignore (Engine.Ctx.enable_trace ~tid:(unit_tag u) ctx);
+  if l.l_probe then ignore (Engine.Ctx.enable_probe ctx);
+  let execs, covered, crashes = counters in
+  let beat () =
+    heartbeat ~execs:!execs ~covered:!covered ~crashes:!crashes
+  in
+  let sink =
+    {
+      Engine.Event.sink_name = "shard-heartbeat";
+      emit =
+        (fun e ->
+          match e with
+          | Engine.Event.Compile_finished _ ->
+            incr execs;
+            (* throttled: one frame per ~200 compiles keeps the socket
+               quiet while the line still moves every second *)
+            if !execs mod 200 = 0 then beat ()
+          | Engine.Event.Crash_found _ -> incr crashes
+          | Engine.Event.Coverage_sampled { covered = c; _ } -> covered := c
+          | _ -> ());
+    }
+  in
+  Engine.Event.add_sink ctx.Engine.Ctx.bus sink;
+  let cfg = l.l_cfg in
+  let ckpt_every = max 1 (cfg.Campaign.sample_every * 5) in
+  let checkpoint =
+    Option.map (fun dir -> (unit_ckpt_file dir u, ckpt_every)) l.l_checkpoint
+  in
+  let resume =
+    match checkpoint with
+    | Some (path, _) when l.l_resume -> Some path
+    | _ -> None
+  in
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Engine.Event.remove_sink ctx.Engine.Ctx.bus sink)
+      (fun () ->
+        Campaign.run_one ~engine:ctx
+          ?faults:(unit_faults l.l_faults u)
+          ?checkpoint ?resume
+          ?options:(unit_options u)
+          cfg u.u_fuzzer u.u_compiler)
+  in
+  (* flush the partial GC batch so the merge sees this unit's tail *)
+  Option.iter Engine.Probe.sample ctx.Engine.Ctx.probe;
+  Option.iter
+    (fun dir ->
+      ignore
+        (Engine.Checkpoint.save ~ctx ~path:(unit_done_file dir u)
+           ~fingerprint:(unit_fingerprint cfg ?faults:l.l_faults u)
+           r))
+    l.l_checkpoint;
+  beat ();
+  {
+    wr_result = r;
+    wr_metrics = ctx.Engine.Ctx.metrics;
+    wr_trace = ctx.Engine.Ctx.trace;
+  }
+
+(* The pool work function: decode, execute, encode.  One server closure
+   per process — fork children inherit fresh counters, worker_main makes
+   its own. *)
+let server () =
+  let counters = (ref 0, ref 0, ref 0) in
+  fun ~heartbeat ~seq:_ ~attempt (body : string) ->
+    match Engine.Shard.decode body with
+    | Error msg -> failwith ("coordinator: undecodable lease: " ^ msg)
+    | Ok (l : lease) ->
+      (* test hook: die mid-lease, first attempt only, workers only —
+         the requeue/recovery path without hand-rolled process murder *)
+      if
+        Engine.Shard.in_worker () && attempt = 0
+        && Sys.getenv_opt "METAMUT_SHARD_KILL" = Some (unit_name l.l_unit)
+      then Unix._exit 42;
+      Engine.Shard.encode (exec_lease ~heartbeat ~counters l)
+
+let worker_main () =
+  Engine.Status.set_tty_owner false;
+  Engine.Shard.worker_loop (Engine.Shard.of_fd Unix.stdin) ~f:(server ())
+
+(* ------------------------------------------------------------------ *)
+(* The coordinator                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  config : Campaign.config;
+  shards : int;
+  opt_levels : int list;
+  results : (unit_id * Fuzz_result.t) list;
+  failures : (unit_id * string) list;
+  resumed_units : int;
+  shard_stats : Engine.Shard.stats;
+}
+
+let run ?(cfg = Campaign.default_config) ?fuzzers ?compilers
+    ?(opt_levels = []) ?engine ?faults ?checkpoint ?(resume = false)
+    ?(shards = 1) ?backend ?hang_timeout_s ?status ?progress () : t =
+  let us = units ?fuzzers ?compilers ~opt_levels () in
+  Option.iter Engine.Checkpoint.mkdir_p checkpoint;
+  let fingerprint u = unit_fingerprint cfg ?faults u in
+  let restored, todo =
+    match checkpoint with
+    | Some dir when resume ->
+      List.partition_map
+        (fun u ->
+          match
+            Engine.Checkpoint.load ~path:(unit_done_file dir u)
+              ~fingerprint:(fingerprint u)
+          with
+          | Ok (r : Fuzz_result.t) -> Left (u, r)
+          | Error _ -> Right u)
+        us
+    | _ -> ([], us)
+  in
+  let todo_arr = Array.of_list todo in
+  let main_trace =
+    Option.bind engine (fun (e : Engine.Ctx.t) -> e.Engine.Ctx.trace)
+  in
+  let main_probe =
+    Option.bind engine (fun (e : Engine.Ctx.t) -> e.Engine.Ctx.probe)
+  in
+  let leases =
+    Array.map
+      (fun u ->
+        Engine.Shard.encode
+          {
+            l_cfg = cfg;
+            l_unit = u;
+            l_faults = faults;
+            l_checkpoint = checkpoint;
+            l_resume = resume;
+            l_trace = Option.is_some main_trace;
+            l_probe = Option.is_some main_probe;
+          })
+      todo_arr
+  in
+  (* Live aggregation: latest worker-cumulative numbers per shard,
+     folded into the one status line.  Execs and crashes sum; covered
+     shows the max (cells have independent maps, a sum would read as a
+     coverage number no single run ever reaches). *)
+  let live : (int, int * int * int) Hashtbl.t = Hashtbl.create 8 in
+  let on_heartbeat ~shard ~execs ~covered ~crashes =
+    Hashtbl.replace live shard (execs, covered, crashes);
+    Option.iter
+      (fun st ->
+        let e, c, k =
+          Hashtbl.fold
+            (fun _ (e, c, k) (ae, ac, ak) -> (ae + e, max ac c, ak + k))
+            live (0, 0, 0)
+        in
+        Engine.Status.update st ~execs:e ~covered:c ~crashes:k ())
+      status
+  in
+  let total = List.length us in
+  let completed = ref (List.length restored) in
+  let on_result ~seq =
+    incr completed;
+    Option.iter
+      (fun f -> f ~completed:!completed ~total (unit_name todo_arr.(seq)))
+      progress
+  in
+  let raw, stats =
+    Engine.Shard.run_pool ~shards ?backend ?hang_timeout_s ?ctx:engine
+      ~on_heartbeat ~on_result ~f:(server ()) leases
+  in
+  let decoded =
+    Array.map
+      (function
+        | Ok body -> (
+          match Engine.Shard.decode body with
+          | Ok (wr : worker_result) -> Ok wr
+          | Error msg -> Error ("undecodable worker result: " ^ msg))
+        | Error msg -> Error msg)
+      raw
+  in
+  (* join barrier: merge worker registries and traces into the main
+     context in canonical unit order — the Campaign.run join, one
+     process level up *)
+  (match engine with
+  | None -> ()
+  | Some main ->
+    Array.iteri
+      (fun i r ->
+        match r with
+        | Ok wr ->
+          Engine.Metrics.merge ~into:main.Engine.Ctx.metrics wr.wr_metrics;
+          (match (main_trace, wr.wr_trace) with
+          | Some into, Some src ->
+            let u = todo_arr.(i) in
+            let tid = unit_tag u in
+            Engine.Trace.label_tid into ~tid ~label:(unit_name u);
+            Engine.Trace.merge ~into ~tid src
+          | _ -> ())
+        | Error _ -> ())
+      decoded);
+  let computed =
+    Array.to_list (Array.mapi (fun i r -> (todo_arr.(i), r)) decoded)
+  in
+  let done_units =
+    restored
+    @ List.filter_map
+        (fun (u, r) ->
+          match r with Ok wr -> Some (u, wr.wr_result) | Error _ -> None)
+        computed
+  in
+  {
+    config = cfg;
+    shards;
+    opt_levels;
+    (* canonical order, independent of restore/completion interleaving *)
+    results =
+      List.filter_map
+        (fun u -> Option.map (fun r -> (u, r)) (List.assoc_opt u done_units))
+        us;
+    failures =
+      List.filter_map
+        (fun (u, r) ->
+          match r with Ok _ -> None | Error msg -> Some (u, msg))
+        computed;
+    resumed_units = List.length restored;
+    shard_stats = stats;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Aggregated views                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let to_campaign (t : t) : Campaign.t =
+  {
+    Campaign.config = t.config;
+    results =
+      List.map (fun (u, r) -> ((u.u_fuzzer, u.u_compiler), r)) t.results;
+    failures =
+      List.map (fun (u, msg) -> ((u.u_fuzzer, u.u_compiler), msg)) t.failures;
+    resumed_cells = t.resumed_units;
+  }
+
+let aggregate_coverage (t : t) : Simcomp.Coverage.t =
+  let cov = Simcomp.Coverage.create () in
+  List.iter
+    (fun (_, (r : Fuzz_result.t)) ->
+      ignore (Simcomp.Coverage.merge ~into:cov r.Fuzz_result.coverage))
+    t.results;
+  cov
+
+let all_crashes (t : t) : string list =
+  let set = Hashtbl.create 64 in
+  List.iter
+    (fun (u, r) ->
+      List.iter
+        (fun k ->
+          Hashtbl.replace set
+            (Simcomp.Bugdb.compiler_to_string u.u_compiler ^ ":" ^ k)
+            ())
+        (Fuzz_result.crash_keys r))
+    t.results;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) set [])
+
+let report ?engine ?attribution (t : t) : string =
+  if t.opt_levels = [] then
+    Run_report.campaign ?engine ?attribution (to_campaign t)
+  else begin
+    let failures =
+      match t.failures with
+      | [] -> ""
+      | fs ->
+        "\n\n**Failed units:**\n\n"
+        ^ Report.Markdown.bullet
+            (List.map (fun (u, msg) -> unit_name u ^ ": " ^ msg) fs)
+    in
+    (* the shard count is deliberately absent: the report is part of the
+       shards:1 ≡ shards:K byte-identity contract *)
+    let preamble =
+      Fmt.str
+        "%d units across -O{%s} (%d restored from checkpoints, %d failed); \
+         iterations=%d seeds=%d.%s"
+        (List.length t.results + List.length t.failures)
+        (String.concat "," (List.map string_of_int t.opt_levels))
+        t.resumed_units
+        (List.length t.failures)
+        t.config.Campaign.iterations t.config.Campaign.seeds failures
+    in
+    Run_report.render ~title:"Campaign report (opt matrix)" ~preamble ?engine
+      ?attribution
+      (List.map (fun (u, r) -> (unit_name u, r)) t.results)
+  end

@@ -1,0 +1,114 @@
+(** Multi-process sharded campaigns: {!Campaign} cells dealt as leases
+    to an {!Engine.Shard} worker pool.
+
+    The work unit is one campaign cell — (fuzzer, compiler), optionally
+    crossed with a [-O] level ({!run}'s [opt_levels] axis).  Each unit
+    derives its own RNG stream, fault stream, and coverage map exactly
+    as {!Campaign.run_one} does, and the coordinator merges worker
+    registries, trace buffers, coverage, and crash sets in canonical
+    unit order — so coverage, crashes, and the campaign report are
+    byte-identical at any shard count ([shards:1 ≡ shards:K], the same
+    invariant the Domain scheduler upholds for [jobs]).
+
+    Worker failure flows into the existing supervision story: a worker
+    that dies, hangs, or garbles a frame loses its lease back to the
+    queue ({!Engine.Shard.run_pool}), and with [checkpoint] the
+    default-axis units write the {e same} snapshot files as
+    {!Campaign.run}, so a campaign interrupted sequentially resumes
+    sharded and vice versa. *)
+
+type unit_id = {
+  u_fuzzer : Campaign.fuzzer_id;
+  u_compiler : Simcomp.Compiler.compiler;
+  u_opt : int option;
+      (** [-O] level; [None] = the campaign default ([-O2]) and the
+          unit is checkpoint-compatible with {!Campaign.run} *)
+}
+
+val unit_name : unit_id -> string
+(** ["<fuzzer>-<compiler>"], suffixed ["-O<l>"] on the opt axis. *)
+
+val unit_tag : unit_id -> int
+(** Stable trace/derivation tag (cell tag, disambiguated per level). *)
+
+val units :
+  ?fuzzers:Campaign.fuzzer_id list ->
+  ?compilers:Simcomp.Compiler.compiler list ->
+  ?opt_levels:int list ->
+  unit ->
+  unit_id list
+(** The canonical work list: fuzzers × compilers (× levels when
+    [opt_levels <> []]) in deterministic order. *)
+
+type t = {
+  config : Campaign.config;
+  shards : int;
+  opt_levels : int list;
+  results : (unit_id * Fuzz_result.t) list;  (** canonical unit order *)
+  failures : (unit_id * string) list;
+  resumed_units : int;
+  shard_stats : Engine.Shard.stats;
+}
+
+val run :
+  ?cfg:Campaign.config ->
+  ?fuzzers:Campaign.fuzzer_id list ->
+  ?compilers:Simcomp.Compiler.compiler list ->
+  ?opt_levels:int list ->
+  ?engine:Engine.Ctx.t ->
+  ?faults:Engine.Faults.t ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?shards:int ->
+  ?backend:Engine.Shard.backend ->
+  ?hang_timeout_s:float ->
+  ?status:Engine.Status.t ->
+  ?progress:(completed:int -> total:int -> string -> unit) ->
+  unit ->
+  t
+(** Run the unit matrix across [shards] worker processes (default 1 =
+    in-process sequential, the mode sharded runs are compared against).
+
+    Each lease carries the campaign config, the unit id, and the root
+    fault harness; the worker executes it with a {e fresh}
+    {!Engine.Ctx} and ships back the result plus its metrics registry
+    and trace buffer.  At the join the coordinator
+    {!Engine.Metrics.merge}s registries and {!Engine.Trace.merge}s
+    buffers (tagged {!unit_tag}, labelled {!unit_name}) into [engine]
+    in canonical unit order — the process-level mirror of
+    {!Campaign.run}'s Domain join barrier.  [engine] also receives the
+    [shard.*] intervention counters, which stay silent in a healthy
+    run, so merged registries are shard-count-invariant.
+
+    [status] receives aggregated heartbeat totals (one line for the
+    whole pool; workers relinquish TTY ownership).  [progress] ticks
+    once per completed unit with its display name.
+
+    With [checkpoint]/[resume], completed units are restored from
+    done-files and interrupted μCFuzz units continue from their cell
+    snapshots; default-axis file names and fingerprints match
+    {!Campaign.run}'s exactly. *)
+
+val to_campaign : t -> Campaign.t
+(** View a default-axis run as a {!Campaign.t} (for the RQ1 table and
+    {!Run_report.campaign}).  Opt-axis units keep their level only in
+    the {!t}; calling this on an opt-matrix run collapses levels onto
+    the same cell, so callers gate on [opt_levels = []]. *)
+
+val report : ?engine:Engine.Ctx.t -> ?attribution:Bisect.attribution list
+  -> t -> string
+(** The aggregated [campaign-report.md]: {!Run_report.campaign} on the
+    default axis, an opt-matrix variant (one summary row per unit)
+    otherwise. *)
+
+val aggregate_coverage : t -> Simcomp.Coverage.t
+(** Fresh map holding the union of every unit's coverage. *)
+
+val all_crashes : t -> string list
+(** Sorted union of compiler-prefixed crash keys across all units. *)
+
+val worker_main : unit -> unit
+(** Entry point for a spawned [worker] subprocess: serve leases over
+    stdin (the coordinator passes its socket end as the child's stdin)
+    until {!Engine.Shard.frame.Shutdown}.  Relinquishes TTY ownership;
+    never returns normally before shutdown. *)

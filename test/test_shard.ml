@@ -1,0 +1,425 @@
+(* Tests for multi-process sharding: the frame protocol (round-trips,
+   garbled/short/oversized frames rejected without hanging, timeouts),
+   the worker pool (shards:1 ≡ shards:K, death-mid-lease requeue,
+   deterministic failures), the sharded campaign coordinator
+   (shards:1 ≡ shards:4 byte-identical report, opt-matrix determinism,
+   checkpoint compatibility with Campaign.run), and Status TTY
+   ownership. *)
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let frame_eq (a : Engine.Shard.frame) (b : Engine.Shard.frame) = a = b
+
+let frame_testable =
+  Alcotest.testable
+    (fun ppf (f : Engine.Shard.frame) ->
+      Fmt.pf ppf "%s"
+        (match f with
+        | Hello { shard } -> Fmt.str "Hello %d" shard
+        | Request -> "Request"
+        | Lease { seq; attempt; body } ->
+          Fmt.str "Lease %d/%d %S" seq attempt body
+        | Result { seq; body } -> Fmt.str "Result %d %S" seq body
+        | Heartbeat { execs; covered; crashes } ->
+          Fmt.str "Heartbeat %d %d %d" execs covered crashes
+        | Shutdown -> "Shutdown"))
+    frame_eq
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with _ -> ());
+      try Unix.close b with _ -> ())
+    (fun () -> f (Engine.Shard.of_fd a) (Engine.Shard.of_fd b))
+
+let recv_ok ?timeout_s c =
+  match Engine.Shard.recv ?timeout_s c with
+  | Ok f -> f
+  | Error e -> Alcotest.fail ("recv: " ^ Engine.Shard.recv_error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Frame protocol                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let protocol_tests =
+  [
+    tc "every frame round-trips over a socketpair" (fun () ->
+        with_socketpair (fun a b ->
+            let frames : Engine.Shard.frame list =
+              [
+                Hello { shard = 3 };
+                Request;
+                Lease { seq = 7; attempt = 1; body = "the lease body" };
+                Result { seq = 7; body = String.make 5000 'x' };
+                Heartbeat { execs = 123456; covered = 42; crashes = 7 };
+                Lease { seq = 0; attempt = 0; body = "" };
+                Shutdown;
+              ]
+            in
+            List.iter (fun f -> Engine.Shard.send a f) frames;
+            List.iter
+              (fun f ->
+                check frame_testable "frame" f (recv_ok ~timeout_s:5. b))
+              frames));
+    tc "garbled magic is rejected without hanging" (fun () ->
+        with_socketpair (fun a b ->
+            let junk = Bytes.of_string "NOTaframe-at-all" in
+            ignore (Unix.write (Engine.Shard.fd a) junk 0 (Bytes.length junk));
+            match Engine.Shard.recv ~timeout_s:2. b with
+            | Error (Garbled _) -> ()
+            | Ok _ | Error _ -> Alcotest.fail "expected Garbled"));
+    tc "cross-version magic is garbled, not misparsed" (fun () ->
+        with_socketpair (fun a b ->
+            (* same "MSF" stem, different version byte *)
+            let h = Bytes.of_string "MSF\xff\x01\x00\x00\x00\x00" in
+            ignore (Unix.write (Engine.Shard.fd a) h 0 (Bytes.length h));
+            match Engine.Shard.recv ~timeout_s:2. b with
+            | Error (Garbled msg) ->
+              check Alcotest.bool "mentions protocol"
+                true
+                (Astring.String.is_infix ~affix:"protocol" msg
+                 || String.length msg > 0)
+            | Ok _ | Error _ -> Alcotest.fail "expected Garbled"));
+    tc "oversized length is garbled" (fun () ->
+        with_socketpair (fun a b ->
+            let h = Bytes.create 9 in
+            Bytes.blit_string Engine.Shard.magic 0 h 0 4;
+            Bytes.set_uint8 h 4 1 (* Request *);
+            Bytes.set_int32_be h 5 0x7fffffffl;
+            ignore (Unix.write (Engine.Shard.fd a) h 0 9);
+            match Engine.Shard.recv ~timeout_s:2. b with
+            | Error (Garbled _) -> ()
+            | Ok _ | Error _ -> Alcotest.fail "expected Garbled"));
+    tc "short frame (EOF mid-payload) is garbled, not a hang" (fun () ->
+        with_socketpair (fun a b ->
+            let h = Bytes.create 11 in
+            Bytes.blit_string Engine.Shard.magic 0 h 0 4;
+            Bytes.set_uint8 h 4 3 (* Result *);
+            Bytes.set_int32_be h 5 100l (* promises 100 payload bytes *);
+            (* ...delivers 2 *)
+            ignore (Unix.write (Engine.Shard.fd a) h 0 11);
+            Unix.close (Engine.Shard.fd a);
+            match Engine.Shard.recv ~timeout_s:2. b with
+            | Error (Garbled _) -> ()
+            | Ok _ | Error _ -> Alcotest.fail "expected Garbled"));
+    tc "stalled mid-frame peer times out" (fun () ->
+        with_socketpair (fun a b ->
+            let h = Bytes.create 9 in
+            Bytes.blit_string Engine.Shard.magic 0 h 0 4;
+            Bytes.set_uint8 h 4 3;
+            Bytes.set_int32_be h 5 100l;
+            ignore (Unix.write (Engine.Shard.fd a) h 0 9);
+            (* peer stays connected but never sends the payload *)
+            let t0 = Unix.gettimeofday () in
+            (match Engine.Shard.recv ~timeout_s:0.3 b with
+            | Error Timeout -> ()
+            | Ok _ | Error _ -> Alcotest.fail "expected Timeout");
+            check Alcotest.bool "returned promptly" true
+              (Unix.gettimeofday () -. t0 < 2.)));
+    tc "EOF at a frame boundary is an orderly Closed" (fun () ->
+        with_socketpair (fun a b ->
+            Unix.close (Engine.Shard.fd a);
+            match Engine.Shard.recv ~timeout_s:2. b with
+            | Error Closed -> ()
+            | Ok _ | Error _ -> Alcotest.fail "expected Closed"));
+    tc "encode/decode round-trips; truncated payload is an Error" (fun () ->
+        let v = (42, "hello", [ 1.5; 2.5 ]) in
+        let s = Engine.Shard.encode v in
+        (match Engine.Shard.decode s with
+        | Ok v' ->
+          check
+            Alcotest.(triple int string (list (float 1e-9)))
+            "round-trip" v v'
+        | Error msg -> Alcotest.fail msg);
+        (match Engine.Shard.decode (String.sub s 0 (String.length s - 1)) with
+        | Error _ -> ()
+        | Ok (_ : int * string * float list) ->
+          Alcotest.fail "truncated payload decoded");
+        match Engine.Shard.decode "xx" with
+        | Error _ -> ()
+        | Ok (_ : int) -> Alcotest.fail "2-byte string decoded");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* a pure work function: the pooled result must match the inline one *)
+let upper_f ~heartbeat ~seq ~attempt:_ body =
+  heartbeat ~execs:(seq + 1) ~covered:0 ~crashes:0;
+  String.uppercase_ascii body ^ Fmt.str "#%d" seq
+
+let results_testable =
+  Alcotest.(array (result string string))
+
+let pool_tests =
+  [
+    tc "run_pool shards:1 ≡ shards:3 (fork)" (fun () ->
+        let leases = Array.init 7 (fun i -> Fmt.str "lease-%d" i) in
+        let seq_r, seq_stats =
+          Engine.Shard.run_pool ~shards:1 ~f:upper_f leases
+        in
+        let par_r, _ =
+          Engine.Shard.run_pool ~shards:3 ~backend:Engine.Shard.Fork
+            ~f:upper_f leases
+        in
+        check results_testable "results equal" seq_r par_r;
+        check Alcotest.int "no deaths inline" 0 seq_stats.Engine.Shard.st_died;
+        Array.iteri
+          (fun i r ->
+            check
+              Alcotest.(result string string)
+              "computed" (Ok (Fmt.str "LEASE-%d#%d" i i)) r)
+          seq_r);
+    tc "heartbeats reach the coordinator" (fun () ->
+        let beats = ref 0 in
+        let leases = Array.init 3 (fun i -> string_of_int i) in
+        let _, _ =
+          Engine.Shard.run_pool ~shards:2 ~backend:Engine.Shard.Fork
+            ~on_heartbeat:(fun ~shard:_ ~execs:_ ~covered:_ ~crashes:_ ->
+              incr beats)
+            ~f:upper_f leases
+        in
+        check Alcotest.bool "got heartbeats" true (!beats >= 1));
+    tc "worker death mid-lease: lease requeued, pool recovers" (fun () ->
+        (* kill once: the lease carries its own poison, first attempt only *)
+        let f ~heartbeat:_ ~seq:_ ~attempt body =
+          if body = "die" && attempt = 0 && Engine.Shard.in_worker () then
+            Unix._exit 42;
+          "ok:" ^ body
+        in
+        let ctx = Engine.Ctx.create () in
+        let leases = [| "a"; "die"; "b"; "c" |] in
+        let r, stats =
+          Engine.Shard.run_pool ~shards:2 ~backend:Engine.Shard.Fork ~ctx ~f
+            leases
+        in
+        check results_testable "all recovered"
+          [| Ok "ok:a"; Ok "ok:die"; Ok "ok:b"; Ok "ok:c" |]
+          r;
+        check Alcotest.bool "death counted" true
+          (stats.Engine.Shard.st_died >= 1);
+        check Alcotest.bool "requeue counted" true
+          (stats.Engine.Shard.st_requeued >= 1);
+        (* interventions land in the metrics registry *)
+        check Alcotest.bool "shard.worker_died bumped" true
+          (Engine.Metrics.counter_value
+             (Engine.Metrics.counter ctx.Engine.Ctx.metrics
+                "shard.worker_died")
+           >= 1));
+    tc "deterministic failure burns attempts then lands in Error" (fun () ->
+        let f ~heartbeat:_ ~seq:_ ~attempt:_ body =
+          if body = "bad" then failwith "always broken";
+          "ok:" ^ body
+        in
+        let r, stats =
+          Engine.Shard.run_pool ~shards:2 ~backend:Engine.Shard.Fork
+            ~max_attempts:2 ~f [| "x"; "bad"; "y" |]
+        in
+        (match r.(1) with
+        | Error msg ->
+          check Alcotest.bool "carries the exception" true
+            (Astring.String.is_infix ~affix:"always broken" msg)
+        | Ok _ -> Alcotest.fail "deterministic failure succeeded");
+        check
+          Alcotest.(result string string)
+          "siblings unaffected" (Ok "ok:x") r.(0);
+        check
+          Alcotest.(result string string)
+          "siblings unaffected" (Ok "ok:y") r.(2);
+        (* healthy-worker failures are not deaths *)
+        check Alcotest.int "no deaths" 0 stats.Engine.Shard.st_died);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Sharded campaign coordinator                                        *)
+(* ------------------------------------------------------------------ *)
+
+let small_cfg =
+  {
+    Fuzzing.Campaign.default_config with
+    iterations = 60;
+    seeds = 12;
+    sample_every = 15;
+    jobs = 1;
+  }
+
+let some_fuzzers = Fuzzing.Campaign.[ MuCFuzz_s; AFLpp ]
+
+let result_testable =
+  Alcotest.testable
+    (fun ppf (r : Fuzzing.Fuzz_result.t) ->
+      Fmt.pf ppf "%s: %d mutants, %d covered, %d crashes" r.fuzzer_name
+        r.total_mutants
+        (Simcomp.Coverage.covered r.coverage)
+        (Fuzzing.Fuzz_result.unique_crashes r))
+    Fuzzing.Fuzz_result.equal
+
+let run_coordinator ?opt_levels ?checkpoint ?resume ~shards () =
+  Fuzzing.Coordinator.run ~cfg:small_cfg ~fuzzers:some_fuzzers ?opt_levels
+    ?checkpoint ?resume ~shards ~backend:Engine.Shard.Fork ()
+
+let coordinator_tests =
+  [
+    tc "shards:1 ≡ shards:4: results, coverage, crashes, report" (fun () ->
+        let t1 = run_coordinator ~shards:1 () in
+        let t4 = run_coordinator ~shards:4 () in
+        check Alcotest.int "unit count"
+          (List.length t1.Fuzzing.Coordinator.results)
+          (List.length t4.Fuzzing.Coordinator.results);
+        List.iter2
+          (fun (u1, r1) (u4, r4) ->
+            check Alcotest.string "unit order"
+              (Fuzzing.Coordinator.unit_name u1)
+              (Fuzzing.Coordinator.unit_name u4);
+            check result_testable
+              (Fuzzing.Coordinator.unit_name u1)
+              r1 r4)
+          t1.Fuzzing.Coordinator.results t4.Fuzzing.Coordinator.results;
+        check Alcotest.(list string) "crash sets"
+          (Fuzzing.Coordinator.all_crashes t1)
+          (Fuzzing.Coordinator.all_crashes t4);
+        check Alcotest.bool "aggregate coverage" true
+          (Simcomp.Coverage.equal
+             (Fuzzing.Coordinator.aggregate_coverage t1)
+             (Fuzzing.Coordinator.aggregate_coverage t4));
+        (* the campaign report (no engine: the span table is wall-clock)
+           is byte-identical *)
+        check Alcotest.string "campaign-report.md"
+          (Fuzzing.Coordinator.report t1)
+          (Fuzzing.Coordinator.report t4);
+        check Alcotest.int "no failures" 0
+          (List.length t4.Fuzzing.Coordinator.failures);
+        check Alcotest.int "no interventions" 0
+          t4.Fuzzing.Coordinator.shard_stats.Engine.Shard.st_died);
+    tc "worker death mid-lease: same final result, requeue counted"
+      (fun () ->
+        let baseline = run_coordinator ~shards:1 () in
+        Unix.putenv "METAMUT_SHARD_KILL" "uCFuzz.s-GCC";
+        let killed =
+          Fun.protect
+            ~finally:(fun () -> Unix.putenv "METAMUT_SHARD_KILL" "")
+            (fun () -> run_coordinator ~shards:2 ())
+        in
+        check Alcotest.bool "a worker died" true
+          (killed.Fuzzing.Coordinator.shard_stats.Engine.Shard.st_died >= 1);
+        check Alcotest.bool "the lease was requeued" true
+          (killed.Fuzzing.Coordinator.shard_stats.Engine.Shard.st_requeued
+           >= 1);
+        check Alcotest.string "report identical after recovery"
+          (Fuzzing.Coordinator.report baseline)
+          (Fuzzing.Coordinator.report killed));
+    tc "opt-matrix: deterministic across shard counts, levels differ"
+      (fun () ->
+        let t1 = run_coordinator ~opt_levels:[ 0; 2 ] ~shards:1 () in
+        let t2 = run_coordinator ~opt_levels:[ 0; 2 ] ~shards:2 () in
+        check Alcotest.string "opt-matrix report"
+          (Fuzzing.Coordinator.report t1)
+          (Fuzzing.Coordinator.report t2);
+        check Alcotest.int "levels x cells" 8
+          (List.length t1.Fuzzing.Coordinator.results);
+        (* -O0 and -O2 run different pass pipelines: coverage differs *)
+        let cov u =
+          List.assoc_opt u t1.Fuzzing.Coordinator.results
+          |> Option.map (fun (r : Fuzzing.Fuzz_result.t) ->
+                 Simcomp.Coverage.covered r.coverage)
+        in
+        let u l =
+          {
+            Fuzzing.Coordinator.u_fuzzer = Fuzzing.Campaign.MuCFuzz_s;
+            u_compiler = Simcomp.Compiler.Gcc;
+            u_opt = Some l;
+          }
+        in
+        check Alcotest.bool "distinct coverage across -O levels" true
+          (cov (u 0) <> cov (u 2)));
+    tc "checkpoint files are Campaign-compatible: sequential save, \
+        sharded resume" (fun () ->
+        let dir =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Fmt.str "metamut-shard-ckpt-%d" (Unix.getpid ()))
+        in
+        let seq =
+          Fuzzing.Campaign.run ~cfg:small_cfg ~fuzzers:some_fuzzers
+            ~checkpoint:dir ()
+        in
+        (* every cell completed sequentially; the sharded coordinator
+           must restore all of them from Campaign.run's own files *)
+        let resumed =
+          run_coordinator ~shards:2 ~checkpoint:dir ~resume:true ()
+        in
+        check Alcotest.int "all units restored"
+          (List.length seq.Fuzzing.Campaign.results)
+          resumed.Fuzzing.Coordinator.resumed_units;
+        List.iter2
+          (fun (_, r_seq) (_, r_sh) ->
+            check result_testable "restored result" r_seq r_sh)
+          seq.Fuzzing.Campaign.results resumed.Fuzzing.Coordinator.results;
+        (* and a fresh sharded run writes files a sequential campaign
+           can restore *)
+        let dir2 = dir ^ "-b" in
+        let sh = run_coordinator ~shards:2 ~checkpoint:dir2 () in
+        let seq2 =
+          Fuzzing.Campaign.run ~cfg:small_cfg ~fuzzers:some_fuzzers
+            ~checkpoint:dir2 ~resume:true ()
+        in
+        check Alcotest.int "sequential restored sharded files"
+          (List.length sh.Fuzzing.Coordinator.results)
+          seq2.Fuzzing.Campaign.resumed_cells;
+        List.iter
+          (fun d ->
+            Array.iter
+              (fun f -> try Sys.remove (Filename.concat d f) with _ -> ())
+              (try Sys.readdir d with _ -> [||]);
+            try Unix.rmdir d with _ -> ())
+          [ dir; dir2 ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Status TTY ownership                                                *)
+(* ------------------------------------------------------------------ *)
+
+let status_tests =
+  [
+    tc "non-owners render nothing; the owner draws the aggregate line"
+      (fun () ->
+        Fun.protect
+          ~finally:(fun () -> Engine.Status.set_tty_owner true)
+          (fun () ->
+            let buf = Buffer.create 64 in
+            let ctx = Engine.Ctx.create () in
+            let st =
+              Engine.Status.attach ~out:(Buffer.add_string buf)
+                ~interval_ns:0L ~label:"shardtest" ctx
+            in
+            Engine.Status.set_tty_owner false;
+            Engine.Status.update st ~execs:100 ~covered:5 ~crashes:1 ();
+            Engine.Status.finish st;
+            check Alcotest.string "worker drew nothing" "" (Buffer.contents buf);
+            (* state still folds while silent: the line is current the
+               moment ownership returns *)
+            check Alcotest.bool "line carries the numbers" true
+              (Astring.String.is_infix ~affix:"100 execs"
+                 (Engine.Status.line st));
+            Engine.Status.set_tty_owner true;
+            let st2 =
+              Engine.Status.attach ~out:(Buffer.add_string buf)
+                ~interval_ns:0L ~label:"coord" ctx
+            in
+            Engine.Status.update st2 ~execs:7 ~covered:3 ~crashes:0 ();
+            check Alcotest.bool "owner drew the aggregated line" true
+              (Astring.String.is_infix ~affix:"7 execs"
+                 (Buffer.contents buf));
+            Engine.Status.finish st2));
+  ]
+
+let () =
+  Alcotest.run "shard"
+    [
+      ("protocol", protocol_tests);
+      ("pool", pool_tests);
+      ("coordinator", coordinator_tests);
+      ("status", status_tests);
+    ]
