@@ -313,4 +313,57 @@ if [ -x "$CLI" ]; then
   fi
 fi
 
+echo "== smoke: chaos-armed sharded campaign =="
+# Every shard-layer fault site armed at once: injected frame garbles,
+# mid-frame stalls, worker OOM kills and coordinator crash-restarts must
+# all be recovered (or quarantined) without touching stdout, which stays
+# byte-identical to the clean sharded run at every shard count.
+if [ -x "$CLI" ]; then
+  CHAOS="frame=0.2,stall=0.1,oom=0.2,coord=0.3"
+  "$CLI" campaign --iterations 10 --shards 1 --faults "$CHAOS" \
+    --fault-seed 17 --hang-timeout 2 \
+    > /tmp/campaign_ch1.txt 2> /dev/null
+  "$CLI" campaign --iterations 10 --shards 2 --faults "$CHAOS" \
+    --fault-seed 17 --hang-timeout 2 \
+    > /tmp/campaign_ch2.txt 2> /tmp/campaign_ch2.err
+  if cmp -s /tmp/campaign_ch1.txt /tmp/campaign_ch2.txt \
+      && cmp -s /tmp/campaign_sh2.txt /tmp/campaign_ch2.txt; then
+    echo "chaos-armed campaign output identical across shard counts and to clean"
+  else
+    echo "FAIL: shard-layer chaos changed the campaign output" >&2
+    diff /tmp/campaign_ch1.txt /tmp/campaign_ch2.txt >&2 || true
+    diff /tmp/campaign_sh2.txt /tmp/campaign_ch2.txt >&2 || true
+    exit 1
+  fi
+  grep -q 'shard recovery:' /tmp/campaign_ch2.err || {
+    echo "FAIL: armed chaos never fired (no recovery line on stderr)" >&2
+    cat /tmp/campaign_ch2.err >&2
+    exit 1
+  }
+fi
+
+echo "== smoke: coordinator SIGKILL + --resume byte-identity =="
+# Kill the coordinator process mid-campaign; per-lease result journaling
+# must let --resume reproduce the uninterrupted run's stdout exactly.
+if [ -x "$CLI" ]; then
+  CKPT=$(mktemp -d)
+  "$CLI" campaign --iterations 10 --shards 2 --opt-matrix 0,2 \
+    --checkpoint "$CKPT" > /tmp/campaign_crash.txt 2> /dev/null &
+  COORD_PID=$!
+  sleep 1
+  kill -9 "$COORD_PID" 2> /dev/null || true
+  wait "$COORD_PID" 2> /dev/null || true
+  "$CLI" campaign --iterations 10 --shards 2 --opt-matrix 0,2 \
+    --checkpoint "$CKPT" --resume \
+    > /tmp/campaign_crash_resume.txt 2> /dev/null
+  if cmp -s /tmp/campaign_om2.txt /tmp/campaign_crash_resume.txt; then
+    echo "resumed campaign after coordinator SIGKILL identical to uninterrupted"
+  else
+    echo "FAIL: coordinator SIGKILL + resume changed the campaign output" >&2
+    diff /tmp/campaign_om2.txt /tmp/campaign_crash_resume.txt >&2 || true
+    exit 1
+  fi
+  rm -rf "$CKPT"
+fi
+
 echo "OK"

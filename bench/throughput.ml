@@ -92,8 +92,10 @@ type run_stats = {
 
 (* The 10k-iteration μCFuzz microbench: one coverage-guided campaign on
    GCC-sim with the core corpus, the configuration the paper's RQ1 runs
-   at (bounded attempt budget, fragility on). *)
-let mucfuzz_throughput () =
+   at (bounded attempt budget, fragility on).  With [faults], the same
+   campaign runs with the harness armed — pass a zero-rate harness to
+   measure the pure consultation overhead of the chaos layer. *)
+let mucfuzz_throughput ?faults () =
   let seeds = Fuzzing.Seeds.corpus ~n:30 (Cparse.Rng.create 11) in
   let cfg =
     {
@@ -115,7 +117,7 @@ let mucfuzz_throughput () =
   let w0 = (Gc.quick_stat ()).Gc.minor_words in
   let t0 = Unix.gettimeofday () in
   let r =
-    Fuzzing.Mucfuzz.run ~cfg ~engine
+    Fuzzing.Mucfuzz.run ~cfg ~engine ?faults
       ~rng:(Cparse.Rng.create 42)
       ~compiler:Simcomp.Compiler.Gcc ~seeds ~iterations ~name:"bench" ()
   in
@@ -220,12 +222,13 @@ let sharded_throughput n =
   let wall = Unix.gettimeofday () -. t0 in
   let per =
     Array.to_list results
-    |> List.map (function
-         | Ok body -> (
-           match Engine.Shard.decode body with
-           | Ok (ss : shard_stats) -> ss
-           | Error msg -> failwith ("bad shard result: " ^ msg))
-         | Error msg -> failwith ("shard failed: " ^ msg))
+    |> List.map (fun v ->
+           match Engine.Shard.verdict_to_result v with
+           | Ok body -> (
+             match Engine.Shard.decode body with
+             | Ok (ss : shard_stats) -> ss
+             | Error msg -> failwith ("bad shard result: " ^ msg))
+           | Error msg -> failwith ("shard failed: " ^ msg))
     |> List.sort (fun a b -> compare a.ss_shard b.ss_shard)
   in
   (wall, per)
@@ -278,12 +281,22 @@ let sharded_fields ~wall (per : shard_stats list) =
 (* Every field of one run, as (name, rendered value) pairs: the source
    for both the flat top-level mirror and the single-line history
    entry. *)
-let fields (rs : run_stats) ~hit_words =
+let fields (rs : run_stats) ~hit_words ~armed =
   let per_compile =
     if rs.rs_compiles = 0 then 0.
     else rs.rs_minor_words /. float_of_int rs.rs_compiles
   in
   let rate n = float_of_int n /. rs.rs_elapsed_s in
+  (* the same bench with a zero-rate fault harness armed at every site:
+     mutants/s through the drawless fast path, pinning chaos-layer
+     overhead ≈ 0 (the pct is wall-clock noise around zero) *)
+  let armed_rate =
+    float_of_int armed.rs_mutants /. armed.rs_elapsed_s
+  in
+  let overhead_pct =
+    let base = rate rs.rs_mutants in
+    if base <= 0. then 0. else 100. *. (base -. armed_rate) /. base
+  in
   [
     ("label", Fmt.str "%S" label);
     ("mode", if smoke then "\"smoke\"" else "\"full\"");
@@ -293,6 +306,8 @@ let fields (rs : run_stats) ~hit_words =
     ("compiles", string_of_int rs.rs_compiles);
     ("compiles_cached", string_of_int rs.rs_cached);
     ("mutants_per_sec", Fmt.str "%.1f" (rate rs.rs_mutants));
+    ("mutants_per_sec_faults_armed", Fmt.str "%.1f" armed_rate);
+    ("faults_armed_overhead_pct", Fmt.str "%.1f" overhead_pct);
     ("compiles_per_sec", Fmt.str "%.1f" (rate rs.rs_compiles));
     ("minor_words_per_compile", Fmt.str "%.1f" per_compile);
     ("coverage_hit_minor_words", Fmt.str "%.6f" hit_words);
@@ -396,6 +411,11 @@ let () =
       (if smoke then "smoke" else "full");
     let hit_words = coverage_hit_minor_words () in
     let rs = mucfuzz_throughput () in
-    emit (fields rs ~hit_words)
+    let armed =
+      mucfuzz_throughput
+        ~faults:(Engine.Faults.create Engine.Faults.no_faults)
+        ()
+    in
+    emit (fields rs ~hit_words ~armed)
   end;
   Fmt.pr "wrote %s@." out_path

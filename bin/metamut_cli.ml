@@ -123,6 +123,7 @@ let render_metrics (ctx : Engine.Ctx.t) =
   render_counter_family ctx ~title:"Fault injection" ~prefix:"faults." ();
   render_counter_family ctx ~title:"Scheduler supervision" ~prefix:"scheduler."
     ();
+  render_counter_family ctx ~title:"Shard supervision" ~prefix:"shard." ();
   render_counter_family ctx ~title:"Checkpointing" ~prefix:"checkpoint." ();
   render_mutator_counters ctx
 
@@ -170,9 +171,14 @@ let faults_term =
       & info [ "faults" ] ~docv:"SPEC"
           ~doc:
             "Fault-injection spec: comma-separated site=rate pairs over the \
-             sites llm, hang, crash, io (e.g. \
-             $(b,llm=0.3,hang=0.05,crash=0.2,io=0.1)); $(b,off) disables.  \
-             Defaults to $(b,METAMUT_FAULTS) when set.")
+             in-process sites llm, hang, crash, io and the shard-layer \
+             chaos sites frame, stall, oom, coord (e.g. \
+             $(b,llm=0.3,hang=0.05,crash=0.2,io=0.1) or \
+             $(b,frame=0.05,oom=0.01)); $(b,off) disables.  Shard sites \
+             garble/stall worker frames, OOM-kill workers at lease start, \
+             and crash-restart the coordinator; they only act under \
+             $(b,campaign --shards).  Defaults to $(b,METAMUT_FAULTS) when \
+             set.")
   in
   let fseed =
     Arg.(
@@ -683,7 +689,25 @@ let run_bisect ?engine (t : Fuzzing.Campaign.t) =
   ats
 
 let campaign iterations jobs sample_every schedule faults checkpoint resume
-    bisect metrics telemetry status shards opt_matrix =
+    bisect metrics telemetry status shards opt_matrix hang_timeout
+    lease_deadline alloc_budget =
+  (* the per-lease resource governor, only built when a flag departs
+     from the defaults so plain sharded runs keep the default limits *)
+  let limits =
+    let l =
+      {
+        Engine.Shard.default_limits with
+        hang_timeout_s = hang_timeout;
+        lease_deadline_s =
+          Option.value ~default:infinity
+            (Option.map float_of_int lease_deadline);
+        alloc_budget_words =
+          Option.value ~default:infinity
+            (Option.map (fun mw -> float_of_int mw *. 1e6) alloc_budget);
+      }
+    in
+    if l = Engine.Shard.default_limits then None else Some l
+  in
   let cfg =
     { Fuzzing.Campaign.default_config with
       iterations;
@@ -760,6 +784,15 @@ let campaign iterations jobs sample_every schedule faults checkpoint resume
     (* sharded path: deal cells (x -O levels) to worker subprocesses
        spawned as `metamut worker`, socket end as the child's stdin *)
     let exe = Sys.executable_name in
+    (* Spawn workers can't inherit the harness or the governor through
+       fork: they rebuild both from the environment *)
+    Option.iter Engine.Faults.export_to_env faults;
+    Option.iter
+      (fun (l : Engine.Shard.limits) ->
+        if l.alloc_budget_words < infinity then
+          Unix.putenv "METAMUT_SHARD_ALLOC_BUDGET"
+            (Fmt.str "%.0f" l.alloc_budget_words))
+      limits;
     let backend =
       Engine.Shard.Spawn
         (fun fd ->
@@ -768,8 +801,8 @@ let campaign iterations jobs sample_every schedule faults checkpoint resume
     in
     let t =
       Fuzzing.Coordinator.run ~cfg ~opt_levels:opt_matrix ?engine ?faults
-        ?checkpoint ~resume ~shards:(max 1 shards) ~backend ?status:st
-        ?progress ()
+        ?checkpoint ~resume ~shards:(max 1 shards) ~backend ?limits
+        ?status:st ?progress ()
     in
     Option.iter Engine.Status.finish st;
     if status then Fmt.epr "\r\027[K%!";
@@ -780,10 +813,27 @@ let campaign iterations jobs sample_every schedule faults checkpoint resume
       (fun (u, msg) ->
         Fmt.epr "FAILED %s: %s@." (Fuzzing.Coordinator.unit_name u) msg)
       t.Fuzzing.Coordinator.failures;
+    List.iter
+      (fun (q : Fuzzing.Coordinator.quarantined_unit) ->
+        Fmt.epr "QUARANTINED %s after %d attempt(s): %s@."
+          (Fuzzing.Coordinator.unit_name q.Fuzzing.Coordinator.qu_unit)
+          q.Fuzzing.Coordinator.qu_attempts q.Fuzzing.Coordinator.qu_reason)
+      t.Fuzzing.Coordinator.quarantined;
     let s = t.Fuzzing.Coordinator.shard_stats in
     if s.Engine.Shard.st_died > 0 || s.Engine.Shard.st_requeued > 0 then
       Fmt.epr "shard recovery: %d worker death(s), %d lease(s) requeued@."
         s.Engine.Shard.st_died s.Engine.Shard.st_requeued;
+    if
+      s.Engine.Shard.st_oom > 0
+      || s.Engine.Shard.st_deadline > 0
+      || s.Engine.Shard.st_quarantined > 0
+      || s.Engine.Shard.st_crash_restarts > 0
+    then
+      Fmt.epr
+        "shard governor: %d oom kill(s), %d deadline kill(s), %d \
+         quarantined, %d coordinator restart(s)@."
+        s.Engine.Shard.st_oom s.Engine.Shard.st_deadline
+        s.Engine.Shard.st_quarantined s.Engine.Shard.st_crash_restarts;
     if opt_matrix = [] then
       (* same cells, same table: stdout is byte-identical to the
          single-process campaign *)
@@ -910,13 +960,44 @@ let campaign_cmd =
              become campaign units of their own.  Implies the sharded \
              coordinator path.")
   in
+  let hang_timeout =
+    Arg.(
+      value
+      & opt float Engine.Shard.default_limits.hang_timeout_s
+      & info [ "hang-timeout" ] ~docv:"SEC"
+          ~doc:
+            "Kill a sharded worker silent for $(docv) seconds and requeue \
+             its lease (sharded path only).")
+  in
+  let lease_deadline =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "lease-deadline" ] ~docv:"SEC"
+          ~doc:
+            "Per-lease wall-clock budget: a sharded worker holding one \
+             lease longer than $(docv) seconds is killed and the lease \
+             retried; leases that keep blowing the deadline are \
+             quarantined, not fatal (sharded path only).")
+  in
+  let alloc_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "alloc-budget" ] ~docv:"MWORDS"
+          ~doc:
+            "Per-lease allocation budget in millions of words: a worker \
+             allocating past it OOM-kills itself (exit 137) and the lease \
+             is retried, then quarantined (sharded path only).")
+  in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run the six-fuzzer RQ1 comparison")
     Term.(
       const campaign $ iterations $ jobs $ sample_every $ schedule
       $ faults_term
       $ checkpoint $ resume $ bisect $ metrics_flag $ telemetry_flag
-      $ status_flag $ shards $ opt_matrix)
+      $ status_flag $ shards $ opt_matrix $ hang_timeout $ lease_deadline
+      $ alloc_budget)
 
 (* ------------------------------------------------------------------ *)
 (* worker (internal)                                                   *)

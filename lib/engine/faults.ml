@@ -1,6 +1,6 @@
 (* Deterministic fault injection.
 
-   Each harness owns four independent draw streams, one per fault site.
+   Each harness owns eight independent draw streams, one per fault site.
    A draw at site S is a pure function of (harness seed, site, per-site
    draw index), NOT of a shared mutable RNG state — so the sequence of
    decisions a given site sees is independent of how draws at other
@@ -9,43 +9,98 @@
    not shift because a sibling worker consulted its own crash stream
    first.
 
+   The first four sites live inside one process (pipeline, compiler,
+   scheduler, checkpoint); the last four cross the process boundary and
+   are consulted by the shard layer (Engine.Shard): garbled frames,
+   mid-frame stalls, worker OOM kills, and coordinator crash-restarts.
+
    A harness is single-domain by construction (the per-site counters are
    plain mutable ints).  Parallel consumers must [derive] a child
    harness per worker / per campaign cell; derivation mixes the tag into
    the seed without consuming parent state, so children are stable
    regardless of creation order. *)
 
-type site = Llm_throttle | Compile_hang | Worker_crash | Io_failure
+type site =
+  | Llm_throttle
+  | Compile_hang
+  | Worker_crash
+  | Io_failure
+  | Frame_garble
+  | Frame_stall
+  | Worker_oom
+  | Coordinator_crash
 
-let all_sites = [ Llm_throttle; Compile_hang; Worker_crash; Io_failure ]
+let all_sites =
+  [
+    Llm_throttle; Compile_hang; Worker_crash; Io_failure; Frame_garble;
+    Frame_stall; Worker_oom; Coordinator_crash;
+  ]
 
 let site_to_string = function
   | Llm_throttle -> "llm_throttle"
   | Compile_hang -> "compile_hang"
   | Worker_crash -> "worker_crash"
   | Io_failure -> "io_failure"
+  | Frame_garble -> "frame_garble"
+  | Frame_stall -> "frame_stall"
+  | Worker_oom -> "worker_oom"
+  | Coordinator_crash -> "coordinator_crash"
 
 let site_index = function
   | Llm_throttle -> 0
   | Compile_hang -> 1
   | Worker_crash -> 2
   | Io_failure -> 3
+  | Frame_garble -> 4
+  | Frame_stall -> 5
+  | Worker_oom -> 6
+  | Coordinator_crash -> 7
+
+let site_count = 8
 
 type config = {
   llm_throttle : float;
   compile_hang : float;
   worker_crash : float;
   io_failure : float;
+  frame_garble : float;
+  frame_stall : float;
+  worker_oom : float;
+  coordinator_crash : float;
 }
 
 let no_faults =
-  { llm_throttle = 0.; compile_hang = 0.; worker_crash = 0.; io_failure = 0. }
+  {
+    llm_throttle = 0.;
+    compile_hang = 0.;
+    worker_crash = 0.;
+    io_failure = 0.;
+    frame_garble = 0.;
+    frame_stall = 0.;
+    worker_oom = 0.;
+    coordinator_crash = 0.;
+  }
 
 let rate (c : config) = function
   | Llm_throttle -> c.llm_throttle
   | Compile_hang -> c.compile_hang
   | Worker_crash -> c.worker_crash
   | Io_failure -> c.io_failure
+  | Frame_garble -> c.frame_garble
+  | Frame_stall -> c.frame_stall
+  | Worker_oom -> c.worker_oom
+  | Coordinator_crash -> c.coordinator_crash
+
+let with_rate (c : config) site r =
+  match site with
+  | Llm_throttle -> { c with llm_throttle = r }
+  | Compile_hang -> { c with compile_hang = r }
+  | Worker_crash -> { c with worker_crash = r }
+  | Io_failure -> { c with io_failure = r }
+  | Frame_garble -> { c with frame_garble = r }
+  | Frame_stall -> { c with frame_stall = r }
+  | Worker_oom -> { c with worker_oom = r }
+  | Coordinator_crash -> { c with coordinator_crash = r }
 
 type t = {
   config : config;
@@ -54,9 +109,10 @@ type t = {
 }
 
 let create ?(seed = 0) config =
-  { config; seed = Int64.of_int seed; counts = Array.make 4 0 }
+  { config; seed = Int64.of_int seed; counts = Array.make site_count 0 }
 
 let config_of (t : t) = t.config
+let seed_of (t : t) = Int64.to_int t.seed
 
 (* splitmix64 finalizer: full avalanche over the 64-bit input. *)
 let mix64 (z : int64) : int64 =
@@ -71,7 +127,7 @@ let derive (t : t) ~tag =
   {
     config = t.config;
     seed = mix64 (Int64.add t.seed (Int64.mul golden (Int64.of_int (tag + 1))));
-    counts = Array.make 4 0;
+    counts = Array.make site_count 0;
   }
 
 (* Uniform float in [0,1) from the (seed, site, k) triple: two rounds of
@@ -99,7 +155,9 @@ let fire ?ctx (t : t) site =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Spec syntax: "llm=0.2,hang=0.01,crash=0.05,io=0.02"                  *)
+(* Spec syntax:                                                        *)
+(*   "llm=0.2,hang=0.01,crash=0.05,io=0.02,frame=0.1,stall=0.05,       *)
+(*    oom=0.01,coord=0.02"                                             *)
 (* ------------------------------------------------------------------ *)
 
 let key_of_site = function
@@ -107,12 +165,20 @@ let key_of_site = function
   | Compile_hang -> "hang"
   | Worker_crash -> "crash"
   | Io_failure -> "io"
+  | Frame_garble -> "frame"
+  | Frame_stall -> "stall"
+  | Worker_oom -> "oom"
+  | Coordinator_crash -> "coord"
 
 let site_of_key = function
   | "llm" | "llm_throttle" -> Some Llm_throttle
   | "hang" | "compile_hang" -> Some Compile_hang
   | "crash" | "worker_crash" -> Some Worker_crash
   | "io" | "io_failure" -> Some Io_failure
+  | "frame" | "frame_garble" -> Some Frame_garble
+  | "stall" | "frame_stall" -> Some Frame_stall
+  | "oom" | "worker_oom" -> Some Worker_oom
+  | "coord" | "coordinator_crash" -> Some Coordinator_crash
   | _ -> None
 
 let parse_spec (s : string) : (config, string) result =
@@ -135,13 +201,7 @@ let parse_spec (s : string) : (config, string) result =
             | _, None -> Error (Fmt.str "fault spec: bad rate %S" v)
             | Some _, Some r when r < 0. || r > 1. ->
               Error (Fmt.str "fault spec: rate %g outside [0,1]" r)
-            | Some site, Some r ->
-              Ok
-                (match site with
-                | Llm_throttle -> { cfg with llm_throttle = r }
-                | Compile_hang -> { cfg with compile_hang = r }
-                | Worker_crash -> { cfg with worker_crash = r }
-                | Io_failure -> { cfg with io_failure = r }))))
+            | Some site, Some r -> Ok (with_rate cfg site r))))
       (Ok no_faults) parts
 
 let spec_to_string (c : config) : string =
@@ -175,3 +235,10 @@ let seed_from_env () : int =
 
 let from_env () : t option =
   Option.map (fun c -> create ~seed:(seed_from_env ()) c) (config_from_env ())
+
+(* The CLI arms worker subprocesses (the Spawn backend execs a fresh
+   binary) by exporting the harness back into the same variables the
+   workers read with [from_env]. *)
+let export_to_env (t : t) =
+  Unix.putenv "METAMUT_FAULTS" (spec_to_string t.config);
+  Unix.putenv "METAMUT_FAULT_SEED" (string_of_int (seed_of t))

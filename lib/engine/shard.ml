@@ -12,7 +12,14 @@
    Work distribution is pull-based: idle workers send Request and the
    coordinator deals the next lease off one queue.  That is the whole
    work-stealing story — a slow worker simply claims fewer leases, so
-   the tail of a campaign never serializes behind a straggler. *)
+   the tail of a campaign never serializes behind a straggler.
+
+   Chaos crosses the process boundary here: the shard-layer fault sites
+   (frame_garble / frame_stall / worker_oom / coordinator_crash) are
+   drawn from a child harness derived per (lease, attempt), so which
+   attempt of which lease a fault hits is a pure function of the root
+   seed — the inline degenerate mode draws the identical stream, which
+   keeps verdicts shard-count-invariant even under injected chaos. *)
 
 let protocol_version = 1
 let magic = Printf.sprintf "MSF%c" (Char.chr protocol_version)
@@ -234,16 +241,71 @@ let decode (s : string) =
     | exception Failure msg -> Error ("decode: " ^ msg)
 
 (* ------------------------------------------------------------------ *)
+(* Verdicts and limits                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type verdict =
+  | Done of string
+  | Failed of string
+  | Quarantined of { q_reason : string; q_attempts : int }
+
+let verdict_to_result = function
+  | Done body -> Ok body
+  | Failed msg -> Error msg
+  | Quarantined { q_reason; q_attempts } ->
+    Error
+      (Printf.sprintf "quarantined after %d attempts: %s" q_attempts q_reason)
+
+type limits = {
+  hang_timeout_s : float;
+  lease_deadline_s : float;
+  alloc_budget_words : float;
+  max_attempts : int;
+  breaker_deaths : int;
+}
+
+let default_limits =
+  {
+    hang_timeout_s = 120.;
+    lease_deadline_s = infinity;
+    alloc_budget_words = infinity;
+    max_attempts = 3;
+    breaker_deaths = 3;
+  }
+
+(* Per-(lease, attempt) chaos stream, derived identically by workers and
+   by the inline path: which attempt of which lease a shard-layer fault
+   hits is a pure function of the root seed, never of scheduling.  The
+   tag space (0x5EED +) sits far above the campaign-cell tags derived
+   from the same root. *)
+let lease_faults root ~seq ~attempt =
+  Faults.derive root ~tag:(0x5EED + (seq * 101) + attempt)
+
+let allocated_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
+(* ------------------------------------------------------------------ *)
 (* Worker side                                                         *)
 (* ------------------------------------------------------------------ *)
 
 let in_worker_flag = ref false
 let in_worker () = !in_worker_flag
 
-let worker_loop (c : conn) ~f =
+let worker_loop ?faults ?(alloc_budget_words = infinity) (c : conn) ~f =
   in_worker_flag := true;
   (* K workers share the coordinator's stderr: none of them may draw *)
   Status.set_tty_owner false;
+  let lease_base = ref infinity in
+  if alloc_budget_words < infinity then
+    (* End-of-major-cycle watermark: a lease that allocates past its
+       budget exits with the kernel's OOM-kill status.  The alarm stays
+       armed for the worker's lifetime; [lease_base] is +inf between
+       leases so it can only trip while work is in flight. *)
+    ignore
+      (Gc.create_alarm (fun () ->
+           if allocated_words () -. !lease_base > alloc_budget_words then
+             Unix._exit 137));
   let continue = ref true in
   let safe_send fr = try send_internal c fr with _ -> continue := false in
   safe_send (Plain (Hello { shard = Unix.getpid () }));
@@ -252,13 +314,40 @@ let worker_loop (c : conn) ~f =
     if !continue then begin
       match recv c with
       | Ok (Lease { seq; attempt; body }) -> (
+        let fh = Option.map (fun r -> lease_faults r ~seq ~attempt) faults in
+        let inj site =
+          match fh with Some h -> Faults.fire h site | None -> false
+        in
+        (* simulated OOM kill before any work: the coordinator reaps
+           exit 137 and classifies the death as worker-oom *)
+        if inj Faults.Worker_oom then Unix._exit 137;
+        lease_base := allocated_words ();
         let heartbeat ~execs ~covered ~crashes =
           try send c (Heartbeat { execs; covered; crashes }) with _ -> ()
         in
         match f ~heartbeat ~seq ~attempt body with
-        | r -> safe_send (Plain (Result { seq; body = r }))
-        | exception e -> safe_send (Failed { seq; msg = Printexc.to_string e })
-        )
+        | r ->
+          lease_base := infinity;
+          if inj Faults.Frame_garble then begin
+            (* junk where the Result frame belongs: the magic check on
+               the coordinator rejects it and kills us *)
+            (try write_all c.c_fd (Bytes.of_string "GARBLEDFRAME")
+             with _ -> ());
+            Unix._exit 1
+          end
+          else if inj Faults.Frame_stall then begin
+            (* a partial header, then silence: a mid-frame stall only
+               the coordinator's hang scan can clear *)
+            (try write_all c.c_fd (Bytes.of_string (String.sub magic 0 3))
+             with _ -> ());
+            while true do
+              Unix.sleepf 3600.
+            done
+          end
+          else safe_send (Plain (Result { seq; body = r }))
+        | exception e ->
+          lease_base := infinity;
+          safe_send (Failed { seq; msg = Printexc.to_string e }))
       | Ok Shutdown -> continue := false
       | Ok _ | Error _ -> continue := false (* dead or confused coordinator *)
     end
@@ -275,7 +364,11 @@ type stats = {
   mutable st_died : int;
   mutable st_garbled : int;
   mutable st_hung : int;
+  mutable st_oom : int;
+  mutable st_deadline : int;
   mutable st_requeued : int;
+  mutable st_quarantined : int;
+  mutable st_crash_restarts : int;
   mutable st_inline : int;
 }
 
@@ -284,23 +377,29 @@ type worker = {
   w_pid : int;
   w_conn : conn;
   mutable w_lease : (int * int) option; (* seq, attempt *)
+  mutable w_granted : float; (* when the current lease was dealt *)
   mutable w_last_active : float;
   mutable w_alive : bool;
 }
 
-let run_pool ~shards ?(backend = Fork) ?(hang_timeout_s = 120.)
-    ?(max_attempts = 3) ?ctx ?on_heartbeat ?on_result ~f
-    (leases : string array) : (string, string) result array * stats =
+let run_pool ~shards ?(backend = Fork) ?(limits = default_limits) ?faults
+    ?ctx ?on_heartbeat ?on_result ?journal ~f (leases : string array) :
+    verdict array * stats =
   let n = Array.length leases in
-  let results : (string, string) result option array = Array.make n None in
+  let results : verdict option array = Array.make n None in
   let attempts = Array.make n 0 in
+  let deaths = Array.make n 0 in
   let stats =
     {
       st_spawned = 0;
       st_died = 0;
       st_garbled = 0;
       st_hung = 0;
+      st_oom = 0;
+      st_deadline = 0;
       st_requeued = 0;
+      st_quarantined = 0;
+      st_crash_restarts = 0;
       st_inline = 0;
     }
   in
@@ -309,42 +408,102 @@ let run_pool ~shards ?(backend = Fork) ?(hang_timeout_s = 120.)
   for i = 0 to n - 1 do
     Queue.add i queue
   done;
-  let commit seq r =
+  let commit seq (v : verdict) =
     if results.(seq) = None then begin
-      results.(seq) <- Some r;
-      match r with
-      | Ok _ -> Option.iter (fun g -> g ~seq) on_result
-      | Error _ -> ()
+      results.(seq) <- Some v;
+      match v with
+      | Done body ->
+        Option.iter (fun j -> j ~seq body) journal;
+        Option.iter (fun g -> g ~seq) on_result
+      | Quarantined _ ->
+        stats.st_quarantined <- stats.st_quarantined + 1;
+        bump "shard.quarantined"
+      | Failed _ -> ()
+    end
+  in
+  (* One infrastructure-caused attempt loss (death, garble, stall, OOM,
+     deadline).  The campaign never fails on infrastructure: a lease
+     that exhausts its attempts — or trips the circuit breaker by
+     deterministically killing workers — is quarantined, recorded, and
+     the rest of the run continues. *)
+  let infra_failure seq ~category =
+    if results.(seq) = None then begin
+      deaths.(seq) <- deaths.(seq) + 1;
+      if deaths.(seq) >= limits.breaker_deaths then begin
+        bump "shard.breaker_tripped";
+        commit seq
+          (Quarantined
+             {
+               q_reason =
+                 Printf.sprintf "circuit breaker: %d worker deaths (%s)"
+                   deaths.(seq) category;
+               q_attempts = attempts.(seq);
+             })
+      end
+      else if attempts.(seq) >= limits.max_attempts then
+        commit seq
+          (Quarantined { q_reason = category; q_attempts = attempts.(seq) })
+      else begin
+        stats.st_requeued <- stats.st_requeued + 1;
+        bump "shard.requeued";
+        Queue.add seq queue
+      end
     end
   in
   let finished () = Array.for_all Option.is_some results in
-  (* Inline execution on the calling process: the sequential degenerate
-     mode, and the last-resort fallback when no worker can be spawned.
-     Retries mirror the requeue semantics so the final Ok/Error verdict
-     per lease is identical to the pooled path. *)
+  (* One inline attempt on the calling process: the sequential
+     degenerate mode, and the last-resort fallback when no worker can
+     be spawned.  Draws the same per-(lease, attempt) fault stream as a
+     worker would and mirrors the death accounting, so the final
+     verdict per lease is identical to the pooled path. *)
   let run_inline seq =
-    let rec go () =
-      attempts.(seq) <- attempts.(seq) + 1;
+    attempts.(seq) <- attempts.(seq) + 1;
+    let attempt = attempts.(seq) - 1 in
+    let fh = Option.map (fun r -> lease_faults r ~seq ~attempt) faults in
+    let inj site =
+      match fh with Some h -> Faults.fire ?ctx h site | None -> false
+    in
+    let die ~category =
+      stats.st_died <- stats.st_died + 1;
+      bump "shard.worker_died";
+      infra_failure seq ~category
+    in
+    if inj Faults.Worker_oom then begin
+      stats.st_oom <- stats.st_oom + 1;
+      bump "shard.oom_killed";
+      die ~category:"worker-oom"
+    end
+    else begin
       let heartbeat ~execs ~covered ~crashes =
         Option.iter
           (fun g -> g ~shard:0 ~execs ~covered ~crashes)
           on_heartbeat
       in
-      match f ~heartbeat ~seq ~attempt:(attempts.(seq) - 1) leases.(seq) with
-      | r -> commit seq (Ok r)
+      match f ~heartbeat ~seq ~attempt leases.(seq) with
+      | r ->
+        if inj Faults.Frame_garble then begin
+          stats.st_garbled <- stats.st_garbled + 1;
+          bump "shard.garbled";
+          die ~category:"garbled-frame"
+        end
+        else if inj Faults.Frame_stall then begin
+          stats.st_hung <- stats.st_hung + 1;
+          bump "shard.hung";
+          die ~category:"stalled"
+        end
+        else commit seq (Done r)
       | exception e ->
-        if attempts.(seq) >= max_attempts then
-          commit seq (Error (Printexc.to_string e))
-        else go ()
-    in
-    go ()
+        if attempts.(seq) >= limits.max_attempts then
+          commit seq (Failed (Printexc.to_string e))
+        else Queue.add seq queue
+    end
   in
   if shards <= 1 || n = 0 then begin
     while not (Queue.is_empty queue) do
       run_inline (Queue.pop queue)
     done;
     ( Array.map
-        (function Some r -> r | None -> Error "lease never ran") results,
+        (function Some r -> r | None -> Failed "lease never ran") results,
       stats )
   end
   else begin
@@ -371,7 +530,10 @@ let run_pool ~shards ?(backend = Fork) ?(hang_timeout_s = 120.)
             List.iter
               (fun fd -> try Unix.close fd with _ -> ())
               (a :: parent_fds ());
-            (try worker_loop (of_fd b) ~f with _ -> ());
+            (try
+               worker_loop ?faults
+                 ~alloc_budget_words:limits.alloc_budget_words (of_fd b) ~f
+             with _ -> ());
             Unix._exit 0
           | pid -> pid)
         | Spawn start -> start b
@@ -384,6 +546,7 @@ let run_pool ~shards ?(backend = Fork) ?(hang_timeout_s = 120.)
           w_pid = pid;
           w_conn = of_fd a;
           w_lease = None;
+          w_granted = Unix.gettimeofday ();
           w_last_active = Unix.gettimeofday ();
           w_alive = true;
         }
@@ -393,57 +556,67 @@ let run_pool ~shards ?(backend = Fork) ?(hang_timeout_s = 120.)
     in
     let reap w =
       (try Unix.close w.w_conn.c_fd with _ -> ());
-      try ignore (Unix.waitpid [] w.w_pid) with _ -> ()
+      match Unix.waitpid [] w.w_pid with
+      | _, st -> Some st
+      | exception _ -> None
     in
     (* orderly retirement after Shutdown: not a death, nothing requeued *)
     let retire w =
       w.w_alive <- false;
-      reap w
+      ignore (reap w)
     in
-    let kill_worker w ~reason =
+    let kill_worker ?(category = "worker-death") w =
       if w.w_alive then begin
         w.w_alive <- false;
         (try Unix.kill w.w_pid Sys.sigkill with _ -> ());
-        reap w;
+        let status = reap w in
+        (* a worker that was already dead with the OOM status was killed
+           by its resource governor, not by us *)
+        let category =
+          match (category, status) with
+          | "worker-death", Some (Unix.WEXITED 137) ->
+            stats.st_oom <- stats.st_oom + 1;
+            bump "shard.oom_killed";
+            "worker-oom"
+          | _ -> category
+        in
         stats.st_died <- stats.st_died + 1;
         bump "shard.worker_died";
         match w.w_lease with
         | None -> ()
         | Some (seq, _) ->
           w.w_lease <- None;
-          if results.(seq) = None then begin
-            if attempts.(seq) >= max_attempts then
-              commit seq
-                (Error
-                   (Printf.sprintf "lease failed after %d attempts (%s)"
-                      attempts.(seq) reason))
-            else begin
-              stats.st_requeued <- stats.st_requeued + 1;
-              bump "shard.requeued";
-              Queue.add seq queue
-            end
-          end
+          infra_failure seq ~category
       end
     in
     let deal w =
       if Queue.is_empty queue then begin
-        (match try Some (send w.w_conn Shutdown) with _ -> None with
+        match try Some (send w.w_conn Shutdown) with _ -> None with
         | Some () -> retire w
-        | None -> kill_worker w ~reason:"write failed at shutdown")
+        | None -> kill_worker w
       end
       else begin
         let seq = Queue.pop queue in
         attempts.(seq) <- attempts.(seq) + 1;
         w.w_lease <- Some (seq, attempts.(seq) - 1);
+        w.w_granted <- Unix.gettimeofday ();
         w.w_last_active <- Unix.gettimeofday ();
         try
           send w.w_conn
             (Lease { seq; attempt = attempts.(seq) - 1; body = leases.(seq) })
-        with _ -> kill_worker w ~reason:"write failed on lease grant"
+        with _ -> kill_worker w
       end
     in
+    (* coordinator_crash draws on its own derived stream, one draw per
+       Result frame received; the restart is processed between select
+       rounds, never mid-iteration *)
+    let coord_faults =
+      Option.map (fun r -> Faults.derive r ~tag:0xC0DE) faults
+    in
+    let restart_requested = ref false in
+    let recv_timeout = Float.min 10. limits.hang_timeout_s in
     let handle w =
-      match recv_internal ~timeout_s:10. w.w_conn with
+      match recv_internal ~timeout_s:recv_timeout w.w_conn with
       | Ok (Plain (Hello _)) -> w.w_last_active <- Unix.gettimeofday ()
       | Ok (Plain Request) ->
         w.w_last_active <- Unix.gettimeofday ();
@@ -451,12 +624,17 @@ let run_pool ~shards ?(backend = Fork) ?(hang_timeout_s = 120.)
       | Ok (Plain (Result { seq; body })) ->
         w.w_last_active <- Unix.gettimeofday ();
         w.w_lease <- None;
-        commit seq (Ok body)
+        commit seq (Done body);
+        (match coord_faults with
+        | Some h when Faults.fire ?ctx h Faults.Coordinator_crash ->
+          restart_requested := true
+        | _ -> ())
       | Ok (Failed { seq; msg }) ->
         w.w_last_active <- Unix.gettimeofday ();
         w.w_lease <- None;
         if results.(seq) = None then begin
-          if attempts.(seq) >= max_attempts then commit seq (Error msg)
+          if attempts.(seq) >= limits.max_attempts then
+            commit seq (Failed msg)
           else Queue.add seq queue (* a healthy worker retries elsewhere *)
         end
       | Ok (Plain (Heartbeat { execs; covered; crashes })) ->
@@ -467,15 +645,15 @@ let run_pool ~shards ?(backend = Fork) ?(hang_timeout_s = 120.)
       | Ok (Plain (Lease _)) | Ok (Plain Shutdown) ->
         stats.st_garbled <- stats.st_garbled + 1;
         bump "shard.garbled";
-        kill_worker w ~reason:"protocol violation (coordinator-only frame)"
-      | Error Closed -> kill_worker w ~reason:"worker closed its socket"
-      | Error (Garbled msg) ->
+        kill_worker w ~category:"garbled-frame"
+      | Error Closed -> kill_worker w
+      | Error (Garbled _) ->
         stats.st_garbled <- stats.st_garbled + 1;
         bump "shard.garbled";
-        kill_worker w ~reason:("garbled frame: " ^ msg)
+        kill_worker w ~category:"garbled-frame"
       | Error Timeout -> () (* partial frame in flight; hang scan decides *)
     in
-    let spawn_budget = ref (shards * max_attempts) in
+    let spawn_budget = ref (shards * limits.max_attempts) in
     let maybe_spawn () =
       (* keep one worker per queued lease up to [shards], while the
          respawn budget lasts (bounded: each death consumes attempts) *)
@@ -489,15 +667,41 @@ let run_pool ~shards ?(backend = Fork) ?(hang_timeout_s = 120.)
         | exception _ -> spawn_budget := 0
       done
     in
+    (* Simulated coordinator crash-restart: the "new" coordinator keeps
+       every committed (journaled) result, loses its workers, and
+       re-deals in-flight leases.  The attempt charge on those leases is
+       refunded so each retry re-draws the same (lease, attempt) fault
+       stream an uninterrupted coordinator would have. *)
+    let crash_restart () =
+      stats.st_crash_restarts <- stats.st_crash_restarts + 1;
+      bump "shard.crash_restart";
+      List.iter
+        (fun w ->
+          if w.w_alive then begin
+            w.w_alive <- false;
+            (match w.w_lease with
+            | Some (seq, _) when results.(seq) = None ->
+              attempts.(seq) <- attempts.(seq) - 1;
+              Queue.add seq queue
+            | _ -> ());
+            w.w_lease <- None;
+            (try Unix.kill w.w_pid Sys.sigkill with _ -> ());
+            ignore (reap w)
+          end)
+        !workers;
+      spawn_budget := shards * limits.max_attempts
+    in
     Fun.protect
       ~finally:(fun () ->
-        List.iter (fun w -> kill_worker w ~reason:"coordinator exit") (alive ());
+        List.iter (fun w -> kill_worker w) (alive ());
         match previous_sigpipe with
         | Some b -> (try Sys.set_signal Sys.sigpipe b with _ -> ())
         | None -> ())
       (fun () ->
         for i = 0 to min shards n - 1 do
-          ignore (spawn i : worker)
+          match spawn i with
+          | (_ : worker) -> ()
+          | exception _ -> spawn_budget := 0
         done;
         while not (finished ()) || alive () <> [] do
           let live = alive () in
@@ -516,7 +720,7 @@ let run_pool ~shards ?(backend = Fork) ?(hang_timeout_s = 120.)
                 Array.iteri
                   (fun seq r ->
                     if r = None then
-                      commit seq (Error "lease lost: no worker survived"))
+                      commit seq (Failed "lease lost: no worker survived"))
                   results
               end
             end
@@ -532,22 +736,31 @@ let run_pool ~shards ?(backend = Fork) ?(hang_timeout_s = 120.)
               (fun w ->
                 if w.w_alive && List.mem w.w_conn.c_fd readable then handle w)
               live;
+            if !restart_requested then begin
+              restart_requested := false;
+              crash_restart ()
+            end;
             let now = Unix.gettimeofday () in
             List.iter
               (fun w ->
-                if
-                  w.w_alive && w.w_lease <> None
-                  && now -. w.w_last_active > hang_timeout_s
-                then begin
-                  stats.st_hung <- stats.st_hung + 1;
-                  bump "shard.hung";
-                  kill_worker w ~reason:"hang timeout"
+                if w.w_alive && w.w_lease <> None then begin
+                  if now -. w.w_last_active > limits.hang_timeout_s then begin
+                    stats.st_hung <- stats.st_hung + 1;
+                    bump "shard.hung";
+                    kill_worker w ~category:"stalled"
+                  end
+                  else if now -. w.w_granted > limits.lease_deadline_s
+                  then begin
+                    stats.st_deadline <- stats.st_deadline + 1;
+                    bump "shard.deadline_killed";
+                    kill_worker w ~category:"deadline"
+                  end
                 end)
               (alive ());
             if not (Queue.is_empty queue) then maybe_spawn ()
           end
         done);
     ( Array.map
-        (function Some r -> r | None -> Error "lease never ran") results,
+        (function Some r -> r | None -> Failed "lease never ran") results,
       stats )
   end

@@ -6,11 +6,20 @@
     {i pull}: each sends {!Request} and is granted the next {!Lease}
     (work-stealing — a straggler never serializes the tail, it just
     claims fewer leases).  A worker that dies, hangs past the timeout,
-    or garbles a frame is killed and its uncommitted lease is requeued
-    with an incremented attempt counter; if no worker can be respawned
-    the remaining leases run on the calling process, so every lease
-    completes (or fails on its own merits) even if every worker dies —
-    the process-level mirror of {!Scheduler.supervised_map}.
+    garbles a frame, blows its allocation budget, or outlives its lease
+    deadline is killed and its uncommitted lease is requeued with an
+    incremented attempt counter; a lease that exhausts its attempts (or
+    trips the circuit breaker by deterministically killing workers) is
+    {!Quarantined} — recorded, skipped, campaign continues.  If no
+    worker can be respawned the remaining leases run on the calling
+    process, so every lease reaches a verdict even if every worker dies
+    — the process-level mirror of {!Scheduler.supervised_map}.
+
+    Chaos crosses the process boundary here: with a {!Faults} harness,
+    the shard-layer sites ([frame_garble], [frame_stall], [worker_oom],
+    [coordinator_crash]) are drawn from a child stream derived per
+    (lease, attempt), identically on workers and on the inline path —
+    so verdicts stay shard-count-invariant even under injected chaos.
 
     Framing is versioned: a peer speaking another protocol revision (or
     writing garbage) is detected by the magic check on the next frame
@@ -72,6 +81,43 @@ val decode : string -> ('a, string) result
 (** [decode] catches truncated/corrupt input as [Error] instead of
     raising.  As with any [Marshal], the type is the caller's claim. *)
 
+(** {2 Verdicts and limits} *)
+
+type verdict =
+  | Done of string  (** the result body *)
+  | Failed of string
+      (** the work function failed on its own merits after the full
+          attempt budget: a campaign-level failure *)
+  | Quarantined of { q_reason : string; q_attempts : int }
+      (** infrastructure failed the lease [q_attempts] times (worker
+          death/OOM, garbled frame, stall, deadline) or the circuit
+          breaker tripped; the lease is set aside and the run continues.
+          [q_reason] is a stable category string, identical between the
+          pooled and inline paths for injected faults *)
+
+val verdict_to_result : verdict -> (string, string) result
+(** [Done] → [Ok]; [Failed] and [Quarantined] → [Error] with a
+    human-readable message. *)
+
+type limits = {
+  hang_timeout_s : float;
+      (** silence while holding a lease before the worker is killed
+          (default 120) *)
+  lease_deadline_s : float;
+      (** total wall-clock per lease attempt, enforced from grant time
+          on the coordinator (default [infinity] = off) *)
+  alloc_budget_words : float;
+      (** per-lease allocation watermark in the worker ([Gc] alarm);
+          a lease that allocates past it is OOM-killed with exit 137
+          (default [infinity] = off) *)
+  max_attempts : int;  (** deal budget per lease (default 3) *)
+  breaker_deaths : int;
+      (** worker deaths charged to one lease before the circuit breaker
+          quarantines it instead of respawning again (default 3) *)
+}
+
+val default_limits : limits
+
 (** {2 Worker side} *)
 
 val in_worker : unit -> bool
@@ -80,6 +126,8 @@ val in_worker : unit -> bool
     on this so they can never take down the coordinator. *)
 
 val worker_loop :
+  ?faults:Faults.t ->
+  ?alloc_budget_words:float ->
   conn ->
   f:
     (heartbeat:(execs:int -> covered:int -> crashes:int -> unit) ->
@@ -92,7 +140,12 @@ val worker_loop :
     {!Shutdown} (or a dead coordinator socket).  [f] receives the lease
     body and a [heartbeat] it may call during long work; its return
     value is sent back as the {!Result} body.  Marks {!in_worker} and
-    relinquishes {!Status} TTY ownership (workers never draw). *)
+    relinquishes {!Status} TTY ownership (workers never draw).
+
+    [faults] must be the {i root} harness the coordinator holds (the
+    worker derives the per-(lease, attempt) child itself); it arms the
+    worker-side chaos sites [worker_oom], [frame_garble], [frame_stall].
+    [alloc_budget_words] arms the per-lease allocation watermark. *)
 
 (** {2 Coordinator side} *)
 
@@ -103,25 +156,32 @@ type backend =
   | Spawn of (Unix.file_descr -> int)
       (** custom spawner: given the child's socket end, start a process
           whose {!worker_loop} serves it (e.g. exec ["metamut worker"]
-          with the socket as stdin) and return the pid. *)
+          with the socket as stdin) and return the pid.  The spawned
+          process arms its own faults/budget, typically from the
+          environment ({!Faults.export_to_env}/{!Faults.from_env}). *)
 
 type stats = {
   mutable st_spawned : int;       (** workers started, incl. respawns *)
   mutable st_died : int;          (** deaths: EOF, kill, garble, hang *)
   mutable st_garbled : int;       (** frames rejected by the magic/length check *)
   mutable st_hung : int;          (** workers killed by the hang timeout *)
+  mutable st_oom : int;           (** workers dead with the OOM status (137) *)
+  mutable st_deadline : int;      (** workers killed by the lease deadline *)
   mutable st_requeued : int;      (** leases re-dealt after a death *)
-  mutable st_inline : int;        (** leases run on the calling process *)
+  mutable st_quarantined : int;   (** leases set aside by the governor *)
+  mutable st_crash_restarts : int;(** simulated coordinator crash-restarts *)
+  mutable st_inline : int;        (** lease attempts run on the calling process *)
 }
 
 val run_pool :
   shards:int ->
   ?backend:backend ->
-  ?hang_timeout_s:float ->
-  ?max_attempts:int ->
+  ?limits:limits ->
+  ?faults:Faults.t ->
   ?ctx:Ctx.t ->
   ?on_heartbeat:(shard:int -> execs:int -> covered:int -> crashes:int -> unit) ->
   ?on_result:(seq:int -> unit) ->
+  ?journal:(seq:int -> string -> unit) ->
   f:
     (heartbeat:(execs:int -> covered:int -> crashes:int -> unit) ->
     seq:int ->
@@ -129,24 +189,38 @@ val run_pool :
     string ->
     string) ->
   string array ->
-  (string, string) result array * stats
+  verdict array * stats
 (** Deal the lease bodies to [shards] worker processes and collect the
-    result bodies in input order.  [shards <= 1] runs every lease on
-    the calling process in order — the degenerate mode sharded runs are
-    compared against for determinism.
+    verdicts in input order.  [shards <= 1] runs every lease on the
+    calling process — the degenerate mode sharded runs are compared
+    against for determinism, including under injected chaos.
 
-    Failure handling: a worker that EOFs, garbles a frame, or goes
-    silent for [hang_timeout_s] (default 120) while holding a lease is
-    killed ([SIGKILL] + reap) and the lease is requeued; a replacement
-    worker is spawned while work remains.  A lease that has been dealt
-    [max_attempts] times (default 3) without a result fails with
-    [Error].  If every worker is gone and none can be spawned, the
-    remaining queue runs inline on the coordinator.
+    Failure handling: a worker that EOFs, garbles a frame, goes silent
+    for [limits.hang_timeout_s] while holding a lease, exceeds
+    [limits.lease_deadline_s] since its grant, or dies with the OOM
+    status (exit 137, as the allocation governor does) is killed
+    ([SIGKILL] + reap) and the lease requeued; a replacement worker is
+    spawned while work remains.  A lease dealt [limits.max_attempts]
+    times without a result — or charged [limits.breaker_deaths] worker
+    deaths — is {!Quarantined}; only a work-function exception after
+    the full attempt budget yields {!Failed}.  If every worker is gone
+    and none can be spawned, the remaining queue runs inline.
+
+    [faults] arms the shard-layer chaos sites; [coordinator_crash]
+    triggers a simulated coordinator crash-restart (workers lost,
+    committed results kept, in-flight leases re-dealt without charging
+    their attempt).
+
+    [journal] fires with the result body as each lease commits — before
+    the join barrier — so a caller can persist results incrementally
+    and survive a real coordinator death.
 
     With [ctx], bumps [shard.worker_died], [shard.requeued],
-    [shard.garbled], [shard.hung], [shard.inline], [shard.respawned]
-    {i only when the event occurs} — a healthy pool is metrics-silent,
-    so merged registries stay shard-count-invariant.
+    [shard.garbled], [shard.hung], [shard.oom_killed],
+    [shard.deadline_killed], [shard.quarantined],
+    [shard.breaker_tripped], [shard.crash_restart], [shard.inline],
+    [shard.respawned] {i only when the event occurs} — a healthy pool
+    is metrics-silent, so merged registries stay shard-count-invariant.
 
     [on_heartbeat] observes worker progress (for an aggregated status
     line); [on_result] fires as each lease commits.  Both are called on

@@ -54,6 +54,11 @@ let line (t : t) : string =
        t.iteration t.execs rate t.covered t.crashes);
   let rec_ = recoveries t.ctx in
   if rec_ > 0 then Buffer.add_string buf (Fmt.str " | %d recovered" rec_);
+  (* units the governor set aside: visible the moment it happens, since
+     the report only lands at the end of the run *)
+  let quarantined = counter_value t.ctx "shard.quarantined" in
+  if quarantined > 0 then
+    Buffer.add_string buf (Fmt.str " | %d quarantined" quarantined);
   if t.plateau >= 3 then
     Buffer.add_string buf (Fmt.str " | plateau x%d" t.plateau);
   Buffer.contents buf

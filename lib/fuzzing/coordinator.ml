@@ -52,6 +52,16 @@ let unit_done_file dir (u : unit_id) =
   | None -> Campaign.cell_done_file dir (u.u_fuzzer, u.u_compiler)
   | Some _ -> Filename.concat dir ("done-" ^ unit_name u ^ ".ckpt")
 
+(* The journal holds the unit's full encoded [worker_result] (result +
+   metrics + trace), written by the coordinator as each Result commits
+   — before the join barrier.  A coordinator killed mid-campaign loses
+   at most the in-flight leases: on --resume, journaled units restore
+   with full telemetry fidelity, and the rest recompute
+   deterministically.  The done file (Fuzz_result only, sequential
+   Campaign compatible) stays the cross-mode fallback. *)
+let unit_journal_file dir (u : unit_id) =
+  Filename.concat dir ("journal-" ^ unit_name u ^ ".ckpt")
+
 let unit_fingerprint cfg ?faults (u : unit_id) =
   let base = Campaign.cell_fingerprint cfg ?faults (u.u_fuzzer, u.u_compiler) in
   match u.u_opt with None -> base | Some l -> Fmt.str "%s|O%d" base l
@@ -175,11 +185,29 @@ let server () =
 
 let worker_main () =
   Engine.Status.set_tty_owner false;
-  Engine.Shard.worker_loop (Engine.Shard.of_fd Unix.stdin) ~f:(server ())
+  (* a spawned worker is a fresh exec: it rebuilds the root fault
+     harness and the allocation budget from the environment the CLI
+     exported, so its per-(lease, attempt) chaos streams match the
+     coordinator's *)
+  let faults = Engine.Faults.from_env () in
+  let alloc_budget_words =
+    Option.bind
+      (Sys.getenv_opt "METAMUT_SHARD_ALLOC_BUDGET")
+      float_of_string_opt
+  in
+  Engine.Shard.worker_loop ?faults ?alloc_budget_words
+    (Engine.Shard.of_fd Unix.stdin) ~f:(server ())
 
 (* ------------------------------------------------------------------ *)
 (* The coordinator                                                     *)
 (* ------------------------------------------------------------------ *)
+
+type quarantined_unit = {
+  qu_unit : unit_id;
+  qu_reason : string;
+  qu_attempts : int;
+  qu_fingerprint : string;
+}
 
 type t = {
   config : Campaign.config;
@@ -187,30 +215,52 @@ type t = {
   opt_levels : int list;
   results : (unit_id * Fuzz_result.t) list;
   failures : (unit_id * string) list;
+  quarantined : quarantined_unit list;
   resumed_units : int;
   shard_stats : Engine.Shard.stats;
 }
 
 let run ?(cfg = Campaign.default_config) ?fuzzers ?compilers
     ?(opt_levels = []) ?engine ?faults ?checkpoint ?(resume = false)
-    ?(shards = 1) ?backend ?hang_timeout_s ?status ?progress () : t =
+    ?(shards = 1) ?backend ?limits ?status ?progress () : t =
   let us = units ?fuzzers ?compilers ~opt_levels () in
   Option.iter Engine.Checkpoint.mkdir_p checkpoint;
   let fingerprint u = unit_fingerprint cfg ?faults u in
+  (* journal first (full worker_result, telemetry intact), done file as
+     the sequential-compatible fallback *)
   let restored, todo =
     match checkpoint with
     | Some dir when resume ->
       List.partition_map
         (fun u ->
+          let fp = fingerprint u in
+          let from_done () =
+            match
+              Engine.Checkpoint.load ~path:(unit_done_file dir u)
+                ~fingerprint:fp
+            with
+            | Ok (r : Fuzz_result.t) -> Either.Left (u, r, None)
+            | Error _ -> Either.Right u
+          in
           match
-            Engine.Checkpoint.load ~path:(unit_done_file dir u)
-              ~fingerprint:(fingerprint u)
+            Engine.Checkpoint.load ~path:(unit_journal_file dir u)
+              ~fingerprint:fp
           with
-          | Ok (r : Fuzz_result.t) -> Left (u, r)
-          | Error _ -> Right u)
+          | Ok (body : string) -> (
+            match Engine.Shard.decode body with
+            | Ok (wr : worker_result) ->
+              Either.Left (u, wr.wr_result, Some wr)
+            | Error _ -> from_done ())
+          | Error _ -> from_done ())
         us
     | _ -> ([], us)
   in
+  (* resume accounting is telemetry, not report body: the counter is
+     intervention-only, so an uninterrupted run never writes it *)
+  Option.iter
+    (fun (main : Engine.Ctx.t) ->
+      List.iter (fun _ -> Engine.Ctx.incr main "mucfuzz.resumed") restored)
+    engine;
   let todo_arr = Array.of_list todo in
   let main_trace =
     Option.bind engine (fun (e : Engine.Ctx.t) -> e.Engine.Ctx.trace)
@@ -258,48 +308,73 @@ let run ?(cfg = Campaign.default_config) ?fuzzers ?compilers
       (fun f -> f ~completed:!completed ~total (unit_name todo_arr.(seq)))
       progress
   in
+  let journal =
+    Option.map
+      (fun dir ->
+        fun ~seq body ->
+         ignore
+           (Engine.Checkpoint.save ?faults ?ctx:engine
+              ~path:(unit_journal_file dir todo_arr.(seq))
+              ~fingerprint:(fingerprint todo_arr.(seq))
+              body))
+      checkpoint
+  in
   let raw, stats =
-    Engine.Shard.run_pool ~shards ?backend ?hang_timeout_s ?ctx:engine
-      ~on_heartbeat ~on_result ~f:(server ()) leases
+    Engine.Shard.run_pool ~shards ?backend ?limits ?faults ?ctx:engine
+      ~on_heartbeat ~on_result ?journal ~f:(server ()) leases
   in
   let decoded =
     Array.map
       (function
-        | Ok body -> (
+        | Engine.Shard.Done body -> (
           match Engine.Shard.decode body with
-          | Ok (wr : worker_result) -> Ok wr
-          | Error msg -> Error ("undecodable worker result: " ^ msg))
-        | Error msg -> Error msg)
+          | Ok (wr : worker_result) -> `Ok wr
+          | Error msg -> `Failed ("undecodable worker result: " ^ msg))
+        | Engine.Shard.Failed msg -> `Failed msg
+        | Engine.Shard.Quarantined { q_reason; q_attempts } ->
+          `Quarantined (q_reason, q_attempts))
       raw
+  in
+  let computed =
+    Array.to_list (Array.mapi (fun i r -> (todo_arr.(i), r)) decoded)
   in
   (* join barrier: merge worker registries and traces into the main
      context in canonical unit order — the Campaign.run join, one
-     process level up *)
+     process level up.  Journal-restored units carry their original
+     telemetry, so a resumed run's merge matches the uninterrupted one. *)
+  let wr_of =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (u, _, wro) ->
+        Option.iter (fun wr -> Hashtbl.replace tbl u wr) wro)
+      restored;
+    List.iter
+      (fun (u, r) ->
+        match r with `Ok wr -> Hashtbl.replace tbl u wr | _ -> ())
+      computed;
+    fun u -> Hashtbl.find_opt tbl u
+  in
   (match engine with
   | None -> ()
   | Some main ->
-    Array.iteri
-      (fun i r ->
-        match r with
-        | Ok wr ->
+    List.iter
+      (fun u ->
+        match wr_of u with
+        | Some wr ->
           Engine.Metrics.merge ~into:main.Engine.Ctx.metrics wr.wr_metrics;
           (match (main_trace, wr.wr_trace) with
           | Some into, Some src ->
-            let u = todo_arr.(i) in
             let tid = unit_tag u in
             Engine.Trace.label_tid into ~tid ~label:(unit_name u);
             Engine.Trace.merge ~into ~tid src
           | _ -> ())
-        | Error _ -> ())
-      decoded);
-  let computed =
-    Array.to_list (Array.mapi (fun i r -> (todo_arr.(i), r)) decoded)
-  in
+        | None -> ())
+      us);
   let done_units =
-    restored
+    List.map (fun (u, r, _) -> (u, r)) restored
     @ List.filter_map
         (fun (u, r) ->
-          match r with Ok wr -> Some (u, wr.wr_result) | Error _ -> None)
+          match r with `Ok wr -> Some (u, wr.wr_result) | _ -> None)
         computed
   in
   {
@@ -314,7 +389,21 @@ let run ?(cfg = Campaign.default_config) ?fuzzers ?compilers
     failures =
       List.filter_map
         (fun (u, r) ->
-          match r with Ok _ -> None | Error msg -> Some (u, msg))
+          match r with `Failed msg -> Some (u, msg) | _ -> None)
+        computed;
+    quarantined =
+      List.filter_map
+        (fun (u, r) ->
+          match r with
+          | `Quarantined (reason, att) ->
+            Some
+              {
+                qu_unit = u;
+                qu_reason = reason;
+                qu_attempts = att;
+                qu_fingerprint = fingerprint u;
+              }
+          | _ -> None)
         computed;
     resumed_units = List.length restored;
     shard_stats = stats;
@@ -355,9 +444,17 @@ let all_crashes (t : t) : string list =
     t.results;
   List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) set [])
 
+(* (unit, reason, attempts, fingerprint) rows for the report's
+   quarantine table, in canonical unit order. *)
+let quarantine_rows (t : t) =
+  List.map
+    (fun q -> (unit_name q.qu_unit, q.qu_reason, q.qu_attempts, q.qu_fingerprint))
+    t.quarantined
+
 let report ?engine ?attribution (t : t) : string =
   if t.opt_levels = [] then
-    Run_report.campaign ?engine ?attribution (to_campaign t)
+    Run_report.campaign ?engine ?attribution ~quarantined:(quarantine_rows t)
+      (to_campaign t)
   else begin
     let failures =
       match t.failures with
@@ -367,19 +464,19 @@ let report ?engine ?attribution (t : t) : string =
         ^ Report.Markdown.bullet
             (List.map (fun (u, msg) -> unit_name u ^ ": " ^ msg) fs)
     in
-    (* the shard count is deliberately absent: the report is part of the
-       shards:1 ≡ shards:K byte-identity contract *)
+    (* the shard count and the restored-unit count are deliberately
+       absent: the report is part of the shards:1 ≡ shards:K and
+       crash-resume byte-identity contracts; resume accounting lives in
+       the engine-gated recovery section *)
     let preamble =
       Fmt.str
-        "%d units across -O{%s} (%d restored from checkpoints, %d failed); \
-         iterations=%d seeds=%d.%s"
+        "%d units across -O{%s} (%d failed); iterations=%d seeds=%d.%s"
         (List.length t.results + List.length t.failures)
         (String.concat "," (List.map string_of_int t.opt_levels))
-        t.resumed_units
         (List.length t.failures)
         t.config.Campaign.iterations t.config.Campaign.seeds failures
     in
     Run_report.render ~title:"Campaign report (opt matrix)" ~preamble ?engine
-      ?attribution
+      ?attribution ~quarantined:(quarantine_rows t)
       (List.map (fun (u, r) -> (unit_name u, r)) t.results)
   end

@@ -40,12 +40,21 @@ val units :
 (** The canonical work list: fuzzers × compilers (× levels when
     [opt_levels <> []]) in deterministic order. *)
 
+type quarantined_unit = {
+  qu_unit : unit_id;
+  qu_reason : string;      (** stable category, e.g. ["worker-oom"] *)
+  qu_attempts : int;
+  qu_fingerprint : string; (** the unit's cell fingerprint, for re-runs *)
+}
+
 type t = {
   config : Campaign.config;
   shards : int;
   opt_levels : int list;
   results : (unit_id * Fuzz_result.t) list;  (** canonical unit order *)
   failures : (unit_id * string) list;
+  quarantined : quarantined_unit list;
+      (** units set aside by the resource governor / circuit breaker *)
   resumed_units : int;
   shard_stats : Engine.Shard.stats;
 }
@@ -61,7 +70,7 @@ val run :
   ?resume:bool ->
   ?shards:int ->
   ?backend:Engine.Shard.backend ->
-  ?hang_timeout_s:float ->
+  ?limits:Engine.Shard.limits ->
   ?status:Engine.Status.t ->
   ?progress:(completed:int -> total:int -> string -> unit) ->
   unit ->
@@ -80,12 +89,22 @@ val run :
     [shard.*] intervention counters, which stay silent in a healthy
     run, so merged registries are shard-count-invariant.
 
+    [faults] additionally arms the shard-layer chaos sites (see
+    {!Engine.Faults.site}) in the pool and its Fork workers; Spawn
+    workers arm themselves from the environment.  [limits] is the
+    per-lease resource governor ({!Engine.Shard.limits}): leases that
+    blow their deadline/budget are retried and eventually
+    {!quarantined_unit}-ed, never fatal to the run.
+
     [status] receives aggregated heartbeat totals (one line for the
     whole pool; workers relinquish TTY ownership).  [progress] ticks
     once per completed unit with its display name.
 
-    With [checkpoint]/[resume], completed units are restored from
-    done-files and interrupted μCFuzz units continue from their cell
+    With [checkpoint]/[resume], completed units are restored — journal
+    files first (full [worker_result], written as each Result arrives
+    at the coordinator, so a coordinator SIGKILL mid-campaign resumes
+    with telemetry intact), done-files as the sequential-compatible
+    fallback — and interrupted μCFuzz units continue from their cell
     snapshots; default-axis file names and fingerprints match
     {!Campaign.run}'s exactly. *)
 
@@ -99,7 +118,8 @@ val report : ?engine:Engine.Ctx.t -> ?attribution:Bisect.attribution list
   -> t -> string
 (** The aggregated [campaign-report.md]: {!Run_report.campaign} on the
     default axis, an opt-matrix variant (one summary row per unit)
-    otherwise. *)
+    otherwise.  Quarantined units render as their own table (unit,
+    reason, attempts, cell fingerprint) only when any exist. *)
 
 val aggregate_coverage : t -> Simcomp.Coverage.t
 (** Fresh map holding the union of every unit's coverage. *)

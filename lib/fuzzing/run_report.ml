@@ -132,6 +132,16 @@ let recovery_section (m : Engine.Metrics.t) =
       ("mucfuzz.resumed", "cells resumed from a checkpoint");
       ("mucfuzz.resume_failed", "stale/unreadable checkpoints ignored");
       ("checkpoint.save_failed", "checkpoint saves that failed");
+      ("shard.worker_died", "shard workers that died");
+      ("shard.requeued", "leases re-dealt after a worker death");
+      ("shard.garbled", "frames rejected by the protocol check");
+      ("shard.hung", "shard workers killed by the hang timeout");
+      ("shard.oom_killed", "shard workers killed by the allocation governor");
+      ("shard.deadline_killed", "shard workers killed by the lease deadline");
+      ("shard.quarantined", "leases quarantined by the governor");
+      ("shard.breaker_tripped", "leases quarantined by the circuit breaker");
+      ("shard.crash_restart", "coordinator crash-restarts survived");
+      ("shard.inline", "lease attempts run inline on the coordinator");
     ]
   in
   let snapshot = Engine.Metrics.snapshot m in
@@ -151,6 +161,23 @@ let recovery_section (m : Engine.Metrics.t) =
       "No supervision interventions: every compile, cell and checkpoint \
        succeeded first try."
   else Report.Markdown.table ~header:[ "counter"; "count"; "meaning" ] rows
+
+(* Units the resource governor set aside: infrastructure failed them
+   [max_attempts] times (or the circuit breaker tripped), the campaign
+   carried on without them.  The cell fingerprint is printed so the
+   quarantined work can be re-run in isolation with an identical stream.
+   Rendered only when non-empty: a healthy run's report is byte-identical
+   to one produced by a governor-free build. *)
+let quarantine_section (qs : (string * string * int * string) list) =
+  if qs = [] then ""
+  else
+    Report.Markdown.heading ~level:2 "Quarantined units"
+    ^ Report.Markdown.table
+        ~header:[ "unit"; "reason"; "attempts"; "cell fingerprint" ]
+        (List.map
+           (fun (name, reason, attempts, fp) ->
+             [ name; reason; string_of_int attempts; Fmt.str "`%s`" fp ])
+           qs)
 
 (* Which pass broke it: one row per bisected optimizer-stage finding.
    Everything here is deterministic in the campaign results, so the
@@ -212,7 +239,7 @@ let span_section (m : Engine.Metrics.t) =
              ])
            spans)
 
-let render ~title ?(preamble = "") ?engine ?attribution
+let render ~title ?(preamble = "") ?engine ?attribution ?(quarantined = [])
     (results : (string * Fuzz_result.t) list) : string =
   let d = Report.Markdown.doc () in
   Report.Markdown.add d (Report.Markdown.heading ~level:1 title);
@@ -220,6 +247,7 @@ let render ~title ?(preamble = "") ?engine ?attribution
   Report.Markdown.add d (summary_section results);
   Report.Markdown.add d (trend_section results);
   Report.Markdown.add d (crash_section results);
+  Report.Markdown.add d (quarantine_section quarantined);
   Option.iter
     (fun ats -> Report.Markdown.add d (attribution_section ats))
     attribution;
@@ -236,7 +264,7 @@ let fuzz ?engine (r : Fuzz_result.t) : string =
   render ~title:("Fuzz report: " ^ r.fuzzer_name) ?engine
     [ (r.fuzzer_name, r) ]
 
-let campaign ?engine ?attribution (t : Campaign.t) : string =
+let campaign ?engine ?attribution ?quarantined (t : Campaign.t) : string =
   let preamble =
     let failures =
       match t.Campaign.failures with
@@ -248,16 +276,17 @@ let campaign ?engine ?attribution (t : Campaign.t) : string =
                (fun (cell, msg) -> Campaign.cell_name cell ^ ": " ^ msg)
                fs)
     in
+    (* no restored-from-checkpoint count here: a resumed run's report
+       must be byte-identical to the uninterrupted one; resume
+       accounting lives in the engine-gated recovery section *)
     Fmt.str
-      "%d cells (%d restored from checkpoints, %d failed); iterations=%d \
-       seeds=%d jobs=%d.%s"
+      "%d cells (%d failed); iterations=%d seeds=%d jobs=%d.%s"
       (List.length t.Campaign.results + List.length t.Campaign.failures)
-      t.Campaign.resumed_cells
       (List.length t.Campaign.failures)
       t.Campaign.config.Campaign.iterations t.Campaign.config.Campaign.seeds
       t.Campaign.config.Campaign.jobs failures
   in
-  render ~title:"Campaign report" ~preamble ?engine ?attribution
+  render ~title:"Campaign report" ~preamble ?engine ?attribution ?quarantined
     (List.map
        (fun (cell, r) -> (Campaign.cell_name cell, r))
        t.Campaign.results)

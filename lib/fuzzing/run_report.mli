@@ -9,12 +9,16 @@ val render :
   ?preamble:string ->
   ?engine:Engine.Ctx.t ->
   ?attribution:Bisect.attribution list ->
+  ?quarantined:(string * string * int * string) list ->
   (string * Fuzz_result.t) list ->
   string
 (** The generic assembler over labelled results.  With [attribution], a
     "Culprit-pass attribution" table (one row per bisected
     optimizer-stage finding) lands between the crash buckets and the
-    metrics sections. *)
+    metrics sections.  [quarantined] rows are
+    [(unit, reason, attempts, cell fingerprint)]; the "Quarantined
+    units" section renders only when the list is non-empty, so healthy
+    reports are unchanged. *)
 
 val fuzz : ?engine:Engine.Ctx.t -> Fuzz_result.t -> string
 (** Report for a single fuzz run. *)
@@ -22,7 +26,12 @@ val fuzz : ?engine:Engine.Ctx.t -> Fuzz_result.t -> string
 val campaign :
   ?engine:Engine.Ctx.t ->
   ?attribution:Bisect.attribution list ->
+  ?quarantined:(string * string * int * string) list ->
   Campaign.t ->
   string
-(** Report for a campaign: one summary row per cell, failed/restored
-    cell accounting in the preamble. *)
+(** Report for a campaign: one summary row per cell, failed-cell
+    accounting in the preamble, and (when non-empty) the
+    quarantined-unit table.  Checkpoint-restore counts are deliberately
+    not in the body — a resumed campaign's report is byte-identical to
+    the uninterrupted one; resume accounting surfaces through the
+    engine-gated recovery section instead. *)

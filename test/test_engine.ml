@@ -365,6 +365,50 @@ let faults_tests =
           (Result.is_error (Engine.Faults.parse_spec "llm=2"));
         check Alcotest.bool "unknown site" true
           (Result.is_error (Engine.Faults.parse_spec "bogus=0.1")));
+    tc "shard-layer sites parse and round-trip canonically" (fun () ->
+        (match
+           Engine.Faults.parse_spec "frame=0.1,stall=0.05,oom=0.01,coord=0.02"
+         with
+        | Ok c ->
+          check (Alcotest.float 1e-9) "frame" 0.1 c.Engine.Faults.frame_garble;
+          check (Alcotest.float 1e-9) "stall" 0.05 c.Engine.Faults.frame_stall;
+          check (Alcotest.float 1e-9) "oom" 0.01 c.Engine.Faults.worker_oom;
+          check (Alcotest.float 1e-9) "coord" 0.02
+            c.Engine.Faults.coordinator_crash;
+          (* single-process sites stay silent *)
+          check (Alcotest.float 1e-9) "llm untouched" 0.
+            c.Engine.Faults.llm_throttle;
+          check Alcotest.bool "round-trip" true
+            (Engine.Faults.parse_spec (Engine.Faults.spec_to_string c) = Ok c)
+        | Error e -> Alcotest.failf "shard spec rejected: %s" e);
+        (* long names are accepted and canonicalize to the short keys *)
+        check Alcotest.bool "long names accepted" true
+          (Engine.Faults.parse_spec "frame_garble=0.1,worker_oom=0.01"
+          = Engine.Faults.parse_spec "frame=0.1,oom=0.01");
+        check Alcotest.int "eight sites" 8
+          (List.length Engine.Faults.all_sites));
+    tc "legacy four-site specs parse exactly as before" (fun () ->
+        match Engine.Faults.parse_spec "llm=0.2,hang=0.01,crash=0.05,io=0.02"
+        with
+        | Ok c ->
+          check (Alcotest.float 1e-9) "llm" 0.2 c.Engine.Faults.llm_throttle;
+          check (Alcotest.float 1e-9) "hang" 0.01 c.Engine.Faults.compile_hang;
+          check (Alcotest.float 1e-9) "crash" 0.05
+            c.Engine.Faults.worker_crash;
+          check (Alcotest.float 1e-9) "io" 0.02 c.Engine.Faults.io_failure;
+          List.iter
+            (fun site ->
+              check (Alcotest.float 1e-9)
+                (Engine.Faults.site_to_string site ^ " defaults to zero")
+                0. (Engine.Faults.rate c site))
+            Engine.Faults.
+              [ Frame_garble; Frame_stall; Worker_oom; Coordinator_crash ];
+          (* the canonical string — and with it every fingerprint baked
+             into existing checkpoints — is unchanged by the new sites *)
+          check Alcotest.string "canonical spec unchanged"
+            "llm=0.2,hang=0.01,crash=0.05,io=0.02"
+            (Engine.Faults.spec_to_string c)
+        | Error e -> Alcotest.failf "legacy spec rejected: %s" e);
   ]
 
 let retry_tests =

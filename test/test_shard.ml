@@ -151,8 +151,22 @@ let upper_f ~heartbeat ~seq ~attempt:_ body =
   heartbeat ~execs:(seq + 1) ~covered:0 ~crashes:0;
   String.uppercase_ascii body ^ Fmt.str "#%d" seq
 
-let results_testable =
-  Alcotest.(array (result string string))
+let verdict_testable =
+  Alcotest.testable
+    (fun ppf (v : Engine.Shard.verdict) ->
+      match v with
+      | Done b -> Fmt.pf ppf "Done %S" b
+      | Failed m -> Fmt.pf ppf "Failed %S" m
+      | Quarantined { q_reason; q_attempts } ->
+        Fmt.pf ppf "Quarantined{%S after %d}" q_reason q_attempts)
+    (fun (a : Engine.Shard.verdict) b -> a = b)
+
+let verdicts_testable = Alcotest.array verdict_testable
+
+let faults_of_spec ?(seed = 11) spec =
+  match Engine.Faults.parse_spec spec with
+  | Ok cfg -> Engine.Faults.create ~seed cfg
+  | Error msg -> Alcotest.fail msg
 
 let pool_tests =
   [
@@ -165,13 +179,13 @@ let pool_tests =
           Engine.Shard.run_pool ~shards:3 ~backend:Engine.Shard.Fork
             ~f:upper_f leases
         in
-        check results_testable "results equal" seq_r par_r;
+        check verdicts_testable "results equal" seq_r par_r;
         check Alcotest.int "no deaths inline" 0 seq_stats.Engine.Shard.st_died;
         Array.iteri
           (fun i r ->
-            check
-              Alcotest.(result string string)
-              "computed" (Ok (Fmt.str "LEASE-%d#%d" i i)) r)
+            check verdict_testable "computed"
+              (Engine.Shard.Done (Fmt.str "LEASE-%d#%d" i i))
+              r)
           seq_r);
     tc "heartbeats reach the coordinator" (fun () ->
         let beats = ref 0 in
@@ -196,8 +210,10 @@ let pool_tests =
           Engine.Shard.run_pool ~shards:2 ~backend:Engine.Shard.Fork ~ctx ~f
             leases
         in
-        check results_testable "all recovered"
-          [| Ok "ok:a"; Ok "ok:die"; Ok "ok:b"; Ok "ok:c" |]
+        check verdicts_testable "all recovered"
+          [|
+            Engine.Shard.Done "ok:a"; Done "ok:die"; Done "ok:b"; Done "ok:c";
+          |]
           r;
         check Alcotest.bool "death counted" true
           (stats.Engine.Shard.st_died >= 1);
@@ -216,21 +232,195 @@ let pool_tests =
         in
         let r, stats =
           Engine.Shard.run_pool ~shards:2 ~backend:Engine.Shard.Fork
-            ~max_attempts:2 ~f [| "x"; "bad"; "y" |]
+            ~limits:{ Engine.Shard.default_limits with max_attempts = 2 }
+            ~f [| "x"; "bad"; "y" |]
         in
         (match r.(1) with
-        | Error msg ->
+        | Engine.Shard.Failed msg ->
           check Alcotest.bool "carries the exception" true
             (Astring.String.is_infix ~affix:"always broken" msg)
-        | Ok _ -> Alcotest.fail "deterministic failure succeeded");
-        check
-          Alcotest.(result string string)
-          "siblings unaffected" (Ok "ok:x") r.(0);
-        check
-          Alcotest.(result string string)
-          "siblings unaffected" (Ok "ok:y") r.(2);
+        | Done _ | Quarantined _ ->
+          Alcotest.fail "deterministic failure did not land in Failed");
+        check verdict_testable "siblings unaffected"
+          (Engine.Shard.Done "ok:x") r.(0);
+        check verdict_testable "siblings unaffected"
+          (Engine.Shard.Done "ok:y") r.(2);
         (* healthy-worker failures are not deaths *)
         check Alcotest.int "no deaths" 0 stats.Engine.Shard.st_died);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Shard-layer chaos and the resource governor                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Chaos verdicts are shard-count-invariant: every fault decision comes
+   off a stream derived per (lease, attempt) from the root seed, so the
+   inline degenerate mode and a real worker pool agree on which attempt
+   of which lease gets hit — and therefore on every final verdict. *)
+let chaos_tests =
+  let quick_limits =
+    { Engine.Shard.default_limits with hang_timeout_s = 1.0 }
+  in
+  let run ~shards ?limits ?faults ?ctx ?journal leases =
+    Engine.Shard.run_pool ~shards ~backend:Engine.Shard.Fork
+      ~limits:(Option.value ~default:quick_limits limits)
+      ?faults ?ctx ?journal ~f:upper_f leases
+  in
+  [
+    tc "injected oom/garble/stall: shards:1 ≡ shards:3 verdicts" (fun () ->
+        let leases = Array.init 8 (fun i -> Fmt.str "lease-%d" i) in
+        let spec = "oom=0.35,frame=0.25,stall=0.2" in
+        let seq_r, _ = run ~shards:1 ~faults:(faults_of_spec spec) leases in
+        let ctx = Engine.Ctx.create () in
+        let par_r, stats =
+          run ~shards:3 ~faults:(faults_of_spec spec) ~ctx leases
+        in
+        check verdicts_testable "verdicts equal under chaos" seq_r par_r;
+        (* at these rates the stream provably hits something *)
+        check Alcotest.bool "chaos actually fired" true
+          (stats.Engine.Shard.st_died >= 1);
+        Array.iter
+          (function
+            | Engine.Shard.Done _ | Quarantined _ -> ()
+            | Failed msg -> Alcotest.fail ("chaos leaked a Failed: " ^ msg))
+          par_r;
+        (* every injected kill was recovered or quarantined, and the
+           registry shows only intervention counters *)
+        let counter name =
+          Engine.Metrics.counter_value
+            (Engine.Metrics.counter ctx.Engine.Ctx.metrics name)
+        in
+        check Alcotest.bool "shard.worker_died bumped" true
+          (counter "shard.worker_died" >= 1);
+        check Alcotest.int "requeues match stats"
+          stats.Engine.Shard.st_requeued
+          (counter "shard.requeued"));
+    tc "worker-oom at rate 1.0 trips the circuit breaker" (fun () ->
+        let ctx = Engine.Ctx.create () in
+        let r, stats =
+          run ~shards:2 ~faults:(faults_of_spec "oom=1.0") ~ctx
+            [| "a"; "b" |]
+        in
+        Array.iter
+          (function
+            | Engine.Shard.Quarantined { q_reason; q_attempts } ->
+              check Alcotest.bool "reason names the oom category" true
+                (Astring.String.is_infix ~affix:"worker-oom" q_reason);
+              check Alcotest.bool "attempts were burned" true (q_attempts >= 1)
+            | Done _ | Failed _ ->
+              Alcotest.fail "permanent oom must quarantine")
+          r;
+        check Alcotest.int "every lease quarantined" 2
+          stats.Engine.Shard.st_quarantined;
+        check Alcotest.bool "oom kills counted" true
+          (stats.Engine.Shard.st_oom >= 1);
+        check Alcotest.bool "breaker counter bumped" true
+          (Engine.Metrics.counter_value
+             (Engine.Metrics.counter ctx.Engine.Ctx.metrics
+                "shard.breaker_tripped")
+           >= 1));
+    tc "coordinator_crash at rate 1.0: lossless, restarts counted"
+      (fun () ->
+        let leases = Array.init 5 (fun i -> Fmt.str "l%d" i) in
+        let seq_r, _ = run ~shards:1 leases in
+        let par_r, stats =
+          run ~shards:2 ~faults:(faults_of_spec "coord=1.0") leases
+        in
+        check verdicts_testable "no committed result lost" seq_r par_r;
+        check Alcotest.bool "the coordinator crash-restarted" true
+          (stats.Engine.Shard.st_crash_restarts >= 1));
+    tc "journal fires once per Done lease, before the join" (fun () ->
+        let seen = Hashtbl.create 8 in
+        let leases = Array.init 6 (fun i -> Fmt.str "j%d" i) in
+        let r, _ =
+          run ~shards:2
+            ~journal:(fun ~seq body -> Hashtbl.replace seen seq body)
+            leases
+        in
+        Array.iteri
+          (fun seq v ->
+            match v with
+            | Engine.Shard.Done body ->
+              check Alcotest.(option string) "journaled body" (Some body)
+                (Hashtbl.find_opt seen seq)
+            | Failed _ | Quarantined _ -> Alcotest.fail "healthy run failed")
+          r);
+    tc "lease deadline: a stuck lease is killed and quarantined" (fun () ->
+        let f ~heartbeat:_ ~seq:_ ~attempt:_ body =
+          if body = "stuck" && Engine.Shard.in_worker () then
+            Unix.sleepf 30.;
+          "ok:" ^ body
+        in
+        let ctx = Engine.Ctx.create () in
+        let r, stats =
+          Engine.Shard.run_pool ~shards:2 ~backend:Engine.Shard.Fork
+            ~limits:
+              {
+                Engine.Shard.default_limits with
+                hang_timeout_s = 30.;
+                lease_deadline_s = 0.4;
+                max_attempts = 2;
+              }
+            ~ctx ~f [| "a"; "stuck"; "b" |]
+        in
+        (match r.(1) with
+        | Engine.Shard.Quarantined { q_reason; q_attempts = 2 } ->
+          check Alcotest.string "deadline category" "deadline" q_reason
+        | v ->
+          Alcotest.failf "expected deadline quarantine, got %a"
+            (Alcotest.pp verdict_testable) v);
+        check verdict_testable "siblings unaffected"
+          (Engine.Shard.Done "ok:a") r.(0);
+        check Alcotest.bool "deadline kills counted" true
+          (stats.Engine.Shard.st_deadline >= 1);
+        check Alcotest.bool "shard.deadline_killed bumped" true
+          (Engine.Metrics.counter_value
+             (Engine.Metrics.counter ctx.Engine.Ctx.metrics
+                "shard.deadline_killed")
+           >= 1));
+    tc "allocation budget: a hog lease is OOM-killed by the governor"
+      (fun () ->
+        let f ~heartbeat:_ ~seq:_ ~attempt:_ body =
+          if body = "hog" && Engine.Shard.in_worker () then
+            for _ = 1 to 8 do
+              ignore (Sys.opaque_identity (Bytes.create 8_000_000));
+              Gc.full_major ()
+            done;
+          "ok:" ^ body
+        in
+        let r, stats =
+          Engine.Shard.run_pool ~shards:2 ~backend:Engine.Shard.Fork
+            ~limits:
+              {
+                Engine.Shard.default_limits with
+                alloc_budget_words = 1_000_000.;
+              }
+            ~f [| "a"; "hog"; "b" |]
+        in
+        (match r.(1) with
+        | Engine.Shard.Quarantined { q_reason; _ } ->
+          check Alcotest.bool "classified as worker-oom" true
+            (Astring.String.is_infix ~affix:"worker-oom" q_reason)
+        | v ->
+          Alcotest.failf "expected oom quarantine, got %a"
+            (Alcotest.pp verdict_testable) v);
+        check verdict_testable "siblings unaffected"
+          (Engine.Shard.Done "ok:b") r.(2);
+        check Alcotest.bool "governor kills counted" true
+          (stats.Engine.Shard.st_oom >= 1));
+    tc "no spawnable worker: inline fallback, chaos verdicts unchanged"
+      (fun () ->
+        let leases = Array.init 6 (fun i -> Fmt.str "f%d" i) in
+        let spec = "io=0.3,oom=0.4" in
+        let seq_r, _ = run ~shards:1 ~faults:(faults_of_spec spec) leases in
+        let broken = Engine.Shard.Spawn (fun _ -> failwith "no exec") in
+        let fb_r, stats =
+          Engine.Shard.run_pool ~shards:3 ~backend:broken ~limits:quick_limits
+            ~faults:(faults_of_spec spec) ~f:upper_f leases
+        in
+        check verdicts_testable "fallback ≡ inline" seq_r fb_r;
+        check Alcotest.bool "attempts ran inline" true
+          (stats.Engine.Shard.st_inline >= Array.length leases));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -257,9 +447,10 @@ let result_testable =
         (Fuzzing.Fuzz_result.unique_crashes r))
     Fuzzing.Fuzz_result.equal
 
-let run_coordinator ?opt_levels ?checkpoint ?resume ~shards () =
+let run_coordinator ?opt_levels ?faults ?limits ?checkpoint ?resume ~shards
+    () =
   Fuzzing.Coordinator.run ~cfg:small_cfg ~fuzzers:some_fuzzers ?opt_levels
-    ?checkpoint ?resume ~shards ~backend:Engine.Shard.Fork ()
+    ?faults ?limits ?checkpoint ?resume ~shards ~backend:Engine.Shard.Fork ()
 
 let coordinator_tests =
   [
@@ -375,6 +566,82 @@ let coordinator_tests =
               (try Sys.readdir d with _ -> [||]);
             try Unix.rmdir d with _ -> ())
           [ dir; dir2 ]);
+    tc "chaos-armed campaign: shards:1 ≡ shards:2, report identical"
+      (fun () ->
+        let faults () = faults_of_spec ~seed:7 "frame=0.3,oom=0.3,coord=0.5" in
+        let t1 = run_coordinator ~shards:1 ~faults:(faults ()) () in
+        let t2 = run_coordinator ~shards:2 ~faults:(faults ()) () in
+        check Alcotest.string "report identical under chaos"
+          (Fuzzing.Coordinator.report t1)
+          (Fuzzing.Coordinator.report t2);
+        check Alcotest.int "unit count"
+          (List.length t1.Fuzzing.Coordinator.results
+          + List.length t1.Fuzzing.Coordinator.quarantined)
+          (List.length t2.Fuzzing.Coordinator.results
+          + List.length t2.Fuzzing.Coordinator.quarantined);
+        check Alcotest.int "nothing failed outright" 0
+          (List.length t2.Fuzzing.Coordinator.failures));
+    tc "permanent oom: every unit quarantined, report grows the table"
+      (fun () ->
+        let t =
+          run_coordinator ~shards:2 ~faults:(faults_of_spec "oom=1.0") ()
+        in
+        check Alcotest.int "no results" 0
+          (List.length t.Fuzzing.Coordinator.results);
+        check Alcotest.int "all units quarantined" 4
+          (List.length t.Fuzzing.Coordinator.quarantined);
+        List.iter
+          (fun (q : Fuzzing.Coordinator.quarantined_unit) ->
+            check Alcotest.bool "reason names worker-oom" true
+              (Astring.String.is_infix ~affix:"worker-oom" q.qu_reason);
+            check Alcotest.bool "fingerprint recorded" true
+              (String.length q.qu_fingerprint > 0))
+          t.Fuzzing.Coordinator.quarantined;
+        let report = Fuzzing.Coordinator.report t in
+        check Alcotest.bool "quarantine table rendered" true
+          (Astring.String.is_infix ~affix:"Quarantined units" report);
+        check Alcotest.bool "unit named in the table" true
+          (Astring.String.is_infix ~affix:"uCFuzz.s-GCC" report));
+    tc "coordinator SIGKILL mid-campaign + resume ≡ uninterrupted \
+        (opt-matrix)" (fun () ->
+        let dir =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Fmt.str "metamut-shard-crash-%d" (Unix.getpid ()))
+        in
+        let baseline = run_coordinator ~opt_levels:[ 0; 2 ] ~shards:1 () in
+        (* a real coordinator crash: fork one, SIGKILL it mid-run *)
+        flush stdout;
+        flush stderr;
+        (match Unix.fork () with
+        | 0 ->
+          (try
+             ignore
+               (run_coordinator ~opt_levels:[ 0; 2 ] ~shards:2
+                  ~checkpoint:dir ())
+           with _ -> ());
+          Unix._exit 0
+        | pid ->
+          Unix.sleepf 0.5;
+          (try Unix.kill pid Sys.sigkill with _ -> ());
+          ignore (Unix.waitpid [] pid));
+        let resumed =
+          run_coordinator ~opt_levels:[ 0; 2 ] ~shards:2 ~checkpoint:dir
+            ~resume:true ()
+        in
+        check Alcotest.string "resumed report ≡ uninterrupted"
+          (Fuzzing.Coordinator.report baseline)
+          (Fuzzing.Coordinator.report resumed);
+        check Alcotest.(list string) "crash sets survive the crash"
+          (Fuzzing.Coordinator.all_crashes baseline)
+          (Fuzzing.Coordinator.all_crashes resumed);
+        check Alcotest.bool "aggregate coverage survives the crash" true
+          (Simcomp.Coverage.equal
+             (Fuzzing.Coordinator.aggregate_coverage baseline)
+             (Fuzzing.Coordinator.aggregate_coverage resumed));
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+          (try Sys.readdir dir with _ -> [||]);
+        (try Unix.rmdir dir with _ -> ()));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -420,6 +687,7 @@ let () =
     [
       ("protocol", protocol_tests);
       ("pool", pool_tests);
+      ("chaos", chaos_tests);
       ("coordinator", coordinator_tests);
       ("status", status_tests);
     ]
