@@ -366,4 +366,259 @@ if [ -x "$CLI" ]; then
   rm -rf "$CKPT"
 fi
 
+echo "== smoke: structured log determinism =="
+# The --log body carries no wall clock and renders grouped by scope, so
+# it must be byte-identical across job counts, across shard counts, and
+# under worker-process chaos (in-worker and shard-level fault records are
+# pure functions of the per-lease fault stream).  Never compare a
+# jobs-path log against a shards-path log: the supervision records
+# legitimately differ.
+if [ -x "$CLI" ]; then
+  # in-process faults + checkpointing at :debug so the jobs-path log has
+  # real records (fault.injected, retry.backoff, checkpoint.saved) to
+  # compare, not two empty files
+  CKL1=$(mktemp -d)
+  CKL4=$(mktemp -d)
+  "$CLI" campaign --iterations 10 --jobs 1 --faults "hang=0.05,crash=0.2" \
+    --fault-seed 3 --checkpoint "$CKL1" \
+    --log /tmp/campaign_lg_j1.jsonl:debug > /dev/null 2> /dev/null
+  "$CLI" campaign --iterations 10 --jobs 4 --faults "hang=0.05,crash=0.2" \
+    --fault-seed 3 --checkpoint "$CKL4" \
+    --log /tmp/campaign_lg_j4.jsonl:debug > /dev/null 2> /dev/null
+  rm -rf "$CKL1" "$CKL4"
+  if cmp -s /tmp/campaign_lg_j1.jsonl /tmp/campaign_lg_j4.jsonl; then
+    echo "log body identical for --jobs 1 and --jobs 4"
+  else
+    echo "FAIL: --log body differs between job counts" >&2
+    diff /tmp/campaign_lg_j1.jsonl /tmp/campaign_lg_j4.jsonl >&2 || true
+    exit 1
+  fi
+  grep -q '"event":"fault.injected"' /tmp/campaign_lg_j1.jsonl || {
+    echo "FAIL: faulted jobs-path log has no fault.injected records" >&2
+    exit 1
+  }
+  "$CLI" campaign --iterations 10 --shards 1 --log /tmp/campaign_lg_sh1.jsonl \
+    > /dev/null 2> /dev/null
+  "$CLI" campaign --iterations 10 --shards 2 --log /tmp/campaign_lg_sh2.jsonl \
+    > /dev/null 2> /dev/null
+  if cmp -s /tmp/campaign_lg_sh1.jsonl /tmp/campaign_lg_sh2.jsonl; then
+    echo "log body identical for --shards 1 and --shards 2"
+  else
+    echo "FAIL: --log body differs between shard counts" >&2
+    diff /tmp/campaign_lg_sh1.jsonl /tmp/campaign_lg_sh2.jsonl >&2 || true
+    exit 1
+  fi
+  # chaos: worker-OOM kills produce lease.infra / lease.retry /
+  # lease.verdict records keyed to the (lease, attempt) fault stream
+  "$CLI" campaign --iterations 10 --shards 1 --faults oom=0.5 --fault-seed 5 \
+    --log /tmp/campaign_lg_ch1.jsonl > /dev/null 2> /dev/null
+  "$CLI" campaign --iterations 10 --shards 2 --faults oom=0.5 --fault-seed 5 \
+    --log /tmp/campaign_lg_ch2.jsonl > /dev/null 2> /dev/null
+  if cmp -s /tmp/campaign_lg_ch1.jsonl /tmp/campaign_lg_ch2.jsonl; then
+    echo "chaos log body identical for --shards 1 and --shards 2"
+  else
+    echo "FAIL: chaos --log body differs between shard counts" >&2
+    diff /tmp/campaign_lg_ch1.jsonl /tmp/campaign_lg_ch2.jsonl >&2 || true
+    exit 1
+  fi
+  grep -q '"event":"lease.verdict"' /tmp/campaign_lg_ch2.jsonl || {
+    echo "FAIL: chaos log has no lease.verdict records" >&2
+    exit 1
+  }
+fi
+
+echo "== smoke: profiling export (profile.folded, mutator yield) =="
+if [ -x "$CLI" ]; then
+  TEL=$(mktemp -d)
+  "$CLI" fuzz -n 40 --seed 7 --telemetry "$TEL" > /dev/null 2> /dev/null
+  for f in profile.folded mutator-yield.json; do
+    if [ ! -s "$TEL/$f" ]; then
+      echo "FAIL: telemetry artifact $f missing or empty" >&2
+      exit 1
+    fi
+  done
+  # every folded line is "stack;frames NNN" — the exact grammar
+  # flamegraph.pl and speedscope consume
+  if grep -qvE '^[^ ]+ [0-9]+$' "$TEL/profile.folded"; then
+    echo "FAIL: profile.folded has malformed folded-stack lines" >&2
+    head "$TEL/profile.folded" >&2
+    exit 1
+  fi
+  grep -q 'compile' "$TEL/profile.folded" || {
+    echo "FAIL: profile.folded has no compile stacks" >&2
+    exit 1
+  }
+  if command -v flamegraph.pl > /dev/null 2>&1; then
+    flamegraph.pl "$TEL/profile.folded" > /tmp/flame.svg || {
+      echo "FAIL: flamegraph.pl rejected profile.folded" >&2
+      exit 1
+    }
+  fi
+  if command -v jq > /dev/null 2>&1; then
+    jq -e '.[0].mutator and (.[0].fresh_edges >= 0)' "$TEL/mutator-yield.json" \
+      > /dev/null || {
+      echo "FAIL: mutator-yield.json malformed" >&2
+      exit 1
+    }
+  fi
+  grep -q '## Where the time goes' "$TEL/campaign-report.md" || {
+    echo "FAIL: report is missing the self-time table" >&2
+    exit 1
+  }
+  rm -rf "$TEL"
+  echo "profile.folded and mutator-yield.json well-formed"
+fi
+
+echo "== smoke: live observability endpoints (--serve) =="
+# Scrape the campaign during its post-run linger window: /status.json
+# must report done, /healthz must be 200, and /metrics must match the
+# final metrics.prom modulo the wall-clock families (span./gc./
+# telemetry.).  Serving must not perturb stdout.
+if [ -x "$CLI" ] && command -v curl > /dev/null 2>&1; then
+  TEL=$(mktemp -d)
+  : > /tmp/campaign_serve.err
+  METAMUT_SERVE_LINGER=10 "$CLI" campaign --iterations 10 --jobs 1 \
+    --serve 127.0.0.1:0 --telemetry "$TEL" \
+    > /tmp/campaign_serve.txt 2> /tmp/campaign_serve.err &
+  SRV_PID=$!
+  ADDR=""
+  i=0
+  while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's/^serving on //p' /tmp/campaign_serve.err | head -n 1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+    i=$((i + 1))
+  done
+  if [ -z "$ADDR" ]; then
+    echo "FAIL: --serve never reported its bound address" >&2
+    exit 1
+  fi
+  DONE=""
+  i=0
+  while [ $i -lt 150 ]; do
+    if curl -fsS "http://$ADDR/status.json" 2> /dev/null \
+        | grep -q '"done": true'; then
+      DONE=yes
+      break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+  done
+  if [ -z "$DONE" ]; then
+    echo "FAIL: /status.json never reported done" >&2
+    kill "$SRV_PID" 2> /dev/null || true
+    exit 1
+  fi
+  HB=$(curl -fsS "http://$ADDR/healthz")
+  [ "$HB" = "ok" ] || {
+    echo "FAIL: /healthz was not ok on a clean run" >&2
+    exit 1
+  }
+  curl -fsS "http://$ADDR/metrics" > /tmp/serve_metrics.prom || {
+    echo "FAIL: /metrics scrape failed" >&2
+    exit 1
+  }
+  grep -q '^# TYPE metamut_compile_total counter' /tmp/serve_metrics.prom || {
+    echo "FAIL: live /metrics is not Prometheus text exposition" >&2
+    exit 1
+  }
+  wait "$SRV_PID"
+  grep -Ev 'metamut_(span|gc|telemetry)_' /tmp/serve_metrics.prom \
+    > /tmp/serve_metrics_f.prom
+  grep -Ev 'metamut_(span|gc|telemetry)_' "$TEL/metrics.prom" \
+    > /tmp/final_metrics_f.prom
+  if cmp -s /tmp/serve_metrics_f.prom /tmp/final_metrics_f.prom; then
+    echo "live /metrics matches metrics.prom modulo wall-clock families"
+  else
+    echo "FAIL: live /metrics diverged from the final metrics.prom" >&2
+    diff /tmp/serve_metrics_f.prom /tmp/final_metrics_f.prom >&2 || true
+    exit 1
+  fi
+  if cmp -s /tmp/campaign_j1.txt /tmp/campaign_serve.txt; then
+    echo "serving did not perturb campaign stdout"
+  else
+    echo "FAIL: --serve changed the campaign output" >&2
+    diff /tmp/campaign_j1.txt /tmp/campaign_serve.txt >&2 || true
+    exit 1
+  fi
+  rm -rf "$TEL"
+else
+  echo "curl not found; skipping serve smoke"
+fi
+
+echo "== smoke: quarantine flight recorder + degraded /healthz =="
+# Guaranteed-lethal faults: every lease OOMs until its breaker trips,
+# so every unit must leave a flight-<unit>.json in the telemetry dir,
+# and a live /healthz must serve 503 once the first breaker trips.
+if [ -x "$CLI" ]; then
+  TELF=$(mktemp -d)
+  : > /tmp/campaign_flight.err
+  if command -v curl > /dev/null 2>&1; then
+    METAMUT_SERVE_LINGER=10 "$CLI" campaign --iterations 10 --shards 2 \
+      --faults oom=1.0 --fault-seed 9 --telemetry "$TELF" \
+      --serve 127.0.0.1:0 \
+      > /tmp/campaign_flight.txt 2> /tmp/campaign_flight.err &
+    FL_PID=$!
+    ADDR=""
+    i=0
+    while [ $i -lt 100 ]; do
+      ADDR=$(sed -n 's/^serving on //p' /tmp/campaign_flight.err | head -n 1)
+      [ -n "$ADDR" ] && break
+      sleep 0.1
+      i=$((i + 1))
+    done
+    DONE=""
+    i=0
+    while [ $i -lt 300 ]; do
+      if curl -fsS "http://$ADDR/status.json" 2> /dev/null \
+          | grep -q '"done": true'; then
+        DONE=yes
+        break
+      fi
+      sleep 0.1
+      i=$((i + 1))
+    done
+    if [ -z "$DONE" ]; then
+      echo "FAIL: flight-smoke /status.json never reported done" >&2
+      kill "$FL_PID" 2> /dev/null || true
+      exit 1
+    fi
+    CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/healthz")
+    [ "$CODE" = "503" ] || {
+      echo "FAIL: /healthz served $CODE after breaker trips (want 503)" >&2
+      exit 1
+    }
+    echo "/healthz degraded to 503 after breaker trips"
+    wait "$FL_PID"
+  else
+    "$CLI" campaign --iterations 10 --shards 2 --faults oom=1.0 \
+      --fault-seed 9 --telemetry "$TELF" \
+      > /tmp/campaign_flight.txt 2> /tmp/campaign_flight.err
+  fi
+  if ! ls "$TELF"/flight-*.json > /dev/null 2>&1; then
+    echo "FAIL: quarantined leases left no flight-<unit>.json" >&2
+    ls "$TELF" >&2 || true
+    exit 1
+  fi
+  FLIGHT=$(ls "$TELF"/flight-*.json | head -n 1)
+  grep -q '"reason"' "$FLIGHT" && grep -q '"events"' "$FLIGHT" || {
+    echo "FAIL: flight record missing reason/events" >&2
+    cat "$FLIGHT" >&2
+    exit 1
+  }
+  if command -v jq > /dev/null 2>&1; then
+    jq -e '.unit and .reason and (.events | type == "array")' "$FLIGHT" \
+      > /dev/null || {
+      echo "FAIL: flight record is not valid JSON" >&2
+      exit 1
+    }
+  fi
+  grep -q 'QUARANTINED' /tmp/campaign_flight.err || {
+    echo "FAIL: quarantine was not reported on stderr" >&2
+    exit 1
+  }
+  rm -rf "$TELF"
+  echo "flight recorder dumped for quarantined leases"
+fi
+
 echo "OK"

@@ -300,6 +300,9 @@ let fields (rs : run_stats) ~hit_words ~armed =
   [
     ("label", Fmt.str "%S" label);
     ("mode", if smoke then "\"smoke\"" else "\"full\"");
+    (* throughput only compares across runs on the same box width; the
+       sharded entries already record this, mirror it here *)
+    ("cores", string_of_int (Domain.recommended_domain_count ()));
     ("iterations", string_of_int iterations);
     ("elapsed_s", Fmt.str "%.3f" rs.rs_elapsed_s);
     ("mutants", string_of_int rs.rs_mutants);

@@ -160,6 +160,80 @@ let status_flag =
 
 let want_status forced = forced || Unix.isatty Unix.stderr
 
+(* --serve ADDR: the live scrape plane.  The campaign polls the socket
+   at natural pause points; a slow or stalled scraper can never wedge
+   the run. *)
+let serve_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "serve" ] ~docv:"ADDR"
+        ~doc:
+          "Serve live observability endpoints while the campaign runs: \
+           $(b,/metrics) (Prometheus text), $(b,/status.json) (totals, \
+           per-shard heartbeats, quarantines), $(b,/healthz) (503 once \
+           the circuit breaker trips), $(b,/series.json) (coverage time \
+           series).  $(docv) is $(b,HOST:PORT) (port 0 = ephemeral; the \
+           bound address is printed to stderr) or a filesystem path \
+           (Unix-domain socket).  Polled, never threaded: serving never \
+           changes fuzz results.")
+
+(* --log FILE[:LEVEL]: structured JSON-lines log of supervision events
+   (lease verdicts, retries, fault injections, quarantines, checkpoint
+   saves).  Bodies are deterministic: no wall clock, seq assigned at
+   render after grouping by scope. *)
+let log_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log" ] ~docv:"FILE[:LEVEL]"
+        ~doc:
+          "Write a structured JSON-lines event log to $(i,FILE) at exit \
+           ($(i,LEVEL) one of debug, info, warn, error; default info).  \
+           Records carry a monotonic $(b,seq), not a wall clock, so the \
+           log body is byte-identical across $(b,--jobs) and \
+           $(b,--shards) counts.")
+
+let parse_log_spec spec =
+  Option.map
+    (fun s ->
+      match Engine.Log.parse_spec s with
+      | Ok v -> v
+      | Error e -> Fmt.failwith "--log: %s" e)
+    spec
+
+let start_serve (engine : Engine.Ctx.t option) addr =
+  Option.map
+    (fun addr ->
+      (* callers create the engine whenever --serve is given, so the
+         server scrapes the same registry the campaign writes *)
+      let e =
+        match engine with
+        | Some e -> e
+        | None -> Fmt.failwith "--serve: internal: no engine context"
+      in
+      match Engine.Serve.listen ~addr e with
+      | Ok s ->
+        Fmt.epr "serving on %s@." (Engine.Serve.bound_addr s);
+        s
+      | Error msg -> Fmt.failwith "--serve: %s" msg)
+    addr
+
+(* Smoke tests scrape the final registry after the run; the env var
+   keeps the socket up that long without a flag on every invocation. *)
+let serve_shutdown srv =
+  Option.iter
+    (fun s ->
+      Engine.Serve.set_done s;
+      let linger =
+        match Sys.getenv_opt "METAMUT_SERVE_LINGER" with
+        | Some v -> ( match float_of_string_opt v with Some f -> f | None -> 0.)
+        | None -> 0.
+      in
+      if linger > 0. then Engine.Serve.linger s ~seconds:linger;
+      Engine.Serve.close s)
+    srv
+
 (* --faults / --fault-seed, shared by fuzz / generate / campaign.  The
    spec falls back to METAMUT_FAULTS so CI can fault a whole run without
    touching each command line. *)
@@ -458,7 +532,7 @@ let bisect_cmd =
 (* ------------------------------------------------------------------ *)
 
 let fuzz compiler iterations seed corpus_kind sample_every schedule pool_max
-    faults metrics trace telemetry status =
+    faults metrics trace telemetry status log_spec =
   let rng = Cparse.Rng.create seed in
   let seeds = Fuzzing.Seeds.corpus ~n:50 (Cparse.Rng.create seed) in
   let mutators =
@@ -478,6 +552,10 @@ let fuzz compiler iterations seed corpus_kind sample_every schedule pool_max
          else (Fuzzing.Mucfuzz.default_config ()).Fuzzing.Mucfuzz.pool_max) }
   in
   let engine = Engine.Ctx.create () in
+  let log_spec = parse_log_spec log_spec in
+  Option.iter
+    (fun (_, level) -> ignore (Engine.Ctx.enable_log ~level engine))
+    log_spec;
   if trace then
     Engine.Event.add_sink engine.Engine.Ctx.bus
       (Engine.Event.text_sink ~out:(fun line -> Fmt.epr "%s@." line));
@@ -507,6 +585,12 @@ let fuzz compiler iterations seed corpus_kind sample_every schedule pool_max
     (fun t ->
       Engine.Telemetry.finalize ~report:(Fuzzing.Run_report.fuzz ~engine r) t)
     tel;
+  Option.iter
+    (fun (path, _) ->
+      Option.iter
+        (fun lg -> Engine.Log.write ~path lg)
+        engine.Engine.Ctx.log)
+    log_spec;
   if metrics then render_metrics engine
 
 let fuzz_cmd =
@@ -560,7 +644,7 @@ let fuzz_cmd =
     Term.(
       const fuzz $ compiler $ iterations $ seed $ corpus $ sample_every
       $ schedule $ pool_max $ faults_term $ metrics_flag $ trace
-      $ telemetry_flag $ status_flag)
+      $ telemetry_flag $ status_flag $ log_flag)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
@@ -690,7 +774,7 @@ let run_bisect ?engine (t : Fuzzing.Campaign.t) =
 
 let campaign iterations jobs sample_every schedule faults checkpoint resume
     bisect metrics telemetry status shards opt_matrix hang_timeout
-    lease_deadline alloc_budget =
+    lease_deadline alloc_budget serve log_spec =
   (* the per-lease resource governor, only built when a flag departs
      from the defaults so plain sharded runs keep the default limits *)
   let limits =
@@ -719,14 +803,43 @@ let campaign iterations jobs sample_every schedule faults checkpoint resume
       schedule }
   in
   let status = want_status status in
+  let log_spec = parse_log_spec log_spec in
   let engine =
-    if metrics || telemetry <> None || status then Some (Engine.Ctx.create ())
+    if
+      metrics || telemetry <> None || status || serve <> None
+      || log_spec <> None
+    then Some (Engine.Ctx.create ())
     else None
   in
+  Option.iter
+    (fun (_, level) ->
+      Option.iter (fun e -> ignore (Engine.Ctx.enable_log ~level e)) engine)
+    log_spec;
+  let srv = start_serve engine serve in
   let tel =
     match (engine, telemetry) with
     | Some e, Some dir -> Some (Engine.Telemetry.attach ~dir e)
     | _ -> None
+  in
+  (* the rendered log groups scopes in canonical unit order, so a
+     resumed/faulted run's body matches the clean one *)
+  let scope_order =
+    List.map Fuzzing.Coordinator.unit_name
+      (Fuzzing.Coordinator.units ~opt_levels:opt_matrix ())
+  in
+  let write_log () =
+    match (engine, log_spec) with
+    | Some e, Some (path, _) ->
+      Option.iter
+        (fun lg -> Engine.Log.write ~scope_order ~path lg)
+        e.Engine.Ctx.log
+    | _ -> ()
+  in
+  (* driver-scope summary records: only shard-count-invariant counts *)
+  let log_driver ~level ~event fields =
+    Option.iter
+      (fun e -> Engine.Ctx.log_event e ~scope:"" ~level ~event fields)
+      engine
   in
   (* live progress: the Status sink narrates events when cells share the
      main context (jobs <= 1); the per-cell completion callback covers
@@ -750,7 +863,9 @@ let campaign iterations jobs sample_every schedule faults checkpoint resume
     end
   in
   if shards = 0 && opt_matrix = [] then begin
-    (* single-process path: the Domain scheduler over the cell matrix *)
+    (* single-process path: the Domain scheduler over the cell matrix.
+       The serve sink folds campaign events off the main bus. *)
+    Option.iter Engine.Serve.attach_sink srv;
     let t =
       Fuzzing.Campaign.run ~cfg ?engine ?faults ?checkpoint ~resume ?progress ()
     in
@@ -763,10 +878,13 @@ let campaign iterations jobs sample_every schedule faults checkpoint resume
         t.Fuzzing.Campaign.resumed_cells;
     List.iter
       (fun ((f, c), msg) ->
-        Fmt.epr "FAILED %s-%s: %s@."
-          (Fuzzing.Campaign.fuzzer_name f)
-          (Simcomp.Bugdb.compiler_to_string c)
-          msg)
+        let name =
+          Fuzzing.Campaign.fuzzer_name f ^ "-"
+          ^ Simcomp.Bugdb.compiler_to_string c
+        in
+        log_driver ~level:Engine.Log.Error ~event:"campaign.cell_failed"
+          [ ("cell", name); ("error", msg) ];
+        Fmt.epr "FAILED %s: %s@." name msg)
       t.Fuzzing.Campaign.failures;
     print_rq1_table t;
     let attribution =
@@ -778,6 +896,8 @@ let campaign iterations jobs sample_every schedule faults checkpoint resume
           ~report:(Fuzzing.Run_report.campaign ?engine ?attribution t)
           tl)
       tel;
+    write_log ();
+    serve_shutdown srv;
     if metrics then Option.iter render_metrics engine
   end
   else begin
@@ -802,7 +922,7 @@ let campaign iterations jobs sample_every schedule faults checkpoint resume
     let t =
       Fuzzing.Coordinator.run ~cfg ~opt_levels:opt_matrix ?engine ?faults
         ?checkpoint ~resume ~shards:(max 1 shards) ~backend ?limits
-        ?status:st ?progress ()
+        ?status:st ?progress ?serve:srv ?flight_dir:telemetry ()
     in
     Option.iter Engine.Status.finish st;
     if status then Fmt.epr "\r\027[K%!";
@@ -820,6 +940,17 @@ let campaign iterations jobs sample_every schedule faults checkpoint resume
           q.Fuzzing.Coordinator.qu_attempts q.Fuzzing.Coordinator.qu_reason)
       t.Fuzzing.Coordinator.quarantined;
     let s = t.Fuzzing.Coordinator.shard_stats in
+    (* driver-scope summary: only shard-count-invariant counts (the
+       crash-restart tally is pooled-path-only, so it stays out) *)
+    if s.Engine.Shard.st_died > 0 || s.Engine.Shard.st_requeued > 0
+       || s.Engine.Shard.st_quarantined > 0
+    then
+      log_driver ~level:Engine.Log.Warn ~event:"shard.recovery"
+        [
+          ("died", string_of_int s.Engine.Shard.st_died);
+          ("requeued", string_of_int s.Engine.Shard.st_requeued);
+          ("quarantined", string_of_int s.Engine.Shard.st_quarantined);
+        ];
     if s.Engine.Shard.st_died > 0 || s.Engine.Shard.st_requeued > 0 then
       Fmt.epr "shard recovery: %d worker death(s), %d lease(s) requeued@."
         s.Engine.Shard.st_died s.Engine.Shard.st_requeued;
@@ -877,6 +1008,8 @@ let campaign iterations jobs sample_every schedule faults checkpoint resume
           ~report:(Fuzzing.Coordinator.report ?engine ?attribution t)
           tl)
       tel;
+    write_log ();
+    serve_shutdown srv;
     if metrics then Option.iter render_metrics engine
   end
 
@@ -997,7 +1130,7 @@ let campaign_cmd =
       $ faults_term
       $ checkpoint $ resume $ bisect $ metrics_flag $ telemetry_flag
       $ status_flag $ shards $ opt_matrix $ hang_timeout $ lease_deadline
-      $ alloc_budget)
+      $ alloc_budget $ serve_flag $ log_flag)
 
 (* ------------------------------------------------------------------ *)
 (* worker (internal)                                                   *)

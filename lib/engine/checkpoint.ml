@@ -56,10 +56,18 @@ let save ?faults ?ctx ?(retry = Retry.default_policy) ~path ~fingerprint
   in
   Option.iter
     (fun c ->
-      Ctx.incr c
-        (match out.Retry.value with
-        | Ok () -> "checkpoint.saved"
-        | Error _ -> "checkpoint.save_failed"))
+      match out.Retry.value with
+      | Ok () ->
+        Ctx.incr c "checkpoint.saved";
+        Ctx.log_event c ~level:Log.Debug ~event:"checkpoint.saved"
+          [
+            ("file", Filename.basename path);
+            ("attempts", string_of_int out.Retry.attempts);
+          ]
+      | Error msg ->
+        Ctx.incr c "checkpoint.save_failed";
+        Ctx.log_event c ~level:Log.Error ~event:"checkpoint.save_failed"
+          [ ("file", Filename.basename path); ("error", msg) ])
     ctx;
   out.Retry.value
 

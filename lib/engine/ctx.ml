@@ -12,6 +12,7 @@ type t = {
   clock : unit -> int64;  (* monotonic-enough wall clock, nanoseconds *)
   mutable trace : Trace.t option;  (* span instances, for Chrome export *)
   mutable probe : Probe.t option;  (* GC sampling, per compile batch *)
+  mutable log : Log.t option;      (* structured records, for --log *)
 }
 
 let default_clock () = Int64.of_float (Unix.gettimeofday () *. 1e9)
@@ -23,6 +24,7 @@ let create ?(clock = default_clock) () =
     clock;
     trace = None;
     probe = None;
+    log = None;
   }
 
 let emit (t : t) e = Event.emit t.bus e
@@ -46,3 +48,16 @@ let enable_probe ?batch (t : t) : Probe.t =
     let p = Probe.create ?batch t.metrics in
     t.probe <- Some p;
     p
+
+let enable_log ?level (t : t) : Log.t =
+  match t.log with
+  | Some lg -> lg
+  | None ->
+    let lg = Log.create ?level () in
+    t.log <- Some lg;
+    lg
+
+let log_event (t : t) ?scope ?phase ~level ~event fields =
+  match t.log with
+  | None -> ()
+  | Some lg -> Log.record lg ?scope ?phase ~level ~event fields

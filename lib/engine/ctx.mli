@@ -13,6 +13,7 @@ type t = {
   clock : unit -> int64;
   mutable trace : Trace.t option;
   mutable probe : Probe.t option;
+  mutable log : Log.t option;
 }
 
 val default_clock : unit -> int64
@@ -35,3 +36,16 @@ val enable_trace : ?tid:int -> t -> Trace.t
 
 val enable_probe : ?batch:int -> t -> Probe.t
 (** Start GC sampling every [batch] compiles (idempotent). *)
+
+val enable_log : ?level:Log.level -> t -> Log.t
+(** Start collecting structured log records (idempotent). *)
+
+val log_event :
+  t ->
+  ?scope:string ->
+  ?phase:int ->
+  level:Log.level ->
+  event:string ->
+  (string * string) list ->
+  unit
+(** Emit a structured record when logging is enabled; no-op otherwise. *)

@@ -139,6 +139,15 @@ let draw (t : t) site k =
   let bits = shift_right_logical (mix64 (mix64 x)) 11 in
   Int64.to_float bits /. 9007199254740992. (* 2^53 *)
 
+(* The shard-layer sites are drawn with the coordinator's context in the
+   inline degenerate pool but with no context at all in a real worker
+   process, so logging them here would make log bodies depend on the
+   shard count.  Their injections surface through the pool's supervision
+   events instead; only the in-process sites log at the draw. *)
+let in_process_site = function
+  | Llm_throttle | Compile_hang | Worker_crash | Io_failure -> true
+  | Frame_garble | Frame_stall | Worker_oom | Coordinator_crash -> false
+
 let fire ?ctx (t : t) site =
   let r = rate t.config site in
   if r <= 0. then false
@@ -149,7 +158,11 @@ let fire ?ctx (t : t) site =
     let hit = draw t site k < r in
     if hit then
       Option.iter
-        (fun c -> Ctx.incr c ("faults.injected." ^ site_to_string site))
+        (fun c ->
+          Ctx.incr c ("faults.injected." ^ site_to_string site);
+          if in_process_site site then
+            Ctx.log_event c ~level:Log.Warn ~event:"fault.injected"
+              [ ("site", site_to_string site); ("draw", string_of_int k) ])
         ctx;
     hit
   end

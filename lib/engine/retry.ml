@@ -60,6 +60,15 @@ let run ?ctx ?(name = "retry") (p : policy) ~(retryable : 'a -> bool)
       let d = delay_for p ~attempt ~jitter01:(jitter ()) in
       bump ".retried";
       bump ~by:(int_of_float (d *. 1000.)) ".wait_ms";
+      Option.iter
+        (fun c ->
+          Ctx.log_event c ~level:Log.Debug ~event:"retry.backoff"
+            [
+              ("name", name);
+              ("attempt", string_of_int attempt);
+              ("wait_ms", string_of_int (int_of_float (d *. 1000.)));
+            ])
+        ctx;
       go (attempt + 1) (waited +. d)
     end
   in

@@ -359,6 +359,20 @@ let worker_loop ?faults ?(alloc_budget_words = infinity) (c : conn) ~f =
 
 type backend = Fork | Spawn of (Unix.file_descr -> int)
 
+(* Supervision notifications, for the structured log and the flight
+   recorder.  Emitted identically by the pooled and inline paths (same
+   call sites, same fault streams), so a consumer that renders them per
+   lease sees the same stream at any shard count — modulo the
+   wall-clock-driven categories (stalls on healthy workers, deadline
+   kills), which only occur under those real-time limits. *)
+type pool_event =
+  | Lease_infra of { category : string; attempt : int; requeued : bool }
+      (** an attempt was lost to infrastructure (death/garble/stall/OOM/
+          deadline); [requeued] is false when the loss quarantined it *)
+  | Lease_retry of { attempt : int; msg : string }
+      (** the work function failed on a healthy worker; lease requeued *)
+  | Lease_verdict of verdict  (** final, exactly once per lease *)
+
 type stats = {
   mutable st_spawned : int;
   mutable st_died : int;
@@ -383,8 +397,8 @@ type worker = {
 }
 
 let run_pool ~shards ?(backend = Fork) ?(limits = default_limits) ?faults
-    ?ctx ?on_heartbeat ?on_result ?journal ~f (leases : string array) :
-    verdict array * stats =
+    ?ctx ?on_heartbeat ?on_result ?on_event ?on_tick ?journal ~f
+    (leases : string array) : verdict array * stats =
   let n = Array.length leases in
   let results : verdict option array = Array.make n None in
   let attempts = Array.make n 0 in
@@ -404,6 +418,8 @@ let run_pool ~shards ?(backend = Fork) ?(limits = default_limits) ?faults
     }
   in
   let bump name = Option.iter (fun c -> Ctx.incr c name) ctx in
+  let notify seq ev = Option.iter (fun g -> g ~seq ev) on_event in
+  let tick () = Option.iter (fun g -> g ()) on_tick in
   let queue = Queue.create () in
   for i = 0 to n - 1 do
     Queue.add i queue
@@ -411,14 +427,15 @@ let run_pool ~shards ?(backend = Fork) ?(limits = default_limits) ?faults
   let commit seq (v : verdict) =
     if results.(seq) = None then begin
       results.(seq) <- Some v;
-      match v with
+      (match v with
       | Done body ->
         Option.iter (fun j -> j ~seq body) journal;
         Option.iter (fun g -> g ~seq) on_result
       | Quarantined _ ->
         stats.st_quarantined <- stats.st_quarantined + 1;
         bump "shard.quarantined"
-      | Failed _ -> ()
+      | Failed _ -> ());
+      notify seq (Lease_verdict v)
     end
   in
   (* One infrastructure-caused attempt loss (death, garble, stall, OOM,
@@ -429,7 +446,16 @@ let run_pool ~shards ?(backend = Fork) ?(limits = default_limits) ?faults
   let infra_failure seq ~category =
     if results.(seq) = None then begin
       deaths.(seq) <- deaths.(seq) + 1;
-      if deaths.(seq) >= limits.breaker_deaths then begin
+      let breaker = deaths.(seq) >= limits.breaker_deaths in
+      let exhausted = attempts.(seq) >= limits.max_attempts in
+      notify seq
+        (Lease_infra
+           {
+             category;
+             attempt = attempts.(seq) - 1;
+             requeued = not (breaker || exhausted);
+           });
+      if breaker then begin
         bump "shard.breaker_tripped";
         commit seq
           (Quarantined
@@ -440,7 +466,7 @@ let run_pool ~shards ?(backend = Fork) ?(limits = default_limits) ?faults
                q_attempts = attempts.(seq);
              })
       end
-      else if attempts.(seq) >= limits.max_attempts then
+      else if exhausted then
         commit seq
           (Quarantined { q_reason = category; q_attempts = attempts.(seq) })
       else begin
@@ -493,15 +519,20 @@ let run_pool ~shards ?(backend = Fork) ?(limits = default_limits) ?faults
         end
         else commit seq (Done r)
       | exception e ->
-        if attempts.(seq) >= limits.max_attempts then
-          commit seq (Failed (Printexc.to_string e))
-        else Queue.add seq queue
+        let msg = Printexc.to_string e in
+        if attempts.(seq) >= limits.max_attempts then commit seq (Failed msg)
+        else begin
+          notify seq (Lease_retry { attempt = attempts.(seq) - 1; msg });
+          Queue.add seq queue
+        end
     end
   in
   if shards <= 1 || n = 0 then begin
     while not (Queue.is_empty queue) do
+      tick ();
       run_inline (Queue.pop queue)
     done;
+    tick ();
     ( Array.map
         (function Some r -> r | None -> Failed "lease never ran") results,
       stats )
@@ -635,7 +666,11 @@ let run_pool ~shards ?(backend = Fork) ?(limits = default_limits) ?faults
         if results.(seq) = None then begin
           if attempts.(seq) >= limits.max_attempts then
             commit seq (Failed msg)
-          else Queue.add seq queue (* a healthy worker retries elsewhere *)
+          else begin
+            (* a healthy worker retries elsewhere *)
+            notify seq (Lease_retry { attempt = attempts.(seq) - 1; msg });
+            Queue.add seq queue
+          end
         end
       | Ok (Plain (Heartbeat { execs; covered; crashes })) ->
         w.w_last_active <- Unix.gettimeofday ();
@@ -704,6 +739,7 @@ let run_pool ~shards ?(backend = Fork) ?(limits = default_limits) ?faults
           | exception _ -> spawn_budget := 0
         done;
         while not (finished ()) || alive () <> [] do
+          tick ();
           let live = alive () in
           if live = [] then begin
             if not (finished ()) then begin
@@ -711,6 +747,7 @@ let run_pool ~shards ?(backend = Fork) ?(limits = default_limits) ?faults
               if alive () = [] then begin
                 (* nothing spawnable: finish the queue on this process *)
                 while not (Queue.is_empty queue) do
+                  tick ();
                   stats.st_inline <- stats.st_inline + 1;
                   bump "shard.inline";
                   run_inline (Queue.pop queue)

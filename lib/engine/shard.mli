@@ -160,6 +160,20 @@ type backend =
           process arms its own faults/budget, typically from the
           environment ({!Faults.export_to_env}/{!Faults.from_env}). *)
 
+type pool_event =
+  | Lease_infra of { category : string; attempt : int; requeued : bool }
+      (** an attempt was lost to infrastructure (death / garbled frame /
+          stall / OOM / deadline); [requeued] is false when the loss
+          quarantined the lease *)
+  | Lease_retry of { attempt : int; msg : string }
+      (** the work function failed on a healthy worker; lease requeued *)
+  | Lease_verdict of verdict  (** final, exactly once per lease *)
+(** Supervision notifications for the structured log and the flight
+    recorder.  The pooled and inline paths emit them from the same call
+    sites over the same per-(lease, attempt) fault streams, so per-lease
+    event streams are shard-count-invariant (modulo the wall-clock
+    categories: real stalls and deadline kills). *)
+
 type stats = {
   mutable st_spawned : int;       (** workers started, incl. respawns *)
   mutable st_died : int;          (** deaths: EOF, kill, garble, hang *)
@@ -181,6 +195,8 @@ val run_pool :
   ?ctx:Ctx.t ->
   ?on_heartbeat:(shard:int -> execs:int -> covered:int -> crashes:int -> unit) ->
   ?on_result:(seq:int -> unit) ->
+  ?on_event:(seq:int -> pool_event -> unit) ->
+  ?on_tick:(unit -> unit) ->
   ?journal:(seq:int -> string -> unit) ->
   f:
     (heartbeat:(execs:int -> covered:int -> crashes:int -> unit) ->
@@ -223,5 +239,8 @@ val run_pool :
     is metrics-silent, so merged registries stay shard-count-invariant.
 
     [on_heartbeat] observes worker progress (for an aggregated status
-    line); [on_result] fires as each lease commits.  Both are called on
-    the coordinator, never concurrently. *)
+    line); [on_result] fires as each lease commits; [on_event] receives
+    every {!pool_event}; [on_tick] fires once per supervision round
+    (at most every select timeout — where a live scrape server polls
+    its socket).  All are called on the coordinator, never
+    concurrently. *)

@@ -121,15 +121,29 @@ let attach ?(out = default_out) ?(interval_ns = 200_000_000L)
   Event.add_sink ctx.Ctx.bus sink;
   t
 
+(* Heartbeat folding: execs and crashes are per-shard disjoint work, so
+   they add; covered is each shard's view of one global coverage map, so
+   the fold takes the max — summing would double-count every edge two
+   shards both hit.  A shard that has not compiled anything yet
+   contributes (0, 0, 0) and must not drag the fold down. *)
+let fold_heartbeats (beats : (int * int * int) list) : int * int * int =
+  List.fold_left
+    (fun (ae, ac, ak) (e, c, k) -> (ae + e, max ac c, ak + k))
+    (0, 0, 0) beats
+
 (* Aggregated external feed: the sharded coordinator has no events on
    its own bus (work happens in worker processes), so it pushes absolute
-   totals folded from heartbeats instead. *)
+   totals folded from heartbeats instead.  Coverage is monotone: a
+   heartbeat fold can transiently regress (a crashed shard's last beat
+   drops out of the table), and the line must not un-count edges. *)
 let update (t : t) ?iteration ~execs ~covered ~crashes () =
   t.execs <- execs;
   t.crashes <- crashes;
   (match iteration with Some i -> t.iteration <- i | None -> ());
-  if covered > t.covered then t.plateau <- 0;
-  t.covered <- covered;
+  if covered > t.covered then begin
+    t.plateau <- 0;
+    t.covered <- covered
+  end;
   maybe_render t
 
 (* Final render + clear: leave the summary as an ordinary stderr line so

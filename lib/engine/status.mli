@@ -29,11 +29,19 @@ val attach :
 val line : t -> string
 (** The current status line (no control characters) — used by tests. *)
 
+val fold_heartbeats : (int * int * int) list -> int * int * int
+(** Fold per-shard [(execs, covered, crashes)] heartbeats into campaign
+    totals: execs and crashes (disjoint work) sum, covered (each
+    shard's view of one global map) takes the max.  Zero-exec shards
+    contribute nothing. *)
+
 val update :
   t -> ?iteration:int -> execs:int -> covered:int -> crashes:int -> unit -> unit
 (** Feed absolute aggregate totals from outside the event bus and
     render (throttled).  The sharded coordinator folds worker
-    heartbeats into one line this way — no events reach its own bus. *)
+    heartbeats into one line this way — no events reach its own bus.
+    Covered is monotone (a regressing feed — e.g. a crashed shard's
+    beat dropping out of the fold — never un-counts edges). *)
 
 val finish : t -> unit
 (** Detach the sink and, if anything was rendered, leave a final

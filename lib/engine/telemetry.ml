@@ -47,6 +47,27 @@ let prom_float v =
     Fmt.str "%.0f" v
   else Fmt.str "%g" v
 
+(* HELP text is a pure function of the family name, so adding it keeps
+   every byte-identity contract (jobs:N, shards:K, resume) intact. *)
+let prom_help name =
+  let pre p = String.starts_with ~prefix:p name in
+  if pre "compile." then "compile pipeline outcome and stage tallies"
+  else if pre "mucfuzz.fresh_edges." then
+    "fresh coverage edges credited to the mutator's accepted mutants"
+  else if pre "mucfuzz." then "muCFuzz loop tallies (aggregate and per-mutator)"
+  else if pre "opt." then "optimizer pass tallies"
+  else if pre "span." then "span duration histogram, nanoseconds (wall clock)"
+  else if pre "gc." then "GC probe reading (machine-dependent)"
+  else if pre "shard." then "shard pool supervision tally"
+  else if pre "faults.injected." then
+    "deterministic fault injections fired at this site"
+  else if pre "checkpoint." then "checkpoint store operation tally"
+  else if pre "pipeline." then "MetaMut pipeline progress tally"
+  else if pre "scheduler." then "supervised scheduler tally"
+  else if pre "telemetry." then "telemetry exporter bookkeeping (wall clock)"
+  else if pre "bisect." then "culprit-pass bisection tally"
+  else "metamut engine metric"
+
 let prometheus_of_snapshot (snapshot : (string * Metrics.value) list) : string
     =
   let buf = Buffer.create 2048 in
@@ -54,6 +75,7 @@ let prometheus_of_snapshot (snapshot : (string * Metrics.value) list) : string
   List.iter
     (fun (name, v) ->
       let pn = prom_name name in
+      line "# HELP %s %s" pn (prom_help name);
       match v with
       | Metrics.Counter n ->
         line "# TYPE %s counter" pn;
@@ -141,6 +163,57 @@ let deterministic_snapshot (m : Metrics.t) : (string * Metrics.value) list =
     (Metrics.snapshot m)
 
 (* ------------------------------------------------------------------ *)
+(* Per-mutator yield                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The accept / fresh-edge series a bandit scheduler would consume
+   (ROADMAP item 4), sorted by yield so the artifact doubles as a
+   leaderboard.  [None] when the registry has no mutator families (a
+   run that never fuzzed). *)
+let mutator_yield_json (m : Metrics.t) : string option =
+  let fam prefix = Metrics.counters_with_prefix m ~prefix in
+  let attempts = fam "mucfuzz.attempt." in
+  let accepts = fam "mucfuzz.accept." in
+  let rejects = fam "mucfuzz.reject." in
+  let inapplicable = fam "mucfuzz.inapplicable." in
+  let fresh = fam "mucfuzz.fresh_edges." in
+  if attempts = [] then None
+  else begin
+    let names =
+      List.concat [ attempts; accepts; rejects; inapplicable; fresh ]
+      |> List.map fst |> List.sort_uniq compare
+    in
+    let get assoc n = Option.value ~default:0 (List.assoc_opt n assoc) in
+    let rows =
+      names
+      |> List.map (fun n ->
+             ( n,
+               get attempts n,
+               get accepts n,
+               get rejects n,
+               get inapplicable n,
+               get fresh n ))
+      |> List.sort (fun (na, _, aca, _, _, fa) (nb, _, acb, _, _, fb) ->
+             match compare fb fa with
+             | 0 -> ( match compare acb aca with 0 -> compare na nb | c -> c)
+             | c -> c)
+    in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i (n, at, ac, rj, inap, fr) ->
+        Buffer.add_string buf
+          (Fmt.str
+             "  {\"mutator\": %S, \"attempts\": %d, \"accepts\": %d, \
+              \"rejects\": %d, \"inapplicable\": %d, \"fresh_edges\": %d}%s\n"
+             n at ac rj inap fr
+             (if i = List.length rows - 1 then "" else ",")))
+      rows;
+    Buffer.add_string buf "]\n";
+    Some (Buffer.contents buf)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* File output                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -148,6 +221,8 @@ let trace_file = "trace.jsonl"
 let prom_file = "metrics.prom"
 let json_file = "metrics.json"
 let report_file = "campaign-report.md"
+let folded_file = "profile.folded"
+let yield_file = "mutator-yield.json"
 
 let write_file path contents =
   (* snapshot rewrites race nothing (single writer) but a reader tailing
@@ -207,7 +282,10 @@ let write_trace (t : t) =
   match t.ctx.Ctx.trace with
   | None -> ()
   | Some tr ->
-    write_file (Filename.concat t.dir trace_file) (Trace.to_chrome_string tr)
+    write_file (Filename.concat t.dir trace_file) (Trace.to_chrome_string tr);
+    let folded = Trace.to_folded tr in
+    if folded <> "" then
+      write_file (Filename.concat t.dir folded_file) folded
 
 let finalize ?report (t : t) =
   Option.iter Probe.sample t.ctx.Ctx.probe;
@@ -215,6 +293,9 @@ let finalize ?report (t : t) =
   (* the flush counter is part of the snapshot, so bump before writing *)
   flush_metrics t;
   write_trace t;
+  Option.iter
+    (fun yield -> write_file (Filename.concat t.dir yield_file) yield)
+    (mutator_yield_json t.ctx.Ctx.metrics);
   Option.iter
     (fun md -> write_file (Filename.concat t.dir report_file) md)
     report

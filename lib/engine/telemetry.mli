@@ -30,8 +30,9 @@ val flush_metrics : t -> unit
 
 val finalize : ?report:string -> t -> unit
 (** Final probe sample, detach the periodic sink, write the at-exit
-    metrics snapshot and [trace.jsonl], and — when [report] is given —
-    [campaign-report.md]. *)
+    metrics snapshot, [trace.jsonl], [profile.folded], and
+    [mutator-yield.json] (when the registry has mutator families), and
+    — when [report] is given — [campaign-report.md]. *)
 
 (** {2 Pure exporters (used directly by golden tests)} *)
 
@@ -40,9 +41,14 @@ val prom_name : string -> string
     ["metamut_mucfuzz_accept_X"]. *)
 
 val prometheus_of_snapshot : (string * Metrics.value) list -> string
-(** Prometheus text exposition format: counters and gauges as single
-    samples, histograms as cumulative [_bucket{le="..."}] samples plus
-    [_sum]/[_count]. *)
+(** Prometheus text exposition format: [# HELP] and [# TYPE] lines per
+    family, counters and gauges as single samples, histograms as
+    cumulative [_bucket{le="..."}] samples plus [_sum]/[_count]. *)
+
+val mutator_yield_json : Metrics.t -> string option
+(** The per-mutator yield leaderboard (attempts / accepts / rejects /
+    inapplicable / fresh edges), as a JSON array sorted by fresh-edge
+    yield then accepts.  [None] when the registry never fuzzed. *)
 
 val json_of_snapshot : (string * Metrics.value) list -> string
 (** One JSON object with ["counters"], ["gauges"], and ["histograms"]
@@ -59,3 +65,8 @@ val trace_file : string
 val prom_file : string
 val json_file : string
 val report_file : string
+val folded_file : string
+val yield_file : string
+
+val write_file : string -> string -> unit
+(** Atomic write-temp + rename (shared by the flight-recorder dumps). *)

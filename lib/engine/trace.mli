@@ -42,3 +42,24 @@ val to_chrome_lines : ?pid:int -> ?process_name:string -> t -> string list
     metadata), ["]"]. *)
 
 val to_chrome_string : ?pid:int -> ?process_name:string -> t -> string
+
+val json_escape : string -> string
+(** JSON string-body escaping (shared with the structured log writer). *)
+
+val fold_self : t -> (string list * int64) list
+(** Self time per call stack, reconstructed per tid from interval
+    containment (spans carry no parent pointers).  Each stack is rooted
+    at the tid's label ([main] for tid 0, [tid-N] otherwise); values are
+    nanoseconds of *self* time — a parent's self time plus its
+    children's totals equals the parent's total.  Sorted by path. *)
+
+val to_folded : t -> string
+(** {!fold_self} rendered as folded-stack lines
+    (["campaign;compile.opt;opt.pass.constfold 1234"], microseconds),
+    consumable directly by flamegraph.pl or speedscope.  Stacks with
+    non-positive self time (< 1µs) are dropped. *)
+
+val self_time_by_name : t -> (string * int64) list
+(** Self time (ns) summed per span name, sorted descending — the
+    report's "Where the time goes" table.  Synthetic stack roots (tid
+    labels) appear with non-positive values; display layers filter. *)

@@ -216,6 +216,9 @@ let run ?(cfg = default_config)
   let main_probe =
     Option.bind engine (fun (e : Engine.Ctx.t) -> e.Engine.Ctx.probe)
   in
+  let main_log =
+    Option.bind engine (fun (e : Engine.Ctx.t) -> e.Engine.Ctx.log)
+  in
   let restored, todo =
     match checkpoint with
     | Some dir when resume ->
@@ -242,6 +245,11 @@ let run ?(cfg = default_config)
               Engine.Trace.set_tid tr tid;
               Engine.Trace.label_tid tr ~tid ~label:(cell_name cell)
             | None -> ());
+            (* log records carry a scope, not a wall clock: the renderer
+               groups by scope, so jobs:1 and jobs:K render identically *)
+            Option.iter
+              (fun lg -> Engine.Log.set_scope lg (cell_name cell))
+              main_log;
             match compute ?ctx:engine cell with
             | r ->
               save_done ?ctx:engine cell r;
@@ -252,6 +260,7 @@ let run ?(cfg = default_config)
       in
       (* spans recorded after the campaign belong to the driver again *)
       Option.iter (fun tr -> Engine.Trace.set_tid tr 0) main_trace;
+      Option.iter (fun lg -> Engine.Log.set_scope lg "") main_log;
       out
     end
     else begin
@@ -261,6 +270,10 @@ let run ?(cfg = default_config)
         if Option.is_some main_trace then
           ignore (Engine.Ctx.enable_trace ~tid:(cell_tag f c) ctx);
         if Option.is_some main_probe then ignore (Engine.Ctx.enable_probe ctx);
+        Option.iter
+          (fun lg ->
+            ignore (Engine.Ctx.enable_log ~level:(Engine.Log.level lg) ctx))
+          main_log;
         let r = compute ~ctx cell in
         (* flush the partial GC batch so the merge sees this cell's tail *)
         Option.iter Engine.Probe.sample ctx.Engine.Ctx.probe;
@@ -289,6 +302,10 @@ let run ?(cfg = default_config)
                 let tid = cell_tag f c in
                 Engine.Trace.label_tid into ~tid ~label:(cell_name cell);
                 Engine.Trace.merge ~into ~tid src
+              | _ -> ());
+              (match (main_log, ctx.Engine.Ctx.log) with
+              | Some into, Some src ->
+                Engine.Log.merge ~into ~scope:(cell_name cell) src
               | _ -> ())
             | Error _ -> ())
           todo out);

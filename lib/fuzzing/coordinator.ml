@@ -94,13 +94,22 @@ type lease = {
   l_resume : bool;
   l_trace : bool; (* the coordinator's engine wants trace buffers back *)
   l_probe : bool;
+  l_log : Engine.Log.level option; (* collect structured records *)
 }
 
 type worker_result = {
   wr_result : Fuzz_result.t;
   wr_metrics : Engine.Metrics.t;
   wr_trace : Engine.Trace.t option;
+  wr_log : Engine.Log.record list;
+  (* the flight recorder: the lease's last events (capped ring), riding
+     every clean Result frame so a postmortem of a *later* failure has
+     the previous attempt's tail without rerunning under tracing *)
+  wr_flight_seen : int;
+  wr_flight : string list;
 }
+
+let flight_capacity = 64
 
 (* [counters] are worker-lifetime cumulative (see the Heartbeat frame
    doc): the coordinator's per-shard fold stays monotone across leases. *)
@@ -109,6 +118,11 @@ let exec_lease ~heartbeat ~counters (l : lease) : worker_result =
   let ctx = Engine.Ctx.create () in
   if l.l_trace then ignore (Engine.Ctx.enable_trace ~tid:(unit_tag u) ctx);
   if l.l_probe then ignore (Engine.Ctx.enable_probe ctx);
+  Option.iter
+    (fun level -> ignore (Engine.Ctx.enable_log ~level ctx))
+    l.l_log;
+  let flight, flight_sink = Engine.Event.ring_sink ~capacity:flight_capacity in
+  Engine.Event.add_sink ctx.Engine.Ctx.bus flight_sink;
   let execs, covered, crashes = counters in
   let beat () =
     heartbeat ~execs:!execs ~covered:!covered ~crashes:!crashes
@@ -160,10 +174,18 @@ let exec_lease ~heartbeat ~counters (l : lease) : worker_result =
            r))
     l.l_checkpoint;
   beat ();
+  Engine.Event.remove_sink ctx.Engine.Ctx.bus flight_sink;
   {
     wr_result = r;
     wr_metrics = ctx.Engine.Ctx.metrics;
     wr_trace = ctx.Engine.Ctx.trace;
+    wr_log =
+      (match ctx.Engine.Ctx.log with
+      | Some lg -> Engine.Log.records lg
+      | None -> []);
+    wr_flight_seen = Engine.Event.ring_seen flight;
+    wr_flight =
+      List.map Engine.Event.to_string (Engine.Event.ring_contents flight);
   }
 
 (* The pool work function: decode, execute, encode.  One server closure
@@ -222,7 +244,8 @@ type t = {
 
 let run ?(cfg = Campaign.default_config) ?fuzzers ?compilers
     ?(opt_levels = []) ?engine ?faults ?checkpoint ?(resume = false)
-    ?(shards = 1) ?backend ?limits ?status ?progress () : t =
+    ?(shards = 1) ?backend ?limits ?status ?progress ?serve ?flight_dir () :
+    t =
   let us = units ?fuzzers ?compilers ~opt_levels () in
   Option.iter Engine.Checkpoint.mkdir_p checkpoint;
   let fingerprint u = unit_fingerprint cfg ?faults u in
@@ -268,6 +291,9 @@ let run ?(cfg = Campaign.default_config) ?fuzzers ?compilers
   let main_probe =
     Option.bind engine (fun (e : Engine.Ctx.t) -> e.Engine.Ctx.probe)
   in
+  let main_log =
+    Option.bind engine (fun (e : Engine.Ctx.t) -> e.Engine.Ctx.log)
+  in
   let leases =
     Array.map
       (fun u ->
@@ -280,6 +306,7 @@ let run ?(cfg = Campaign.default_config) ?fuzzers ?compilers
             l_resume = resume;
             l_trace = Option.is_some main_trace;
             l_probe = Option.is_some main_probe;
+            l_log = Option.map Engine.Log.level main_log;
           })
       todo_arr
   in
@@ -293,12 +320,14 @@ let run ?(cfg = Campaign.default_config) ?fuzzers ?compilers
     Option.iter
       (fun st ->
         let e, c, k =
-          Hashtbl.fold
-            (fun _ (e, c, k) (ae, ac, ak) -> (ae + e, max ac c, ak + k))
-            live (0, 0, 0)
+          Engine.Status.fold_heartbeats
+            (Hashtbl.fold (fun _ beat acc -> beat :: acc) live [])
         in
         Engine.Status.update st ~execs:e ~covered:c ~crashes:k ())
-      status
+      status;
+    Option.iter
+      (fun s -> Engine.Serve.note_shard s ~shard ~execs ~covered ~crashes)
+      serve
   in
   let total = List.length us in
   let completed = ref (List.length restored) in
@@ -312,16 +341,126 @@ let run ?(cfg = Campaign.default_config) ?fuzzers ?compilers
     Option.map
       (fun dir ->
         fun ~seq body ->
-         ignore
-           (Engine.Checkpoint.save ?faults ?ctx:engine
-              ~path:(unit_journal_file dir todo_arr.(seq))
-              ~fingerprint:(fingerprint todo_arr.(seq))
-              body))
+         (* scope the save's log records by the unit so their render
+            position doesn't depend on completion order *)
+         let scoped f =
+           match main_log with
+           | None -> f ()
+           | Some lg ->
+             Engine.Log.set_scope lg (unit_name todo_arr.(seq));
+             Fun.protect ~finally:(fun () -> Engine.Log.set_scope lg "") f
+         in
+         scoped (fun () ->
+             ignore
+               (Engine.Checkpoint.save ?faults ?ctx:engine
+                  ~path:(unit_journal_file dir todo_arr.(seq))
+                  ~fingerprint:(fingerprint todo_arr.(seq))
+                  body)))
       checkpoint
   in
+  (* Supervision events: one structured record each (into the log, in
+     the unit's scope so render order is completion-order-free) and one
+     entry on the per-lease flight trail.  A quarantine verdict dumps
+     the trail to flight-<unit>.json — the postmortem a chaos run needs
+     without rerunning under tracing. *)
+  let trails : (int, Engine.Log.record list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let trail seq =
+    match Hashtbl.find_opt trails seq with
+    | Some t -> t
+    | None ->
+      let t = ref [] in
+      Hashtbl.add trails seq t;
+      t
+  in
+  let event_record seq (ev : Engine.Shard.pool_event) : Engine.Log.record =
+    let scope = unit_name todo_arr.(seq) in
+    let mk level event fields =
+      {
+        Engine.Log.lr_level = level;
+        lr_event = event;
+        lr_scope = scope;
+        lr_phase = 1;
+        lr_fields = fields;
+      }
+    in
+    match ev with
+    | Engine.Shard.Lease_infra { category; attempt; requeued } ->
+      mk Engine.Log.Warn "lease.infra"
+        [
+          ("category", category);
+          ("attempt", string_of_int attempt);
+          ("requeued", string_of_bool requeued);
+        ]
+    | Engine.Shard.Lease_retry { attempt; msg } ->
+      mk Engine.Log.Warn "lease.retry"
+        [ ("attempt", string_of_int attempt); ("error", msg) ]
+    | Engine.Shard.Lease_verdict (Engine.Shard.Done _) ->
+      mk Engine.Log.Info "lease.verdict" [ ("verdict", "done") ]
+    | Engine.Shard.Lease_verdict (Engine.Shard.Failed msg) ->
+      mk Engine.Log.Error "lease.verdict"
+        [ ("verdict", "failed"); ("error", msg) ]
+    | Engine.Shard.Lease_verdict
+        (Engine.Shard.Quarantined { q_reason; q_attempts }) ->
+      mk Engine.Log.Error "lease.verdict"
+        [
+          ("verdict", "quarantined");
+          ("reason", q_reason);
+          ("attempts", string_of_int q_attempts);
+        ]
+  in
+  let dump_flight seq ~reason ~attempts =
+    Option.iter
+      (fun dir ->
+        let u = todo_arr.(seq) in
+        let records = List.rev !(trail seq) in
+        let lines =
+          List.mapi
+            (fun i r -> "  " ^ Engine.Log.record_to_json ~seq:i r)
+            records
+        in
+        let esc = Engine.Trace.json_escape in
+        let body =
+          Fmt.str
+            "{\"unit\": \"%s\", \"reason\": \"%s\", \"attempts\": %d,\n \
+             \"events\": [\n%s\n]}\n"
+            (esc (unit_name u)) (esc reason) attempts
+            (String.concat ",\n" lines)
+        in
+        Engine.Checkpoint.mkdir_p dir;
+        Engine.Telemetry.write_file
+          (Filename.concat dir ("flight-" ^ unit_name u ^ ".json"))
+          body)
+      flight_dir
+  in
+  let on_event ~seq (ev : Engine.Shard.pool_event) =
+    let r = event_record seq ev in
+    let t = trail seq in
+    t := r :: !t;
+    Option.iter
+      (fun lg ->
+        Engine.Log.record lg ~scope:r.Engine.Log.lr_scope ~phase:1
+          ~level:r.Engine.Log.lr_level ~event:r.Engine.Log.lr_event
+          r.Engine.Log.lr_fields)
+      main_log;
+    match ev with
+    | Engine.Shard.Lease_verdict
+        (Engine.Shard.Quarantined { q_reason; q_attempts }) ->
+      Option.iter
+        (fun s ->
+          Engine.Serve.note_quarantine s
+            ~unit_name:(unit_name todo_arr.(seq))
+            ~reason:q_reason)
+        serve;
+      dump_flight seq ~reason:q_reason ~attempts:q_attempts
+    | _ -> ()
+  in
+  let on_tick () = Option.iter Engine.Serve.poll serve in
   let raw, stats =
     Engine.Shard.run_pool ~shards ?backend ?limits ?faults ?ctx:engine
-      ~on_heartbeat ~on_result ?journal ~f:(server ()) leases
+      ~on_heartbeat ~on_result ~on_event ~on_tick ?journal ~f:(server ())
+      leases
   in
   let decoded =
     Array.map
@@ -367,6 +506,18 @@ let run ?(cfg = Campaign.default_config) ?fuzzers ?compilers
             let tid = unit_tag u in
             Engine.Trace.label_tid into ~tid ~label:(unit_name u);
             Engine.Trace.merge ~into ~tid src
+          | _ -> ());
+          (match main_log with
+          | Some lg when wr.wr_log <> [] ->
+            (* replay the worker's log body under the unit's scope: the
+               renderer groups by scope in canonical unit order, so the
+               rendered log matches the sequential run byte for byte *)
+            List.iter
+              (fun (r : Engine.Log.record) ->
+                Engine.Log.record lg ~scope:(unit_name u)
+                  ~phase:r.Engine.Log.lr_phase ~level:r.Engine.Log.lr_level
+                  ~event:r.Engine.Log.lr_event r.Engine.Log.lr_fields)
+              wr.wr_log
           | _ -> ())
         | None -> ())
       us);

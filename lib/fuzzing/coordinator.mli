@@ -73,6 +73,8 @@ val run :
   ?limits:Engine.Shard.limits ->
   ?status:Engine.Status.t ->
   ?progress:(completed:int -> total:int -> string -> unit) ->
+  ?serve:Engine.Serve.t ->
+  ?flight_dir:string ->
   unit ->
   t
 (** Run the unit matrix across [shards] worker processes (default 1 =
@@ -99,6 +101,19 @@ val run :
     [status] receives aggregated heartbeat totals (one line for the
     whole pool; workers relinquish TTY ownership).  [progress] ticks
     once per completed unit with its display name.
+
+    [serve] wires the pool into a live scrape server: heartbeats feed
+    its per-shard table, quarantines its list, and the socket is polled
+    once per supervision round.  [flight_dir] enables the flight
+    recorder: each quarantined unit dumps its supervision trail to
+    [flight-<unit>.json] there, and clean worker results ship their
+    last in-process events back in the result frame.
+
+    When [engine] carries a {!Engine.Log.t}, leases instruct workers to
+    record at the same level; worker log bodies are replayed into the
+    coordinator log under the unit's scope at the join barrier, so the
+    rendered log is byte-identical at any shard count (for the
+    shard-count-invariant event categories).
 
     With [checkpoint]/[resume], completed units are restored — journal
     files first (full [worker_result], written as each Result arrives

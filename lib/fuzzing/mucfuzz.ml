@@ -52,6 +52,9 @@ type mutator_counters = {
   mc_inapplicable : Engine.Metrics.counter;
   mc_accept : Engine.Metrics.counter;
   mc_reject : Engine.Metrics.counter;
+  mc_fresh : Engine.Metrics.counter;
+      (* fresh edges attributed to this mutator's mutants: the numerator
+         of the per-mutator yield table *)
 }
 
 type state = {
@@ -196,6 +199,8 @@ let mutator_counters (st : state) (m : Mutators.Mutator.t) =
           Engine.Metrics.counter reg ("mucfuzz.inapplicable." ^ name);
         mc_accept = Engine.Metrics.counter reg ("mucfuzz.accept." ^ name);
         mc_reject = Engine.Metrics.counter reg ("mucfuzz.reject." ^ name);
+        mc_fresh =
+          Engine.Metrics.counter reg ("mucfuzz.fresh_edges." ^ name);
       }
     in
     Hashtbl.replace st.per_mutator name c;
@@ -373,9 +378,11 @@ let step (st : state) ~iteration : unit =
                 Simcomp.Coverage.merge_consume
                   ~into:st.result.Fuzz_result.coverage cov
             in
-            if fresh > 0 then
+            if fresh > 0 then begin
+              Engine.Metrics.incr ~by:fresh mc.mc_fresh;
               Engine.Ctx.emit st.engine
-                (Engine.Event.Coverage_gained { iteration; fresh });
+                (Engine.Event.Coverage_gained { iteration; fresh })
+            end;
             let accepted = ref false in
             if (fresh > 0 || not st.cfg.coverage_guided) && not !found then begin
               (* P' joins the pool only when it compiles: broken mutants

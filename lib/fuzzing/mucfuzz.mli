@@ -51,6 +51,9 @@ type mutator_counters = {
   mc_inapplicable : Engine.Metrics.counter;
   mc_accept : Engine.Metrics.counter;
   mc_reject : Engine.Metrics.counter;
+  mc_fresh : Engine.Metrics.counter;
+      (** fresh coverage edges attributed to this mutator's mutants
+          ([mucfuzz.fresh_edges.<name>]) — the per-mutator yield signal *)
 }
 (** Pre-resolved per-mutator instruments (O(1) hot-path bumps). *)
 

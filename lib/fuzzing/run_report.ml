@@ -78,9 +78,11 @@ let crash_section (results : (string * Fuzz_result.t) list) =
                  @ [ string_of_int total ]))
            results)
 
-(* The per-mutator table: the four "mucfuzz.<verb>.<mutator>" counter
+(* The per-mutator table: the "mucfuzz.<verb>.<mutator>" counter
    families joined on the mutator name, sorted by accepts (the paper's
-   per-operator productivity ranking). *)
+   per-operator productivity ranking).  "fresh edges" is the yield
+   signal: coverage actually attributable to each operator's mutants,
+   not just how often its output compiled. *)
 let mutator_section (m : Engine.Metrics.t) =
   let family verb = Engine.Metrics.counters_with_prefix m ~prefix:("mucfuzz." ^ verb ^ ".") in
   let attempts = family "attempt" in
@@ -88,22 +90,31 @@ let mutator_section (m : Engine.Metrics.t) =
   else begin
     let accepts = family "accept"
     and rejects = family "reject"
-    and inapplicable = family "inapplicable" in
+    and inapplicable = family "inapplicable"
+    and fresh = family "fresh_edges" in
     let get tbl name = Option.value ~default:0 (List.assoc_opt name tbl) in
     let rows =
       attempts
       |> List.map (fun (name, att) ->
              let acc = get accepts name in
-             (name, att, acc, get rejects name, get inapplicable name))
-      |> List.sort (fun (n1, _, a1, _, _) (n2, _, a2, _, _) ->
+             ( name,
+               att,
+               acc,
+               get rejects name,
+               get inapplicable name,
+               get fresh name ))
+      |> List.sort (fun (n1, _, a1, _, _, _) (n2, _, a2, _, _, _) ->
              match compare a2 a1 with 0 -> compare n1 n2 | c -> c)
     in
     Report.Markdown.heading ~level:2 "Per-mutator outcomes"
     ^ Report.Markdown.table
         ~header:
-          [ "mutator"; "attempts"; "accepts"; "rejects"; "inapplicable"; "accept %" ]
+          [
+            "mutator"; "attempts"; "accepts"; "rejects"; "inapplicable";
+            "accept %"; "fresh edges";
+          ]
         (List.map
-           (fun (name, att, acc, rej, inap) ->
+           (fun (name, att, acc, rej, inap, fr) ->
              [
                name;
                string_of_int att;
@@ -111,6 +122,7 @@ let mutator_section (m : Engine.Metrics.t) =
                string_of_int rej;
                string_of_int inap;
                Fmt.str "%.1f" (pct acc (acc + rej));
+               string_of_int fr;
              ])
            rows)
   end
@@ -239,6 +251,37 @@ let span_section (m : Engine.Metrics.t) =
              ])
            spans)
 
+(* Where the time goes, properly attributed: per-span *self* time from
+   the trace buffer (child time subtracted — a pass that spends all its
+   time in sub-spans charges them, not itself).  Wall-clock, like the
+   span table; rendered only when tracing was on. *)
+let self_time_section (ctx : Engine.Ctx.t) =
+  match ctx.Engine.Ctx.trace with
+  | None -> ""
+  | Some tr ->
+    let entries =
+      Engine.Trace.self_time_by_name tr
+      |> List.filter (fun (_, ns) -> Int64.compare ns 0L > 0)
+    in
+    if entries = [] then ""
+    else
+      let total =
+        List.fold_left (fun acc (_, ns) -> Int64.add acc ns) 0L entries
+      in
+      let totalf = Int64.to_float total in
+      Report.Markdown.heading ~level:2 "Where the time goes (self time)"
+      ^ Report.Markdown.table
+          ~header:[ "span"; "self ms"; "% of traced" ]
+          (List.map
+             (fun (name, ns) ->
+               let f = Int64.to_float ns in
+               [
+                 name;
+                 Fmt.str "%.1f" (f /. 1e6);
+                 Fmt.str "%.1f" (100. *. f /. totalf);
+               ])
+             entries)
+
 let render ~title ?(preamble = "") ?engine ?attribution ?(quarantined = [])
     (results : (string * Fuzz_result.t) list) : string =
   let d = Report.Markdown.doc () in
@@ -257,7 +300,8 @@ let render ~title ?(preamble = "") ?engine ?attribution ?(quarantined = [])
     let m = ctx.Engine.Ctx.metrics in
     Report.Markdown.add d (mutator_section m);
     Report.Markdown.add d (recovery_section m);
-    Report.Markdown.add d (span_section m));
+    Report.Markdown.add d (span_section m);
+    Report.Markdown.add d (self_time_section ctx));
   Report.Markdown.contents d
 
 let fuzz ?engine (r : Fuzz_result.t) : string =

@@ -155,14 +155,19 @@ let exporter_tests =
         let expected =
           String.concat "\n"
             [
+              "# HELP metamut_gc_heap_words GC probe reading \
+               (machine-dependent)";
               "# TYPE metamut_gc_heap_words gauge";
               "metamut_gc_heap_words 4096";
+              "# HELP metamut_lat metamut engine metric";
               "# TYPE metamut_lat histogram";
               "metamut_lat_bucket{le=\"1\"} 1";
               "metamut_lat_bucket{le=\"10\"} 2";
               "metamut_lat_bucket{le=\"+Inf\"} 3";
               "metamut_lat_sum 55.5";
               "metamut_lat_count 3";
+              "# HELP metamut_mucfuzz_accept_X muCFuzz loop tallies \
+               (aggregate and per-mutator)";
               "# TYPE metamut_mucfuzz_accept_X counter";
               "metamut_mucfuzz_accept_X 12";
               "";
@@ -467,6 +472,373 @@ let telemetry_tests =
           ]);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Folded stacks (flamegraph export) and per-span self time            *)
+(* ------------------------------------------------------------------ *)
+
+let folded_tests =
+  [
+    tc "fold_self reconstructs nesting; to_folded is golden" (fun () ->
+        let ctx = Engine.Ctx.create ~clock:(fake_clock ()) () in
+        ignore (Engine.Ctx.enable_trace ~tid:0 ctx);
+        (* compile.opt [1ms..6ms] containing opt.pass.a [2..3] and
+           opt.pass.b [4..5]: self times 3ms / 1ms / 1ms *)
+        ignore
+          (Engine.Span.with_ ctx ~name:"compile.opt" (fun () ->
+               ignore (Engine.Span.with_ ctx ~name:"opt.pass.a" (fun () -> ()));
+               Engine.Span.with_ ctx ~name:"opt.pass.b" (fun () -> ())));
+        let tr = Option.get ctx.Engine.Ctx.trace in
+        let folded = Engine.Trace.to_folded tr in
+        let expected =
+          String.concat "\n"
+            [
+              "main;compile.opt 3000";
+              "main;compile.opt;opt.pass.a 1000";
+              "main;compile.opt;opt.pass.b 1000";
+              "";
+            ]
+        in
+        check Alcotest.string "folded golden" expected folded);
+    tc "per-pass self times sum to the parent span's total" (fun () ->
+        let ctx = Engine.Ctx.create ~clock:(fake_clock ()) () in
+        ignore (Engine.Ctx.enable_trace ~tid:0 ctx);
+        ignore
+          (Engine.Span.with_ ctx ~name:"compile.opt" (fun () ->
+               ignore (Engine.Span.with_ ctx ~name:"opt.pass.a" (fun () -> ()));
+               ignore (Engine.Span.with_ ctx ~name:"opt.pass.b" (fun () -> ()));
+               Engine.Span.with_ ctx ~name:"opt.pass.c" (fun () -> ())));
+        let tr = Option.get ctx.Engine.Ctx.trace in
+        let parent_total =
+          List.fold_left
+            (fun acc (s : Engine.Trace.span_rec) ->
+              if s.Engine.Trace.sr_name = "compile.opt" then
+                Int64.add acc s.Engine.Trace.sr_dur_ns
+              else acc)
+            0L (Engine.Trace.spans tr)
+        in
+        let self = Engine.Trace.self_time_by_name tr in
+        let get n = Option.value ~default:0L (List.assoc_opt n self) in
+        let sum =
+          List.fold_left Int64.add 0L
+            [
+              get "compile.opt"; get "opt.pass.a"; get "opt.pass.b";
+              get "opt.pass.c";
+            ]
+        in
+        check Alcotest.int64 "self times sum to the parent total"
+          parent_total sum);
+    tc "siblings on separate tids never nest" (fun () ->
+        let tr = Engine.Trace.create () in
+        (* same wall-clock window, different threads: each is a root *)
+        Engine.Trace.record tr ~name:"a" ~ts_ns:0L ~dur_ns:10_000L;
+        Engine.Trace.set_tid tr 3;
+        Engine.Trace.record tr ~name:"b" ~ts_ns:0L ~dur_ns:10_000L;
+        let paths =
+          List.map
+            (fun (p, _) -> String.concat ";" p)
+            (Engine.Trace.fold_self tr)
+        in
+        check Alcotest.bool "a under main" true
+          (List.mem "main;a" paths);
+        check Alcotest.bool "b under tid-3" true
+          (List.mem "tid-3;b" paths));
+    tc "zero-duration spans are dropped from the folded output" (fun () ->
+        let tr = Engine.Trace.create () in
+        Engine.Trace.record tr ~name:"instant" ~ts_ns:0L ~dur_ns:100L;
+        (* 100ns rounds to 0µs: no line *)
+        check Alcotest.string "empty" "" (Engine.Trace.to_folded tr));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-mutator yield artifact                                          *)
+(* ------------------------------------------------------------------ *)
+
+let yield_tests =
+  [
+    tc "mutator_yield_json is None without mutator counters" (fun () ->
+        let m = Engine.Metrics.create () in
+        Engine.Metrics.incr (Engine.Metrics.counter m "compile.total");
+        check Alcotest.bool "no artifact" true
+          (Engine.Telemetry.mutator_yield_json m = None));
+    tc "yield rows join families and sort by fresh edges" (fun () ->
+        let m = Engine.Metrics.create () in
+        let bump ?(by = 1) name =
+          Engine.Metrics.incr ~by (Engine.Metrics.counter m name)
+        in
+        bump ~by:10 "mucfuzz.attempt.low";
+        bump ~by:4 "mucfuzz.accept.low";
+        bump ~by:2 "mucfuzz.fresh_edges.low";
+        bump ~by:10 "mucfuzz.attempt.high";
+        bump ~by:3 "mucfuzz.accept.high";
+        bump ~by:9 "mucfuzz.fresh_edges.high";
+        (* a mutator that only ever appears in the reject family still
+           gets a row (union of suffixes, not just attempts) *)
+        bump ~by:5 "mucfuzz.reject.barren";
+        match Engine.Telemetry.mutator_yield_json m with
+        | None -> Alcotest.fail "expected an artifact"
+        | Some json ->
+          let hi = ref 0 and lo = ref 0 and barren = ref 0 in
+          List.iteri
+            (fun i line ->
+              if is_infix ~affix:"\"high\"" line then hi := i;
+              if is_infix ~affix:"\"low\"" line then lo := i;
+              if is_infix ~affix:"\"barren\"" line then barren := i)
+            (String.split_on_char '\n' json);
+          check Alcotest.bool "high outranks low" true (!hi < !lo);
+          check Alcotest.bool "low outranks barren" true (!lo < !barren);
+          check Alcotest.bool "fresh field present" true
+            (is_infix ~affix:"\"fresh_edges\": 9" json));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Structured log: deterministic rendering                             *)
+(* ------------------------------------------------------------------ *)
+
+let log_tests =
+  [
+    tc "render groups by scope, sorts by phase, assigns seq" (fun () ->
+        let lg = Engine.Log.create () in
+        (* emission order deliberately interleaves scopes and phases the
+           way a pool would: supervision first, bodies later *)
+        Engine.Log.record lg ~scope:"unit-b" ~phase:1
+          ~level:Engine.Log.Info ~event:"lease.verdict"
+          [ ("verdict", "done") ];
+        Engine.Log.record lg ~scope:"" ~level:Engine.Log.Info
+          ~event:"campaign.start" [];
+        Engine.Log.record lg ~scope:"unit-a" ~phase:1
+          ~level:Engine.Log.Info ~event:"lease.verdict"
+          [ ("verdict", "done") ];
+        Engine.Log.record lg ~scope:"unit-a" ~level:Engine.Log.Info
+          ~event:"body.step" [ ("n", "1") ];
+        let lines =
+          Engine.Log.to_json_lines ~scope_order:[ "unit-a"; "unit-b" ] lg
+        in
+        let expected =
+          [
+            "{\"seq\":0,\"level\":\"info\",\"scope\":\"\",\"event\":\"campaign.start\"}";
+            "{\"seq\":1,\"level\":\"info\",\"scope\":\"unit-a\",\"event\":\"body.step\",\"n\":\"1\"}";
+            "{\"seq\":2,\"level\":\"info\",\"scope\":\"unit-a\",\"event\":\"lease.verdict\",\"verdict\":\"done\"}";
+            "{\"seq\":3,\"level\":\"info\",\"scope\":\"unit-b\",\"event\":\"lease.verdict\",\"verdict\":\"done\"}";
+          ]
+        in
+        check (Alcotest.list Alcotest.string) "golden lines" expected lines);
+    tc "rendered body is emission-interleaving-invariant" (fun () ->
+        (* two logs with the same per-scope streams in different global
+           interleavings (jobs:1 vs jobs:K) render identically *)
+        let a = Engine.Log.create () in
+        Engine.Log.record a ~scope:"u1" ~level:Engine.Log.Info ~event:"x" [];
+        Engine.Log.record a ~scope:"u2" ~level:Engine.Log.Info ~event:"y" [];
+        Engine.Log.record a ~scope:"u1" ~level:Engine.Log.Warn ~event:"z" [];
+        let b = Engine.Log.create () in
+        Engine.Log.record b ~scope:"u2" ~level:Engine.Log.Info ~event:"y" [];
+        Engine.Log.record b ~scope:"u1" ~level:Engine.Log.Info ~event:"x" [];
+        Engine.Log.record b ~scope:"u1" ~level:Engine.Log.Warn ~event:"z" [];
+        check Alcotest.string "same body"
+          (Engine.Log.to_string a) (Engine.Log.to_string b));
+    tc "merge stamps the worker's records with the cell scope" (fun () ->
+        let worker = Engine.Log.create () in
+        Engine.Log.record worker ~level:Engine.Log.Info ~event:"w" [];
+        let main = Engine.Log.create () in
+        Engine.Log.merge ~into:main ~scope:"cell-1" worker;
+        match Engine.Log.records main with
+        | [ r ] -> check Alcotest.string "scope" "cell-1" r.Engine.Log.lr_scope
+        | _ -> Alcotest.fail "expected exactly one record");
+    tc "records below the level are dropped at emission" (fun () ->
+        let lg = Engine.Log.create ~level:Engine.Log.Warn () in
+        Engine.Log.record lg ~level:Engine.Log.Debug ~event:"quiet" [];
+        Engine.Log.record lg ~level:Engine.Log.Error ~event:"loud" [];
+        check Alcotest.int "one survived" 1 (Engine.Log.length lg));
+    tc "field values are JSON-escaped" (fun () ->
+        let lg = Engine.Log.create () in
+        Engine.Log.record lg ~level:Engine.Log.Info ~event:"e"
+          [ ("msg", "a\"b\nc") ];
+        let s = Engine.Log.to_string lg in
+        check Alcotest.bool "escaped" true (is_infix ~affix:{|a\"b\nc|} s));
+    tc "parse_spec splits a trailing level and keeps odd paths" (fun () ->
+        check Alcotest.bool "plain" true
+          (Engine.Log.parse_spec "run.log" = Ok ("run.log", Engine.Log.Info));
+        check Alcotest.bool "level split" true
+          (Engine.Log.parse_spec "run.log:debug"
+          = Ok ("run.log", Engine.Log.Debug));
+        check Alcotest.bool "unknown suffix is path" true
+          (Engine.Log.parse_spec "run:2.log" = Ok ("run:2.log", Engine.Log.Info));
+        check Alcotest.bool "empty rejected" true
+          (match Engine.Log.parse_spec "" with Error _ -> true | Ok _ -> false));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeat folding edge cases                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fold_tests =
+  [
+    tc "execs/crashes sum, covered maxes" (fun () ->
+        check
+          (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int)
+          "fold" (30, 70, 3)
+          (Engine.Status.fold_heartbeats [ (10, 70, 1); (20, 55, 2) ]));
+    tc "a zero-exec shard contributes nothing" (fun () ->
+        check
+          (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int)
+          "fold" (10, 70, 1)
+          (Engine.Status.fold_heartbeats [ (10, 70, 1); (0, 0, 0) ]));
+    tc "a regressing covered feed never un-counts edges" (fun () ->
+        let ctx = Engine.Ctx.create ~clock:(fake_clock ()) () in
+        let out = Buffer.create 64 in
+        let st =
+          Engine.Status.attach
+            ~out:(Buffer.add_string out)
+            ~interval_ns:0L ~label:"t" ctx
+        in
+        Engine.Status.update st ~execs:10 ~covered:100 ~crashes:0 ();
+        (* a crashed shard's beat drops out of the fold: covered dips *)
+        Engine.Status.update st ~execs:12 ~covered:60 ~crashes:0 ();
+        check Alcotest.bool "still 100 edges" true
+          (is_infix ~affix:"100 edges" (Engine.Status.line st)));
+    tc "fresh edges through update reset the plateau streak" (fun () ->
+        let ctx = Engine.Ctx.create ~clock:(fake_clock ()) () in
+        let st =
+          Engine.Status.attach ~out:ignore ~interval_ns:0L ~label:"t" ctx
+        in
+        (* plateau builds on the event path ... *)
+        for i = 1 to 4 do
+          Engine.Ctx.emit ctx
+            (Engine.Event.Coverage_sampled { iteration = i; covered = 50 })
+        done;
+        check Alcotest.bool "plateau on" true
+          (is_infix ~affix:"plateau" (Engine.Status.line st));
+        (* ... and a heartbeat fold that finally gains an edge clears it *)
+        Engine.Status.update st ~execs:1 ~covered:51 ~crashes:0 ();
+        check Alcotest.bool "plateau cleared" false
+          (is_infix ~affix:"plateau" (Engine.Status.line st)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Live serve endpoints                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Single-threaded HTTP client: connect, send, then alternate polling
+   the server and draining our socket until it closes the connection. *)
+let http_get srv path =
+  let addr = Engine.Serve.bound_addr srv in
+  let i = String.rindex addr ':' in
+  let host = String.sub addr 0 i in
+  let port =
+    int_of_string (String.sub addr (i + 1) (String.length addr - i - 1))
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  let req = "GET " ^ path ^ " HTTP/1.1\r\nHost: t\r\n\r\n" in
+  ignore (Unix.write_substring fd req 0 (String.length req));
+  let buf = Buffer.create 1024 in
+  let tmp = Bytes.create 4096 in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec drain () =
+    Engine.Serve.poll srv;
+    match Unix.select [ fd ] [] [] 0.01 with
+    | [ _ ], _, _ ->
+      let n = Unix.read fd tmp 0 (Bytes.length tmp) in
+      if n > 0 then begin
+        Buffer.add_subbytes buf tmp 0 n;
+        drain ()
+      end
+    | _ ->
+      if Unix.gettimeofday () > deadline then
+        Alcotest.fail "serve: no response within 5s"
+      else drain ()
+  in
+  drain ();
+  Unix.close fd;
+  let resp = Buffer.contents buf in
+  match Astring.String.find_sub ~sub:"\r\n\r\n" resp with
+  | None -> Alcotest.fail ("serve: malformed response: " ^ resp)
+  | Some i ->
+    let head = String.sub resp 0 i in
+    let body = String.sub resp (i + 4) (String.length resp - i - 4) in
+    let code =
+      match String.split_on_char ' ' head with
+      | _ :: c :: _ -> int_of_string c
+      | _ -> Alcotest.fail "serve: no status code"
+    in
+    (code, head, body)
+
+let with_serve f =
+  let ctx = Engine.Ctx.create () in
+  match Engine.Serve.listen ~addr:"127.0.0.1:0" ctx with
+  | Error e -> Alcotest.fail ("listen: " ^ e)
+  | Ok srv ->
+    Fun.protect ~finally:(fun () -> Engine.Serve.close srv) (fun () ->
+        f ctx srv)
+
+let serve_tests =
+  [
+    tc "/healthz flips 200 -> 503 when the breaker trips" (fun () ->
+        with_serve (fun ctx srv ->
+            let code, _, body = http_get srv "/healthz" in
+            check Alcotest.int "healthy" 200 code;
+            check Alcotest.string "ok body" "ok\n" body;
+            Engine.Metrics.incr
+              (Engine.Metrics.counter ctx.Engine.Ctx.metrics
+                 "shard.breaker_tripped");
+            let code, _, _ = http_get srv "/healthz" in
+            check Alcotest.int "breaker tripped" 503 code));
+    tc "/metrics serves the live Prometheus rendering" (fun () ->
+        with_serve (fun ctx srv ->
+            Engine.Metrics.incr ~by:3
+              (Engine.Metrics.counter ctx.Engine.Ctx.metrics "compile.total");
+            let code, head, body = http_get srv "/metrics" in
+            check Alcotest.int "200" 200 code;
+            check Alcotest.bool "prometheus content type" true
+              (is_infix ~affix:"text/plain; version=0.0.4" head);
+            check Alcotest.string "matches the exporter"
+              (Engine.Telemetry.prometheus_of_snapshot
+                 (Engine.Metrics.snapshot ctx.Engine.Ctx.metrics))
+              body;
+            check Alcotest.bool "live value" true
+              (is_infix ~affix:"metamut_compile_total 3" body)));
+    tc "/status.json folds shard heartbeats and quarantines" (fun () ->
+        with_serve (fun _ctx srv ->
+            Engine.Serve.note_shard srv ~shard:0 ~execs:10 ~covered:70
+              ~crashes:1;
+            Engine.Serve.note_shard srv ~shard:1 ~execs:20 ~covered:55
+              ~crashes:0;
+            Engine.Serve.note_quarantine srv ~unit_name:"uCFuzz-GCC"
+              ~reason:"worker-oom";
+            let code, _, body = http_get srv "/status.json" in
+            check Alcotest.int "200" 200 code;
+            check Alcotest.bool "execs summed" true
+              (is_infix ~affix:"\"execs\": 30" body);
+            check Alcotest.bool "covered maxed" true
+              (is_infix ~affix:"\"covered\": 70" body);
+            check Alcotest.bool "quarantine listed" true
+              (is_infix ~affix:"uCFuzz-GCC" body);
+            check Alcotest.bool "not done" true
+              (is_infix ~affix:"\"done\": false" body);
+            Engine.Serve.set_done srv;
+            let _, _, body = http_get srv "/status.json" in
+            check Alcotest.bool "done" true
+              (is_infix ~affix:"\"done\": true" body)));
+    tc "/series.json records samples from the event sink" (fun () ->
+        with_serve (fun ctx srv ->
+            Engine.Serve.attach_sink srv;
+            Engine.Ctx.emit ctx
+              (Engine.Event.Compile_finished
+                 (Engine.Event.Compiled_ok, Engine.Event.Backend));
+            Engine.Ctx.emit ctx
+              (Engine.Event.Coverage_sampled { iteration = 5; covered = 42 });
+            let code, _, body = http_get srv "/series.json" in
+            check Alcotest.int "200" 200 code;
+            check Alcotest.bool "sample present" true
+              (is_infix ~affix:"\"covered\": 42" body)));
+    tc "unknown paths 404; junk requests never wedge the server"
+      (fun () ->
+        with_serve (fun _ctx srv ->
+            let code, _, _ = http_get srv "/nope" in
+            check Alcotest.int "404" 404 code;
+            let code, _, _ = http_get srv "/healthz" in
+            check Alcotest.int "still serving" 200 code));
+  ]
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -477,4 +849,9 @@ let () =
       ("status", status_tests);
       ("trend-tail", trend_tail_tests);
       ("telemetry", telemetry_tests);
+      ("folded", folded_tests);
+      ("yield", yield_tests);
+      ("log", log_tests);
+      ("heartbeat-fold", fold_tests);
+      ("serve", serve_tests);
     ]
